@@ -1,0 +1,103 @@
+// C1: "This design has proved to be quite compact and efficient when
+// compared with related languages" (section 5). Without the authors'
+// Pict/Oz/JoCaml testbed we compare the byte-code VM against this
+// repository's reference implementation of the same semantics — the
+// tree-walking reducer — on a common program suite, and measure
+// byte-code compactness against AST size.
+//
+// Expected shape: the VM wins by a significant constant factor on every
+// program, and byte-code is a fraction of the AST footprint.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "calculus/reducer.hpp"
+#include "compiler/codegen.hpp"
+#include "compiler/parser.hpp"
+#include "vm/machine.hpp"
+
+namespace {
+
+using dityco::calc::Reducer;
+using dityco::comp::compile_source;
+using dityco::comp::parse_program;
+using dityco::vm::Machine;
+
+struct Suite {
+  const char* name;
+  std::string src;
+};
+
+std::vector<Suite> suite() {
+  return {
+      {"spin", dityco::benchutil::spin_src(20000)},
+      {"cell_churn",
+       "def Cell(self, v) = self?{ read(r) = (r![v] | Cell[self, v]) } "
+       "and Pump(x, z, i) = if i == 0 then 0 else (x!read[z] | Pump[x, z, i "
+       "- 1]) and Drain(z, i) = if i == 0 then 0 else z?(w) = Drain[z, i - "
+       "1] in new x, z (Cell[x, 7] | Pump[x, z, 4000] | Drain[z, 4000])"},
+      {"pingpong",
+       "def P(a, b, i) = if i == 0 then 0 else (a![i] | a?(v) = P[a, b, i - "
+       "1]) in new a, b P[a, b, 5000]"},
+      {"arith",
+       "def A(i, acc) = if i == 0 then print[acc] else A[i - 1, (acc * 3 + "
+       "i) % 99991] in A[20000, 1]"},
+      {"consts",
+       "def A(i, acc) = if 0 == 0 - 0 then (if i == 0 then print[acc] else "
+       "A[i - 1, acc + (1 + 2 * 3) * (10 - 8) - (7 % 4) + 100 / 5]) else 0 "
+       "in A[10000, 0]"},
+  };
+}
+
+void BM_Vm(benchmark::State& state) {
+  const auto s = suite()[static_cast<std::size_t>(state.range(0))];
+  const auto prog = compile_source(s.src);
+  for (auto _ : state) {
+    Machine m("bench");
+    m.spawn_program(prog);
+    m.run(UINT64_MAX);
+    if (!m.errors().empty()) state.SkipWithError(m.errors()[0].c_str());
+  }
+  state.SetLabel(s.name);
+}
+BENCHMARK(BM_Vm)->DenseRange(0, 4);
+
+void BM_Reducer(benchmark::State& state) {
+  const auto s = suite()[static_cast<std::size_t>(state.range(0))];
+  const auto ast = parse_program(s.src);
+  for (auto _ : state) {
+    Reducer red(Reducer::Config{.max_steps = UINT64_MAX});
+    red.add_program("bench", ast);
+    auto res = red.run();
+    if (!res.errors.empty()) state.SkipWithError(res.errors[0].c_str());
+  }
+  state.SetLabel(s.name);
+}
+BENCHMARK(BM_Reducer)->DenseRange(0, 4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Compactness table: byte-code size vs AST size for the suite, with
+  // and without the peephole optimiser.
+  dityco::benchutil::header(
+      "C1b: byte-code compactness",
+      {"program", "AST nodes", "bytes (unopt)", "bytes (peephole)",
+       "segments", "bytes/node"});
+  for (const auto& s : suite()) {
+    const auto ast = parse_program(s.src);
+    const auto raw = compile_source(s.src, /*optimize=*/false);
+    const auto prog = compile_source(s.src);
+    const std::size_t nodes = dityco::calc::node_count(*ast);
+    dityco::benchutil::row(
+        {s.name, std::to_string(nodes), std::to_string(raw.byte_size()),
+         std::to_string(prog.byte_size()),
+         std::to_string(prog.segments.size()),
+         dityco::benchutil::fmt(static_cast<double>(prog.byte_size()) /
+                                static_cast<double>(nodes))});
+  }
+  std::printf("\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// C2: "the use of multiprocessing nodes is very important since it
+// allows to perform optimizations in the case of local (within a node)
+// communication ... a single shared-memory reference exchange"
+// (section 5). We measure the virtual-time cost of one RPC in four
+// placements: same site, two sites on one node (shared-memory daemon
+// path), two nodes over Myrinet, and two nodes over Fast Ethernet.
+//
+// Expected shape: same-site ≈ same-node ≪ Myrinet ≪ FastEthernet; the
+// same-node path also moves zero transport packets.
+#include "bench_util.hpp"
+
+using namespace dityco;
+using namespace dityco::benchutil;
+
+namespace {
+
+struct Placement {
+  const char* name;
+  int nodes;
+  bool same_site;
+  net::LinkModel link;
+};
+
+double run_placement(const Placement& p, int rpcs, std::uint64_t& packets) {
+  core::Network net = [&] {
+    if (p.same_site) {
+      auto n = core::Network(sim_config(p.link));
+      n.add_node();
+      n.add_site(0, "server");
+      return n;
+    }
+    auto cfg = sim_config(p.link);
+    core::Network n(cfg);
+    n.add_node();
+    n.add_site(0, "server");
+    if (p.nodes == 1) {
+      n.add_site(0, "client");
+    } else {
+      n.add_node();
+      n.add_site(1, "client");
+    }
+    return n;
+  }();
+
+  net.submit_source("server", echo_server_src());
+  const std::string client = p.same_site ? "server" : "client";
+  net.submit_source(client, chained_rpc_client_src("server", rpcs));
+  auto res = net.run();
+  packets = res.packets;
+  if (!res.quiescent) std::printf("WARNING: %s did not quiesce\n", p.name);
+  return res.virtual_time_us;
+}
+
+}  // namespace
+
+int main() {
+  const int rpcs = 200;
+  const Placement placements[] = {
+      {"same site", 1, true, net::myrinet()},
+      {"same node (2 sites)", 1, false, net::myrinet()},
+      {"cross node, Myrinet", 2, false, net::myrinet()},
+      {"cross node, FastEthernet", 2, false, net::fast_ethernet()},
+  };
+
+  header("C2: one RPC by placement (200 chained RPCs, virtual time)",
+         {"placement", "total us", "us/RPC", "transport packets"});
+  double base = 0;
+  for (const auto& p : placements) {
+    std::uint64_t packets = 0;
+    const double t = run_placement(p, rpcs, packets);
+    if (base == 0) base = t;
+    row({p.name, fmt(t), fmt(t / rpcs), fmt_int(packets)});
+  }
+  std::printf(
+      "\nshape check: same-node must move 0 packets (shared-memory path)\n"
+      "and cross-node cost must rank Myrinet < FastEthernet.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// E3 (Figure 3): the site architecture — an extended TyCO virtual
+// machine. Micro-benchmarks of the structures the figure depicts:
+// run-queue scheduling (context switches), heap channels (reduction of
+// messages against objects), instantiation, fork rate and builtin
+// expression evaluation. Wall-clock, via google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "compiler/codegen.hpp"
+#include "vm/machine.hpp"
+
+namespace {
+
+using dityco::comp::compile_source;
+using dityco::vm::Machine;
+
+/// COMMUNICATION reductions: a self-recharging cell bombarded with reads.
+void BM_CommReduction(benchmark::State& state) {
+  const int reads = static_cast<int>(state.range(0));
+  std::string src =
+      "def Cell(self, v) = self?{ read(r) = (r![v] | Cell[self, v]) } "
+      "and Drain(z, i) = if i == 0 then 0 else z?(w) = Drain[z, i - 1] "
+      "and Pump(x, z, i) = if i == 0 then 0 else (x!read[z] | Pump[x, z, i - 1]) "
+      "in new x, z (Cell[x, 1] | Pump[x, z, " + std::to_string(reads) +
+      "] | Drain[z, " + std::to_string(reads) + "])";
+  const auto prog = compile_source(src);
+  std::uint64_t reductions = 0;
+  for (auto _ : state) {
+    Machine m("bench");
+    m.spawn_program(prog);
+    m.run(UINT64_MAX);
+    reductions += m.stats().comm_reductions;
+    if (!m.errors().empty()) state.SkipWithError(m.errors()[0].c_str());
+  }
+  state.counters["comm/s"] = benchmark::Counter(
+      static_cast<double>(reductions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CommReduction)->Arg(1000)->Arg(10000);
+
+/// INSTANTIATION reductions: tail-recursive class spinning.
+void BM_Instantiation(benchmark::State& state) {
+  const auto prog = compile_source(
+      "def Spin(i) = if i == 0 then 0 else Spin[i - 1] in Spin[" +
+      std::to_string(state.range(0)) + "]");
+  std::uint64_t insts = 0;
+  for (auto _ : state) {
+    Machine m("bench");
+    m.spawn_program(prog);
+    m.run(UINT64_MAX);
+    insts += m.stats().inst_reductions;
+  }
+  state.counters["inst/s"] = benchmark::Counter(
+      static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Instantiation)->Arg(1000)->Arg(100000);
+
+/// Run-queue churn: wide fan-out of tiny threads ("a few tens of
+/// byte-code instructions per thread").
+void BM_ForkFanout(benchmark::State& state) {
+  const auto prog = compile_source(
+      "def Fan(i) = if i == 0 then 0 else (print[\"\"] | Fan[i - 1]) in "
+      "Fan[" + std::to_string(state.range(0)) + "]");
+  std::uint64_t forks = 0;
+  for (auto _ : state) {
+    Machine m("bench");
+    m.spawn_program(prog);
+    m.run(UINT64_MAX);
+    forks += m.stats().forks + m.stats().frames_run;
+  }
+  state.counters["threads/s"] = benchmark::Counter(
+      static_cast<double>(forks), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ForkFanout)->Arg(10000);
+
+/// Heap churn: channel allocation.
+void BM_ChannelAllocation(benchmark::State& state) {
+  const auto prog = compile_source(
+      "def A(i) = if i == 0 then 0 else new c A[i - 1] in A[" +
+      std::to_string(state.range(0)) + "]");
+  for (auto _ : state) {
+    Machine m("bench");
+    m.spawn_program(prog);
+    benchmark::DoNotOptimize(m.run(UINT64_MAX));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChannelAllocation)->Arg(10000);
+
+/// Builtin expression stack: arithmetic-heavy loop.
+void BM_ExpressionOps(benchmark::State& state) {
+  const auto prog = compile_source(
+      "def A(i, acc) = if i == 0 then print[acc] "
+      "else A[i - 1, (acc * 3 + i) % 1000000] in A[" +
+      std::to_string(state.range(0)) + ", 1]");
+  std::uint64_t instrs = 0;
+  for (auto _ : state) {
+    Machine m("bench");
+    m.spawn_program(prog);
+    instrs += m.run(UINT64_MAX);
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExpressionOps)->Arg(100000);
+
+/// Program-area work: compile + load + link of a mid-sized program.
+void BM_LoadAndLink(benchmark::State& state) {
+  const auto prog = compile_source(
+      "def Cell(self, v) = self?{ read(r) = (r![v] | Cell[self, v]), "
+      "write(u) = Cell[self, u] } in "
+      "new a, b, c (Cell[a, 1] | Cell[b, true] | Cell[c, \"s\"])");
+  for (auto _ : state) {
+    Machine m("bench");
+    benchmark::DoNotOptimize(m.load_program(prog));
+  }
+}
+BENCHMARK(BM_LoadAndLink);
+
+/// Preemption overhead: same workload under different slice sizes (the
+/// "fast context switches" knob).
+void BM_SliceOverhead(benchmark::State& state) {
+  const auto prog = compile_source(
+      "def Spin(i) = if i == 0 then 0 else Spin[i - 1] in Spin[20000]");
+  const auto slice = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    Machine m("bench");
+    m.spawn_program(prog);
+    while (!m.idle()) m.run(slice);
+  }
+}
+BENCHMARK(BM_SliceOverhead)->Arg(16)->Arg(256)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Shared helpers for the experiment harness: topology builders, workload
+// generators and table printing. Each bench binary regenerates one
+// figure/claim of the paper (see DESIGN.md section 5 and EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "net/transport.hpp"
+
+namespace dityco::benchutil {
+
+/// Build a network with `nodes` nodes and `sites_per_node` sites each,
+/// named s<node>_<k>.
+inline core::Network make_cluster(int nodes, int sites_per_node,
+                                  core::Network::Config cfg) {
+  core::Network net(cfg);
+  for (int n = 0; n < nodes; ++n) {
+    net.add_node();
+    for (int s = 0; s < sites_per_node; ++s)
+      net.add_site(static_cast<std::size_t>(n),
+                   "s" + std::to_string(n) + "_" + std::to_string(s));
+  }
+  return net;
+}
+
+inline core::Network::Config sim_config(const net::LinkModel& link,
+                                        double instr_per_us = 100.0) {
+  core::Network::Config cfg;
+  cfg.mode = core::Network::Mode::kSim;
+  cfg.link = link;
+  cfg.instr_per_us = instr_per_us;
+  return cfg;
+}
+
+/// A server program answering `val(x, reply)` with x+1, forever.
+inline std::string echo_server_src() {
+  return "export new svc in "
+         "def Serve(self) = self?{ val(x, r) = (r![x + 1] | Serve[self]) } "
+         "in Serve[svc]";
+}
+
+/// A client performing `n` chained RPCs against `server`'s svc.
+inline std::string chained_rpc_client_src(const std::string& server, int n) {
+  return "import svc from " + server +
+         " in def Loop(i, acc) = if i == 0 then print[\"done\", acc] "
+         "else let v = svc![acc] in Loop[i - 1, v] "
+         "in Loop[" + std::to_string(n) + ", 0]";
+}
+
+/// A client running `threads` independent RPC loops of `n` calls each —
+/// the latency-hiding workload (many small threads per site).
+inline std::string fanout_rpc_client_src(const std::string& server,
+                                         int threads, int n) {
+  std::string src = "import svc from " + server +
+                    " in def Loop(i, acc) = if i == 0 then print[\"t\", acc] "
+                    "else let v = svc![acc] in Loop[i - 1, v] in (";
+  for (int t = 0; t < threads; ++t) {
+    if (t) src += " | ";
+    src += "Loop[" + std::to_string(n) + ", " + std::to_string(t * 1000) +
+           "]";
+  }
+  return src + ")";
+}
+
+/// Pure local compute: a recursion burning roughly `iters` reductions.
+inline std::string spin_src(int iters) {
+  return "def Spin(i) = if i == 0 then 0 else Spin[i - 1] in Spin[" +
+         std::to_string(iters) + "]";
+}
+
+/// Markdown-style table row printing.
+inline void row(const std::vector<std::string>& cells) {
+  std::string line = "|";
+  for (const auto& c : cells) line += " " + c + " |";
+  std::puts(line.c_str());
+}
+
+inline std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+inline std::string fmt_int(std::uint64_t v) { return std::to_string(v); }
+
+inline void header(const std::string& title,
+                   const std::vector<std::string>& cols) {
+  std::printf("\n### %s\n", title.c_str());
+  row(cols);
+  std::vector<std::string> dashes(cols.size(), "---");
+  row(dashes);
+}
+
+}  // namespace dityco::benchutil

@@ -1,0 +1,323 @@
+#include "calculus/ast.hpp"
+
+#include <sstream>
+
+namespace dityco::calc {
+
+ExprPtr mk_int(std::int64_t v) {
+  return std::make_shared<Expr>(Expr{Expr::IntLit{v}});
+}
+ExprPtr mk_bool(bool v) { return std::make_shared<Expr>(Expr{Expr::BoolLit{v}}); }
+ExprPtr mk_float(double v) {
+  return std::make_shared<Expr>(Expr{Expr::FloatLit{v}});
+}
+ExprPtr mk_str(std::string v) {
+  return std::make_shared<Expr>(Expr{Expr::StrLit{std::move(v)}});
+}
+ExprPtr mk_var(NameRef r) {
+  return std::make_shared<Expr>(Expr{Expr::Var{std::move(r)}});
+}
+ExprPtr mk_var(std::string name) {
+  return mk_var(NameRef{std::nullopt, std::move(name)});
+}
+ExprPtr mk_binop(std::string op, ExprPtr l, ExprPtr r) {
+  return std::make_shared<Expr>(
+      Expr{Expr::Binop{std::move(op), std::move(l), std::move(r)}});
+}
+ExprPtr mk_unop(std::string op, ExprPtr e) {
+  return std::make_shared<Expr>(Expr{Expr::Unop{std::move(op), std::move(e)}});
+}
+
+ProcPtr mk_nil() {
+  static const ProcPtr nil = std::make_shared<Proc>(Proc{Proc::Nil{}});
+  return nil;
+}
+ProcPtr mk_par(ProcPtr l, ProcPtr r) {
+  return std::make_shared<Proc>(Proc{Proc::Par{std::move(l), std::move(r)}});
+}
+ProcPtr mk_par(std::vector<ProcPtr> ps) {
+  if (ps.empty()) return mk_nil();
+  ProcPtr acc = ps.back();
+  for (auto it = ps.rbegin() + 1; it != ps.rend(); ++it)
+    acc = mk_par(*it, acc);
+  return acc;
+}
+ProcPtr mk_new(std::vector<std::string> names, ProcPtr body) {
+  return std::make_shared<Proc>(
+      Proc{Proc::New{std::move(names), std::move(body)}});
+}
+ProcPtr mk_msg(NameRef target, std::string label, std::vector<ExprPtr> args) {
+  return std::make_shared<Proc>(
+      Proc{Proc::Msg{std::move(target), std::move(label), std::move(args)}});
+}
+ProcPtr mk_obj(NameRef target, std::vector<Abstraction> methods) {
+  return std::make_shared<Proc>(
+      Proc{Proc::Obj{std::move(target), std::move(methods)}});
+}
+ProcPtr mk_inst(NameRef cls, std::vector<ExprPtr> args) {
+  return std::make_shared<Proc>(
+      Proc{Proc::Inst{std::move(cls), std::move(args)}});
+}
+ProcPtr mk_def(std::vector<Abstraction> defs, ProcPtr body) {
+  return std::make_shared<Proc>(
+      Proc{Proc::Def{std::move(defs), std::move(body)}});
+}
+ProcPtr mk_if(ExprPtr c, ProcPtr t, ProcPtr e) {
+  return std::make_shared<Proc>(
+      Proc{Proc::If{std::move(c), std::move(t), std::move(e)}});
+}
+ProcPtr mk_print(std::vector<ExprPtr> args, ProcPtr cont) {
+  if (!cont) cont = mk_nil();
+  return std::make_shared<Proc>(
+      Proc{Proc::Print{std::move(args), std::move(cont)}});
+}
+ProcPtr mk_export_new(std::vector<std::string> names, ProcPtr body) {
+  return std::make_shared<Proc>(
+      Proc{Proc::ExportNew{std::move(names), std::move(body)}});
+}
+ProcPtr mk_export_def(std::vector<Abstraction> defs, ProcPtr body) {
+  return std::make_shared<Proc>(
+      Proc{Proc::ExportDef{std::move(defs), std::move(body)}});
+}
+ProcPtr mk_import_name(std::string name, std::string site, ProcPtr body) {
+  return std::make_shared<Proc>(
+      Proc{Proc::ImportName{std::move(name), std::move(site), std::move(body)}});
+}
+ProcPtr mk_import_class(std::string name, std::string site, ProcPtr body) {
+  return std::make_shared<Proc>(Proc{
+      Proc::ImportClass{std::move(name), std::move(site), std::move(body)}});
+}
+
+namespace {
+
+void print_ref(std::ostream& os, const NameRef& r) {
+  if (r.site) os << *r.site << '.';
+  os << r.name;
+}
+
+void print_expr(std::ostream& os, const Expr& e) {
+  std::visit(
+      [&](const auto& n) {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, Expr::IntLit>) {
+          os << n.v;
+        } else if constexpr (std::is_same_v<T, Expr::BoolLit>) {
+          os << (n.v ? "true" : "false");
+        } else if constexpr (std::is_same_v<T, Expr::FloatLit>) {
+          os << n.v;
+          if (n.v == static_cast<std::int64_t>(n.v)) os << ".0";
+        } else if constexpr (std::is_same_v<T, Expr::StrLit>) {
+          os << '"';
+          for (char c : n.v) {
+            if (c == '"' || c == '\\') os << '\\';
+            os << c;
+          }
+          os << '"';
+        } else if constexpr (std::is_same_v<T, Expr::Var>) {
+          print_ref(os, n.ref);
+        } else if constexpr (std::is_same_v<T, Expr::Binop>) {
+          os << '(';
+          print_expr(os, *n.l);
+          os << ' ' << n.op << ' ';
+          print_expr(os, *n.r);
+          os << ')';
+        } else if constexpr (std::is_same_v<T, Expr::Unop>) {
+          os << '(' << n.op;
+          print_expr(os, *n.e);
+          os << ')';
+        }
+      },
+      e.node);
+}
+
+void print_args(std::ostream& os, const std::vector<ExprPtr>& args) {
+  os << '[';
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i) os << ", ";
+    print_expr(os, *args[i]);
+  }
+  os << ']';
+}
+
+void print_proc(std::ostream& os, const Proc& p);
+
+void print_abs_list(std::ostream& os, const std::vector<Abstraction>& abs,
+                    const char* sep) {
+  for (std::size_t i = 0; i < abs.size(); ++i) {
+    if (i) os << ' ' << sep << ' ';
+    os << abs[i].name << '(';
+    for (std::size_t j = 0; j < abs[i].params.size(); ++j) {
+      if (j) os << ", ";
+      os << abs[i].params[j];
+    }
+    os << ") = ";
+    print_proc(os, *abs[i].body);
+  }
+}
+
+void print_proc(std::ostream& os, const Proc& p) {
+  std::visit(
+      [&](const auto& n) {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, Proc::Nil>) {
+          os << '0';
+        } else if constexpr (std::is_same_v<T, Proc::Par>) {
+          os << '(';
+          print_proc(os, *n.left);
+          os << " | ";
+          print_proc(os, *n.right);
+          os << ')';
+        } else if constexpr (std::is_same_v<T, Proc::New>) {
+          os << "(new ";
+          for (std::size_t i = 0; i < n.names.size(); ++i) {
+            if (i) os << ", ";
+            os << n.names[i];
+          }
+          os << " in ";
+          print_proc(os, *n.body);
+          os << ')';
+        } else if constexpr (std::is_same_v<T, Proc::Msg>) {
+          print_ref(os, n.target);
+          os << '!' << n.label;
+          print_args(os, n.args);
+        } else if constexpr (std::is_same_v<T, Proc::Obj>) {
+          print_ref(os, n.target);
+          os << "?{ ";
+          print_abs_list(os, n.methods, ",");
+          os << " }";
+        } else if constexpr (std::is_same_v<T, Proc::Inst>) {
+          print_ref(os, n.cls);
+          print_args(os, n.args);
+        } else if constexpr (std::is_same_v<T, Proc::Def>) {
+          os << "(def ";
+          print_abs_list(os, n.defs, "and");
+          os << " in ";
+          print_proc(os, *n.body);
+          os << ')';
+        } else if constexpr (std::is_same_v<T, Proc::If>) {
+          os << "(if ";
+          print_expr(os, *n.cond);
+          os << " then ";
+          print_proc(os, *n.then_p);
+          os << " else ";
+          print_proc(os, *n.else_p);
+          os << ')';
+        } else if constexpr (std::is_same_v<T, Proc::Print>) {
+          os << "print";
+          print_args(os, n.args);
+          if (!std::holds_alternative<Proc::Nil>(n.cont->node)) {
+            os << "; ";
+            print_proc(os, *n.cont);
+          }
+        } else if constexpr (std::is_same_v<T, Proc::ExportNew>) {
+          os << "(export new ";
+          for (std::size_t i = 0; i < n.names.size(); ++i) {
+            if (i) os << ", ";
+            os << n.names[i];
+          }
+          os << " in ";
+          print_proc(os, *n.body);
+          os << ')';
+        } else if constexpr (std::is_same_v<T, Proc::ExportDef>) {
+          os << "(export def ";
+          print_abs_list(os, n.defs, "and");
+          os << " in ";
+          print_proc(os, *n.body);
+          os << ')';
+        } else if constexpr (std::is_same_v<T, Proc::ImportName>) {
+          os << "(import " << n.name << " from " << n.site << " in ";
+          print_proc(os, *n.body);
+          os << ')';
+        } else if constexpr (std::is_same_v<T, Proc::ImportClass>) {
+          // Class imports are distinguished from name imports by the
+          // uppercase initial of the imported identifier.
+          os << "(import " << n.name << " from " << n.site << " in ";
+          print_proc(os, *n.body);
+          os << ')';
+        }
+      },
+      p.node);
+}
+
+std::size_t expr_nodes(const Expr& e) {
+  return std::visit(
+      [&](const auto& n) -> std::size_t {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, Expr::Binop>) {
+          return 1 + expr_nodes(*n.l) + expr_nodes(*n.r);
+        } else if constexpr (std::is_same_v<T, Expr::Unop>) {
+          return 1 + expr_nodes(*n.e);
+        } else {
+          return 1;
+        }
+      },
+      e.node);
+}
+
+std::size_t args_nodes(const std::vector<ExprPtr>& args) {
+  std::size_t n = 0;
+  for (const auto& a : args) n += expr_nodes(*a);
+  return n;
+}
+
+}  // namespace
+
+std::string to_string(const Proc& p) {
+  std::ostringstream os;
+  print_proc(os, p);
+  return os.str();
+}
+
+std::string to_string(const Expr& e) {
+  std::ostringstream os;
+  print_expr(os, e);
+  return os.str();
+}
+
+std::size_t node_count(const Proc& p) {
+  return std::visit(
+      [&](const auto& n) -> std::size_t {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, Proc::Nil>) {
+          return 1;
+        } else if constexpr (std::is_same_v<T, Proc::Par>) {
+          return 1 + node_count(*n.left) + node_count(*n.right);
+        } else if constexpr (std::is_same_v<T, Proc::New>) {
+          return 1 + n.names.size() + node_count(*n.body);
+        } else if constexpr (std::is_same_v<T, Proc::Msg>) {
+          return 1 + args_nodes(n.args);
+        } else if constexpr (std::is_same_v<T, Proc::Obj>) {
+          std::size_t c = 1;
+          for (const auto& m : n.methods)
+            c += 1 + m.params.size() + node_count(*m.body);
+          return c;
+        } else if constexpr (std::is_same_v<T, Proc::Inst>) {
+          return 1 + args_nodes(n.args);
+        } else if constexpr (std::is_same_v<T, Proc::Def>) {
+          std::size_t c = 1 + node_count(*n.body);
+          for (const auto& d : n.defs)
+            c += 1 + d.params.size() + node_count(*d.body);
+          return c;
+        } else if constexpr (std::is_same_v<T, Proc::If>) {
+          return 1 + expr_nodes(*n.cond) + node_count(*n.then_p) +
+                 node_count(*n.else_p);
+        } else if constexpr (std::is_same_v<T, Proc::Print>) {
+          return 1 + args_nodes(n.args) + node_count(*n.cont);
+        } else if constexpr (std::is_same_v<T, Proc::ExportNew>) {
+          return 1 + n.names.size() + node_count(*n.body);
+        } else if constexpr (std::is_same_v<T, Proc::ExportDef>) {
+          std::size_t c = 1 + node_count(*n.body);
+          for (const auto& d : n.defs)
+            c += 1 + d.params.size() + node_count(*d.body);
+          return c;
+        } else if constexpr (std::is_same_v<T, Proc::ImportName> ||
+                             std::is_same_v<T, Proc::ImportClass>) {
+          return 1 + node_count(*n.body);
+        } else {
+          return 1;
+        }
+      },
+      p.node);
+}
+
+}  // namespace dityco::calc

@@ -1,0 +1,196 @@
+// Abstract syntax of DiTyCO: the TyCO base calculus (section 2 of the
+// paper) extended with located identifiers and the export/import surface
+// constructs (sections 3 and 4). This AST is shared by the type checker,
+// the compiler and the reference reducer.
+//
+// Grammar (paper, fig. in section 2 + section 4):
+//   P ::= 0 | P|P | new x̄ P | x!l[v̄] | x?{l1(x̄1)=P1,...} | X[v̄]
+//       | def X1(x̄1)=P1 and ... in P
+//       | export new x̄ P | export def D in P
+//       | import x from s in P | import X from s in P
+// plus the practical extensions present in the TyCO language definition
+// and used by the paper's examples: builtin expressions (integers,
+// booleans, floats, strings, arithmetic/relational operators),
+// conditionals, and a print primitive (the paper's example uses
+// `print(w)`).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace dityco::calc {
+
+/// Occurrence of an identifier: a plain name `x` or a located name `s.x`.
+/// The surface language never writes located names explicitly; they are
+/// produced by the translation of `import` (section 4) and by tests that
+/// build network terms directly.
+struct NameRef {
+  std::optional<std::string> site;  // nullopt => plain (locally bound) name
+  std::string name;
+
+  bool located() const { return site.has_value(); }
+  bool operator==(const NameRef&) const = default;
+};
+
+inline bool operator<(const NameRef& a, const NameRef& b) {
+  if (a.site != b.site) return a.site < b.site;
+  return a.name < b.name;
+}
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Builtin expressions appearing as message/instantiation arguments and in
+/// conditionals.
+struct Expr {
+  struct IntLit {
+    std::int64_t v;
+  };
+  struct BoolLit {
+    bool v;
+  };
+  struct FloatLit {
+    double v;
+  };
+  struct StrLit {
+    std::string v;
+  };
+  struct Var {
+    NameRef ref;
+  };
+  /// op in { + - * / % == != < <= > >= && || ++ } (++ is string concat)
+  struct Binop {
+    std::string op;
+    ExprPtr l, r;
+  };
+  /// op in { - ! }
+  struct Unop {
+    std::string op;
+    ExprPtr e;
+  };
+
+  using Node = std::variant<IntLit, BoolLit, FloatLit, StrLit, Var, Binop, Unop>;
+  Node node;
+};
+
+ExprPtr mk_int(std::int64_t v);
+ExprPtr mk_bool(bool v);
+ExprPtr mk_float(double v);
+ExprPtr mk_str(std::string v);
+ExprPtr mk_var(NameRef r);
+ExprPtr mk_var(std::string name);
+ExprPtr mk_binop(std::string op, ExprPtr l, ExprPtr r);
+ExprPtr mk_unop(std::string op, ExprPtr e);
+
+struct Proc;
+using ProcPtr = std::shared_ptr<const Proc>;
+
+/// One method `l(x̄) = P` of an object, or one class `X(x̄) = P` of a
+/// definition block.
+struct Abstraction {
+  std::string name;  // method label or class variable
+  std::vector<std::string> params;
+  ProcPtr body;
+};
+
+struct Proc {
+  struct Nil {};
+  struct Par {
+    ProcPtr left, right;
+  };
+  /// new x1 ... xn P
+  struct New {
+    std::vector<std::string> names;
+    ProcPtr body;
+  };
+  /// x!l[ē]  (asynchronous labelled message)
+  struct Msg {
+    NameRef target;
+    std::string label;
+    std::vector<ExprPtr> args;
+  };
+  /// x?{l1(x̄1)=P1, ...}  (object: collection of methods at a name)
+  struct Obj {
+    NameRef target;
+    std::vector<Abstraction> methods;
+  };
+  /// X[ē]  (instance of a class)
+  struct Inst {
+    NameRef cls;
+    std::vector<ExprPtr> args;
+  };
+  /// def X1(x̄1)=P1 and ... in P (mutually recursive class definitions)
+  struct Def {
+    std::vector<Abstraction> defs;
+    ProcPtr body;
+  };
+  /// if e then P else Q
+  struct If {
+    ExprPtr cond;
+    ProcPtr then_p, else_p;
+  };
+  /// print[ē]; P — writes one line to the site's output, continues as P.
+  struct Print {
+    std::vector<ExprPtr> args;
+    ProcPtr cont;  // never null; Nil when no continuation written
+  };
+  /// export new x̄ P — declare x̄ and register them in the name service.
+  struct ExportNew {
+    std::vector<std::string> names;
+    ProcPtr body;
+  };
+  /// export def D in P — register the classes of D in the name service.
+  struct ExportDef {
+    std::vector<Abstraction> defs;
+    ProcPtr body;
+  };
+  /// import x from s in P  =>  P{s.x/x}
+  struct ImportName {
+    std::string name;
+    std::string site;
+    ProcPtr body;
+  };
+  /// import X from s in P  =>  P{s.X/X}
+  struct ImportClass {
+    std::string name;
+    std::string site;
+    ProcPtr body;
+  };
+
+  using Node = std::variant<Nil, Par, New, Msg, Obj, Inst, Def, If, Print,
+                            ExportNew, ExportDef, ImportName, ImportClass>;
+  Node node;
+};
+
+ProcPtr mk_nil();
+ProcPtr mk_par(ProcPtr l, ProcPtr r);
+/// Right-nested parallel composition of any number of processes.
+ProcPtr mk_par(std::vector<ProcPtr> ps);
+ProcPtr mk_new(std::vector<std::string> names, ProcPtr body);
+ProcPtr mk_msg(NameRef target, std::string label, std::vector<ExprPtr> args);
+ProcPtr mk_obj(NameRef target, std::vector<Abstraction> methods);
+ProcPtr mk_inst(NameRef cls, std::vector<ExprPtr> args);
+ProcPtr mk_def(std::vector<Abstraction> defs, ProcPtr body);
+ProcPtr mk_if(ExprPtr c, ProcPtr t, ProcPtr e);
+ProcPtr mk_print(std::vector<ExprPtr> args, ProcPtr cont);
+ProcPtr mk_export_new(std::vector<std::string> names, ProcPtr body);
+ProcPtr mk_export_def(std::vector<Abstraction> defs, ProcPtr body);
+ProcPtr mk_import_name(std::string name, std::string site, ProcPtr body);
+ProcPtr mk_import_class(std::string name, std::string site, ProcPtr body);
+
+/// The label used by the sugar x![v̄] / x?(x̄)=P (paper, section 2).
+inline constexpr const char* kValLabel = "val";
+
+/// Pretty-print (parseable by the compiler's parser; used for round-trip
+/// tests and diagnostics).
+std::string to_string(const Proc& p);
+std::string to_string(const Expr& e);
+
+/// Structural node count (AST size metric for bench C1 compactness).
+std::size_t node_count(const Proc& p);
+
+}  // namespace dityco::calc

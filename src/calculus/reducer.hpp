@@ -1,0 +1,174 @@
+// Reference reducer: a direct, single-threaded implementation of the
+// paper's operational semantics over networks of located processes
+// (rules COMM, INST, LOC, SHIPM, SHIPO, FETCH plus the structural rules,
+// section 3). It is deliberately a tree walker over the AST:
+//   * it serves as the executable specification against which the
+//     bytecode VM is differentially tested, and
+//   * it is the baseline interpreter for bench C1 ("compact and
+//     efficient" bytecode claim).
+//
+// Determinism: threads are scheduled FIFO from a single run queue and
+// channel queues are FIFO, so a given network reduces deterministically.
+//
+// Approximation: exported names are given the lexeme-keyed identity
+// Chan{site, x}, so a free occurrence of the same lexeme at the exporting
+// site aliases the export, and re-exporting a name rebinds the same
+// channel. The byte-code runtime is stricter (an export is a restricted
+// channel; free names are separate site globals), faithful to the formal
+// `new`. Programs that import what was exported behave identically under
+// both; avoid mixing an export with a same-named free name.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "calculus/ast.hpp"
+
+namespace dityco::calc {
+
+/// Concrete channel identity: a name x allocated at site s. `new` creates
+/// fresh uids; exported/free names use their source lexeme directly.
+struct Chan {
+  std::string site;
+  std::string uid;
+  auto operator<=>(const Chan&) const = default;
+};
+
+/// Runtime value of the reference machine.
+using RVal = std::variant<std::int64_t, bool, double, std::string, Chan>;
+
+/// Formats an RVal the way `print` renders it. Channels print as the
+/// opaque token "#chan" so output is comparable with the VM's.
+std::string rval_display(const RVal& v);
+
+class Reducer {
+ public:
+  struct Config {
+    std::uint64_t max_steps = 10'000'000;  // admin + reduction steps
+  };
+
+  struct Counters {
+    std::uint64_t comm = 0;   // COMMUNICATION reductions
+    std::uint64_t inst = 0;   // INSTANTIATION reductions
+    std::uint64_t shipm = 0;  // SHIPM: messages that crossed sites
+    std::uint64_t shipo = 0;  // SHIPO: objects that crossed sites
+    std::uint64_t fetch = 0;  // FETCH: class closures first linked remotely
+    std::uint64_t admin = 0;  // structural/administrative steps
+  };
+
+  struct Result {
+    bool quiescent = false;   // run queue drained, nothing parked
+    bool stalled = false;     // drained but imports wait on missing exports
+    bool budget_exhausted = false;
+    std::uint64_t pending_messages = 0;  // unconsumed messages at channels
+    std::uint64_t pending_objects = 0;   // unconsumed objects at channels
+    Counters counters;
+    std::vector<std::string> errors;  // runtime errors (dropped threads)
+  };
+
+  Reducer() = default;
+  explicit Reducer(Config cfg) : cfg_(cfg) {}
+
+  /// Submit a program for execution at `site` (the TyCOsh of the paper).
+  void add_program(const std::string& site, ProcPtr p);
+
+  /// Run to quiescence (or stall / step budget). May be called again after
+  /// adding more programs.
+  Result run();
+
+  /// Lines printed at `site`, in order.
+  const std::vector<std::string>& output(const std::string& site) const;
+
+  /// All sites that produced output or ran programs.
+  std::vector<std::string> sites() const;
+
+  /// Debug view: one line per channel holding pending messages/objects
+  /// ("site.uid: Nmsg/Mobj msg-labels..."). Channel uids carry their
+  /// source lexeme, which makes leftover-work reports readable.
+  std::vector<std::string> pending_description() const;
+
+ private:
+  struct ClassClosure;
+  struct Env;
+  using EnvPtr = std::shared_ptr<Env>;
+  using ClassPtr = std::shared_ptr<ClassClosure>;
+
+  /// Class-variable binding: a local closure or a located reference to a
+  /// class exported elsewhere (resolved at instantiation time = FETCH).
+  struct RemoteClass {
+    std::string site, name;
+  };
+  using ClassBinding = std::variant<ClassPtr, RemoteClass>;
+
+  struct ClassClosure {
+    std::string def_site;
+    std::string name;
+    std::vector<std::string> params;
+    ProcPtr body;
+    EnvPtr env;  // environment of the enclosing def (cyclic for recursion)
+  };
+
+  struct Env {
+    EnvPtr parent;
+    std::map<std::string, RVal> vars;
+    std::map<std::string, ClassBinding> classes;
+  };
+
+  struct Thread {
+    std::string site;
+    ProcPtr proc;
+    EnvPtr env;
+  };
+
+  struct PendingMsg {
+    std::string label;
+    std::vector<RVal> args;
+  };
+  struct PendingObj {
+    std::string origin_site;  // site the object was launched from (SHIPO)
+    std::vector<Abstraction> methods;
+    EnvPtr env;
+  };
+  struct Channel {
+    std::deque<PendingMsg> msgs;
+    std::deque<PendingObj> objs;
+  };
+
+  struct EvalError {
+    std::string what;
+  };
+
+  void step(Thread t);
+  RVal eval(const Expr& e, const EnvPtr& env, const std::string& site);
+  Chan resolve_chan(const NameRef& r, const EnvPtr& env,
+                    const std::string& site);
+  RVal resolve_val(const NameRef& r, const EnvPtr& env,
+                   const std::string& site);
+  void try_reduce(const Chan& c);
+  void spawn(Thread t) { queue_.push_back(std::move(t)); }
+  void park_on_class(const std::string& site, const std::string& name,
+                     Thread t);
+  void release_class_waiters(const std::string& site, const std::string& name);
+
+  Config cfg_{};
+  Counters counters_;
+  std::deque<Thread> queue_;
+  std::map<Chan, Channel> chans_;
+  std::map<std::pair<std::string, std::string>, ClassPtr> exported_classes_;
+  std::map<std::pair<std::string, std::string>, std::deque<Thread>>
+      class_waiters_;
+  /// Dynamic-link cache, keyed by (site, definition-block identity): the
+  /// paper downloads the whole block D on first use ("we opt to download D
+  /// instead of just the definition for X in it") and links it once, so a
+  /// FETCH is counted only on the first instantiation from that block.
+  std::set<std::pair<std::string, const Env*>> linked_;
+  std::map<std::string, std::vector<std::string>> outputs_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace dityco::calc

@@ -1,0 +1,344 @@
+#include "calculus/subst.hpp"
+
+#include <atomic>
+
+namespace dityco::calc {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Free identifier computation.
+// ---------------------------------------------------------------------
+
+struct FreeAcc {
+  std::set<std::string> plain_names;
+  std::set<std::string> located_names;  // "s.x"
+  std::set<std::string> plain_classes;
+};
+
+void free_expr(const Expr& e, std::set<std::string>& bound, FreeAcc& acc) {
+  std::visit(
+      [&](const auto& n) {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, Expr::Var>) {
+          if (n.ref.located()) {
+            acc.located_names.insert(*n.ref.site + "." + n.ref.name);
+          } else if (!bound.contains(n.ref.name)) {
+            acc.plain_names.insert(n.ref.name);
+          }
+        } else if constexpr (std::is_same_v<T, Expr::Binop>) {
+          free_expr(*n.l, bound, acc);
+          free_expr(*n.r, bound, acc);
+        } else if constexpr (std::is_same_v<T, Expr::Unop>) {
+          free_expr(*n.e, bound, acc);
+        }
+      },
+      e.node);
+}
+
+void free_ref(const NameRef& r, std::set<std::string>& bound, FreeAcc& acc) {
+  if (r.located()) {
+    acc.located_names.insert(*r.site + "." + r.name);
+  } else if (!bound.contains(r.name)) {
+    acc.plain_names.insert(r.name);
+  }
+}
+
+void free_class_ref(const NameRef& r, std::set<std::string>& bound_cls,
+                    FreeAcc& acc) {
+  if (r.located()) {
+    acc.located_names.insert(*r.site + "." + r.name);
+  } else if (!bound_cls.contains(r.name)) {
+    acc.plain_classes.insert(r.name);
+  }
+}
+
+/// RAII scope guard: inserts names into a bound set and removes the ones
+/// that were newly inserted on destruction.
+class Scope {
+ public:
+  Scope(std::set<std::string>& bound, const std::vector<std::string>& names)
+      : bound_(bound) {
+    for (const auto& n : names)
+      if (bound_.insert(n).second) added_.push_back(n);
+  }
+  ~Scope() {
+    for (const auto& n : added_) bound_.erase(n);
+  }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  std::set<std::string>& bound_;
+  std::vector<std::string> added_;
+};
+
+void free_proc(const Proc& p, std::set<std::string>& bound,
+               std::set<std::string>& bound_cls, FreeAcc& acc) {
+  std::visit(
+      [&](const auto& n) {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, Proc::Nil>) {
+        } else if constexpr (std::is_same_v<T, Proc::Par>) {
+          free_proc(*n.left, bound, bound_cls, acc);
+          free_proc(*n.right, bound, bound_cls, acc);
+        } else if constexpr (std::is_same_v<T, Proc::New> ||
+                             std::is_same_v<T, Proc::ExportNew>) {
+          Scope s(bound, n.names);
+          free_proc(*n.body, bound, bound_cls, acc);
+        } else if constexpr (std::is_same_v<T, Proc::Msg>) {
+          free_ref(n.target, bound, acc);
+          for (const auto& a : n.args) free_expr(*a, bound, acc);
+        } else if constexpr (std::is_same_v<T, Proc::Obj>) {
+          free_ref(n.target, bound, acc);
+          for (const auto& m : n.methods) {
+            Scope s(bound, m.params);
+            free_proc(*m.body, bound, bound_cls, acc);
+          }
+        } else if constexpr (std::is_same_v<T, Proc::Inst>) {
+          free_class_ref(n.cls, bound_cls, acc);
+          for (const auto& a : n.args) free_expr(*a, bound, acc);
+        } else if constexpr (std::is_same_v<T, Proc::Def> ||
+                             std::is_same_v<T, Proc::ExportDef>) {
+          std::vector<std::string> cls_names;
+          for (const auto& d : n.defs) cls_names.push_back(d.name);
+          Scope sc(bound_cls, cls_names);
+          for (const auto& d : n.defs) {
+            Scope sp(bound, d.params);
+            free_proc(*d.body, bound, bound_cls, acc);
+          }
+          free_proc(*n.body, bound, bound_cls, acc);
+        } else if constexpr (std::is_same_v<T, Proc::If>) {
+          free_expr(*n.cond, bound, acc);
+          free_proc(*n.then_p, bound, bound_cls, acc);
+          free_proc(*n.else_p, bound, bound_cls, acc);
+        } else if constexpr (std::is_same_v<T, Proc::Print>) {
+          for (const auto& a : n.args) free_expr(*a, bound, acc);
+          free_proc(*n.cont, bound, bound_cls, acc);
+        } else if constexpr (std::is_same_v<T, Proc::ImportName>) {
+          // import x from s in P binds x in P (as an alias for s.x).
+          Scope s(bound, {n.name});
+          free_proc(*n.body, bound, bound_cls, acc);
+        } else if constexpr (std::is_same_v<T, Proc::ImportClass>) {
+          Scope s(bound_cls, {n.name});
+          free_proc(*n.body, bound, bound_cls, acc);
+        }
+      },
+      p.node);
+}
+
+FreeAcc free_all(const Proc& p) {
+  FreeAcc acc;
+  std::set<std::string> bound, bound_cls;
+  free_proc(p, bound, bound_cls, acc);
+  return acc;
+}
+
+// ---------------------------------------------------------------------
+// Substitution engine: simultaneous, capture-avoiding rewriting of free
+// name and class-variable occurrences. Keys may be plain or located.
+// ---------------------------------------------------------------------
+
+using RefMap = std::map<NameRef, NameRef>;
+
+struct Engine {
+  RefMap nsub;   // name substitution
+  RefMap csub;   // class-variable substitution
+
+  NameRef map_name(const NameRef& r) const {
+    auto it = nsub.find(r);
+    return it == nsub.end() ? r : it->second;
+  }
+  NameRef map_class(const NameRef& r) const {
+    auto it = csub.find(r);
+    return it == csub.end() ? r : it->second;
+  }
+
+  /// Plain names that appear as *replacements*; a binder equal to one of
+  /// these would capture, so it must be freshened.
+  std::set<std::string> avoid(const RefMap& m) const {
+    std::set<std::string> out;
+    for (const auto& [k, v] : m)
+      if (!v.located()) out.insert(v.name);
+    return out;
+  }
+
+  ExprPtr expr(const ExprPtr& e) const {
+    return std::visit(
+        [&](const auto& n) -> ExprPtr {
+          using T = std::decay_t<decltype(n)>;
+          if constexpr (std::is_same_v<T, Expr::Var>) {
+            NameRef r = map_name(n.ref);
+            if (r == n.ref) return e;
+            return mk_var(std::move(r));
+          } else if constexpr (std::is_same_v<T, Expr::Binop>) {
+            return mk_binop(n.op, expr(n.l), expr(n.r));
+          } else if constexpr (std::is_same_v<T, Expr::Unop>) {
+            return mk_unop(n.op, expr(n.e));
+          } else {
+            return e;
+          }
+        },
+        e->node);
+  }
+
+  std::vector<ExprPtr> exprs(const std::vector<ExprPtr>& as) const {
+    std::vector<ExprPtr> out;
+    out.reserve(as.size());
+    for (const auto& a : as) out.push_back(expr(a));
+    return out;
+  }
+
+  /// Enter a scope binding `names` (plain). Returns the engine to use for
+  /// the body and rewrites `names` in place when freshening is required.
+  Engine bind_names(std::vector<std::string>& names) const {
+    Engine inner = *this;
+    const auto av = avoid(inner.nsub);
+    for (auto& x : names) {
+      inner.nsub.erase(NameRef{std::nullopt, x});
+      if (av.contains(x)) {
+        std::string fx = fresh_name(x);
+        inner.nsub[NameRef{std::nullopt, x}] = NameRef{std::nullopt, fx};
+        x = std::move(fx);
+      }
+    }
+    return inner;
+  }
+
+  Engine bind_classes(std::vector<std::string>& names) const {
+    Engine inner = *this;
+    const auto av = avoid(inner.csub);
+    for (auto& x : names) {
+      inner.csub.erase(NameRef{std::nullopt, x});
+      if (av.contains(x)) {
+        std::string fx = fresh_name(x);
+        inner.csub[NameRef{std::nullopt, x}] = NameRef{std::nullopt, fx};
+        x = std::move(fx);
+      }
+    }
+    return inner;
+  }
+
+  ProcPtr proc(const ProcPtr& p) const {
+    return std::visit(
+        [&](const auto& n) -> ProcPtr {
+          using T = std::decay_t<decltype(n)>;
+          if constexpr (std::is_same_v<T, Proc::Nil>) {
+            return p;
+          } else if constexpr (std::is_same_v<T, Proc::Par>) {
+            return mk_par(proc(n.left), proc(n.right));
+          } else if constexpr (std::is_same_v<T, Proc::New>) {
+            auto names = n.names;
+            Engine inner = bind_names(names);
+            return mk_new(std::move(names), inner.proc(n.body));
+          } else if constexpr (std::is_same_v<T, Proc::ExportNew>) {
+            auto names = n.names;
+            Engine inner = bind_names(names);
+            return mk_export_new(std::move(names), inner.proc(n.body));
+          } else if constexpr (std::is_same_v<T, Proc::Msg>) {
+            return mk_msg(map_name(n.target), n.label, exprs(n.args));
+          } else if constexpr (std::is_same_v<T, Proc::Obj>) {
+            std::vector<Abstraction> ms;
+            ms.reserve(n.methods.size());
+            for (const auto& m : n.methods) {
+              auto params = m.params;
+              Engine inner = bind_names(params);
+              ms.push_back({m.name, std::move(params), inner.proc(m.body)});
+            }
+            return mk_obj(map_name(n.target), std::move(ms));
+          } else if constexpr (std::is_same_v<T, Proc::Inst>) {
+            return mk_inst(map_class(n.cls), exprs(n.args));
+          } else if constexpr (std::is_same_v<T, Proc::Def> ||
+                               std::is_same_v<T, Proc::ExportDef>) {
+            std::vector<std::string> cls;
+            for (const auto& d : n.defs) cls.push_back(d.name);
+            Engine cinner = bind_classes(cls);
+            std::vector<Abstraction> ds;
+            ds.reserve(n.defs.size());
+            for (std::size_t i = 0; i < n.defs.size(); ++i) {
+              auto params = n.defs[i].params;
+              Engine inner = cinner.bind_names(params);
+              ds.push_back(
+                  {cls[i], std::move(params), inner.proc(n.defs[i].body)});
+            }
+            if constexpr (std::is_same_v<T, Proc::Def>)
+              return mk_def(std::move(ds), cinner.proc(n.body));
+            else
+              return mk_export_def(std::move(ds), cinner.proc(n.body));
+          } else if constexpr (std::is_same_v<T, Proc::If>) {
+            return mk_if(expr(n.cond), proc(n.then_p), proc(n.else_p));
+          } else if constexpr (std::is_same_v<T, Proc::Print>) {
+            return mk_print(exprs(n.args), proc(n.cont));
+          } else if constexpr (std::is_same_v<T, Proc::ImportName>) {
+            std::vector<std::string> names{n.name};
+            Engine inner = bind_names(names);
+            return mk_import_name(names[0], n.site, inner.proc(n.body));
+          } else if constexpr (std::is_same_v<T, Proc::ImportClass>) {
+            std::vector<std::string> names{n.name};
+            Engine inner = bind_classes(names);
+            return mk_import_class(names[0], n.site, inner.proc(n.body));
+          } else {
+            return p;
+          }
+        },
+        p->node);
+  }
+};
+
+}  // namespace
+
+std::set<std::string> free_names(const Proc& p) {
+  return free_all(p).plain_names;
+}
+
+std::set<std::string> free_located_names(const Proc& p) {
+  return free_all(p).located_names;
+}
+
+std::set<std::string> free_classes(const Proc& p) {
+  return free_all(p).plain_classes;
+}
+
+ProcPtr substitute_names(const ProcPtr& p,
+                         const std::map<std::string, NameRef>& sub) {
+  Engine e;
+  for (const auto& [k, v] : sub) e.nsub[NameRef{std::nullopt, k}] = v;
+  return e.proc(p);
+}
+
+ProcPtr substitute_classes(const ProcPtr& p,
+                           const std::map<std::string, NameRef>& sub) {
+  Engine e;
+  for (const auto& [k, v] : sub) e.csub[NameRef{std::nullopt, k}] = v;
+  return e.proc(p);
+}
+
+ProcPtr sigma_translate(const ProcPtr& p, const std::string& from,
+                        const std::string& to) {
+  const FreeAcc acc = free_all(*p);
+  Engine e;
+  for (const auto& x : acc.plain_names)
+    e.nsub[NameRef{std::nullopt, x}] = NameRef{from, x};
+  for (const auto& x : acc.plain_classes)
+    e.csub[NameRef{std::nullopt, x}] = NameRef{from, x};
+  // Located identifiers at the destination become plain again. We cannot
+  // distinguish located names from located classes syntactically in the
+  // free set, so register the rewrite in both maps (occurrence position
+  // disambiguates).
+  const std::string prefix = to + ".";
+  for (const auto& sx : acc.located_names) {
+    if (sx.rfind(prefix, 0) == 0) {
+      std::string x = sx.substr(prefix.size());
+      e.nsub[NameRef{to, x}] = NameRef{std::nullopt, x};
+      e.csub[NameRef{to, x}] = NameRef{std::nullopt, x};
+    }
+  }
+  return e.proc(p);
+}
+
+std::string fresh_name(const std::string& base) {
+  static std::atomic<std::uint64_t> counter{0};
+  return base + "$" + std::to_string(counter.fetch_add(1));
+}
+
+}  // namespace dityco::calc

@@ -1,0 +1,52 @@
+// Free identifiers, capture-avoiding substitution and the σ identifier
+// translation of section 3. These implement the static machinery of the
+// calculus; the reference reducer and the compiler's capture analysis are
+// built on top of them.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "calculus/ast.hpp"
+
+namespace dityco::calc {
+
+/// Free *plain* names of P (names not bound by new/method params/class
+/// params). Located names are network constants and are reported by
+/// free_located_names instead.
+std::set<std::string> free_names(const Proc& p);
+
+/// Free located names s.x occurring in P, as "s.x" strings.
+std::set<std::string> free_located_names(const Proc& p);
+
+/// Free *plain* class variables of P (not bound by an enclosing def).
+std::set<std::string> free_classes(const Proc& p);
+
+/// Capture-avoiding simultaneous substitution of names: every free
+/// occurrence of a key is replaced by the mapped NameRef. Binders that
+/// would capture a replacement are freshened. Used for the import
+/// translation P{s.x/x} and by tests of the formal rules.
+ProcPtr substitute_names(const ProcPtr& p,
+                         const std::map<std::string, NameRef>& sub);
+
+/// Capture-avoiding substitution of class variables (occurrences are
+/// instantiation heads X[v̄]).
+ProcPtr substitute_classes(const ProcPtr& p,
+                           const std::map<std::string, NameRef>& sub);
+
+/// The translation σ_r^s of section 3, applied to code moving from site
+/// `from` to site `to`:
+///   plain x          ->  from.x      (uploaded)
+///   to.x             ->  x           (localised at destination)
+///   other s'.x       ->  s'.x        (unchanged)
+/// applied to both names and class variables. Note: σ acts only on *free*
+/// identifiers; bound identifiers are untouched.
+ProcPtr sigma_translate(const ProcPtr& p, const std::string& from,
+                        const std::string& to);
+
+/// Fresh-name source for capture avoidance and the reducer; returns
+/// base$n with a process-global counter (thread-safe).
+std::string fresh_name(const std::string& base);
+
+}  // namespace dityco::calc

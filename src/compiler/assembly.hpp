@@ -1,0 +1,39 @@
+// Textual virtual-machine assembly.
+//
+// The paper's compilation pipeline is source -> "intermediate virtual
+// machine assembly" -> byte-code, with an almost one-to-one mapping
+// between the last two. This module provides that intermediate form: a
+// parseable, human-readable rendering of a compiled Program, and an
+// assembler turning it back into byte-code. to_assembly/from_assembly
+// round-trip exactly (same words, same pools, same dependencies).
+//
+// Format (one segment block per segment, in program order):
+//
+//   .segment 3 object            ; kind: root | object | class | plain
+//   .labels read write           ; method-label pool
+//   .strings "a" "b\n"           ; string pool (C-style escapes)
+//   .floats 1.5 -2e3             ; float pool
+//   .deps 4 5                    ; dependencies, by program segment index
+//   .table (0 1 13) (1 1 20)     ; object: (labelidx nparams offset)
+//                                ; class:  (nparams offset)
+//   .code
+//     13: load 0                 ; offsets are segment-relative words
+//     15: trmsg 0 1
+//     ...
+//   .end
+#pragma once
+
+#include <string>
+
+#include "compiler/codegen.hpp"
+#include "vm/segment.hpp"
+
+namespace dityco::comp {
+
+/// Render a compiled program as assembly text.
+std::string to_assembly(const vm::Program& p);
+
+/// Assemble back into a program. Throws CompileError on malformed input.
+vm::Program from_assembly(std::string_view asm_text);
+
+}  // namespace dityco::comp

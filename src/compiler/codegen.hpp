@@ -1,0 +1,44 @@
+// Code generator: DiTyCO AST -> segment byte-code for the TyCO VM.
+//
+// Compilation strategy (mirrors the paper's "nested structure of the
+// source program is preserved in the final byte-code"):
+//   * one *root* segment per program, with parallel branches compiled as
+//     in-segment forks;
+//   * one segment per object literal, holding the method table and all
+//     method bodies — the unit shipped by rule SHIPO;
+//   * one segment per definition block, holding the class table and all
+//     class bodies — the unit downloaded by rule FETCH.
+// Every free identifier of an object or definition block is captured by
+// value at creation time, so migrating the closure preserves lexical
+// scope (the σ translation is then performed on the captured values by
+// the marshaller, not on code).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "calculus/ast.hpp"
+#include "vm/segment.hpp"
+
+namespace dityco::comp {
+
+class CompileError : public std::runtime_error {
+ public:
+  explicit CompileError(const std::string& what)
+      : std::runtime_error("compile error: " + what) {}
+};
+
+/// Compile one site's program. Throws CompileError on unbound class
+/// variables, duplicate method labels, or explicitly-located identifiers
+/// (which the surface language introduces only via import). Runs the
+/// peephole optimiser unless `optimize` is false.
+vm::Program compile(const calc::ProcPtr& p, bool optimize = true);
+
+/// Convenience: parse then compile.
+vm::Program compile_source(std::string_view src, bool optimize = true);
+
+/// Disassemble a program (round-trip debugging aid; one instruction per
+/// line, with segment headers).
+std::string disassemble(const vm::Program& p);
+
+}  // namespace dityco::comp

@@ -1,0 +1,224 @@
+#include "compiler/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace dityco::comp {
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok> kKeywords = {
+    {"new", Tok::kNew},       {"in", Tok::kIn},       {"def", Tok::kDef},
+    {"and", Tok::kAnd},       {"export", Tok::kExport},
+    {"import", Tok::kImport}, {"from", Tok::kFrom},   {"if", Tok::kIf},
+    {"then", Tok::kThen},     {"else", Tok::kElse},   {"print", Tok::kPrint},
+    {"let", Tok::kLet},       {"true", Tok::kTrue},   {"false", Tok::kFalse},
+    {"site", Tok::kSite},
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1, col = 1;
+
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (i < src.size() && src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  auto peek = [&](std::size_t off = 0) -> char {
+    return i + off < src.size() ? src[i + off] : '\0';
+  };
+  auto push = [&](Tok k, std::string text = {}) {
+    out.push_back(Token{k, std::move(text), 0, 0, line, col});
+  };
+
+  while (i < src.size()) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '-' && peek(1) == '-') {  // line comment
+      while (i < src.size() && peek() != '\n') advance();
+      continue;
+    }
+    const int tline = line, tcol = col;
+    auto pushed = [&] { out.back().line = tline, out.back().col = tcol; };
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < src.size() && (std::isalnum(static_cast<unsigned char>(
+                                    peek())) ||
+                                peek() == '_' || peek() == '$'))
+        advance();
+      std::string_view word = src.substr(start, i - start);
+      auto kw = kKeywords.find(word);
+      if (kw != kKeywords.end()) {
+        push(kw->second);
+      } else if (std::isupper(static_cast<unsigned char>(word[0]))) {
+        push(Tok::kClass, std::string(word));
+      } else {
+        push(Tok::kIdent, std::string(word));
+      }
+      pushed();
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+      if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        advance();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+        if (peek() == 'e' || peek() == 'E') {
+          advance();
+          if (peek() == '+' || peek() == '-') advance();
+          while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+        }
+        Token t{Tok::kFloat, {}, 0, 0, tline, tcol};
+        t.float_val = std::stod(std::string(src.substr(start, i - start)));
+        out.push_back(t);
+      } else {
+        Token t{Tok::kInt, {}, 0, 0, tline, tcol};
+        t.int_val = std::stoll(std::string(src.substr(start, i - start)));
+        out.push_back(t);
+      }
+      continue;
+    }
+    if (c == '"') {
+      advance();
+      std::string s;
+      while (i < src.size() && peek() != '"') {
+        char ch = peek();
+        if (ch == '\\') {
+          advance();
+          char esc = peek();
+          switch (esc) {
+            case 'n': s += '\n'; break;
+            case 't': s += '\t'; break;
+            case '\\': s += '\\'; break;
+            case '"': s += '"'; break;
+            default:
+              throw LexError("unknown escape", line, col);
+          }
+          advance();
+        } else if (ch == '\n') {
+          throw LexError("unterminated string", tline, tcol);
+        } else {
+          s += ch;
+          advance();
+        }
+      }
+      if (i >= src.size()) throw LexError("unterminated string", tline, tcol);
+      advance();  // closing quote
+      out.push_back(Token{Tok::kString, std::move(s), 0, 0, tline, tcol});
+      continue;
+    }
+
+    auto two = [&](char a, char b) { return c == a && peek(1) == b; };
+    if (two('=', '=')) { push(Tok::kEq); pushed(); advance(2); continue; }
+    if (two('!', '=')) { push(Tok::kNe); pushed(); advance(2); continue; }
+    if (two('<', '=')) { push(Tok::kLe); pushed(); advance(2); continue; }
+    if (two('>', '=')) { push(Tok::kGe); pushed(); advance(2); continue; }
+    if (two('&', '&')) { push(Tok::kAndAnd); pushed(); advance(2); continue; }
+    if (two('|', '|')) { push(Tok::kOrOr); pushed(); advance(2); continue; }
+    if (two('+', '+')) { push(Tok::kConcat); pushed(); advance(2); continue; }
+
+    Tok k;
+    switch (c) {
+      case '!': k = Tok::kBang; break;
+      case '?': k = Tok::kQuery; break;
+      case '{': k = Tok::kLBrace; break;
+      case '}': k = Tok::kRBrace; break;
+      case '[': k = Tok::kLBrack; break;
+      case ']': k = Tok::kRBrack; break;
+      case '(': k = Tok::kLParen; break;
+      case ')': k = Tok::kRParen; break;
+      case ',': k = Tok::kComma; break;
+      case '.': k = Tok::kDot; break;
+      case ';': k = Tok::kSemi; break;
+      case '=': k = Tok::kAssign; break;
+      case '|': k = Tok::kBar; break;
+      case '+': k = Tok::kPlus; break;
+      case '-': k = Tok::kMinus; break;
+      case '*': k = Tok::kStar; break;
+      case '/': k = Tok::kSlash; break;
+      case '%': k = Tok::kPercent; break;
+      case '<': k = Tok::kLt; break;
+      case '>': k = Tok::kGt; break;
+      default:
+        throw LexError(std::string("unexpected character '") + c + "'", line,
+                       col);
+    }
+    push(k);
+    pushed();
+    advance();
+  }
+  out.push_back(Token{Tok::kEnd, {}, 0, 0, line, col});
+  return out;
+}
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::kEnd: return "end of input";
+    case Tok::kIdent: return "identifier";
+    case Tok::kClass: return "class identifier";
+    case Tok::kInt: return "integer";
+    case Tok::kFloat: return "float";
+    case Tok::kString: return "string";
+    case Tok::kNew: return "'new'";
+    case Tok::kIn: return "'in'";
+    case Tok::kDef: return "'def'";
+    case Tok::kAnd: return "'and'";
+    case Tok::kExport: return "'export'";
+    case Tok::kImport: return "'import'";
+    case Tok::kFrom: return "'from'";
+    case Tok::kIf: return "'if'";
+    case Tok::kThen: return "'then'";
+    case Tok::kElse: return "'else'";
+    case Tok::kPrint: return "'print'";
+    case Tok::kLet: return "'let'";
+    case Tok::kTrue: return "'true'";
+    case Tok::kFalse: return "'false'";
+    case Tok::kSite: return "'site'";
+    case Tok::kBang: return "'!'";
+    case Tok::kQuery: return "'?'";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLBrack: return "'['";
+    case Tok::kRBrack: return "']'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kComma: return "','";
+    case Tok::kDot: return "'.'";
+    case Tok::kSemi: return "';'";
+    case Tok::kAssign: return "'='";
+    case Tok::kBar: return "'|'";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kConcat: return "'++'";
+    case Tok::kEq: return "'=='";
+    case Tok::kNe: return "'!='";
+    case Tok::kLt: return "'<'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGt: return "'>'";
+    case Tok::kGe: return "'>='";
+    case Tok::kAndAnd: return "'&&'";
+    case Tok::kOrOr: return "'||'";
+    case Tok::kNot: return "'!'";
+  }
+  return "?";
+}
+
+}  // namespace dityco::comp

@@ -1,0 +1,95 @@
+// Lexer for the DiTyCO surface language. Tokens follow the paper's
+// notation: labelled messages `x!l[v]`, objects `x?{...}`, class
+// instantiation `X[v]`, plus keywords for the binders and the
+// export/import constructs of section 4. Line comments start with `--`.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dityco::comp {
+
+enum class Tok {
+  kEnd,
+  kIdent,    // lowercase-initial identifier (names, labels, sites)
+  kClass,    // uppercase-initial identifier (class variables)
+  kInt,
+  kFloat,
+  kString,
+  // keywords
+  kNew,
+  kIn,
+  kDef,
+  kAnd,
+  kExport,
+  kImport,
+  kFrom,
+  kIf,
+  kThen,
+  kElse,
+  kPrint,
+  kLet,
+  kTrue,
+  kFalse,
+  kSite,
+  // punctuation / operators
+  kBang,     // !
+  kQuery,    // ?
+  kLBrace,
+  kRBrace,
+  kLBrack,
+  kRBrack,
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kSemi,
+  kAssign,   // =
+  kBar,      // |
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kConcat,   // ++
+  kEq,       // ==
+  kNe,       // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAndAnd,
+  kOrOr,
+  kNot,      // ! in expression position is produced as kBang; parser decides
+};
+
+struct Token {
+  Tok kind;
+  std::string text;      // identifier lexeme / string contents
+  std::int64_t int_val = 0;
+  double float_val = 0;
+  int line = 0;
+  int col = 0;
+};
+
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& what, int line, int col)
+      : std::runtime_error("lex error at " + std::to_string(line) + ":" +
+                           std::to_string(col) + ": " + what),
+        line(line),
+        col(col) {}
+  int line, col;
+};
+
+/// Tokenise the whole input (throws LexError on malformed input). The
+/// result always ends with a kEnd token.
+std::vector<Token> lex(std::string_view src);
+
+/// Human-readable token kind name (diagnostics).
+const char* tok_name(Tok t);
+
+}  // namespace dityco::comp

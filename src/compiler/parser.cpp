@@ -1,0 +1,387 @@
+#include "compiler/parser.hpp"
+
+#include "calculus/subst.hpp"
+
+namespace dityco::comp {
+
+using calc::Abstraction;
+using calc::ExprPtr;
+using calc::NameRef;
+using calc::ProcPtr;
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : toks_(lex(src)) {}
+
+  ProcPtr program() {
+    ProcPtr p = proc();
+    expect(Tok::kEnd);
+    return p;
+  }
+
+  std::vector<std::pair<std::string, ProcPtr>> network() {
+    std::vector<std::pair<std::string, ProcPtr>> out;
+    if (cur().kind != Tok::kSite) {
+      out.emplace_back("main", program());
+      return out;
+    }
+    while (cur().kind == Tok::kSite) {
+      next();
+      std::string name = expect(Tok::kIdent).text;
+      expect(Tok::kLBrace);
+      out.emplace_back(std::move(name), proc());
+      expect(Tok::kRBrace);
+    }
+    expect(Tok::kEnd);
+    return out;
+  }
+
+  ExprPtr standalone_expr() {
+    ExprPtr e = expr();
+    expect(Tok::kEnd);
+    return e;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& peek(std::size_t off = 1) const {
+    return toks_[std::min(pos_ + off, toks_.size() - 1)];
+  }
+  Token next() { return toks_[pos_++]; }
+  bool accept(Tok k) {
+    if (cur().kind == k) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Token expect(Tok k) {
+    if (cur().kind != k)
+      fail(std::string("expected ") + tok_name(k) + ", found " +
+           tok_name(cur().kind));
+    return next();
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg, cur().line, cur().col);
+  }
+
+  // ---- processes -----------------------------------------------------
+
+  ProcPtr proc() {
+    ProcPtr p = term();
+    while (cur().kind == Tok::kBar) {
+      next();
+      p = calc::mk_par(std::move(p), term());
+    }
+    return p;
+  }
+
+  ProcPtr term() {
+    switch (cur().kind) {
+      case Tok::kInt:
+        if (cur().int_val == 0) {
+          next();
+          return calc::mk_nil();
+        }
+        fail("a process cannot start with an integer literal (use 0 for nil)");
+      case Tok::kLParen: {
+        next();
+        ProcPtr p = proc();
+        expect(Tok::kRParen);
+        return p;
+      }
+      case Tok::kNew:
+        next();
+        return new_tail(/*exported=*/false);
+      case Tok::kExport: {
+        next();
+        if (accept(Tok::kNew)) return new_tail(/*exported=*/true);
+        expect(Tok::kDef);
+        auto defs = def_list();
+        expect(Tok::kIn);
+        return calc::mk_export_def(std::move(defs), proc());
+      }
+      case Tok::kDef: {
+        next();
+        auto defs = def_list();
+        expect(Tok::kIn);
+        return calc::mk_def(std::move(defs), proc());
+      }
+      case Tok::kImport: {
+        next();
+        if (cur().kind == Tok::kClass) {
+          std::string name = next().text;
+          expect(Tok::kFrom);
+          std::string site = expect(Tok::kIdent).text;
+          expect(Tok::kIn);
+          return calc::mk_import_class(std::move(name), std::move(site),
+                                       proc());
+        }
+        std::string name = expect(Tok::kIdent).text;
+        expect(Tok::kFrom);
+        std::string site = expect(Tok::kIdent).text;
+        expect(Tok::kIn);
+        return calc::mk_import_name(std::move(name), std::move(site), proc());
+      }
+      case Tok::kIf: {
+        next();
+        ExprPtr c = expr();
+        expect(Tok::kThen);
+        ProcPtr t = term();
+        expect(Tok::kElse);
+        ProcPtr e = term();
+        return calc::mk_if(std::move(c), std::move(t), std::move(e));
+      }
+      case Tok::kPrint: {
+        next();
+        auto args = bracket_exprs();
+        ProcPtr cont = calc::mk_nil();
+        if (accept(Tok::kSemi)) cont = term();
+        return calc::mk_print(std::move(args), std::move(cont));
+      }
+      case Tok::kLet:
+        return let_sugar();
+      case Tok::kClass: {
+        NameRef cls{std::nullopt, next().text};
+        return calc::mk_inst(std::move(cls), bracket_exprs());
+      }
+      case Tok::kIdent:
+        return ident_term();
+      default:
+        fail(std::string("expected a process, found ") + tok_name(cur().kind));
+    }
+  }
+
+  ProcPtr new_tail(bool exported) {
+    std::vector<std::string> names;
+    names.push_back(expect(Tok::kIdent).text);
+    while (accept(Tok::kComma)) names.push_back(expect(Tok::kIdent).text);
+    accept(Tok::kIn);  // optional, as in the paper's `new x P`
+    ProcPtr body = proc_or_term_after_binder();
+    return exported ? calc::mk_export_new(std::move(names), std::move(body))
+                    : calc::mk_new(std::move(names), std::move(body));
+  }
+
+  /// After `new x̄ [in]` the scope extends as far right as possible.
+  ProcPtr proc_or_term_after_binder() { return proc(); }
+
+  /// let x = y!l[ē] in P  ≜  new r (y!l[ē, r] | r?(x) = P)
+  ProcPtr let_sugar() {
+    expect(Tok::kLet);
+    std::string var = expect(Tok::kIdent).text;
+    expect(Tok::kAssign);
+    NameRef target = name_ref();
+    expect(Tok::kBang);
+    std::string label = calc::kValLabel;
+    if (cur().kind == Tok::kIdent) label = next().text;
+    auto args = bracket_exprs();
+    expect(Tok::kIn);
+    ProcPtr body = proc();
+
+    std::string reply = calc::fresh_name("r");
+    args.push_back(calc::mk_var(reply));
+    ProcPtr msg = calc::mk_msg(std::move(target), std::move(label),
+                               std::move(args));
+    ProcPtr obj = calc::mk_obj(
+        NameRef{std::nullopt, reply},
+        {Abstraction{calc::kValLabel, {std::move(var)}, std::move(body)}});
+    return calc::mk_new({std::move(reply)},
+                        calc::mk_par(std::move(msg), std::move(obj)));
+  }
+
+  /// A term starting with a lowercase identifier: message, object, or a
+  /// located instantiation `s.X[ē]`.
+  ProcPtr ident_term() {
+    std::string first = expect(Tok::kIdent).text;
+    NameRef ref{std::nullopt, std::move(first)};
+    if (accept(Tok::kDot)) {
+      if (cur().kind == Tok::kClass) {
+        NameRef cls{ref.name, next().text};
+        return calc::mk_inst(std::move(cls), bracket_exprs());
+      }
+      ref = NameRef{ref.name, expect(Tok::kIdent).text};
+    }
+    if (accept(Tok::kBang)) {
+      std::string label = calc::kValLabel;
+      if (cur().kind == Tok::kIdent) label = next().text;
+      return calc::mk_msg(std::move(ref), std::move(label), bracket_exprs());
+    }
+    if (accept(Tok::kQuery)) {
+      if (cur().kind == Tok::kLBrace) {
+        next();
+        std::vector<Abstraction> methods;
+        methods.push_back(method());
+        while (accept(Tok::kComma)) methods.push_back(method());
+        expect(Tok::kRBrace);
+        return calc::mk_obj(std::move(ref), std::move(methods));
+      }
+      // Sugar: x?(a, b) = T  where T is a single term.
+      std::vector<std::string> params = paren_params();
+      expect(Tok::kAssign);
+      return calc::mk_obj(std::move(ref), {Abstraction{calc::kValLabel,
+                                                       std::move(params),
+                                                       term()}});
+    }
+    fail("expected '!' (message), '?' (object) or '.' after name");
+  }
+
+  Abstraction method() {
+    std::string label = expect(Tok::kIdent).text;
+    std::vector<std::string> params = paren_params();
+    expect(Tok::kAssign);
+    return Abstraction{std::move(label), std::move(params), proc()};
+  }
+
+  std::vector<Abstraction> def_list() {
+    std::vector<Abstraction> defs;
+    do {
+      std::string name = expect(Tok::kClass).text;
+      std::vector<std::string> params = paren_params();
+      expect(Tok::kAssign);
+      defs.push_back(Abstraction{std::move(name), std::move(params), proc()});
+    } while (accept(Tok::kAnd));
+    return defs;
+  }
+
+  std::vector<std::string> paren_params() {
+    expect(Tok::kLParen);
+    std::vector<std::string> params;
+    if (cur().kind != Tok::kRParen) {
+      params.push_back(expect(Tok::kIdent).text);
+      while (accept(Tok::kComma))
+        params.push_back(expect(Tok::kIdent).text);
+    }
+    expect(Tok::kRParen);
+    return params;
+  }
+
+  std::vector<ExprPtr> bracket_exprs() {
+    expect(Tok::kLBrack);
+    std::vector<ExprPtr> args;
+    if (cur().kind != Tok::kRBrack) {
+      args.push_back(expr());
+      while (accept(Tok::kComma)) args.push_back(expr());
+    }
+    expect(Tok::kRBrack);
+    return args;
+  }
+
+  NameRef name_ref() {
+    std::string first = expect(Tok::kIdent).text;
+    if (accept(Tok::kDot))
+      return NameRef{std::move(first), expect(Tok::kIdent).text};
+    return NameRef{std::nullopt, std::move(first)};
+  }
+
+  // ---- expressions ---------------------------------------------------
+
+  ExprPtr expr() { return or_expr(); }
+
+  ExprPtr or_expr() {
+    ExprPtr e = and_expr();
+    while (cur().kind == Tok::kOrOr) {
+      next();
+      e = calc::mk_binop("||", std::move(e), and_expr());
+    }
+    return e;
+  }
+
+  ExprPtr and_expr() {
+    ExprPtr e = cmp_expr();
+    while (cur().kind == Tok::kAndAnd) {
+      next();
+      e = calc::mk_binop("&&", std::move(e), cmp_expr());
+    }
+    return e;
+  }
+
+  ExprPtr cmp_expr() {
+    ExprPtr e = add_expr();
+    const char* op = nullptr;
+    switch (cur().kind) {
+      case Tok::kEq: op = "=="; break;
+      case Tok::kNe: op = "!="; break;
+      case Tok::kLt: op = "<"; break;
+      case Tok::kLe: op = "<="; break;
+      case Tok::kGt: op = ">"; break;
+      case Tok::kGe: op = ">="; break;
+      default: return e;
+    }
+    next();
+    return calc::mk_binop(op, std::move(e), add_expr());
+  }
+
+  ExprPtr add_expr() {
+    ExprPtr e = mul_expr();
+    for (;;) {
+      const char* op = nullptr;
+      if (cur().kind == Tok::kPlus) op = "+";
+      else if (cur().kind == Tok::kMinus) op = "-";
+      else if (cur().kind == Tok::kConcat) op = "++";
+      else break;
+      next();
+      e = calc::mk_binop(op, std::move(e), mul_expr());
+    }
+    return e;
+  }
+
+  ExprPtr mul_expr() {
+    ExprPtr e = unary_expr();
+    for (;;) {
+      const char* op = nullptr;
+      if (cur().kind == Tok::kStar) op = "*";
+      else if (cur().kind == Tok::kSlash) op = "/";
+      else if (cur().kind == Tok::kPercent) op = "%";
+      else break;
+      next();
+      e = calc::mk_binop(op, std::move(e), unary_expr());
+    }
+    return e;
+  }
+
+  ExprPtr unary_expr() {
+    if (accept(Tok::kMinus)) return calc::mk_unop("-", unary_expr());
+    if (accept(Tok::kBang)) return calc::mk_unop("!", unary_expr());
+    return atom();
+  }
+
+  ExprPtr atom() {
+    switch (cur().kind) {
+      case Tok::kInt: return calc::mk_int(next().int_val);
+      case Tok::kFloat: return calc::mk_float(next().float_val);
+      case Tok::kString: return calc::mk_str(next().text);
+      case Tok::kTrue: next(); return calc::mk_bool(true);
+      case Tok::kFalse: next(); return calc::mk_bool(false);
+      case Tok::kIdent: return calc::mk_var(name_ref());
+      case Tok::kLParen: {
+        next();
+        ExprPtr e = expr();
+        expect(Tok::kRParen);
+        return e;
+      }
+      default:
+        fail(std::string("expected an expression, found ") +
+             tok_name(cur().kind));
+    }
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ProcPtr parse_program(std::string_view src) { return Parser(src).program(); }
+
+std::vector<std::pair<std::string, ProcPtr>> parse_network(
+    std::string_view src) {
+  return Parser(src).network();
+}
+
+ExprPtr parse_expr(std::string_view src) {
+  return Parser(src).standalone_expr();
+}
+
+}  // namespace dityco::comp

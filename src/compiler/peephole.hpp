@@ -1,0 +1,24 @@
+// Peephole optimiser over compiled byte-code.
+//
+// The paper leans on its type system "to collect important information
+// for code optimization" (section 1, advantage 4); this pass is the
+// byte-code half of that story: local, semantics-preserving rewrites
+// applied after code generation —
+//   * integer/boolean constant folding (pushi a; pushi b; add -> pushi),
+//   * negation/not folding,
+//   * branch folding (pushb true; jmpf _  ->  nothing;
+//                     pushb false; jmpf t ->  jmp t),
+//   * jump-to-next elimination,
+// with jump targets and method/class-table offsets remapped. Division and
+// modulo by a zero constant are left alone (they must fail at run time,
+// exactly like the unoptimised program).
+#pragma once
+
+#include "vm/segment.hpp"
+
+namespace dityco::comp {
+
+/// Optimise a program in place. Returns the number of code words removed.
+std::size_t peephole(vm::Program& p);
+
+}  // namespace dityco::comp

@@ -1,0 +1,124 @@
+#include "core/nameservice.hpp"
+
+#include "core/wire.hpp"
+
+namespace dityco::core {
+
+namespace {
+constexpr std::uint32_t kNsDstSite = 0xffffffffu;
+}
+
+void NameService::register_site(const std::string& name, std::uint32_t node,
+                                std::uint32_t site) {
+  sites_[name] = SiteInfo{node, site};
+}
+
+std::optional<NameService::SiteInfo> NameService::lookup_site(
+    const std::string& name) const {
+  auto it = sites_.find(name);
+  if (it == sites_.end()) return std::nullopt;
+  return it->second;
+}
+
+void NameService::reply_to(const Waiter& w, const Entry& e, bool ok,
+                           std::vector<net::Packet>& replies) {
+  Writer out;
+  out.u8(static_cast<std::uint8_t>(MsgType::kNsReply));
+  out.u32(w.site);
+  out.u64(w.token);
+  out.boolean(ok);
+  write_netref(out, e.ref);
+  out.str(e.type_sig);
+  net::Packet p;
+  p.src_node = home_node_;
+  p.dst_node = w.node;
+  p.bytes = out.take();
+  replies.push_back(std::move(p));
+  ++stats_.replies;
+}
+
+void NameService::register_id(const std::string& site, const std::string& name,
+                              const vm::NetRef& ref,
+                              const std::string& type_sig,
+                              std::vector<net::Packet>& replies) {
+  ++stats_.exports;
+  const Key key{site, name};
+  ids_[key] = Entry{ref, type_sig};
+  auto it = waiting_.find(key);
+  if (it == waiting_.end()) return;
+  for (const Waiter& w : it->second)
+    reply_to(w, ids_[key], w.kind == ref.kind, replies);
+  waiting_.erase(it);
+}
+
+void NameService::handle_export(Reader& r, std::vector<net::Packet>& replies) {
+  const std::string site = r.str();
+  const std::string name = r.str();
+  const vm::NetRef ref = read_netref(r);
+  const std::string sig = r.str();
+  register_id(site, name, ref, sig, replies);
+}
+
+void NameService::handle_lookup(Reader& r, std::vector<net::Packet>& replies) {
+  ++stats_.lookups;
+  const std::string site = r.str();
+  const std::string name = r.str();
+  Waiter w;
+  w.kind = static_cast<vm::NetRef::Kind>(r.u8());
+  w.node = r.u32();
+  w.site = r.u32();
+  w.token = r.u64();
+  const Key key{site, name};
+  auto it = ids_.find(key);
+  if (it != ids_.end()) {
+    reply_to(w, it->second, w.kind == it->second.ref.kind, replies);
+    return;
+  }
+  // Not exported yet: park until it is (blocking import).
+  waiting_[key].push_back(w);
+  ++stats_.parked_total;
+}
+
+std::optional<vm::NetRef> NameService::lookup_id(const std::string& site,
+                                                 const std::string& name) const {
+  auto it = ids_.find({site, name});
+  if (it == ids_.end()) return std::nullopt;
+  return it->second.ref;
+}
+
+std::size_t NameService::parked() const {
+  std::size_t n = 0;
+  for (const auto& [k, v] : waiting_) n += v.size();
+  return n;
+}
+
+std::vector<std::uint8_t> NameService::make_export(
+    std::uint32_t /*dst_site_unused*/, const std::string& site,
+    const std::string& name, const vm::NetRef& ref,
+    const std::string& type_sig) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kNsExport));
+  w.u32(kNsDstSite);
+  w.str(site);
+  w.str(name);
+  write_netref(w, ref);
+  w.str(type_sig);
+  return w.take();
+}
+
+std::vector<std::uint8_t> NameService::make_lookup(
+    const std::string& site, const std::string& name, vm::NetRef::Kind kind,
+    std::uint32_t req_node, std::uint32_t req_site, std::uint64_t token) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kNsLookup));
+  w.u32(kNsDstSite);
+  w.str(site);
+  w.str(name);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(req_node);
+  w.u32(req_site);
+  w.u64(token);
+  return w.take();
+}
+
+}  // namespace dityco::core

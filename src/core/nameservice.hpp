@@ -1,0 +1,106 @@
+// The Network Name Service (paper, section 5 "NETWORKS").
+//
+// Two tables, exactly as in the paper:
+//   SiteTable: SiteName -> (SiteId, IpAddress)         [here: (node, site)]
+//   IdTable:   SiteName x IdName -> HeapId             [plus kind + type]
+// The service is centralised and reachable only through daemon packets
+// (it is hosted by one node's TyCOd); distribution of the service itself
+// is listed as future work in the paper.
+//
+// Imports of identifiers that have not been exported yet are *parked*
+// here and answered as soon as the export arrives — this is what makes
+// `import` a blocking construct without busy-waiting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "support/bytes.hpp"
+#include "vm/value.hpp"
+
+namespace dityco::core {
+
+class NameService {
+ public:
+  struct SiteInfo {
+    std::uint32_t node = 0;
+    std::uint32_t site = 0;
+  };
+
+  struct Stats {
+    std::uint64_t exports = 0;
+    std::uint64_t lookups = 0;
+    std::uint64_t replies = 0;
+    std::uint64_t parked_total = 0;
+  };
+
+  explicit NameService(std::uint32_t home_node = 0) : home_node_(home_node) {}
+
+  std::uint32_t home_node() const { return home_node_; }
+
+  // -- SiteTable (populated at site creation; "all sites know its
+  //    location in advance") --
+  void register_site(const std::string& name, std::uint32_t node,
+                     std::uint32_t site);
+  std::optional<SiteInfo> lookup_site(const std::string& name) const;
+
+  // -- IdTable, via packets --
+
+  /// Handle a kNsExport payload (Reader positioned after the header).
+  void handle_export(Reader& r, std::vector<net::Packet>& replies);
+  /// Handle a kNsLookup payload; replies immediately if the identifier is
+  /// known, parks the request otherwise.
+  void handle_lookup(Reader& r, std::vector<net::Packet>& replies);
+
+  /// Direct registration (used by tests and the TyCOsh bootstrap).
+  void register_id(const std::string& site, const std::string& name,
+                   const vm::NetRef& ref, const std::string& type_sig,
+                   std::vector<net::Packet>& replies);
+
+  std::optional<vm::NetRef> lookup_id(const std::string& site,
+                                      const std::string& name) const;
+
+  std::size_t parked() const;
+  const Stats& stats() const { return stats_; }
+
+  // -- payload builders (used by sites) --
+  static std::vector<std::uint8_t> make_export(std::uint32_t dst_site_unused,
+                                               const std::string& site,
+                                               const std::string& name,
+                                               const vm::NetRef& ref,
+                                               const std::string& type_sig);
+  static std::vector<std::uint8_t> make_lookup(const std::string& site,
+                                               const std::string& name,
+                                               vm::NetRef::Kind kind,
+                                               std::uint32_t req_node,
+                                               std::uint32_t req_site,
+                                               std::uint64_t token);
+
+ private:
+  struct Entry {
+    vm::NetRef ref;
+    std::string type_sig;
+  };
+  struct Waiter {
+    std::uint32_t node = 0;
+    std::uint32_t site = 0;
+    std::uint64_t token = 0;
+    vm::NetRef::Kind kind = vm::NetRef::Kind::kChan;
+  };
+  using Key = std::pair<std::string, std::string>;
+
+  void reply_to(const Waiter& w, const Entry& e, bool ok,
+                std::vector<net::Packet>& replies);
+
+  std::uint32_t home_node_;
+  std::map<std::string, SiteInfo> sites_;
+  std::map<Key, Entry> ids_;
+  std::map<Key, std::vector<Waiter>> waiting_;
+  Stats stats_;
+};
+
+}  // namespace dityco::core

@@ -1,0 +1,342 @@
+#include "core/network.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "compiler/codegen.hpp"
+#include "types/infer.hpp"
+#include "compiler/parser.hpp"
+
+namespace dityco::core {
+
+Network::Network(Config cfg)
+    : cfg_(cfg), ns_(std::make_unique<NameService>(0)) {}
+
+Network::~Network() = default;
+
+Node& Network::add_node() {
+  if (transport_)
+    throw std::logic_error("cannot add nodes after the network started");
+  nodes_.push_back(
+      std::make_unique<Node>(static_cast<std::uint32_t>(nodes_.size()), *ns_));
+  return *nodes_.back();
+}
+
+Site& Network::add_site(std::size_t node_idx, const std::string& name) {
+  if (find_site(name))
+    throw std::logic_error("duplicate site name " + name);
+  return nodes_.at(node_idx)->add_site(name);
+}
+
+Site* Network::find_site(const std::string& name) {
+  for (auto& n : nodes_)
+    for (auto& s : n->sites())
+      if (s->name() == name) return s.get();
+  return nullptr;
+}
+
+void Network::submit(const std::string& site_name, const calc::ProcPtr& prog) {
+  Site* s = find_site(site_name);
+  if (!s) throw std::logic_error("no such site: " + site_name);
+  if (cfg_.typecheck) {
+    types::InferResult tr = types::infer(prog);
+    for (auto& [name, sig] : tr.exports) s->set_export_signature(name, sig);
+    for (auto& req : tr.imports)
+      s->expect_import_signature(req.site, req.name, req.signature);
+  }
+  s->submit(comp::compile(prog));
+}
+
+void Network::submit_source(const std::string& site_name,
+                            std::string_view src) {
+  submit(site_name, comp::parse_program(src));
+}
+
+void Network::submit_network_source(std::string_view src) {
+  for (auto& [site, prog] : comp::parse_network(src)) submit(site, prog);
+}
+
+net::Transport& Network::transport() {
+  if (!transport_) {
+    if (cfg_.mode == Mode::kSim)
+      transport_ = std::make_unique<net::SimTransport>(nodes_.size(),
+                                                       cfg_.link);
+    else
+      transport_ = std::make_unique<net::InProcTransport>(nodes_.size());
+  }
+  return *transport_;
+}
+
+const std::vector<std::string>& Network::output(const std::string& site_name) {
+  Site* s = find_site(site_name);
+  if (!s) throw std::logic_error("no such site: " + site_name);
+  return s->machine().output();
+}
+
+std::vector<std::string> Network::all_errors() const {
+  std::vector<std::string> out;
+  for (const auto& n : nodes_)
+    for (const auto& s : n->sites()) {
+      for (const auto& e : s->errors()) out.push_back(e);
+      for (const auto& e : s->machine().errors()) out.push_back(e);
+    }
+  return out;
+}
+
+bool Network::anything_parked() const {
+  if (ns_->parked() > 0) return true;
+  for (const auto& n : nodes_) {
+    if (n->name_service().parked() > 0) return true;
+    for (const auto& s : n->sites())
+      if (!s->failed() && s->machine().parked() > 0) return true;
+  }
+  return false;
+}
+
+Network::Result Network::finish(Result r) const {
+  r.stalled = anything_parked();
+  r.quiescent = !r.stalled && !r.budget_exhausted;
+  if (transport_) {
+    r.packets = transport_->packets_sent();
+    r.bytes = transport_->bytes_sent();
+  }
+  return r;
+}
+
+Network::Result Network::run() {
+  if (cfg_.distributed_ns && !ns_distributed_) {
+    ns_distributed_ = true;
+    for (auto& node : nodes_) {
+      node->enable_local_ns(static_cast<std::uint32_t>(nodes_.size()));
+      for (auto& other : nodes_)
+        for (auto& s : other->sites())
+          node->name_service().register_site(s->name(), other->id(),
+                                             s->site_id());
+    }
+  }
+  switch (cfg_.mode) {
+    case Mode::kSequential: return run_sequential();
+    case Mode::kThreaded: return run_threaded();
+    case Mode::kSim: return run_sim();
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------
+// Sequential driver
+// ---------------------------------------------------------------------
+
+Network::Result Network::run_sequential() {
+  net::Transport& t = transport();
+  Result res;
+  for (;;) {
+    std::size_t moved = 0;
+    std::uint64_t executed = 0;
+    for (auto& n : nodes_) moved += n->pump_incoming(t, 0);
+    for (auto& n : nodes_) {
+      for (std::size_t i = 0; i < n->sites().size(); ++i) {
+        Site& s = *n->sites()[i];
+        moved += s.process_incoming();
+        executed += s.run_slice(cfg_.slice);
+        moved += n->pump_site_outgoing(t, i, 0);
+      }
+    }
+    instructions_run_ += executed;
+    res.instructions += executed;
+    if (instructions_run_ > cfg_.max_instructions) {
+      res.budget_exhausted = true;
+      break;
+    }
+    if (moved == 0 && executed == 0 && t.in_flight() == 0) break;
+  }
+  return finish(res);
+}
+
+// ---------------------------------------------------------------------
+// Threaded driver: one executor thread per site, one daemon per node
+// ---------------------------------------------------------------------
+
+Network::Result Network::run_threaded() {
+  net::Transport& t = transport();
+  Result res;
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> executed{0};
+  // Per-site idleness hints, updated only by the owning executor thread.
+  std::vector<std::unique_ptr<std::atomic<bool>>> idle_hints;
+  std::vector<Site*> sites;
+  for (auto& n : nodes_)
+    for (auto& s : n->sites()) {
+      sites.push_back(s.get());
+      idle_hints.push_back(std::make_unique<std::atomic<bool>>(false));
+    }
+
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    threads.emplace_back([&, i] {
+      Site& s = *sites[i];
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t applied = s.process_incoming();
+        const std::uint64_t ran = s.run_slice(cfg_.slice);
+        executed.fetch_add(ran, std::memory_order_relaxed);
+        const bool idle =
+            applied == 0 && ran == 0 && s.incoming_size() == 0;
+        idle_hints[i]->store(idle, std::memory_order_release);
+        if (idle) std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    });
+  }
+  for (auto& n : nodes_) {
+    threads.emplace_back([&, node = n.get()] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t moved =
+            node->pump_incoming(t, 0) + node->pump_outgoing(t, 0);
+        if (moved == 0)
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    });
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(cfg_.timeout_ms);
+  auto all_drained = [&] {
+    if (t.in_flight() != 0) return false;
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      if (!idle_hints[i]->load(std::memory_order_acquire)) return false;
+      if (sites[i]->incoming_size() != 0 || sites[i]->outgoing_size() != 0)
+        return false;
+    }
+    return true;
+  };
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    if (executed.load(std::memory_order_relaxed) > cfg_.max_instructions) {
+      res.budget_exhausted = true;
+      break;
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      res.budget_exhausted = true;
+      break;
+    }
+    if (all_drained()) {
+      // Double-check after a grace period to close enqueue races.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (all_drained()) break;
+    }
+  }
+  stop.store(true);
+  for (auto& th : threads) th.join();
+  res.instructions = executed.load();
+  instructions_run_ += res.instructions;
+  return finish(res);
+}
+
+// ---------------------------------------------------------------------
+// Simulated-cluster driver (conservative virtual time)
+// ---------------------------------------------------------------------
+
+Network::Result Network::run_sim() {
+  auto& t = dynamic_cast<net::SimTransport&>(transport());
+  Result res;
+
+  struct SiteRef {
+    Node* node;
+    Site* site;
+    std::size_t idx_in_node;
+  };
+  std::vector<SiteRef> sites;
+  std::vector<double> clock;
+  for (auto& n : nodes_)
+    for (std::size_t i = 0; i < n->sites().size(); ++i) {
+      sites.push_back(SiteRef{n.get(), n->sites()[i].get(), i});
+      clock.push_back(0.0);
+    }
+  auto site_index = [&](std::uint32_t node, std::uint32_t site) {
+    for (std::size_t i = 0; i < sites.size(); ++i)
+      if (sites[i].node->id() == node && sites[i].site->site_id() == site)
+        return i;
+    throw std::logic_error("unknown site in packet");
+  };
+  // The centralised name service is one server: its requests serialise.
+  double ns_clock = 0.0;
+
+  // Deliver packets that have arrived by their destination site's clock.
+  // With `force`, the earliest pending packet is delivered anyway and the
+  // (idle) receiver's clock advances to its arrival time — this is how
+  // virtual time progresses when every site is blocked on the network.
+  auto deliver = [&](bool force) {
+    bool any = false;
+    for (auto& n : nodes_) {
+      for (;;) {
+        double arrival = 0;
+        const net::Packet* head = t.peek(n->id(), arrival);
+        if (!head) break;
+        std::size_t idx = SIZE_MAX;
+        // The NS daemon is modelled as always ready; site packets wait
+        // until the receiving site's virtual clock reaches the arrival.
+        if (!packet_is_ns(*head)) {
+          idx = site_index(n->id(), packet_dst_site(*head));
+          // An idle receiver is simply waiting: its clock may jump to the
+          // arrival. A busy receiver only sees the packet once its own
+          // clock catches up.
+          Site& rx = *sites[idx].site;
+          const bool rx_idle =
+              rx.machine().idle() && rx.incoming_size() == 0;
+          if (!force && !rx_idle && arrival > clock[idx]) break;
+        }
+        net::Packet p;
+        t.recv(n->id(), p, arrival);  // pops the head we just peeked
+        double now = arrival;
+        if (idx != SIZE_MAX) {
+          clock[idx] = std::max(clock[idx], arrival);
+        } else {
+          // NS request: queue behind earlier requests, pay service time.
+          ns_clock = std::max(ns_clock, arrival) + cfg_.ns_service_us;
+          now = ns_clock;
+        }
+        n->route(std::move(p), t, now);
+        any = true;
+      }
+    }
+    return any;
+  };
+
+  for (;;) {
+    // Pick the runnable site with the smallest clock.
+    std::size_t best = SIZE_MAX;
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      Site& s = *sites[i].site;
+      const bool work = s.incoming_size() > 0 || !s.machine().idle();
+      if (!work) continue;
+      if (best == SIZE_MAX || clock[i] < clock[best]) best = i;
+    }
+    if (best != SIZE_MAX) {
+      Site& s = *sites[best].site;
+      s.process_incoming();
+      const std::uint64_t ran = s.run_slice(cfg_.slice);
+      clock[best] += static_cast<double>(ran) / cfg_.instr_per_us;
+      sites[best].node->pump_site_outgoing(t, sites[best].idx_in_node,
+                                           clock[best]);
+      res.instructions += ran;
+      instructions_run_ += ran;
+      if (instructions_run_ > cfg_.max_instructions) {
+        res.budget_exhausted = true;
+        break;
+      }
+      deliver(false);
+      continue;
+    }
+    if (t.in_flight() > 0) {
+      deliver(true);
+      continue;
+    }
+    break;
+  }
+  for (std::size_t i = 0; i < sites.size(); ++i)
+    res.virtual_time_us = std::max(res.virtual_time_us, clock[i]);
+  return finish(res);
+}
+
+}  // namespace dityco::core

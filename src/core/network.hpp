@@ -1,0 +1,116 @@
+// The network level: a set of DiTyCO nodes, the name service, a
+// transport, and three execution drivers.
+//
+//   * kSequential — deterministic round-robin over sites; the default for
+//     tests and the reference for differential checks.
+//   * kThreaded   — one executor thread per site plus one daemon thread
+//     per node (the paper's architecture: sites and TyCOd are threads
+//     sharing the node's address space).
+//   * kSim        — conservative virtual-time execution over a
+//     SimTransport: site execution is metered in instructions per
+//     microsecond and packets cost latency + size/bandwidth. Used by the
+//     cluster experiments (Myrinet vs Fast Ethernet).
+//
+// run() implements the global quiescence/termination detection the paper
+// lists as future work: it distinguishes *quiescent* (no runnable work,
+// no packets in flight, nothing parked) from *stalled* (imports waiting
+// on exports that never happened).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "calculus/ast.hpp"
+#include "core/node.hpp"
+#include "net/transport.hpp"
+
+namespace dityco::core {
+
+class Network {
+ public:
+  enum class Mode { kSequential, kThreaded, kSim };
+
+  struct Config {
+    Mode mode = Mode::kSequential;
+    net::LinkModel link = net::myrinet();
+    /// VM speed for the simulated cluster (byte-code instructions per µs).
+    double instr_per_us = 100.0;
+    /// Scheduling slice (instructions) per site turn.
+    std::uint64_t slice = 256;
+    /// Global instruction budget (guards against divergent programs).
+    std::uint64_t max_instructions = 100'000'000;
+    /// Wall-clock cap for the threaded driver (ms).
+    std::uint64_t timeout_ms = 10'000;
+    /// Simulated service time per name-service request (µs). The NS is a
+    /// single centralised server (paper, section 5), so its requests
+    /// queue: this is what the C6 contention experiment measures.
+    double ns_service_us = 0.5;
+    /// Replicate the name service onto every node (the paper's
+    /// future-work item): lookups are answered by the local replica and
+    /// exports are broadcast, removing the central bottleneck.
+    bool distributed_ns = false;
+    /// Run Damas-Milner inference on every submitted program; attach the
+    /// inferred export signatures and import requirements to the site so
+    /// remote interactions are checked dynamically (paper, section 7).
+    bool typecheck = false;
+  };
+
+  struct Result {
+    bool quiescent = false;
+    bool stalled = false;           // parked imports that never resolved
+    bool budget_exhausted = false;
+    double virtual_time_us = 0.0;   // sim mode: makespan
+    std::uint64_t instructions = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  Network() : Network(Config{}) {}
+  explicit Network(Config cfg);
+  ~Network();
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  Node& add_node();
+  const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+  /// Create a site on node `node_idx` and register it with the name
+  /// service.
+  Site& add_site(std::size_t node_idx, const std::string& name);
+  Site* find_site(const std::string& name);
+
+  /// TyCOsh/TyCOi: compile and submit a program at a site.
+  void submit(const std::string& site_name, const calc::ProcPtr& prog);
+  void submit_source(const std::string& site_name, std::string_view src);
+  /// Submit a whole `site name { P }` network file; sites must exist.
+  void submit_network_source(std::string_view src);
+
+  /// Drive the network to quiescence (per the configured mode).
+  Result run();
+
+  const std::vector<std::string>& output(const std::string& site_name);
+  NameService& name_service() { return *ns_; }
+  net::Transport& transport();
+  const Config& config() const { return cfg_; }
+
+  /// All runtime errors across sites and machines.
+  std::vector<std::string> all_errors() const;
+
+ private:
+  Result run_sequential();
+  Result run_threaded();
+  Result run_sim();
+  bool anything_parked() const;
+  Result finish(Result r) const;
+
+  Config cfg_;
+  // Heap-allocated so that Nodes' pointers into it survive moves.
+  std::unique_ptr<NameService> ns_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<net::Transport> transport_;
+  std::uint64_t instructions_run_ = 0;
+  bool ns_distributed_ = false;
+};
+
+}  // namespace dityco::core

@@ -1,0 +1,108 @@
+#include "core/node.hpp"
+
+#include <cstring>
+
+namespace dityco::core {
+
+std::uint32_t packet_dst_site(const net::Packet& p) {
+  if (p.bytes.size() < 5) throw DecodeError("short packet");
+  std::uint32_t v;
+  std::memcpy(&v, p.bytes.data() + 1, sizeof v);
+  return v;
+}
+
+bool packet_is_ns(const net::Packet& p) {
+  if (p.bytes.empty()) throw DecodeError("empty packet");
+  const auto t = static_cast<MsgType>(p.bytes[0]);
+  return t == MsgType::kNsExport || t == MsgType::kNsLookup;
+}
+
+void Node::enable_local_ns(std::uint32_t n_nodes) {
+  replica_ = std::make_unique<NameService>(id_);
+  // The replica inherits this node's site registrations lazily: sites are
+  // re-registered by the Network when it distributes the service.
+  ns_ = replica_.get();
+  broadcast_nodes_ = n_nodes;
+  for (auto& s : sites_) s->set_ns_node(id_);
+}
+
+Site& Node::add_site(const std::string& name) {
+  const auto site_id = static_cast<std::uint32_t>(sites_.size());
+  sites_.push_back(
+      std::make_unique<Site>(name, id_, site_id, ns_->home_node()));
+  ns_->register_site(name, id_, site_id);
+  return *sites_.back();
+}
+
+void Node::route(net::Packet p, net::Transport& t, double now_us) {
+  if (packet_is_ns(p)) {
+    // This node hosts a name service (the central one, or its replica
+    // when the service is distributed).
+    Reader r(p.bytes);
+    const auto type = static_cast<MsgType>(r.u8());
+    (void)r.u32();  // dst_site placeholder
+    std::vector<net::Packet> replies;
+    if (type == MsgType::kNsExport) {
+      // Replicated mode: exports originating here propagate to every
+      // other replica (which releases their parked lookups).
+      if (broadcast_nodes_ > 0 && p.src_node == id_) {
+        for (std::uint32_t n = 0; n < broadcast_nodes_; ++n) {
+          if (n == id_) continue;
+          net::Packet copy;
+          copy.src_node = id_;
+          copy.dst_node = n;
+          copy.bytes = p.bytes;
+          t.send(std::move(copy), now_us);
+        }
+      }
+      ns_->handle_export(r, replies);
+    } else {
+      ns_->handle_lookup(r, replies);
+    }
+    for (auto& rep : replies) {
+      if (rep.dst_node == id_)
+        route(std::move(rep), t, now_us);
+      else
+        t.send(std::move(rep), now_us);
+    }
+    return;
+  }
+  const std::uint32_t dst_site = packet_dst_site(p);
+  if (dst_site >= sites_.size()) throw DecodeError("packet to unknown site");
+  sites_[dst_site]->push_incoming(std::move(p.bytes));
+}
+
+std::size_t Node::pump_site_outgoing(net::Transport& t, std::size_t site_idx,
+                                     double now_us) {
+  std::size_t moved = 0;
+  net::Packet p;
+  while (sites_.at(site_idx)->pop_outgoing(p)) {
+    ++moved;
+    if (p.dst_node == id_ && (!packet_is_ns(p) || ns_->home_node() == id_)) {
+      if (!packet_is_ns(p)) ++local_deliveries_;
+      route(std::move(p), t, now_us);  // shared-memory fast path
+    } else {
+      t.send(std::move(p), now_us);
+    }
+  }
+  return moved;
+}
+
+std::size_t Node::pump_outgoing(net::Transport& t, double now_us) {
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < sites_.size(); ++i)
+    moved += pump_site_outgoing(t, i, now_us);
+  return moved;
+}
+
+std::size_t Node::pump_incoming(net::Transport& t, double now_us) {
+  std::size_t moved = 0;
+  net::Packet p;
+  while (t.recv(id_, p, now_us)) {
+    ++moved;
+    route(std::move(p), t, now_us);
+  }
+  return moved;
+}
+
+}  // namespace dityco::core

@@ -1,0 +1,71 @@
+// A DiTyCO node (paper, section 5, fig. 4): a pool of sites plus the
+// communication daemon TyCOd. One Node corresponds to one IP node of the
+// cluster. The daemon logic is exposed as pump functions so that the
+// three drivers (sequential, threaded, simulated) can execute it on their
+// own schedule; in the threaded driver a dedicated daemon thread runs
+// them, exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/nameservice.hpp"
+#include "core/site.hpp"
+#include "net/transport.hpp"
+
+namespace dityco::core {
+
+/// Destination site id encoded in a packet header (for routing and for
+/// the sim driver's clock accounting).
+std::uint32_t packet_dst_site(const net::Packet& p);
+/// True for packets addressed to the name service rather than a site.
+bool packet_is_ns(const net::Packet& p);
+
+class Node {
+ public:
+  Node(std::uint32_t id, NameService& ns) : id_(id), ns_(&ns) {}
+
+  std::uint32_t id() const { return id_; }
+
+  /// Switch this node to a local name-service replica (the distributed
+  /// name service the paper lists as future work): lookups are answered
+  /// on-node and exports are broadcast to every other node's replica.
+  void enable_local_ns(std::uint32_t n_nodes);
+  NameService& name_service() { return *ns_; }
+
+  Site& add_site(const std::string& name);
+  std::vector<std::unique_ptr<Site>>& sites() { return sites_; }
+  const std::vector<std::unique_ptr<Site>>& sites() const { return sites_; }
+
+  /// TyCOd, outbound half: drain one site's outgoing queue. Local
+  /// destinations (same node) are delivered directly — the paper's
+  /// shared-memory optimisation — while remote ones go to the transport.
+  /// Returns packets moved.
+  std::size_t pump_site_outgoing(net::Transport& t, std::size_t site_idx,
+                                 double now_us);
+  std::size_t pump_outgoing(net::Transport& t, double now_us);
+
+  /// TyCOd, inbound half: drain the transport inbox and route. Returns
+  /// packets moved.
+  std::size_t pump_incoming(net::Transport& t, double now_us);
+
+  /// Route one packet addressed to this node (from the transport or from
+  /// a local site). Needs the transport to forward name-service replies.
+  void route(net::Packet p, net::Transport& t, double now_us);
+
+  /// Packets delivered site-to-site within this node without touching the
+  /// transport (the shared-memory optimisation of section 5).
+  std::uint64_t local_deliveries() const { return local_deliveries_; }
+
+ private:
+  std::uint64_t local_deliveries_ = 0;
+  std::uint32_t id_;
+  NameService* ns_;
+  std::unique_ptr<NameService> replica_;  // set by enable_local_ns
+  std::uint32_t broadcast_nodes_ = 0;     // >0 when replicated
+  std::vector<std::unique_ptr<Site>> sites_;
+};
+
+}  // namespace dityco::core

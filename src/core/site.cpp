@@ -1,0 +1,334 @@
+#include "core/site.hpp"
+
+#include "core/nameservice.hpp"
+#include "types/type.hpp"
+
+namespace dityco::core {
+
+/// Adapter from the VM's RemoteBackend interface onto the owning Site.
+class Site::Backend : public vm::RemoteBackend {
+ public:
+  explicit Backend(Site& s) : site_(s) {}
+
+  void ship_message(vm::Machine&, const vm::NetRef& target,
+                    const std::string& label,
+                    std::vector<vm::Value> args) override {
+    site_.ship_message(target, label, std::move(args));
+  }
+  void ship_object(vm::Machine&, const vm::NetRef& target,
+                   std::uint32_t seg_slot,
+                   std::vector<vm::Value> env) override {
+    site_.ship_object(target, seg_slot, std::move(env));
+  }
+  void fetch_instantiate(vm::Machine&, const vm::NetRef& cls,
+                         std::vector<vm::Value> args) override {
+    site_.fetch_instantiate(cls, std::move(args));
+  }
+  void export_name(vm::Machine& m, const std::string& name,
+                   vm::Value chan) override {
+    site_.export_id(name,
+                    vm::NetRef{vm::NetRef::Kind::kChan, m.node_id(),
+                               m.site_id(), m.export_chan(chan.idx)});
+  }
+  void export_class(vm::Machine& m, const std::string& name,
+                    vm::Value cls) override {
+    site_.export_id(name,
+                    vm::NetRef{vm::NetRef::Kind::kClass, m.node_id(),
+                               m.site_id(), m.export_class_value(cls)});
+  }
+  void import_name(vm::Machine&, const std::string& site,
+                   const std::string& name, std::uint64_t token) override {
+    site_.import_id(site, name, vm::NetRef::Kind::kChan, token);
+  }
+  void import_class(vm::Machine&, const std::string& site,
+                    const std::string& name, std::uint64_t token) override {
+    site_.import_id(site, name, vm::NetRef::Kind::kClass, token);
+  }
+
+ private:
+  Site& site_;
+};
+
+Site::Site(std::string name, std::uint32_t node_id, std::uint32_t site_id,
+           std::uint32_t ns_node)
+    : name_(std::move(name)),
+      node_id_(node_id),
+      site_id_(site_id),
+      ns_node_(ns_node),
+      backend_(std::make_unique<Backend>(*this)),
+      machine_(name_, node_id, site_id, backend_.get()) {}
+
+Site::~Site() = default;
+
+// ---------------------------------------------------------------------
+// Queues
+// ---------------------------------------------------------------------
+
+void Site::push_incoming(std::vector<std::uint8_t> bytes) {
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  incoming_.push_back(std::move(bytes));
+}
+
+bool Site::pop_outgoing(net::Packet& out) {
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  if (outgoing_.empty()) return false;
+  out = std::move(outgoing_.front());
+  outgoing_.pop_front();
+  return true;
+}
+
+std::size_t Site::incoming_size() const {
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  return incoming_.size();
+}
+
+std::size_t Site::outgoing_size() const {
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  return outgoing_.size();
+}
+
+void Site::send_packet(std::uint32_t dst_node,
+                       std::vector<std::uint8_t> bytes) {
+  net::Packet p;
+  p.src_node = node_id_;
+  p.dst_node = dst_node;
+  p.bytes = std::move(bytes);
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  outgoing_.push_back(std::move(p));
+}
+
+std::size_t Site::process_incoming(std::size_t max_packets) {
+  std::size_t n = 0;
+  while (n < max_packets) {
+    std::vector<std::uint8_t> bytes;
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      if (incoming_.empty()) break;
+      bytes = std::move(incoming_.front());
+      incoming_.pop_front();
+    }
+    if (failed_) {
+      ++mobility_.dropped;  // crashed sites lose their deliveries
+      ++n;
+      continue;
+    }
+    try {
+      handle_packet(bytes);
+    } catch (const std::exception& e) {
+      // The packet boundary is where untrusted bytes enter: any failure
+      // (malformed frame, verification, forged reference) poisons only
+      // this delivery, never the site.
+      errors_.push_back(name_ + ": malformed packet: " + e.what());
+    }
+    ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------
+// Outbound remote operations (called from the VM via the backend)
+// ---------------------------------------------------------------------
+
+void Site::ship_message(const vm::NetRef& target, const std::string& label,
+                        std::vector<vm::Value> args) {
+  if (target.node == node_id_ && target.site == site_id_) {
+    // A network reference that leads back here: resolve locally (the
+    // same-site short circuit; no marshalling needed).
+    ++mobility_.loopback;
+    machine_.deliver_message(target.heap_id, label, std::move(args));
+    return;
+  }
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kShipMsg));
+  w.u32(target.site);
+  w.u64(target.heap_id);
+  w.str(label);
+  marshal_values(machine_, args, w);
+  send_packet(target.node, w.take());
+  ++mobility_.msgs_shipped;
+}
+
+void Site::ship_object(const vm::NetRef& target, std::uint32_t seg_slot,
+                       std::vector<vm::Value> env) {
+  if (target.node == node_id_ && target.site == site_id_) {
+    ++mobility_.loopback;
+    machine_.deliver_object(target.heap_id, seg_slot, std::move(env));
+    return;
+  }
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kShipObj));
+  w.u32(target.site);
+  w.u64(target.heap_id);
+  std::vector<vm::Segment> closure;
+  machine_.collect_closure(seg_slot, closure);
+  write_closure(w, closure);
+  marshal_values(machine_, env, w);
+  send_packet(target.node, w.take());
+  ++mobility_.objs_shipped;
+}
+
+void Site::fetch_instantiate(const vm::NetRef& cls,
+                             std::vector<vm::Value> args) {
+  if (cls.node == node_id_ && cls.site == site_id_) {
+    ++mobility_.loopback;
+    machine_.instantiate_class(machine_.resolve_exported_class(cls.heap_id),
+                               std::move(args));
+    return;
+  }
+  if (fetch_cache_enabled_) {
+    auto it = class_cache_.find(cls);
+    if (it != class_cache_.end()) {
+      ++mobility_.fetch_cache_hits;
+      machine_.instantiate_class(it->second, std::move(args));
+      return;
+    }
+  }
+  auto& parked = pending_fetch_[cls];
+  parked.push_back(std::move(args));
+  if (parked.size() > 1) return;  // request already in flight
+  const std::uint64_t req = next_req_++;
+  fetch_by_req_[req] = cls;
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kFetchReq));
+  w.u32(cls.site);
+  w.u64(cls.heap_id);
+  w.u32(node_id_);
+  w.u32(site_id_);
+  w.u64(req);
+  send_packet(cls.node, w.take());
+  ++mobility_.fetch_requests;
+}
+
+void Site::export_id(const std::string& name, const vm::NetRef& ref) {
+  std::string sig;
+  if (auto it = export_sigs_.find(name); it != export_sigs_.end())
+    sig = it->second;
+  send_packet(ns_node_, NameService::make_export(0, name_, name, ref, sig));
+}
+
+void Site::import_id(const std::string& site, const std::string& name,
+                     vm::NetRef::Kind kind, std::uint64_t token) {
+  import_token_keys_[token] = {site, name};
+  send_packet(ns_node_,
+              NameService::make_lookup(site, name, kind, node_id_, site_id_,
+                                       token));
+}
+
+// ---------------------------------------------------------------------
+// Inbound packets
+// ---------------------------------------------------------------------
+
+void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  const auto type = static_cast<MsgType>(r.u8());
+  (void)r.u32();  // dst_site, already used for routing
+
+  switch (type) {
+    case MsgType::kShipMsg: {
+      const std::uint64_t heap_id = r.u64();
+      const std::string label = r.str();
+      auto args = unmarshal_values(machine_, r);
+      machine_.deliver_message(heap_id, label, std::move(args));
+      ++mobility_.msgs_received;
+      return;
+    }
+    case MsgType::kShipObj: {
+      const std::uint64_t heap_id = r.u64();
+      vm::SegmentGuid root{};
+      auto pool = read_closure(r, root);
+      const std::uint32_t slot = machine_.link(root, pool);
+      auto env = unmarshal_values(machine_, r);
+      machine_.deliver_object(heap_id, slot, std::move(env));
+      ++mobility_.objs_received;
+      return;
+    }
+    case MsgType::kFetchReq: {
+      const std::uint64_t heap_id = r.u64();
+      const std::uint32_t req_node = r.u32();
+      const std::uint32_t req_site = r.u32();
+      const std::uint64_t req_id = r.u64();
+      const vm::Value cls = machine_.resolve_exported_class(heap_id);
+      const vm::ClassEntry& entry = machine_.class_entry(cls.idx);
+      const vm::Block& blk = machine_.block(entry.block);
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(MsgType::kFetchRep));
+      w.u32(req_site);
+      w.u64(req_id);
+      std::vector<vm::Segment> closure;
+      machine_.collect_closure(blk.seg, closure);
+      write_closure(w, closure);
+      w.u32(entry.cls);
+      marshal_values(machine_, blk.env, w);
+      send_packet(req_node, w.take());
+      ++mobility_.fetch_served;
+      return;
+    }
+    case MsgType::kFetchRep: {
+      const std::uint64_t req_id = r.u64();
+      vm::SegmentGuid root{};
+      auto pool = read_closure(r, root);
+      const std::uint32_t cls_idx = r.u32();
+      auto env = unmarshal_values(machine_, r);
+      auto rit = fetch_by_req_.find(req_id);
+      if (rit == fetch_by_req_.end())
+        throw DecodeError("fetch reply for unknown request");
+      const vm::NetRef ref = rit->second;
+      fetch_by_req_.erase(rit);
+      const std::uint32_t slot = machine_.link(root, pool);
+      const std::uint32_t block = machine_.make_block(slot, std::move(env));
+      const vm::Value cls = machine_.make_class_value(block, cls_idx);
+      if (fetch_cache_enabled_) class_cache_[ref] = cls;
+      auto pit = pending_fetch_.find(ref);
+      if (pit != pending_fetch_.end()) {
+        for (auto& args : pit->second)
+          machine_.instantiate_class(cls, std::move(args));
+        pending_fetch_.erase(pit);
+      }
+      return;
+    }
+    case MsgType::kNsReply: {
+      const std::uint64_t token = r.u64();
+      const bool ok = r.boolean();
+      const vm::NetRef ref = read_netref(r);
+      const std::string sig = r.str();
+      if (!ok) {
+        errors_.push_back(name_ + ": import kind mismatch for token " +
+                          std::to_string(token));
+        return;  // the frame stays parked; the network reports a stall
+      }
+      // Dynamic half of the combined type-checking scheme: if the import
+      // site declared an expected signature, it must match the exporter's.
+      if (auto kit = import_token_keys_.find(token);
+          kit != import_token_keys_.end()) {
+        auto eit = import_sigs_.find(kit->second);
+        if (eit != import_sigs_.end() && !eit->second.empty() &&
+            !sig.empty() && eit->second != sig &&
+            !types::compatible(eit->second, sig)) {
+          errors_.push_back(name_ + ": type mismatch importing " +
+                            kit->second.second + " from " + kit->second.first +
+                            ": expected " + eit->second + ", exporter has " +
+                            sig);
+          import_token_keys_.erase(kit);
+          return;
+        }
+        import_token_keys_.erase(kit);
+      }
+      vm::Value v;
+      if (ref.node == node_id_ && ref.site == site_id_) {
+        v = ref.kind == vm::NetRef::Kind::kChan
+                ? machine_.resolve_exported_chan(ref.heap_id)
+                : machine_.resolve_exported_class(ref.heap_id);
+      } else {
+        v = vm::Value::make_netref(machine_.intern_netref(ref));
+      }
+      machine_.resume_import(token, v);
+      return;
+    }
+    case MsgType::kNsExport:
+    case MsgType::kNsLookup:
+      throw DecodeError("name-service packet routed to a site");
+  }
+  throw DecodeError("unknown packet type");
+}
+
+}  // namespace dityco::core

@@ -1,0 +1,144 @@
+// A DiTyCO site: an extended TyCO virtual machine plus the structures of
+// fig. 3 — incoming/outgoing queues, the export table (inside the
+// Machine), a dynamic-link cache for fetched classes, and the
+// RemoteBackend that re-implements trmsg/trobj/instof for network
+// references (section 5).
+//
+// Threading contract: the Machine and process_incoming()/run_slice() are
+// owned by exactly one executor thread; push_incoming()/pop_outgoing()
+// are thread-safe and are the only surface touched by the node daemon.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/wire.hpp"
+#include "net/transport.hpp"
+#include "vm/machine.hpp"
+
+namespace dityco::core {
+
+class Site {
+ public:
+  struct MobilityStats {
+    std::uint64_t msgs_shipped = 0;      // SHIPM departures
+    std::uint64_t objs_shipped = 0;      // SHIPO departures
+    std::uint64_t msgs_received = 0;
+    std::uint64_t objs_received = 0;
+    std::uint64_t fetch_requests = 0;    // FETCH round trips issued
+    std::uint64_t fetch_cache_hits = 0;  // dynamic-link cache hits
+    std::uint64_t fetch_served = 0;      // FETCH requests answered
+    std::uint64_t loopback = 0;          // remote ops resolved locally
+    std::uint64_t dropped = 0;           // deliveries to this site after it
+                                         // failed (fault injection)
+  };
+
+  Site(std::string name, std::uint32_t node_id, std::uint32_t site_id,
+       std::uint32_t ns_node);
+  ~Site();
+
+  Site(const Site&) = delete;
+  Site& operator=(const Site&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::uint32_t node_id() const { return node_id_; }
+  std::uint32_t site_id() const { return site_id_; }
+  /// Repoint this site's name-service requests (distributed NS mode).
+  void set_ns_node(std::uint32_t node) { ns_node_ = node; }
+  vm::Machine& machine() { return machine_; }
+  const vm::Machine& machine() const { return machine_; }
+
+  /// TyCOi: submit a compiled program for execution at this site.
+  void submit(const vm::Program& p) { machine_.spawn_program(p); }
+
+  /// Attach a type signature to a to-be-exported identifier (the paper's
+  /// combined static/dynamic checking; see src/types).
+  void set_export_signature(const std::string& name, std::string sig) {
+    export_sigs_[name] = std::move(sig);
+  }
+  /// Expected signature for an import (checked against the name-service
+  /// reply at run time).
+  void expect_import_signature(const std::string& site,
+                               const std::string& name, std::string sig) {
+    import_sigs_[{site, name}] = std::move(sig);
+  }
+
+  // -- executor-thread operations --
+
+  /// Parse and apply queued network deliveries to the machine.
+  std::size_t process_incoming(std::size_t max_packets = SIZE_MAX);
+  /// Run the VM for a bounded number of instructions.
+  std::uint64_t run_slice(std::uint64_t max_instructions) {
+    return failed_ ? 0 : machine_.run(max_instructions);
+  }
+
+  // -- daemon-thread operations (thread-safe) --
+
+  void push_incoming(std::vector<std::uint8_t> bytes);
+  bool pop_outgoing(net::Packet& out);
+  std::size_t incoming_size() const;
+  std::size_t outgoing_size() const;
+
+  /// Disable the dynamic-link cache (ablation A2): every remote
+  /// instantiation re-fetches the class code.
+  void set_fetch_cache_enabled(bool on) { fetch_cache_enabled_ = on; }
+
+  /// Fault injection (the paper's future-work item "detect site
+  /// failures, reconfigure the computation topology"): a killed site
+  /// stops executing and silently drops every subsequent delivery, like
+  /// a crashed cluster node. Another site may take over its exported
+  /// identifiers by re-exporting them (the name service keeps the newest
+  /// binding).
+  void kill() { failed_ = true; }
+  bool failed() const { return failed_; }
+
+  const MobilityStats& mobility() const { return mobility_; }
+  const std::vector<std::string>& errors() const { return errors_; }
+
+ private:
+  class Backend;
+
+  void handle_packet(const std::vector<std::uint8_t>& bytes);
+  void send_packet(std::uint32_t dst_node, std::vector<std::uint8_t> bytes);
+
+  // RemoteBackend entry points (called from machine_.run()).
+  void ship_message(const vm::NetRef& target, const std::string& label,
+                    std::vector<vm::Value> args);
+  void ship_object(const vm::NetRef& target, std::uint32_t seg_slot,
+                   std::vector<vm::Value> env);
+  void fetch_instantiate(const vm::NetRef& cls, std::vector<vm::Value> args);
+  void export_id(const std::string& name, const vm::NetRef& ref);
+  void import_id(const std::string& site, const std::string& name,
+                 vm::NetRef::Kind kind, std::uint64_t token);
+
+  std::string name_;
+  std::uint32_t node_id_, site_id_, ns_node_;
+  bool failed_ = false;
+  std::unique_ptr<Backend> backend_;
+  vm::Machine machine_;
+
+  mutable std::mutex queue_mu_;
+  std::deque<std::vector<std::uint8_t>> incoming_;
+  std::deque<net::Packet> outgoing_;
+
+  // FETCH bookkeeping.
+  bool fetch_cache_enabled_ = true;
+  std::map<vm::NetRef, vm::Value> class_cache_;  // dynamic-link cache
+  std::map<vm::NetRef, std::vector<std::vector<vm::Value>>> pending_fetch_;
+  std::map<std::uint64_t, vm::NetRef> fetch_by_req_;
+  std::uint64_t next_req_ = 1;
+
+  std::map<std::string, std::string> export_sigs_;
+  std::map<std::pair<std::string, std::string>, std::string> import_sigs_;
+  std::map<std::uint64_t, std::pair<std::string, std::string>>
+      import_token_keys_;
+
+  MobilityStats mobility_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace dityco::core

@@ -1,0 +1,136 @@
+#include "core/wire.hpp"
+
+namespace dityco::core {
+
+namespace {
+
+enum class WireTag : std::uint8_t {
+  kInt = 1,
+  kBool,
+  kFloat,
+  kStr,
+  kNetRef,
+};
+
+}  // namespace
+
+void write_netref(Writer& w, const vm::NetRef& r) {
+  w.u8(static_cast<std::uint8_t>(r.kind));
+  w.u32(r.node);
+  w.u32(r.site);
+  w.u64(r.heap_id);
+}
+
+vm::NetRef read_netref(Reader& r) {
+  vm::NetRef out;
+  const std::uint8_t k = r.u8();
+  if (k > 1) throw DecodeError("bad netref kind");
+  out.kind = static_cast<vm::NetRef::Kind>(k);
+  out.node = r.u32();
+  out.site = r.u32();
+  out.heap_id = r.u64();
+  return out;
+}
+
+void marshal_value(vm::Machine& m, const vm::Value& v, Writer& w) {
+  using Tag = vm::Value::Tag;
+  switch (v.tag) {
+    case Tag::kInt:
+      w.u8(static_cast<std::uint8_t>(WireTag::kInt));
+      w.i64(v.i);
+      return;
+    case Tag::kBool:
+      w.u8(static_cast<std::uint8_t>(WireTag::kBool));
+      w.boolean(v.b);
+      return;
+    case Tag::kFloat:
+      w.u8(static_cast<std::uint8_t>(WireTag::kFloat));
+      w.f64(v.f);
+      return;
+    case Tag::kStr:
+      w.u8(static_cast<std::uint8_t>(WireTag::kStr));
+      w.str(m.str(v.idx));
+      return;
+    case Tag::kChan: {
+      // Step 1: a local name leaving the site becomes a network reference.
+      w.u8(static_cast<std::uint8_t>(WireTag::kNetRef));
+      write_netref(w, vm::NetRef{vm::NetRef::Kind::kChan, m.node_id(),
+                                 m.site_id(), m.export_chan(v.idx)});
+      return;
+    }
+    case Tag::kClass: {
+      w.u8(static_cast<std::uint8_t>(WireTag::kNetRef));
+      write_netref(w, vm::NetRef{vm::NetRef::Kind::kClass, m.node_id(),
+                                 m.site_id(), m.export_class_value(v)});
+      return;
+    }
+    case Tag::kNetRef:
+      // Already a network reference: passes through untouched.
+      w.u8(static_cast<std::uint8_t>(WireTag::kNetRef));
+      write_netref(w, m.netref(v.idx));
+      return;
+  }
+  throw DecodeError("unmarshallable value tag");
+}
+
+void marshal_values(vm::Machine& m, const std::vector<vm::Value>& vs,
+                    Writer& w) {
+  w.u32(static_cast<std::uint32_t>(vs.size()));
+  for (const auto& v : vs) marshal_value(m, v, w);
+}
+
+vm::Value unmarshal_value(vm::Machine& m, Reader& r) {
+  switch (static_cast<WireTag>(r.u8())) {
+    case WireTag::kInt:
+      return vm::Value::make_int(r.i64());
+    case WireTag::kBool:
+      return vm::Value::make_bool(r.boolean());
+    case WireTag::kFloat:
+      return vm::Value::make_float(r.f64());
+    case WireTag::kStr:
+      return vm::Value::make_str(m.intern_string(r.str()));
+    case WireTag::kNetRef: {
+      const vm::NetRef ref = read_netref(r);
+      // Step 2: references into this site's heap become local again.
+      if (ref.node == m.node_id() && ref.site == m.site_id()) {
+        return ref.kind == vm::NetRef::Kind::kChan
+                   ? m.resolve_exported_chan(ref.heap_id)
+                   : m.resolve_exported_class(ref.heap_id);
+      }
+      return vm::Value::make_netref(m.intern_netref(ref));
+    }
+  }
+  throw DecodeError("bad wire tag");
+}
+
+std::vector<vm::Value> unmarshal_values(vm::Machine& m, Reader& r) {
+  const std::uint32_t n = r.u32();
+  std::vector<vm::Value> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(unmarshal_value(m, r));
+  return out;
+}
+
+void write_closure(Writer& w, const std::vector<vm::Segment>& segs) {
+  w.u32(static_cast<std::uint32_t>(segs.size()));
+  for (const auto& s : segs) s.serialize(w);
+}
+
+std::map<vm::SegmentGuid, vm::Segment> read_closure(Reader& r,
+                                                    vm::SegmentGuid& root) {
+  const std::uint32_t n = r.u32();
+  if (n == 0) throw DecodeError("empty code closure");
+  std::map<vm::SegmentGuid, vm::Segment> pool;
+  bool first = true;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    vm::Segment s = vm::Segment::deserialize(r);
+    if (first) {
+      root = s.guid;
+      first = false;
+    }
+    pool.emplace(s.guid, std::move(s));
+  }
+  return pool;
+}
+
+}  // namespace dityco::core

@@ -1,0 +1,51 @@
+// Wire protocol between communication daemons (TyCOd), and the
+// marshalling of values across node boundaries.
+//
+// Marshalling implements the paper's two-step identifier translation
+// (section 5, "Mapping between Local and Network References"):
+//   step 1 (sender):  local heap references -> network references via the
+//                     export table (registering on first export); all
+//                     other values pass through;
+//   step 2 (receiver): network references that point into the receiving
+//                     site's heap -> local references via its export
+//                     table; all others are interned as foreign netrefs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "vm/machine.hpp"
+
+namespace dityco::core {
+
+/// Packet types exchanged between daemons.
+enum class MsgType : std::uint8_t {
+  kShipMsg = 1,    // SHIPM: remote method invocation
+  kShipObj = 2,    // SHIPO: object migration (carries a code closure)
+  kFetchReq = 3,   // FETCH: request for class code
+  kFetchRep = 4,   // FETCH reply: code closure + captured environment
+  kNsExport = 5,   // register an exported identifier with the name service
+  kNsLookup = 6,   // import: look up an exported identifier
+  kNsReply = 7,    // name-service answer (sent once the name exists)
+};
+
+/// Marshal one value leaving `m` (sender side, step 1).
+void marshal_value(vm::Machine& m, const vm::Value& v, Writer& w);
+void marshal_values(vm::Machine& m, const std::vector<vm::Value>& vs,
+                    Writer& w);
+
+/// Unmarshal one value arriving at `m` (receiver side, step 2).
+vm::Value unmarshal_value(vm::Machine& m, Reader& r);
+std::vector<vm::Value> unmarshal_values(vm::Machine& m, Reader& r);
+
+void write_netref(Writer& w, const vm::NetRef& r);
+vm::NetRef read_netref(Reader& r);
+
+/// Serialise a segment closure (root first).
+void write_closure(Writer& w, const std::vector<vm::Segment>& segs);
+/// Read a closure into a guid-keyed pool plus the root guid.
+std::map<vm::SegmentGuid, vm::Segment> read_closure(Reader& r,
+                                                    vm::SegmentGuid& root);
+
+}  // namespace dityco::core

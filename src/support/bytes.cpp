@@ -1,0 +1,4 @@
+#include "support/bytes.hpp"
+
+// All of Writer/Reader is inline; this TU anchors the library.
+namespace dityco {}

@@ -1,0 +1,17 @@
+// Value formatting shared by the reference reducer and the VM so that
+// `print` output is byte-identical between the two — a requirement for
+// the differential tests (VM vs formal semantics).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace dityco {
+
+inline std::string format_f64(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace dityco

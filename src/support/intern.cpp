@@ -1,0 +1,21 @@
+#include "support/intern.hpp"
+
+namespace dityco {
+
+Interner::Id Interner::intern(std::string_view s) {
+  auto it = map_.find(std::string(s));
+  if (it != map_.end()) return it->second;
+  const Id id = static_cast<Id>(names_.size());
+  names_.emplace_back(s);
+  map_.emplace(names_.back(), id);
+  return id;
+}
+
+bool Interner::find(std::string_view s, Id& out) const {
+  auto it = map_.find(std::string(s));
+  if (it == map_.end()) return false;
+  out = it->second;
+  return true;
+}
+
+}  // namespace dityco

@@ -1,0 +1,36 @@
+// String interner: maps lexemes (method labels, exported identifier
+// names, site names) to dense 32-bit ids. Each Site owns one for method
+// labels so that label comparison during reduction is an integer compare;
+// labels crossing a node boundary travel as strings and are re-interned
+// on arrival (the paper's relinking step).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dityco {
+
+class Interner {
+ public:
+  using Id = std::uint32_t;
+
+  /// Intern `s`, returning its dense id (stable for the interner's life).
+  Id intern(std::string_view s);
+
+  /// Lookup without inserting; returns false if unknown.
+  bool find(std::string_view s, Id& out) const;
+
+  /// The lexeme for an id. Precondition: id was returned by intern().
+  const std::string& name(Id id) const { return names_.at(id); }
+
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, Id> map_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace dityco

@@ -1,0 +1,39 @@
+// Deterministic PRNG (splitmix64) for workload generators and property
+// tests. We do not use std::mt19937 so that generated programs are
+// reproducible across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace dityco {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) {
+    return below(den) < num;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dityco

@@ -1,0 +1,366 @@
+#include "types/infer.hpp"
+
+#include <set>
+#include <variant>
+
+namespace dityco::types {
+
+using calc::Abstraction;
+using calc::Expr;
+using calc::ExprPtr;
+using calc::NameRef;
+using calc::Proc;
+using calc::ProcPtr;
+
+namespace {
+
+struct Scheme {
+  std::set<std::uint64_t> qvars;
+  TypePtr body;  // a kParams tuple for classes
+};
+
+using ClassBinding = std::variant<Scheme, TypePtr>;
+
+struct Env {
+  std::map<std::string, TypePtr> names;
+  std::map<std::string, ClassBinding> classes;
+};
+
+void collect_vars(const TypePtr& t0, std::set<std::uint64_t>& out) {
+  TypePtr t = prune(t0);
+  switch (t->k) {
+    case Type::K::kVar:
+      out.insert(t->id);
+      return;
+    case Type::K::kChan:
+      collect_vars(t->row, out);
+      return;
+    case Type::K::kRowCons:
+      for (const auto& p : t->payload) collect_vars(p, out);
+      collect_vars(t->tail, out);
+      return;
+    case Type::K::kParams:
+      for (const auto& p : t->params) collect_vars(p, out);
+      return;
+    default:
+      return;
+  }
+}
+
+class Inference {
+ public:
+  InferResult run(const ProcPtr& p) {
+    Env env;
+    proc(env, p);
+    InferResult out;
+    for (auto& [name, t] : exports_) {
+      default_numerics(t);
+      out.exports[name] = to_signature(t);
+    }
+    for (auto& [site, name, is_class, t] : imports_) {
+      default_numerics(t);
+      out.imports.push_back(ImportReq{site, name, is_class, to_signature(t)});
+    }
+    return out;
+  }
+
+ private:
+  std::set<std::uint64_t> env_free_vars(const Env& env) const {
+    std::set<std::uint64_t> out;
+    for (const auto& [_, t] : env.names) collect_vars(t, out);
+    for (const auto& [_, b] : env.classes) {
+      if (const auto* mono = std::get_if<TypePtr>(&b)) {
+        collect_vars(*mono, out);
+      } else {
+        const auto& sch = std::get<Scheme>(b);
+        std::set<std::uint64_t> vars;
+        collect_vars(sch.body, vars);
+        for (auto id : vars)
+          if (!sch.qvars.contains(id)) out.insert(id);
+      }
+    }
+    return out;
+  }
+
+  Scheme generalize(const Env& env, const TypePtr& t) const {
+    const auto in_env = env_free_vars(env);
+    std::set<std::uint64_t> vars;
+    collect_vars(t, vars);
+    Scheme s;
+    s.body = t;
+    for (auto id : vars)
+      if (!in_env.contains(id)) s.qvars.insert(id);
+    return s;
+  }
+
+  TypePtr instantiate_rec(const TypePtr& t0, const std::set<std::uint64_t>& q,
+                          std::map<std::uint64_t, TypePtr>& fresh) const {
+    TypePtr t = prune(t0);
+    switch (t->k) {
+      case Type::K::kVar: {
+        if (!q.contains(t->id)) return t;
+        auto [it, inserted] = fresh.try_emplace(t->id, nullptr);
+        if (inserted) {
+          it->second = t_var();
+          it->second->numeric = t->numeric;
+        }
+        return it->second;
+      }
+      case Type::K::kChan:
+        return t_chan(instantiate_rec(t->row, q, fresh));
+      case Type::K::kRowCons: {
+        std::vector<TypePtr> payload;
+        payload.reserve(t->payload.size());
+        for (const auto& p : t->payload)
+          payload.push_back(instantiate_rec(p, q, fresh));
+        return t_row_cons(t->label, std::move(payload),
+                          instantiate_rec(t->tail, q, fresh));
+      }
+      case Type::K::kParams: {
+        std::vector<TypePtr> params;
+        params.reserve(t->params.size());
+        for (const auto& p : t->params)
+          params.push_back(instantiate_rec(p, q, fresh));
+        return t_params(std::move(params));
+      }
+      default:
+        return t;
+    }
+  }
+
+  TypePtr instantiate(const Scheme& s) const {
+    std::map<std::uint64_t, TypePtr> fresh;
+    return instantiate_rec(s.body, s.qvars, fresh);
+  }
+
+  TypePtr name_type(Env& env, const NameRef& r) {
+    if (r.located()) {
+      // Cross-site identifier: statically unknown; its requirement is
+      // accumulated in the (shared) type we hand out per located name.
+      auto [it, _] = located_.try_emplace(*r.site + "." + r.name, t_var());
+      return it->second;
+    }
+    auto it = env.names.find(r.name);
+    if (it != env.names.end()) return it->second;
+    // Free simple name: implicitly located at this site; all program
+    // occurrences share one type.
+    auto [git, _] = globals_.try_emplace(r.name, t_chan(t_var()));
+    return git->second;
+  }
+
+  TypePtr constrain_numeric(const TypePtr& t) {
+    TypePtr v = t_var();
+    v->numeric = true;
+    unify(v, t);
+    return t;
+  }
+
+  TypePtr expr(Env& env, const ExprPtr& e) {
+    return std::visit(
+        [&](const auto& n) -> TypePtr {
+          using T = std::decay_t<decltype(n)>;
+          if constexpr (std::is_same_v<T, Expr::IntLit>) {
+            return t_int();
+          } else if constexpr (std::is_same_v<T, Expr::BoolLit>) {
+            return t_bool();
+          } else if constexpr (std::is_same_v<T, Expr::FloatLit>) {
+            return t_float();
+          } else if constexpr (std::is_same_v<T, Expr::StrLit>) {
+            return t_string();
+          } else if constexpr (std::is_same_v<T, Expr::Var>) {
+            return name_type(env, n.ref);
+          } else if constexpr (std::is_same_v<T, Expr::Unop>) {
+            TypePtr t = expr(env, n.e);
+            if (n.op == "-") return constrain_numeric(t);
+            unify(t, t_bool());
+            return t_bool();
+          } else if constexpr (std::is_same_v<T, Expr::Binop>) {
+            TypePtr l = expr(env, n.l);
+            TypePtr r = expr(env, n.r);
+            const std::string& op = n.op;
+            if (op == "&&" || op == "||") {
+              unify(l, t_bool());
+              unify(r, t_bool());
+              return t_bool();
+            }
+            if (op == "++") {
+              unify(l, t_string());
+              unify(r, t_string());
+              return t_string();
+            }
+            if (op == "==" || op == "!=") {
+              unify(l, r);
+              return t_bool();
+            }
+            // Arithmetic and ordering: numeric, operands agree.
+            unify(l, r);
+            constrain_numeric(l);
+            if (op == "<" || op == "<=" || op == ">" || op == ">=")
+              return t_bool();
+            return l;
+          } else {
+            throw TypeError("unreachable expression");
+          }
+        },
+        e->node);
+  }
+
+  std::vector<TypePtr> exprs(Env& env, const std::vector<ExprPtr>& es) {
+    std::vector<TypePtr> out;
+    out.reserve(es.size());
+    for (const auto& e : es) out.push_back(expr(env, e));
+    return out;
+  }
+
+  void bind_params(Env& env, const std::vector<std::string>& params,
+                   const std::vector<TypePtr>& types) {
+    for (std::size_t i = 0; i < params.size(); ++i)
+      env.names[params[i]] = types[i];
+  }
+
+  void proc(Env env, const ProcPtr& p) {
+    std::visit(
+        [&](const auto& n) {
+          using T = std::decay_t<decltype(n)>;
+          if constexpr (std::is_same_v<T, Proc::Nil>) {
+          } else if constexpr (std::is_same_v<T, Proc::Par>) {
+            proc(env, n.left);
+            proc(env, n.right);
+          } else if constexpr (std::is_same_v<T, Proc::New>) {
+            for (const auto& x : n.names) env.names[x] = t_chan(t_var());
+            proc(env, n.body);
+          } else if constexpr (std::is_same_v<T, Proc::ExportNew>) {
+            for (const auto& x : n.names) {
+              TypePtr t = t_chan(t_var());
+              env.names[x] = t;
+              exports_.emplace_back(x, t);
+            }
+            proc(env, n.body);
+          } else if constexpr (std::is_same_v<T, Proc::Msg>) {
+            TypePtr target = name_type(env, n.target);
+            unify(target, t_chan(t_row_cons(n.label, exprs(env, n.args),
+                                            t_var())));
+          } else if constexpr (std::is_same_v<T, Proc::Obj>) {
+            // Objects define a *closed* interface.
+            TypePtr row = t_row_empty();
+            std::vector<std::vector<TypePtr>> payloads;
+            for (auto it = n.methods.rbegin(); it != n.methods.rend(); ++it) {
+              std::vector<TypePtr> payload;
+              for (std::size_t i = 0; i < it->params.size(); ++i)
+                payload.push_back(t_var());
+              payloads.push_back(payload);
+              row = t_row_cons(it->name, std::move(payload), row);
+            }
+            unify(name_type(env, n.target), t_chan(row));
+            // payloads were collected in reverse method order.
+            for (std::size_t k = 0; k < n.methods.size(); ++k) {
+              const Abstraction& m = n.methods[k];
+              Env benv = env;
+              bind_params(benv, m.params,
+                          payloads[n.methods.size() - 1 - k]);
+              proc(benv, m.body);
+            }
+          } else if constexpr (std::is_same_v<T, Proc::Inst>) {
+            TypePtr want = t_params(exprs(env, n.args));
+            if (n.cls.located()) {
+              auto [it, _] =
+                  located_.try_emplace(*n.cls.site + "." + n.cls.name,
+                                       t_var());
+              unify(it->second, want);
+              return;
+            }
+            auto cit = env.classes.find(n.cls.name);
+            if (cit == env.classes.end())
+              throw TypeError("unbound class variable " + n.cls.name);
+            if (const auto* mono = std::get_if<TypePtr>(&cit->second))
+              unify(*mono, want);
+            else
+              unify(instantiate(std::get<Scheme>(cit->second)), want);
+          } else if constexpr (std::is_same_v<T, Proc::Def> ||
+                               std::is_same_v<T, Proc::ExportDef>) {
+            // Monomorphic recursion inside the block...
+            Env benv = env;
+            std::vector<TypePtr> sigs;
+            for (const auto& d : n.defs) {
+              std::vector<TypePtr> params;
+              for (std::size_t i = 0; i < d.params.size(); ++i)
+                params.push_back(t_var());
+              TypePtr sig = t_params(std::move(params));
+              sigs.push_back(sig);
+              benv.classes[d.name] = sig;  // monomorphic while inferring
+            }
+            for (std::size_t k = 0; k < n.defs.size(); ++k) {
+              Env denv = benv;
+              bind_params(denv, n.defs[k].params,
+                          prune(sigs[k])->params);
+              proc(denv, n.defs[k].body);
+            }
+            // ...then generalisation against the outer environment.
+            Env cont = env;
+            for (std::size_t k = 0; k < n.defs.size(); ++k) {
+              Scheme s = generalize(env, sigs[k]);
+              if constexpr (std::is_same_v<T, Proc::ExportDef>)
+                exports_.emplace_back(n.defs[k].name, sigs[k]);
+              cont.classes[n.defs[k].name] = std::move(s);
+            }
+            proc(cont, n.body);
+          } else if constexpr (std::is_same_v<T, Proc::If>) {
+            unify(expr(env, n.cond), t_bool());
+            proc(env, n.then_p);
+            proc(env, n.else_p);
+          } else if constexpr (std::is_same_v<T, Proc::Print>) {
+            exprs(env, n.args);  // print accepts any value
+            proc(env, n.cont);
+          } else if constexpr (std::is_same_v<T, Proc::ImportName>) {
+            TypePtr t = t_chan(t_var());
+            env.names[n.name] = t;
+            imports_.emplace_back(n.site, n.name, false, t);
+            proc(env, n.body);
+          } else if constexpr (std::is_same_v<T, Proc::ImportClass>) {
+            TypePtr t = t_var();
+            env.classes[n.name] = t;  // monomorphic at the import site
+            imports_.emplace_back(n.site, n.name, true, t);
+            proc(env, n.body);
+          }
+        },
+        p->node);
+  }
+
+  std::vector<std::pair<std::string, TypePtr>> exports_;
+  std::vector<std::tuple<std::string, std::string, bool, TypePtr>> imports_;
+  std::map<std::string, TypePtr> globals_;
+  std::map<std::string, TypePtr> located_;
+};
+
+}  // namespace
+
+InferResult infer(const ProcPtr& p) { return Inference().run(p); }
+
+std::vector<std::string> check_network(
+    const std::vector<std::pair<std::string, calc::ProcPtr>>& programs) {
+  std::vector<std::string> problems;
+  // site -> exported name -> signature
+  std::map<std::string, std::map<std::string, std::string>> provided;
+  std::vector<std::pair<std::string, ImportReq>> wanted;  // importer site
+  for (const auto& [site, prog] : programs) {
+    InferResult r = infer(prog);
+    for (auto& [name, sig] : r.exports) provided[site][name] = sig;
+    for (auto& req : r.imports) wanted.emplace_back(site, req);
+  }
+  for (const auto& [importer, req] : wanted) {
+    auto sit = provided.find(req.site);
+    if (sit == provided.end() || !sit->second.contains(req.name)) {
+      problems.push_back(importer + " imports " + req.name + " from " +
+                         req.site + ", which never exports it");
+      continue;
+    }
+    const std::string& prov = sit->second.at(req.name);
+    if (!compatible(req.signature, prov))
+      problems.push_back(importer + " needs " + req.name + " : " +
+                         req.signature + " but " + req.site + " provides " +
+                         prov);
+  }
+  return problems;
+}
+
+}  // namespace dityco::types

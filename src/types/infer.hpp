@@ -1,0 +1,43 @@
+// Damas-Milner type inference for DiTyCO programs (one site's program at
+// a time). Produces, besides the well-typedness verdict:
+//   * a signature for every exported identifier (registered with the name
+//     service by the runtime), and
+//   * a *requirement* signature for every import (what this program needs
+//     the remote identifier to support),
+// which together realise the paper's combined static/dynamic checking
+// scheme for remote interactions (section 7).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "calculus/ast.hpp"
+#include "types/type.hpp"
+
+namespace dityco::types {
+
+struct ImportReq {
+  std::string site;
+  std::string name;
+  bool is_class = false;
+  std::string signature;  // required interface, canonical form
+};
+
+struct InferResult {
+  /// Exported identifier -> canonical signature.
+  std::map<std::string, std::string> exports;
+  std::vector<ImportReq> imports;
+};
+
+/// Infer types for a program; throws TypeError on ill-typed programs.
+InferResult infer(const calc::ProcPtr& p);
+
+/// Statically check a whole network file: every import must be
+/// compatible with a matching export somewhere in the network. Returns
+/// human-readable problems (empty when well typed). Throws TypeError if
+/// any single program is ill-typed.
+std::vector<std::string> check_network(
+    const std::vector<std::pair<std::string, calc::ProcPtr>>& programs);
+
+}  // namespace dityco::types

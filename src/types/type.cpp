@@ -1,0 +1,407 @@
+#include "types/type.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <set>
+#include <sstream>
+
+namespace dityco::types {
+
+namespace {
+std::atomic<std::uint64_t> next_var_id{1};
+}
+
+TypePtr t_var() {
+  auto t = std::make_shared<Type>();
+  t->k = Type::K::kVar;
+  t->id = next_var_id.fetch_add(1);
+  return t;
+}
+
+namespace {
+TypePtr scalar(Type::K k) {
+  auto t = std::make_shared<Type>();
+  t->k = k;
+  return t;
+}
+}  // namespace
+
+TypePtr t_int() { return scalar(Type::K::kInt); }
+TypePtr t_bool() { return scalar(Type::K::kBool); }
+TypePtr t_float() { return scalar(Type::K::kFloat); }
+TypePtr t_string() { return scalar(Type::K::kString); }
+
+TypePtr t_chan(TypePtr row) {
+  auto t = scalar(Type::K::kChan);
+  t->row = std::move(row);
+  return t;
+}
+
+TypePtr t_row_empty() { return scalar(Type::K::kRowEmpty); }
+
+TypePtr t_row_cons(std::string label, std::vector<TypePtr> payload,
+                   TypePtr tail) {
+  auto t = scalar(Type::K::kRowCons);
+  t->label = std::move(label);
+  t->payload = std::move(payload);
+  t->tail = std::move(tail);
+  return t;
+}
+
+TypePtr t_params(std::vector<TypePtr> params) {
+  auto t = scalar(Type::K::kParams);
+  t->params = std::move(params);
+  return t;
+}
+
+TypePtr prune(const TypePtr& t) {
+  TypePtr cur = t;
+  while (cur->k == Type::K::kVar && cur->link) cur = cur->link;
+  // Path compression.
+  if (cur != t && t->link != cur) {
+    TypePtr walk = t;
+    while (walk->k == Type::K::kVar && walk->link) {
+      TypePtr next = walk->link;
+      walk->link = cur;
+      walk = next;
+    }
+  }
+  return cur;
+}
+
+namespace {
+
+bool occurs(const TypePtr& v, const TypePtr& t0) {
+  TypePtr t = prune(t0);
+  if (t == v) return true;
+  switch (t->k) {
+    case Type::K::kChan:
+      return occurs(v, t->row);
+    case Type::K::kRowCons: {
+      for (const auto& p : t->payload)
+        if (occurs(v, p)) return true;
+      return occurs(v, t->tail);
+    }
+    case Type::K::kParams: {
+      for (const auto& p : t->params)
+        if (occurs(v, p)) return true;
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+void bind_var(const TypePtr& v, const TypePtr& t) {
+  if (occurs(v, t))
+    throw TypeError("cannot construct infinite (recursive) type");
+  if (v->numeric) {
+    TypePtr r = prune(t);
+    if (r->k == Type::K::kVar) {
+      r->numeric = true;
+    } else if (r->k != Type::K::kInt && r->k != Type::K::kFloat) {
+      throw TypeError("arithmetic on a non-numeric type");
+    }
+  }
+  v->link = t;
+}
+
+/// Expose `label` (with `arity` arguments) in `row`; returns its payload
+/// and the remainder of the row. Extends open rows on demand.
+std::pair<std::vector<TypePtr>, TypePtr> rewrite_row(const TypePtr& row0,
+                                                     const std::string& label,
+                                                     std::size_t arity) {
+  TypePtr row = prune(row0);
+  switch (row->k) {
+    case Type::K::kRowCons: {
+      if (row->label == label) return {row->payload, row->tail};
+      auto [payload, rest] = rewrite_row(row->tail, label, arity);
+      return {payload, t_row_cons(row->label, row->payload, rest)};
+    }
+    case Type::K::kVar: {
+      std::vector<TypePtr> payload;
+      payload.reserve(arity);
+      for (std::size_t i = 0; i < arity; ++i) payload.push_back(t_var());
+      TypePtr rest = t_var();
+      bind_var(row, t_row_cons(label, payload, rest));
+      return {payload, rest};
+    }
+    case Type::K::kRowEmpty:
+      throw TypeError("method '" + label + "' is not in the channel's interface");
+    default:
+      throw TypeError("malformed row");
+  }
+}
+
+const char* kind_name(Type::K k) {
+  switch (k) {
+    case Type::K::kVar: return "variable";
+    case Type::K::kInt: return "int";
+    case Type::K::kBool: return "bool";
+    case Type::K::kFloat: return "float";
+    case Type::K::kString: return "str";
+    case Type::K::kChan: return "channel";
+    case Type::K::kRowEmpty:
+    case Type::K::kRowCons: return "row";
+    case Type::K::kParams: return "class";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void unify(const TypePtr& a0, const TypePtr& b0) {
+  TypePtr a = prune(a0), b = prune(b0);
+  if (a == b) return;
+  if (a->k == Type::K::kVar) {
+    bind_var(a, b);
+    return;
+  }
+  if (b->k == Type::K::kVar) {
+    bind_var(b, a);
+    return;
+  }
+  if (a->k == Type::K::kInt || a->k == Type::K::kBool ||
+      a->k == Type::K::kFloat || a->k == Type::K::kString) {
+    if (a->k != b->k)
+      throw TypeError(std::string(kind_name(a->k)) + " vs " +
+                      kind_name(b->k));
+    return;
+  }
+  if (a->k == Type::K::kChan) {
+    if (b->k != Type::K::kChan)
+      throw TypeError(std::string("channel vs ") + kind_name(b->k));
+    unify(a->row, b->row);
+    return;
+  }
+  if (a->k == Type::K::kRowEmpty) {
+    if (b->k == Type::K::kRowEmpty) return;
+    if (b->k == Type::K::kRowCons)
+      throw TypeError("method '" + b->label +
+                      "' is not in the channel's interface");
+    throw TypeError("row vs " + std::string(kind_name(b->k)));
+  }
+  if (a->k == Type::K::kRowCons) {
+    if (b->k == Type::K::kRowEmpty)
+      throw TypeError("method '" + a->label +
+                      "' is not in the channel's interface");
+    if (b->k != Type::K::kRowCons)
+      throw TypeError("row vs " + std::string(kind_name(b->k)));
+    auto [payload, rest] = rewrite_row(b, a->label, a->payload.size());
+    if (payload.size() != a->payload.size())
+      throw TypeError("method '" + a->label + "' used with " +
+                      std::to_string(a->payload.size()) + " and " +
+                      std::to_string(payload.size()) + " arguments");
+    for (std::size_t i = 0; i < payload.size(); ++i)
+      unify(a->payload[i], payload[i]);
+    unify(a->tail, rest);
+    return;
+  }
+  if (a->k == Type::K::kParams) {
+    if (b->k != Type::K::kParams)
+      throw TypeError(std::string("class vs ") + kind_name(b->k));
+    if (a->params.size() != b->params.size())
+      throw TypeError("class instantiated with " +
+                      std::to_string(b->params.size()) + " arguments, has " +
+                      std::to_string(a->params.size()) + " parameters");
+    for (std::size_t i = 0; i < a->params.size(); ++i)
+      unify(a->params[i], b->params[i]);
+    return;
+  }
+  throw TypeError("incompatible types");
+}
+
+void default_numerics(const TypePtr& t0) {
+  TypePtr t = prune(t0);
+  switch (t->k) {
+    case Type::K::kVar:
+      if (t->numeric) t->link = t_int();
+      return;
+    case Type::K::kChan:
+      default_numerics(t->row);
+      return;
+    case Type::K::kRowCons:
+      for (const auto& p : t->payload) default_numerics(p);
+      default_numerics(t->tail);
+      return;
+    case Type::K::kParams:
+      for (const auto& p : t->params) default_numerics(p);
+      return;
+    default:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Canonical printing
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct Printer {
+  std::map<std::uint64_t, std::size_t> names;
+
+  std::string var_name(const TypePtr& v) {
+    auto [it, inserted] = names.try_emplace(v->id, names.size());
+    std::string base = "%" + std::to_string(it->second);
+    return base;
+  }
+
+  /// Collect a row into sorted label entries plus its tail variable.
+  void print(std::ostream& os, const TypePtr& t0) {
+    TypePtr t = prune(t0);
+    switch (t->k) {
+      case Type::K::kVar:
+        os << var_name(t);
+        return;
+      case Type::K::kInt: os << "int"; return;
+      case Type::K::kBool: os << "bool"; return;
+      case Type::K::kFloat: os << "float"; return;
+      case Type::K::kString: os << "str"; return;
+      case Type::K::kChan: {
+        std::map<std::string, std::vector<TypePtr>> entries;
+        TypePtr row = prune(t->row);
+        while (row->k == Type::K::kRowCons) {
+          entries[row->label] = row->payload;
+          row = prune(row->tail);
+        }
+        os << "^{";
+        bool first = true;
+        for (const auto& [l, payload] : entries) {
+          if (!first) os << ",";
+          first = false;
+          os << l << "[";
+          for (std::size_t i = 0; i < payload.size(); ++i) {
+            if (i) os << ",";
+            print(os, payload[i]);
+          }
+          os << "]";
+        }
+        if (row->k == Type::K::kVar) os << "|" << var_name(row);
+        os << "}";
+        return;
+      }
+      case Type::K::kParams: {
+        os << "cls(";
+        for (std::size_t i = 0; i < t->params.size(); ++i) {
+          if (i) os << ",";
+          print(os, t->params[i]);
+        }
+        os << ")";
+        return;
+      }
+      default:
+        os << "?";
+        return;
+    }
+  }
+};
+
+/// Signature parser.
+struct SigParser {
+  std::string_view s;
+  std::size_t i = 0;
+  std::map<std::string, TypePtr> vars;
+
+  char peek() const { return i < s.size() ? s[i] : '\0'; }
+  void expect(char c) {
+    if (peek() != c) throw TypeError("bad signature near index " +
+                                     std::to_string(i));
+    ++i;
+  }
+  bool accept(char c) {
+    if (peek() == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+
+  std::string ident() {
+    std::size_t start = i;
+    while (i < s.size() && (std::isalnum(static_cast<unsigned char>(s[i])) ||
+                            s[i] == '_'))
+      ++i;
+    if (start == i) throw TypeError("bad signature: identifier expected");
+    return std::string(s.substr(start, i - start));
+  }
+
+  TypePtr var(const std::string& name) {
+    auto [it, inserted] = vars.try_emplace(name, nullptr);
+    if (inserted) it->second = t_var();
+    return it->second;
+  }
+
+  TypePtr type() {
+    if (accept('%')) return var("%" + ident());
+    if (accept('^')) {
+      expect('{');
+      std::vector<std::pair<std::string, std::vector<TypePtr>>> entries;
+      while (peek() != '}' && peek() != '|') {
+        std::string label = ident();
+        expect('[');
+        std::vector<TypePtr> payload;
+        while (peek() != ']') {
+          payload.push_back(type());
+          if (peek() != ']') expect(',');
+        }
+        expect(']');
+        entries.emplace_back(std::move(label), std::move(payload));
+        if (peek() != '}' && peek() != '|') expect(',');
+      }
+      TypePtr tail = t_row_empty();
+      if (accept('|')) {
+        expect('%');
+        tail = var("%" + ident());
+      }
+      expect('}');
+      TypePtr row = tail;
+      for (auto it = entries.rbegin(); it != entries.rend(); ++it)
+        row = t_row_cons(it->first, it->second, row);
+      return t_chan(row);
+    }
+    std::string word = ident();
+    if (word == "int") return t_int();
+    if (word == "bool") return t_bool();
+    if (word == "float") return t_float();
+    if (word == "str") return t_string();
+    if (word == "cls") {
+      expect('(');
+      std::vector<TypePtr> params;
+      while (peek() != ')') {
+        params.push_back(type());
+        if (peek() != ')') expect(',');
+      }
+      expect(')');
+      return t_params(std::move(params));
+    }
+    throw TypeError("bad signature token: " + word);
+  }
+};
+
+}  // namespace
+
+std::string to_signature(const TypePtr& t) {
+  std::ostringstream os;
+  Printer p;
+  p.print(os, t);
+  return os.str();
+}
+
+TypePtr parse_signature(const std::string& sig) {
+  SigParser p{sig, 0, {}};
+  TypePtr t = p.type();
+  if (p.i != sig.size()) throw TypeError("trailing garbage in signature");
+  return t;
+}
+
+bool compatible(const std::string& required, const std::string& provided) {
+  try {
+    unify(parse_signature(required), parse_signature(provided));
+    return true;
+  } catch (const TypeError&) {
+    return false;
+  }
+}
+
+}  // namespace dityco::types

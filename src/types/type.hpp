@@ -1,0 +1,102 @@
+// The TyCO type language (paper, section 2: "TyCO features a
+// (Damas-Milner) polymorphic type-system").
+//
+// Types:
+//   T ::= int | bool | float | str | α | ^R          (channels)
+//   R ::= {} | {l[T̄] ; R} | ρ                        (method rows)
+// plus class parameter tuples cls(T̄) used internally by inference.
+//
+// Channel types are records of method signatures; objects contribute
+// closed rows (their exact interface), messages contribute open rows
+// (at least the invoked label) — row unification in the style of
+// Wand/Rémy. Class definitions are generalised (let-polymorphism), which
+// is what makes the paper's polymorphic Cell example type.
+//
+// Canonical signature strings (to_signature/parse_signature) are the
+// currency of the paper's combined static/dynamic checking scheme: the
+// exporter registers its inferred signature with the name service and the
+// importer's inferred *requirement* is checked against it at run time
+// (types/compat).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dityco::types {
+
+class TypeError : public std::runtime_error {
+ public:
+  explicit TypeError(const std::string& what)
+      : std::runtime_error("type error: " + what) {}
+};
+
+struct Type;
+using TypePtr = std::shared_ptr<Type>;
+
+struct Type {
+  enum class K {
+    kVar,       // unification variable (link != null once bound)
+    kInt,
+    kBool,
+    kFloat,
+    kString,
+    kChan,      // row
+    kRowEmpty,
+    kRowCons,   // label, payload, tail
+    kParams,    // class parameter tuple
+  };
+
+  K k = K::kVar;
+  // kVar
+  std::uint64_t id = 0;
+  TypePtr link;  // non-null when bound
+  bool numeric = false;  // var constrained to int/float (arithmetic)
+  // kChan
+  TypePtr row;
+  // kRowCons
+  std::string label;
+  std::vector<TypePtr> payload;
+  TypePtr tail;
+  // kParams
+  std::vector<TypePtr> params;
+};
+
+TypePtr t_var();
+TypePtr t_int();
+TypePtr t_bool();
+TypePtr t_float();
+TypePtr t_string();
+TypePtr t_chan(TypePtr row);
+TypePtr t_row_empty();
+TypePtr t_row_cons(std::string label, std::vector<TypePtr> payload,
+                   TypePtr tail);
+TypePtr t_params(std::vector<TypePtr> params);
+
+/// Follow variable links to the representative.
+TypePtr prune(const TypePtr& t);
+
+/// Unify two types (throws TypeError). Row unification rewrites open rows
+/// to expose common labels.
+void unify(const TypePtr& a, const TypePtr& b);
+
+/// Resolve remaining numeric-constrained variables to int and report
+/// violations (called once per program after inference).
+void default_numerics(const TypePtr& t);
+
+/// Canonical, parseable rendering; variable names normalised by first
+/// occurrence (a, b, c, ...). Two alpha-equivalent types print equally.
+std::string to_signature(const TypePtr& t);
+
+/// Parse a signature produced by to_signature (fresh variables).
+TypePtr parse_signature(const std::string& sig);
+
+/// The dynamic half of the combined checking scheme: may a requirement
+/// inferred at the import site be satisfied by the exporter's signature?
+/// (Parses both into fresh variables and attempts unification.)
+bool compatible(const std::string& required, const std::string& provided);
+
+}  // namespace dityco::types

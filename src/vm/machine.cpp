@@ -1,0 +1,698 @@
+#include "vm/machine.hpp"
+
+#include <cassert>
+
+#include "support/fmt.hpp"
+#include "vm/verify.hpp"
+
+namespace dityco::vm {
+
+const char* tag_name(Value::Tag t) {
+  switch (t) {
+    case Value::Tag::kInt: return "int";
+    case Value::Tag::kBool: return "bool";
+    case Value::Tag::kFloat: return "float";
+    case Value::Tag::kStr: return "string";
+    case Value::Tag::kChan: return "channel";
+    case Value::Tag::kClass: return "class";
+    case Value::Tag::kNetRef: return "netref";
+  }
+  return "?";
+}
+
+Machine::Machine(std::string name, std::uint32_t node_id, std::uint32_t site_id,
+                 RemoteBackend* backend)
+    : name_(std::move(name)),
+      node_id_(node_id),
+      site_id_(site_id),
+      backend_(backend) {}
+
+// ---------------------------------------------------------------------
+// Loading and linking
+// ---------------------------------------------------------------------
+
+std::uint32_t Machine::link_loaded(std::shared_ptr<const Segment> seg,
+                                   std::vector<std::uint32_t> dep_map) {
+  LinkedSegment ls;
+  ls.label_map.reserve(seg->labels.size());
+  for (const auto& l : seg->labels) ls.label_map.push_back(labels_.intern(l));
+  ls.string_map.reserve(seg->strings.size());
+  for (const auto& s : seg->strings)
+    ls.string_map.push_back(strings_.intern(s));
+  ls.dep_map = std::move(dep_map);
+  ls.seg = std::move(seg);
+  const auto slot = static_cast<std::uint32_t>(linked_.size());
+  guid_to_slot_[ls.seg->guid] = slot;
+  linked_.push_back(std::move(ls));
+  return slot;
+}
+
+std::uint32_t Machine::load_program(const Program& p) {
+  // Stamp fresh, globally-unique GUIDs. Compiled programs reference their
+  // own segments with placeholder GUIDs {0, 0, k} where k is the index
+  // within the program.
+  std::vector<SegmentGuid> fresh(p.segments.size());
+  std::vector<std::uint32_t> slots(p.segments.size());
+  for (std::size_t k = 0; k < p.segments.size(); ++k)
+    fresh[k] = SegmentGuid{node_id_, site_id_, next_guid_index_++};
+  // Segments are emitted in dependency-safe order by the code generator?
+  // Not necessarily — link in two passes: pre-assign slots, then build.
+  const auto base = static_cast<std::uint32_t>(linked_.size());
+  for (std::size_t k = 0; k < p.segments.size(); ++k)
+    slots[k] = base + static_cast<std::uint32_t>(k);
+  for (std::size_t k = 0; k < p.segments.size(); ++k) {
+    auto seg = std::make_shared<Segment>(p.segments[k]);
+    seg->guid = fresh[k];
+    std::vector<std::uint32_t> dep_map;
+    dep_map.reserve(seg->deps.size());
+    for (auto& d : seg->deps) {
+      // Placeholder deps point inside this program by index.
+      dep_map.push_back(slots.at(d.index));
+      d = fresh[d.index];  // rewrite to the real GUID for future shipping
+    }
+    [[maybe_unused]] std::uint32_t got = link_loaded(std::move(seg),
+                                                     std::move(dep_map));
+    assert(got == slots[k]);
+  }
+  return slots.at(p.root);
+}
+
+void Machine::spawn_program(const Program& p) {
+  const std::uint32_t root = load_program(p);
+  Frame f;
+  f.seg = root;
+  f.pc = 0;
+  spawn_frame(std::move(f));
+}
+
+std::uint32_t Machine::link(const SegmentGuid& guid,
+                            const std::map<SegmentGuid, Segment>& pool) {
+  auto it = guid_to_slot_.find(guid);
+  if (it != guid_to_slot_.end()) return it->second;  // dynamic-link cache
+  auto pit = pool.find(guid);
+  if (pit == pool.end())
+    throw DecodeError("missing segment in shipped closure");
+  const Segment& seg = pit->second;
+  // Shipped code is untrusted input: verify before linking.
+  if (auto problems = verify_segment(seg, SegmentRole::kAny);
+      !problems.empty())
+    throw DecodeError("shipped segment failed verification: " + problems[0]);
+  std::vector<std::uint32_t> dep_map;
+  dep_map.reserve(seg.deps.size());
+  for (const auto& d : seg.deps) dep_map.push_back(link(d, pool));
+  return link_loaded(std::make_shared<Segment>(seg), std::move(dep_map));
+}
+
+void Machine::collect_closure(std::uint32_t slot,
+                              std::vector<Segment>& out) const {
+  const LinkedSegment& ls = linked_.at(slot);
+  for (const auto& s : out)
+    if (s.guid == ls.seg->guid) return;  // already collected
+  out.push_back(*ls.seg);
+  for (std::uint32_t dep : ls.dep_map) collect_closure(dep, out);
+}
+
+// ---------------------------------------------------------------------
+// Channels and reductions
+// ---------------------------------------------------------------------
+
+std::uint32_t Machine::new_channel() {
+  heap_.emplace_back();
+  return static_cast<std::uint32_t>(heap_.size() - 1);
+}
+
+void Machine::reduce(std::uint32_t chan, ObjClosure obj, PendingMsg msg) {
+  const Segment& seg = *linked_.at(obj.seg).seg;
+  const auto& lmap = linked_.at(obj.seg).label_map;
+  // Method table: [nmethods, (labelidx, nparams, offset)*]
+  const std::uint32_t nmethods = seg.code.at(0);
+  for (std::uint32_t k = 0; k < nmethods; ++k) {
+    const std::uint32_t labelidx = seg.code.at(1 + 3 * k);
+    const std::uint32_t nparams = seg.code.at(2 + 3 * k);
+    const std::uint32_t off = seg.code.at(3 + 3 * k);
+    if (lmap.at(labelidx) != msg.label) continue;
+    if (nparams != msg.args.size()) {
+      error("arity mismatch on method " + labels_.name(msg.label));
+      heap_[chan].objs.push_front(std::move(obj));
+      ++pending_objs_;
+      return;
+    }
+    Frame f;
+    f.seg = obj.seg;
+    f.pc = off;
+    f.locals = std::move(obj.env);
+    f.locals.insert(f.locals.end(), msg.args.begin(), msg.args.end());
+    ++stats_.comm_reductions;
+    spawn_frame(std::move(f));
+    return;
+  }
+  error("method not understood: " + labels_.name(msg.label));
+  heap_[chan].objs.push_front(std::move(obj));
+  ++pending_objs_;
+}
+
+void Machine::channel_send(std::uint32_t chan, std::uint32_t label,
+                           std::vector<Value> args) {
+  Channel& ch = heap_.at(chan);
+  if (!ch.objs.empty()) {
+    ObjClosure obj = std::move(ch.objs.front());
+    ch.objs.pop_front();
+    --pending_objs_;
+    reduce(chan, std::move(obj), PendingMsg{label, std::move(args)});
+    return;
+  }
+  ch.msgs.push_back(PendingMsg{label, std::move(args)});
+  ++pending_msgs_;
+}
+
+void Machine::channel_recv(std::uint32_t chan, ObjClosure obj) {
+  Channel& ch = heap_.at(chan);
+  if (!ch.msgs.empty()) {
+    PendingMsg msg = std::move(ch.msgs.front());
+    ch.msgs.pop_front();
+    --pending_msgs_;
+    reduce(chan, std::move(obj), std::move(msg));
+    return;
+  }
+  ch.objs.push_back(std::move(obj));
+  ++pending_objs_;
+}
+
+std::uint32_t Machine::make_block(std::uint32_t seg_slot,
+                                  std::vector<Value> env) {
+  blocks_.push_back(Block{seg_slot, std::move(env)});
+  return static_cast<std::uint32_t>(blocks_.size() - 1);
+}
+
+Value Machine::make_class_value(std::uint32_t block, std::uint32_t cls) {
+  classes_.push_back(ClassEntry{block, cls});
+  return Value::make_class(static_cast<std::uint32_t>(classes_.size() - 1));
+}
+
+void Machine::instantiate_class(Value cls, std::vector<Value> args) {
+  if (cls.tag != Value::Tag::kClass) {
+    error("instantiation of a non-class value");
+    return;
+  }
+  const ClassEntry& entry = classes_.at(cls.idx);
+  const Block& blk = blocks_.at(entry.block);
+  const Segment& seg = *linked_.at(blk.seg).seg;
+  // Class table: [nclasses, (nparams, offset)*]
+  const std::uint32_t nclasses = seg.code.at(0);
+  if (entry.cls >= nclasses) {
+    error("class index out of range");
+    return;
+  }
+  const std::uint32_t nparams = seg.code.at(1 + 2 * entry.cls);
+  const std::uint32_t off = seg.code.at(2 + 2 * entry.cls);
+  if (nparams != args.size()) {
+    error("arity mismatch instantiating class");
+    return;
+  }
+  Frame f;
+  f.seg = blk.seg;
+  f.pc = off;
+  f.block = entry.block;
+  f.locals = blk.env;
+  f.locals.insert(f.locals.end(), args.begin(), args.end());
+  ++stats_.inst_reductions;
+  spawn_frame(std::move(f));
+}
+
+// ---------------------------------------------------------------------
+// Deliveries (called by the communication daemon)
+// ---------------------------------------------------------------------
+
+void Machine::io_send(const std::string& chan_name, const std::string& label,
+                      std::vector<Value> args) {
+  auto [it, inserted] = globals_.try_emplace(chan_name, 0);
+  if (inserted) it->second = new_channel();
+  channel_send(it->second, labels_.intern(label), std::move(args));
+}
+
+void Machine::deliver_message(std::uint64_t heap_id, const std::string& label,
+                              std::vector<Value> args) {
+  Value chan = resolve_exported_chan(heap_id);
+  channel_send(chan.idx, labels_.intern(label), std::move(args));
+}
+
+void Machine::deliver_object(std::uint64_t heap_id, std::uint32_t seg_slot,
+                             std::vector<Value> env) {
+  Value chan = resolve_exported_chan(heap_id);
+  channel_recv(chan.idx, ObjClosure{seg_slot, std::move(env)});
+}
+
+void Machine::resume_import(std::uint64_t token, Value v) {
+  auto it = parked_.find(token);
+  if (it == parked_.end()) {
+    error("resume of unknown import token");
+    return;
+  }
+  ParkedFrame pf = std::move(it->second);
+  parked_.erase(it);
+  if (pf.frame.locals.size() <= pf.dst) pf.frame.locals.resize(pf.dst + 1);
+  pf.frame.locals[pf.dst] = v;
+  spawn_frame(std::move(pf.frame));
+}
+
+// ---------------------------------------------------------------------
+// Export table
+// ---------------------------------------------------------------------
+
+std::uint64_t Machine::export_chan(std::uint32_t chan_idx) {
+  auto it = chan_to_heapid_.find(chan_idx);
+  if (it != chan_to_heapid_.end()) return it->second;
+  const std::uint64_t id = next_heap_id_++;
+  chan_to_heapid_[chan_idx] = id;
+  heapid_to_chan_[id] = chan_idx;
+  return id;
+}
+
+std::uint64_t Machine::export_class_value(Value cls) {
+  if (cls.tag != Value::Tag::kClass)
+    throw DecodeError("export of a non-class value as class");
+  auto it = class_to_heapid_.find(cls.idx);
+  if (it != class_to_heapid_.end()) return it->second;
+  const std::uint64_t id = next_heap_id_++;
+  class_to_heapid_[cls.idx] = id;
+  heapid_to_class_[id] = cls.idx;
+  return id;
+}
+
+Value Machine::resolve_exported_chan(std::uint64_t heap_id) const {
+  auto it = heapid_to_chan_.find(heap_id);
+  if (it == heapid_to_chan_.end())
+    throw DecodeError("unknown channel HeapId in network reference");
+  return Value::make_chan(it->second);
+}
+
+Value Machine::resolve_exported_class(std::uint64_t heap_id) const {
+  auto it = heapid_to_class_.find(heap_id);
+  if (it == heapid_to_class_.end())
+    throw DecodeError("unknown class HeapId in network reference");
+  return Value::make_class(it->second);
+}
+
+std::uint32_t Machine::intern_netref(const NetRef& r) {
+  auto it = netref_ids_.find(r);
+  if (it != netref_ids_.end()) return it->second;
+  const auto idx = static_cast<std::uint32_t>(netrefs_.size());
+  netrefs_.push_back(r);
+  netref_ids_[r] = idx;
+  return idx;
+}
+
+std::uint32_t Machine::intern_string(std::string_view s) {
+  return strings_.intern(s);
+}
+
+std::string Machine::display(const Value& v) const {
+  switch (v.tag) {
+    case Value::Tag::kInt: return std::to_string(v.i);
+    case Value::Tag::kBool: return v.b ? "true" : "false";
+    case Value::Tag::kFloat: return format_f64(v.f);
+    case Value::Tag::kStr: return strings_.name(v.idx);
+    case Value::Tag::kChan: return "#chan";
+    case Value::Tag::kClass: return "#class";
+    case Value::Tag::kNetRef:
+      return netrefs_.at(v.idx).kind == NetRef::Kind::kChan ? "#chan"
+                                                            : "#class";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------
+// Interpreter
+// ---------------------------------------------------------------------
+
+namespace {
+
+bool is_num(const Value& v) {
+  return v.tag == Value::Tag::kInt || v.tag == Value::Tag::kFloat;
+}
+double as_f(const Value& v) {
+  return v.tag == Value::Tag::kInt ? static_cast<double>(v.i) : v.f;
+}
+
+}  // namespace
+
+std::uint64_t Machine::run(std::uint64_t max_instructions) {
+  std::uint64_t executed = 0;
+  while (!queue_.empty() && executed < max_instructions) {
+    Frame f = std::move(queue_.front());
+    queue_.pop_front();
+    ++stats_.frames_run;
+    bool requeue = false;
+    executed += exec(f, max_instructions - executed, requeue);
+    if (requeue) queue_.push_front(std::move(f));
+  }
+  stats_.instructions += executed;
+  return executed;
+}
+
+std::uint64_t Machine::exec(Frame& f, std::uint64_t budget, bool& requeue) {
+  std::uint64_t n = 0;
+  const LinkedSegment* ls = &linked_.at(f.seg);
+  const std::vector<std::uint32_t>* code = &ls->seg->code;
+
+  auto pop = [&]() -> Value {
+    if (f.stack.empty()) throw VmError{"operand stack underflow"};
+    Value v = f.stack.back();
+    f.stack.pop_back();
+    return v;
+  };
+  auto pop_n = [&](std::uint32_t k) {
+    std::vector<Value> out(k);
+    for (std::uint32_t i = k; i-- > 0;) out[i] = pop();
+    return out;
+  };
+  auto store = [&](std::uint32_t slot, Value v) {
+    if (f.locals.size() <= slot) f.locals.resize(slot + 1);
+    f.locals[slot] = v;
+  };
+  // Backend calls may re-enter the machine and link new segments, which
+  // can reallocate linked_; refresh the cached pointers afterwards.
+  auto refresh = [&] {
+    ls = &linked_.at(f.seg);
+    code = &ls->seg->code;
+  };
+
+  try {
+    for (;;) {
+      if (n >= budget) {
+        requeue = true;  // preempted: resume this frame next time
+        return n;
+      }
+      // One bounds check per instruction; operand words read unchecked.
+      if (f.pc >= code->size()) throw VmError{"pc out of range"};
+      const std::uint32_t* cp = code->data() + f.pc;
+      const Op op = static_cast<Op>(cp[0]);
+      const int arity = op_arity(op);
+      if (f.pc + 1 + static_cast<std::uint32_t>(arity) > code->size())
+        throw VmError{"truncated instruction"};
+      const std::uint32_t a = arity >= 1 ? cp[1] : 0;
+      const std::uint32_t b = arity >= 2 ? cp[2] : 0;
+      const std::uint32_t c = arity >= 3 ? cp[3] : 0;
+      const std::uint32_t d = arity >= 4 ? cp[4] : 0;
+      if (trace_) {
+        std::string line = std::to_string(f.seg) + "@" +
+                           std::to_string(f.pc) + ": " + op_name(op);
+        for (int k = 0; k < arity; ++k) line += " " + std::to_string(cp[1 + k]);
+        trace_->push_back(std::move(line));
+      }
+      f.pc += 1 + static_cast<std::uint32_t>(arity);
+      ++n;
+
+      switch (op) {
+        case Op::kHalt:
+          return n;
+        case Op::kPushInt: {
+          const std::uint64_t lo = a, hi = b;
+          f.stack.push_back(Value::make_int(
+              static_cast<std::int64_t>(lo | (hi << 32))));
+          break;
+        }
+        case Op::kPushFloat:
+          f.stack.push_back(Value::make_float(ls->seg->floats.at(a)));
+          break;
+        case Op::kPushStr:
+          f.stack.push_back(Value::make_str(ls->string_map.at(a)));
+          break;
+        case Op::kPushBool:
+          f.stack.push_back(Value::make_bool(a != 0));
+          break;
+        case Op::kLoad:
+          if (a >= f.locals.size()) throw VmError{"load of unset local"};
+          f.stack.push_back(f.locals[a]);
+          break;
+        case Op::kStore:
+          store(a, pop());
+          break;
+
+        case Op::kAdd:
+        case Op::kSub:
+        case Op::kMul:
+        case Op::kDiv:
+        case Op::kMod:
+        case Op::kLt:
+        case Op::kLe:
+        case Op::kGt:
+        case Op::kGe: {
+          Value r = pop(), l = pop();
+          if (l.tag == Value::Tag::kInt && r.tag == Value::Tag::kInt) {
+            const std::int64_t x = l.i, y = r.i;
+            switch (op) {
+              case Op::kAdd: f.stack.push_back(Value::make_int(x + y)); break;
+              case Op::kSub: f.stack.push_back(Value::make_int(x - y)); break;
+              case Op::kMul: f.stack.push_back(Value::make_int(x * y)); break;
+              case Op::kDiv:
+                if (y == 0) throw VmError{"integer division by zero"};
+                f.stack.push_back(Value::make_int(x / y));
+                break;
+              case Op::kMod:
+                if (y == 0) throw VmError{"integer modulo by zero"};
+                f.stack.push_back(Value::make_int(x % y));
+                break;
+              case Op::kLt: f.stack.push_back(Value::make_bool(x < y)); break;
+              case Op::kLe: f.stack.push_back(Value::make_bool(x <= y)); break;
+              case Op::kGt: f.stack.push_back(Value::make_bool(x > y)); break;
+              case Op::kGe: f.stack.push_back(Value::make_bool(x >= y)); break;
+              default: break;
+            }
+          } else if (is_num(l) && is_num(r)) {
+            const double x = as_f(l), y = as_f(r);
+            switch (op) {
+              case Op::kAdd: f.stack.push_back(Value::make_float(x + y)); break;
+              case Op::kSub: f.stack.push_back(Value::make_float(x - y)); break;
+              case Op::kMul: f.stack.push_back(Value::make_float(x * y)); break;
+              case Op::kDiv: f.stack.push_back(Value::make_float(x / y)); break;
+              case Op::kMod: throw VmError{"modulo on floats"};
+              case Op::kLt: f.stack.push_back(Value::make_bool(x < y)); break;
+              case Op::kLe: f.stack.push_back(Value::make_bool(x <= y)); break;
+              case Op::kGt: f.stack.push_back(Value::make_bool(x > y)); break;
+              case Op::kGe: f.stack.push_back(Value::make_bool(x >= y)); break;
+              default: break;
+            }
+          } else {
+            throw VmError{std::string("non-numeric operands for ") +
+                          op_name(op)};
+          }
+          break;
+        }
+        case Op::kEq:
+        case Op::kNe: {
+          Value r = pop(), l = pop();
+          bool eq = false;
+          if (l.tag == r.tag) {
+            switch (l.tag) {
+              case Value::Tag::kInt: eq = l.i == r.i; break;
+              case Value::Tag::kBool: eq = l.b == r.b; break;
+              case Value::Tag::kFloat: eq = l.f == r.f; break;
+              case Value::Tag::kStr:
+                eq = strings_.name(l.idx) == strings_.name(r.idx);
+                break;
+              case Value::Tag::kChan:
+              case Value::Tag::kClass:
+              case Value::Tag::kNetRef:
+                eq = l.idx == r.idx;
+                break;
+            }
+          } else if (is_num(l) && is_num(r)) {
+            eq = as_f(l) == as_f(r);
+          }
+          f.stack.push_back(Value::make_bool(op == Op::kEq ? eq : !eq));
+          break;
+        }
+        case Op::kAndB:
+        case Op::kOrB: {
+          Value r = pop(), l = pop();
+          if (l.tag != Value::Tag::kBool || r.tag != Value::Tag::kBool)
+            throw VmError{"non-boolean operands for logical operator"};
+          f.stack.push_back(Value::make_bool(op == Op::kAndB ? (l.b && r.b)
+                                                             : (l.b || r.b)));
+          break;
+        }
+        case Op::kConcat: {
+          Value r = pop(), l = pop();
+          if (l.tag != Value::Tag::kStr || r.tag != Value::Tag::kStr)
+            throw VmError{"non-string operands for ++"};
+          f.stack.push_back(Value::make_str(
+              strings_.intern(strings_.name(l.idx) + strings_.name(r.idx))));
+          break;
+        }
+        case Op::kNeg: {
+          Value v = pop();
+          if (v.tag == Value::Tag::kInt)
+            f.stack.push_back(Value::make_int(-v.i));
+          else if (v.tag == Value::Tag::kFloat)
+            f.stack.push_back(Value::make_float(-v.f));
+          else
+            throw VmError{"non-numeric operand for negation"};
+          break;
+        }
+        case Op::kNot: {
+          Value v = pop();
+          if (v.tag != Value::Tag::kBool)
+            throw VmError{"non-boolean operand for !"};
+          f.stack.push_back(Value::make_bool(!v.b));
+          break;
+        }
+
+        case Op::kJmp:
+          f.pc = a;
+          break;
+        case Op::kJmpIfFalse: {
+          Value v = pop();
+          if (v.tag != Value::Tag::kBool)
+            throw VmError{"non-boolean condition"};
+          if (!v.b) f.pc = a;
+          break;
+        }
+
+        case Op::kNewChan:
+          store(a, Value::make_chan(new_channel()));
+          break;
+        case Op::kGlobal: {
+          const std::string& nm = ls->seg->strings.at(b);
+          auto [it, inserted] = globals_.try_emplace(nm, 0);
+          if (inserted) it->second = new_channel();
+          store(a, Value::make_chan(it->second));
+          break;
+        }
+
+        case Op::kTrMsg: {
+          Value target = pop();
+          std::vector<Value> args = pop_n(b);
+          if (target.tag == Value::Tag::kChan) {
+            channel_send(target.idx, ls->label_map.at(a), std::move(args));
+          } else if (target.tag == Value::Tag::kNetRef) {
+            if (!backend_) throw VmError{"remote message without a backend"};
+            backend_->ship_message(*this, netrefs_.at(target.idx),
+                                   ls->seg->labels.at(a), std::move(args));
+            refresh();
+          } else {
+            throw VmError{std::string("message target is a ") +
+                          tag_name(target.tag)};
+          }
+          break;
+        }
+        case Op::kTrObj: {
+          Value target = pop();
+          std::vector<Value> env = pop_n(b);
+          const std::uint32_t seg_slot = ls->dep_map.at(a);
+          if (target.tag == Value::Tag::kChan) {
+            channel_recv(target.idx, ObjClosure{seg_slot, std::move(env)});
+          } else if (target.tag == Value::Tag::kNetRef) {
+            if (!backend_) throw VmError{"remote object without a backend"};
+            backend_->ship_object(*this, netrefs_.at(target.idx), seg_slot,
+                                  std::move(env));
+            refresh();
+          } else {
+            throw VmError{std::string("object location is a ") +
+                          tag_name(target.tag)};
+          }
+          break;
+        }
+        case Op::kInstOf: {
+          Value cls = pop();
+          std::vector<Value> args = pop_n(a);
+          if (cls.tag == Value::Tag::kClass) {
+            instantiate_class(cls, std::move(args));
+          } else if (cls.tag == Value::Tag::kNetRef) {
+            if (!backend_)
+              throw VmError{"remote instantiation without a backend"};
+            backend_->fetch_instantiate(*this, netrefs_.at(cls.idx),
+                                        std::move(args));
+            refresh();
+          } else {
+            throw VmError{std::string("instantiation of a ") +
+                          tag_name(cls.tag)};
+          }
+          break;
+        }
+        case Op::kFork: {
+          Frame g;
+          g.seg = f.seg;
+          g.pc = a;
+          g.block = f.block;
+          g.locals = pop_n(b);
+          ++stats_.forks;
+          spawn_frame(std::move(g));
+          break;
+        }
+        case Op::kMkBlock: {
+          const std::uint32_t seg_slot = ls->dep_map.at(a);
+          std::vector<Value> env = pop_n(b);
+          const std::uint32_t blk = make_block(seg_slot, std::move(env));
+          const Segment& bseg = *linked_.at(seg_slot).seg;
+          if (bseg.code.at(0) != c) throw VmError{"class count mismatch"};
+          for (std::uint32_t k = 0; k < c; ++k)
+            store(d + k, make_class_value(blk, k));
+          break;
+        }
+        case Op::kLoadSibling: {
+          if (f.block == Frame::kNoBlock)
+            throw VmError{"sibling class reference outside a def block"};
+          f.stack.push_back(make_class_value(f.block, a));
+          break;
+        }
+        case Op::kPrint: {
+          std::vector<Value> args = pop_n(a);
+          std::string line;
+          for (std::size_t i = 0; i < args.size(); ++i) {
+            if (i) line += ' ';
+            line += display(args[i]);
+          }
+          output_.push_back(std::move(line));
+          ++stats_.prints;
+          break;
+        }
+        case Op::kExportName: {
+          if (!backend_) throw VmError{"export without a backend"};
+          if (a >= f.locals.size() ||
+              f.locals[a].tag != Value::Tag::kChan)
+            throw VmError{"export of a non-channel"};
+          backend_->export_name(*this, ls->seg->strings.at(b), f.locals[a]);
+          refresh();
+          break;
+        }
+        case Op::kExportClass: {
+          if (!backend_) throw VmError{"export without a backend"};
+          if (a >= f.locals.size() ||
+              f.locals[a].tag != Value::Tag::kClass)
+            throw VmError{"export of a non-class"};
+          backend_->export_class(*this, ls->seg->strings.at(b), f.locals[a]);
+          refresh();
+          break;
+        }
+        case Op::kImportName:
+        case Op::kImportClass: {
+          if (!backend_) throw VmError{"import without a backend"};
+          const std::string& site = ls->seg->strings.at(b);
+          const std::string& nm = ls->seg->strings.at(c);
+          const std::uint64_t token = next_token_++;
+          parked_[token] = ParkedFrame{std::move(f), a};
+          // NOTE: `f` is moved from; we must not touch it again. The
+          // backend may resume synchronously (re-entrantly) — that is
+          // safe because resume only touches the parked table and queue.
+          if (op == Op::kImportName)
+            backend_->import_name(*this, site, nm, token);
+          else
+            backend_->import_class(*this, site, nm, token);
+          return n;
+        }
+      }
+    }
+  } catch (const VmError& e) {
+    error(e.what);
+    return n;
+  } catch (const std::exception& e) {
+    // DecodeError from linking, out_of_range from a hostile segment that
+    // slipped past verification, bad_alloc-adjacent failures: the frame
+    // dies, the machine survives.
+    error(e.what());
+    return n;
+  }
+}
+
+}  // namespace dityco::vm

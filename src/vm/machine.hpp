@@ -1,0 +1,307 @@
+// The (extended) TyCO virtual machine: one instance per site.
+//
+// Architecture per the paper (section 5, fig. 3): a program area (linked
+// code segments), a heap of channels holding pending messages/objects, a
+// run-queue of small threads (frames), a per-frame operand stack for
+// builtin expressions, and an export table mapping local heap references
+// to hardware-independent network references. Remote interaction
+// (trmsg/trobj on network references, instof on remote classes,
+// export/import) is delegated to a RemoteBackend implemented by the
+// distribution runtime in src/core; the machine itself is single-threaded
+// and has no knowledge of transports.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/intern.hpp"
+#include "vm/segment.hpp"
+#include "vm/value.hpp"
+
+namespace dityco::vm {
+
+class Machine;
+
+/// Distribution hooks. The default-constructed Machine has none and
+/// records a runtime error if a program attempts remote interaction.
+class RemoteBackend {
+ public:
+  virtual ~RemoteBackend() = default;
+
+  /// Rule SHIPM: a message for a name in another site's heap.
+  virtual void ship_message(Machine& m, const NetRef& target,
+                            const std::string& label,
+                            std::vector<Value> args) = 0;
+  /// Rule SHIPO: an object whose location is another site's heap.
+  virtual void ship_object(Machine& m, const NetRef& target,
+                           std::uint32_t seg_slot, std::vector<Value> env) = 0;
+  /// Rule FETCH: instantiate a class defined at another site. The backend
+  /// downloads (or finds cached) the code and eventually instantiates.
+  virtual void fetch_instantiate(Machine& m, const NetRef& cls,
+                                 std::vector<Value> args) = 0;
+  virtual void export_name(Machine& m, const std::string& name,
+                           Value chan) = 0;
+  virtual void export_class(Machine& m, const std::string& name,
+                            Value cls) = 0;
+  /// Asynchronous name-service lookups; the backend must eventually call
+  /// Machine::resume_import(token, value) (possibly much later).
+  virtual void import_name(Machine& m, const std::string& site,
+                           const std::string& name, std::uint64_t token) = 0;
+  virtual void import_class(Machine& m, const std::string& site,
+                            const std::string& name, std::uint64_t token) = 0;
+};
+
+/// An object closure pending at a channel: a method-table segment plus
+/// the values captured from its lexical environment.
+struct ObjClosure {
+  std::uint32_t seg = 0;
+  std::vector<Value> env;
+};
+
+struct PendingMsg {
+  std::uint32_t label = 0;  // site-global label id
+  std::vector<Value> args;
+};
+
+/// A heap channel (the paper's "name"): queues of messages and objects
+/// waiting for their counterpart.
+struct Channel {
+  std::deque<PendingMsg> msgs;
+  std::deque<ObjClosure> objs;
+};
+
+/// A definition block instance: the runtime form of `def D in P`. Shared
+/// by all classes of the block; the environment holds the block's
+/// captured free values.
+struct Block {
+  std::uint32_t seg = 0;
+  std::vector<Value> env;
+};
+
+/// A class value: which block, which class within it.
+struct ClassEntry {
+  std::uint32_t block = 0;
+  std::uint32_t cls = 0;
+};
+
+/// A runnable thread: a small byte-code block with its bindings. Threads
+/// are "a few tens of byte-code instructions" (paper, section 1), so the
+/// scheduler runs each to completion and context switches are cheap.
+struct Frame {
+  std::uint32_t seg = 0;
+  std::uint32_t pc = 0;
+  std::uint32_t block = kNoBlock;  // enclosing def block (for kLoadSibling)
+  std::vector<Value> locals;
+  std::vector<Value> stack;
+
+  static constexpr std::uint32_t kNoBlock = 0xffffffffu;
+};
+
+class Machine {
+ public:
+  struct Stats {
+    std::uint64_t instructions = 0;
+    std::uint64_t comm_reductions = 0;   // message met object
+    std::uint64_t inst_reductions = 0;   // class instantiations
+    std::uint64_t forks = 0;
+    std::uint64_t frames_run = 0;        // context switches
+    std::uint64_t prints = 0;
+  };
+
+  explicit Machine(std::string name, std::uint32_t node_id = 0,
+                   std::uint32_t site_id = 0,
+                   RemoteBackend* backend = nullptr);
+
+  const std::string& name() const { return name_; }
+  std::uint32_t node_id() const { return node_id_; }
+  std::uint32_t site_id() const { return site_id_; }
+  void set_backend(RemoteBackend* b) { backend_ = b; }
+
+  // ---- program loading and linking -----------------------------------
+
+  /// Load a compiled program: stamps fresh GUIDs, links every segment.
+  /// Returns the site segment slot of the program's root segment.
+  std::uint32_t load_program(const Program& p);
+
+  /// Load a program and enqueue a frame at its entry point.
+  void spawn_program(const Program& p);
+
+  /// Link a shipped segment (and, recursively, its dependencies, looked
+  /// up in `pool`). Deduplicates by GUID. Returns the site slot.
+  std::uint32_t link(const SegmentGuid& guid,
+                     const std::map<SegmentGuid, Segment>& pool);
+
+  /// Serialise the segment closure rooted at `slot` (for SHIPO/FETCH).
+  void collect_closure(std::uint32_t slot, std::vector<Segment>& out) const;
+
+  bool has_segment(const SegmentGuid& guid) const {
+    return guid_to_slot_.contains(guid);
+  }
+
+  // ---- execution ------------------------------------------------------
+
+  /// Execute up to `max_instructions`; returns the number executed.
+  /// Stops early when the run queue drains.
+  std::uint64_t run(std::uint64_t max_instructions);
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t runnable() const { return queue_.size(); }
+  std::size_t parked() const { return parked_.size(); }
+  std::uint64_t pending_messages() const { return pending_msgs_; }
+  std::uint64_t pending_objects() const { return pending_objs_; }
+
+  void spawn_frame(Frame f) { queue_.push_back(std::move(f)); }
+
+  // ---- channel operations (shared by local execution and deliveries) --
+
+  std::uint32_t new_channel();
+  void channel_send(std::uint32_t chan, std::uint32_t label,
+                    std::vector<Value> args);
+  void channel_recv(std::uint32_t chan, ObjClosure obj);
+
+  /// Instantiate a (local) class value with the given arguments.
+  void instantiate_class(Value cls, std::vector<Value> args);
+
+  std::uint32_t make_block(std::uint32_t seg_slot, std::vector<Value> env);
+  Value make_class_value(std::uint32_t block, std::uint32_t cls);
+  const ClassEntry& class_entry(std::uint32_t idx) const {
+    return classes_.at(idx);
+  }
+  const Block& block(std::uint32_t idx) const { return blocks_.at(idx); }
+
+  // ---- deliveries from the communication daemon ----------------------
+
+  /// The site's I/O port (paper, section 5: "An I/O port is required for
+  /// each site ... so that users may selectively provide data to running
+  /// programs"): posts a message to the site-global free-name channel
+  /// `chan_name`, creating it if needed. Programs receive it with an
+  /// ordinary object (e.g. `io?(v) = ...`); output flows back through
+  /// `print` into output().
+  void io_send(const std::string& chan_name, const std::string& label,
+               std::vector<Value> args);
+
+  void deliver_message(std::uint64_t heap_id, const std::string& label,
+                       std::vector<Value> args);
+  void deliver_object(std::uint64_t heap_id, std::uint32_t seg_slot,
+                      std::vector<Value> env);
+  void resume_import(std::uint64_t token, Value v);
+
+  // ---- export table (section 5) ---------------------------------------
+
+  /// Register a channel in the export table (idempotent); returns HeapId.
+  std::uint64_t export_chan(std::uint32_t chan_idx);
+  /// Register a class value; returns HeapId.
+  std::uint64_t export_class_value(Value cls);
+  /// Translate an incoming HeapId back to the local channel (throws
+  /// VmError if unknown — a forged reference).
+  Value resolve_exported_chan(std::uint64_t heap_id) const;
+  Value resolve_exported_class(std::uint64_t heap_id) const;
+
+  // ---- interning / tables ---------------------------------------------
+
+  std::uint32_t intern_netref(const NetRef& r);
+  const NetRef& netref(std::uint32_t idx) const { return netrefs_.at(idx); }
+  std::uint32_t intern_string(std::string_view s);
+  const std::string& str(std::uint32_t idx) const { return strings_.name(idx); }
+  std::uint32_t intern_label(std::string_view s) {
+    return labels_.intern(s);
+  }
+  const std::string& label_name(std::uint32_t id) const {
+    return labels_.name(id);
+  }
+  const Segment& segment(std::uint32_t slot) const {
+    return *linked_.at(slot).seg;
+  }
+
+  /// Render a value the way `print` does (identical to the reducer).
+  std::string display(const Value& v) const;
+
+  // ---- observability ---------------------------------------------------
+
+  const std::vector<std::string>& output() const { return output_; }
+  const std::vector<std::string>& errors() const { return errors_; }
+  const Stats& stats() const { return stats_; }
+  void clear_output() { output_.clear(); }
+
+  /// Instruction tracing (debugging aid): when a sink is set, every
+  /// executed instruction appends one "seg@pc: op a b" line. Null
+  /// disables tracing (the default; zero overhead on the fast path).
+  void set_trace(std::vector<std::string>* sink) { trace_ = sink; }
+
+ private:
+  struct LinkedSegment {
+    std::shared_ptr<const Segment> seg;
+    std::vector<std::uint32_t> label_map;   // seg label idx -> site label id
+    std::vector<std::uint32_t> string_map;  // seg string idx -> site str id
+    std::vector<std::uint32_t> dep_map;     // seg dep idx -> site seg slot
+  };
+
+  struct ParkedFrame {
+    Frame frame;
+    std::uint32_t dst = 0;
+  };
+
+  struct VmError {
+    std::string what;
+  };
+
+  std::uint32_t link_loaded(std::shared_ptr<const Segment> seg,
+                            std::vector<std::uint32_t> dep_map);
+  /// Execute one frame until it halts, parks, or the budget runs out.
+  /// Returns instructions consumed; sets `requeue` if the frame must be
+  /// put back (budget exhaustion).
+  std::uint64_t exec(Frame& f, std::uint64_t budget, bool& requeue);
+  void reduce(std::uint32_t chan, ObjClosure obj, PendingMsg msg);
+  void error(const std::string& what) { errors_.push_back(name_ + ": " + what); }
+
+  std::string name_;
+  std::uint32_t node_id_, site_id_;
+  RemoteBackend* backend_;
+
+  std::vector<LinkedSegment> linked_;
+  std::map<SegmentGuid, std::uint32_t> guid_to_slot_;
+  std::uint32_t next_guid_index_ = 0;
+
+  std::vector<Channel> heap_;
+  std::map<std::string, std::uint32_t> globals_;  // free-name channels
+  std::vector<Block> blocks_;
+  std::vector<ClassEntry> classes_;
+  std::deque<Frame> queue_;
+  std::map<std::uint64_t, ParkedFrame> parked_;
+  std::uint64_t next_token_ = 1;
+
+  Interner strings_;
+  Interner labels_;
+  std::vector<NetRef> netrefs_;
+  std::map<NetRef, std::uint32_t> netref_ids_;
+
+  // Export table: HeapId <-> local reference, both directions (paper §5).
+  std::map<std::uint32_t, std::uint64_t> chan_to_heapid_;
+  std::map<std::uint64_t, std::uint32_t> heapid_to_chan_;
+  std::map<std::uint32_t, std::uint64_t> class_to_heapid_;
+  std::map<std::uint64_t, std::uint32_t> heapid_to_class_;
+  std::uint64_t next_heap_id_ = 1;
+
+  std::uint64_t pending_msgs_ = 0;
+  std::uint64_t pending_objs_ = 0;
+
+  std::vector<std::string> output_;
+  std::vector<std::string> errors_;
+  std::vector<std::string>* trace_ = nullptr;
+  Stats stats_;
+};
+
+/// Ordering for NetRef so it can key maps.
+inline bool operator<(const NetRef& a, const NetRef& b) {
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.node != b.node) return a.node < b.node;
+  if (a.site != b.site) return a.site < b.site;
+  return a.heap_id < b.heap_id;
+}
+
+}  // namespace dityco::vm

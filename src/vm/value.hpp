@@ -1,0 +1,93 @@
+// Runtime values of the TyCO virtual machine. A value is a small tagged
+// word: builtin data (int/bool/float), an index into the site's string
+// heap, a local heap reference (channel), a class closure, or a *network
+// reference* — the paper's hardware-independent triple
+// (HeapId, SiteId, IpAddress) pointing into another site's heap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dityco::vm {
+
+/// Network reference (section 5, "Local vs Network References").
+/// `node` stands in for the IP address; `site` identifies the site within
+/// the node; `heap_id` is the export-table key in the owning site. `kind`
+/// distinguishes references to names (channels) from references to class
+/// code (fetchable definition blocks).
+struct NetRef {
+  enum class Kind : std::uint8_t { kChan = 0, kClass = 1 };
+  Kind kind = Kind::kChan;
+  std::uint32_t node = 0;
+  std::uint32_t site = 0;
+  std::uint64_t heap_id = 0;
+
+  bool operator==(const NetRef&) const = default;
+};
+
+struct Value {
+  enum class Tag : std::uint8_t {
+    kInt,
+    kBool,
+    kFloat,
+    kStr,     // index into the site string heap
+    kChan,    // index into the site channel heap
+    kClass,   // index into the site class-closure table
+    kNetRef,  // index into the site network-reference table
+  };
+
+  Tag tag = Tag::kInt;
+  union {
+    std::int64_t i;
+    double f;
+    bool b;
+    std::uint32_t idx;
+  };
+
+  static Value make_int(std::int64_t v) {
+    Value x;
+    x.tag = Tag::kInt;
+    x.i = v;
+    return x;
+  }
+  static Value make_bool(bool v) {
+    Value x;
+    x.tag = Tag::kBool;
+    x.b = v;
+    return x;
+  }
+  static Value make_float(double v) {
+    Value x;
+    x.tag = Tag::kFloat;
+    x.f = v;
+    return x;
+  }
+  static Value make_str(std::uint32_t heap_idx) {
+    Value x;
+    x.tag = Tag::kStr;
+    x.idx = heap_idx;
+    return x;
+  }
+  static Value make_chan(std::uint32_t heap_idx) {
+    Value x;
+    x.tag = Tag::kChan;
+    x.idx = heap_idx;
+    return x;
+  }
+  static Value make_class(std::uint32_t idx) {
+    Value x;
+    x.tag = Tag::kClass;
+    x.idx = idx;
+    return x;
+  }
+  static Value make_netref(std::uint32_t idx) {
+    Value x;
+    x.tag = Tag::kNetRef;
+    x.idx = idx;
+    return x;
+  }
+};
+
+const char* tag_name(Value::Tag t);
+
+}  // namespace dityco::vm

@@ -1,0 +1,46 @@
+// Byte-code verification.
+//
+// Code segments arrive over the network (rules SHIPO and FETCH), so a
+// site must not trust them: before linking, every segment is checked for
+// structural integrity — decodable instruction stream, in-range jump
+// targets, constant-pool and dependency indices, and well-formed
+// method/class tables. A verified segment cannot make the interpreter
+// read out of bounds (locals are still checked dynamically; values are
+// checked by the marshaller).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vm/segment.hpp"
+
+namespace dityco::vm {
+
+/// How a segment is entered, which determines its leading table.
+enum class SegmentRole {
+  kEntry,   // root or fork target: code from offset 0
+  kObject,  // starts with [nmethods, (labelidx, nparams, offset)*]
+  kClass,   // starts with [nclasses, (nparams, offset)*]
+  kAny,     // role unknown (e.g. shipped): accept any consistent reading
+};
+
+/// Verify one segment. Returns the list of problems (empty = valid).
+/// `ndeps` entries of the dependency table are assumed resolvable; the
+/// linker enforces that separately.
+std::vector<std::string> verify_segment(const Segment& seg, SegmentRole role);
+
+/// Verify a whole compiled program (root = entry, dependencies classified
+/// by how they are referenced).
+std::vector<std::string> verify_program(const Program& p);
+
+/// Classify each segment of a compiled program by how it is referenced
+/// (kTrObj dependency -> object, kMkBlock dependency -> class, root ->
+/// entry; unreferenced -> kAny). Shared by the verifier, the assembler
+/// and the peephole optimiser.
+std::vector<SegmentRole> classify_roles(const Program& p);
+
+/// Offset of the first instruction in a segment under the given role
+/// (skips the object/class table).
+std::size_t code_start(const Segment& seg, SegmentRole role);
+
+}  // namespace dityco::vm

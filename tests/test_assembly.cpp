@@ -1,0 +1,156 @@
+// Tests for the textual VM assembly (the paper's intermediate form):
+// exact round trips through to_assembly/from_assembly, behavioural
+// equivalence of re-assembled programs, hand-written assembly, and
+// malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include "compiler/assembly.hpp"
+#include "compiler/codegen.hpp"
+#include "vm/machine.hpp"
+
+namespace dityco::comp {
+namespace {
+
+const char* kPrograms[] = {
+    "print[1, true, \"s\", 2.5]",
+    "new x (x!greet[41] | x?{ greet(v) = print[v + 1] })",
+    "def Cell(self, v) = self?{ read(r) = (r![v] | Cell[self, v]), "
+    "write(u) = Cell[self, u] } in "
+    "new x (Cell[x, 9] | new z (x!read[z] | z?(w) = print[w]))",
+    "def Even(n, r) = if n == 0 then r![true] else Odd[n - 1, r] "
+    "and Odd(n, r) = if n == 0 then r![false] else Even[n - 1, r] "
+    "in new o (Even[7, o] | o?(b) = print[b])",
+    "import p from server in export new q in (p![1] | q?(v) = print[v])",
+    "new a, b (a![10] | a?(x) = b?{ get(r) = r![x * x] } | "
+    "new r (b!get[r] | r?(v) = print[v]))",
+};
+
+class AsmRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AsmRoundTrip, ExactWordsAndPools) {
+  const auto prog = compile_source(GetParam());
+  const std::string text = to_assembly(prog);
+  const auto back = from_assembly(text);
+  ASSERT_EQ(back.segments.size(), prog.segments.size());
+  EXPECT_EQ(back.root, prog.root);
+  for (std::size_t s = 0; s < prog.segments.size(); ++s) {
+    EXPECT_EQ(back.segments[s].code, prog.segments[s].code) << "seg " << s;
+    EXPECT_EQ(back.segments[s].labels, prog.segments[s].labels);
+    EXPECT_EQ(back.segments[s].strings, prog.segments[s].strings);
+    EXPECT_EQ(back.segments[s].floats, prog.segments[s].floats);
+    EXPECT_EQ(back.segments[s].deps, prog.segments[s].deps);
+  }
+}
+
+TEST_P(AsmRoundTrip, AssembledProgramBehavesIdentically) {
+  const char* src = GetParam();
+  if (std::string(src).find("import") != std::string::npos)
+    GTEST_SKIP() << "needs a backend";
+  const auto prog = compile_source(src);
+  const auto back = from_assembly(to_assembly(prog));
+
+  vm::Machine m1("a"), m2("b");
+  m1.spawn_program(prog);
+  m2.spawn_program(back);
+  m1.run(1'000'000);
+  m2.run(1'000'000);
+  EXPECT_EQ(m1.errors(), m2.errors());
+  EXPECT_EQ(m1.output(), m2.output());
+}
+
+TEST_P(AsmRoundTrip, AssemblyIsAFixpoint) {
+  const auto prog = compile_source(GetParam());
+  const std::string a1 = to_assembly(prog);
+  const std::string a2 = to_assembly(from_assembly(a1));
+  EXPECT_EQ(a1, a2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, AsmRoundTrip,
+                         ::testing::ValuesIn(kPrograms));
+
+TEST(Assembly, HandWrittenProgramRuns) {
+  // print[7 * 6] written directly in assembly.
+  const char* text =
+      ".segment 0 root\n"
+      ".code\n"
+      "  pushi 7 0\n"
+      "  pushi 6 0\n"
+      "  mul\n"
+      "  print 1\n"
+      "  halt\n"
+      ".end\n";
+  vm::Machine m("asm");
+  m.spawn_program(from_assembly(text));
+  m.run(1000);
+  EXPECT_TRUE(m.errors().empty());
+  EXPECT_EQ(m.output(), std::vector<std::string>{"42"});
+}
+
+TEST(Assembly, HandWrittenObjectSegment) {
+  const char* text =
+      ".segment 0 root\n"
+      ".labels go\n"
+      ".deps 1\n"
+      ".code\n"
+      "  newc 0\n"          // channel in slot 0
+      "  load 0\n"
+      "  trobj 0 0\n"       // object (dep 0, no captures) at the channel
+      "  pushi 5 0\n"
+      "  load 0\n"
+      "  trmsg 0 1\n"       // go(5)
+      "  halt\n"
+      ".end\n"
+      ".segment 1 object\n"
+      ".labels go\n"
+      ".table (0 1 4)\n"    // method go/1 at offset 4
+      ".code\n"
+      "  4: load 0\n"
+      "  pushi 100 0\n"
+      "  add\n"
+      "  print 1\n"
+      "  halt\n"
+      ".end\n";
+  vm::Machine m("asm");
+  m.spawn_program(from_assembly(text));
+  m.run(1000);
+  ASSERT_TRUE(m.errors().empty()) << m.errors()[0];
+  EXPECT_EQ(m.output(), std::vector<std::string>{"105"});
+}
+
+TEST(Assembly, CommentsAndOffsetsOptional) {
+  const char* text =
+      "; a comment\n"
+      ".segment 0 root   ; trailing comment\n"
+      ".code\n"
+      "  pushb 1\n"
+      "  print 1\n"
+      "  halt\n"
+      ".end\n";
+  vm::Machine m("asm");
+  m.spawn_program(from_assembly(text));
+  m.run(100);
+  EXPECT_EQ(m.output(), std::vector<std::string>{"true"});
+}
+
+TEST(Assembly, Errors) {
+  EXPECT_THROW(from_assembly(""), CompileError);
+  EXPECT_THROW(from_assembly(".segment 1 root\n.code\n.end\n"),
+               CompileError);  // out of order
+  EXPECT_THROW(from_assembly(".segment 0 bogus\n.code\n.end\n"),
+               CompileError);
+  EXPECT_THROW(from_assembly(".segment 0 root\n.code\n  frobnicate\n.end\n"),
+               CompileError);
+  EXPECT_THROW(from_assembly(".segment 0 root\n.code\n  pushi 1\n"),
+               CompileError);  // missing operand + missing .end
+  EXPECT_THROW(from_assembly(".segment 0 root\n.strings \"open\n.code\n.end"),
+               CompileError);
+}
+
+TEST(Assembly, FloatsSurviveExactly) {
+  const auto prog = compile_source("print[0.1, -2.5e10, 3.141592653589793]");
+  const auto back = from_assembly(to_assembly(prog));
+  EXPECT_EQ(back.segments[0].floats, prog.segments[0].floats);
+}
+
+}  // namespace
+}  // namespace dityco::comp

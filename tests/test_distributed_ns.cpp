@@ -1,0 +1,121 @@
+// Tests for the replicated name service (the paper's future-work
+// extension): lookups answered by the node-local replica, exports
+// broadcast to every replica, parked lookups released by the broadcast,
+// and full agreement with the centralised service on the paper examples.
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+
+namespace dityco::core {
+namespace {
+
+Network dist_net(Network::Mode mode = Network::Mode::kSequential) {
+  Network::Config cfg;
+  cfg.mode = mode;
+  cfg.distributed_ns = true;
+  Network net(cfg);
+  net.add_node();
+  net.add_node();
+  net.add_site(0, "server");
+  net.add_site(1, "client");
+  return net;
+}
+
+TEST(DistributedNs, RpcWorks) {
+  auto net = dist_net();
+  net.submit_network_source(
+      "site server { export new p in p?{ val(x, rep) = rep![x * 2] } }\n"
+      "site client { import p from server in let z = p![21] in print[z] }");
+  auto res = net.run();
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_TRUE(net.all_errors().empty());
+  EXPECT_EQ(net.output("client"), std::vector<std::string>{"42"});
+}
+
+TEST(DistributedNs, LookupBeforeExportParksAtLocalReplica) {
+  auto net = dist_net();
+  net.submit_source("client",
+                    "import p from server in let z = p![1] in print[z]");
+  auto r1 = net.run();
+  EXPECT_TRUE(r1.stalled);
+  // The broadcasted export must release the parked lookup at the
+  // client's replica.
+  net.submit_source("server",
+                    "export new p in p?{ val(x, rep) = rep![x + 1] }");
+  auto r2 = net.run();
+  EXPECT_TRUE(r2.quiescent);
+  EXPECT_EQ(net.output("client"), std::vector<std::string>{"2"});
+}
+
+TEST(DistributedNs, CodeFetchingWorks) {
+  auto net = dist_net();
+  net.submit_network_source(
+      "site server { export def Applet(out) = out![7] in 0 }\n"
+      "site client { import Applet from server in "
+      "new p (Applet[p] | p?(v) = print[v]) }");
+  auto res = net.run();
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_EQ(net.output("client"), std::vector<std::string>{"7"});
+}
+
+TEST(DistributedNs, LookupsDoNotCrossTheNetwork) {
+  auto net = dist_net();
+  net.submit_network_source(
+      "site server { export new p in 0 }\n"
+      "site client { import p from server in 0 }");
+  auto res = net.run();
+  EXPECT_TRUE(res.quiescent);
+  // Wire traffic is only the export broadcast (server -> client's
+  // replica); the client's lookup and its reply stay on-node.
+  EXPECT_EQ(res.packets, 1u);
+}
+
+TEST(DistributedNs, ThreadedDriverWorks) {
+  auto net = dist_net(Network::Mode::kThreaded);
+  net.submit_network_source(
+      "site server { export new p in p?{ val(x, rep) = rep![x * 2] } }\n"
+      "site client { import p from server in let z = p![21] in print[z] }");
+  auto res = net.run();
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_EQ(net.output("client"), std::vector<std::string>{"42"});
+}
+
+TEST(DistributedNs, ManyImportersAllServedLocally) {
+  Network::Config cfg;
+  cfg.distributed_ns = true;
+  Network net(cfg);
+  net.add_node();
+  net.add_site(0, "server");
+  const int clients = 6;
+  for (int i = 0; i < clients; ++i) {
+    net.add_node();
+    net.add_site(static_cast<std::size_t>(i) + 1, "c" + std::to_string(i));
+  }
+  net.submit_source("server",
+                    "def S(self) = self?{ val(x, r) = (r![x * x] | S[self]) "
+                    "} in export new sq in S[sq]");
+  for (int i = 0; i < clients; ++i)
+    net.submit_source("c" + std::to_string(i),
+                      "import sq from server in let z = sq![" +
+                          std::to_string(i + 2) + "] in print[z]");
+  auto res = net.run();
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_TRUE(net.all_errors().empty());
+  for (int i = 0; i < clients; ++i)
+    EXPECT_EQ(net.output("c" + std::to_string(i)),
+              std::vector<std::string>{std::to_string((i + 2) * (i + 2))});
+}
+
+TEST(DistributedNs, SimDriverQuiesces) {
+  auto net = dist_net(Network::Mode::kSim);
+  net.submit_network_source(
+      "site server { export new p in p?{ val(x, rep) = rep![x * 2] } }\n"
+      "site client { import p from server in let z = p![21] in print[z] }");
+  auto res = net.run();
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_EQ(net.output("client"), std::vector<std::string>{"42"});
+  EXPECT_GT(res.virtual_time_us, 0.0);
+}
+
+}  // namespace
+}  // namespace dityco::core

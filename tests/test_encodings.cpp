@@ -1,0 +1,250 @@
+// Encodings of higher-level constructs in the kernel calculus — the
+// paper's claim 3 in section 1: "they are scalable in the sense that
+// high level constructs can be readily obtained from encodings in the
+// kernel calculus". Each test is a DiTyCO program implementing a classic
+// construct purely with messages, objects and classes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/network.hpp"
+
+namespace dityco::core {
+namespace {
+
+std::vector<std::string> run_main(const std::string& src) {
+  Network net;
+  net.add_node();
+  net.add_site(0, "main");
+  net.submit_source("main", src);
+  auto res = net.run();
+  EXPECT_TRUE(res.quiescent) << src;
+  EXPECT_TRUE(net.all_errors().empty())
+      << net.all_errors().empty() << src;
+  return net.output("main");
+}
+
+std::vector<std::string> sorted(std::vector<std::string> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(Encodings, BooleansAsSelection) {
+  // A boolean is a channel answering `case` by signalling one of two
+  // continuations — branching without `if`.
+  auto out = run_main(R"(
+    def True(self)  = self?{ case(t, f) = (t![] | True[self]) }
+    and False(self) = self?{ case(t, f) = (f![] | False[self]) }
+    in
+    new b, yes, no (
+      True[b]
+      | b!case[yes, no]
+      | yes?() = print["took the true branch"]
+      | no?()  = print["took the false branch"]
+    )
+  )");
+  EXPECT_EQ(out, std::vector<std::string>{"took the true branch"});
+}
+
+TEST(Encodings, ListsAsObjects) {
+  // cons cells are objects with a `match` method; Sum folds the list.
+  auto out = run_main(R"(
+    def Nil(self) = self?{ match(onNil, onCons) = (onNil![] | Nil[self]) }
+    and Cons(self, hd, tl) =
+      self?{ match(onNil, onCons) = (onCons![hd, tl] | Cons[self, hd, tl]) }
+    and Sum(list, acc, reply) =
+      new n, c (
+        list!match[n, c]
+        | n?() = reply![acc]
+        | c?(hd, tl) = Sum[tl, acc + hd, reply]
+      )
+    in
+    new l0, l1, l2, l3, r (
+      Nil[l0] | Cons[l1, 3, l0] | Cons[l2, 2, l1] | Cons[l3, 1, l2]
+      | Sum[l3, 0, r]
+      | r?(total) = print["sum:", total]
+    )
+  )");
+  EXPECT_EQ(out, std::vector<std::string>{"sum: 6"});
+}
+
+TEST(Encodings, MutexAsToken) {
+  // A lock is a channel holding one token message; acquire = consume,
+  // release = replace. Two critical sections cannot interleave, so the
+  // counter reads are strictly increasing.
+  auto out = run_main(R"(
+    def Worker(lock, cell, who, done) =
+      lock?() =                          -- acquire
+        new r (cell!read[r] | r?(v) =
+          (cell!write[v + 1] |
+           new r2 (cell!read[r2] | r2?(w) =
+             (print[who, "saw", w] | lock![] | done![]))))
+    and Cell(self, v) = self?{ read(r) = (r![v] | Cell[self, v]),
+                               write(u) = Cell[self, u] }
+    in
+    new lock, cell, d1, d2 (
+      Cell[cell, 0] | lock![]
+      | Worker[lock, cell, "a", d1]
+      | Worker[lock, cell, "b", d2]
+      | d1?() = d2?() = print["both done"]
+    )
+  )");
+  ASSERT_EQ(out.size(), 3u);
+  // One worker saw 1, the other saw 2 (order may vary), then both done.
+  auto s = sorted({out[0], out[1]});
+  EXPECT_TRUE((s == std::vector<std::string>{"a saw 1", "b saw 2"}) ||
+              (s == std::vector<std::string>{"a saw 2", "b saw 1"}))
+      << out[0] << " / " << out[1];
+  EXPECT_EQ(out[2], "both done");
+}
+
+TEST(Encodings, SemaphoreWithNPermits) {
+  // N tokens in the channel = counting semaphore. With 2 permits and 4
+  // jobs, at most two run concurrently; all finish.
+  auto out = run_main(R"(
+    def Job(sem, k, done) =
+      sem?() = (print["run", k] | sem![] | done![])
+    and Join(done, n) = if n == 0 then print["all done"]
+                        else done?() = Join[done, n - 1]
+    in
+    new sem, done (
+      sem![] | sem![]                        -- two permits
+      | Job[sem, 1, done] | Job[sem, 2, done]
+      | Job[sem, 3, done] | Job[sem, 4, done]
+      | Join[done, 4]
+    )
+  )");
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[4], "all done");
+  EXPECT_EQ(sorted({out[0], out[1], out[2], out[3]}),
+            (std::vector<std::string>{"run 1", "run 2", "run 3", "run 4"}));
+}
+
+TEST(Encodings, NWayBarrier) {
+  auto out = run_main(R"(
+    def Barrier(self, n, waiters) =
+      self?{ arrive(k) =
+        if n == 1 then Release[waiters, k]
+        else new w (Barrier[self, n - 1, w] |
+                    w?() = (k![] | waiters![])) }
+    and Release(waiters, k) = (k![] | waiters![])
+    in
+    new b, sink (
+      Barrier[b, 3, sink]
+      | new k1 (b!arrive[k1] | k1?() = print["p1 past the barrier"])
+      | new k2 (b!arrive[k2] | k2?() = print["p2 past the barrier"])
+      | new k3 (b!arrive[k3] | k3?() = print["p3 past the barrier"])
+    )
+  )");
+  EXPECT_EQ(sorted(out),
+            (std::vector<std::string>{"p1 past the barrier",
+                                      "p2 past the barrier",
+                                      "p3 past the barrier"}));
+}
+
+TEST(Encodings, ForkJoinFibonacci) {
+  // Parallel divide-and-conquer: each Fib spawns two children and joins
+  // their replies — the fine-grained parallelism the paper banks on.
+  auto out = run_main(R"(
+    def Fib(n, reply) =
+      if n < 2 then reply![n]
+      else new a, b (
+        Fib[n - 1, a] | Fib[n - 2, b]
+        | a?(x) = b?(y) = reply![x + y]
+      )
+    in new r (Fib[15, r] | r?(v) = print["fib(15) =", v])
+  )");
+  EXPECT_EQ(out, std::vector<std::string>{"fib(15) = 610"});
+}
+
+TEST(Encodings, UnboundedFifoQueue) {
+  // A functional queue of two list channels (front/back) guarded by an
+  // owner object — put/get with FIFO order.
+  auto out = run_main(R"(
+    def Nil(self) = self?{ match(onNil, onCons) = (onNil![] | Nil[self]) }
+    and Cons(self, hd, tl) =
+      self?{ match(onNil, onCons) = (onCons![hd, tl] | Cons[self, hd, tl]) }
+    and Rev(list, acc, reply) =
+      new n, c (list!match[n, c]
+        | n?() = reply![acc]
+        | c?(hd, tl) = new acc2 (Cons[acc2, hd, acc] | Rev[tl, acc2, reply]))
+    and Queue(self, front, back) = self?{
+      put(v, ack) = new b2 (Cons[b2, v, back] | ack![] |
+                            Queue[self, front, b2]),
+      -- note the parentheses around the n-branch: `new` scopes extend as
+      -- far right as possible (paper convention), so without them the
+      -- c-branch would be swallowed into the n-branch's body.
+      get(reply) = new n, c (front!match[n, c]
+        | (n?() = new r (Rev[back, front, r] | r?(rev) =
+            new n2, c2 (rev!match[n2, c2]
+              | n2?() = (print["queue empty"] | Queue[self, front, back])
+              | c2?(hd, tl) = new e (Nil[e] | reply![hd] |
+                                     Queue[self, tl, e]))))
+        | c?(hd, tl) = (reply![hd] | Queue[self, tl, back])) }
+    in
+    new q, e (
+      Nil[e] | Queue[q, e, e]
+      | new a1 (q!put[10, a1] | a1?() =
+        new a2 (q!put[20, a2] | a2?() =
+        new a3 (q!put[30, a3] | a3?() =
+        new g1 (q!get[g1] | g1?(x) = (print["got", x] |
+        new g2 (q!get[g2] | g2?(y) = (print["got", y] |
+        new g3 (q!get[g3] | g3?(z) = print["got", z]))))))))
+    )
+  )");
+  EXPECT_EQ(out, (std::vector<std::string>{"got 10", "got 20", "got 30"}));
+}
+
+TEST(Encodings, SequentialCompositionViaContinuations) {
+  // P ; Q encoded as P signalling a continuation channel.
+  auto out = run_main(R"(
+    def Step(k, label) = print[label]; k![]
+    in
+    new k1, k2, k3 (
+      Step[k1, "first"]
+      | k1?() = Step[k2, "second"]
+      | k2?() = Step[k3, "third"]
+      | k3?() = print["after all steps"]
+    )
+  )");
+  EXPECT_EQ(out, (std::vector<std::string>{"first", "second", "third",
+                                           "after all steps"}));
+}
+
+TEST(Encodings, DistributedMapReduce) {
+  // The construct scales across sites unchanged: map on the workers,
+  // reduce at the master.
+  Network net;
+  net.add_node();
+  net.add_site(0, "master");
+  for (int i = 0; i < 3; ++i) {
+    net.add_node();
+    net.add_site(static_cast<std::size_t>(i) + 1, "w" + std::to_string(i));
+  }
+  for (int i = 0; i < 3; ++i)
+    net.submit_source("w" + std::to_string(i),
+                      "export new map in "
+                      "def Serve(self) = self?{ val(x, r) = (r![x * x] | "
+                      "Serve[self]) } in Serve[map]");
+  // Imports of the same identifier from different sites shadow each
+  // other, so each shard is dispatched from its own parallel branch with
+  // its own import; the master folds the replies.
+  net.submit_source("master", R"(
+    new fold (
+      def Acc(self, sum, n) =
+        self?{ add(v) = if n == 1 then print["total:", sum + v]
+                        else Acc[self, sum + v, n - 1] }
+      in Acc[fold, 0, 3]
+      | import map from w0 in new r (map![2, r] | r?(v) = fold!add[v])
+      | import map from w1 in new r (map![3, r] | r?(v) = fold!add[v])
+      | import map from w2 in new r (map![4, r] | r?(v) = fold!add[v])
+    )
+  )");
+  auto res = net.run();
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_TRUE(net.all_errors().empty());
+  EXPECT_EQ(net.output("master"), std::vector<std::string>{"total: 29"});
+}
+
+}  // namespace
+}  // namespace dityco::core

@@ -1,0 +1,141 @@
+// Fault tolerance (the paper's future-work item, section 7: "detect site
+// failures, reconfigure the computation topology and try to terminate
+// computations cleanly"): site-failure injection, dropped-delivery
+// accounting, clean termination around dead sites, and failover by
+// re-exporting a dead site's identifiers from a backup.
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+
+namespace dityco::core {
+namespace {
+
+TEST(Fault, DeliveriesToDeadSiteAreDropped) {
+  Network net;
+  net.add_node();
+  net.add_node();
+  net.add_site(0, "server");
+  net.add_site(1, "client");
+  net.submit_source("server",
+                    "def S(self) = self?{ val(x, r) = (r![x] | S[self]) } in "
+                    "export new p in S[p]");
+  // Resolve the import first so the client holds a live netref.
+  net.submit_source("client",
+                    "import p from server in new a (p![0, a] | a?(v) = 0)");
+  auto r1 = net.run();
+  EXPECT_TRUE(r1.quiescent);
+  EXPECT_TRUE(net.all_errors().empty());
+
+  net.find_site("server")->kill();
+  net.submit_source("client",
+                    "import p from server in let z = p![1] in print[z]");
+  auto r2 = net.run();
+  // The RPC can never complete, but the network terminates cleanly: the
+  // message was dropped at the dead site, nothing is left running.
+  EXPECT_FALSE(r2.budget_exhausted);
+  EXPECT_GE(net.find_site("server")->mobility().dropped, 1u);
+  EXPECT_TRUE(net.output("client").empty());
+}
+
+TEST(Fault, DeadSiteStopsExecuting) {
+  Network net;
+  net.add_node();
+  net.add_site(0, "main");
+  net.submit_source("main", "def Loop(i) = Loop[i + 1] in Loop[0]");
+  net.find_site("main")->kill();
+  auto res = net.run();
+  EXPECT_FALSE(res.budget_exhausted) << "a dead site must not execute";
+  EXPECT_EQ(res.instructions, 0u);
+}
+
+TEST(Fault, ParkedFramesOfDeadSiteDoNotStallTheNetwork) {
+  Network net;
+  net.add_node();
+  net.add_node();
+  net.add_site(0, "server");
+  net.add_site(1, "client");
+  // Client parks on an import that will never resolve...
+  net.submit_source("client", "import ghost from server in ghost![1]");
+  auto r1 = net.run();
+  EXPECT_TRUE(r1.stalled);
+  // ...then crashes. The survivors' view: nothing outstanding.
+  net.find_site("client")->kill();
+  net.submit_source("server", "print[\"alive\"]");
+  auto r2 = net.run();
+  EXPECT_EQ(net.output("server"), std::vector<std::string>{"alive"});
+  // The name service still holds the dead client's lookup (it has no
+  // failure detector — future work in the paper and here), but no live
+  // site is blocked.
+  EXPECT_FALSE(r2.budget_exhausted);
+}
+
+TEST(Fault, FailoverByReexport) {
+  // Reconfiguration: a backup site re-exports the dead primary's service
+  // name; clients that import afterwards are routed to the backup.
+  Network net;
+  net.add_node();
+  net.add_node();
+  net.add_node();
+  net.add_site(0, "primary");
+  net.add_site(1, "backup");
+  net.add_site(2, "client");
+
+  net.submit_source("primary",
+                    "export new p in p?{ val(x, r) = r![x + 1] }");
+  auto r1 = net.run();
+  EXPECT_TRUE(r1.quiescent);
+  net.find_site("primary")->kill();
+
+  // The backup takes over the (site-qualified) identity by exporting
+  // under the primary's site name is not possible — names are keyed by
+  // exporting site — so the service name is re-homed: clients are told
+  // to import from the backup. (A transparent takeover would need the
+  // distributed name service the paper defers to future work.)
+  net.submit_source("backup",
+                    "export new p in p?{ val(x, r) = r![x + 100] }");
+  net.submit_source("client",
+                    "import p from backup in let z = p![1] in print[z]");
+  auto r2 = net.run();
+  EXPECT_TRUE(r2.quiescent);
+  EXPECT_EQ(net.output("client"), std::vector<std::string>{"101"});
+}
+
+TEST(Fault, ReexportAtSameSiteReplacesBinding) {
+  // The name service keeps the newest binding for a key: a site can
+  // replace its own export (e.g. after an internal restart).
+  Network net;
+  net.add_node();
+  net.add_node();
+  net.add_site(0, "server");
+  net.add_site(1, "client");
+  net.submit_source("server", "export new p in p?{ val(x, r) = r![1] }");
+  auto r1 = net.run();
+  EXPECT_TRUE(r1.quiescent);
+  net.submit_source("server", "export new p in p?{ val(x, r) = r![2] }");
+  auto r2 = net.run();
+  EXPECT_TRUE(r2.quiescent);
+  net.submit_source("client",
+                    "import p from server in let z = p![0] in print[z]");
+  auto r3 = net.run();
+  EXPECT_TRUE(r3.quiescent);
+  EXPECT_EQ(net.output("client"), std::vector<std::string>{"2"});
+}
+
+TEST(Fault, ThreadedDriverSurvivesDeadSite) {
+  Network::Config cfg;
+  cfg.mode = Network::Mode::kThreaded;
+  cfg.timeout_ms = 5000;
+  Network net(cfg);
+  net.add_node();
+  net.add_node();
+  net.add_site(0, "server");
+  net.add_site(1, "client");
+  net.find_site("server")->kill();
+  net.submit_source("client", "print[\"still here\"]");
+  auto res = net.run();
+  EXPECT_FALSE(res.budget_exhausted);
+  EXPECT_EQ(net.output("client"), std::vector<std::string>{"still here"});
+}
+
+}  // namespace
+}  // namespace dityco::core

@@ -1,0 +1,130 @@
+// Lexer unit tests.
+#include <gtest/gtest.h>
+
+#include "compiler/lexer.hpp"
+
+namespace dityco::comp {
+namespace {
+
+std::vector<Tok> kinds(std::string_view src) {
+  std::vector<Tok> out;
+  for (const auto& t : lex(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInput) {
+  auto toks = lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, Tok::kEnd);
+}
+
+TEST(Lexer, MessageSyntax) {
+  auto toks = lex("x!read[r]");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_EQ(toks[0].kind, Tok::kIdent);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].kind, Tok::kBang);
+  EXPECT_EQ(toks[2].kind, Tok::kIdent);
+  EXPECT_EQ(toks[2].text, "read");
+  EXPECT_EQ(toks[3].kind, Tok::kLBrack);
+  EXPECT_EQ(toks[4].kind, Tok::kIdent);
+  EXPECT_EQ(toks[5].kind, Tok::kRBrack);
+}
+
+TEST(Lexer, ClassVsName) {
+  auto toks = lex("Cell cell");
+  EXPECT_EQ(toks[0].kind, Tok::kClass);
+  EXPECT_EQ(toks[1].kind, Tok::kIdent);
+}
+
+TEST(Lexer, Keywords) {
+  EXPECT_EQ(kinds("new in def and export import from if then else print let "
+                  "true false site"),
+            (std::vector<Tok>{Tok::kNew, Tok::kIn, Tok::kDef, Tok::kAnd,
+                              Tok::kExport, Tok::kImport, Tok::kFrom, Tok::kIf,
+                              Tok::kThen, Tok::kElse, Tok::kPrint, Tok::kLet,
+                              Tok::kTrue, Tok::kFalse, Tok::kSite, Tok::kEnd}));
+}
+
+TEST(Lexer, KeywordPrefixIsIdent) {
+  auto toks = lex("news innovate defer android lettuce");
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i)
+    EXPECT_EQ(toks[i].kind, Tok::kIdent) << i;
+}
+
+TEST(Lexer, Numbers) {
+  auto toks = lex("42 3.5 0 1e-ignored");
+  EXPECT_EQ(toks[0].kind, Tok::kInt);
+  EXPECT_EQ(toks[0].int_val, 42);
+  EXPECT_EQ(toks[1].kind, Tok::kFloat);
+  EXPECT_DOUBLE_EQ(toks[1].float_val, 3.5);
+  EXPECT_EQ(toks[2].kind, Tok::kInt);
+  EXPECT_EQ(toks[2].int_val, 0);
+}
+
+TEST(Lexer, FloatWithExponent) {
+  auto toks = lex("2.5e3");
+  EXPECT_EQ(toks[0].kind, Tok::kFloat);
+  EXPECT_DOUBLE_EQ(toks[0].float_val, 2500.0);
+}
+
+TEST(Lexer, Strings) {
+  auto toks = lex(R"("hello" "a\"b" "tab\tnl\n")");
+  EXPECT_EQ(toks[0].kind, Tok::kString);
+  EXPECT_EQ(toks[0].text, "hello");
+  EXPECT_EQ(toks[1].text, "a\"b");
+  EXPECT_EQ(toks[2].text, "tab\tnl\n");
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(lex("\"oops"), LexError);
+}
+
+TEST(Lexer, UnknownEscapeThrows) { EXPECT_THROW(lex(R"("\q")"), LexError); }
+
+TEST(Lexer, MultiCharOperators) {
+  EXPECT_EQ(kinds("== != <= >= && || ++"),
+            (std::vector<Tok>{Tok::kEq, Tok::kNe, Tok::kLe, Tok::kGe,
+                              Tok::kAndAnd, Tok::kOrOr, Tok::kConcat,
+                              Tok::kEnd}));
+}
+
+TEST(Lexer, BarVsOrOr) {
+  EXPECT_EQ(kinds("a | b || c"),
+            (std::vector<Tok>{Tok::kIdent, Tok::kBar, Tok::kIdent, Tok::kOrOr,
+                              Tok::kIdent, Tok::kEnd}));
+}
+
+TEST(Lexer, Comments) {
+  auto toks = lex("x -- a comment !?![]\n y");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].text, "y");
+}
+
+TEST(Lexer, CommentNotMinus) {
+  EXPECT_EQ(kinds("1 - 2"),
+            (std::vector<Tok>{Tok::kInt, Tok::kMinus, Tok::kInt, Tok::kEnd}));
+}
+
+TEST(Lexer, LineColumnTracking) {
+  auto toks = lex("a\n  b");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].col, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].col, 3);
+}
+
+TEST(Lexer, UnexpectedCharThrows) { EXPECT_THROW(lex("x @ y"), LexError); }
+
+TEST(Lexer, DollarAllowedInsideIdent) {
+  // fresh_name() produces base$n identifiers; the pretty-printer emits
+  // them and they must re-lex.
+  auto toks = lex("r$17");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, Tok::kIdent);
+  EXPECT_EQ(toks[0].text, "r$17");
+}
+
+}  // namespace
+}  // namespace dityco::comp

@@ -1,0 +1,128 @@
+// Transport unit tests: in-process delivery, link-cost models, and the
+// virtual-time semantics of the simulated cluster transport.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/transport.hpp"
+
+namespace dityco::net {
+namespace {
+
+Packet mk(std::uint32_t src, std::uint32_t dst, std::size_t size = 8) {
+  Packet p;
+  p.src_node = src;
+  p.dst_node = dst;
+  p.bytes.assign(size, 0xab);
+  return p;
+}
+
+TEST(InProc, FifoPerNode) {
+  InProcTransport t(2);
+  auto a = mk(0, 1);
+  a.bytes[0] = 1;
+  auto b = mk(0, 1);
+  b.bytes[0] = 2;
+  t.send(std::move(a), 0);
+  t.send(std::move(b), 0);
+  Packet out;
+  ASSERT_TRUE(t.recv(1, out, 0));
+  EXPECT_EQ(out.bytes[0], 1);
+  ASSERT_TRUE(t.recv(1, out, 0));
+  EXPECT_EQ(out.bytes[0], 2);
+  EXPECT_FALSE(t.recv(1, out, 0));
+}
+
+TEST(InProc, InFlightAccounting) {
+  InProcTransport t(2);
+  EXPECT_EQ(t.in_flight(), 0u);
+  t.send(mk(0, 1), 0);
+  t.send(mk(1, 0), 0);
+  EXPECT_EQ(t.in_flight(), 2u);
+  Packet out;
+  t.recv(1, out, 0);
+  EXPECT_EQ(t.in_flight(), 1u);
+  t.recv(0, out, 0);
+  EXPECT_EQ(t.in_flight(), 0u);
+}
+
+TEST(InProc, BytesAndPacketsCounted) {
+  InProcTransport t(2);
+  t.send(mk(0, 1, 100), 0);
+  t.send(mk(0, 1, 28), 0);
+  EXPECT_EQ(t.bytes_sent(), 128u);
+  EXPECT_EQ(t.packets_sent(), 2u);
+}
+
+TEST(InProc, ThreadSafety) {
+  InProcTransport t(2);
+  std::thread producer([&] {
+    for (int i = 0; i < 10000; ++i) t.send(mk(0, 1), 0);
+  });
+  int got = 0;
+  Packet out;
+  while (got < 10000) {
+    if (t.recv(1, out, 0)) ++got;
+  }
+  producer.join();
+  EXPECT_EQ(t.in_flight(), 0u);
+}
+
+TEST(LinkModel, CostComposition) {
+  LinkModel m{10.0, 1000.0, 1.0};
+  // 1000 Mb/s == 1000 bits/us: 1250 bytes == 10000 bits -> 10us transfer.
+  EXPECT_DOUBLE_EQ(m.cost_us(1250), 10.0 + 1.0 + 10.0);
+  EXPECT_DOUBLE_EQ(m.cost_us(0), 11.0);
+}
+
+TEST(LinkModel, MyrinetBeatsFastEthernet) {
+  for (std::size_t sz : {0u, 64u, 1500u, 100000u})
+    EXPECT_LT(myrinet().cost_us(sz), fast_ethernet().cost_us(sz)) << sz;
+}
+
+TEST(Sim, DeliveryRespectsVirtualTime) {
+  SimTransport t(2, LinkModel{10.0, 1000.0, 0.0});
+  t.send(mk(0, 1, 0), /*now=*/5.0);  // arrival = 15
+  Packet out;
+  EXPECT_FALSE(t.recv(1, out, 14.9));
+  EXPECT_EQ(t.in_flight(), 1u);
+  EXPECT_TRUE(t.recv(1, out, 15.0));
+  EXPECT_EQ(t.in_flight(), 0u);
+}
+
+TEST(Sim, NextArrivalAndPeek) {
+  SimTransport t(2, LinkModel{10.0, 1000.0, 0.0});
+  EXPECT_FALSE(t.next_arrival(1).has_value());
+  t.send(mk(0, 1, 0), 100.0);
+  ASSERT_TRUE(t.next_arrival(1).has_value());
+  EXPECT_DOUBLE_EQ(*t.next_arrival(1), 110.0);
+  double arr = 0;
+  const Packet* head = t.peek(1, arr);
+  ASSERT_NE(head, nullptr);
+  EXPECT_DOUBLE_EQ(arr, 110.0);
+  EXPECT_EQ(head->src_node, 0u);
+}
+
+TEST(Sim, ArrivalOrderingAcrossSenders) {
+  SimTransport t(3, LinkModel{10.0, 1000.0, 0.0});
+  auto late = mk(0, 2, 0);
+  late.bytes.assign(1, 1);
+  auto early = mk(1, 2, 0);
+  early.bytes.assign(1, 2);
+  t.send(std::move(late), 50.0);   // arrival ~60
+  t.send(std::move(early), 10.0);  // arrival ~20
+  Packet out;
+  ASSERT_TRUE(t.recv(2, out, 1000.0));
+  EXPECT_EQ(out.bytes[0], 2) << "earlier arrival first";
+}
+
+TEST(Sim, BandwidthMatters) {
+  SimTransport fast(2, myrinet());
+  SimTransport slow(2, fast_ethernet());
+  fast.send(mk(0, 1, 100000), 0.0);
+  slow.send(mk(0, 1, 100000), 0.0);
+  EXPECT_LT(*fast.next_arrival(1), *slow.next_arrival(1));
+}
+
+}  // namespace
+}  // namespace dityco::net

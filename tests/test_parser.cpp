@@ -1,0 +1,257 @@
+// Parser unit tests, including print/parse round-trip fixpoint checks on
+// the paper's programs.
+#include <gtest/gtest.h>
+
+#include "calculus/ast.hpp"
+#include "compiler/parser.hpp"
+
+namespace dityco::comp {
+namespace {
+
+using calc::Proc;
+using calc::ProcPtr;
+
+const Proc::Msg& as_msg(const ProcPtr& p) {
+  return std::get<Proc::Msg>(p->node);
+}
+
+TEST(Parser, Nil) {
+  auto p = parse_program("0");
+  EXPECT_TRUE(std::holds_alternative<Proc::Nil>(p->node));
+}
+
+TEST(Parser, SimpleMessage) {
+  auto p = parse_program("x!read[r]");
+  const auto& m = as_msg(p);
+  EXPECT_EQ(m.target.name, "x");
+  EXPECT_FALSE(m.target.located());
+  EXPECT_EQ(m.label, "read");
+  ASSERT_EQ(m.args.size(), 1u);
+}
+
+TEST(Parser, ValSugarMessage) {
+  auto p = parse_program("x![1, 2]");
+  const auto& m = as_msg(p);
+  EXPECT_EQ(m.label, calc::kValLabel);
+  EXPECT_EQ(m.args.size(), 2u);
+}
+
+TEST(Parser, LocatedMessage) {
+  auto p = parse_program("server.p!req[1]");
+  const auto& m = as_msg(p);
+  ASSERT_TRUE(m.target.located());
+  EXPECT_EQ(*m.target.site, "server");
+  EXPECT_EQ(m.target.name, "p");
+}
+
+TEST(Parser, ObjectBraces) {
+  auto p = parse_program("x?{ read(r) = r![9], write(u) = 0 }");
+  const auto& o = std::get<Proc::Obj>(p->node);
+  ASSERT_EQ(o.methods.size(), 2u);
+  EXPECT_EQ(o.methods[0].name, "read");
+  EXPECT_EQ(o.methods[0].params, std::vector<std::string>{"r"});
+  EXPECT_EQ(o.methods[1].name, "write");
+}
+
+TEST(Parser, ObjectSugar) {
+  auto p = parse_program("x?(w) = print[w]");
+  const auto& o = std::get<Proc::Obj>(p->node);
+  ASSERT_EQ(o.methods.size(), 1u);
+  EXPECT_EQ(o.methods[0].name, calc::kValLabel);
+}
+
+TEST(Parser, SugarObjectBodyBindsTighterThanPar) {
+  // x?(w) = P | Q parses as (x?(w) = P) | Q.
+  auto p = parse_program("x?(w) = print[w] | y![1]");
+  ASSERT_TRUE(std::holds_alternative<Proc::Par>(p->node));
+  const auto& par = std::get<Proc::Par>(p->node);
+  EXPECT_TRUE(std::holds_alternative<Proc::Obj>(par.left->node));
+  EXPECT_TRUE(std::holds_alternative<Proc::Msg>(par.right->node));
+}
+
+TEST(Parser, ParAssociation) {
+  auto p = parse_program("a![] | b![] | c![]");
+  // Right-nested: a | (b | c)? mk_par is left-folded in the loop: ((a|b)|c)
+  ASSERT_TRUE(std::holds_alternative<Proc::Par>(p->node));
+}
+
+TEST(Parser, NewWithOptionalIn) {
+  auto p1 = parse_program("new x x![]");
+  auto p2 = parse_program("new x in x![]");
+  const auto& n1 = std::get<Proc::New>(p1->node);
+  const auto& n2 = std::get<Proc::New>(p2->node);
+  EXPECT_EQ(n1.names, n2.names);
+}
+
+TEST(Parser, NewMultipleNames) {
+  auto p = parse_program("new x, y, z in x![]");
+  const auto& n = std::get<Proc::New>(p->node);
+  EXPECT_EQ(n.names, (std::vector<std::string>{"x", "y", "z"}));
+}
+
+TEST(Parser, NewScopeExtendsOverPar) {
+  // new binds as far right as possible: new x (P | Q).
+  auto p = parse_program("new x x![] | x?(v) = 0");
+  const auto& n = std::get<Proc::New>(p->node);
+  EXPECT_TRUE(std::holds_alternative<Proc::Par>(n.body->node));
+}
+
+TEST(Parser, DefAndInstantiation) {
+  auto p = parse_program(
+      "def Cell(self, v) = self?{ read(r) = r![v], write(u) = Cell[self, u] } "
+      "in new x Cell[x, 9]");
+  const auto& d = std::get<Proc::Def>(p->node);
+  ASSERT_EQ(d.defs.size(), 1u);
+  EXPECT_EQ(d.defs[0].name, "Cell");
+  EXPECT_EQ(d.defs[0].params, (std::vector<std::string>{"self", "v"}));
+}
+
+TEST(Parser, MutuallyRecursiveDefs) {
+  auto p = parse_program(
+      "def Ping(n) = Pong[n] and Pong(n) = Ping[n] in Ping[3]");
+  const auto& d = std::get<Proc::Def>(p->node);
+  ASSERT_EQ(d.defs.size(), 2u);
+  EXPECT_EQ(d.defs[0].name, "Ping");
+  EXPECT_EQ(d.defs[1].name, "Pong");
+}
+
+TEST(Parser, ExportNew) {
+  auto p = parse_program("export new appletserver in appletserver![]");
+  const auto& e = std::get<Proc::ExportNew>(p->node);
+  EXPECT_EQ(e.names, std::vector<std::string>{"appletserver"});
+}
+
+TEST(Parser, ExportDef) {
+  auto p = parse_program("export def Applet(x) = x![] in 0");
+  const auto& e = std::get<Proc::ExportDef>(p->node);
+  ASSERT_EQ(e.defs.size(), 1u);
+  EXPECT_EQ(e.defs[0].name, "Applet");
+}
+
+TEST(Parser, ImportName) {
+  auto p = parse_program("import appletserver from server in 0");
+  const auto& i = std::get<Proc::ImportName>(p->node);
+  EXPECT_EQ(i.name, "appletserver");
+  EXPECT_EQ(i.site, "server");
+}
+
+TEST(Parser, ImportClassByCase) {
+  auto p = parse_program("import Applet from server in Applet[]");
+  const auto& i = std::get<Proc::ImportClass>(p->node);
+  EXPECT_EQ(i.name, "Applet");
+  EXPECT_EQ(i.site, "server");
+}
+
+TEST(Parser, LocatedInstantiation) {
+  auto p = parse_program("server.Applet[1]");
+  const auto& i = std::get<Proc::Inst>(p->node);
+  ASSERT_TRUE(i.cls.located());
+  EXPECT_EQ(*i.cls.site, "server");
+  EXPECT_EQ(i.cls.name, "Applet");
+}
+
+TEST(Parser, IfThenElse) {
+  auto p = parse_program("if 1 < 2 then print[\"yes\"] else print[\"no\"]");
+  const auto& i = std::get<Proc::If>(p->node);
+  EXPECT_TRUE(std::holds_alternative<Proc::Print>(i.then_p->node));
+}
+
+TEST(Parser, PrintWithContinuation) {
+  auto p = parse_program("print[1]; print[2]");
+  const auto& pr = std::get<Proc::Print>(p->node);
+  EXPECT_TRUE(std::holds_alternative<Proc::Print>(pr.cont->node));
+}
+
+TEST(Parser, LetSugarDesugarsToRpc) {
+  // let z = a!l[v] in P  =>  new r (a!l[v, r] | r?{val(z) = P})
+  auto p = parse_program("let z = a!get[1] in print[z]");
+  const auto& n = std::get<Proc::New>(p->node);
+  ASSERT_EQ(n.names.size(), 1u);
+  const auto& par = std::get<Proc::Par>(n.body->node);
+  const auto& m = std::get<Proc::Msg>(par.left->node);
+  EXPECT_EQ(m.label, "get");
+  ASSERT_EQ(m.args.size(), 2u);  // original arg + reply channel
+  const auto& o = std::get<Proc::Obj>(par.right->node);
+  EXPECT_EQ(o.methods[0].name, calc::kValLabel);
+  EXPECT_EQ(o.methods[0].params, std::vector<std::string>{"z"});
+}
+
+TEST(Parser, LetWithValSugar) {
+  auto p = parse_program("let z = a![1] in 0");
+  const auto& n = std::get<Proc::New>(p->node);
+  const auto& par = std::get<Proc::Par>(n.body->node);
+  EXPECT_EQ(std::get<Proc::Msg>(par.left->node).label, calc::kValLabel);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  auto e = parse_expr("1 + 2 * 3 == 7 && true");
+  EXPECT_EQ(calc::to_string(*e), "(((1 + (2 * 3)) == 7) && true)");
+}
+
+TEST(Parser, UnaryOperators) {
+  auto e = parse_expr("-x + !y");
+  EXPECT_EQ(calc::to_string(*e), "((-x) + (!y))");
+}
+
+TEST(Parser, StringConcat) {
+  auto e = parse_expr("\"a\" ++ \"b\"");
+  EXPECT_EQ(calc::to_string(*e), "(\"a\" ++ \"b\")");
+}
+
+TEST(Parser, NetworkBlocks) {
+  auto net = parse_network(
+      "site server { export new p in p?(r) = r![1] }\n"
+      "site client { import p from server in let z = p![] in print[z] }");
+  ASSERT_EQ(net.size(), 2u);
+  EXPECT_EQ(net[0].first, "server");
+  EXPECT_EQ(net[1].first, "client");
+}
+
+TEST(Parser, NetworkBareProgram) {
+  auto net = parse_network("print[1]");
+  ASSERT_EQ(net.size(), 1u);
+  EXPECT_EQ(net[0].first, "main");
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parse_program("x!"), ParseError);
+  EXPECT_THROW(parse_program("x?["), ParseError);
+  EXPECT_THROW(parse_program("new in 0"), ParseError);
+  EXPECT_THROW(parse_program("def cell() = 0 in 0"), ParseError);  // lowercase
+  EXPECT_THROW(parse_program("x![] |"), ParseError);
+  EXPECT_THROW(parse_program("(x![]"), ParseError);
+  EXPECT_THROW(parse_program("1"), ParseError);  // non-zero int as process
+  EXPECT_THROW(parse_program("if 1 then 0 else 0 0"), ParseError);
+}
+
+// Round-trip: print(parse(src)) must be a fixpoint of parse∘print.
+class RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTrip, PrintParsePrintFixpoint) {
+  auto p1 = parse_program(GetParam());
+  std::string s1 = calc::to_string(*p1);
+  auto p2 = parse_program(s1);
+  std::string s2 = calc::to_string(*p2);
+  EXPECT_EQ(s1, s2) << "source: " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperPrograms, RoundTrip,
+    ::testing::Values(
+        "0",
+        "x!read[r] | x?{ read(r) = r![9] }",
+        "new x, y in (x![1] | y![2])",
+        "def Cell(self, v) = self?{ read(r) = r![v] | Cell[self, v], "
+        "write(u) = Cell[self, u] } in new x Cell[x, 9]",
+        "export new p in p?(r) = r![42]",
+        "import p from server in p![1]",
+        "import Applet from server in Applet[1]",
+        "export def Applet(x) = x![] in 0",
+        "if 1 < 2 then print[\"y\"] else 0",
+        "print[1, true, \"s\", 2.5]; print[2]",
+        "server.p!req[1, 2]",
+        "server.Applet[3]",
+        "new a (r.p!v[1, a] | a?(y) = print[y])"));
+
+}  // namespace
+}  // namespace dityco::comp

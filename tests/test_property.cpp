@@ -1,0 +1,263 @@
+// Property-based differential tests. A seeded generator produces random
+// programs whose observable output is deterministic by construction
+// (single-consumer pipelines); every program is then executed on
+//   (1) the reference reducer (the executable formal semantics),
+//   (2) the byte-code VM (single site), and
+//   (3) the full distributed runtime with the pipeline spread across
+//       sites and nodes (sequential driver),
+// and all three must print the same lines. Also: print/parse round trips,
+// segment serialisation round trips and type-inference runs on the same
+// generated corpus.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "calculus/reducer.hpp"
+#include "compiler/codegen.hpp"
+#include "compiler/parser.hpp"
+#include "core/network.hpp"
+#include "support/rng.hpp"
+#include "types/infer.hpp"
+#include "vm/machine.hpp"
+
+namespace dityco {
+namespace {
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+/// Random integer expression over variable `v`; total and division-safe.
+std::string gen_int_expr(Rng& rng, const std::string& v, int depth) {
+  if (depth == 0 || rng.chance(1, 3)) {
+    if (rng.chance(1, 2)) return v;
+    return std::to_string(rng.range(-20, 20));
+  }
+  const char* ops[] = {"+", "-", "*"};
+  std::string l = gen_int_expr(rng, v, depth - 1);
+  std::string r = gen_int_expr(rng, v, depth - 1);
+  if (rng.chance(1, 4)) {
+    // Safe division/modulo by a non-zero literal.
+    const char* op = rng.chance(1, 2) ? "/" : "%";
+    return "(" + l + " " + op + " " + std::to_string(rng.range(1, 9)) + ")";
+  }
+  return "(" + l + " " + ops[rng.below(3)] + " " + r + ")";
+}
+
+/// One pipeline stage: consumes `v` on `in`, produces on `out`. Several
+/// shapes: direct forward, recursion through a class, conditional,
+/// parallel noise.
+std::string gen_stage(Rng& rng, const std::string& in,
+                      const std::string& out, int idx) {
+  const std::string v = "v" + std::to_string(idx);
+  switch (rng.below(4)) {
+    case 0:  // direct forward
+      return in + "?(" + v + ") = " + out + "![" +
+             gen_int_expr(rng, v, 2) + "]";
+    case 1: {  // recursion burning a few instantiations
+      const std::string cls = "Loop" + std::to_string(idx);
+      const int n = static_cast<int>(rng.range(1, 5));
+      return "def " + cls + "(n, acc, k) = if n == 0 then k![acc] else " +
+             cls + "[n - 1, acc + " + std::to_string(rng.range(1, 7)) +
+             ", k] in " + in + "?(" + v + ") = " + cls + "[" +
+             std::to_string(n) + ", " + gen_int_expr(rng, v, 1) + ", " +
+             out + "]";
+    }
+    case 2: {  // conditional on the value
+      return in + "?(" + v + ") = (if " + v + " % 2 == 0 then " + out +
+             "![" + gen_int_expr(rng, v, 1) + "] else " + out + "![" +
+             gen_int_expr(rng, v, 1) + "])";
+    }
+    default: {  // forward plus inert parallel noise
+      return "(" + in + "?(" + v + ") = " + out + "![" +
+             gen_int_expr(rng, v, 2) + "]) | new noise" +
+             std::to_string(idx) + " (noise" + std::to_string(idx) +
+             "?(x) = print[x])";
+    }
+  }
+}
+
+struct Pipeline {
+  std::string single_site;                      // one program
+  std::vector<std::pair<std::string, std::string>> sites;  // distributed
+  int stages = 0;
+};
+
+Pipeline gen_pipeline(std::uint64_t seed) {
+  Rng rng(seed);
+  Pipeline out;
+  out.stages = static_cast<int>(rng.range(2, 6));
+  const std::int64_t seed_val = rng.range(-50, 50);
+
+  // Single-site version: all channels are new-bound in one scope.
+  {
+    Rng r2(seed * 7 + 1);
+    std::string src = "new ";
+    for (int i = 0; i <= out.stages; ++i)
+      src += std::string(i ? ", " : "") + "c" + std::to_string(i);
+    src += " in (";
+    for (int i = 0; i < out.stages; ++i)
+      src += "(" + gen_stage(r2, "c" + std::to_string(i),
+                             "c" + std::to_string(i + 1), i) + ") | ";
+    src += "c0![" + std::to_string(seed_val) + "] | c" +
+           std::to_string(out.stages) + "?(z) = print[z])";
+    out.single_site = src;
+  }
+
+  // Distributed version: stage i lives at site st<i>, channels exported.
+  {
+    Rng r2(seed * 7 + 1);  // same stage shapes as the single-site version
+    for (int i = 0; i < out.stages; ++i) {
+      std::string site = "st" + std::to_string(i);
+      std::string prog = "export new c" + std::to_string(i) + " in ";
+      if (i + 1 < out.stages)
+        prog += "import c" + std::to_string(i + 1) + " from st" +
+                std::to_string(i + 1) + " in ";
+      else
+        prog += "new c" + std::to_string(out.stages) + " (c" +
+                std::to_string(out.stages) + "?(z) = print[z] | ";
+      prog += "(" + gen_stage(r2, "c" + std::to_string(i),
+                              "c" + std::to_string(i + 1), i) + ")";
+      if (i + 1 >= out.stages) prog += ")";
+      out.sites.emplace_back(std::move(site), std::move(prog));
+    }
+    out.sites.emplace_back(
+        "driver", "import c0 from st0 in c0![" + std::to_string(seed_val) +
+                      "]");
+  }
+  return out;
+}
+
+std::vector<std::string> sorted(std::vector<std::string> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+class PipelineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineProperty, ReducerVmAndNetworkAgree) {
+  const Pipeline p = gen_pipeline(GetParam());
+
+  // (1) reference reducer, single site
+  calc::Reducer red;
+  red.add_program("main", comp::parse_program(p.single_site));
+  auto rres = red.run();
+  ASSERT_TRUE(rres.quiescent) << p.single_site;
+  ASSERT_TRUE(rres.errors.empty()) << rres.errors[0] << "\n" << p.single_site;
+  const auto expected = sorted(red.output("main"));
+  ASSERT_EQ(expected.size(), 1u) << p.single_site;
+
+  // (2) byte-code VM, single site
+  vm::Machine m("main");
+  m.spawn_program(comp::compile_source(p.single_site));
+  m.run(10'000'000);
+  ASSERT_TRUE(m.errors().empty()) << m.errors()[0] << "\n" << p.single_site;
+  EXPECT_EQ(sorted(m.output()), expected) << p.single_site;
+
+  // (3) distributed runtime: one node per site
+  core::Network net;
+  for (std::size_t i = 0; i < p.sites.size(); ++i) {
+    net.add_node();
+    net.add_site(i, p.sites[i].first);
+  }
+  for (const auto& [site, prog] : p.sites) net.submit_source(site, prog);
+  auto nres = net.run();
+  ASSERT_TRUE(nres.quiescent);
+  ASSERT_TRUE(net.all_errors().empty()) << net.all_errors()[0];
+  std::vector<std::string> all;
+  for (const auto& [site, _] : p.sites)
+    for (const auto& line : net.output(site)) all.push_back(line);
+  EXPECT_EQ(sorted(all), expected) << "distributed run diverged";
+}
+
+TEST_P(PipelineProperty, PrintParseRoundTrip) {
+  const Pipeline p = gen_pipeline(GetParam());
+  auto ast = comp::parse_program(p.single_site);
+  const std::string s1 = calc::to_string(*ast);
+  const std::string s2 = calc::to_string(*comp::parse_program(s1));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST_P(PipelineProperty, SegmentsSerialiseLosslessly) {
+  const Pipeline p = gen_pipeline(GetParam());
+  auto prog = comp::compile_source(p.single_site);
+  for (const auto& seg : prog.segments) {
+    Writer w;
+    seg.serialize(w);
+    Reader r(w.data());
+    auto back = vm::Segment::deserialize(r);
+    EXPECT_EQ(back.code, seg.code);
+    EXPECT_EQ(back.labels, seg.labels);
+    EXPECT_EQ(back.strings, seg.strings);
+    EXPECT_EQ(back.deps, seg.deps);
+  }
+}
+
+TEST_P(PipelineProperty, GeneratedProgramsAreWellTyped) {
+  const Pipeline p = gen_pipeline(GetParam());
+  EXPECT_NO_THROW(types::infer(comp::parse_program(p.single_site)))
+      << p.single_site;
+  auto problems = types::check_network([&] {
+    std::vector<std::pair<std::string, calc::ProcPtr>> ps;
+    for (const auto& [site, prog] : p.sites)
+      ps.emplace_back(site, comp::parse_program(prog));
+    return ps;
+  }());
+  EXPECT_TRUE(problems.empty()) << problems[0];
+}
+
+TEST_P(PipelineProperty, ThreadedDriverAgrees) {
+  const Pipeline p = gen_pipeline(GetParam());
+  calc::Reducer red;
+  red.add_program("main", comp::parse_program(p.single_site));
+  red.run();
+  const auto expected = sorted(red.output("main"));
+
+  core::Network::Config cfg;
+  cfg.mode = core::Network::Mode::kThreaded;
+  core::Network net(cfg);
+  for (std::size_t i = 0; i < p.sites.size(); ++i) {
+    net.add_node();
+    net.add_site(i, p.sites[i].first);
+  }
+  for (const auto& [site, prog] : p.sites) net.submit_source(site, prog);
+  auto res = net.run();
+  ASSERT_TRUE(res.quiescent);
+  std::vector<std::string> all;
+  for (const auto& [site, _] : p.sites)
+    for (const auto& line : net.output(site)) all.push_back(line);
+  EXPECT_EQ(sorted(all), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+// Expression-only differential: VM and reducer agree on arithmetic.
+class ExprProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExprProperty, VmMatchesReducerExactly) {
+  Rng rng(GetParam() * 1337);
+  std::string src =
+      "new c (c![" + std::to_string(rng.range(-9, 9)) + "] | c?(w) = print[" +
+      gen_int_expr(rng, "w", 4) + ", " + gen_int_expr(rng, "w", 3) + "])";
+  calc::Reducer red;
+  red.add_program("main", comp::parse_program(src));
+  auto rres = red.run();
+  ASSERT_TRUE(rres.errors.empty()) << src;
+
+  vm::Machine m("main");
+  m.spawn_program(comp::compile_source(src));
+  m.run(1'000'000);
+  ASSERT_TRUE(m.errors().empty()) << src;
+  EXPECT_EQ(m.output(), red.output("main")) << src;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprProperty,
+                         ::testing::Range<std::uint64_t>(1, 65));
+
+}  // namespace
+}  // namespace dityco

@@ -1,0 +1,174 @@
+// Stress and robustness tests: heavy cross-site traffic under the
+// threaded driver, deep recursion, wide fan-outs, long pipelines, VM
+// tracing, and API misuse.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "compiler/codegen.hpp"
+#include "core/network.hpp"
+#include "vm/machine.hpp"
+
+namespace dityco::core {
+namespace {
+
+
+TEST(Stress, ThreadedManyToOneFlood) {
+  Network::Config cfg;
+  cfg.mode = Network::Mode::kThreaded;
+  cfg.timeout_ms = 30'000;
+  Network net(cfg);
+  net.add_node();
+  net.add_site(0, "sink");
+  const int producers = 4;
+  const int msgs = 500;
+  for (int i = 0; i < producers; ++i) {
+    net.add_node();
+    net.add_site(static_cast<std::size_t>(i) + 1, "p" + std::to_string(i));
+  }
+  net.submit_source(
+      "sink",
+      "export new acc in "
+      "def Count(self, n) = self?{ val(v) = "
+      "(if n == " + std::to_string(producers * msgs) +
+      " - 1 then print[\"received\", n + 1] else 0) | Count[self, n + 1] } "
+      "in Count[acc, 0]");
+  for (int i = 0; i < producers; ++i)
+    net.submit_source("p" + std::to_string(i),
+                      "import acc from sink in "
+                      "def Flood(k) = if k == 0 then 0 else (acc![k] | "
+                      "Flood[k - 1]) in Flood[" + std::to_string(msgs) + "]");
+  auto res = net.run();
+  ASSERT_TRUE(res.quiescent) << "flood did not drain";
+  EXPECT_TRUE(net.all_errors().empty());
+  EXPECT_EQ(net.output("sink"),
+            std::vector<std::string>{
+                "received " + std::to_string(producers * msgs)});
+}
+
+TEST(Stress, ThreadedRingManyLaps) {
+  Network::Config cfg;
+  cfg.mode = Network::Mode::kThreaded;
+  cfg.timeout_ms = 30'000;
+  Network net(cfg);
+  const int n = 4, laps = 25;
+  for (int i = 0; i < n; ++i) {
+    net.add_node();
+    net.add_site(static_cast<std::size_t>(i), "s" + std::to_string(i));
+  }
+  for (int i = 0; i < n; ++i) {
+    const std::string next = "s" + std::to_string((i + 1) % n);
+    net.submit_source(
+        "s" + std::to_string(i),
+        "export new slot in "
+        "def Station(self) = self?{ tok(v) = "
+        "((if v >= " + std::to_string(n * laps) +
+        " then print[\"retired\", v] "
+        "else (import slot from " + next + " in slot!tok[v + 1])) "
+        "| Station[self]) } in (Station[slot]" +
+        std::string(i == 0 ? " | import slot from " + next +
+                                 " in slot!tok[1]"
+                           : "") + ")");
+  }
+  auto res = net.run();
+  ASSERT_TRUE(res.quiescent);
+  EXPECT_EQ(net.output("s0"),
+            std::vector<std::string>{"retired " + std::to_string(n * laps)});
+}
+
+TEST(Stress, DeepTailRecursionConstantMemoryish) {
+  Network net;
+  net.add_node();
+  net.add_site(0, "main");
+  net.submit_source("main",
+                    "def Loop(i) = if i == 0 then print[\"bottom\"] "
+                    "else Loop[i - 1] in Loop[300000]");
+  auto res = net.run();
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_EQ(net.output("main"), std::vector<std::string>{"bottom"});
+}
+
+TEST(Stress, WideForkJoin) {
+  // 512 parallel workers all reply to a single collector.
+  Network net;
+  net.add_node();
+  net.add_site(0, "main");
+  net.submit_source("main",
+                    "new done ("
+                    "def Spawn(k) = if k == 0 then 0 else (done![k] | "
+                    "Spawn[k - 1]) "
+                    "and Join(n, acc) = if n == 0 then print[\"sum\", acc] "
+                    "else done?(v) = Join[n - 1, acc + v] "
+                    "in (Spawn[512] | Join[512, 0]))");
+  auto res = net.run();
+  EXPECT_TRUE(res.quiescent);
+  // 1 + 2 + ... + 512
+  EXPECT_EQ(net.output("main"), std::vector<std::string>{"sum 131328"});
+}
+
+TEST(Stress, LongDistributedPipeline) {
+  // 24 sites in a row, each incrementing and forwarding to the next.
+  Network net;
+  const int n = 24;
+  for (int i = 0; i < n; ++i) {
+    net.add_node();
+    net.add_site(static_cast<std::size_t>(i), "h" + std::to_string(i));
+  }
+  for (int i = 0; i < n; ++i) {
+    std::string prog = "export new slot in slot?(v) = ";
+    if (i + 1 < n)
+      prog += "(import slot from h" + std::to_string(i + 1) +
+              " in slot![v + 1])";
+    else
+      prog += "print[\"end\", v]";
+    net.submit_source("h" + std::to_string(i), prog);
+  }
+  // Inject the token at h0's exported slot. An exported name is a
+  // restricted channel, not the site's free-name global, so it must be
+  // addressed through an import (a self-import resolves locally).
+  net.submit_source("h0", "import slot from h0 in slot![0]");
+  auto res = net.run();
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_EQ(net.output("h" + std::to_string(n - 1)),
+            std::vector<std::string>{"end " + std::to_string(n - 1)});
+}
+
+TEST(Stress, TraceCapturesInstructions) {
+  vm::Machine m("traced");
+  std::vector<std::string> trace;
+  m.set_trace(&trace);
+  // Compile unoptimised so the expression survives constant folding.
+  m.spawn_program(comp::compile_source("print[1 + 2]", /*optimize=*/false));
+  m.run(1000);
+  ASSERT_FALSE(trace.empty());
+  // pushi, pushi, add, print, halt
+  EXPECT_EQ(trace.size(), 5u);
+  EXPECT_NE(trace[2].find("add"), std::string::npos);
+  EXPECT_NE(trace[3].find("print"), std::string::npos);
+}
+
+TEST(Stress, ApiMisuseThrows) {
+  Network net;
+  net.add_node();
+  net.add_site(0, "main");
+  EXPECT_THROW(net.add_site(0, "main"), std::logic_error);  // duplicate
+  EXPECT_THROW(net.submit_source("ghost", "0"), std::logic_error);
+  EXPECT_THROW(net.output("ghost"), std::logic_error);
+  net.run();
+  EXPECT_THROW(net.add_node(), std::logic_error);  // after start
+}
+
+TEST(Stress, ResubmissionAfterRunsAccumulate) {
+  Network net;
+  net.add_node();
+  net.add_site(0, "main");
+  for (int round = 0; round < 10; ++round) {
+    net.submit_source("main", "print[" + std::to_string(round) + "]");
+    auto res = net.run();
+    EXPECT_TRUE(res.quiescent);
+  }
+  EXPECT_EQ(net.output("main").size(), 10u);
+}
+
+}  // namespace
+}  // namespace dityco::core

@@ -1,0 +1,169 @@
+// Tests for free-identifier computation, capture-avoiding substitution
+// and the σ translation of section 3.
+#include <gtest/gtest.h>
+
+#include "calculus/ast.hpp"
+#include "calculus/subst.hpp"
+#include "compiler/parser.hpp"
+
+namespace dityco::calc {
+namespace {
+
+using dityco::comp::parse_program;
+
+TEST(FreeNames, MessageTargetAndArgs) {
+  auto p = parse_program("x!l[y, z + 1]");
+  EXPECT_EQ(free_names(*p), (std::set<std::string>{"x", "y", "z"}));
+}
+
+TEST(FreeNames, NewBinds) {
+  auto p = parse_program("new x in x!l[y]");
+  EXPECT_EQ(free_names(*p), (std::set<std::string>{"y"}));
+}
+
+TEST(FreeNames, MethodParamsBind) {
+  auto p = parse_program("x?{ l(a, b) = a![b, c] }");
+  EXPECT_EQ(free_names(*p), (std::set<std::string>{"x", "c"}));
+}
+
+TEST(FreeNames, DefBindsClassAndParams) {
+  auto p = parse_program("def X(a) = a![b] in X[c]");
+  EXPECT_EQ(free_names(*p), (std::set<std::string>{"b", "c"}));
+  EXPECT_TRUE(free_classes(*p).empty());
+}
+
+TEST(FreeNames, UnboundClassIsFree) {
+  auto p = parse_program("Unknown[1]");
+  EXPECT_EQ(free_classes(*p), (std::set<std::string>{"Unknown"}));
+}
+
+TEST(FreeNames, LocatedNamesReportedSeparately) {
+  auto p = parse_program("s.x!l[t.y]");
+  EXPECT_TRUE(free_names(*p).empty());
+  EXPECT_EQ(free_located_names(*p), (std::set<std::string>{"s.x", "t.y"}));
+}
+
+TEST(FreeNames, ImportBindsItsAlias) {
+  auto p = parse_program("import x from s in x![y]");
+  EXPECT_EQ(free_names(*p), (std::set<std::string>{"y"}));
+}
+
+TEST(FreeNames, MutualRecursionNotFree) {
+  auto p = parse_program("def A(x) = B[x] and B(x) = A[x] in A[y]");
+  EXPECT_TRUE(free_classes(*p).empty());
+}
+
+TEST(Subst, ReplacesFreeOccurrences) {
+  auto p = parse_program("x!l[x, y]");
+  auto q = substitute_names(p, {{"x", NameRef{"s", "x"}}});
+  EXPECT_EQ(to_string(*q), "s.x!l[s.x, y]");
+}
+
+TEST(Subst, DoesNotTouchBound) {
+  auto p = parse_program("new x in x!l[y]");
+  auto q = substitute_names(p, {{"x", NameRef{"s", "z"}}});
+  // Bound x unchanged.
+  EXPECT_EQ(free_located_names(*q), std::set<std::string>{});
+  EXPECT_EQ(free_names(*q), (std::set<std::string>{"y"}));
+}
+
+TEST(Subst, SimultaneousNotSequential) {
+  // {x->y, y->x} must swap, not chain.
+  auto p = parse_program("c!l[x, y]");
+  auto q = substitute_names(p, {{"x", NameRef{std::nullopt, "y"}},
+                                {"y", NameRef{std::nullopt, "x"}}});
+  EXPECT_EQ(to_string(*q), "c!l[y, x]");
+}
+
+TEST(Subst, CaptureAvoidance) {
+  // Substituting y for x under a binder named y must freshen the binder.
+  auto p = parse_program("new y in c!l[x, y]");
+  auto q = substitute_names(p, {{"x", NameRef{std::nullopt, "y"}}});
+  const auto& nu = std::get<Proc::New>(q->node);
+  ASSERT_EQ(nu.names.size(), 1u);
+  EXPECT_NE(nu.names[0], "y") << "binder must be freshened";
+  // Free y (the substituted one) remains free.
+  EXPECT_EQ(free_names(*q), (std::set<std::string>{"c", "y"}));
+}
+
+TEST(Subst, MethodParamCapture) {
+  auto p = parse_program("c?{ l(y) = d![x, y] }");
+  auto q = substitute_names(p, {{"x", NameRef{std::nullopt, "y"}}});
+  EXPECT_EQ(free_names(*q), (std::set<std::string>{"c", "d", "y"}));
+}
+
+TEST(Subst, ClassSubstitution) {
+  auto p = parse_program("X[1] | def X(a) = 0 in X[2]");
+  auto q = substitute_classes(p, {{"X", NameRef{"srv", "X"}}});
+  // Only the unbound occurrence is rewritten.
+  const auto& par = std::get<Proc::Par>(q->node);
+  const auto& outer = std::get<Proc::Inst>(par.left->node);
+  EXPECT_TRUE(outer.cls.located());
+  const auto& d = std::get<Proc::Def>(par.right->node);
+  const auto& inner = std::get<Proc::Inst>(d.body->node);
+  EXPECT_FALSE(inner.cls.located());
+}
+
+// σ translation (section 3):
+//   σ_r^s(x) = r.x ; σ_r^s(s.x) = x ; σ_r^s(s'.x) = s'.x
+TEST(Sigma, UploadsPlainNames) {
+  auto p = parse_program("x!l[y]");
+  auto q = sigma_translate(p, "r", "s");
+  EXPECT_EQ(to_string(*q), "r.x!l[r.y]");
+}
+
+TEST(Sigma, LocalisesDestinationNames) {
+  auto p = parse_program("s.x!l[1]");
+  auto q = sigma_translate(p, "r", "s");
+  EXPECT_EQ(to_string(*q), "x!l[1]");
+}
+
+TEST(Sigma, ThirdPartyNamesUnchanged) {
+  auto p = parse_program("t.x!l[1]");
+  auto q = sigma_translate(p, "r", "s");
+  EXPECT_EQ(to_string(*q), "t.x!l[1]");
+}
+
+TEST(Sigma, BoundNamesUntouched) {
+  auto p = parse_program("new x in x!l[y]");
+  auto q = sigma_translate(p, "r", "s");
+  const auto& nu = std::get<Proc::New>(q->node);
+  const auto& m = std::get<Proc::Msg>(nu.body->node);
+  EXPECT_FALSE(m.target.located()) << "bound x must stay plain";
+}
+
+TEST(Sigma, AppliesInsideMethodBodies) {
+  // The applet-server example: shipping p?(x) = P_j translates P_j's free
+  // names to server-located names.
+  auto p = parse_program("c.p?(x) = q!work[x]");
+  auto q = sigma_translate(p, "server", "c");
+  EXPECT_EQ(to_string(*q), "p?{ val(x) = server.q!work[x] }");
+}
+
+TEST(Sigma, ClassVariablesUploaded) {
+  // The SETI example: code shipped from seti carrying a local class var.
+  auto p = parse_program("a?() = Install[]");
+  auto q = sigma_translate(p, "seti", "client");
+  const auto& o = std::get<Proc::Obj>(q->node);
+  const auto& inst = std::get<Proc::Inst>(o.methods[0].body->node);
+  ASSERT_TRUE(inst.cls.located());
+  EXPECT_EQ(*inst.cls.site, "seti");
+}
+
+TEST(Sigma, RoundTripRS) {
+  // σ_s^r ∘ σ_r^s restores plain names (for terms without third-party or
+  // pre-located identifiers).
+  auto p = parse_program("x!l[y, 1] | z?(a) = a![x]");
+  auto q = sigma_translate(sigma_translate(p, "r", "s"), "s", "r");
+  EXPECT_EQ(to_string(*q), to_string(*p));
+}
+
+TEST(Fresh, NamesAreUnique) {
+  auto a = fresh_name("x");
+  auto b = fresh_name("x");
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a.starts_with("x$"));
+}
+
+}  // namespace
+}  // namespace dityco::calc

@@ -1,0 +1,166 @@
+// Unit tests for the support layer: serialisation buffers, interner, PRNG.
+#include <gtest/gtest.h>
+
+#include "support/bytes.hpp"
+#include "support/fmt.hpp"
+#include "support/intern.hpp"
+#include "support/rng.hpp"
+
+namespace dityco {
+namespace {
+
+TEST(Bytes, ScalarRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefull);
+  w.i32(-42);
+  w.i64(-1234567890123456789ll);
+  w.f64(3.5);
+  w.boolean(true);
+  w.boolean(false);
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123456789ll);
+  EXPECT_EQ(r.f64(), 3.5);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, StringRoundTrip) {
+  Writer w;
+  w.str("");
+  w.str("hello");
+  w.str(std::string("nul\0byte", 8));
+  Reader r(w.data());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), std::string("nul\0byte", 8));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, NestedBytesRoundTrip) {
+  Writer inner;
+  inner.u32(7);
+  inner.str("payload");
+  Writer outer;
+  outer.bytes(inner.data());
+  outer.u8(9);
+
+  Reader r(outer.data());
+  auto blob = r.bytes();
+  EXPECT_EQ(r.u8(), 9);
+  Reader ri(blob);
+  EXPECT_EQ(ri.u32(), 7u);
+  EXPECT_EQ(ri.str(), "payload");
+}
+
+TEST(Bytes, UnderrunThrows) {
+  Writer w;
+  w.u16(1);
+  Reader r(w.data());
+  EXPECT_EQ(r.u16(), 1);
+  EXPECT_THROW(r.u8(), DecodeError);
+}
+
+TEST(Bytes, TruncatedStringThrows) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes follow, none do
+  Reader r(w.data());
+  EXPECT_THROW(r.str(), DecodeError);
+}
+
+TEST(Bytes, RemainingTracksPosition) {
+  Writer w;
+  w.u32(1);
+  w.u32(2);
+  Reader r(w.data());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+TEST(Intern, StableIds) {
+  Interner in;
+  auto a = in.intern("read");
+  auto b = in.intern("write");
+  auto a2 = in.intern("read");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(in.name(a), "read");
+  EXPECT_EQ(in.name(b), "write");
+  EXPECT_EQ(in.size(), 2u);
+}
+
+TEST(Intern, FindDoesNotInsert) {
+  Interner in;
+  Interner::Id id = 0;
+  EXPECT_FALSE(in.find("missing", id));
+  EXPECT_EQ(in.size(), 0u);
+  in.intern("present");
+  EXPECT_TRUE(in.find("present", id));
+  EXPECT_EQ(in.name(id), "present");
+}
+
+TEST(Intern, DenseIdsFromZero) {
+  Interner in;
+  for (std::uint32_t i = 0; i < 100; ++i)
+    EXPECT_EQ(in.intern("label" + std::to_string(i)), i);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Fmt, Doubles) {
+  EXPECT_EQ(format_f64(3.5), "3.5");
+  EXPECT_EQ(format_f64(2.0), "2");
+  EXPECT_EQ(format_f64(-0.25), "-0.25");
+}
+
+class RngChanceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RngChanceSweep, ApproximatesProbability) {
+  const int num = GetParam();
+  Rng r(99 + static_cast<std::uint64_t>(num));
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += r.chance(num, 10);
+  const double p = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(p, num / 10.0, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probs, RngChanceSweep,
+                         ::testing::Values(0, 1, 3, 5, 7, 10));
+
+}  // namespace
+}  // namespace dityco

@@ -1,0 +1,340 @@
+// Type system tests: row unification, canonical signatures, Damas-Milner
+// inference on the paper's programs (the polymorphic Cell in particular),
+// and the combined static/dynamic checking scheme.
+#include <gtest/gtest.h>
+
+#include "compiler/parser.hpp"
+#include "core/network.hpp"
+#include "types/infer.hpp"
+#include "types/type.hpp"
+
+namespace dityco::types {
+namespace {
+
+using dityco::comp::parse_network;
+using dityco::comp::parse_program;
+
+// ---------------------------------------------------------------------
+// Unification
+// ---------------------------------------------------------------------
+
+TEST(Unify, Scalars) {
+  EXPECT_NO_THROW(unify(t_int(), t_int()));
+  EXPECT_THROW(unify(t_int(), t_bool()), TypeError);
+  EXPECT_THROW(unify(t_string(), t_float()), TypeError);
+}
+
+TEST(Unify, VarBinds) {
+  TypePtr v = t_var();
+  unify(v, t_int());
+  EXPECT_EQ(prune(v)->k, Type::K::kInt);
+}
+
+TEST(Unify, OccursCheck) {
+  TypePtr v = t_var();
+  EXPECT_THROW(unify(v, t_chan(t_row_cons("l", {v}, t_row_empty()))),
+               TypeError);
+}
+
+TEST(Unify, RowsCommute) {
+  // {a[int], b[bool]} == {b[bool], a[int]}
+  auto r1 = t_chan(t_row_cons(
+      "a", {t_int()}, t_row_cons("b", {t_bool()}, t_row_empty())));
+  auto r2 = t_chan(t_row_cons(
+      "b", {t_bool()}, t_row_cons("a", {t_int()}, t_row_empty())));
+  EXPECT_NO_THROW(unify(r1, r2));
+}
+
+TEST(Unify, OpenRowAbsorbsLabels) {
+  TypePtr rho = t_var();
+  auto open = t_chan(t_row_cons("a", {t_int()}, rho));
+  auto closed = t_chan(t_row_cons(
+      "a", {t_int()}, t_row_cons("b", {t_bool()}, t_row_empty())));
+  EXPECT_NO_THROW(unify(open, closed));
+  EXPECT_EQ(to_signature(open), to_signature(closed));
+}
+
+TEST(Unify, ClosedRowRejectsUnknownLabel) {
+  auto closed = t_chan(t_row_cons("a", {t_int()}, t_row_empty()));
+  auto wants_b = t_chan(t_row_cons("b", {t_int()}, t_var()));
+  EXPECT_THROW(unify(closed, wants_b), TypeError);
+}
+
+TEST(Unify, PayloadArityMismatch) {
+  auto one = t_chan(t_row_cons("l", {t_int()}, t_row_empty()));
+  auto two = t_chan(t_row_cons("l", {t_int(), t_int()}, t_var()));
+  EXPECT_THROW(unify(one, two), TypeError);
+}
+
+TEST(Unify, NumericConstraint) {
+  TypePtr v = t_var();
+  v->numeric = true;
+  EXPECT_NO_THROW(unify(v, t_float()));
+  TypePtr w = t_var();
+  w->numeric = true;
+  EXPECT_THROW(unify(w, t_string()), TypeError);
+}
+
+// ---------------------------------------------------------------------
+// Signatures
+// ---------------------------------------------------------------------
+
+TEST(Signature, CanonicalAndParseable) {
+  auto t = t_chan(t_row_cons(
+      "read", {t_chan(t_row_cons("val", {t_int()}, t_row_empty()))},
+      t_row_cons("write", {t_int()}, t_row_empty())));
+  const std::string sig = to_signature(t);
+  EXPECT_EQ(sig, "^{read[^{val[int]}],write[int]}");
+  EXPECT_EQ(to_signature(parse_signature(sig)), sig);
+}
+
+TEST(Signature, VarsNormalised) {
+  TypePtr a = t_var(), b = t_var();
+  auto t1 = t_params({a, a, b});
+  TypePtr c = t_var(), d = t_var();
+  auto t2 = t_params({c, c, d});
+  EXPECT_EQ(to_signature(t1), to_signature(t2));
+  EXPECT_EQ(to_signature(t1), "cls(%0,%0,%1)");
+}
+
+TEST(Signature, OpenRow) {
+  auto t = t_chan(t_row_cons("l", {t_bool()}, t_var()));
+  EXPECT_EQ(to_signature(t), "^{l[bool]|%0}");
+  EXPECT_EQ(to_signature(parse_signature("^{l[bool]|%0}")), "^{l[bool]|%0}");
+}
+
+TEST(Signature, ParseErrors) {
+  EXPECT_THROW(parse_signature("![int]"), TypeError);
+  EXPECT_THROW(parse_signature("^{l[int]"), TypeError);
+  EXPECT_THROW(parse_signature("int junk"), TypeError);
+}
+
+TEST(Compat, OpenRequirementVsClosedProvision) {
+  EXPECT_TRUE(compatible("^{val[int]|%0}", "^{val[int],other[bool]}"));
+  EXPECT_FALSE(compatible("^{missing[int]|%0}", "^{val[int]}"));
+  EXPECT_FALSE(compatible("^{val[bool]|%0}", "^{val[int]}"));
+  EXPECT_TRUE(compatible("%0", "^{val[int]}"));
+}
+
+TEST(Compat, ClassSignatures) {
+  EXPECT_TRUE(compatible("cls(%0)", "cls(%0)"));
+  EXPECT_TRUE(compatible("cls(int)", "cls(%0)"));
+  EXPECT_FALSE(compatible("cls(int,int)", "cls(%0)"));
+}
+
+// ---------------------------------------------------------------------
+// Inference
+// ---------------------------------------------------------------------
+
+void expect_well_typed(const char* src) {
+  EXPECT_NO_THROW(infer(parse_program(src))) << src;
+}
+
+void expect_ill_typed(const char* src) {
+  EXPECT_THROW(infer(parse_program(src)), TypeError) << src;
+}
+
+TEST(Infer, Literals) { expect_well_typed("print[1, true, \"s\", 1.5]"); }
+
+TEST(Infer, SimpleCommunication) {
+  expect_well_typed("new x (x![1] | x?(v) = print[v + 1])");
+}
+
+TEST(Infer, PayloadTypeMismatch) {
+  expect_ill_typed("new x (x![true] | x?(v) = print[v + 1])");
+}
+
+TEST(Infer, LabelNotInInterface) {
+  expect_ill_typed("new x (x!nosuch[1] | x?{ l(v) = 0 })");
+}
+
+TEST(Infer, ArityMismatch) {
+  expect_ill_typed("new x (x!l[1, 2] | x?{ l(v) = 0 })");
+}
+
+TEST(Infer, ConditionMustBeBool) {
+  expect_ill_typed("if 1 then 0 else 0");
+  expect_well_typed("if 1 < 2 then 0 else 0");
+}
+
+TEST(Infer, BranchesShareEnvironment) {
+  expect_ill_typed(
+      "new x ((if true then x![1] else x![false]) | x?(v) = 0)");
+}
+
+TEST(Infer, PaperPolymorphicCell) {
+  // The key Damas-Milner example from section 2: one Cell class
+  // instantiated at int and at bool.
+  expect_well_typed(
+      "def Cell(self, v) = self?{ read(r) = (r![v] | Cell[self, v]), "
+      "write(u) = Cell[self, u] } in "
+      "new x (Cell[x, 9] | new y Cell[y, true])");
+}
+
+TEST(Infer, MonomorphicRecursionInsideBlock) {
+  // Within its own block a class is monomorphic: using it at two types
+  // in its own body must fail.
+  expect_ill_typed(
+      "def C(v) = (C[1] | C[true]) in 0");
+}
+
+TEST(Infer, MutualRecursion) {
+  expect_well_typed(
+      "def Even(n, r) = if n == 0 then r![true] else Odd[n - 1, r] "
+      "and Odd(n, r) = if n == 0 then r![false] else Even[n - 1, r] "
+      "in new o (Even[4, o] | o?(b) = (if b then print[1] else print[2]))");
+}
+
+TEST(Infer, ClassArity) {
+  expect_ill_typed("def C(a, b) = 0 in C[1]");
+}
+
+TEST(Infer, UnboundClass) { expect_ill_typed("Ghost[1]"); }
+
+TEST(Infer, NumericDefaulting) {
+  // v is only constrained to be numeric; it must default to int in the
+  // exported signature.
+  auto r = infer(parse_program(
+      "export new p in p?{ val(a, b) = print[a + b] }"));
+  EXPECT_EQ(r.exports.at("p"), "^{val[int,int]}");
+}
+
+TEST(Infer, FloatsPropagate) {
+  auto r = infer(parse_program(
+      "export new p in p?{ val(a) = print[a * 0.5] }"));
+  EXPECT_EQ(r.exports.at("p"), "^{val[float]}");
+}
+
+TEST(Infer, ExportSignatureOfCell) {
+  auto r = infer(parse_program(
+      "def Cell(self, v) = self?{ read(r) = (r![v] | Cell[self, v]), "
+      "write(u) = Cell[self, u] } in "
+      "export new c in Cell[c, 9]"));
+  EXPECT_EQ(r.exports.at("c"), "^{read[^{val[int]|%0}],write[int]}");
+}
+
+TEST(Infer, ExportedClassSchemeIsPolymorphic) {
+  auto r = infer(parse_program(
+      "export def Id(v, r) = r![v] in 0"));
+  // v is fully polymorphic; r needs at least val[v].
+  EXPECT_EQ(r.exports.at("Id"), "cls(%0,^{val[%0]|%1})");
+}
+
+TEST(Infer, ImportRequirementIsOpenRow) {
+  auto r = infer(parse_program(
+      "import p from server in p!go[1, true]"));
+  ASSERT_EQ(r.imports.size(), 1u);
+  EXPECT_EQ(r.imports[0].site, "server");
+  EXPECT_EQ(r.imports[0].name, "p");
+  EXPECT_FALSE(r.imports[0].is_class);
+  EXPECT_EQ(r.imports[0].signature, "^{go[int,bool]|%0}");
+}
+
+TEST(Infer, ImportedClassRequirement) {
+  auto r = infer(parse_program(
+      "import Applet from server in Applet[1]"));
+  ASSERT_EQ(r.imports.size(), 1u);
+  EXPECT_TRUE(r.imports[0].is_class);
+  EXPECT_EQ(r.imports[0].signature, "cls(int)");
+}
+
+TEST(Infer, LetSugarTypes) {
+  expect_well_typed("let z = c![1] in print[z + 1] | c?{ val(v, r) = r![v] }");
+  expect_ill_typed(
+      "let z = c![1] in print[z && true] | c?{ val(v, r) = r![v] }");
+}
+
+TEST(Infer, FreeNamesShareOneType) {
+  expect_ill_typed("x![1] | x![true, 2]");
+  expect_well_typed("x![1] | x![2]");
+}
+
+// ---------------------------------------------------------------------
+// Whole-network static checking
+// ---------------------------------------------------------------------
+
+TEST(CheckNetwork, CompatibleRpc) {
+  auto probs = check_network(parse_network(
+      "site server { export new p in p?{ val(x, rep) = rep![x * 2] } }\n"
+      "site client { import p from server in let z = p![21] in print[z] }"));
+  EXPECT_TRUE(probs.empty()) << probs[0];
+}
+
+TEST(CheckNetwork, PayloadMismatchAcrossSites) {
+  auto probs = check_network(parse_network(
+      "site server { export new p in p?{ val(x, rep) = rep![x * 2] } }\n"
+      "site client { import p from server in let z = p![true] in 0 }"));
+  ASSERT_EQ(probs.size(), 1u);
+  EXPECT_NE(probs[0].find("client needs"), std::string::npos);
+}
+
+TEST(CheckNetwork, MissingExport) {
+  auto probs = check_network(parse_network(
+      "site server { 0 }\n"
+      "site client { import p from server in p![1] }"));
+  ASSERT_EQ(probs.size(), 1u);
+  EXPECT_NE(probs[0].find("never exports"), std::string::npos);
+}
+
+TEST(CheckNetwork, PolymorphicClassAcrossSites) {
+  auto probs = check_network(parse_network(
+      "site server { export def Id(v, r) = r![v] in 0 }\n"
+      "site c1 { import Id from server in new r (Id[1, r] | r?(v) = 0) }\n"
+      "site c2 { import Id from server in new r (Id[true, r] | r?(v) = 0) }"));
+  EXPECT_TRUE(probs.empty()) << probs[0];
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: the runtime's dynamic check driven by inferred signatures
+// ---------------------------------------------------------------------
+
+TEST(Dynamic, WellTypedNetworkRuns) {
+  core::Network::Config cfg;
+  cfg.typecheck = true;
+  core::Network net(cfg);
+  net.add_node();
+  net.add_node();
+  net.add_site(0, "server");
+  net.add_site(1, "client");
+  net.submit_network_source(
+      "site server { export new p in p?{ val(x, rep) = rep![x * 2] } }\n"
+      "site client { import p from server in let z = p![21] in print[z] }");
+  auto res = net.run();
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_TRUE(net.all_errors().empty());
+  EXPECT_EQ(net.output("client"), std::vector<std::string>{"42"});
+}
+
+TEST(Dynamic, CrossSiteMismatchCaughtAtImportTime) {
+  // Each program is well typed in isolation; the incompatibility is only
+  // visible when the import's requirement meets the export's signature —
+  // the dynamic half of the combined scheme.
+  core::Network::Config cfg;
+  cfg.typecheck = true;
+  core::Network net(cfg);
+  net.add_node();
+  net.add_node();
+  net.add_site(0, "server");
+  net.add_site(1, "client");
+  net.submit_network_source(
+      "site server { export new p in p?{ val(x, rep) = rep![x * 2] } }\n"
+      "site client { import p from server in let z = p![true] in 0 }");
+  auto res = net.run();
+  EXPECT_TRUE(res.stalled) << "offending import must not proceed";
+  auto errs = net.all_errors();
+  ASSERT_FALSE(errs.empty());
+  EXPECT_NE(errs[0].find("type mismatch"), std::string::npos);
+}
+
+TEST(Dynamic, IllTypedProgramRejectedAtSubmit) {
+  core::Network::Config cfg;
+  cfg.typecheck = true;
+  core::Network net(cfg);
+  net.add_node();
+  net.add_site(0, "main");
+  EXPECT_THROW(net.submit_source("main", "new x (x![1] | x?(v) = v!go[])"),
+               TypeError);
+}
+
+}  // namespace
+}  // namespace dityco::types

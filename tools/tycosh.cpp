@@ -1,0 +1,168 @@
+// tycosh — the DiTyCO shell (paper, section 5: "Users submit new
+// programs for execution in a node using a shell program called TyCOsh").
+//
+// Usage:
+//   tycosh [options] program.dtc
+//   tycosh [options] -e 'site a { print[1] }'
+//
+// The program file is either a bare process (run at a site called
+// "main") or a network file of `site name { P }` blocks. By default each
+// site gets its own node; --nodes N packs sites onto N nodes round-robin.
+//
+// Options:
+//   -e SRC           run SRC instead of a file
+//   --mode M         seq (default) | threads | sim
+//   --link L         myrinet (default) | ethernet     (sim mode)
+//   --nodes N        number of nodes (default: one per site)
+//   --typecheck      infer types; reject ill-typed programs; enable the
+//                    dynamic signature check on imports
+//   --check          static whole-network type check only (no execution)
+//   --disasm         print the compiled byte-code and exit
+//   --stats          print mobility/NS statistics after the run
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compiler/codegen.hpp"
+#include "compiler/parser.hpp"
+#include "core/network.hpp"
+#include "types/infer.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: tycosh [options] program.dtc\n"
+      "       tycosh [options] -e 'source'\n"
+      "options: --mode seq|threads|sim  --link myrinet|ethernet\n"
+      "         --nodes N  --typecheck  --check  --disasm  --stats\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source;
+  std::string path;
+  std::string mode = "seq";
+  std::string link = "myrinet";
+  int nodes = 0;
+  bool typecheck = false, check_only = false, disasm = false, stats = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-e" && i + 1 < argc) {
+      source = argv[++i];
+    } else if (arg == "--mode" && i + 1 < argc) {
+      mode = argv[++i];
+    } else if (arg == "--link" && i + 1 < argc) {
+      link = argv[++i];
+    } else if (arg == "--nodes" && i + 1 < argc) {
+      nodes = std::atoi(argv[++i]);
+    } else if (arg == "--typecheck") {
+      typecheck = true;
+    } else if (arg == "--check") {
+      check_only = true;
+    } else if (arg == "--disasm") {
+      disasm = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      path = arg;
+    }
+  }
+  if (source.empty() && path.empty()) return usage();
+  if (source.empty()) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "tycosh: cannot open " << path << "\n";
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    source = ss.str();
+  }
+
+  try {
+    auto programs = dityco::comp::parse_network(source);
+
+    if (check_only) {
+      auto problems = dityco::types::check_network(programs);
+      if (problems.empty()) {
+        std::cout << "well typed: " << programs.size() << " site(s)\n";
+        return 0;
+      }
+      for (const auto& p : problems) std::cout << "problem: " << p << "\n";
+      return 1;
+    }
+
+    if (disasm) {
+      for (const auto& [site, prog] : programs) {
+        std::cout << "== site " << site << " ==\n"
+                  << dityco::comp::disassemble(dityco::comp::compile(prog));
+      }
+      return 0;
+    }
+
+    dityco::core::Network::Config cfg;
+    if (mode == "seq") {
+      cfg.mode = dityco::core::Network::Mode::kSequential;
+    } else if (mode == "threads") {
+      cfg.mode = dityco::core::Network::Mode::kThreaded;
+    } else if (mode == "sim") {
+      cfg.mode = dityco::core::Network::Mode::kSim;
+    } else {
+      return usage();
+    }
+    cfg.link = link == "ethernet" ? dityco::net::fast_ethernet()
+                                  : dityco::net::myrinet();
+    cfg.typecheck = typecheck;
+
+    dityco::core::Network net(cfg);
+    const int nnodes =
+        nodes > 0 ? nodes : static_cast<int>(programs.size());
+    for (int i = 0; i < nnodes; ++i) net.add_node();
+    for (std::size_t i = 0; i < programs.size(); ++i)
+      net.add_site(i % static_cast<std::size_t>(nnodes), programs[i].first);
+    for (const auto& [site, prog] : programs) net.submit(site, prog);
+
+    auto res = net.run();
+
+    for (const auto& [site, _] : programs)
+      for (const auto& line : net.output(site))
+        std::cout << "[" << site << "] " << line << "\n";
+    for (const auto& err : net.all_errors())
+      std::cerr << "error: " << err << "\n";
+
+    std::cout << "-- " << (res.quiescent ? "quiescent" : res.stalled
+                               ? "STALLED (import waiting on a missing export)"
+                               : "BUDGET EXHAUSTED");
+    if (cfg.mode == dityco::core::Network::Mode::kSim)
+      std::cout << ", virtual time " << res.virtual_time_us << " us";
+    std::cout << ", " << res.instructions << " instructions, " << res.packets
+              << " packets\n";
+
+    if (stats) {
+      for (const auto& [site, _] : programs) {
+        const auto& mob = net.find_site(site)->mobility();
+        std::cout << "   " << site << ": shipM=" << mob.msgs_shipped
+                  << " shipO=" << mob.objs_shipped
+                  << " fetch=" << mob.fetch_requests
+                  << " served=" << mob.fetch_served
+                  << " cacheHits=" << mob.fetch_cache_hits << "\n";
+      }
+      const auto& ns = net.name_service().stats();
+      std::cout << "   name service: exports=" << ns.exports
+                << " lookups=" << ns.lookups << " replies=" << ns.replies
+                << "\n";
+    }
+    return res.quiescent && net.all_errors().empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "tycosh: " << e.what() << "\n";
+    return 1;
+  }
+}
