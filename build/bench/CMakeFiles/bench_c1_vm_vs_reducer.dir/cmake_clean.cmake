@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_vm_vs_reducer.dir/bench_c1_vm_vs_reducer.cpp.o"
+  "CMakeFiles/bench_c1_vm_vs_reducer.dir/bench_c1_vm_vs_reducer.cpp.o.d"
+  "bench_c1_vm_vs_reducer"
+  "bench_c1_vm_vs_reducer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_vm_vs_reducer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_local_vs_remote.dir/bench_c2_local_vs_remote.cpp.o"
+  "CMakeFiles/bench_c2_local_vs_remote.dir/bench_c2_local_vs_remote.cpp.o.d"
+  "bench_c2_local_vs_remote"
+  "bench_c2_local_vs_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_local_vs_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

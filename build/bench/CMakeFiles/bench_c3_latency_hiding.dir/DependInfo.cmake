@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_c3_latency_hiding.cpp" "bench/CMakeFiles/bench_c3_latency_hiding.dir/bench_c3_latency_hiding.cpp.o" "gcc" "bench/CMakeFiles/bench_c3_latency_hiding.dir/bench_c3_latency_hiding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dityco_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dityco_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/dityco_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dityco_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/dityco_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/calculus/CMakeFiles/dityco_calculus.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dityco_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

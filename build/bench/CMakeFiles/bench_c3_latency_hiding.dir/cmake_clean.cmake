@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c3_latency_hiding.dir/bench_c3_latency_hiding.cpp.o"
+  "CMakeFiles/bench_c3_latency_hiding.dir/bench_c3_latency_hiding.cpp.o.d"
+  "bench_c3_latency_hiding"
+  "bench_c3_latency_hiding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c3_latency_hiding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

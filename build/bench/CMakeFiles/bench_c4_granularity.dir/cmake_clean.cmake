@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c4_granularity.dir/bench_c4_granularity.cpp.o"
+  "CMakeFiles/bench_c4_granularity.dir/bench_c4_granularity.cpp.o.d"
+  "bench_c4_granularity"
+  "bench_c4_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

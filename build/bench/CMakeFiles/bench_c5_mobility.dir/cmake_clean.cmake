@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c5_mobility.dir/bench_c5_mobility.cpp.o"
+  "CMakeFiles/bench_c5_mobility.dir/bench_c5_mobility.cpp.o.d"
+  "bench_c5_mobility"
+  "bench_c5_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c5_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c6_rpc_nameservice.dir/bench_c6_rpc_nameservice.cpp.o"
+  "CMakeFiles/bench_c6_rpc_nameservice.dir/bench_c6_rpc_nameservice.cpp.o.d"
+  "bench_c6_rpc_nameservice"
+  "bench_c6_rpc_nameservice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c6_rpc_nameservice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

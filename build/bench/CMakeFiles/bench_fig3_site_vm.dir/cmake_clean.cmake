@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_site_vm.dir/bench_fig3_site_vm.cpp.o"
+  "CMakeFiles/bench_fig3_site_vm.dir/bench_fig3_site_vm.cpp.o.d"
+  "bench_fig3_site_vm"
+  "bench_fig3_site_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_site_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/applet_server.dir/applet_server.cpp.o"
+  "CMakeFiles/applet_server.dir/applet_server.cpp.o.d"
+  "applet_server"
+  "applet_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/applet_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

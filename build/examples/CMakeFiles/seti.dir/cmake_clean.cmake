@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seti.dir/seti.cpp.o"
+  "CMakeFiles/seti.dir/seti.cpp.o.d"
+  "seti"
+  "seti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

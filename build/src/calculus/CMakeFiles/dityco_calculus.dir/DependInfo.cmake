@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/calculus/ast.cpp" "src/calculus/CMakeFiles/dityco_calculus.dir/ast.cpp.o" "gcc" "src/calculus/CMakeFiles/dityco_calculus.dir/ast.cpp.o.d"
+  "/root/repo/src/calculus/reducer.cpp" "src/calculus/CMakeFiles/dityco_calculus.dir/reducer.cpp.o" "gcc" "src/calculus/CMakeFiles/dityco_calculus.dir/reducer.cpp.o.d"
+  "/root/repo/src/calculus/subst.cpp" "src/calculus/CMakeFiles/dityco_calculus.dir/subst.cpp.o" "gcc" "src/calculus/CMakeFiles/dityco_calculus.dir/subst.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dityco_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

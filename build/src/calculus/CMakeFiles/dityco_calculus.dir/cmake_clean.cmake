@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dityco_calculus.dir/ast.cpp.o"
+  "CMakeFiles/dityco_calculus.dir/ast.cpp.o.d"
+  "CMakeFiles/dityco_calculus.dir/reducer.cpp.o"
+  "CMakeFiles/dityco_calculus.dir/reducer.cpp.o.d"
+  "CMakeFiles/dityco_calculus.dir/subst.cpp.o"
+  "CMakeFiles/dityco_calculus.dir/subst.cpp.o.d"
+  "libdityco_calculus.a"
+  "libdityco_calculus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dityco_calculus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

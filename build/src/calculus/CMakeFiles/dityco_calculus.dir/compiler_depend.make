@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dityco_calculus.
+# This may be replaced when dependencies are built.

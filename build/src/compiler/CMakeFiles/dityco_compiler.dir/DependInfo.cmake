@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/assembly.cpp" "src/compiler/CMakeFiles/dityco_compiler.dir/assembly.cpp.o" "gcc" "src/compiler/CMakeFiles/dityco_compiler.dir/assembly.cpp.o.d"
+  "/root/repo/src/compiler/codegen.cpp" "src/compiler/CMakeFiles/dityco_compiler.dir/codegen.cpp.o" "gcc" "src/compiler/CMakeFiles/dityco_compiler.dir/codegen.cpp.o.d"
+  "/root/repo/src/compiler/lexer.cpp" "src/compiler/CMakeFiles/dityco_compiler.dir/lexer.cpp.o" "gcc" "src/compiler/CMakeFiles/dityco_compiler.dir/lexer.cpp.o.d"
+  "/root/repo/src/compiler/parser.cpp" "src/compiler/CMakeFiles/dityco_compiler.dir/parser.cpp.o" "gcc" "src/compiler/CMakeFiles/dityco_compiler.dir/parser.cpp.o.d"
+  "/root/repo/src/compiler/peephole.cpp" "src/compiler/CMakeFiles/dityco_compiler.dir/peephole.cpp.o" "gcc" "src/compiler/CMakeFiles/dityco_compiler.dir/peephole.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/calculus/CMakeFiles/dityco_calculus.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dityco_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dityco_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dityco_compiler.dir/assembly.cpp.o"
+  "CMakeFiles/dityco_compiler.dir/assembly.cpp.o.d"
+  "CMakeFiles/dityco_compiler.dir/codegen.cpp.o"
+  "CMakeFiles/dityco_compiler.dir/codegen.cpp.o.d"
+  "CMakeFiles/dityco_compiler.dir/lexer.cpp.o"
+  "CMakeFiles/dityco_compiler.dir/lexer.cpp.o.d"
+  "CMakeFiles/dityco_compiler.dir/parser.cpp.o"
+  "CMakeFiles/dityco_compiler.dir/parser.cpp.o.d"
+  "CMakeFiles/dityco_compiler.dir/peephole.cpp.o"
+  "CMakeFiles/dityco_compiler.dir/peephole.cpp.o.d"
+  "libdityco_compiler.a"
+  "libdityco_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dityco_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

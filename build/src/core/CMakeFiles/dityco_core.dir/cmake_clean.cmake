@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dityco_core.dir/nameservice.cpp.o"
+  "CMakeFiles/dityco_core.dir/nameservice.cpp.o.d"
+  "CMakeFiles/dityco_core.dir/network.cpp.o"
+  "CMakeFiles/dityco_core.dir/network.cpp.o.d"
+  "CMakeFiles/dityco_core.dir/node.cpp.o"
+  "CMakeFiles/dityco_core.dir/node.cpp.o.d"
+  "CMakeFiles/dityco_core.dir/site.cpp.o"
+  "CMakeFiles/dityco_core.dir/site.cpp.o.d"
+  "CMakeFiles/dityco_core.dir/wire.cpp.o"
+  "CMakeFiles/dityco_core.dir/wire.cpp.o.d"
+  "libdityco_core.a"
+  "libdityco_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dityco_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

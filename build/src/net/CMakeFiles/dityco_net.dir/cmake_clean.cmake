@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dityco_net.dir/transport.cpp.o"
+  "CMakeFiles/dityco_net.dir/transport.cpp.o.d"
+  "libdityco_net.a"
+  "libdityco_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dityco_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dityco_support.dir/bytes.cpp.o"
+  "CMakeFiles/dityco_support.dir/bytes.cpp.o.d"
+  "CMakeFiles/dityco_support.dir/intern.cpp.o"
+  "CMakeFiles/dityco_support.dir/intern.cpp.o.d"
+  "libdityco_support.a"
+  "libdityco_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dityco_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdityco_support.a"
+)

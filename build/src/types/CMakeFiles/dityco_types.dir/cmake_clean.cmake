@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dityco_types.dir/infer.cpp.o"
+  "CMakeFiles/dityco_types.dir/infer.cpp.o.d"
+  "CMakeFiles/dityco_types.dir/type.cpp.o"
+  "CMakeFiles/dityco_types.dir/type.cpp.o.d"
+  "libdityco_types.a"
+  "libdityco_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dityco_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/machine.cpp" "src/vm/CMakeFiles/dityco_vm.dir/machine.cpp.o" "gcc" "src/vm/CMakeFiles/dityco_vm.dir/machine.cpp.o.d"
+  "/root/repo/src/vm/segment.cpp" "src/vm/CMakeFiles/dityco_vm.dir/segment.cpp.o" "gcc" "src/vm/CMakeFiles/dityco_vm.dir/segment.cpp.o.d"
+  "/root/repo/src/vm/verify.cpp" "src/vm/CMakeFiles/dityco_vm.dir/verify.cpp.o" "gcc" "src/vm/CMakeFiles/dityco_vm.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dityco_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

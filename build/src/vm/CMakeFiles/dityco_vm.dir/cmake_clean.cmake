@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dityco_vm.dir/machine.cpp.o"
+  "CMakeFiles/dityco_vm.dir/machine.cpp.o.d"
+  "CMakeFiles/dityco_vm.dir/segment.cpp.o"
+  "CMakeFiles/dityco_vm.dir/segment.cpp.o.d"
+  "CMakeFiles/dityco_vm.dir/verify.cpp.o"
+  "CMakeFiles/dityco_vm.dir/verify.cpp.o.d"
+  "libdityco_vm.a"
+  "libdityco_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dityco_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dityco_vm.
+# This may be replaced when dependencies are built.

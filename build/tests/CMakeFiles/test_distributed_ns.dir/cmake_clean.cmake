@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distributed_ns.dir/test_distributed_ns.cpp.o"
+  "CMakeFiles/test_distributed_ns.dir/test_distributed_ns.cpp.o.d"
+  "test_distributed_ns"
+  "test_distributed_ns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distributed_ns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

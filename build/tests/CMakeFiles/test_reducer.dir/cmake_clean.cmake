@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reducer.dir/test_reducer.cpp.o"
+  "CMakeFiles/test_reducer.dir/test_reducer.cpp.o.d"
+  "test_reducer"
+  "test_reducer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reducer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subst.dir/test_subst.cpp.o"
+  "CMakeFiles/test_subst.dir/test_subst.cpp.o.d"
+  "test_subst"
+  "test_subst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tycosh.dir/tycosh.cpp.o"
+  "CMakeFiles/tycosh.dir/tycosh.cpp.o.d"
+  "tycosh"
+  "tycosh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tycosh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
