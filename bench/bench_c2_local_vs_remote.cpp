@@ -21,7 +21,8 @@ struct Placement {
   net::LinkModel link;
 };
 
-double run_placement(const Placement& p, int rpcs, std::uint64_t& packets) {
+double run_placement(const Placement& p, int rpcs, std::uint64_t& packets,
+                     MetricsJsonEmitter& mj) {
   core::Network net = [&] {
     if (p.same_site) {
       auto n = core::Network(sim_config(p.link));
@@ -46,6 +47,7 @@ double run_placement(const Placement& p, int rpcs, std::uint64_t& packets) {
   const std::string client = p.same_site ? "server" : "client";
   net.submit_source(client, chained_rpc_client_src("server", rpcs));
   auto res = net.run();
+  mj.record(p.name, net);
   packets = res.packets;
   if (!res.quiescent) std::printf("WARNING: %s did not quiesce\n", p.name);
   return res.virtual_time_us;
@@ -53,7 +55,8 @@ double run_placement(const Placement& p, int rpcs, std::uint64_t& packets) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  MetricsJsonEmitter mj(argc, argv);
   const int rpcs = 200;
   const Placement placements[] = {
       {"same site", 1, true, net::myrinet()},
@@ -67,7 +70,7 @@ int main() {
   double base = 0;
   for (const auto& p : placements) {
     std::uint64_t packets = 0;
-    const double t = run_placement(p, rpcs, packets);
+    const double t = run_placement(p, rpcs, packets, mj);
     if (base == 0) base = t;
     row({p.name, fmt(t), fmt(t / rpcs), fmt_int(packets)});
   }

@@ -36,7 +36,8 @@ struct Outcome {
   std::uint64_t ships = 0;
 };
 
-Outcome run_fetch(int size, int activations, bool cache) {
+Outcome run_fetch(int size, int activations, bool cache,
+                  MetricsJsonEmitter& mj, const std::string& label) {
   auto net = core::Network(sim_config(net::myrinet()));
   net.add_node();
   net.add_site(0, "server");
@@ -51,6 +52,7 @@ Outcome run_fetch(int size, int activations, bool cache) {
                     "new p (Applet[p] | p?(v) = Go[i - 1]) "
                     "in Go[" + std::to_string(activations) + "]");
   auto res = net.run();
+  mj.record(label, net);
   Outcome o;
   o.vtime_us = res.virtual_time_us;
   o.bytes = res.bytes;
@@ -58,7 +60,8 @@ Outcome run_fetch(int size, int activations, bool cache) {
   return o;
 }
 
-Outcome run_ship(int size, int activations) {
+Outcome run_ship(int size, int activations, MetricsJsonEmitter& mj,
+                 const std::string& label) {
   auto net = core::Network(sim_config(net::myrinet()));
   net.add_node();
   net.add_site(0, "server");
@@ -74,6 +77,7 @@ Outcome run_ship(int size, int activations) {
                     "new p (srv!get[p] | let v = p![] in Go[i - 1]) "
                     "in Go[" + std::to_string(activations) + "]");
   auto res = net.run();
+  mj.record(label, net);
   Outcome o;
   o.vtime_us = res.virtual_time_us;
   o.bytes = res.bytes;
@@ -83,7 +87,8 @@ Outcome run_ship(int size, int activations) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  MetricsJsonEmitter mj(argc, argv);
   const int sizes[] = {4, 64, 512};
   const int acts[] = {1, 8, 64};
 
@@ -92,13 +97,15 @@ int main() {
           "wire bytes", "code moves"});
   for (int size : sizes) {
     for (int k : acts) {
-      const Outcome f = run_fetch(size, k, true);
+      const std::string tag =
+          "size=" + std::to_string(size) + " k=" + std::to_string(k);
+      const Outcome f = run_fetch(size, k, true, mj, "fetch+cache " + tag);
       row({fmt_int(size), fmt_int(k), "fetch+cache", fmt(f.vtime_us),
            fmt_int(f.bytes), fmt_int(f.fetches)});
-      const Outcome fn = run_fetch(size, k, false);
+      const Outcome fn = run_fetch(size, k, false, mj, "fetch-nocache " + tag);
       row({fmt_int(size), fmt_int(k), "fetch-nocache (A2)", fmt(fn.vtime_us),
            fmt_int(fn.bytes), fmt_int(fn.fetches)});
-      const Outcome s = run_ship(size, k);
+      const Outcome s = run_ship(size, k, mj, "ship " + tag);
       row({fmt_int(size), fmt_int(k), "ship", fmt(s.vtime_us),
            fmt_int(s.bytes), fmt_int(s.ships)});
     }

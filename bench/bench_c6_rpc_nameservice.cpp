@@ -37,7 +37,8 @@ double one_rpc(const net::LinkModel& link) {
   return chained_rpcs(link, 2) - chained_rpcs(link, 1);
 }
 
-double import_storm(int sites, int imports_each, bool distributed = false) {
+double import_storm(int sites, int imports_each, MetricsJsonEmitter& mj,
+                    bool distributed = false) {
   auto cfg = sim_config(net::myrinet());
   cfg.ns_service_us = 2.0;
   cfg.distributed_ns = distributed;
@@ -59,13 +60,17 @@ double import_storm(int sites, int imports_each, bool distributed = false) {
     net.submit_source(name, prog + "print[\"ok\"]");
   }
   auto res = net.run();
+  mj.record((distributed ? "distributed-ns s=" : "central-ns s=") +
+                std::to_string(sites),
+            net);
   if (!res.quiescent) std::printf("WARNING: import storm not quiescent\n");
   return res.virtual_time_us;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  MetricsJsonEmitter mj(argc, argv);
   header("C6a: marginal RPC cost, measured vs additive model",
          {"network", "measured us", "2 x link + compute (model)",
           "ratio"});
@@ -87,8 +92,8 @@ int main() {
          {"importing sites", "centralised us", "distributed us (extension)"});
   const int imports_each = 8;
   for (int s : {1, 2, 4, 8, 16, 32}) {
-    const double central = import_storm(s, imports_each, false);
-    const double dist = import_storm(s, imports_each, true);
+    const double central = import_storm(s, imports_each, mj, false);
+    const double dist = import_storm(s, imports_each, mj, true);
     row({fmt_int(s), fmt(central), fmt(dist)});
   }
   std::printf(

@@ -4,11 +4,13 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/network.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 
 namespace dityco::benchutil {
 
@@ -93,5 +95,45 @@ inline void header(const std::string& title,
   std::vector<std::string> dashes(cols.size(), "---");
   row(dashes);
 }
+
+/// `--metrics-json <path>` support: collects one metrics snapshot per
+/// measured configuration and writes them all as a JSON array on
+/// destruction. Benches call `record()` after each run; with no
+/// `--metrics-json` flag everything is a no-op.
+class MetricsJsonEmitter {
+ public:
+  MetricsJsonEmitter(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i)
+      if (std::string(argv[i]) == "--metrics-json") path_ = argv[i + 1];
+  }
+  ~MetricsJsonEmitter() {
+    if (path_.empty()) return;
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return;
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out << "  {\"label\": \"" << obs::json_escape(entries_[i].first)
+          << "\",\n   \"metrics\": " << entries_[i].second << "}";
+      if (i + 1 < entries_.size()) out << ",";
+      out << "\n";
+    }
+    out << "]\n";
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Capture the network's registry under `label` (call after run()).
+  void record(const std::string& label, core::Network& net) {
+    if (path_.empty()) return;
+    entries_.emplace_back(label, net.metrics().expose_json());
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 }  // namespace dityco::benchutil

@@ -4,8 +4,13 @@
 // SHIPM on every hop, here used to compare the Myrinet and Fast-Ethernet
 // cluster models of the paper's testbed (fig. 1).
 //
-// Run:   ./build/examples/ring [sites] [laps]
+// Run:   ./build/examples/ring [sites] [laps] [--trace out.json]
+//
+// With --trace, the sequential run records causal trace events and
+// writes a Chrome trace-event / Perfetto timeline: each SHIPM hop shows
+// as a flow arrow from the sending to the receiving station.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -49,8 +54,17 @@ dityco::core::Network build_ring(int n, int laps,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int n = argc > 1 ? std::atoi(argv[1]) : 4;  // the paper's 4 nodes
-  const int laps = argc > 2 ? std::atoi(argv[2]) : 5;
+  std::string trace_path;
+  int pos_args[2] = {4, 5};  // the paper's 4 nodes, 5 laps
+  int npos = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--trace" && i + 1 < argc)
+      trace_path = argv[++i];
+    else if (npos < 2)
+      pos_args[npos++] = std::atoi(argv[i]);
+  }
+  const int n = pos_args[0];
+  const int laps = pos_args[1];
 
   using dityco::core::Network;
 
@@ -58,6 +72,7 @@ int main(int argc, char** argv) {
   {
     Network::Config cfg;
     auto net = build_ring(n, laps, cfg);
+    if (!trace_path.empty()) net.enable_tracing();
     auto res = net.run();
     std::cout << "--- ring of " << n << " sites, " << laps << " laps ---\n";
     for (int i = 0; i < n; ++i)
@@ -65,6 +80,11 @@ int main(int argc, char** argv) {
         std::cout << "[s" << i << "] " << line << "\n";
     std::cout << "packets: " << res.packets << " quiescent: " << std::boolalpha
               << res.quiescent << "\n\n";
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      out << net.trace_json();
+      std::cout << "trace written to " << trace_path << "\n\n";
+    }
   }
 
   // Virtual-time runs on both cluster models.

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "calculus/ast.hpp"
+#include "obs/metrics.hpp"
 
 namespace dityco::calc {
 
@@ -91,6 +92,11 @@ class Reducer {
   /// ("site.uid: Nmsg/Mobj msg-labels..."). Channel uids carry their
   /// source lexeme, which makes leftover-work reports readable.
   std::vector<std::string> pending_description() const;
+
+  /// Publish the reduction counters into a metrics registry under
+  /// `calc_*` names (the reducer spans sites, so no site label). The
+  /// registration dies with the reducer.
+  void register_metrics(obs::Registry& registry);
 
  private:
   struct ClassClosure;
@@ -169,6 +175,7 @@ class Reducer {
   std::set<std::pair<std::string, const Env*>> linked_;
   std::map<std::string, std::vector<std::string>> outputs_;
   std::vector<std::string> errors_;
+  obs::Registry::Registration metrics_reg_;
 };
 
 }  // namespace dityco::calc

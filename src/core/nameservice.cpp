@@ -23,8 +23,7 @@ std::optional<NameService::SiteInfo> NameService::lookup_site(
 void NameService::reply_to(const Waiter& w, const Entry& e, bool ok,
                            std::vector<net::Packet>& replies) {
   Writer out;
-  out.u8(static_cast<std::uint8_t>(MsgType::kNsReply));
-  out.u32(w.site);
+  write_header(out, MsgType::kNsReply, w.site, w.trace_id);
   out.u64(w.token);
   out.boolean(ok);
   write_netref(out, e.ref);
@@ -51,7 +50,8 @@ void NameService::register_id(const std::string& site, const std::string& name,
   waiting_.erase(it);
 }
 
-void NameService::handle_export(Reader& r, std::vector<net::Packet>& replies) {
+void NameService::handle_export(Reader& r, std::vector<net::Packet>& replies,
+                                std::uint64_t /*trace_id*/) {
   const std::string site = r.str();
   const std::string name = r.str();
   const vm::NetRef ref = read_netref(r);
@@ -59,7 +59,8 @@ void NameService::handle_export(Reader& r, std::vector<net::Packet>& replies) {
   register_id(site, name, ref, sig, replies);
 }
 
-void NameService::handle_lookup(Reader& r, std::vector<net::Packet>& replies) {
+void NameService::handle_lookup(Reader& r, std::vector<net::Packet>& replies,
+                                std::uint64_t trace_id) {
   ++stats_.lookups;
   const std::string site = r.str();
   const std::string name = r.str();
@@ -68,6 +69,7 @@ void NameService::handle_lookup(Reader& r, std::vector<net::Packet>& replies) {
   w.node = r.u32();
   w.site = r.u32();
   w.token = r.u64();
+  w.trace_id = trace_id;
   const Key key{site, name};
   auto it = ids_.find(key);
   if (it != ids_.end()) {
@@ -92,13 +94,24 @@ std::size_t NameService::parked() const {
   return n;
 }
 
+void NameService::register_metrics(obs::Registry& registry,
+                                   const std::string& label) {
+  metrics_reg_ = registry.add_collector([this, label](obs::Collector& c) {
+    const std::string l = "{ns=\"" + label + "\"}";
+    c.counter("ns_exports" + l, stats_.exports);
+    c.counter("ns_lookups" + l, stats_.lookups);
+    c.counter("ns_replies" + l, stats_.replies);
+    c.counter("ns_parked_total" + l, stats_.parked_total);
+    c.gauge("ns_parked" + l, static_cast<std::int64_t>(parked()));
+  });
+}
+
 std::vector<std::uint8_t> NameService::make_export(
     std::uint32_t /*dst_site_unused*/, const std::string& site,
     const std::string& name, const vm::NetRef& ref,
-    const std::string& type_sig) {
+    const std::string& type_sig, std::uint64_t trace_id) {
   Writer w;
-  w.u8(static_cast<std::uint8_t>(MsgType::kNsExport));
-  w.u32(kNsDstSite);
+  write_header(w, MsgType::kNsExport, kNsDstSite, trace_id);
   w.str(site);
   w.str(name);
   write_netref(w, ref);
@@ -108,10 +121,10 @@ std::vector<std::uint8_t> NameService::make_export(
 
 std::vector<std::uint8_t> NameService::make_lookup(
     const std::string& site, const std::string& name, vm::NetRef::Kind kind,
-    std::uint32_t req_node, std::uint32_t req_site, std::uint64_t token) {
+    std::uint32_t req_node, std::uint32_t req_site, std::uint64_t token,
+    std::uint64_t trace_id) {
   Writer w;
-  w.u8(static_cast<std::uint8_t>(MsgType::kNsLookup));
-  w.u32(kNsDstSite);
+  write_header(w, MsgType::kNsLookup, kNsDstSite, trace_id);
   w.str(site);
   w.str(name);
   w.u8(static_cast<std::uint8_t>(kind));

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "support/bytes.hpp"
 #include "vm/value.hpp"
 
@@ -51,10 +52,15 @@ class NameService {
   // -- IdTable, via packets --
 
   /// Handle a kNsExport payload (Reader positioned after the header).
-  void handle_export(Reader& r, std::vector<net::Packet>& replies);
+  /// `trace_id` is the causal id carried by the request packet; replies
+  /// triggered by this export reuse the *waiter's* lookup id.
+  void handle_export(Reader& r, std::vector<net::Packet>& replies,
+                     std::uint64_t trace_id = 0);
   /// Handle a kNsLookup payload; replies immediately if the identifier is
-  /// known, parks the request otherwise.
-  void handle_lookup(Reader& r, std::vector<net::Packet>& replies);
+  /// known, parks the request otherwise. An immediate or deferred reply
+  /// carries `trace_id`, closing the lookup's causal chain.
+  void handle_lookup(Reader& r, std::vector<net::Packet>& replies,
+                     std::uint64_t trace_id = 0);
 
   /// Direct registration (used by tests and the TyCOsh bootstrap).
   void register_id(const std::string& site, const std::string& name,
@@ -67,18 +73,21 @@ class NameService {
   std::size_t parked() const;
   const Stats& stats() const { return stats_; }
 
+  /// Publish this service's counters into `registry` under `ns_*` names,
+  /// labelled {ns="<label>"} (central service vs. per-node replicas).
+  void register_metrics(obs::Registry& registry, const std::string& label);
+
   // -- payload builders (used by sites) --
   static std::vector<std::uint8_t> make_export(std::uint32_t dst_site_unused,
                                                const std::string& site,
                                                const std::string& name,
                                                const vm::NetRef& ref,
-                                               const std::string& type_sig);
-  static std::vector<std::uint8_t> make_lookup(const std::string& site,
-                                               const std::string& name,
-                                               vm::NetRef::Kind kind,
-                                               std::uint32_t req_node,
-                                               std::uint32_t req_site,
-                                               std::uint64_t token);
+                                               const std::string& type_sig,
+                                               std::uint64_t trace_id = 0);
+  static std::vector<std::uint8_t> make_lookup(
+      const std::string& site, const std::string& name, vm::NetRef::Kind kind,
+      std::uint32_t req_node, std::uint32_t req_site, std::uint64_t token,
+      std::uint64_t trace_id = 0);
 
  private:
   struct Entry {
@@ -90,6 +99,7 @@ class NameService {
     std::uint32_t site = 0;
     std::uint64_t token = 0;
     vm::NetRef::Kind kind = vm::NetRef::Kind::kChan;
+    std::uint64_t trace_id = 0;  // causal id of the originating lookup
   };
   using Key = std::pair<std::string, std::string>;
 
@@ -101,6 +111,7 @@ class NameService {
   std::map<Key, Entry> ids_;
   std::map<Key, std::vector<Waiter>> waiting_;
   Stats stats_;
+  obs::Registry::Registration metrics_reg_;
 };
 
 }  // namespace dityco::core

@@ -12,7 +12,11 @@
 namespace dityco::core {
 
 Network::Network(Config cfg)
-    : cfg_(cfg), ns_(std::make_unique<NameService>(0)) {}
+    : cfg_(cfg),
+      metrics_(std::make_unique<obs::Registry>()),
+      ns_(std::make_unique<NameService>(0)) {
+  ns_->register_metrics(*metrics_, "central");
+}
 
 Network::~Network() = default;
 
@@ -20,8 +24,43 @@ Node& Network::add_node() {
   if (transport_)
     throw std::logic_error("cannot add nodes after the network started");
   nodes_.push_back(
-      std::make_unique<Node>(static_cast<std::uint32_t>(nodes_.size()), *ns_));
+      std::make_unique<Node>(static_cast<std::uint32_t>(nodes_.size()), *ns_,
+                             metrics_.get()));
+  if (trace_capacity_ > 0) nodes_.back()->enable_tracing(trace_capacity_);
   return *nodes_.back();
+}
+
+void Network::enable_tracing(std::size_t capacity) {
+  trace_capacity_ = capacity;
+  for (auto& n : nodes_) n->enable_tracing(capacity);
+}
+
+std::vector<obs::ThreadTrace> Network::collect_traces() const {
+  std::vector<obs::ThreadTrace> out;
+  for (const auto& n : nodes_) {
+    if (n->daemon_ring().enabled()) {
+      obs::ThreadTrace tt;
+      tt.name = "node" + std::to_string(n->id()) + "/tycod";
+      tt.pid = n->id();
+      tt.tid = obs::kDaemonSite;
+      tt.events = n->daemon_ring().snapshot();
+      out.push_back(std::move(tt));
+    }
+    for (const auto& s : n->sites()) {
+      if (!s->trace_ring().enabled()) continue;
+      obs::ThreadTrace tt;
+      tt.name = s->name();
+      tt.pid = n->id();
+      tt.tid = s->site_id();
+      tt.events = s->trace_ring().snapshot();
+      out.push_back(std::move(tt));
+    }
+  }
+  return out;
+}
+
+std::string Network::trace_json() const {
+  return obs::chrome_trace_json(collect_traces());
 }
 
 Site& Network::add_site(std::size_t node_idx, const std::string& name) {
@@ -110,6 +149,8 @@ Network::Result Network::run() {
     ns_distributed_ = true;
     for (auto& node : nodes_) {
       node->enable_local_ns(static_cast<std::uint32_t>(nodes_.size()));
+      node->name_service().register_metrics(
+          *metrics_, "node" + std::to_string(node->id()));
       for (auto& other : nodes_)
         for (auto& s : other->sites())
           node->name_service().register_site(s->name(), other->id(),
@@ -164,23 +205,37 @@ Network::Result Network::run_threaded() {
 
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> executed{0};
-  // Per-site idleness hints, updated only by the owning executor thread.
+  // Queue movements: messages applied by sites plus packets pumped by
+  // daemons. Together with `executed` this is the progress clock the
+  // termination scan compares across its grace period.
+  std::atomic<std::uint64_t> progress{0};
+  // Per-thread idleness hints. A worker clears its hint BEFORE touching
+  // any queue, so a message "in hand" (popped from one queue but not yet
+  // pushed into the next) always keeps its holder visibly busy —
+  // otherwise the drain scan could declare quiescence while the last
+  // packet sits in a daemon's or executor's hands and is in no queue.
   std::vector<std::unique_ptr<std::atomic<bool>>> idle_hints;
+  std::vector<std::unique_ptr<std::atomic<bool>>> daemon_hints;
   std::vector<Site*> sites;
   for (auto& n : nodes_)
     for (auto& s : n->sites()) {
       sites.push_back(s.get());
       idle_hints.push_back(std::make_unique<std::atomic<bool>>(false));
     }
+  for (std::size_t j = 0; j < nodes_.size(); ++j)
+    daemon_hints.push_back(std::make_unique<std::atomic<bool>>(false));
 
   std::vector<std::thread> threads;
   for (std::size_t i = 0; i < sites.size(); ++i) {
     threads.emplace_back([&, i] {
       Site& s = *sites[i];
       while (!stop.load(std::memory_order_relaxed)) {
+        idle_hints[i]->store(false, std::memory_order_release);
         const std::size_t applied = s.process_incoming();
         const std::uint64_t ran = s.run_slice(cfg_.slice);
         executed.fetch_add(ran, std::memory_order_relaxed);
+        if (applied != 0)
+          progress.fetch_add(applied, std::memory_order_release);
         const bool idle =
             applied == 0 && ran == 0 && s.incoming_size() == 0;
         idle_hints[i]->store(idle, std::memory_order_release);
@@ -188,11 +243,15 @@ Network::Result Network::run_threaded() {
       }
     });
   }
-  for (auto& n : nodes_) {
-    threads.emplace_back([&, node = n.get()] {
+  for (std::size_t j = 0; j < nodes_.size(); ++j) {
+    threads.emplace_back([&, j, node = nodes_[j].get()] {
       while (!stop.load(std::memory_order_relaxed)) {
+        daemon_hints[j]->store(false, std::memory_order_release);
         const std::size_t moved =
             node->pump_incoming(t, 0) + node->pump_outgoing(t, 0);
+        if (moved != 0)
+          progress.fetch_add(moved, std::memory_order_release);
+        daemon_hints[j]->store(moved == 0, std::memory_order_release);
         if (moved == 0)
           std::this_thread::sleep_for(std::chrono::microseconds(50));
       }
@@ -203,6 +262,8 @@ Network::Result Network::run_threaded() {
                         std::chrono::milliseconds(cfg_.timeout_ms);
   auto all_drained = [&] {
     if (t.in_flight() != 0) return false;
+    for (std::size_t j = 0; j < nodes_.size(); ++j)
+      if (!daemon_hints[j]->load(std::memory_order_acquire)) return false;
     for (std::size_t i = 0; i < sites.size(); ++i) {
       if (!idle_hints[i]->load(std::memory_order_acquire)) return false;
       if (sites[i]->incoming_size() != 0 || sites[i]->outgoing_size() != 0)
@@ -221,9 +282,15 @@ Network::Result Network::run_threaded() {
       break;
     }
     if (all_drained()) {
-      // Double-check after a grace period to close enqueue races.
+      // Confirm over a grace period with a stable progress clock: a
+      // message that crosses any queue between the two scans (and could
+      // thus dodge both) moves the clock and voids the pass.
+      const std::uint64_t p0 = progress.load(std::memory_order_acquire);
+      const std::uint64_t e0 = executed.load(std::memory_order_relaxed);
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
-      if (all_drained()) break;
+      if (all_drained() && progress.load(std::memory_order_acquire) == p0 &&
+          executed.load(std::memory_order_relaxed) == e0)
+        break;
     }
   }
   stop.store(true);

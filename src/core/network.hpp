@@ -25,6 +25,8 @@
 #include "calculus/ast.hpp"
 #include "core/node.hpp"
 #include "net/transport.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 
 namespace dityco::core {
 
@@ -97,6 +99,26 @@ class Network {
   /// All runtime errors across sites and machines.
   std::vector<std::string> all_errors() const;
 
+  // -- observability --
+
+  /// The network's metrics registry. Every site, VM and name service
+  /// (central and replicas) registers here; snapshot()/expose_text()/
+  /// expose_json() give the unified view.
+  obs::Registry& metrics() { return *metrics_; }
+  const obs::Registry& metrics() const { return *metrics_; }
+
+  /// Enable causal event tracing on every current and future node (site
+  /// executor rings plus daemon rings). Call before run().
+  void enable_tracing(std::size_t capacity = 1 << 14);
+  bool tracing_enabled() const { return trace_capacity_ > 0; }
+
+  /// Merge every enabled ring into per-thread event lists (one per site,
+  /// one per node daemon). Call after run(); rings are left intact.
+  std::vector<obs::ThreadTrace> collect_traces() const;
+  /// The merged timeline as Chrome trace-event JSON (open in Perfetto or
+  /// chrome://tracing).
+  std::string trace_json() const;
+
  private:
   Result run_sequential();
   Result run_threaded();
@@ -105,12 +127,17 @@ class Network {
   Result finish(Result r) const;
 
   Config cfg_;
+  // Declared first so it is destroyed last: sites/NS hold collector
+  // registrations that must unregister before the registry dies.
+  // Heap-allocated so collector lambdas survive Network moves.
+  std::unique_ptr<obs::Registry> metrics_;
   // Heap-allocated so that Nodes' pointers into it survive moves.
   std::unique_ptr<NameService> ns_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<net::Transport> transport_;
   std::uint64_t instructions_run_ = 0;
   bool ns_distributed_ = false;
+  std::size_t trace_capacity_ = 0;
 };
 
 }  // namespace dityco::core

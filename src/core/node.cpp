@@ -13,7 +13,9 @@ std::uint32_t packet_dst_site(const net::Packet& p) {
 
 bool packet_is_ns(const net::Packet& p) {
   if (p.bytes.empty()) throw DecodeError("empty packet");
-  const auto t = static_cast<MsgType>(p.bytes[0]);
+  // packet_type masks the trace-flag bit, so v2 (traced) frames route the
+  // same as v1.
+  const MsgType t = packet_type(p.bytes);
   return t == MsgType::kNsExport || t == MsgType::kNsLookup;
 }
 
@@ -31,7 +33,17 @@ Site& Node::add_site(const std::string& name) {
   sites_.push_back(
       std::make_unique<Site>(name, id_, site_id, ns_->home_node()));
   ns_->register_site(name, id_, site_id);
-  return *sites_.back();
+  Site& s = *sites_.back();
+  if (metrics_) s.register_metrics(*metrics_);
+  if (trace_capacity_ > 0) s.enable_tracing(trace_capacity_);
+  return s;
+}
+
+void Node::enable_tracing(std::size_t capacity) {
+  trace_capacity_ = capacity;
+  ring_.enable(capacity, id_, obs::kDaemonSite);
+  for (auto& s : sites_)
+    if (!s->trace_ring().enabled()) s->enable_tracing(capacity);
 }
 
 void Node::route(net::Packet p, net::Transport& t, double now_us) {
@@ -39,10 +51,10 @@ void Node::route(net::Packet p, net::Transport& t, double now_us) {
     // This node hosts a name service (the central one, or its replica
     // when the service is distributed).
     Reader r(p.bytes);
-    const auto type = static_cast<MsgType>(r.u8());
-    (void)r.u32();  // dst_site placeholder
+    const PacketHeader h = read_header(r);
     std::vector<net::Packet> replies;
-    if (type == MsgType::kNsExport) {
+    if (h.type == MsgType::kNsExport) {
+      ring_.record(obs::EventType::kNsExport, h.trace_id, p.bytes.size());
       // Replicated mode: exports originating here propagate to every
       // other replica (which releases their parked lookups).
       if (broadcast_nodes_ > 0 && p.src_node == id_) {
@@ -55,9 +67,10 @@ void Node::route(net::Packet p, net::Transport& t, double now_us) {
           t.send(std::move(copy), now_us);
         }
       }
-      ns_->handle_export(r, replies);
+      ns_->handle_export(r, replies, h.trace_id);
     } else {
-      ns_->handle_lookup(r, replies);
+      ring_.record(obs::EventType::kNsLookup, h.trace_id, p.bytes.size());
+      ns_->handle_lookup(r, replies, h.trace_id);
     }
     for (auto& rep : replies) {
       if (rep.dst_node == id_)
@@ -82,6 +95,9 @@ std::size_t Node::pump_site_outgoing(net::Transport& t, std::size_t site_idx,
       if (!packet_is_ns(p)) ++local_deliveries_;
       route(std::move(p), t, now_us);  // shared-memory fast path
     } else {
+      if (ring_.enabled())
+        ring_.record(obs::EventType::kPacketSend, packet_trace_id(p.bytes),
+                     p.bytes.size());
       t.send(std::move(p), now_us);
     }
   }
@@ -100,6 +116,9 @@ std::size_t Node::pump_incoming(net::Transport& t, double now_us) {
   net::Packet p;
   while (t.recv(id_, p, now_us)) {
     ++moved;
+    if (ring_.enabled())
+      ring_.record(obs::EventType::kPacketRecv, packet_trace_id(p.bytes),
+                   p.bytes.size());
     route(std::move(p), t, now_us);
   }
   return moved;

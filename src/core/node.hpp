@@ -14,6 +14,7 @@
 #include "core/nameservice.hpp"
 #include "core/site.hpp"
 #include "net/transport.hpp"
+#include "obs/trace.hpp"
 
 namespace dityco::core {
 
@@ -25,7 +26,8 @@ bool packet_is_ns(const net::Packet& p);
 
 class Node {
  public:
-  Node(std::uint32_t id, NameService& ns) : id_(id), ns_(&ns) {}
+  Node(std::uint32_t id, NameService& ns, obs::Registry* metrics = nullptr)
+      : id_(id), ns_(&ns), metrics_(metrics) {}
 
   std::uint32_t id() const { return id_; }
 
@@ -59,13 +61,26 @@ class Node {
   /// transport (the shared-memory optimisation of section 5).
   std::uint64_t local_deliveries() const { return local_deliveries_; }
 
+  // -- observability --
+
+  /// Enable event tracing on every current and future site of this node,
+  /// plus a daemon-side ring recording packet send/recv and name-service
+  /// traffic. The daemon ring is written only by whichever thread runs
+  /// the pump functions (one thread per node in the threaded driver).
+  void enable_tracing(std::size_t capacity);
+  obs::TraceRing& daemon_ring() { return ring_; }
+  const obs::TraceRing& daemon_ring() const { return ring_; }
+
  private:
   std::uint64_t local_deliveries_ = 0;
   std::uint32_t id_;
   NameService* ns_;
+  obs::Registry* metrics_ = nullptr;
   std::unique_ptr<NameService> replica_;  // set by enable_local_ns
   std::uint32_t broadcast_nodes_ = 0;     // >0 when replicated
   std::vector<std::unique_ptr<Site>> sites_;
+  std::size_t trace_capacity_ = 0;  // 0 = tracing off for new sites
+  obs::TraceRing ring_;             // daemon-side events
 };
 
 }  // namespace dityco::core

@@ -61,6 +61,45 @@ Site::Site(std::string name, std::uint32_t node_id, std::uint32_t site_id,
 Site::~Site() = default;
 
 // ---------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------
+
+void Site::enable_tracing(std::size_t capacity) {
+  ring_.enable(capacity, node_id_, site_id_);
+  machine_.set_event_ring(&ring_);
+}
+
+void Site::register_metrics(obs::Registry& registry) {
+  machine_.register_metrics(registry);
+  metrics_reg_ = registry.add_collector([this](obs::Collector& c) {
+    const std::string l = "{site=\"" + name_ + "\"}";
+    c.counter("site_msgs_shipped" + l, mobility_.msgs_shipped);
+    c.counter("site_objs_shipped" + l, mobility_.objs_shipped);
+    c.counter("site_msgs_received" + l, mobility_.msgs_received);
+    c.counter("site_objs_received" + l, mobility_.objs_received);
+    c.counter("site_fetch_requests" + l, mobility_.fetch_requests);
+    c.counter("site_fetch_cache_hits" + l, mobility_.fetch_cache_hits);
+    c.counter("site_fetch_served" + l, mobility_.fetch_served);
+    c.counter("site_loopback" + l, mobility_.loopback);
+    c.counter("site_dropped" + l, mobility_.dropped);
+    c.counter("site_trace_events" + l, ring_.recorded());
+    c.counter("site_trace_dropped" + l, ring_.dropped());
+    c.histogram("site_packet_bytes" + l, packet_bytes_.snapshot());
+    c.histogram("site_fetch_rtt_us" + l, fetch_rtt_us_.snapshot());
+  });
+}
+
+std::vector<std::string> Site::errors() const {
+  std::lock_guard<std::mutex> lk(err_mu_);
+  return errors_;
+}
+
+void Site::record_error(std::string what) {
+  std::lock_guard<std::mutex> lk(err_mu_);
+  errors_.push_back(std::move(what));
+}
+
+// ---------------------------------------------------------------------
 // Queues
 // ---------------------------------------------------------------------
 
@@ -118,7 +157,7 @@ std::size_t Site::process_incoming(std::size_t max_packets) {
       // The packet boundary is where untrusted bytes enter: any failure
       // (malformed frame, verification, forged reference) poisons only
       // this delivery, never the site.
-      errors_.push_back(name_ + ": malformed packet: " + e.what());
+      record_error(name_ + ": malformed packet: " + e.what());
     }
     ++n;
   }
@@ -138,13 +177,16 @@ void Site::ship_message(const vm::NetRef& target, const std::string& label,
     machine_.deliver_message(target.heap_id, label, std::move(args));
     return;
   }
+  const std::uint64_t tid = fresh_trace_id();
   Writer w;
-  w.u8(static_cast<std::uint8_t>(MsgType::kShipMsg));
-  w.u32(target.site);
+  write_header(w, MsgType::kShipMsg, target.site, tid);
   w.u64(target.heap_id);
   w.str(label);
   marshal_values(machine_, args, w);
-  send_packet(target.node, w.take());
+  auto bytes = w.take();
+  packet_bytes_.observe(static_cast<double>(bytes.size()));
+  ring_.record(obs::EventType::kShipMsgOut, tid, bytes.size());
+  send_packet(target.node, std::move(bytes));
   ++mobility_.msgs_shipped;
 }
 
@@ -155,15 +197,18 @@ void Site::ship_object(const vm::NetRef& target, std::uint32_t seg_slot,
     machine_.deliver_object(target.heap_id, seg_slot, std::move(env));
     return;
   }
+  const std::uint64_t tid = fresh_trace_id();
   Writer w;
-  w.u8(static_cast<std::uint8_t>(MsgType::kShipObj));
-  w.u32(target.site);
+  write_header(w, MsgType::kShipObj, target.site, tid);
   w.u64(target.heap_id);
   std::vector<vm::Segment> closure;
   machine_.collect_closure(seg_slot, closure);
   write_closure(w, closure);
   marshal_values(machine_, env, w);
-  send_packet(target.node, w.take());
+  auto bytes = w.take();
+  packet_bytes_.observe(static_cast<double>(bytes.size()));
+  ring_.record(obs::EventType::kShipObjOut, tid, bytes.size());
+  send_packet(target.node, std::move(bytes));
   ++mobility_.objs_shipped;
 }
 
@@ -179,6 +224,7 @@ void Site::fetch_instantiate(const vm::NetRef& cls,
     auto it = class_cache_.find(cls);
     if (it != class_cache_.end()) {
       ++mobility_.fetch_cache_hits;
+      ring_.record(obs::EventType::kFetchHit, 0, cls.heap_id);
       machine_.instantiate_class(it->second, std::move(args));
       return;
     }
@@ -186,16 +232,19 @@ void Site::fetch_instantiate(const vm::NetRef& cls,
   auto& parked = pending_fetch_[cls];
   parked.push_back(std::move(args));
   if (parked.size() > 1) return;  // request already in flight
+  const std::uint64_t tid = fresh_trace_id();
   const std::uint64_t req = next_req_++;
-  fetch_by_req_[req] = cls;
+  fetch_by_req_[req] = FetchInFlight{cls, obs::trace_now_ns()};
   Writer w;
-  w.u8(static_cast<std::uint8_t>(MsgType::kFetchReq));
-  w.u32(cls.site);
+  write_header(w, MsgType::kFetchReq, cls.site, tid);
   w.u64(cls.heap_id);
   w.u32(node_id_);
   w.u32(site_id_);
   w.u64(req);
-  send_packet(cls.node, w.take());
+  auto bytes = w.take();
+  packet_bytes_.observe(static_cast<double>(bytes.size()));
+  ring_.record(obs::EventType::kFetchReq, tid, cls.heap_id);
+  send_packet(cls.node, std::move(bytes));
   ++mobility_.fetch_requests;
 }
 
@@ -203,15 +252,20 @@ void Site::export_id(const std::string& name, const vm::NetRef& ref) {
   std::string sig;
   if (auto it = export_sigs_.find(name); it != export_sigs_.end())
     sig = it->second;
-  send_packet(ns_node_, NameService::make_export(0, name_, name, ref, sig));
+  const std::uint64_t tid = fresh_trace_id();
+  ring_.record(obs::EventType::kNsExport, tid);
+  send_packet(ns_node_,
+              NameService::make_export(0, name_, name, ref, sig, tid));
 }
 
 void Site::import_id(const std::string& site, const std::string& name,
                      vm::NetRef::Kind kind, std::uint64_t token) {
   import_token_keys_[token] = {site, name};
+  const std::uint64_t tid = fresh_trace_id();
+  ring_.record(obs::EventType::kNsLookup, tid, token);
   send_packet(ns_node_,
               NameService::make_lookup(site, name, kind, node_id_, site_id_,
-                                       token));
+                                       token, tid));
 }
 
 // ---------------------------------------------------------------------
@@ -220,14 +274,14 @@ void Site::import_id(const std::string& site, const std::string& name,
 
 void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
   Reader r(bytes);
-  const auto type = static_cast<MsgType>(r.u8());
-  (void)r.u32();  // dst_site, already used for routing
+  const PacketHeader h = read_header(r);
 
-  switch (type) {
+  switch (h.type) {
     case MsgType::kShipMsg: {
       const std::uint64_t heap_id = r.u64();
       const std::string label = r.str();
       auto args = unmarshal_values(machine_, r);
+      ring_.record(obs::EventType::kShipMsgIn, h.trace_id, bytes.size());
       machine_.deliver_message(heap_id, label, std::move(args));
       ++mobility_.msgs_received;
       return;
@@ -238,6 +292,7 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
       auto pool = read_closure(r, root);
       const std::uint32_t slot = machine_.link(root, pool);
       auto env = unmarshal_values(machine_, r);
+      ring_.record(obs::EventType::kShipObjIn, h.trace_id, bytes.size());
       machine_.deliver_object(heap_id, slot, std::move(env));
       ++mobility_.objs_received;
       return;
@@ -251,15 +306,19 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
       const vm::ClassEntry& entry = machine_.class_entry(cls.idx);
       const vm::Block& blk = machine_.block(entry.block);
       Writer w;
-      w.u8(static_cast<std::uint8_t>(MsgType::kFetchRep));
-      w.u32(req_site);
+      // The reply reuses the request's trace id, so a FETCH shows as one
+      // causal chain: req -> served -> reply.
+      write_header(w, MsgType::kFetchRep, req_site, h.trace_id);
       w.u64(req_id);
       std::vector<vm::Segment> closure;
       machine_.collect_closure(blk.seg, closure);
       write_closure(w, closure);
       w.u32(entry.cls);
       marshal_values(machine_, blk.env, w);
-      send_packet(req_node, w.take());
+      auto reply = w.take();
+      packet_bytes_.observe(static_cast<double>(reply.size()));
+      ring_.record(obs::EventType::kFetchServed, h.trace_id, reply.size());
+      send_packet(req_node, std::move(reply));
       ++mobility_.fetch_served;
       return;
     }
@@ -272,7 +331,11 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
       auto rit = fetch_by_req_.find(req_id);
       if (rit == fetch_by_req_.end())
         throw DecodeError("fetch reply for unknown request");
-      const vm::NetRef ref = rit->second;
+      const vm::NetRef ref = rit->second.cls;
+      fetch_rtt_us_.observe(
+          static_cast<double>(obs::trace_now_ns() - rit->second.issued_ns) /
+          1e3);
+      ring_.record(obs::EventType::kFetchReply, h.trace_id, bytes.size());
       fetch_by_req_.erase(rit);
       const std::uint32_t slot = machine_.link(root, pool);
       const std::uint32_t block = machine_.make_block(slot, std::move(env));
@@ -291,9 +354,10 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
       const bool ok = r.boolean();
       const vm::NetRef ref = read_netref(r);
       const std::string sig = r.str();
+      ring_.record(obs::EventType::kNsReply, h.trace_id, token);
       if (!ok) {
-        errors_.push_back(name_ + ": import kind mismatch for token " +
-                          std::to_string(token));
+        record_error(name_ + ": import kind mismatch for token " +
+                     std::to_string(token));
         return;  // the frame stays parked; the network reports a stall
       }
       // Dynamic half of the combined type-checking scheme: if the import
@@ -304,10 +368,9 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
         if (eit != import_sigs_.end() && !eit->second.empty() &&
             !sig.empty() && eit->second != sig &&
             !types::compatible(eit->second, sig)) {
-          errors_.push_back(name_ + ": type mismatch importing " +
-                            kit->second.second + " from " + kit->second.first +
-                            ": expected " + eit->second + ", exporter has " +
-                            sig);
+          record_error(name_ + ": type mismatch importing " +
+                       kit->second.second + " from " + kit->second.first +
+                       ": expected " + eit->second + ", exporter has " + sig);
           import_token_keys_.erase(kit);
           return;
         }

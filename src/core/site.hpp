@@ -18,23 +18,28 @@
 
 #include "core/wire.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "vm/machine.hpp"
 
 namespace dityco::core {
 
 class Site {
  public:
+  /// Mobility counters. Written by the executor thread; the cells are
+  /// atomic (obs::Counter) so drivers and benches may read them while a
+  /// threaded Network is running.
   struct MobilityStats {
-    std::uint64_t msgs_shipped = 0;      // SHIPM departures
-    std::uint64_t objs_shipped = 0;      // SHIPO departures
-    std::uint64_t msgs_received = 0;
-    std::uint64_t objs_received = 0;
-    std::uint64_t fetch_requests = 0;    // FETCH round trips issued
-    std::uint64_t fetch_cache_hits = 0;  // dynamic-link cache hits
-    std::uint64_t fetch_served = 0;      // FETCH requests answered
-    std::uint64_t loopback = 0;          // remote ops resolved locally
-    std::uint64_t dropped = 0;           // deliveries to this site after it
-                                         // failed (fault injection)
+    obs::Counter msgs_shipped;      // SHIPM departures
+    obs::Counter objs_shipped;      // SHIPO departures
+    obs::Counter msgs_received;
+    obs::Counter objs_received;
+    obs::Counter fetch_requests;    // FETCH round trips issued
+    obs::Counter fetch_cache_hits;  // dynamic-link cache hits
+    obs::Counter fetch_served;      // FETCH requests answered
+    obs::Counter loopback;          // remote ops resolved locally
+    obs::Counter dropped;           // deliveries to this site after it
+                                    // failed (fault injection)
   };
 
   Site(std::string name, std::uint32_t node_id, std::uint32_t site_id,
@@ -97,13 +102,34 @@ class Site {
   bool failed() const { return failed_; }
 
   const MobilityStats& mobility() const { return mobility_; }
-  const std::vector<std::string>& errors() const { return errors_; }
+  /// Snapshot of accumulated errors (copied under a lock; safe to call
+  /// while the executor thread is running).
+  std::vector<std::string> errors() const;
+
+  // -- observability --
+
+  /// Start recording trace events into a ring of `capacity` slots
+  /// (rounded up to a power of two). Also hooks the VM so COMM/INST and
+  /// run-slices are recorded. Call before the site starts executing.
+  void enable_tracing(std::size_t capacity);
+  obs::TraceRing& trace_ring() { return ring_; }
+  const obs::TraceRing& trace_ring() const { return ring_; }
+
+  /// Register this site's mobility counters, latency histograms and the
+  /// VM's counters with `registry`, labelled {site="<name>"}. The
+  /// registration dies with the site.
+  void register_metrics(obs::Registry& registry);
 
  private:
   class Backend;
 
   void handle_packet(const std::vector<std::uint8_t>& bytes);
   void send_packet(std::uint32_t dst_node, std::vector<std::uint8_t> bytes);
+  void record_error(std::string what);
+  /// Fresh trace id when tracing is on, 0 (untraced v1 frame) otherwise.
+  std::uint64_t fresh_trace_id() {
+    return ring_.enabled() ? obs::next_trace_id() : 0;
+  }
 
   // RemoteBackend entry points (called from machine_.run()).
   void ship_message(const vm::NetRef& target, const std::string& label,
@@ -126,10 +152,14 @@ class Site {
   std::deque<net::Packet> outgoing_;
 
   // FETCH bookkeeping.
+  struct FetchInFlight {
+    vm::NetRef cls;
+    std::uint64_t issued_ns = 0;  // for the fetch round-trip histogram
+  };
   bool fetch_cache_enabled_ = true;
   std::map<vm::NetRef, vm::Value> class_cache_;  // dynamic-link cache
   std::map<vm::NetRef, std::vector<std::vector<vm::Value>>> pending_fetch_;
-  std::map<std::uint64_t, vm::NetRef> fetch_by_req_;
+  std::map<std::uint64_t, FetchInFlight> fetch_by_req_;
   std::uint64_t next_req_ = 1;
 
   std::map<std::string, std::string> export_sigs_;
@@ -138,7 +168,15 @@ class Site {
       import_token_keys_;
 
   MobilityStats mobility_;
+  mutable std::mutex err_mu_;
   std::vector<std::string> errors_;
+
+  obs::TraceRing ring_;
+  // Outbound packet sizes in bytes (16B .. ~256KiB) and FETCH round trips
+  // in microseconds.
+  obs::Histogram packet_bytes_{obs::Histogram::exponential_bounds(16, 4, 8)};
+  obs::Histogram fetch_rtt_us_{obs::Histogram::default_bounds()};
+  obs::Registry::Registration metrics_reg_;
 };
 
 }  // namespace dityco::core

@@ -1,5 +1,7 @@
 #include "core/wire.hpp"
 
+#include <cstring>
+
 namespace dityco::core {
 
 namespace {
@@ -13,6 +15,46 @@ enum class WireTag : std::uint8_t {
 };
 
 }  // namespace
+
+void write_header(Writer& w, MsgType t, std::uint32_t dst_site,
+                  std::uint64_t trace_id) {
+  if (trace_id == 0) {
+    w.u8(static_cast<std::uint8_t>(t));
+    w.u32(dst_site);
+    return;
+  }
+  w.u8(static_cast<std::uint8_t>(t) | kTraceFlag);
+  w.u32(dst_site);
+  w.u64(trace_id);
+}
+
+PacketHeader read_header(Reader& r) {
+  const std::uint8_t b = r.u8();
+  const std::uint8_t type = b & static_cast<std::uint8_t>(~kTraceFlag);
+  if (type < static_cast<std::uint8_t>(MsgType::kShipMsg) ||
+      type > static_cast<std::uint8_t>(MsgType::kNsReply))
+    throw DecodeError("unknown packet type");
+  PacketHeader h;
+  h.type = static_cast<MsgType>(type);
+  h.dst_site = r.u32();
+  if (b & kTraceFlag) h.trace_id = r.u64();
+  return h;
+}
+
+MsgType packet_type(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.empty()) throw DecodeError("empty packet");
+  return static_cast<MsgType>(bytes[0] &
+                              static_cast<std::uint8_t>(~kTraceFlag));
+}
+
+std::uint64_t packet_trace_id(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.empty()) throw DecodeError("empty packet");
+  if (!(bytes[0] & kTraceFlag)) return 0;
+  if (bytes.size() < 13) throw DecodeError("short v2 packet");
+  std::uint64_t id;
+  std::memcpy(&id, bytes.data() + 5, sizeof id);
+  return id;
+}
 
 void write_netref(Writer& w, const vm::NetRef& r) {
   w.u8(static_cast<std::uint8_t>(r.kind));

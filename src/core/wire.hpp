@@ -30,6 +30,38 @@ enum class MsgType : std::uint8_t {
   kNsReply = 7,    // name-service answer (sent once the name exists)
 };
 
+// -- packet header (wire format v2) -----------------------------------
+//
+// v1 frames are [type u8][dst_site u32][payload]. v2 sets kTraceFlag on
+// the type byte and inserts a causal trace id after the routing word:
+// [type|0x80 u8][dst_site u32][trace_id u64][payload]. The flag keeps
+// the change backward-compatible (v1 frames still decode, trace id 0)
+// and leaves dst_site at a fixed offset for daemon routing. Trace ids
+// correlate the departure and arrival events of one mobility operation
+// across sites (see obs/trace.hpp); they are only emitted when the
+// sending site has tracing enabled, so an untraced run's wire bytes are
+// identical to v1.
+
+/// Type-byte flag marking a v2 frame that carries a trace id.
+constexpr std::uint8_t kTraceFlag = 0x80;
+
+struct PacketHeader {
+  MsgType type = MsgType::kShipMsg;
+  std::uint32_t dst_site = 0;
+  std::uint64_t trace_id = 0;  // 0 = untraced (v1 frame)
+};
+
+/// Write a frame header; emits the v1 layout when trace_id == 0.
+void write_header(Writer& w, MsgType t, std::uint32_t dst_site,
+                  std::uint64_t trace_id = 0);
+/// Read either header version; throws DecodeError on an unknown type.
+PacketHeader read_header(Reader& r);
+
+/// Peek the message type of a framed packet (flag masked off).
+MsgType packet_type(const std::vector<std::uint8_t>& bytes);
+/// Peek a framed packet's trace id (0 for v1 frames).
+std::uint64_t packet_trace_id(const std::vector<std::uint8_t>& bytes);
+
 /// Marshal one value leaving `m` (sender side, step 1).
 void marshal_value(vm::Machine& m, const vm::Value& v, Writer& w);
 void marshal_values(vm::Machine& m, const std::vector<vm::Value>& vs,

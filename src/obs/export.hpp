@@ -1,0 +1,34 @@
+// Chrome trace-event / Perfetto export (observability layer, part 3 of 3).
+//
+// Merges per-site and per-node TraceRing snapshots into one JSON timeline
+// in the Chrome trace-event format (load it in chrome://tracing or
+// https://ui.perfetto.dev). Mapping:
+//
+//   * pid  = node id (one "process" per cluster node),
+//   * tid  = a thread line per site (and one for the node daemon),
+//   * run-slices  -> "B"/"E" duration events,
+//   * everything else -> "i" instant events,
+//   * events sharing a non-zero trace id -> an "s"/"t"/"f" flow chain,
+//     which Perfetto draws as arrows following a SHIPM/SHIPO/FETCH/NS
+//     operation across sites.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace dityco::obs {
+
+/// One thread line of the merged timeline.
+struct ThreadTrace {
+  std::string name;        // e.g. "site client" or "daemon"
+  std::uint32_t pid = 0;   // node id
+  std::uint32_t tid = 0;   // line within the node
+  std::vector<TraceEvent> events;
+};
+
+/// Render the merged timeline as a Chrome trace-event JSON document.
+std::string chrome_trace_json(const std::vector<ThreadTrace>& traces);
+
+}  // namespace dityco::obs

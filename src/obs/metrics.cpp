@@ -1,0 +1,269 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dityco::obs {
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.reserve(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    s.counts.push_back(counts_[i].load(std::memory_order_relaxed));
+  s.total = total_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  int count) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(count));
+  double b = start;
+  for (int i = 0; i < count; ++i) {
+    out.push_back(b);
+    b *= factor;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Collector sink
+// ---------------------------------------------------------------------
+
+void Collector::counter(const std::string& name, std::uint64_t v) {
+  (*counters_)[name] += v;
+}
+
+void Collector::gauge(const std::string& name, std::int64_t v) {
+  (*gauges_)[name] += v;
+}
+
+void Collector::histogram(const std::string& name, Histogram::Snapshot s) {
+  // try_emplace leaves `s` untouched when the key already exists.
+  auto [it, inserted] = histograms_->try_emplace(name, std::move(s));
+  if (inserted) return;
+  // Same name from several components (e.g. one histogram per site under
+  // an aggregate name): merge when shapes agree, else keep the first.
+  Histogram::Snapshot& dst = it->second;
+  if (dst.bounds != s.bounds) return;
+  for (std::size_t i = 0; i < dst.counts.size() && i < s.counts.size(); ++i)
+    dst.counts[i] += s.counts[i];
+  dst.total += s.total;
+  dst.sum += s.sum;
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+Registry::Registration& Registry::Registration::operator=(
+    Registration&& o) noexcept {
+  if (this != &o) {
+    reset();
+    reg_ = o.reg_;
+    id_ = o.id_;
+    o.reg_ = nullptr;
+    o.id_ = 0;
+  }
+  return *this;
+}
+
+void Registry::Registration::reset() {
+  if (reg_) reg_->remove_collector(id_);
+  reg_ = nullptr;
+  id_ = 0;
+}
+
+Registry::Registration Registry::add_collector(CollectFn fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t id = next_id_++;
+  collectors_.emplace(id, std::move(fn));
+  return Registration(this, id);
+}
+
+void Registry::remove_collector(std::uint64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  collectors_.erase(id);
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot)
+    slot = bounds.empty() ? std::make_unique<Histogram>()
+                          : std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Snapshot s;
+  Collector sink;
+  sink.counters_ = &s.counters;
+  sink.gauges_ = &s.gauges;
+  sink.histograms_ = &s.histograms;
+  for (const auto& [name, c] : counters_) s.counters[name] += c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] += g->value();
+  for (const auto& [name, h] : histograms_)
+    sink.histogram(name, h->snapshot());
+  for (const auto& [id, fn] : collectors_) fn(sink);
+  return s;
+}
+
+namespace {
+
+/// Splice a `le` label into a (possibly already labelled) metric name:
+/// `x{site="a"}` -> `x_bucket{site="a",le="8"}`, `x` -> `x_bucket{le="8"}`.
+std::string with_suffix_and_le(const std::string& name,
+                               const std::string& suffix,
+                               const std::string& le) {
+  const auto brace = name.find('{');
+  std::string base = name.substr(0, brace);
+  std::string labels =
+      brace == std::string::npos
+          ? ""
+          : name.substr(brace + 1, name.size() - brace - 2);  // strip {}
+  if (!le.empty()) {
+    if (!labels.empty()) labels += ",";
+    labels += "le=\"" + le + "\"";
+  }
+  std::string out = base + suffix;
+  if (!labels.empty()) out += "{" + labels + "}";
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Registry::expose_text() const {
+  const Snapshot s = snapshot();
+  std::string out;
+  for (const auto& [name, v] : s.counters)
+    out += name + " " + std::to_string(v) + "\n";
+  for (const auto& [name, v] : s.gauges)
+    out += name + " " + std::to_string(v) + "\n";
+  for (const auto& [name, h] : s.histograms) {
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cum += h.counts[i];
+      const std::string le =
+          i < h.bounds.size() ? fmt_double(h.bounds[i]) : "+Inf";
+      out += with_suffix_and_le(name, "_bucket", le) + " " +
+             std::to_string(cum) + "\n";
+    }
+    out += with_suffix_and_le(name, "_sum", "") + " " + fmt_double(h.sum) +
+           "\n";
+    out += with_suffix_and_le(name, "_count", "") + " " +
+           std::to_string(h.total) + "\n";
+  }
+  return out;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Registry::expose_json() const {
+  const Snapshot s = snapshot();
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : s.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":" + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : s.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":" + std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : s.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out += ",";
+      out += fmt_double(h.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) out += ",";
+      out += std::to_string(h.counts[i]);
+    }
+    out += "],\"sum\":" + fmt_double(h.sum) +
+           ",\"count\":" + std::to_string(h.total) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace dityco::obs

@@ -1,0 +1,206 @@
+// Unified metrics registry (observability layer, part 1 of 3).
+//
+// The runtime previously exposed four disconnected counter structs
+// (vm::Machine::Stats, calc::Reducer::Counters, core::NameService::Stats,
+// core::Site::MobilityStats) with no common exposition. This registry
+// gives them one roof without touching their hot paths:
+//
+//   * Counter / Gauge / Histogram are standalone atomic cells. Components
+//     own their cells (pre-resolved handles: `++stats_.comm` compiles to
+//     one relaxed fetch_add, or stays a plain increment for structs owned
+//     by a single executor thread) and registry exposure never sits on a
+//     hot path.
+//   * Components publish through *collectors*: a callback that reads the
+//     component's cells into a Collector sink. Registration is RAII, so a
+//     destroyed site/machine silently drops out of the exposition.
+//   * The registry can also own find-or-create metrics by name for ad-hoc
+//     instrumentation (tools, benches).
+//
+// Exposition formats: Prometheus-style text and JSON.
+//
+// Thread safety: cells are atomic; the registry itself is mutex-guarded.
+// Collector callbacks that read non-atomic fields (e.g. the VM's
+// single-threaded Stats) must only be driven when the owning thread is at
+// rest — i.e. call expose_*/snapshot() after run(), not during it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dityco::obs {
+
+/// Monotonic counter cell. Copyable (a copy snapshots the value) so the
+/// stats structs that embed it keep their value semantics.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter& o) : v_(o.value()) {}
+  Counter& operator=(const Counter& o) {
+    v_.store(o.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+  Counter& operator++() {
+    inc();
+    return *this;
+  }
+  Counter& operator+=(std::uint64_t n) {
+    inc(n);
+    return *this;
+  }
+  operator std::uint64_t() const { return value(); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time signed value (queue depths, in-flight packets).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge& o) : v_(o.value()) {}
+  Gauge& operator=(const Gauge& o) {
+    v_.store(o.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  operator std::int64_t() const { return value(); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds,
+/// with an implicit +inf bucket at the end. Observation is lock free.
+class Histogram {
+ public:
+  struct Snapshot {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1 entries
+    std::uint64_t total = 0;
+    double sum = 0.0;
+  };
+
+  Histogram() : Histogram(default_bounds()) {}
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+  Snapshot snapshot() const;
+
+  /// `count` bounds starting at `start`, each `factor` times the last —
+  /// the usual shape for latency/size distributions.
+  static std::vector<double> exponential_bounds(double start, double factor,
+                                                int count);
+  /// 1µs .. ~1s in powers of 4 (a serviceable latency default).
+  static std::vector<double> default_bounds() {
+    return exponential_bounds(1.0, 4.0, 10);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Sink handed to collector callbacks; values land in the registry
+/// snapshot under their fully-qualified name (labels embedded, e.g.
+/// `vm_instructions{site="client"}`). Same-named values are summed.
+class Collector {
+ public:
+  void counter(const std::string& name, std::uint64_t v);
+  void gauge(const std::string& name, std::int64_t v);
+  void histogram(const std::string& name, Histogram::Snapshot s);
+
+ private:
+  friend class Registry;
+  std::map<std::string, std::uint64_t>* counters_ = nullptr;
+  std::map<std::string, std::int64_t>* gauges_ = nullptr;
+  std::map<std::string, Histogram::Snapshot>* histograms_ = nullptr;
+};
+
+using CollectFn = std::function<void(Collector&)>;
+
+/// Escape a string for inclusion in a JSON string literal (metric names
+/// carry embedded `label="value"` quotes).
+std::string json_escape(std::string_view s);
+
+class Registry {
+ public:
+  /// RAII collector registration: destroying the token (or the component
+  /// holding it) removes the collector. Outliving the registry is a bug;
+  /// the owning structure (e.g. Network) must destroy components first.
+  class Registration {
+   public:
+    Registration() = default;
+    Registration(Registration&& o) noexcept { *this = std::move(o); }
+    Registration& operator=(Registration&& o) noexcept;
+    Registration(const Registration&) = delete;
+    Registration& operator=(const Registration&) = delete;
+    ~Registration() { reset(); }
+
+    void reset();
+    bool active() const { return reg_ != nullptr; }
+
+   private:
+    friend class Registry;
+    Registration(Registry* r, std::uint64_t id) : reg_(r), id_(id) {}
+    Registry* reg_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] Registration add_collector(CollectFn fn);
+
+  // Owned find-or-create metrics; references stay valid for the
+  // registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::int64_t> gauges;
+    std::map<std::string, Histogram::Snapshot> histograms;
+  };
+
+  /// Merged view of owned metrics plus every live collector.
+  Snapshot snapshot() const;
+  /// Prometheus-style text exposition.
+  std::string expose_text() const;
+  /// The same snapshot as a JSON object.
+  std::string expose_json() const;
+
+  /// Process-wide default registry (tools and standalone components).
+  static Registry& global();
+
+ private:
+  friend class Registration;
+  void remove_collector(std::uint64_t id);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::uint64_t, CollectFn> collectors_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace dityco::obs

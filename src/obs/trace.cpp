@@ -1,0 +1,80 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+namespace dityco::obs {
+
+const char* event_name(EventType t) {
+  switch (t) {
+    case EventType::kComm: return "COMM";
+    case EventType::kInst: return "INST";
+    case EventType::kShipMsgOut: return "SHIPM-out";
+    case EventType::kShipMsgIn: return "SHIPM-in";
+    case EventType::kShipObjOut: return "SHIPO-out";
+    case EventType::kShipObjIn: return "SHIPO-in";
+    case EventType::kFetchReq: return "FETCH-req";
+    case EventType::kFetchHit: return "FETCH-hit";
+    case EventType::kFetchServed: return "FETCH-served";
+    case EventType::kFetchReply: return "FETCH-reply";
+    case EventType::kNsExport: return "NS-export";
+    case EventType::kNsLookup: return "NS-lookup";
+    case EventType::kNsReply: return "NS-reply";
+    case EventType::kPacketSend: return "packet-send";
+    case EventType::kPacketRecv: return "packet-recv";
+    case EventType::kSliceBegin: return "run-slice";
+    case EventType::kSliceEnd: return "run-slice";
+  }
+  return "?";
+}
+
+std::uint64_t next_trace_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void TraceRing::enable(std::size_t capacity, std::uint32_t node,
+                       std::uint32_t site) {
+  std::size_t cap = 1;
+  while (cap < capacity) cap <<= 1;
+  slots_.assign(cap, TraceEvent{});
+  node_ = node;
+  site_ = site;
+  head_.store(0, std::memory_order_release);
+  mask_ = cap - 1;
+}
+
+void TraceRing::record_at(std::uint64_t ts_ns, EventType t,
+                          std::uint64_t trace_id, std::uint64_t arg) {
+  if (mask_ == 0) return;
+  // Single producer: a plain load + release store beats fetch_add and
+  // keeps the slot write strictly before the published head.
+  const std::uint64_t seq = head_.load(std::memory_order_relaxed);
+  TraceEvent& e = slots_[seq & mask_];
+  e.type = t;
+  e.node = node_;
+  e.site = site_;
+  e.trace_id = trace_id;
+  e.arg = arg;
+  e.ts_ns = ts_ns;
+  head_.store(seq + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  std::vector<TraceEvent> out;
+  if (mask_ == 0) return out;
+  const std::uint64_t h = head_.load(std::memory_order_acquire);
+  const std::uint64_t lo = h > slots_.size() ? h - slots_.size() : 0;
+  out.reserve(static_cast<std::size_t>(h - lo));
+  for (std::uint64_t i = lo; i < h; ++i)
+    out.push_back(slots_[i & mask_]);
+  return out;
+}
+
+}  // namespace dityco::obs

@@ -1,0 +1,105 @@
+// Causal event tracing (observability layer, part 2 of 3).
+//
+// Each site (and each node daemon) owns a TraceRing: a fixed-capacity,
+// single-producer ring buffer of typed events stamped with a
+// steady_clock timestamp, the recording site, and a *trace id*. Trace
+// ids are allocated at the departure side of a mobility operation
+// (SHIPM/SHIPO/FETCH/NS traffic) and propagated through the wire format
+// (core/wire.hpp, v2 header), so one logical operation can be followed
+// across sites and nodes: departure, daemon hops, service handling and
+// arrival all carry the same id. obs/export.hpp merges the rings into a
+// Chrome trace-event / Perfetto timeline with flow arrows along each id.
+//
+// Rings are default-off: a disabled ring's record() is a single branch,
+// so tracing costs nothing unless enabled. record() must only be called
+// by the ring's owning thread (the site executor or the node daemon);
+// snapshot() is intended for after quiescence — concurrent snapshots see
+// a consistent prefix but may tear the slot currently being written.
+#pragma once
+
+#include <cstdint>
+#include <atomic>
+#include <vector>
+
+namespace dityco::obs {
+
+enum class EventType : std::uint8_t {
+  kComm = 1,      // local COMM reduction (message met object)
+  kInst,          // local INST reduction (class instantiation)
+  kShipMsgOut,    // SHIPM departure            arg = packet bytes
+  kShipMsgIn,     // SHIPM arrival              arg = packet bytes
+  kShipObjOut,    // SHIPO departure            arg = packet bytes
+  kShipObjIn,     // SHIPO arrival              arg = packet bytes
+  kFetchReq,      // FETCH request issued       arg = packet bytes
+  kFetchHit,      // dynamic-link cache hit (no wire traffic)
+  kFetchServed,   // FETCH request answered     arg = reply bytes
+  kFetchReply,    // FETCH reply linked         arg = round-trip ns
+  kNsExport,      // name-service export (site issue / node service)
+  kNsLookup,      // name-service lookup (site issue / node service)
+  kNsReply,       // name-service reply arrival
+  kPacketSend,    // daemon moved a packet out  arg = bytes
+  kPacketRecv,    // daemon received a packet   arg = bytes
+  kSliceBegin,    // run-slice started
+  kSliceEnd,      // run-slice finished         arg = instructions executed
+};
+
+const char* event_name(EventType t);
+
+/// Sentinel "site" id used by a node daemon's ring (a daemon is not a
+/// site; exporters render it as its own thread line).
+constexpr std::uint32_t kDaemonSite = 0xffffffffu;
+
+struct TraceEvent {
+  EventType type = EventType::kComm;
+  std::uint32_t node = 0;
+  std::uint32_t site = 0;
+  std::uint64_t trace_id = 0;  // 0 = purely local, no cross-site flow
+  std::uint64_t arg = 0;
+  std::uint64_t ts_ns = 0;     // steady_clock, process-wide comparable
+};
+
+/// Fresh non-zero trace id (process-global).
+std::uint64_t next_trace_id();
+
+/// steady_clock now, in nanoseconds.
+std::uint64_t trace_now_ns();
+
+class TraceRing {
+ public:
+  TraceRing() = default;
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Allocate `capacity` slots (rounded up to a power of two) and start
+  /// recording. The origin (node, site) stamps every event.
+  void enable(std::size_t capacity, std::uint32_t node, std::uint32_t site);
+  bool enabled() const { return mask_ != 0; }
+
+  void record(EventType t, std::uint64_t trace_id, std::uint64_t arg = 0) {
+    if (mask_ == 0) return;
+    record_at(trace_now_ns(), t, trace_id, arg);
+  }
+  /// Record with a caller-captured timestamp (e.g. a slice's begin time).
+  void record_at(std::uint64_t ts_ns, EventType t, std::uint64_t trace_id,
+                 std::uint64_t arg = 0);
+
+  /// Events still in the ring, oldest first. Non-destructive.
+  std::vector<TraceEvent> snapshot() const;
+  /// Total events ever recorded (snapshot() returns at most `capacity`
+  /// of them; the difference is how many the ring overwrote).
+  std::uint64_t recorded() const {
+    return head_.load(std::memory_order_acquire);
+  }
+  std::uint64_t dropped() const {
+    const std::uint64_t h = recorded();
+    return h > slots_.size() ? h - slots_.size() : 0;
+  }
+
+ private:
+  std::vector<TraceEvent> slots_;
+  std::size_t mask_ = 0;  // capacity - 1; 0 = disabled
+  std::uint32_t node_ = 0, site_ = 0;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace dityco::obs

@@ -143,6 +143,7 @@ void Machine::reduce(std::uint32_t chan, ObjClosure obj, PendingMsg msg) {
     f.locals = std::move(obj.env);
     f.locals.insert(f.locals.end(), msg.args.begin(), msg.args.end());
     ++stats_.comm_reductions;
+    if (ring_) ring_->record(obs::EventType::kComm, 0, msg.label);
     spawn_frame(std::move(f));
     return;
   }
@@ -216,6 +217,7 @@ void Machine::instantiate_class(Value cls, std::vector<Value> args) {
   f.locals = blk.env;
   f.locals.insert(f.locals.end(), args.begin(), args.end());
   ++stats_.inst_reductions;
+  if (ring_) ring_->record(obs::EventType::kInst, 0, entry.cls);
   spawn_frame(std::move(f));
 }
 
@@ -306,6 +308,24 @@ std::uint32_t Machine::intern_string(std::string_view s) {
   return strings_.intern(s);
 }
 
+void Machine::register_metrics(obs::Registry& registry) {
+  metrics_reg_ = registry.add_collector([this](obs::Collector& c) {
+    const std::string l = "{site=\"" + name_ + "\"}";
+    c.counter("vm_instructions" + l, stats_.instructions);
+    c.counter("vm_comm_reductions" + l, stats_.comm_reductions);
+    c.counter("vm_inst_reductions" + l, stats_.inst_reductions);
+    c.counter("vm_forks" + l, stats_.forks);
+    c.counter("vm_frames_run" + l, stats_.frames_run);
+    c.counter("vm_prints" + l, stats_.prints);
+    c.gauge("vm_runnable" + l, static_cast<std::int64_t>(queue_.size()));
+    c.gauge("vm_parked" + l, static_cast<std::int64_t>(parked_.size()));
+    c.gauge("vm_pending_messages" + l,
+            static_cast<std::int64_t>(pending_msgs_));
+    c.gauge("vm_pending_objects" + l,
+            static_cast<std::int64_t>(pending_objs_));
+  });
+}
+
 std::string Machine::display(const Value& v) const {
   switch (v.tag) {
     case Value::Tag::kInt: return std::to_string(v.i);
@@ -337,6 +357,8 @@ double as_f(const Value& v) {
 }  // namespace
 
 std::uint64_t Machine::run(std::uint64_t max_instructions) {
+  const bool tracing = ring_ && ring_->enabled() && !queue_.empty();
+  if (tracing) ring_->record(obs::EventType::kSliceBegin, 0);
   std::uint64_t executed = 0;
   while (!queue_.empty() && executed < max_instructions) {
     Frame f = std::move(queue_.front());
@@ -347,6 +369,7 @@ std::uint64_t Machine::run(std::uint64_t max_instructions) {
     if (requeue) queue_.push_front(std::move(f));
   }
   stats_.instructions += executed;
+  if (tracing) ring_->record(obs::EventType::kSliceEnd, 0, executed);
   return executed;
 }
 

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/intern.hpp"
 #include "vm/segment.hpp"
 #include "vm/value.hpp"
@@ -233,6 +235,17 @@ class Machine {
   /// disables tracing (the default; zero overhead on the fast path).
   void set_trace(std::vector<std::string>* sink) { trace_ = sink; }
 
+  /// Event tracing: when a ring is attached (the owning Site's), COMM
+  /// and INST reductions and run-slice begin/end are recorded into it.
+  /// Null (the default) costs one predictable branch per reduction.
+  void set_event_ring(obs::TraceRing* ring) { ring_ = ring; }
+
+  /// Publish this machine's Stats into a metrics registry under
+  /// `vm_*{site="<name>"}` names. The registration is dropped when the
+  /// machine dies. The collector reads the plain (executor-owned)
+  /// counters, so drive expositions only while the machine is at rest.
+  void register_metrics(obs::Registry& registry);
+
  private:
   struct LinkedSegment {
     std::shared_ptr<const Segment> seg;
@@ -293,6 +306,8 @@ class Machine {
   std::vector<std::string> output_;
   std::vector<std::string> errors_;
   std::vector<std::string>* trace_ = nullptr;
+  obs::TraceRing* ring_ = nullptr;
+  obs::Registry::Registration metrics_reg_;
   Stats stats_;
 };
 

@@ -1,0 +1,420 @@
+// Observability layer: metrics registry semantics, trace-ring behaviour,
+// trace-id propagation through the wire format, and end-to-end causal
+// tracing on a 2-node simulated cluster.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "calculus/reducer.hpp"
+#include "compiler/parser.hpp"
+#include "core/network.hpp"
+#include "core/node.hpp"
+#include "core/wire.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dityco {
+namespace {
+
+// ---------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------
+
+TEST(Metrics, CounterSemantics) {
+  obs::Counter c;
+  ++c;
+  c += 4;
+  c.inc();
+  EXPECT_EQ(c, 6u);
+  obs::Counter copy = c;  // a copy snapshots the value
+  ++c;
+  EXPECT_EQ(copy, 6u);
+  EXPECT_EQ(c, 7u);
+}
+
+TEST(Metrics, GaugeSemantics) {
+  obs::Gauge g;
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST(Metrics, HistogramBuckets) {
+  obs::Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1
+  h.observe(5.0);    // <= 10
+  h.observe(50.0);   // <= 100
+  h.observe(500.0);  // +inf
+  h.observe(10.0);   // boundary lands in its own bucket (inclusive)
+  auto s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 1u);
+  EXPECT_EQ(s.counts[1], 2u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 1u);
+  EXPECT_EQ(s.total, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 565.5);
+}
+
+TEST(Metrics, RegistryOwnedAndCollected) {
+  obs::Registry reg;
+  ++reg.counter("owned_total");
+  reg.gauge("owned_depth").set(3);
+  std::uint64_t live = 42;
+  auto token = reg.add_collector([&](obs::Collector& c) {
+    c.counter("collected_total", live);
+  });
+  auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("owned_total"), 1u);
+  EXPECT_EQ(snap.counters.at("collected_total"), 42u);
+  EXPECT_EQ(snap.gauges.at("owned_depth"), 3);
+
+  // RAII: dropping the token removes the collector.
+  token.reset();
+  snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.count("collected_total"), 0u);
+
+  const std::string text = reg.expose_text();
+  EXPECT_NE(text.find("owned_total 1"), std::string::npos);
+  const std::string json = reg.expose_json();
+  EXPECT_NE(json.find("\"owned_total\":1"), std::string::npos);
+}
+
+TEST(Metrics, SameNameCollectorsSum) {
+  obs::Registry reg;
+  auto t1 = reg.add_collector(
+      [](obs::Collector& c) { c.counter("shared_total", 2); });
+  auto t2 = reg.add_collector(
+      [](obs::Collector& c) { c.counter("shared_total", 5); });
+  EXPECT_EQ(reg.snapshot().counters.at("shared_total"), 7u);
+}
+
+TEST(Metrics, HistogramExposition) {
+  obs::Registry reg;
+  reg.histogram("lat_us", {1.0, 10.0}).observe(3.0);
+  const std::string text = reg.expose_text();
+  EXPECT_NE(text.find("lat_us_bucket{le=\"1\"} 0"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_count 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Trace ring
+// ---------------------------------------------------------------------
+
+TEST(TraceRing, DisabledRecordIsNoop) {
+  obs::TraceRing ring;
+  EXPECT_FALSE(ring.enabled());
+  ring.record(obs::EventType::kComm, 1);  // must not crash
+  EXPECT_TRUE(ring.snapshot().empty());
+  EXPECT_EQ(ring.recorded(), 0u);
+}
+
+TEST(TraceRing, WrapsKeepingNewest) {
+  obs::TraceRing ring;
+  ring.enable(8, /*node=*/1, /*site=*/2);
+  for (std::uint64_t i = 0; i < 20; ++i)
+    ring.record(obs::EventType::kComm, /*trace_id=*/0, /*arg=*/i);
+  EXPECT_EQ(ring.recorded(), 20u);
+  EXPECT_EQ(ring.dropped(), 12u);
+  auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].arg, 12u + i) << "oldest-first, newest retained";
+    EXPECT_EQ(events[i].node, 1u);
+    EXPECT_EQ(events[i].site, 2u);
+  }
+}
+
+TEST(TraceRing, CapacityRoundsUpToPowerOfTwo) {
+  obs::TraceRing ring;
+  ring.enable(5, 0, 0);
+  for (int i = 0; i < 8; ++i) ring.record(obs::EventType::kInst, 0);
+  EXPECT_EQ(ring.snapshot().size(), 8u) << "5 rounds up to 8 slots";
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceRing, FreshTraceIdsAreUniqueAndNonZero) {
+  const std::uint64_t a = obs::next_trace_id();
+  const std::uint64_t b = obs::next_trace_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+// ---------------------------------------------------------------------
+// Wire format: v2 header with trace ids, v1 backward compatibility
+// ---------------------------------------------------------------------
+
+TEST(WireTrace, HeaderRoundTripWithTraceId) {
+  Writer w;
+  core::write_header(w, core::MsgType::kShipObj, 7, 0xdeadbeefull);
+  w.u64(123);
+  auto bytes = w.take();
+  net::Packet p;
+  p.bytes = bytes;
+  // Routing helpers must see through the trace flag.
+  EXPECT_EQ(core::packet_dst_site(p), 7u);
+  EXPECT_EQ(core::packet_type(bytes), core::MsgType::kShipObj);
+  EXPECT_EQ(core::packet_trace_id(bytes), 0xdeadbeefull);
+
+  Reader r(bytes);
+  const core::PacketHeader h = core::read_header(r);
+  EXPECT_EQ(h.type, core::MsgType::kShipObj);
+  EXPECT_EQ(h.dst_site, 7u);
+  EXPECT_EQ(h.trace_id, 0xdeadbeefull);
+  EXPECT_EQ(r.u64(), 123u) << "payload follows the header";
+}
+
+TEST(WireTrace, UntracedHeaderIsByteIdenticalToV1) {
+  Writer v2;
+  core::write_header(v2, core::MsgType::kShipMsg, 3, /*trace_id=*/0);
+  Writer v1;
+  v1.u8(static_cast<std::uint8_t>(core::MsgType::kShipMsg));
+  v1.u32(3);
+  EXPECT_EQ(v2.take(), v1.take());
+}
+
+TEST(WireTrace, OldFormatPacketStillDecodes) {
+  // A v1 frame written by hand (no flag, no trace id).
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(core::MsgType::kFetchReq));
+  w.u32(9);
+  auto bytes = w.take();
+  Reader r(bytes);
+  const core::PacketHeader h = core::read_header(r);
+  EXPECT_EQ(h.type, core::MsgType::kFetchReq);
+  EXPECT_EQ(h.dst_site, 9u);
+  EXPECT_EQ(h.trace_id, 0u);
+  EXPECT_EQ(core::packet_trace_id(bytes), 0u);
+}
+
+TEST(WireTrace, UnknownTypeRejected) {
+  Writer w;
+  w.u8(0x7f);  // not a MsgType even with the flag masked off
+  w.u32(0);
+  auto bytes = w.take();
+  Reader r(bytes);
+  EXPECT_THROW(core::read_header(r), DecodeError);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: causal tracing across a 2-node simulated cluster
+// ---------------------------------------------------------------------
+
+core::Network::Config sim_cfg() {
+  core::Network::Config cfg;
+  cfg.mode = core::Network::Mode::kSim;
+  return cfg;
+}
+
+core::Network two_node_net(core::Network::Config cfg) {
+  core::Network net(cfg);
+  net.add_node();
+  net.add_site(0, "server");
+  net.add_node();
+  net.add_site(1, "client");
+  return net;
+}
+
+/// All events of `type` across every collected thread trace.
+std::vector<obs::TraceEvent> events_of(
+    const std::vector<obs::ThreadTrace>& traces, obs::EventType type) {
+  std::vector<obs::TraceEvent> out;
+  for (const auto& t : traces)
+    for (const auto& e : t.events)
+      if (e.type == type) out.push_back(e);
+  return out;
+}
+
+/// Assert every departure of `out_t` has an arrival of `in_t` with the
+/// same non-zero trace id on a different site.
+void expect_matched(const std::vector<obs::ThreadTrace>& traces,
+                    obs::EventType out_t, obs::EventType in_t) {
+  const auto outs = events_of(traces, out_t);
+  const auto ins = events_of(traces, in_t);
+  ASSERT_FALSE(outs.empty()) << obs::event_name(out_t);
+  for (const auto& o : outs) {
+    EXPECT_NE(o.trace_id, 0u);
+    bool matched = false;
+    for (const auto& i : ins)
+      if (i.trace_id == o.trace_id &&
+          (i.node != o.node || i.site != o.site))
+        matched = true;
+    EXPECT_TRUE(matched) << obs::event_name(out_t) << " trace id "
+                         << o.trace_id << " has no matching "
+                         << obs::event_name(in_t);
+  }
+}
+
+TEST(EndToEnd, ShipMsgDeparturesMatchArrivals) {
+  auto net = two_node_net(sim_cfg());
+  net.enable_tracing(1 << 12);
+  net.submit_source("server",
+                    "export new svc in "
+                    "def Serve(self) = self?{ val(x, r) = (r![x + 1] | "
+                    "Serve[self]) } in Serve[svc]");
+  net.submit_source("client",
+                    "import svc from server in "
+                    "def Loop(i, acc) = if i == 0 then print[\"done\", acc] "
+                    "else let v = svc![acc] in Loop[i - 1, v] "
+                    "in Loop[4, 0]");
+  auto res = net.run();
+  ASSERT_TRUE(res.quiescent) << "run must quiesce";
+
+  const auto traces = net.collect_traces();
+  expect_matched(traces, obs::EventType::kShipMsgOut,
+                 obs::EventType::kShipMsgIn);
+  // The import's NS lookup and its reply share one causal id.
+  const auto lookups = events_of(traces, obs::EventType::kNsLookup);
+  const auto replies = events_of(traces, obs::EventType::kNsReply);
+  ASSERT_FALSE(lookups.empty());
+  bool closed = false;
+  for (const auto& l : lookups)
+    for (const auto& r : replies)
+      if (l.trace_id != 0 && l.trace_id == r.trace_id) closed = true;
+  EXPECT_TRUE(closed) << "NS lookup -> reply chain must share a trace id";
+}
+
+TEST(EndToEnd, ShipObjAndFetchChains) {
+  auto net = two_node_net(sim_cfg());
+  net.enable_tracing(1 << 12);
+  // The applet server of section 4, fetch style: the client instantiates
+  // a remote class -> FETCH req/served/reply; the reply ships code.
+  net.submit_source("server",
+                    "export def Applet(out) = out![1 + 2] in 0");
+  net.submit_source("client",
+                    "import Applet from server in "
+                    "new p (Applet[p] | p?(v) = print[v])");
+  auto res = net.run();
+  ASSERT_TRUE(res.quiescent);
+
+  const auto traces = net.collect_traces();
+  const auto reqs = events_of(traces, obs::EventType::kFetchReq);
+  const auto served = events_of(traces, obs::EventType::kFetchServed);
+  const auto linked = events_of(traces, obs::EventType::kFetchReply);
+  ASSERT_EQ(reqs.size(), 1u);
+  ASSERT_EQ(served.size(), 1u);
+  ASSERT_EQ(linked.size(), 1u);
+  EXPECT_NE(reqs[0].trace_id, 0u);
+  EXPECT_EQ(reqs[0].trace_id, served[0].trace_id)
+      << "the FETCH reply reuses the request's causal id";
+  EXPECT_EQ(reqs[0].trace_id, linked[0].trace_id);
+}
+
+TEST(EndToEnd, ShipObjMatched) {
+  auto net = two_node_net(sim_cfg());
+  net.enable_tracing(1 << 12);
+  // Code-shipping style: the server ships an object closure per request.
+  net.submit_source("server",
+                    "def Srv(self) = self?{ get(p) = ((p?(r) = r![7]) | "
+                    "Srv[self]) } in export new srv in Srv[srv]");
+  net.submit_source("client",
+                    "import srv from server in "
+                    "new p (srv!get[p] | let v = p![] in print[v])");
+  auto res = net.run();
+  ASSERT_TRUE(res.quiescent);
+  expect_matched(net.collect_traces(), obs::EventType::kShipObjOut,
+                 obs::EventType::kShipObjIn);
+}
+
+TEST(EndToEnd, TraceJsonIsWellFormedChromeTrace) {
+  auto net = two_node_net(sim_cfg());
+  net.enable_tracing(1 << 12);
+  net.submit_source("server",
+                    "export new svc in "
+                    "def Serve(self) = self?{ val(x, r) = (r![x + 1] | "
+                    "Serve[self]) } in Serve[svc]");
+  net.submit_source("client",
+                    "import svc from server in let v = svc![1] in print[v]");
+  ASSERT_TRUE(net.run().quiescent);
+
+  const std::string json = net.trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  // Cross-site flows: at least one start and one finish arrow.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  // Run slices appear as duration events.
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+}
+
+TEST(EndToEnd, MetricsRegistryAggregatesAllComponents) {
+  auto net = two_node_net(sim_cfg());
+  net.submit_source("server",
+                    "export new svc in "
+                    "def Serve(self) = self?{ val(x, r) = (r![x + 1] | "
+                    "Serve[self]) } in Serve[svc]");
+  net.submit_source("client",
+                    "import svc from server in let v = svc![5] in print[v]");
+  ASSERT_TRUE(net.run().quiescent);
+
+  const auto snap = net.metrics().snapshot();
+  EXPECT_GT(snap.counters.at("vm_instructions{site=\"client\"}"), 0u);
+  EXPECT_GT(snap.counters.at("vm_instructions{site=\"server\"}"), 0u);
+  EXPECT_EQ(snap.counters.at("site_msgs_shipped{site=\"client\"}"),
+            net.find_site("client")->mobility().msgs_shipped.value());
+  EXPECT_EQ(snap.counters.at("ns_lookups{ns=\"central\"}"), 1u);
+  EXPECT_EQ(snap.counters.at("ns_replies{ns=\"central\"}"), 1u);
+  // Untraced run: no events, no drops.
+  EXPECT_EQ(snap.counters.at("site_trace_events{site=\"client\"}"), 0u);
+
+  const std::string text = net.metrics().expose_text();
+  EXPECT_NE(text.find("site_packet_bytes_bucket{site=\"client\",le="),
+            std::string::npos)
+      << "histogram labels merge with the site label:\n" << text;
+}
+
+TEST(EndToEnd, ReducerRegistersCalcMetrics) {
+  obs::Registry reg;
+  calc::Reducer red;
+  red.register_metrics(reg);
+  red.add_program("main", comp::parse_program(
+                              "new c (c![] | c?() = print[\"hi\"])"));
+  auto res = red.run();
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_EQ(reg.snapshot().counters.at("calc_comm_reductions"), 1u);
+}
+
+TEST(EndToEnd, ThreadedModeStatsReadableWhileRunning) {
+  // The race-fix satellite: mobility counters and errors() must be safe
+  // to read while the threaded driver is executing (TSan-checked in CI).
+  core::Network::Config cfg;
+  cfg.mode = core::Network::Mode::kThreaded;
+  auto net = two_node_net(cfg);
+  net.submit_source("server",
+                    "export new svc in "
+                    "def Serve(self) = self?{ val(x, r) = (r![x + 1] | "
+                    "Serve[self]) } in Serve[svc]");
+  net.submit_source("client",
+                    "import svc from server in "
+                    "def Loop(i, acc) = if i == 0 then print[\"done\", acc] "
+                    "else let v = svc![acc] in Loop[i - 1, v] "
+                    "in Loop[50, 0]");
+
+  std::atomic<bool> stop{false};
+  std::uint64_t observed = 0;
+  std::thread reader([&] {
+    while (!stop.load()) {
+      for (const char* name : {"server", "client"}) {
+        const auto& mob = net.find_site(name)->mobility();
+        observed += mob.msgs_shipped + mob.msgs_received;
+        observed += net.find_site(name)->errors().size();
+      }
+    }
+  });
+  auto res = net.run();
+  stop.store(true);
+  reader.join();
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_GE(net.find_site("client")->mobility().msgs_shipped.value(), 50u);
+  (void)observed;
+}
+
+}  // namespace
+}  // namespace dityco

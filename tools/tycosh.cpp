@@ -18,7 +18,10 @@
 //                    dynamic signature check on imports
 //   --check          static whole-network type check only (no execution)
 //   --disasm         print the compiled byte-code and exit
-//   --stats          print mobility/NS statistics after the run
+//   --stats, :stats  print the unified metrics registry after the run
+//   :trace FILE      enable causal event tracing and write the merged
+//                    timeline as Chrome trace-event JSON to FILE (open in
+//                    chrome://tracing or https://ui.perfetto.dev)
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -37,7 +40,9 @@ int usage() {
       "usage: tycosh [options] program.dtc\n"
       "       tycosh [options] -e 'source'\n"
       "options: --mode seq|threads|sim  --link myrinet|ethernet\n"
-      "         --nodes N  --typecheck  --check  --disasm  --stats\n";
+      "         --nodes N  --typecheck  --check  --disasm\n"
+      "         --stats | :stats       print the metrics registry\n"
+      "         :trace FILE.json       write a Perfetto/Chrome trace\n";
   return 2;
 }
 
@@ -50,6 +55,7 @@ int main(int argc, char** argv) {
   std::string link = "myrinet";
   int nodes = 0;
   bool typecheck = false, check_only = false, disasm = false, stats = false;
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -67,9 +73,11 @@ int main(int argc, char** argv) {
       check_only = true;
     } else if (arg == "--disasm") {
       disasm = true;
-    } else if (arg == "--stats") {
+    } else if (arg == "--stats" || arg == ":stats") {
       stats = true;
-    } else if (!arg.empty() && arg[0] == '-') {
+    } else if ((arg == ":trace" || arg == "--trace") && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (!arg.empty() && (arg[0] == '-' || arg[0] == ':')) {
       return usage();
     } else {
       path = arg;
@@ -129,6 +137,7 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < programs.size(); ++i)
       net.add_site(i % static_cast<std::size_t>(nnodes), programs[i].first);
     for (const auto& [site, prog] : programs) net.submit(site, prog);
+    if (!trace_path.empty()) net.enable_tracing();
 
     auto res = net.run();
 
@@ -146,19 +155,16 @@ int main(int argc, char** argv) {
     std::cout << ", " << res.instructions << " instructions, " << res.packets
               << " packets\n";
 
-    if (stats) {
-      for (const auto& [site, _] : programs) {
-        const auto& mob = net.find_site(site)->mobility();
-        std::cout << "   " << site << ": shipM=" << mob.msgs_shipped
-                  << " shipO=" << mob.objs_shipped
-                  << " fetch=" << mob.fetch_requests
-                  << " served=" << mob.fetch_served
-                  << " cacheHits=" << mob.fetch_cache_hits << "\n";
+    if (stats) std::cout << net.metrics().expose_text();
+
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::cerr << "tycosh: cannot write " << trace_path << "\n";
+        return 1;
       }
-      const auto& ns = net.name_service().stats();
-      std::cout << "   name service: exports=" << ns.exports
-                << " lookups=" << ns.lookups << " replies=" << ns.replies
-                << "\n";
+      out << net.trace_json();
+      std::cout << "trace written to " << trace_path << "\n";
     }
     return res.quiescent && net.all_errors().empty() ? 0 : 1;
   } catch (const std::exception& e) {
