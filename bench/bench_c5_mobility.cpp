@@ -37,13 +37,15 @@ struct Outcome {
 };
 
 Outcome run_fetch(int size, int activations, bool cache,
-                  MetricsJsonEmitter& mj, const std::string& label) {
+                  MetricsJsonEmitter& mj, MonitorFlag& mon,
+                  const std::string& label) {
   auto net = core::Network(sim_config(net::myrinet()));
   net.add_node();
   net.add_site(0, "server");
   net.add_node();
   net.add_site(1, "client");
   net.find_site("client")->set_fetch_cache_enabled(cache);
+  mon.attach(net);
   net.submit_source("server", "export def Applet(out) = out![" +
                                   big_expr(size) + "] in 0");
   net.submit_source("client",
@@ -61,12 +63,13 @@ Outcome run_fetch(int size, int activations, bool cache,
 }
 
 Outcome run_ship(int size, int activations, MetricsJsonEmitter& mj,
-                 const std::string& label) {
+                 MonitorFlag& mon, const std::string& label) {
   auto net = core::Network(sim_config(net::myrinet()));
   net.add_node();
   net.add_site(0, "server");
   net.add_node();
   net.add_site(1, "client");
+  mon.attach(net);
   net.submit_source("server",
                     "def Srv(self) = self?{ get(p) = ((p?(r) = r![" +
                         big_expr(size) +
@@ -89,6 +92,7 @@ Outcome run_ship(int size, int activations, MetricsJsonEmitter& mj,
 
 int main(int argc, char** argv) {
   MetricsJsonEmitter mj(argc, argv);
+  MonitorFlag mon(argc, argv);
   const int sizes[] = {4, 64, 512};
   const int acts[] = {1, 8, 64};
 
@@ -99,13 +103,15 @@ int main(int argc, char** argv) {
     for (int k : acts) {
       const std::string tag =
           "size=" + std::to_string(size) + " k=" + std::to_string(k);
-      const Outcome f = run_fetch(size, k, true, mj, "fetch+cache " + tag);
+      const Outcome f =
+          run_fetch(size, k, true, mj, mon, "fetch+cache " + tag);
       row({fmt_int(size), fmt_int(k), "fetch+cache", fmt(f.vtime_us),
            fmt_int(f.bytes), fmt_int(f.fetches)});
-      const Outcome fn = run_fetch(size, k, false, mj, "fetch-nocache " + tag);
+      const Outcome fn =
+          run_fetch(size, k, false, mj, mon, "fetch-nocache " + tag);
       row({fmt_int(size), fmt_int(k), "fetch-nocache (A2)", fmt(fn.vtime_us),
            fmt_int(fn.bytes), fmt_int(fn.fetches)});
-      const Outcome s = run_ship(size, k, mj, "ship " + tag);
+      const Outcome s = run_ship(size, k, mj, mon, "ship " + tag);
       row({fmt_int(size), fmt_int(k), "ship", fmt(s.vtime_us),
            fmt_int(s.bytes), fmt_int(s.ships)});
     }

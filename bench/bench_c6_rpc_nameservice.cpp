@@ -38,7 +38,7 @@ double one_rpc(const net::LinkModel& link) {
 }
 
 double import_storm(int sites, int imports_each, MetricsJsonEmitter& mj,
-                    bool distributed = false) {
+                    MonitorFlag& mon, bool distributed = false) {
   auto cfg = sim_config(net::myrinet());
   cfg.ns_service_us = 2.0;
   cfg.distributed_ns = distributed;
@@ -59,6 +59,7 @@ double import_storm(int sites, int imports_each, MetricsJsonEmitter& mj,
       prog += "import a" + std::to_string(i) + " from server in ";
     net.submit_source(name, prog + "print[\"ok\"]");
   }
+  mon.attach(net);
   auto res = net.run();
   mj.record((distributed ? "distributed-ns s=" : "central-ns s=") +
                 std::to_string(sites),
@@ -71,6 +72,7 @@ double import_storm(int sites, int imports_each, MetricsJsonEmitter& mj,
 
 int main(int argc, char** argv) {
   MetricsJsonEmitter mj(argc, argv);
+  MonitorFlag mon(argc, argv);
   header("C6a: marginal RPC cost, measured vs additive model",
          {"network", "measured us", "2 x link + compute (model)",
           "ratio"});
@@ -92,8 +94,8 @@ int main(int argc, char** argv) {
          {"importing sites", "centralised us", "distributed us (extension)"});
   const int imports_each = 8;
   for (int s : {1, 2, 4, 8, 16, 32}) {
-    const double central = import_storm(s, imports_each, mj, false);
-    const double dist = import_storm(s, imports_each, mj, true);
+    const double central = import_storm(s, imports_each, mj, mon, false);
+    const double dist = import_storm(s, imports_each, mj, mon, true);
     row({fmt_int(s), fmt(central), fmt(dist)});
   }
   std::printf(

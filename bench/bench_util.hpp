@@ -136,4 +136,38 @@ class MetricsJsonEmitter {
   std::vector<std::pair<std::string, std::string>> entries_;
 };
 
+/// `--monitor <port>` support: attach TyCOmon to each measured network so
+/// a long sweep can be watched live (`curl localhost:<port>/metrics`).
+/// With port 0 an ephemeral port is chosen per network and printed to
+/// stderr; without the flag attach() is a no-op.
+class MonitorFlag {
+ public:
+  MonitorFlag(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i)
+      if (std::string(argv[i]) == "--monitor") {
+        enabled_ = true;
+        port_ = std::atoi(argv[i + 1]);
+      }
+  }
+
+  bool enabled() const { return enabled_; }
+
+  /// Start TyCOmon on `net` (call after the topology is built, before
+  /// run()). Enables tracing so /trace has content.
+  void attach(core::Network& net) {
+    if (!enabled_) return;
+    if (!net.tracing_enabled()) net.enable_tracing();
+    const std::uint16_t p =
+        net.start_monitor(static_cast<std::uint16_t>(port_));
+    if (p == 0)
+      std::fprintf(stderr, "monitor: cannot bind port %d\n", port_);
+    else
+      std::fprintf(stderr, "monitor: http://127.0.0.1:%u\n", p);
+  }
+
+ private:
+  bool enabled_ = false;
+  int port_ = 0;
+};
+
 }  // namespace dityco::benchutil

@@ -5,10 +5,15 @@
 // cluster models of the paper's testbed (fig. 1).
 //
 // Run:   ./build/examples/ring [sites] [laps] [--trace out.json]
+//                              [--monitor port]
 //
 // With --trace, the sequential run records causal trace events and
 // writes a Chrome trace-event / Perfetto timeline: each SHIPM hop shows
-// as a flow arrow from the sending to the receiving station.
+// as a flow arrow from the sending to the receiving station. With
+// --monitor, TyCOmon serves /metrics, /metrics.json, /trace and
+// /healthz on 127.0.0.1 during the sequential run (port 0 picks an
+// ephemeral port, printed on startup).
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -55,12 +60,17 @@ dityco::core::Network build_ring(int n, int laps,
 
 int main(int argc, char** argv) {
   std::string trace_path;
+  bool monitor = false;
+  int monitor_port = 0;
   int pos_args[2] = {4, 5};  // the paper's 4 nodes, 5 laps
   int npos = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--trace" && i + 1 < argc)
       trace_path = argv[++i];
-    else if (npos < 2)
+    else if (std::string(argv[i]) == "--monitor" && i + 1 < argc) {
+      monitor = true;
+      monitor_port = std::atoi(argv[++i]);
+    } else if (npos < 2)
       pos_args[npos++] = std::atoi(argv[i]);
   }
   const int n = pos_args[0];
@@ -72,7 +82,17 @@ int main(int argc, char** argv) {
   {
     Network::Config cfg;
     auto net = build_ring(n, laps, cfg);
-    if (!trace_path.empty()) net.enable_tracing();
+    if (!trace_path.empty() || monitor) net.enable_tracing();
+    if (monitor) {
+      const std::uint16_t port =
+          net.start_monitor(static_cast<std::uint16_t>(monitor_port));
+      if (port == 0)
+        std::cerr << "ring: cannot start TyCOmon on port " << monitor_port
+                  << "\n";
+      else
+        std::cout << "tycomon listening on http://127.0.0.1:" << port
+                  << std::endl;
+    }
     auto res = net.run();
     std::cout << "--- ring of " << n << " sites, " << laps << " laps ---\n";
     for (int i = 0; i < n; ++i)

@@ -64,15 +64,19 @@ std::vector<std::string> Reducer::pending_description() const {
 }
 
 void Reducer::register_metrics(obs::Registry& registry) {
-  metrics_reg_ = registry.add_collector([this](obs::Collector& c) {
-    c.counter("calc_comm_reductions", counters_.comm);
-    c.counter("calc_inst_reductions", counters_.inst);
-    c.counter("calc_shipm", counters_.shipm);
-    c.counter("calc_shipo", counters_.shipo);
-    c.counter("calc_fetch", counters_.fetch);
-    c.counter("calc_admin_steps", counters_.admin);
-    c.gauge("calc_runnable", static_cast<std::int64_t>(queue_.size()));
-  });
+  // Plain fields + container sizes: not safe to read mid-run, so a live
+  // scrape skips this collector.
+  metrics_reg_ = registry.add_collector(
+      [this](obs::Collector& c) {
+        c.counter("calc_comm_reductions", counters_.comm);
+        c.counter("calc_inst_reductions", counters_.inst);
+        c.counter("calc_shipm", counters_.shipm);
+        c.counter("calc_shipo", counters_.shipo);
+        c.counter("calc_fetch", counters_.fetch);
+        c.counter("calc_admin_steps", counters_.admin);
+        c.gauge("calc_runnable", static_cast<std::int64_t>(queue_.size()));
+      },
+      /*live_safe=*/false);
 }
 
 std::vector<std::string> Reducer::sites() const {

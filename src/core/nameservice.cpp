@@ -23,7 +23,7 @@ std::optional<NameService::SiteInfo> NameService::lookup_site(
 void NameService::reply_to(const Waiter& w, const Entry& e, bool ok,
                            std::vector<net::Packet>& replies) {
   Writer out;
-  write_header(out, MsgType::kNsReply, w.site, w.trace_id);
+  write_header(out, MsgType::kNsReply, w.site, w.trace_id, w.sampled);
   out.u64(w.token);
   out.boolean(ok);
   write_netref(out, e.ref);
@@ -47,11 +47,14 @@ void NameService::register_id(const std::string& site, const std::string& name,
   if (it == waiting_.end()) return;
   for (const Waiter& w : it->second)
     reply_to(w, ids_[key], w.kind == ref.kind, replies);
+  parked_now_.fetch_sub(static_cast<std::int64_t>(it->second.size()),
+                        std::memory_order_relaxed);
   waiting_.erase(it);
 }
 
 void NameService::handle_export(Reader& r, std::vector<net::Packet>& replies,
-                                std::uint64_t /*trace_id*/) {
+                                std::uint64_t /*trace_id*/,
+                                bool /*sampled*/) {
   const std::string site = r.str();
   const std::string name = r.str();
   const vm::NetRef ref = read_netref(r);
@@ -60,7 +63,7 @@ void NameService::handle_export(Reader& r, std::vector<net::Packet>& replies,
 }
 
 void NameService::handle_lookup(Reader& r, std::vector<net::Packet>& replies,
-                                std::uint64_t trace_id) {
+                                std::uint64_t trace_id, bool sampled) {
   ++stats_.lookups;
   const std::string site = r.str();
   const std::string name = r.str();
@@ -70,6 +73,7 @@ void NameService::handle_lookup(Reader& r, std::vector<net::Packet>& replies,
   w.site = r.u32();
   w.token = r.u64();
   w.trace_id = trace_id;
+  w.sampled = sampled;
   const Key key{site, name};
   auto it = ids_.find(key);
   if (it != ids_.end()) {
@@ -79,6 +83,7 @@ void NameService::handle_lookup(Reader& r, std::vector<net::Packet>& replies,
   // Not exported yet: park until it is (blocking import).
   waiting_[key].push_back(w);
   ++stats_.parked_total;
+  parked_now_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::optional<vm::NetRef> NameService::lookup_id(const std::string& site,
@@ -102,16 +107,16 @@ void NameService::register_metrics(obs::Registry& registry,
     c.counter("ns_lookups" + l, stats_.lookups);
     c.counter("ns_replies" + l, stats_.replies);
     c.counter("ns_parked_total" + l, stats_.parked_total);
-    c.gauge("ns_parked" + l, static_cast<std::int64_t>(parked()));
+    c.gauge("ns_parked" + l, parked_now_.load(std::memory_order_relaxed));
   });
 }
 
 std::vector<std::uint8_t> NameService::make_export(
     std::uint32_t /*dst_site_unused*/, const std::string& site,
     const std::string& name, const vm::NetRef& ref,
-    const std::string& type_sig, std::uint64_t trace_id) {
+    const std::string& type_sig, std::uint64_t trace_id, bool sampled) {
   Writer w;
-  write_header(w, MsgType::kNsExport, kNsDstSite, trace_id);
+  write_header(w, MsgType::kNsExport, kNsDstSite, trace_id, sampled);
   w.str(site);
   w.str(name);
   write_netref(w, ref);
@@ -122,9 +127,9 @@ std::vector<std::uint8_t> NameService::make_export(
 std::vector<std::uint8_t> NameService::make_lookup(
     const std::string& site, const std::string& name, vm::NetRef::Kind kind,
     std::uint32_t req_node, std::uint32_t req_site, std::uint64_t token,
-    std::uint64_t trace_id) {
+    std::uint64_t trace_id, bool sampled) {
   Writer w;
-  write_header(w, MsgType::kNsLookup, kNsDstSite, trace_id);
+  write_header(w, MsgType::kNsLookup, kNsDstSite, trace_id, sampled);
   w.str(site);
   w.str(name);
   w.u8(static_cast<std::uint8_t>(kind));

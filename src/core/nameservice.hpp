@@ -12,6 +12,7 @@
 // `import` a blocking construct without busy-waiting.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -32,11 +33,13 @@ class NameService {
     std::uint32_t site = 0;
   };
 
+  // SoloCounter: the service runs on one thread (a node daemon or the
+  // sequential driver) but TyCOmon scrapes these live from its own.
   struct Stats {
-    std::uint64_t exports = 0;
-    std::uint64_t lookups = 0;
-    std::uint64_t replies = 0;
-    std::uint64_t parked_total = 0;
+    obs::SoloCounter exports;
+    obs::SoloCounter lookups;
+    obs::SoloCounter replies;
+    obs::SoloCounter parked_total;
   };
 
   explicit NameService(std::uint32_t home_node = 0) : home_node_(home_node) {}
@@ -53,14 +56,16 @@ class NameService {
 
   /// Handle a kNsExport payload (Reader positioned after the header).
   /// `trace_id` is the causal id carried by the request packet; replies
-  /// triggered by this export reuse the *waiter's* lookup id.
+  /// triggered by this export reuse the *waiter's* lookup id (and its
+  /// sampling decision).
   void handle_export(Reader& r, std::vector<net::Packet>& replies,
-                     std::uint64_t trace_id = 0);
+                     std::uint64_t trace_id = 0, bool sampled = true);
   /// Handle a kNsLookup payload; replies immediately if the identifier is
   /// known, parks the request otherwise. An immediate or deferred reply
-  /// carries `trace_id`, closing the lookup's causal chain.
+  /// carries `trace_id` (with its `sampled` bit), closing the lookup's
+  /// causal chain.
   void handle_lookup(Reader& r, std::vector<net::Packet>& replies,
-                     std::uint64_t trace_id = 0);
+                     std::uint64_t trace_id = 0, bool sampled = true);
 
   /// Direct registration (used by tests and the TyCOsh bootstrap).
   void register_id(const std::string& site, const std::string& name,
@@ -78,16 +83,15 @@ class NameService {
   void register_metrics(obs::Registry& registry, const std::string& label);
 
   // -- payload builders (used by sites) --
-  static std::vector<std::uint8_t> make_export(std::uint32_t dst_site_unused,
-                                               const std::string& site,
-                                               const std::string& name,
-                                               const vm::NetRef& ref,
-                                               const std::string& type_sig,
-                                               std::uint64_t trace_id = 0);
+  static std::vector<std::uint8_t> make_export(
+      std::uint32_t dst_site_unused, const std::string& site,
+      const std::string& name, const vm::NetRef& ref,
+      const std::string& type_sig, std::uint64_t trace_id = 0,
+      bool sampled = true);
   static std::vector<std::uint8_t> make_lookup(
       const std::string& site, const std::string& name, vm::NetRef::Kind kind,
       std::uint32_t req_node, std::uint32_t req_site, std::uint64_t token,
-      std::uint64_t trace_id = 0);
+      std::uint64_t trace_id = 0, bool sampled = true);
 
  private:
   struct Entry {
@@ -100,6 +104,7 @@ class NameService {
     std::uint64_t token = 0;
     vm::NetRef::Kind kind = vm::NetRef::Kind::kChan;
     std::uint64_t trace_id = 0;  // causal id of the originating lookup
+    bool sampled = true;         // its sampling decision, for the reply
   };
   using Key = std::pair<std::string, std::string>;
 
@@ -111,6 +116,9 @@ class NameService {
   std::map<Key, Entry> ids_;
   std::map<Key, std::vector<Waiter>> waiting_;
   Stats stats_;
+  // parked() walks waiting_, which races with the daemon; this mirror
+  // gauge is what a live scrape reads instead.
+  std::atomic<std::int64_t> parked_now_{0};
   obs::Registry::Registration metrics_reg_;
 };
 

@@ -26,13 +26,116 @@ Node& Network::add_node() {
   nodes_.push_back(
       std::make_unique<Node>(static_cast<std::uint32_t>(nodes_.size()), *ns_,
                              metrics_.get()));
-  if (trace_capacity_ > 0) nodes_.back()->enable_tracing(trace_capacity_);
+  if (trace_capacity_ > 0)
+    nodes_.back()->enable_tracing(trace_capacity_, sample_every_,
+                                  sample_seed_);
   return *nodes_.back();
 }
 
-void Network::enable_tracing(std::size_t capacity) {
+void Network::enable_tracing(std::size_t capacity, std::uint64_t sample_every,
+                             std::uint64_t sample_seed) {
   trace_capacity_ = capacity;
-  for (auto& n : nodes_) n->enable_tracing(capacity);
+  sample_every_ = sample_every;
+  sample_seed_ = sample_seed;
+  for (auto& n : nodes_)
+    n->enable_tracing(capacity, sample_every, sample_seed);
+}
+
+// ---------------------------------------------------------------------
+// TyCOmon
+// ---------------------------------------------------------------------
+
+std::uint16_t Network::start_monitor(std::uint16_t port) {
+  if (monitor_) return monitor_->port();
+  auto srv = std::make_unique<obs::MonitorServer>();
+  using Resp = obs::MonitorServer::Response;
+  // A scrape during run() must only touch live-safe state: the registry
+  // filters out collectors that read plain fields, and ring snapshots
+  // are concurrent-safe by construction. The scrape_mu lock pins the
+  // at-rest decision: run() cannot start executors while a full
+  // snapshot is being taken.
+  srv->route("/metrics", [this] {
+    std::lock_guard<std::mutex> lk(live_->scrape_mu);
+    const bool live = live_->running.load(std::memory_order_relaxed);
+    return Resp{200, "text/plain; version=0.0.4; charset=utf-8",
+                metrics_->expose_text(live)};
+  });
+  srv->route("/metrics.json", [this] {
+    std::lock_guard<std::mutex> lk(live_->scrape_mu);
+    const bool live = live_->running.load(std::memory_order_relaxed);
+    return Resp{200, "application/json", metrics_->expose_json(live)};
+  });
+  srv->route("/trace", [this] {
+    return Resp{200, "application/json", trace_json()};
+  });
+  srv->route("/healthz", [this] {
+    return Resp{200, "application/json", health_json()};
+  });
+  if (srv->start(port) == 0) return 0;
+  monitor_ = std::move(srv);
+  return monitor_->port();
+}
+
+void Network::stop_monitor() { monitor_.reset(); }
+
+std::string Network::health_json() const {
+  // Everything below is either atomic or (in_flight, gated on sim mode)
+  // only read at rest; the lock makes the running-flag read and that
+  // gate atomic against run()'s transitions.
+  std::lock_guard<std::mutex> lk(live_->scrape_mu);
+  const bool running = live_->running.load(std::memory_order_relaxed);
+  const char* outcome = "never_ran";
+  if (running) {
+    outcome = "running";
+  } else {
+    switch (live_->outcome.load(std::memory_order_relaxed)) {
+      case 1: outcome = "quiescent"; break;
+      case 2: outcome = "stalled"; break;
+      case 3: outcome = "budget_exhausted"; break;
+      default: break;
+    }
+  }
+  std::string out = "{\"mode\":\"";
+  switch (cfg_.mode) {
+    case Mode::kSequential: out += "sequential"; break;
+    case Mode::kThreaded: out += "threaded"; break;
+    case Mode::kSim: out += "sim"; break;
+  }
+  out += "\",\"running\":";
+  out += running ? "true" : "false";
+  out += ",\"outcome\":\"";
+  out += outcome;
+  out += "\",\"instructions\":" +
+         std::to_string(live_->instructions.load(std::memory_order_relaxed));
+  out += ",\"progress\":" +
+         std::to_string(live_->progress.load(std::memory_order_relaxed));
+  // SimTransport's queues are plain fields owned by the sim loop; only
+  // report in-flight counts when no driver could be mutating them.
+  if (transport_ && !(cfg_.mode == Mode::kSim && running))
+    out += ",\"in_flight\":" + std::to_string(transport_->in_flight());
+  out += ",\"sites\":[";
+  bool first = true;
+  for (const auto& n : nodes_) {
+    for (const auto& s : n->sites()) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"name\":\"" + obs::json_escape(s->name()) + "\"";
+      out += ",\"node\":" + std::to_string(n->id());
+      out += ",\"incoming\":" + std::to_string(s->incoming_size());
+      out += ",\"outgoing\":" + std::to_string(s->outgoing_size());
+      out += ",\"failed\":";
+      out += s->failed() ? "true" : "false";
+      if (s->trace_ring().enabled()) {
+        out += ",\"trace_recorded\":" +
+               std::to_string(s->trace_ring().recorded());
+        out += ",\"trace_dropped\":" +
+               std::to_string(s->trace_ring().dropped());
+      }
+      out += "}";
+    }
+  }
+  out += "]}";
+  return out;
 }
 
 std::vector<obs::ThreadTrace> Network::collect_traces() const {
@@ -135,8 +238,16 @@ bool Network::anything_parked() const {
 }
 
 Network::Result Network::finish(Result r) const {
+  // Order matters for concurrent /healthz readers: clear `running` first
+  // so a scrape never reports "running" with a final outcome attached.
+  {
+    std::lock_guard<std::mutex> lk(live_->scrape_mu);
+    live_->running.store(false, std::memory_order_relaxed);
+  }
   r.stalled = anything_parked();
   r.quiescent = !r.stalled && !r.budget_exhausted;
+  live_->outcome.store(r.budget_exhausted ? 3 : (r.stalled ? 2 : 1),
+                       std::memory_order_relaxed);
   if (transport_) {
     r.packets = transport_->packets_sent();
     r.bytes = transport_->bytes_sent();
@@ -157,11 +268,18 @@ Network::Result Network::run() {
                                              s->site_id());
     }
   }
+  {
+    // Blocks until any in-progress at-rest (full) scrape finishes, so
+    // executors never start under a non-live-safe snapshot.
+    std::lock_guard<std::mutex> lk(live_->scrape_mu);
+    live_->running.store(true, std::memory_order_relaxed);
+  }
   switch (cfg_.mode) {
     case Mode::kSequential: return run_sequential();
     case Mode::kThreaded: return run_threaded();
     case Mode::kSim: return run_sim();
   }
+  live_->running.store(false, std::memory_order_relaxed);
   return {};
 }
 
@@ -186,6 +304,9 @@ Network::Result Network::run_sequential() {
     }
     instructions_run_ += executed;
     res.instructions += executed;
+    live_->instructions.fetch_add(executed, std::memory_order_relaxed);
+    if (moved != 0)
+      live_->progress.fetch_add(moved, std::memory_order_relaxed);
     if (instructions_run_ > cfg_.max_instructions) {
       res.budget_exhausted = true;
       break;
@@ -204,11 +325,14 @@ Network::Result Network::run_threaded() {
   Result res;
 
   std::atomic<bool> stop{false};
-  std::atomic<std::uint64_t> executed{0};
-  // Queue movements: messages applied by sites plus packets pumped by
-  // daemons. Together with `executed` this is the progress clock the
-  // termination scan compares across its grace period.
-  std::atomic<std::uint64_t> progress{0};
+  // The progress clock lives in LiveStatus so TyCOmon's /healthz can
+  // report it mid-run: `executed` counts instructions, `progress` counts
+  // queue movements (messages applied by sites plus packets pumped by
+  // daemons). The termination scan compares both across its grace
+  // period. Both are cumulative across runs, hence the baselines.
+  std::atomic<std::uint64_t>& executed = live_->instructions;
+  std::atomic<std::uint64_t>& progress = live_->progress;
+  const std::uint64_t executed0 = executed.load(std::memory_order_relaxed);
   // Per-thread idleness hints. A worker clears its hint BEFORE touching
   // any queue, so a message "in hand" (popped from one queue but not yet
   // pushed into the next) always keeps its holder visibly busy —
@@ -273,7 +397,8 @@ Network::Result Network::run_threaded() {
   };
   for (;;) {
     std::this_thread::sleep_for(std::chrono::microseconds(200));
-    if (executed.load(std::memory_order_relaxed) > cfg_.max_instructions) {
+    if (executed.load(std::memory_order_relaxed) - executed0 >
+        cfg_.max_instructions) {
       res.budget_exhausted = true;
       break;
     }
@@ -295,7 +420,7 @@ Network::Result Network::run_threaded() {
   }
   stop.store(true);
   for (auto& th : threads) th.join();
-  res.instructions = executed.load();
+  res.instructions = executed.load() - executed0;
   instructions_run_ += res.instructions;
   return finish(res);
 }
@@ -328,6 +453,19 @@ Network::Result Network::run_sim() {
   };
   // The centralised name service is one server: its requests serialise.
   double ns_clock = 0.0;
+
+  // Trace timestamps in sim mode are *virtual*: each ring is switched to
+  // the owning site's simulated clock (µs -> ns) before the site does
+  // any recordable work, so an exported timeline lines up with the
+  // simulated makespan instead of the simulation's wall clock.
+  const bool vtrace = tracing_enabled();
+  auto vns = [](double us) {
+    return static_cast<std::uint64_t>(us < 0 ? 0 : us * 1000.0);
+  };
+  if (vtrace) {
+    for (auto& n : nodes_) n->daemon_ring().set_virtual_time(0);
+    for (auto& sr : sites) sr.site->trace_ring().set_virtual_time(0);
+  }
 
   // Deliver packets that have arrived by their destination site's clock.
   // With `force`, the earliest pending packet is delivered anyway and the
@@ -363,6 +501,7 @@ Network::Result Network::run_sim() {
           ns_clock = std::max(ns_clock, arrival) + cfg_.ns_service_us;
           now = ns_clock;
         }
+        if (vtrace) n->daemon_ring().set_virtual_time(vns(now));
         n->route(std::move(p), t, now);
         any = true;
       }
@@ -381,13 +520,17 @@ Network::Result Network::run_sim() {
     }
     if (best != SIZE_MAX) {
       Site& s = *sites[best].site;
+      if (vtrace) s.trace_ring().set_virtual_time(vns(clock[best]));
       s.process_incoming();
       const std::uint64_t ran = s.run_slice(cfg_.slice);
       clock[best] += static_cast<double>(ran) / cfg_.instr_per_us;
+      if (vtrace)
+        sites[best].node->daemon_ring().set_virtual_time(vns(clock[best]));
       sites[best].node->pump_site_outgoing(t, sites[best].idx_in_node,
                                            clock[best]);
       res.instructions += ran;
       instructions_run_ += ran;
+      live_->instructions.fetch_add(ran, std::memory_order_relaxed);
       if (instructions_run_ > cfg_.max_instructions) {
         res.budget_exhausted = true;
         break;

@@ -17,8 +17,10 @@
 // on exports that never happened).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,6 +28,7 @@
 #include "core/node.hpp"
 #include "net/transport.hpp"
 #include "obs/export.hpp"
+#include "obs/http.hpp"
 #include "obs/metrics.hpp"
 
 namespace dityco::core {
@@ -109,8 +112,34 @@ class Network {
 
   /// Enable causal event tracing on every current and future node (site
   /// executor rings plus daemon rings). Call before run().
-  void enable_tracing(std::size_t capacity = 1 << 14);
+  /// `sample_every` > 1 records only 1-in-N trace ids — the decision is a
+  /// deterministic hash of the id (see obs::trace_id_sampled) made at
+  /// allocation and carried on the wire, so a sampled operation is
+  /// captured at every hop and an unsampled one costs a branch per hop.
+  void enable_tracing(std::size_t capacity = 1 << 14,
+                      std::uint64_t sample_every = 1,
+                      std::uint64_t sample_seed = 0);
   bool tracing_enabled() const { return trace_capacity_ > 0; }
+
+  // -- TyCOmon: the per-network monitoring daemon --
+
+  /// Start the TyCOmon scrape server on 127.0.0.1:`port` (0 picks an
+  /// ephemeral port). Serves GET /metrics (Prometheus text),
+  /// /metrics.json, /trace (Chrome trace JSON of the current rings) and
+  /// /healthz (per-site queue depths and the run's progress clock), all
+  /// safe to hit while run() executes. Returns the bound port, 0 on
+  /// failure. The Network must not be moved once the monitor is started
+  /// (handlers capture `this`).
+  std::uint16_t start_monitor(std::uint16_t port = 0);
+  void stop_monitor();
+  /// Bound port, or 0 when the monitor is not running.
+  std::uint16_t monitor_port() const {
+    return monitor_ ? monitor_->port() : 0;
+  }
+
+  /// The /healthz payload: liveness + per-site queue/trace state. Public
+  /// for tests and tools; always safe to call.
+  std::string health_json() const;
 
   /// Merge every enabled ring into per-thread event lists (one per site,
   /// one per node daemon). Call after run(); rings are left intact.
@@ -126,6 +155,24 @@ class Network {
   bool anything_parked() const;
   Result finish(Result r) const;
 
+  /// Live run state shared between the drivers and TyCOmon's handlers.
+  /// Heap-allocated (atomics are immovable, Network is movable); the
+  /// threaded driver's progress clock lives here so /healthz can show it.
+  struct LiveStatus {
+    std::atomic<bool> running{false};
+    std::atomic<std::uint64_t> instructions{0};  // cumulative, all runs
+    std::atomic<std::uint64_t> progress{0};      // queue movements
+    // 0 = never ran, 1 = quiescent, 2 = stalled, 3 = budget exhausted.
+    std::atomic<int> outcome{0};
+    // Serialises a scrape's "at rest → full snapshot" decision against
+    // the running transitions: run() flips `running` under this mutex,
+    // and a scrape that saw false keeps holding it through the full
+    // (non-live-safe) exposition, so executor threads can never start
+    // mid-snapshot. Scrapes while running use live-only paths and
+    // release it immediately.
+    std::mutex scrape_mu;
+  };
+
   Config cfg_;
   // Declared first so it is destroyed last: sites/NS hold collector
   // registrations that must unregister before the registry dies.
@@ -138,6 +185,11 @@ class Network {
   std::uint64_t instructions_run_ = 0;
   bool ns_distributed_ = false;
   std::size_t trace_capacity_ = 0;
+  std::uint64_t sample_every_ = 1, sample_seed_ = 0;
+  std::unique_ptr<LiveStatus> live_ = std::make_unique<LiveStatus>();
+  // Declared last: the server thread reads everything above, so it must
+  // be stopped (destroyed) first.
+  std::unique_ptr<obs::MonitorServer> monitor_;
 };
 
 }  // namespace dityco::core

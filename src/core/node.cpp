@@ -35,15 +35,24 @@ Site& Node::add_site(const std::string& name) {
   ns_->register_site(name, id_, site_id);
   Site& s = *sites_.back();
   if (metrics_) s.register_metrics(*metrics_);
-  if (trace_capacity_ > 0) s.enable_tracing(trace_capacity_);
+  if (trace_capacity_ > 0) {
+    s.enable_tracing(trace_capacity_);
+    s.set_trace_sampling(sample_every_, sample_seed_);
+  }
   return s;
 }
 
-void Node::enable_tracing(std::size_t capacity) {
+void Node::enable_tracing(std::size_t capacity, std::uint64_t sample_every,
+                          std::uint64_t sample_seed) {
   trace_capacity_ = capacity;
+  sample_every_ = sample_every;
+  sample_seed_ = sample_seed;
   ring_.enable(capacity, id_, obs::kDaemonSite);
-  for (auto& s : sites_)
+  ring_.set_sampling(sample_every, sample_seed);
+  for (auto& s : sites_) {
     if (!s->trace_ring().enabled()) s->enable_tracing(capacity);
+    s->set_trace_sampling(sample_every, sample_seed);
+  }
 }
 
 void Node::route(net::Packet p, net::Transport& t, double now_us) {
@@ -54,7 +63,8 @@ void Node::route(net::Packet p, net::Transport& t, double now_us) {
     const PacketHeader h = read_header(r);
     std::vector<net::Packet> replies;
     if (h.type == MsgType::kNsExport) {
-      ring_.record(obs::EventType::kNsExport, h.trace_id, p.bytes.size());
+      if (h.sampled)
+        ring_.record(obs::EventType::kNsExport, h.trace_id, p.bytes.size());
       // Replicated mode: exports originating here propagate to every
       // other replica (which releases their parked lookups).
       if (broadcast_nodes_ > 0 && p.src_node == id_) {
@@ -67,10 +77,11 @@ void Node::route(net::Packet p, net::Transport& t, double now_us) {
           t.send(std::move(copy), now_us);
         }
       }
-      ns_->handle_export(r, replies, h.trace_id);
+      ns_->handle_export(r, replies, h.trace_id, h.sampled);
     } else {
-      ring_.record(obs::EventType::kNsLookup, h.trace_id, p.bytes.size());
-      ns_->handle_lookup(r, replies, h.trace_id);
+      if (h.sampled)
+        ring_.record(obs::EventType::kNsLookup, h.trace_id, p.bytes.size());
+      ns_->handle_lookup(r, replies, h.trace_id, h.sampled);
     }
     for (auto& rep : replies) {
       if (rep.dst_node == id_)
@@ -95,7 +106,7 @@ std::size_t Node::pump_site_outgoing(net::Transport& t, std::size_t site_idx,
       if (!packet_is_ns(p)) ++local_deliveries_;
       route(std::move(p), t, now_us);  // shared-memory fast path
     } else {
-      if (ring_.enabled())
+      if (ring_.enabled() && packet_sampled(p.bytes))
         ring_.record(obs::EventType::kPacketSend, packet_trace_id(p.bytes),
                      p.bytes.size());
       t.send(std::move(p), now_us);
@@ -116,7 +127,7 @@ std::size_t Node::pump_incoming(net::Transport& t, double now_us) {
   net::Packet p;
   while (t.recv(id_, p, now_us)) {
     ++moved;
-    if (ring_.enabled())
+    if (ring_.enabled() && packet_sampled(p.bytes))
       ring_.record(obs::EventType::kPacketRecv, packet_trace_id(p.bytes),
                    p.bytes.size());
     route(std::move(p), t, now_us);

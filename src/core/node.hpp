@@ -67,7 +67,11 @@ class Node {
   /// plus a daemon-side ring recording packet send/recv and name-service
   /// traffic. The daemon ring is written only by whichever thread runs
   /// the pump functions (one thread per node in the threaded driver).
-  void enable_tracing(std::size_t capacity);
+  /// `sample_every` > 1 keeps 1-in-N trace ids (see obs::trace_id_sampled);
+  /// hops honour the wire-carried decision, so every site/daemon of the
+  /// network agrees on the sampled id set regardless of who allocated it.
+  void enable_tracing(std::size_t capacity, std::uint64_t sample_every = 1,
+                      std::uint64_t sample_seed = 0);
   obs::TraceRing& daemon_ring() { return ring_; }
   const obs::TraceRing& daemon_ring() const { return ring_; }
 
@@ -80,6 +84,7 @@ class Node {
   std::uint32_t broadcast_nodes_ = 0;     // >0 when replicated
   std::vector<std::unique_ptr<Site>> sites_;
   std::size_t trace_capacity_ = 0;  // 0 = tracing off for new sites
+  std::uint64_t sample_every_ = 1, sample_seed_ = 0;
   obs::TraceRing ring_;             // daemon-side events
 };
 

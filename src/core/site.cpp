@@ -84,6 +84,8 @@ void Site::register_metrics(obs::Registry& registry) {
     c.counter("site_dropped" + l, mobility_.dropped);
     c.counter("site_trace_events" + l, ring_.recorded());
     c.counter("site_trace_dropped" + l, ring_.dropped());
+    c.counter("site_trace_sampled" + l, ring_.sampled());
+    c.counter("site_trace_unsampled" + l, ring_.unsampled());
     c.histogram("site_packet_bytes" + l, packet_bytes_.snapshot());
     c.histogram("site_fetch_rtt_us" + l, fetch_rtt_us_.snapshot());
   });
@@ -146,7 +148,7 @@ std::size_t Site::process_incoming(std::size_t max_packets) {
       bytes = std::move(incoming_.front());
       incoming_.pop_front();
     }
-    if (failed_) {
+    if (failed()) {
       ++mobility_.dropped;  // crashed sites lose their deliveries
       ++n;
       continue;
@@ -177,15 +179,16 @@ void Site::ship_message(const vm::NetRef& target, const std::string& label,
     machine_.deliver_message(target.heap_id, label, std::move(args));
     return;
   }
-  const std::uint64_t tid = fresh_trace_id();
+  const obs::TraceTag tid = fresh_trace_id();
   Writer w;
-  write_header(w, MsgType::kShipMsg, target.site, tid);
+  write_header(w, MsgType::kShipMsg, target.site, tid.id, tid.sampled);
   w.u64(target.heap_id);
   w.str(label);
   marshal_values(machine_, args, w);
   auto bytes = w.take();
   packet_bytes_.observe(static_cast<double>(bytes.size()));
-  ring_.record(obs::EventType::kShipMsgOut, tid, bytes.size());
+  if (tid.sampled)
+    ring_.record(obs::EventType::kShipMsgOut, tid.id, bytes.size());
   send_packet(target.node, std::move(bytes));
   ++mobility_.msgs_shipped;
 }
@@ -197,9 +200,9 @@ void Site::ship_object(const vm::NetRef& target, std::uint32_t seg_slot,
     machine_.deliver_object(target.heap_id, seg_slot, std::move(env));
     return;
   }
-  const std::uint64_t tid = fresh_trace_id();
+  const obs::TraceTag tid = fresh_trace_id();
   Writer w;
-  write_header(w, MsgType::kShipObj, target.site, tid);
+  write_header(w, MsgType::kShipObj, target.site, tid.id, tid.sampled);
   w.u64(target.heap_id);
   std::vector<vm::Segment> closure;
   machine_.collect_closure(seg_slot, closure);
@@ -207,7 +210,8 @@ void Site::ship_object(const vm::NetRef& target, std::uint32_t seg_slot,
   marshal_values(machine_, env, w);
   auto bytes = w.take();
   packet_bytes_.observe(static_cast<double>(bytes.size()));
-  ring_.record(obs::EventType::kShipObjOut, tid, bytes.size());
+  if (tid.sampled)
+    ring_.record(obs::EventType::kShipObjOut, tid.id, bytes.size());
   send_packet(target.node, std::move(bytes));
   ++mobility_.objs_shipped;
 }
@@ -232,18 +236,19 @@ void Site::fetch_instantiate(const vm::NetRef& cls,
   auto& parked = pending_fetch_[cls];
   parked.push_back(std::move(args));
   if (parked.size() > 1) return;  // request already in flight
-  const std::uint64_t tid = fresh_trace_id();
+  const obs::TraceTag tid = fresh_trace_id();
   const std::uint64_t req = next_req_++;
   fetch_by_req_[req] = FetchInFlight{cls, obs::trace_now_ns()};
   Writer w;
-  write_header(w, MsgType::kFetchReq, cls.site, tid);
+  write_header(w, MsgType::kFetchReq, cls.site, tid.id, tid.sampled);
   w.u64(cls.heap_id);
   w.u32(node_id_);
   w.u32(site_id_);
   w.u64(req);
   auto bytes = w.take();
   packet_bytes_.observe(static_cast<double>(bytes.size()));
-  ring_.record(obs::EventType::kFetchReq, tid, cls.heap_id);
+  if (tid.sampled)
+    ring_.record(obs::EventType::kFetchReq, tid.id, cls.heap_id);
   send_packet(cls.node, std::move(bytes));
   ++mobility_.fetch_requests;
 }
@@ -252,20 +257,20 @@ void Site::export_id(const std::string& name, const vm::NetRef& ref) {
   std::string sig;
   if (auto it = export_sigs_.find(name); it != export_sigs_.end())
     sig = it->second;
-  const std::uint64_t tid = fresh_trace_id();
-  ring_.record(obs::EventType::kNsExport, tid);
-  send_packet(ns_node_,
-              NameService::make_export(0, name_, name, ref, sig, tid));
+  const obs::TraceTag tid = fresh_trace_id();
+  if (tid.sampled) ring_.record(obs::EventType::kNsExport, tid.id);
+  send_packet(ns_node_, NameService::make_export(0, name_, name, ref, sig,
+                                                 tid.id, tid.sampled));
 }
 
 void Site::import_id(const std::string& site, const std::string& name,
                      vm::NetRef::Kind kind, std::uint64_t token) {
   import_token_keys_[token] = {site, name};
-  const std::uint64_t tid = fresh_trace_id();
-  ring_.record(obs::EventType::kNsLookup, tid, token);
+  const obs::TraceTag tid = fresh_trace_id();
+  if (tid.sampled) ring_.record(obs::EventType::kNsLookup, tid.id, token);
   send_packet(ns_node_,
               NameService::make_lookup(site, name, kind, node_id_, site_id_,
-                                       token, tid));
+                                       token, tid.id, tid.sampled));
 }
 
 // ---------------------------------------------------------------------
@@ -281,7 +286,8 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
       const std::uint64_t heap_id = r.u64();
       const std::string label = r.str();
       auto args = unmarshal_values(machine_, r);
-      ring_.record(obs::EventType::kShipMsgIn, h.trace_id, bytes.size());
+      if (h.sampled)
+        ring_.record(obs::EventType::kShipMsgIn, h.trace_id, bytes.size());
       machine_.deliver_message(heap_id, label, std::move(args));
       ++mobility_.msgs_received;
       return;
@@ -292,7 +298,8 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
       auto pool = read_closure(r, root);
       const std::uint32_t slot = machine_.link(root, pool);
       auto env = unmarshal_values(machine_, r);
-      ring_.record(obs::EventType::kShipObjIn, h.trace_id, bytes.size());
+      if (h.sampled)
+        ring_.record(obs::EventType::kShipObjIn, h.trace_id, bytes.size());
       machine_.deliver_object(heap_id, slot, std::move(env));
       ++mobility_.objs_received;
       return;
@@ -306,9 +313,9 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
       const vm::ClassEntry& entry = machine_.class_entry(cls.idx);
       const vm::Block& blk = machine_.block(entry.block);
       Writer w;
-      // The reply reuses the request's trace id, so a FETCH shows as one
-      // causal chain: req -> served -> reply.
-      write_header(w, MsgType::kFetchRep, req_site, h.trace_id);
+      // The reply reuses the request's trace id (and sampling decision),
+      // so a FETCH shows as one causal chain: req -> served -> reply.
+      write_header(w, MsgType::kFetchRep, req_site, h.trace_id, h.sampled);
       w.u64(req_id);
       std::vector<vm::Segment> closure;
       machine_.collect_closure(blk.seg, closure);
@@ -317,7 +324,8 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
       marshal_values(machine_, blk.env, w);
       auto reply = w.take();
       packet_bytes_.observe(static_cast<double>(reply.size()));
-      ring_.record(obs::EventType::kFetchServed, h.trace_id, reply.size());
+      if (h.sampled)
+        ring_.record(obs::EventType::kFetchServed, h.trace_id, reply.size());
       send_packet(req_node, std::move(reply));
       ++mobility_.fetch_served;
       return;
@@ -335,7 +343,8 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
       fetch_rtt_us_.observe(
           static_cast<double>(obs::trace_now_ns() - rit->second.issued_ns) /
           1e3);
-      ring_.record(obs::EventType::kFetchReply, h.trace_id, bytes.size());
+      if (h.sampled)
+        ring_.record(obs::EventType::kFetchReply, h.trace_id, bytes.size());
       fetch_by_req_.erase(rit);
       const std::uint32_t slot = machine_.link(root, pool);
       const std::uint32_t block = machine_.make_block(slot, std::move(env));
@@ -354,7 +363,8 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
       const bool ok = r.boolean();
       const vm::NetRef ref = read_netref(r);
       const std::string sig = r.str();
-      ring_.record(obs::EventType::kNsReply, h.trace_id, token);
+      if (h.sampled)
+        ring_.record(obs::EventType::kNsReply, h.trace_id, token);
       if (!ok) {
         record_error(name_ + ": import kind mismatch for token " +
                      std::to_string(token));

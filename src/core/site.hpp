@@ -9,6 +9,7 @@
 // are thread-safe and are the only surface touched by the node daemon.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -78,7 +79,7 @@ class Site {
   std::size_t process_incoming(std::size_t max_packets = SIZE_MAX);
   /// Run the VM for a bounded number of instructions.
   std::uint64_t run_slice(std::uint64_t max_instructions) {
-    return failed_ ? 0 : machine_.run(max_instructions);
+    return failed() ? 0 : machine_.run(max_instructions);
   }
 
   // -- daemon-thread operations (thread-safe) --
@@ -98,8 +99,8 @@ class Site {
   /// a crashed cluster node. Another site may take over its exported
   /// identifiers by re-exporting them (the name service keeps the newest
   /// binding).
-  void kill() { failed_ = true; }
-  bool failed() const { return failed_; }
+  void kill() { failed_.store(true, std::memory_order_relaxed); }
+  bool failed() const { return failed_.load(std::memory_order_relaxed); }
 
   const MobilityStats& mobility() const { return mobility_; }
   /// Snapshot of accumulated errors (copied under a lock; safe to call
@@ -112,6 +113,11 @@ class Site {
   /// (rounded up to a power of two). Also hooks the VM so COMM/INST and
   /// run-slices are recorded. Call before the site starts executing.
   void enable_tracing(std::size_t capacity);
+  /// Keep 1-in-`every` trace ids (deterministic in `seed`; see
+  /// obs::trace_id_sampled). Call before the site starts executing.
+  void set_trace_sampling(std::uint64_t every, std::uint64_t seed) {
+    ring_.set_sampling(every, seed);
+  }
   obs::TraceRing& trace_ring() { return ring_; }
   const obs::TraceRing& trace_ring() const { return ring_; }
 
@@ -126,9 +132,14 @@ class Site {
   void handle_packet(const std::vector<std::uint8_t>& bytes);
   void send_packet(std::uint32_t dst_node, std::vector<std::uint8_t> bytes);
   void record_error(std::string what);
-  /// Fresh trace id when tracing is on, 0 (untraced v1 frame) otherwise.
-  std::uint64_t fresh_trace_id() {
-    return ring_.enabled() ? obs::next_trace_id() : 0;
+  /// Fresh trace id + sampling decision when tracing is on; an untraced
+  /// site returns id 0 (v1 frame on the wire).
+  obs::TraceTag fresh_trace_id() {
+    if (!ring_.enabled()) return {};
+    obs::TraceTag t;
+    t.id = obs::next_trace_id();
+    t.sampled = ring_.sample(t.id);
+    return t;
   }
 
   // RemoteBackend entry points (called from machine_.run()).
@@ -143,7 +154,8 @@ class Site {
 
   std::string name_;
   std::uint32_t node_id_, site_id_, ns_node_;
-  bool failed_ = false;
+  // atomic so TyCOmon's /healthz can read it off-thread.
+  std::atomic<bool> failed_{false};
   std::unique_ptr<Backend> backend_;
   vm::Machine machine_;
 

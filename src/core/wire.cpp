@@ -16,35 +16,46 @@ enum class WireTag : std::uint8_t {
 
 }  // namespace
 
+namespace {
+
+constexpr std::uint8_t kHeaderFlags = kTraceFlag | kSampledFlag;
+
+}  // namespace
+
 void write_header(Writer& w, MsgType t, std::uint32_t dst_site,
-                  std::uint64_t trace_id) {
+                  std::uint64_t trace_id, bool sampled) {
   if (trace_id == 0) {
     w.u8(static_cast<std::uint8_t>(t));
     w.u32(dst_site);
     return;
   }
-  w.u8(static_cast<std::uint8_t>(t) | kTraceFlag);
+  std::uint8_t b = static_cast<std::uint8_t>(t) | kTraceFlag;
+  if (sampled) b |= kSampledFlag;
+  w.u8(b);
   w.u32(dst_site);
   w.u64(trace_id);
 }
 
 PacketHeader read_header(Reader& r) {
   const std::uint8_t b = r.u8();
-  const std::uint8_t type = b & static_cast<std::uint8_t>(~kTraceFlag);
+  const std::uint8_t type = b & static_cast<std::uint8_t>(~kHeaderFlags);
   if (type < static_cast<std::uint8_t>(MsgType::kShipMsg) ||
       type > static_cast<std::uint8_t>(MsgType::kNsReply))
     throw DecodeError("unknown packet type");
   PacketHeader h;
   h.type = static_cast<MsgType>(type);
   h.dst_site = r.u32();
-  if (b & kTraceFlag) h.trace_id = r.u64();
+  if (b & kTraceFlag) {
+    h.trace_id = r.u64();
+    h.sampled = (b & kSampledFlag) != 0;
+  }
   return h;
 }
 
 MsgType packet_type(const std::vector<std::uint8_t>& bytes) {
   if (bytes.empty()) throw DecodeError("empty packet");
   return static_cast<MsgType>(bytes[0] &
-                              static_cast<std::uint8_t>(~kTraceFlag));
+                              static_cast<std::uint8_t>(~kHeaderFlags));
 }
 
 std::uint64_t packet_trace_id(const std::vector<std::uint8_t>& bytes) {
@@ -54,6 +65,12 @@ std::uint64_t packet_trace_id(const std::vector<std::uint8_t>& bytes) {
   std::uint64_t id;
   std::memcpy(&id, bytes.data() + 5, sizeof id);
   return id;
+}
+
+bool packet_sampled(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.empty()) throw DecodeError("empty packet");
+  if (!(bytes[0] & kTraceFlag)) return true;  // v1: pre-sampling behaviour
+  return (bytes[0] & kSampledFlag) != 0;
 }
 
 void write_netref(Writer& w, const vm::NetRef& r) {

@@ -41,26 +41,37 @@ enum class MsgType : std::uint8_t {
 // across sites (see obs/trace.hpp); they are only emitted when the
 // sending site has tracing enabled, so an untraced run's wire bytes are
 // identical to v1.
+//
+// Sampled tracing adds a second type-byte flag, kSampledFlag: a v2
+// frame with the flag set belongs to a sampled operation and every hop
+// records it; without the flag the id still rides along (reply routing
+// and causality need it) but hops skip recording. v1 frames and frames
+// predating the flag decode as sampled — the pre-sampling behaviour.
 
 /// Type-byte flag marking a v2 frame that carries a trace id.
 constexpr std::uint8_t kTraceFlag = 0x80;
+/// Type-byte flag (v2 only): this operation's trace id was sampled in.
+constexpr std::uint8_t kSampledFlag = 0x40;
 
 struct PacketHeader {
   MsgType type = MsgType::kShipMsg;
   std::uint32_t dst_site = 0;
   std::uint64_t trace_id = 0;  // 0 = untraced (v1 frame)
+  bool sampled = true;         // hops should record this operation
 };
 
 /// Write a frame header; emits the v1 layout when trace_id == 0.
 void write_header(Writer& w, MsgType t, std::uint32_t dst_site,
-                  std::uint64_t trace_id = 0);
+                  std::uint64_t trace_id = 0, bool sampled = true);
 /// Read either header version; throws DecodeError on an unknown type.
 PacketHeader read_header(Reader& r);
 
-/// Peek the message type of a framed packet (flag masked off).
+/// Peek the message type of a framed packet (flags masked off).
 MsgType packet_type(const std::vector<std::uint8_t>& bytes);
 /// Peek a framed packet's trace id (0 for v1 frames).
 std::uint64_t packet_trace_id(const std::vector<std::uint8_t>& bytes);
+/// Peek whether a framed packet's operation was sampled (true for v1).
+bool packet_sampled(const std::vector<std::uint8_t>& bytes);
 
 /// Marshal one value leaving `m` (sender side, step 1).
 void marshal_value(vm::Machine& m, const vm::Value& v, Writer& w);

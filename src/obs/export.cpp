@@ -73,11 +73,29 @@ std::string chrome_trace_json(const std::vector<ThreadTrace>& traces) {
                ",\"args\":{\"instructions\":" + std::to_string(e.arg) + "}}");
           break;
         default: {
-          std::string obj = "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"";
-          obj += event_name(e.type);
-          obj += "\",\"cat\":\"mobility\"," + pidtid + ",\"ts\":" + ts +
-                 ",\"args\":{\"arg\":" + std::to_string(e.arg) +
-                 ",\"trace_id\":" + std::to_string(e.trace_id) + "}}";
+          // A traced FETCH round trip renders as an async span on the
+          // requesting site — "b" at the request, "e" at the reply,
+          // matched by (cat, id) — so its latency is a visible bar
+          // rather than two instants. kFetchServed (the remote side)
+          // stays an instant inside the span.
+          const bool span = e.trace_id != 0 &&
+                            (e.type == EventType::kFetchReq ||
+                             e.type == EventType::kFetchReply);
+          std::string obj;
+          if (span) {
+            obj = "{\"ph\":\"";
+            obj += e.type == EventType::kFetchReq ? "b" : "e";
+            obj += "\",\"name\":\"FETCH\",\"cat\":\"fetch\",\"id\":" +
+                   std::to_string(e.trace_id) + "," + pidtid +
+                   ",\"ts\":" + ts + ",\"args\":{\"arg\":" +
+                   std::to_string(e.arg) + "}}";
+          } else {
+            obj = "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"";
+            obj += event_name(e.type);
+            obj += "\",\"cat\":\"mobility\"," + pidtid + ",\"ts\":" + ts +
+                   ",\"args\":{\"arg\":" + std::to_string(e.arg) +
+                   ",\"trace_id\":" + std::to_string(e.trace_id) + "}}";
+          }
           emit(obj);
           if (e.trace_id != 0)
             flows[e.trace_id].push_back(

@@ -1,0 +1,146 @@
+#include "obs/http.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace dityco::obs {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    // MSG_NOSIGNAL: a scraper that hangs up mid-response must not SIGPIPE
+    // the whole process.
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void MonitorServer::route(std::string path, Handler h) {
+  routes_[std::move(path)] = std::move(h);
+}
+
+std::uint16_t MonitorServer::start(std::uint16_t port) {
+  if (fd_ >= 0) return port_;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 8) < 0) {
+    ::close(fd);
+    return 0;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    return 0;
+  }
+  port_ = ntohs(addr.sin_port);
+  fd_ = fd;
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve(); });
+  return port_;
+}
+
+void MonitorServer::stop() {
+  if (fd_ < 0) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  ::close(fd_);
+  fd_ = -1;
+  port_ = 0;
+}
+
+void MonitorServer::serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{fd_, POLLIN, 0};
+    // Short poll timeout keeps stop() latency bounded without a
+    // self-pipe or shutdown() portability games.
+    const int r = ::poll(&pfd, 1, 100);
+    if (r <= 0 || !(pfd.revents & POLLIN)) continue;
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle_client(client);
+    ::close(client);
+  }
+}
+
+void MonitorServer::handle_client(int client) {
+  // A scraper that connects but never writes must not wedge the server.
+  timeval tv{2, 0};
+  ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+
+  // Read until the end of the request head; the request line is all we
+  // ever use, but draining the headers keeps well-behaved clients happy.
+  std::string req;
+  char buf[2048];
+  while (req.find("\r\n\r\n") == std::string::npos &&
+         req.find("\n\n") == std::string::npos && req.size() < 16384) {
+    const ssize_t n = ::recv(client, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    req.append(buf, static_cast<std::size_t>(n));
+    if (req.find("\r\n") != std::string::npos && n < 2) break;
+  }
+  const auto eol = req.find_first_of("\r\n");
+  if (eol == std::string::npos) return;
+  const std::string line = req.substr(0, eol);
+
+  Response resp;
+  const auto sp1 = line.find(' ');
+  const auto sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+  if (sp1 == std::string::npos) {
+    resp = {405, "text/plain; charset=utf-8", "malformed request\n"};
+  } else {
+    const std::string method = line.substr(0, sp1);
+    std::string path = sp2 == std::string::npos
+                           ? line.substr(sp1 + 1)
+                           : line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const auto q = path.find('?');
+    if (q != std::string::npos) path.resize(q);
+    if (method != "GET") {
+      resp = {405, "text/plain; charset=utf-8", "only GET is served\n"};
+    } else if (auto it = routes_.find(path); it != routes_.end()) {
+      resp = it->second();
+    } else {
+      std::string index = "not found; routes:\n";
+      for (const auto& [p, h] : routes_) index += "  " + p + "\n";
+      resp = {404, "text/plain; charset=utf-8", std::move(index)};
+    }
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  std::string head = "HTTP/1.0 " + std::to_string(resp.status) + " " +
+                     status_text(resp.status) +
+                     "\r\nContent-Type: " + resp.content_type +
+                     "\r\nContent-Length: " + std::to_string(resp.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  send_all(client, head);
+  send_all(client, resp.body);
+}
+
+}  // namespace dityco::obs

@@ -1,0 +1,70 @@
+// TyCOmon: the monitoring daemon's scrape server (tentpole of the live
+// telemetry plane).
+//
+// A deliberately small, dependency-free HTTP/1.0 server: one background
+// thread accepts loopback TCP connections, answers a single GET per
+// connection from a fixed route table, and closes. That is exactly the
+// shape Prometheus-style scraping needs, and nothing more — no
+// keep-alive, no TLS, no request bodies. Handlers run on the server
+// thread, so anything they touch must be safe to read while the network
+// executes (see obs::Registry's live_safe collectors and
+// TraceRing::snapshot()).
+//
+// core::Network wires a MonitorServer to /metrics, /metrics.json,
+// /trace and /healthz via Network::start_monitor().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace dityco::obs {
+
+class MonitorServer {
+ public:
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  /// Invoked on the server thread for each matching GET.
+  using Handler = std::function<Response()>;
+
+  MonitorServer() = default;
+  ~MonitorServer() { stop(); }
+  MonitorServer(const MonitorServer&) = delete;
+  MonitorServer& operator=(const MonitorServer&) = delete;
+
+  /// Register a handler for an exact path (query strings are stripped
+  /// before matching). Call before start().
+  void route(std::string path, Handler h);
+
+  /// Bind 127.0.0.1:`port` (0 picks an ephemeral port) and serve on a
+  /// background thread. Returns the bound port, or 0 on failure.
+  std::uint16_t start(std::uint16_t port);
+  /// Stop serving and join the thread. Idempotent.
+  void stop();
+
+  bool running() const { return fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+  /// Requests answered so far (any status).
+  std::uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve();
+  void handle_client(int client);
+
+  std::map<std::string, Handler> routes_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace dityco::obs

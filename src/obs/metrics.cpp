@@ -95,10 +95,11 @@ void Registry::Registration::reset() {
   id_ = 0;
 }
 
-Registry::Registration Registry::add_collector(CollectFn fn) {
+Registry::Registration Registry::add_collector(CollectFn fn,
+                                               bool live_safe) {
   std::lock_guard<std::mutex> lk(mu_);
   const std::uint64_t id = next_id_++;
-  collectors_.emplace(id, std::move(fn));
+  collectors_.emplace(id, CollectorEntry{std::move(fn), live_safe});
   return Registration(this, id);
 }
 
@@ -131,7 +132,7 @@ Histogram& Registry::histogram(const std::string& name,
   return *slot;
 }
 
-Registry::Snapshot Registry::snapshot() const {
+Registry::Snapshot Registry::snapshot(bool live_only) const {
   std::lock_guard<std::mutex> lk(mu_);
   Snapshot s;
   Collector sink;
@@ -142,7 +143,8 @@ Registry::Snapshot Registry::snapshot() const {
   for (const auto& [name, g] : gauges_) s.gauges[name] += g->value();
   for (const auto& [name, h] : histograms_)
     sink.histogram(name, h->snapshot());
-  for (const auto& [id, fn] : collectors_) fn(sink);
+  for (const auto& [id, entry] : collectors_)
+    if (!live_only || entry.live_safe) entry.fn(sink);
   return s;
 }
 
@@ -176,8 +178,8 @@ std::string fmt_double(double v) {
 
 }  // namespace
 
-std::string Registry::expose_text() const {
-  const Snapshot s = snapshot();
+std::string Registry::expose_text(bool live_only) const {
+  const Snapshot s = snapshot(live_only);
   std::string out;
   for (const auto& [name, v] : s.counters)
     out += name + " " + std::to_string(v) + "\n";
@@ -223,8 +225,8 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
-std::string Registry::expose_json() const {
-  const Snapshot s = snapshot();
+std::string Registry::expose_json(bool live_only) const {
+  const Snapshot s = snapshot(live_only);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, v] : s.counters) {

@@ -64,6 +64,40 @@ class Counter {
   std::atomic<std::uint64_t> v_{0};
 };
 
+/// Single-writer counter: only the owning thread increments, with a
+/// plain load + store (no atomic RMW, so the hot path compiles to a
+/// normal add), while any thread may read a consistent value. The shape
+/// for per-component stats structs owned by one executor thread that
+/// TyCOmon must still be able to scrape mid-run.
+class SoloCounter {
+ public:
+  SoloCounter() = default;
+  SoloCounter(const SoloCounter& o) : v_(o.value()) {}
+  SoloCounter& operator=(const SoloCounter& o) {
+    v_.store(o.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void inc(std::uint64_t n = 1) {
+    v_.store(v_.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+  SoloCounter& operator++() {
+    inc();
+    return *this;
+  }
+  SoloCounter& operator+=(std::uint64_t n) {
+    inc(n);
+    return *this;
+  }
+  operator std::uint64_t() const { return value(); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
 /// Point-in-time signed value (queue depths, in-flight packets).
 class Gauge {
  public:
@@ -166,7 +200,13 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
-  [[nodiscard]] Registration add_collector(CollectFn fn);
+  /// `live_safe` collectors only touch atomic cells (Counter/SoloCounter/
+  /// Gauge/Histogram) and may be driven while the network executes —
+  /// TyCOmon's live scrape path. Pass false for collectors that read
+  /// plain fields or container sizes; those are skipped by a live-only
+  /// snapshot and only run once the owning threads are at rest.
+  [[nodiscard]] Registration add_collector(CollectFn fn,
+                                           bool live_safe = true);
 
   // Owned find-or-create metrics; references stay valid for the
   // registry's lifetime.
@@ -181,12 +221,14 @@ class Registry {
     std::map<std::string, Histogram::Snapshot> histograms;
   };
 
-  /// Merged view of owned metrics plus every live collector.
-  Snapshot snapshot() const;
+  /// Merged view of owned metrics plus every registered collector. With
+  /// `live_only`, collectors registered live_safe=false are skipped
+  /// (scrape-while-running mode).
+  Snapshot snapshot(bool live_only = false) const;
   /// Prometheus-style text exposition.
-  std::string expose_text() const;
+  std::string expose_text(bool live_only = false) const;
   /// The same snapshot as a JSON object.
-  std::string expose_json() const;
+  std::string expose_json(bool live_only = false) const;
 
   /// Process-wide default registry (tools and standalone components).
   static Registry& global();
@@ -195,11 +237,16 @@ class Registry {
   friend class Registration;
   void remove_collector(std::uint64_t id);
 
+  struct CollectorEntry {
+    CollectFn fn;
+    bool live_safe = true;
+  };
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::uint64_t, CollectFn> collectors_;
+  std::map<std::uint64_t, CollectorEntry> collectors_;
   std::uint64_t next_id_ = 1;
 };
 

@@ -317,13 +317,20 @@ void Machine::register_metrics(obs::Registry& registry) {
     c.counter("vm_forks" + l, stats_.forks);
     c.counter("vm_frames_run" + l, stats_.frames_run);
     c.counter("vm_prints" + l, stats_.prints);
-    c.gauge("vm_runnable" + l, static_cast<std::int64_t>(queue_.size()));
-    c.gauge("vm_parked" + l, static_cast<std::int64_t>(parked_.size()));
-    c.gauge("vm_pending_messages" + l,
-            static_cast<std::int64_t>(pending_msgs_));
-    c.gauge("vm_pending_objects" + l,
-            static_cast<std::int64_t>(pending_objs_));
   });
+  // The gauges walk executor-owned containers, so they are exposed only
+  // when the machine is at rest (skipped by live scrapes).
+  gauges_reg_ = registry.add_collector(
+      [this](obs::Collector& c) {
+        const std::string l = "{site=\"" + name_ + "\"}";
+        c.gauge("vm_runnable" + l, static_cast<std::int64_t>(queue_.size()));
+        c.gauge("vm_parked" + l, static_cast<std::int64_t>(parked_.size()));
+        c.gauge("vm_pending_messages" + l,
+                static_cast<std::int64_t>(pending_msgs_));
+        c.gauge("vm_pending_objects" + l,
+                static_cast<std::int64_t>(pending_objs_));
+      },
+      /*live_safe=*/false);
 }
 
 std::string Machine::display(const Value& v) const {

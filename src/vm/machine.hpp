@@ -106,13 +106,15 @@ struct Frame {
 
 class Machine {
  public:
+  // SoloCounter: only the executor thread writes (a plain add, no RMW),
+  // but TyCOmon may scrape the values mid-run from its server thread.
   struct Stats {
-    std::uint64_t instructions = 0;
-    std::uint64_t comm_reductions = 0;   // message met object
-    std::uint64_t inst_reductions = 0;   // class instantiations
-    std::uint64_t forks = 0;
-    std::uint64_t frames_run = 0;        // context switches
-    std::uint64_t prints = 0;
+    obs::SoloCounter instructions;
+    obs::SoloCounter comm_reductions;   // message met object
+    obs::SoloCounter inst_reductions;   // class instantiations
+    obs::SoloCounter forks;
+    obs::SoloCounter frames_run;        // context switches
+    obs::SoloCounter prints;
   };
 
   explicit Machine(std::string name, std::uint32_t node_id = 0,
@@ -241,9 +243,10 @@ class Machine {
   void set_event_ring(obs::TraceRing* ring) { ring_ = ring; }
 
   /// Publish this machine's Stats into a metrics registry under
-  /// `vm_*{site="<name>"}` names. The registration is dropped when the
-  /// machine dies. The collector reads the plain (executor-owned)
-  /// counters, so drive expositions only while the machine is at rest.
+  /// `vm_*{site="<name>"}` names. The registrations are dropped when the
+  /// machine dies. The Stats counters are live-safe (atomic cells); the
+  /// queue-depth gauges read plain containers and register as
+  /// live_safe=false, so a live scrape shows counters only.
   void register_metrics(obs::Registry& registry);
 
  private:
@@ -308,6 +311,7 @@ class Machine {
   std::vector<std::string>* trace_ = nullptr;
   obs::TraceRing* ring_ = nullptr;
   obs::Registry::Registration metrics_reg_;
+  obs::Registry::Registration gauges_reg_;
   Stats stats_;
 };
 

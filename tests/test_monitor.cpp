@@ -1,0 +1,231 @@
+// TyCOmon: the per-network monitoring daemon. Covers the HTTP server in
+// isolation (routing, 404/405, lifecycle) and the Network-level
+// endpoints — including a scrape raced against a threaded run, which is
+// the whole point of the live telemetry plane (TSan-checked in CI).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "core/network.hpp"
+#include "obs/http.hpp"
+
+namespace dityco {
+namespace {
+
+/// Minimal loopback HTTP client: send `request` verbatim, read to EOF.
+std::string http_request(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return {};
+  }
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + off, request.size() - off, 0);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+std::string http_get(std::uint16_t port, const std::string& path) {
+  return http_request(port, "GET " + path + " HTTP/1.0\r\n\r\n");
+}
+
+/// Body of an HTTP response (everything after the blank line).
+std::string body_of(const std::string& response) {
+  const auto pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? std::string() : response.substr(pos + 4);
+}
+
+// ---------------------------------------------------------------------
+// MonitorServer in isolation
+// ---------------------------------------------------------------------
+
+TEST(MonitorServer, ServesRoutesAndRejectsUnknownOnes) {
+  obs::MonitorServer srv;
+  srv.route("/ping", [] {
+    obs::MonitorServer::Response r;
+    r.body = "pong";
+    return r;
+  });
+  srv.route("/teapot", [] {
+    obs::MonitorServer::Response r;
+    r.status = 404;
+    r.body = "short and stout";
+    return r;
+  });
+  const std::uint16_t port = srv.start(0);
+  ASSERT_NE(port, 0u) << "ephemeral bind must succeed";
+  EXPECT_TRUE(srv.running());
+  EXPECT_EQ(srv.port(), port);
+
+  const std::string ok = http_get(port, "/ping");
+  EXPECT_NE(ok.find("HTTP/1.0 200"), std::string::npos) << ok;
+  EXPECT_EQ(body_of(ok), "pong");
+  EXPECT_NE(ok.find("Content-Length: 4"), std::string::npos);
+
+  // Query strings are stripped before routing.
+  EXPECT_EQ(body_of(http_get(port, "/ping?x=1")), "pong");
+
+  // A handler controls its own status line.
+  EXPECT_NE(http_get(port, "/teapot").find("HTTP/1.0 404"),
+            std::string::npos);
+
+  // Unknown path: 404 listing the routes that do exist.
+  const std::string miss = http_get(port, "/nope");
+  EXPECT_NE(miss.find("HTTP/1.0 404"), std::string::npos);
+  EXPECT_NE(miss.find("/ping"), std::string::npos);
+
+  // Non-GET: 405.
+  EXPECT_NE(http_request(port, "POST /ping HTTP/1.0\r\n\r\n")
+                .find("HTTP/1.0 405"),
+            std::string::npos);
+
+  EXPECT_GE(srv.requests(), 5u);
+  srv.stop();
+  EXPECT_FALSE(srv.running());
+  srv.stop();  // idempotent
+}
+
+TEST(MonitorServer, HandlesSequentialClients) {
+  obs::MonitorServer srv;
+  int hits = 0;
+  srv.route("/n", [&hits] {
+    obs::MonitorServer::Response r;
+    r.body = std::to_string(++hits);
+    return r;
+  });
+  const std::uint16_t port = srv.start(0);
+  ASSERT_NE(port, 0u);
+  for (int i = 1; i <= 5; ++i)
+    EXPECT_EQ(body_of(http_get(port, "/n")), std::to_string(i));
+  srv.stop();
+}
+
+// ---------------------------------------------------------------------
+// Network endpoints
+// ---------------------------------------------------------------------
+
+core::Network rpc_net(core::Network::Config cfg, int calls) {
+  core::Network net(cfg);
+  net.add_node();
+  net.add_site(0, "server");
+  net.add_node();
+  net.add_site(1, "client");
+  net.submit_source("server",
+                    "export new svc in "
+                    "def Serve(self) = self?{ val(x, r) = (r![x + 1] | "
+                    "Serve[self]) } in Serve[svc]");
+  net.submit_source("client",
+                    "import svc from server in "
+                    "def Loop(i, acc) = if i == 0 then print[\"done\", acc] "
+                    "else let v = svc![acc] in Loop[i - 1, v] "
+                    "in Loop[" + std::to_string(calls) + ", 0]");
+  return net;
+}
+
+TEST(Monitor, EndpointsAnswerAtRest) {
+  auto net = rpc_net({}, 4);
+  net.enable_tracing(1 << 12);
+  const std::uint16_t port = net.start_monitor(0);
+  ASSERT_NE(port, 0u);
+  EXPECT_EQ(net.monitor_port(), port);
+  ASSERT_TRUE(net.run().quiescent);
+
+  const std::string metrics = http_get(port, "/metrics");
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("site_msgs_shipped{site=\"client\"}"),
+            std::string::npos);
+  // At rest the scrape includes the non-live-safe collectors too.
+  EXPECT_NE(metrics.find("vm_runnable"), std::string::npos) << metrics;
+
+  const std::string json = body_of(http_get(port, "/metrics.json"));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+
+  const std::string health = body_of(http_get(port, "/healthz"));
+  EXPECT_NE(health.find("\"outcome\":\"quiescent\""), std::string::npos)
+      << health;
+  EXPECT_NE(health.find("\"running\":false"), std::string::npos);
+  EXPECT_NE(health.find("\"name\":\"client\""), std::string::npos);
+
+  const std::string trace = body_of(http_get(port, "/trace"));
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+
+  net.stop_monitor();
+  EXPECT_EQ(net.monitor_port(), 0u);
+}
+
+TEST(Monitor, HealthJsonTracksRunState) {
+  auto net = rpc_net({}, 2);
+  const std::string before = net.health_json();
+  EXPECT_NE(before.find("\"outcome\":\"never_ran\""), std::string::npos)
+      << before;
+  ASSERT_TRUE(net.run().quiescent);
+  const std::string after = net.health_json();
+  EXPECT_NE(after.find("\"outcome\":\"quiescent\""), std::string::npos);
+  EXPECT_NE(after.find("\"mode\":\"sequential\""), std::string::npos)
+      << after;
+}
+
+TEST(Monitor, ScrapeRacesThreadedRun) {
+  core::Network::Config cfg;
+  cfg.mode = core::Network::Mode::kThreaded;
+  auto net = rpc_net(cfg, 2000);
+  net.enable_tracing(1 << 12);
+  const std::uint16_t port = net.start_monitor(0);
+  ASSERT_NE(port, 0u);
+
+  core::Network::Result res;
+  std::thread runner([&] { res = net.run(); });
+  // Hammer every endpoint while the two executor threads and the daemon
+  // pumps are live; the live scrape path must stay off their plain
+  // fields (TSan enforces this in CI).
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_NE(http_get(port, "/metrics").find("HTTP/1.0 200"),
+              std::string::npos);
+    http_get(port, "/metrics.json");
+    http_get(port, "/healthz");
+    http_get(port, "/trace");
+  }
+  runner.join();
+  EXPECT_TRUE(res.quiescent);
+
+  // Post-run the counters have converged to the final values.
+  const std::string metrics = http_get(port, "/metrics");
+  EXPECT_NE(metrics.find("site_msgs_shipped{site=\"client\"}"),
+            std::string::npos);
+  const std::string health = body_of(http_get(port, "/healthz"));
+  EXPECT_NE(health.find("\"outcome\":\"quiescent\""), std::string::npos);
+}
+
+TEST(Monitor, StartTwiceKeepsFirstServer) {
+  auto net = rpc_net({}, 1);
+  const std::uint16_t a = net.start_monitor(0);
+  ASSERT_NE(a, 0u);
+  const std::uint16_t b = net.start_monitor(0);
+  EXPECT_EQ(a, b) << "second start_monitor returns the live server's port";
+}
+
+}  // namespace
+}  // namespace dityco

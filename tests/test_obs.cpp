@@ -91,6 +91,36 @@ TEST(Metrics, SameNameCollectorsSum) {
   EXPECT_EQ(reg.snapshot().counters.at("shared_total"), 7u);
 }
 
+TEST(Metrics, SoloCounterSingleWriterSemantics) {
+  obs::SoloCounter c;
+  ++c;
+  c += 4;
+  c.inc();
+  EXPECT_EQ(c, 6u);
+  obs::SoloCounter copy = c;
+  ++c;
+  EXPECT_EQ(copy, 6u);
+  EXPECT_EQ(c, 7u);
+}
+
+TEST(Metrics, LiveOnlySkipsNonLiveSafeCollectors) {
+  obs::Registry reg;
+  auto live = reg.add_collector(
+      [](obs::Collector& c) { c.counter("live_total", 1); });
+  auto rest = reg.add_collector(
+      [](obs::Collector& c) { c.counter("rest_total", 1); },
+      /*live_safe=*/false);
+  auto snap = reg.snapshot(/*live_only=*/true);
+  EXPECT_EQ(snap.counters.count("live_total"), 1u);
+  EXPECT_EQ(snap.counters.count("rest_total"), 0u)
+      << "non-live-safe collectors must not run during a live scrape";
+  snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.count("rest_total"), 1u);
+  EXPECT_EQ(reg.expose_text(/*live_only=*/true).find("rest_total"),
+            std::string::npos);
+  EXPECT_NE(reg.expose_text().find("rest_total"), std::string::npos);
+}
+
 TEST(Metrics, HistogramExposition) {
   obs::Registry reg;
   reg.histogram("lat_us", {1.0, 10.0}).observe(3.0);
@@ -146,6 +176,45 @@ TEST(TraceRing, FreshTraceIdsAreUniqueAndNonZero) {
 }
 
 // ---------------------------------------------------------------------
+// Sampling
+// ---------------------------------------------------------------------
+
+TEST(Sampling, DeterministicAndRoughlyOneInN) {
+  int kept = 0;
+  for (std::uint64_t id = 1; id <= 4096; ++id) {
+    const bool a = obs::trace_id_sampled(id, 8, 42);
+    EXPECT_EQ(a, obs::trace_id_sampled(id, 8, 42))
+        << "same (id, every, seed) must always agree";
+    kept += a ? 1 : 0;
+  }
+  // 1-in-8 of 4096 ids is 512 in expectation; allow a generous band.
+  EXPECT_GT(kept, 256);
+  EXPECT_LT(kept, 1024);
+  // every <= 1 keeps everything.
+  EXPECT_TRUE(obs::trace_id_sampled(7, 1, 0));
+  EXPECT_TRUE(obs::trace_id_sampled(7, 0, 9));
+  // The seed reshuffles the kept set.
+  bool differs = false;
+  for (std::uint64_t id = 1; id <= 256 && !differs; ++id)
+    differs = obs::trace_id_sampled(id, 8, 1) !=
+              obs::trace_id_sampled(id, 8, 2);
+  EXPECT_TRUE(differs);
+}
+
+TEST(Sampling, RingCountsSampledAndUnsampledDecisions) {
+  obs::TraceRing ring;
+  ring.enable(16, 0, 0);
+  ring.set_sampling(4, 7);
+  std::uint64_t kept = 0;
+  for (int i = 0; i < 200; ++i)
+    if (ring.sample(obs::next_trace_id())) ++kept;
+  EXPECT_EQ(ring.sampled(), kept);
+  EXPECT_EQ(ring.unsampled(), 200u - kept);
+  EXPECT_GT(ring.unsampled(), 0u) << "1-in-4 must skip some of 200 ids";
+  EXPECT_GT(ring.sampled(), 0u);
+}
+
+// ---------------------------------------------------------------------
 // Wire format: v2 header with trace ids, v1 backward compatibility
 // ---------------------------------------------------------------------
 
@@ -190,6 +259,45 @@ TEST(WireTrace, OldFormatPacketStillDecodes) {
   EXPECT_EQ(h.dst_site, 9u);
   EXPECT_EQ(h.trace_id, 0u);
   EXPECT_EQ(core::packet_trace_id(bytes), 0u);
+}
+
+TEST(WireTrace, SampledBitRoundTrip) {
+  // Sampled v2 frame (the default).
+  Writer ws;
+  core::write_header(ws, core::MsgType::kShipMsg, 4, 0xabcdull,
+                     /*sampled=*/true);
+  auto sb = ws.take();
+  EXPECT_TRUE(core::packet_sampled(sb));
+  Reader rs(sb);
+  const core::PacketHeader hs = core::read_header(rs);
+  EXPECT_TRUE(hs.sampled);
+  EXPECT_EQ(hs.trace_id, 0xabcdull);
+
+  // Unsampled v2 frame: the id is still carried (causality survives) but
+  // the bit tells every hop to skip recording.
+  Writer wu;
+  core::write_header(wu, core::MsgType::kShipMsg, 4, 0xabcdull,
+                     /*sampled=*/false);
+  auto ub = wu.take();
+  EXPECT_FALSE(core::packet_sampled(ub));
+  EXPECT_EQ(core::packet_type(ub), core::MsgType::kShipMsg)
+      << "routing helpers see through both flag bits";
+  EXPECT_EQ(core::packet_trace_id(ub), 0xabcdull);
+  Reader ru(ub);
+  const core::PacketHeader hu = core::read_header(ru);
+  EXPECT_FALSE(hu.sampled);
+  EXPECT_EQ(hu.trace_id, 0xabcdull);
+  EXPECT_EQ(hu.dst_site, 4u);
+
+  // v1 frames carry no decision; they decode as sampled so an untraced
+  // peer never suppresses recording.
+  Writer v1;
+  v1.u8(static_cast<std::uint8_t>(core::MsgType::kShipMsg));
+  v1.u32(4);
+  auto vb = v1.take();
+  EXPECT_TRUE(core::packet_sampled(vb));
+  Reader rv(vb);
+  EXPECT_TRUE(core::read_header(rv).sampled);
 }
 
 TEST(WireTrace, UnknownTypeRejected) {
@@ -319,6 +427,102 @@ TEST(EndToEnd, ShipObjMatched) {
   ASSERT_TRUE(res.quiescent);
   expect_matched(net.collect_traces(), obs::EventType::kShipObjOut,
                  obs::EventType::kShipObjIn);
+}
+
+TEST(EndToEnd, SamplingGatesMobilityEventsButKeepsLocalOnes) {
+  auto net = two_node_net(sim_cfg());
+  // 1-in-2^20: with a few dozen allocated ids, essentially everything is
+  // skipped (each id samples with probability ~1e-6).
+  net.enable_tracing(1 << 12, /*sample_every=*/1 << 20, /*sample_seed=*/7);
+  net.submit_source("server",
+                    "export new svc in "
+                    "def Serve(self) = self?{ val(x, r) = (r![x + 1] | "
+                    "Serve[self]) } in Serve[svc]");
+  net.submit_source("client",
+                    "import svc from server in "
+                    "def Loop(i, acc) = if i == 0 then print[\"done\", acc] "
+                    "else let v = svc![acc] in Loop[i - 1, v] "
+                    "in Loop[20, 0]");
+  ASSERT_TRUE(net.run().quiescent);
+
+  const auto traces = net.collect_traces();
+  // Local reductions carry trace id 0 and are never sampled away.
+  EXPECT_FALSE(events_of(traces, obs::EventType::kComm).empty());
+
+  // Nearly every SHIPM skipped recording, so the ring holds fewer
+  // departures than the mobility counter says were shipped...
+  const auto outs = events_of(traces, obs::EventType::kShipMsgOut);
+  const std::uint64_t shipped =
+      net.find_site("client")->mobility().msgs_shipped.value();
+  EXPECT_GE(shipped, 20u);
+  EXPECT_LT(static_cast<std::uint64_t>(outs.size()), shipped);
+
+  // ...and the decision counters account for every allocated id.
+  const auto snap = net.metrics().snapshot();
+  EXPECT_GT(snap.counters.at("site_trace_unsampled{site=\"client\"}"), 0u);
+  const std::uint64_t decided =
+      snap.counters.at("site_trace_sampled{site=\"client\"}") +
+      snap.counters.at("site_trace_unsampled{site=\"client\"}");
+  EXPECT_GE(decided, shipped) << "every departure allocates and decides";
+
+  // Any departure that *was* recorded must still match an arrival: the
+  // decision travels on the wire, so hops agree.
+  const auto ins = events_of(traces, obs::EventType::kShipMsgIn);
+  for (const auto& o : outs) {
+    bool matched = false;
+    for (const auto& i : ins)
+      if (i.trace_id == o.trace_id && i.site != o.site) matched = true;
+    EXPECT_TRUE(matched);
+  }
+}
+
+TEST(EndToEnd, SimTraceTimestampsAreVirtual) {
+  auto net = two_node_net(sim_cfg());
+  net.enable_tracing(1 << 12);
+  net.submit_source("server",
+                    "export new svc in "
+                    "def Serve(self) = self?{ val(x, r) = (r![x + 1] | "
+                    "Serve[self]) } in Serve[svc]");
+  net.submit_source("client",
+                    "import svc from server in "
+                    "def Loop(i, acc) = if i == 0 then print[\"done\", acc] "
+                    "else let v = svc![acc] in Loop[i - 1, v] "
+                    "in Loop[4, 0]");
+  auto res = net.run();
+  ASSERT_TRUE(res.quiescent);
+  ASSERT_GT(res.virtual_time_us, 0.0);
+
+  // Every timestamp sits inside the simulated makespan — steady_clock
+  // stamps (nanoseconds since boot) would be orders of magnitude larger.
+  const auto makespan_ns =
+      static_cast<std::uint64_t>(res.virtual_time_us * 1000.0) + 1;
+  std::size_t seen = 0;
+  for (const auto& t : net.collect_traces())
+    for (const auto& e : t.events) {
+      EXPECT_LE(e.ts_ns, makespan_ns)
+          << obs::event_name(e.type) << " stamped past the virtual makespan";
+      ++seen;
+    }
+  EXPECT_GT(seen, 0u);
+}
+
+TEST(EndToEnd, FetchRoundTripIsAsyncSpanInTraceJson) {
+  auto net = two_node_net(sim_cfg());
+  net.enable_tracing(1 << 12);
+  net.submit_source("server",
+                    "export def Applet(out) = out![1 + 2] in 0");
+  net.submit_source("client",
+                    "import Applet from server in "
+                    "new p (Applet[p] | p?(v) = print[v])");
+  ASSERT_TRUE(net.run().quiescent);
+
+  const std::string json = net.trace_json();
+  // The FETCH request/reply pair renders as a Chrome async span keyed by
+  // its trace id, so the round trip reads as one bar in Perfetto.
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"fetch\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"FETCH\""), std::string::npos);
 }
 
 TEST(EndToEnd, TraceJsonIsWellFormedChromeTrace) {

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# TyCOmon smoke test: launch tycosh with --monitor on an ephemeral port,
+# scrape /metrics, /healthz and /trace while (or right after) a threaded
+# two-site RPC run executes, and assert each endpoint answers with real
+# content. Used by CI; run locally as tools/monitor_smoke.sh [tycosh],
+# default build/tools/tycosh.
+set -u
+
+TYCOSH="${1:-build/tools/tycosh}"
+if [ ! -x "$TYCOSH" ]; then
+  echo "monitor_smoke: no tycosh binary at $TYCOSH" >&2
+  exit 2
+fi
+
+OUT="$(mktemp)"
+trap 'kill "$PID" 2>/dev/null; rm -f "$OUT"' EXIT
+
+PROG='site server { export new svc in
+  def Serve(self) = self?{ val(x, r) = (r![x + 1] | Serve[self]) }
+  in Serve[svc] }
+site client { import svc from server in
+  def Loop(i, acc) = if i == 0 then print["done", acc]
+  else let v = svc![acc] in Loop[i - 1, v]
+  in Loop[2000, 0] }'
+
+"$TYCOSH" --mode threads --monitor 0 --linger 4000 -e "$PROG" >"$OUT" 2>&1 &
+PID=$!
+
+# Wait for the "tycomon listening on http://127.0.0.1:<port>" line.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's#^tycomon listening on http://127.0.0.1:\([0-9]*\)$#\1#p' "$OUT")"
+  [ -n "$PORT" ] && break
+  if ! kill -0 "$PID" 2>/dev/null; then
+    echo "monitor_smoke: tycosh exited before announcing a port:" >&2
+    cat "$OUT" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "monitor_smoke: no port announced" >&2
+  cat "$OUT" >&2
+  exit 1
+fi
+echo "monitor_smoke: scraping port $PORT"
+
+fail=0
+
+METRICS="$(curl -sf "http://127.0.0.1:$PORT/metrics")" || fail=1
+if ! printf '%s' "$METRICS" | grep -q '^site_msgs_shipped'; then
+  echo "monitor_smoke: /metrics missing site_msgs_shipped:" >&2
+  printf '%s\n' "$METRICS" | head -20 >&2
+  fail=1
+fi
+
+HEALTH="$(curl -sf "http://127.0.0.1:$PORT/healthz")" || fail=1
+if ! printf '%s' "$HEALTH" | grep -q '"sites"'; then
+  echo "monitor_smoke: /healthz missing sites array: $HEALTH" >&2
+  fail=1
+fi
+
+TRACE="$(curl -sf "http://127.0.0.1:$PORT/trace")" || fail=1
+if ! printf '%s' "$TRACE" | grep -q '"traceEvents"'; then
+  echo "monitor_smoke: /trace is not Chrome trace JSON" >&2
+  fail=1
+fi
+
+JSON="$(curl -sf "http://127.0.0.1:$PORT/metrics.json")" || fail=1
+if ! printf '%s' "$JSON" | grep -q '"counters"'; then
+  echo "monitor_smoke: /metrics.json missing counters object" >&2
+  fail=1
+fi
+
+wait "$PID"
+STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+  echo "monitor_smoke: tycosh exited with $STATUS:" >&2
+  cat "$OUT" >&2
+  fail=1
+fi
+if ! grep -q 'done 2000' "$OUT"; then
+  echo "monitor_smoke: run did not finish the RPC loop:" >&2
+  cat "$OUT" >&2
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "monitor_smoke: OK (metrics, metrics.json, healthz, trace)"
+fi
+exit "$fail"

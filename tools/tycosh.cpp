@@ -22,10 +22,18 @@
 //   :trace FILE      enable causal event tracing and write the merged
 //                    timeline as Chrome trace-event JSON to FILE (open in
 //                    chrome://tracing or https://ui.perfetto.dev)
+//   --sample N       with tracing: record only 1-in-N trace ids
+//   --monitor PORT   start TyCOmon on 127.0.0.1:PORT (0 = ephemeral);
+//                    GET /metrics, /metrics.json, /trace, /healthz.
+//                    Implies tracing. :serve = --monitor 0
+//   --linger MS      keep the process (and TyCOmon) alive MS ms after the
+//                    run so the endpoints can be scraped post-mortem
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "compiler/codegen.hpp"
@@ -42,7 +50,10 @@ int usage() {
       "options: --mode seq|threads|sim  --link myrinet|ethernet\n"
       "         --nodes N  --typecheck  --check  --disasm\n"
       "         --stats | :stats       print the metrics registry\n"
-      "         :trace FILE.json       write a Perfetto/Chrome trace\n";
+      "         :trace FILE.json       write a Perfetto/Chrome trace\n"
+      "         --sample N             trace 1-in-N operations\n"
+      "         --monitor PORT | :serve  start TyCOmon (0 = ephemeral)\n"
+      "         --linger MS            keep TyCOmon up after the run\n";
   return 2;
 }
 
@@ -56,6 +67,10 @@ int main(int argc, char** argv) {
   int nodes = 0;
   bool typecheck = false, check_only = false, disasm = false, stats = false;
   std::string trace_path;
+  bool monitor = false;
+  int monitor_port = 0;
+  long sample_every = 1;
+  long linger_ms = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -77,6 +92,16 @@ int main(int argc, char** argv) {
       stats = true;
     } else if ((arg == ":trace" || arg == "--trace") && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (arg == "--sample" && i + 1 < argc) {
+      sample_every = std::atol(argv[++i]);
+    } else if (arg == "--monitor" && i + 1 < argc) {
+      monitor = true;
+      monitor_port = std::atoi(argv[++i]);
+    } else if (arg == ":serve") {
+      monitor = true;
+      monitor_port = 0;
+    } else if (arg == "--linger" && i + 1 < argc) {
+      linger_ms = std::atol(argv[++i]);
     } else if (!arg.empty() && (arg[0] == '-' || arg[0] == ':')) {
       return usage();
     } else {
@@ -137,7 +162,25 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < programs.size(); ++i)
       net.add_site(i % static_cast<std::size_t>(nnodes), programs[i].first);
     for (const auto& [site, prog] : programs) net.submit(site, prog);
-    if (!trace_path.empty()) net.enable_tracing();
+    // A monitored run always traces: /trace would otherwise be empty.
+    if (!trace_path.empty() || monitor)
+      net.enable_tracing(1 << 14,
+                         sample_every > 1
+                             ? static_cast<std::uint64_t>(sample_every)
+                             : 1);
+    if (monitor) {
+      const std::uint16_t port =
+          net.start_monitor(static_cast<std::uint16_t>(monitor_port));
+      if (port == 0) {
+        std::cerr << "tycosh: cannot start TyCOmon on port " << monitor_port
+                  << "\n";
+        return 1;
+      }
+      // Flushed before the run so scripts can parse the port and start
+      // scraping while the network executes.
+      std::cout << "tycomon listening on http://127.0.0.1:" << port
+                << std::endl;
+    }
 
     auto res = net.run();
 
@@ -165,6 +208,11 @@ int main(int argc, char** argv) {
       }
       out << net.trace_json();
       std::cout << "trace written to " << trace_path << "\n";
+    }
+    if (monitor && linger_ms > 0) {
+      std::cout << "tycomon lingering for " << linger_ms << " ms"
+                << std::endl;
+      std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
     }
     return res.quiescent && net.all_errors().empty() ? 0 : 1;
   } catch (const std::exception& e) {
