@@ -6,6 +6,9 @@ namespace dityco::core {
 
 namespace {
 constexpr std::uint32_t kNsDstSite = 0xffffffffu;
+// Releaser site id the name service uses in its RELs (it is not a site;
+// the id only needs to be unique per releasing node).
+constexpr std::uint32_t kNsReleaserSite = 0xfffffffeu;
 }
 
 void NameService::register_site(const std::string& name, std::uint32_t node,
@@ -20,14 +23,23 @@ std::optional<NameService::SiteInfo> NameService::lookup_site(
   return it->second;
 }
 
-void NameService::reply_to(const Waiter& w, const Entry& e, bool ok,
+void NameService::reply_to(const Waiter& w, Entry& e, bool ok,
                            std::vector<net::Packet>& replies) {
+  // A credit-bearing binding hands half of its held balance to each
+  // importer (share 0 once starved: the importer gets a weak handle).
+  const bool gc = e.gc && ok;
+  std::uint64_t share = 0;
+  if (gc) {
+    share = e.credit / 2;
+    e.credit -= share;
+  }
   Writer out;
-  write_header(out, MsgType::kNsReply, w.site, w.trace_id, w.sampled);
+  write_header(out, MsgType::kNsReply, w.site, w.trace_id, w.sampled, gc);
   out.u64(w.token);
   out.boolean(ok);
   write_netref(out, e.ref);
   out.str(e.type_sig);
+  if (gc) out.u64(share);
   net::Packet p;
   p.src_node = home_node_;
   p.dst_node = w.node;
@@ -36,13 +48,28 @@ void NameService::reply_to(const Waiter& w, const Entry& e, bool ok,
   ++stats_.replies;
 }
 
+void NameService::release_entry(const Entry& e, std::vector<net::Packet>& out) {
+  if (!e.gc || e.credit == 0) return;
+  std::uint64_t& cum = released_cum_[e.ref];
+  cum += e.credit;
+  net::Packet p;
+  p.src_node = home_node_;
+  p.dst_node = e.ref.node;
+  p.bytes = make_release(e.ref, home_node_, kNsReleaserSite, cum);
+  out.push_back(std::move(p));
+  ++stats_.releases;
+}
+
 void NameService::register_id(const std::string& site, const std::string& name,
                               const vm::NetRef& ref,
                               const std::string& type_sig,
-                              std::vector<net::Packet>& replies) {
+                              std::vector<net::Packet>& replies,
+                              std::uint64_t credit) {
   ++stats_.exports;
   const Key key{site, name};
-  ids_[key] = Entry{ref, type_sig};
+  if (auto old = ids_.find(key); old != ids_.end())
+    release_entry(old->second, replies);  // overwritten binding drains
+  ids_[key] = Entry{ref, type_sig, credit, credit > 0};
   auto it = waiting_.find(key);
   if (it == waiting_.end()) return;
   for (const Waiter& w : it->second)
@@ -53,13 +80,27 @@ void NameService::register_id(const std::string& site, const std::string& name,
 }
 
 void NameService::handle_export(Reader& r, std::vector<net::Packet>& replies,
-                                std::uint64_t /*trace_id*/,
-                                bool /*sampled*/) {
+                                std::uint64_t /*trace_id*/, bool /*sampled*/,
+                                bool gc, bool keep_credit) {
   const std::string site = r.str();
   const std::string name = r.str();
   const vm::NetRef ref = read_netref(r);
   const std::string sig = r.str();
-  register_id(site, name, ref, sig, replies);
+  const std::uint64_t credit = gc ? r.u64() : 0;
+  // Broadcast copies at non-origin replicas must not hold the credit:
+  // exactly one holder per minted unit (the origin replica keeps it).
+  register_id(site, name, ref, sig, replies, keep_credit ? credit : 0);
+}
+
+void NameService::handle_unregister(Reader& r,
+                                    std::vector<net::Packet>& replies) {
+  ++stats_.unregisters;
+  const std::string site = r.str();
+  const std::string name = r.str();
+  auto it = ids_.find({site, name});
+  if (it == ids_.end()) return;  // already dropped (duplicate unregister)
+  release_entry(it->second, replies);
+  ids_.erase(it);
 }
 
 void NameService::handle_lookup(Reader& r, std::vector<net::Packet>& replies,
@@ -107,6 +148,8 @@ void NameService::register_metrics(obs::Registry& registry,
     c.counter("ns_lookups" + l, stats_.lookups);
     c.counter("ns_replies" + l, stats_.replies);
     c.counter("ns_parked_total" + l, stats_.parked_total);
+    c.counter("ns_unregisters" + l, stats_.unregisters);
+    c.counter("ns_releases" + l, stats_.releases);
     c.gauge("ns_parked" + l, parked_now_.load(std::memory_order_relaxed));
   });
 }
@@ -114,13 +157,25 @@ void NameService::register_metrics(obs::Registry& registry,
 std::vector<std::uint8_t> NameService::make_export(
     std::uint32_t /*dst_site_unused*/, const std::string& site,
     const std::string& name, const vm::NetRef& ref,
-    const std::string& type_sig, std::uint64_t trace_id, bool sampled) {
+    const std::string& type_sig, std::uint64_t trace_id, bool sampled,
+    std::uint64_t credit) {
   Writer w;
-  write_header(w, MsgType::kNsExport, kNsDstSite, trace_id, sampled);
+  write_header(w, MsgType::kNsExport, kNsDstSite, trace_id, sampled,
+               /*gc=*/credit > 0);
   w.str(site);
   w.str(name);
   write_netref(w, ref);
   w.str(type_sig);
+  if (credit > 0) w.u64(credit);
+  return w.take();
+}
+
+std::vector<std::uint8_t> NameService::make_unregister(
+    const std::string& site, const std::string& name) {
+  Writer w;
+  write_header(w, MsgType::kNsUnregister, kNsDstSite);
+  w.str(site);
+  w.str(name);
   return w.take();
 }
 

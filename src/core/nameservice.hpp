@@ -40,6 +40,8 @@ class NameService {
     obs::SoloCounter lookups;
     obs::SoloCounter replies;
     obs::SoloCounter parked_total;
+    obs::SoloCounter unregisters;  // IdTable bindings dropped
+    obs::SoloCounter releases;     // REL frames sent for held credit
   };
 
   explicit NameService(std::uint32_t home_node = 0) : home_node_(home_node) {}
@@ -57,9 +59,12 @@ class NameService {
   /// Handle a kNsExport payload (Reader positioned after the header).
   /// `trace_id` is the causal id carried by the request packet; replies
   /// triggered by this export reuse the *waiter's* lookup id (and its
-  /// sampling decision).
+  /// sampling decision). `gc` is the packet header's credit flag; with
+  /// `keep_credit` false (a broadcast copy at a non-origin replica) the
+  /// carried credit is ignored — the origin replica holds those units.
   void handle_export(Reader& r, std::vector<net::Packet>& replies,
-                     std::uint64_t trace_id = 0, bool sampled = true);
+                     std::uint64_t trace_id = 0, bool sampled = true,
+                     bool gc = false, bool keep_credit = true);
   /// Handle a kNsLookup payload; replies immediately if the identifier is
   /// known, parks the request otherwise. An immediate or deferred reply
   /// carries `trace_id` (with its `sampled` bit), closing the lookup's
@@ -67,15 +72,24 @@ class NameService {
   void handle_lookup(Reader& r, std::vector<net::Packet>& replies,
                      std::uint64_t trace_id = 0, bool sampled = true);
 
-  /// Direct registration (used by tests and the TyCOsh bootstrap).
+  /// Handle a kNsUnregister payload: drop the binding and REL any credit
+  /// the service still holds for it back to the owner.
+  void handle_unregister(Reader& r, std::vector<net::Packet>& replies);
+
+  /// Direct registration (used by tests and the TyCOsh bootstrap). With
+  /// credit > 0 the service becomes a credit holder for the entry;
+  /// overwriting a credit-bearing binding releases its balance.
   void register_id(const std::string& site, const std::string& name,
                    const vm::NetRef& ref, const std::string& type_sig,
-                   std::vector<net::Packet>& replies);
+                   std::vector<net::Packet>& replies,
+                   std::uint64_t credit = 0);
 
   std::optional<vm::NetRef> lookup_id(const std::string& site,
                                       const std::string& name) const;
 
   std::size_t parked() const;
+  /// IdTable size (leak checks: zero after the final GC epoch).
+  std::size_t id_count() const { return ids_.size(); }
   const Stats& stats() const { return stats_; }
 
   /// Publish this service's counters into `registry` under `ns_*` names,
@@ -87,7 +101,9 @@ class NameService {
       std::uint32_t dst_site_unused, const std::string& site,
       const std::string& name, const vm::NetRef& ref,
       const std::string& type_sig, std::uint64_t trace_id = 0,
-      bool sampled = true);
+      bool sampled = true, std::uint64_t credit = 0);
+  static std::vector<std::uint8_t> make_unregister(const std::string& site,
+                                                   const std::string& name);
   static std::vector<std::uint8_t> make_lookup(
       const std::string& site, const std::string& name, vm::NetRef::Kind kind,
       std::uint32_t req_node, std::uint32_t req_site, std::uint64_t token,
@@ -97,6 +113,8 @@ class NameService {
   struct Entry {
     vm::NetRef ref;
     std::string type_sig;
+    std::uint64_t credit = 0;  // GC credit the service holds for the ref
+    bool gc = false;           // binding participates in distributed GC
   };
   struct Waiter {
     std::uint32_t node = 0;
@@ -108,13 +126,18 @@ class NameService {
   };
   using Key = std::pair<std::string, std::string>;
 
-  void reply_to(const Waiter& w, const Entry& e, bool ok,
+  void reply_to(const Waiter& w, Entry& e, bool ok,
                 std::vector<net::Packet>& replies);
+  /// REL the entry's remaining held credit back to its owner.
+  void release_entry(const Entry& e, std::vector<net::Packet>& out);
 
   std::uint32_t home_node_;
   std::map<std::string, SiteInfo> sites_;
   std::map<Key, Entry> ids_;
   std::map<Key, std::vector<Waiter>> waiting_;
+  // Cumulative released credit per reference (the service's REL ledger;
+  // never pruned — cumulative totals must only grow).
+  std::map<vm::NetRef, std::uint64_t> released_cum_;
   Stats stats_;
   // parked() walks waiting_, which races with the daemon; this mirror
   // gauge is what a live scrape reads instead.

@@ -169,7 +169,9 @@ std::string Network::trace_json() const {
 Site& Network::add_site(std::size_t node_idx, const std::string& name) {
   if (find_site(name))
     throw std::logic_error("duplicate site name " + name);
-  return nodes_.at(node_idx)->add_site(name);
+  Site& s = nodes_.at(node_idx)->add_site(name);
+  if (cfg_.gc) s.set_gc_enabled(true);
+  return s;
 }
 
 Site* Network::find_site(const std::string& name) {
@@ -287,9 +289,14 @@ Network::Result Network::run() {
 // Sequential driver
 // ---------------------------------------------------------------------
 
-Network::Result Network::run_sequential() {
-  net::Transport& t = transport();
-  Result res;
+std::size_t Network::gc_pass(bool final, bool resend) {
+  std::size_t queued = 0;
+  for (auto& n : nodes_)
+    for (auto& s : n->sites()) queued += s->collect(final, resend);
+  return queued;
+}
+
+void Network::sequential_drain(net::Transport& t, Result& res) {
   for (;;) {
     std::size_t moved = 0;
     std::uint64_t executed = 0;
@@ -309,10 +316,21 @@ Network::Result Network::run_sequential() {
       live_->progress.fetch_add(moved, std::memory_order_relaxed);
     if (instructions_run_ > cfg_.max_instructions) {
       res.budget_exhausted = true;
-      break;
+      return;
     }
-    if (moved == 0 && executed == 0 && t.in_flight() == 0) break;
+    if (moved == 0 && executed == 0 && t.in_flight() == 0) {
+      // Quiescent. Run a GC pass; if it queued RELs, keep pumping so the
+      // owners apply them (and possibly cascade further collections).
+      if (cfg_.gc && gc_pass(/*final=*/false) > 0) continue;
+      return;
+    }
   }
+}
+
+Network::Result Network::run_sequential() {
+  net::Transport& t = transport();
+  Result res;
+  sequential_drain(t, res);
   return finish(res);
 }
 
@@ -422,7 +440,61 @@ Network::Result Network::run_threaded() {
   for (auto& th : threads) th.join();
   res.instructions = executed.load() - executed0;
   instructions_run_ += res.instructions;
+  // Executors are joined: the network is single-threaded again, so GC
+  // passes run through the sequential pump (any work the RELs uncover is
+  // executed inline).
+  if (cfg_.gc && !res.budget_exhausted) {
+    Result gc_res;
+    sequential_drain(t, gc_res);
+    res.instructions += gc_res.instructions;
+    res.budget_exhausted |= gc_res.budget_exhausted;
+  }
   return finish(res);
+}
+
+// ---------------------------------------------------------------------
+// Final GC epoch
+// ---------------------------------------------------------------------
+
+Network::GcReport Network::collect_garbage(int max_rounds) {
+  GcReport rep;
+  if (!cfg_.gc) return rep;
+  net::Transport& t = transport();
+  // In sim mode the transport holds timed queues: drive them with a
+  // virtual clock far past the run's makespan, advanced whenever packets
+  // are still in flight, so every REL's arrival time is reached.
+  double now = cfg_.mode == Mode::kSim ? 1e15 : 0.0;
+  bool final = true;
+  for (int round = 0; round < max_rounds; ++round) {
+    ++rep.rounds;
+    const std::size_t queued = gc_pass(final);
+    final = false;
+    for (;;) {
+      std::size_t moved = 0;
+      for (auto& n : nodes_) moved += n->pump_outgoing(t, now);
+      for (auto& n : nodes_) moved += n->pump_incoming(t, now);
+      for (auto& n : nodes_)
+        for (auto& s : n->sites()) moved += s->process_incoming();
+      if (moved == 0) {
+        if (t.in_flight() == 0) break;
+        now += 1e9;  // sim: jump past any link latency
+        continue;
+      }
+      now += 1e6;
+    }
+    if (queued == 0) break;  // a pass with nothing to say: converged
+  }
+  for (const auto& n : nodes_)
+    for (const auto& s : n->sites()) {
+      rep.exports_live += s->machine().live_exports();
+      rep.netrefs_live += s->machine().live_netrefs();
+    }
+  if (ns_distributed_) {
+    for (const auto& n : nodes_) rep.ns_ids += n->name_service().id_count();
+  } else {
+    rep.ns_ids = ns_->id_count();
+  }
+  return rep;
 }
 
 // ---------------------------------------------------------------------

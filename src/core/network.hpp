@@ -60,6 +60,13 @@ class Network {
     /// inferred export signatures and import requirements to the site so
     /// remote interactions are checked dynamically (paper, section 7).
     bool typecheck = false;
+    /// Distributed GC for network references (credit-based reference
+    /// counting; DESIGN.md §GC). Sites stamp kGcFlag on their frames and
+    /// reclaim export-table entries once every minted unit of credit has
+    /// returned. The sequential and threaded drivers run collection
+    /// passes at quiescence; sim mode defers GC entirely to
+    /// collect_garbage() so virtual-time results are unaffected.
+    bool gc = true;
   };
 
   struct Result {
@@ -93,6 +100,21 @@ class Network {
 
   /// Drive the network to quiescence (per the configured mode).
   Result run();
+
+  /// Totals after the final GC epoch (see collect_garbage).
+  struct GcReport {
+    std::uint64_t rounds = 0;        // collection rounds executed
+    std::size_t exports_live = 0;    // Σ export-table entries, all sites
+    std::size_t netrefs_live = 0;    // Σ live netref slots, all sites
+    std::size_t ns_ids = 0;          // IdTable bindings still registered
+  };
+  /// Final GC epoch, to be called after run(): unregisters every
+  /// name-service binding, then alternates collection passes with packet
+  /// drains until no site queues further RELs (or `max_rounds` is hit).
+  /// After this, a leak-free program leaves every export table and the
+  /// IdTable empty. Works in every mode (sim uses a far-future virtual
+  /// clock so in-flight RELs arrive). No-op report unless cfg.gc.
+  GcReport collect_garbage(int max_rounds = 8);
 
   const std::vector<std::string>& output(const std::string& site_name);
   NameService& name_service() { return *ns_; }
@@ -154,6 +176,12 @@ class Network {
   Result run_sim();
   bool anything_parked() const;
   Result finish(Result r) const;
+  /// One distributed-GC collection pass over every site; returns the
+  /// number of packets (RELs, unregisters) the pass queued.
+  std::size_t gc_pass(bool final, bool resend = false);
+  /// The sequential pump loop: round-robin sites until quiescent (with
+  /// cfg.gc, quiescence triggers collection passes until no RELs flow).
+  void sequential_drain(net::Transport& t, Result& res);
 
   /// Live run state shared between the drivers and TyCOmon's handlers.
   /// Heap-allocated (atomics are immovable, Network is movable); the

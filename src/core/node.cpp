@@ -16,7 +16,8 @@ bool packet_is_ns(const net::Packet& p) {
   // packet_type masks the trace-flag bit, so v2 (traced) frames route the
   // same as v1.
   const MsgType t = packet_type(p.bytes);
-  return t == MsgType::kNsExport || t == MsgType::kNsLookup;
+  return t == MsgType::kNsExport || t == MsgType::kNsLookup ||
+         t == MsgType::kNsUnregister;
 }
 
 void Node::enable_local_ns(std::uint32_t n_nodes) {
@@ -62,11 +63,13 @@ void Node::route(net::Packet p, net::Transport& t, double now_us) {
     Reader r(p.bytes);
     const PacketHeader h = read_header(r);
     std::vector<net::Packet> replies;
-    if (h.type == MsgType::kNsExport) {
+    if (h.type == MsgType::kNsExport || h.type == MsgType::kNsUnregister) {
       if (h.sampled)
         ring_.record(obs::EventType::kNsExport, h.trace_id, p.bytes.size());
-      // Replicated mode: exports originating here propagate to every
-      // other replica (which releases their parked lookups).
+      // Replicated mode: exports (and unregisters) originating here
+      // propagate to every other replica (which releases their parked
+      // lookups / drops their copies of the binding).
+      const bool origin = broadcast_nodes_ == 0 || p.src_node == id_;
       if (broadcast_nodes_ > 0 && p.src_node == id_) {
         for (std::uint32_t n = 0; n < broadcast_nodes_; ++n) {
           if (n == id_) continue;
@@ -77,7 +80,12 @@ void Node::route(net::Packet p, net::Transport& t, double now_us) {
           t.send(std::move(copy), now_us);
         }
       }
-      ns_->handle_export(r, replies, h.trace_id, h.sampled);
+      if (h.type == MsgType::kNsExport)
+        // Only the origin replica keeps the GC credit the export carries:
+        // one holder per minted unit.
+        ns_->handle_export(r, replies, h.trace_id, h.sampled, h.gc, origin);
+      else
+        ns_->handle_unregister(r, replies);
     } else {
       if (h.sampled)
         ring_.record(obs::EventType::kNsLookup, h.trace_id, p.bytes.size());

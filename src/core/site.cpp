@@ -86,9 +86,38 @@ void Site::register_metrics(obs::Registry& registry) {
     c.counter("site_trace_dropped" + l, ring_.dropped());
     c.counter("site_trace_sampled" + l, ring_.sampled());
     c.counter("site_trace_unsampled" + l, ring_.unsampled());
+    c.counter("site_gc_reclaimed_total" + l,
+              machine_.gc_stats().exports_reclaimed);
+    c.counter("site_gc_collections" + l, machine_.gc_stats().collections);
+    c.counter("site_gc_channels_freed" + l,
+              machine_.gc_stats().channels_freed);
+    c.counter("site_gc_netrefs_freed" + l, machine_.gc_stats().netrefs_freed);
+    c.counter("site_gc_credit_mints" + l, machine_.gc_stats().credit_mints);
+    c.counter("site_gc_credit_starved" + l,
+              machine_.gc_stats().credit_starved);
+    c.counter("site_gc_rel_stale" + l, machine_.gc_stats().rel_stale);
+    c.counter("site_gc_rel_sent" + l, mobility_.gc_rel_sent);
+    c.counter("site_gc_rel_received" + l, mobility_.gc_rel_received);
     c.histogram("site_packet_bytes" + l, packet_bytes_.snapshot());
     c.histogram("site_fetch_rtt_us" + l, fetch_rtt_us_.snapshot());
   });
+  // Export-table and heap occupancy read plain containers on the
+  // executor thread: live scrapes skip them (live_safe=false).
+  gauges_reg_ = registry.add_collector(
+      [this](obs::Collector& c) {
+        const std::string l = "{site=\"" + name_ + "\"}";
+        c.gauge("site_exports_live" + l,
+                static_cast<std::int64_t>(machine_.live_exports()));
+        c.gauge("site_gc_credit_outstanding" + l,
+                static_cast<std::int64_t>(machine_.exports_outstanding()));
+        c.gauge("site_gc_credit_held" + l,
+                static_cast<std::int64_t>(machine_.netref_credit_total()));
+        c.gauge("site_live_channels" + l,
+                static_cast<std::int64_t>(machine_.live_channels()));
+        c.gauge("site_live_netrefs" + l,
+                static_cast<std::int64_t>(machine_.live_netrefs()));
+      },
+      /*live_safe=*/false);
 }
 
 std::vector<std::string> Site::errors() const {
@@ -181,10 +210,11 @@ void Site::ship_message(const vm::NetRef& target, const std::string& label,
   }
   const obs::TraceTag tid = fresh_trace_id();
   Writer w;
-  write_header(w, MsgType::kShipMsg, target.site, tid.id, tid.sampled);
+  write_header(w, MsgType::kShipMsg, target.site, tid.id, tid.sampled,
+               gc_enabled_);
   w.u64(target.heap_id);
   w.str(label);
-  marshal_values(machine_, args, w);
+  marshal_values(machine_, args, w, gc_enabled_);
   auto bytes = w.take();
   packet_bytes_.observe(static_cast<double>(bytes.size()));
   if (tid.sampled)
@@ -202,12 +232,13 @@ void Site::ship_object(const vm::NetRef& target, std::uint32_t seg_slot,
   }
   const obs::TraceTag tid = fresh_trace_id();
   Writer w;
-  write_header(w, MsgType::kShipObj, target.site, tid.id, tid.sampled);
+  write_header(w, MsgType::kShipObj, target.site, tid.id, tid.sampled,
+               gc_enabled_);
   w.u64(target.heap_id);
   std::vector<vm::Segment> closure;
   machine_.collect_closure(seg_slot, closure);
   write_closure(w, closure);
-  marshal_values(machine_, env, w);
+  marshal_values(machine_, env, w, gc_enabled_);
   auto bytes = w.take();
   packet_bytes_.observe(static_cast<double>(bytes.size()));
   if (tid.sampled)
@@ -257,10 +288,20 @@ void Site::export_id(const std::string& name, const vm::NetRef& ref) {
   std::string sig;
   if (auto it = export_sigs_.find(name); it != export_sigs_.end())
     sig = it->second;
+  std::uint64_t credit = 0;
+  if (gc_enabled_) {
+    // The name service becomes a credit holder for this entry: it hands
+    // shares of the minted balance to importers and RELs the remainder
+    // when the binding is dropped. The name pin keeps the entry alive
+    // even if every unit of credit drains first.
+    credit = machine_.mint_export_credit(ref);
+    machine_.pin_name(ref);
+    exported_names_.emplace_back(name, ref);
+  }
   const obs::TraceTag tid = fresh_trace_id();
   if (tid.sampled) ring_.record(obs::EventType::kNsExport, tid.id);
   send_packet(ns_node_, NameService::make_export(0, name_, name, ref, sig,
-                                                 tid.id, tid.sampled));
+                                                 tid.id, tid.sampled, credit));
 }
 
 void Site::import_id(const std::string& site, const std::string& name,
@@ -271,6 +312,60 @@ void Site::import_id(const std::string& site, const std::string& name,
   send_packet(ns_node_,
               NameService::make_lookup(site, name, kind, node_id_, site_id_,
                                        token, tid.id, tid.sampled));
+}
+
+// ---------------------------------------------------------------------
+// Distributed GC (executor thread)
+// ---------------------------------------------------------------------
+
+std::size_t Site::collect(bool final, bool resend) {
+  if (!gc_enabled_ || failed()) return 0;
+  std::size_t queued = 0;
+  if (final) {
+    // Shutdown epoch: the dynamic-link cache no longer pins fetched
+    // classes, and every name-service binding this site made is dropped
+    // (the unregister REL-releases the credit the service still holds).
+    class_cache_.clear();
+    for (const auto& [name, ref] : exported_names_) {
+      send_packet(ns_node_, NameService::make_unregister(name_, name));
+      ++queued;
+      machine_.unpin_name(ref);
+    }
+    exported_names_.clear();
+  }
+  if (machine_.gc_dirty() || final || resend) {
+    // The fetch machinery holds values outside the VM: cached class
+    // values are roots, and the netrefs keying them (plus in-flight
+    // fetch requests) must keep their credit balances.
+    std::vector<vm::Value> roots;
+    std::vector<vm::NetRef> pinned;
+    for (const auto& [ref, cls] : class_cache_) {
+      roots.push_back(cls);
+      pinned.push_back(ref);
+    }
+    for (const auto& [ref, waiting] : pending_fetch_) {
+      pinned.push_back(ref);
+      for (const auto& args : waiting)
+        for (const auto& v : args) roots.push_back(v);
+    }
+    for (const auto& [req, inflight] : fetch_by_req_)
+      pinned.push_back(inflight.cls);
+    machine_.gc(roots, pinned);
+  }
+  const auto rels =
+      resend ? machine_.all_releases() : machine_.take_pending_releases();
+  for (const auto& [ref, cum] : rels) {
+    if (ref.owned_by(node_id_, site_id_)) {
+      // A reference to our own heap that was interned here (loopback):
+      // apply without a wire round trip.
+      machine_.apply_release(ref.kind, ref.heap_id, node_id_, site_id_, cum);
+      continue;
+    }
+    send_packet(ref.node, make_release(ref, node_id_, site_id_, cum));
+    ++mobility_.gc_rel_sent;
+    ++queued;
+  }
+  return queued;
 }
 
 // ---------------------------------------------------------------------
@@ -285,7 +380,7 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
     case MsgType::kShipMsg: {
       const std::uint64_t heap_id = r.u64();
       const std::string label = r.str();
-      auto args = unmarshal_values(machine_, r);
+      auto args = unmarshal_values(machine_, r, h.gc);
       if (h.sampled)
         ring_.record(obs::EventType::kShipMsgIn, h.trace_id, bytes.size());
       machine_.deliver_message(heap_id, label, std::move(args));
@@ -297,7 +392,7 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
       vm::SegmentGuid root{};
       auto pool = read_closure(r, root);
       const std::uint32_t slot = machine_.link(root, pool);
-      auto env = unmarshal_values(machine_, r);
+      auto env = unmarshal_values(machine_, r, h.gc);
       if (h.sampled)
         ring_.record(obs::EventType::kShipObjIn, h.trace_id, bytes.size());
       machine_.deliver_object(heap_id, slot, std::move(env));
@@ -315,13 +410,14 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
       Writer w;
       // The reply reuses the request's trace id (and sampling decision),
       // so a FETCH shows as one causal chain: req -> served -> reply.
-      write_header(w, MsgType::kFetchRep, req_site, h.trace_id, h.sampled);
+      write_header(w, MsgType::kFetchRep, req_site, h.trace_id, h.sampled,
+                   gc_enabled_);
       w.u64(req_id);
       std::vector<vm::Segment> closure;
       machine_.collect_closure(blk.seg, closure);
       write_closure(w, closure);
       w.u32(entry.cls);
-      marshal_values(machine_, blk.env, w);
+      marshal_values(machine_, blk.env, w, gc_enabled_);
       auto reply = w.take();
       packet_bytes_.observe(static_cast<double>(reply.size()));
       if (h.sampled)
@@ -335,7 +431,7 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
       vm::SegmentGuid root{};
       auto pool = read_closure(r, root);
       const std::uint32_t cls_idx = r.u32();
-      auto env = unmarshal_values(machine_, r);
+      auto env = unmarshal_values(machine_, r, h.gc);
       auto rit = fetch_by_req_.find(req_id);
       if (rit == fetch_by_req_.end())
         throw DecodeError("fetch reply for unknown request");
@@ -363,6 +459,10 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
       const bool ok = r.boolean();
       const vm::NetRef ref = read_netref(r);
       const std::string sig = r.str();
+      // GC replies append the credit share the name service carved off
+      // its held balance for this importer (flag only set on ok replies
+      // from a credit-bearing binding).
+      const std::uint64_t credit = h.gc ? r.u64() : 0;
       if (h.sampled)
         ring_.record(obs::EventType::kNsReply, h.trace_id, token);
       if (!ok) {
@@ -387,18 +487,33 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
         import_token_keys_.erase(kit);
       }
       vm::Value v;
-      if (ref.node == node_id_ && ref.site == site_id_) {
+      if (ref.owned_by(node_id_, site_id_)) {
         v = ref.kind == vm::NetRef::Kind::kChan
                 ? machine_.resolve_exported_chan(ref.heap_id)
                 : machine_.resolve_exported_class(ref.heap_id);
+        if (credit != 0)
+          machine_.return_export_credit(ref.kind, ref.heap_id, credit);
       } else {
-        v = vm::Value::make_netref(machine_.intern_netref(ref));
+        v = vm::Value::make_netref(machine_.intern_netref_credit(ref, credit));
       }
       machine_.resume_import(token, v);
       return;
     }
+    case MsgType::kRelease: {
+      // REL: a releaser's new cumulative released-credit total for one of
+      // this site's export-table entries. Idempotent (max-merge), so
+      // duplicated or reordered deliveries are safely ignored.
+      const vm::NetRef ref = read_netref(r);
+      const std::uint32_t rel_node = r.u32();
+      const std::uint32_t rel_site = r.u32();
+      const std::uint64_t cum = r.u64();
+      ++mobility_.gc_rel_received;
+      machine_.apply_release(ref.kind, ref.heap_id, rel_node, rel_site, cum);
+      return;
+    }
     case MsgType::kNsExport:
     case MsgType::kNsLookup:
+    case MsgType::kNsUnregister:
       throw DecodeError("name-service packet routed to a site");
   }
   throw DecodeError("unknown packet type");

@@ -41,6 +41,8 @@ class Site {
     obs::Counter loopback;          // remote ops resolved locally
     obs::Counter dropped;           // deliveries to this site after it
                                     // failed (fault injection)
+    obs::Counter gc_rel_sent;       // REL frames sent to owners
+    obs::Counter gc_rel_received;   // REL frames applied as owner
   };
 
   Site(std::string name, std::uint32_t node_id, std::uint32_t site_id,
@@ -81,6 +83,22 @@ class Site {
   std::uint64_t run_slice(std::uint64_t max_instructions) {
     return failed() ? 0 : machine_.run(max_instructions);
   }
+
+  /// Distributed-GC collection pass (executor thread, between run
+  /// slices): local mark-and-sweep with the site's fetch structures as
+  /// extra roots, then queue one REL per foreign reference whose
+  /// cumulative released credit changed. With `final`, also drops the
+  /// dynamic-link cache and unregisters this site's name-service
+  /// bindings (shutdown epoch). With `resend`, retransmits *every*
+  /// non-zero cumulative release (heals lost RELs; idempotent at the
+  /// owner). Returns the number of packets queued. No-op unless
+  /// set_gc_enabled(true).
+  std::size_t collect(bool final, bool resend = false);
+
+  /// Opt this site into the credit-based distributed GC (wire frames it
+  /// sends will carry the kGcFlag credit fields).
+  void set_gc_enabled(bool on) { gc_enabled_ = on; }
+  bool gc_enabled() const { return gc_enabled_; }
 
   // -- daemon-thread operations (thread-safe) --
 
@@ -154,6 +172,10 @@ class Site {
 
   std::string name_;
   std::uint32_t node_id_, site_id_, ns_node_;
+  bool gc_enabled_ = false;
+  // Name-service bindings this site created, kept for the final
+  // unregister epoch (duplicates allowed: re-export pins again).
+  std::vector<std::pair<std::string, vm::NetRef>> exported_names_;
   // atomic so TyCOmon's /healthz can read it off-thread.
   std::atomic<bool> failed_{false};
   std::unique_ptr<Backend> backend_;
@@ -189,6 +211,7 @@ class Site {
   obs::Histogram packet_bytes_{obs::Histogram::exponential_bounds(16, 4, 8)};
   obs::Histogram fetch_rtt_us_{obs::Histogram::default_bounds()};
   obs::Registry::Registration metrics_reg_;
+  obs::Registry::Registration gauges_reg_;
 };
 
 }  // namespace dityco::core

@@ -18,18 +18,20 @@ enum class WireTag : std::uint8_t {
 
 namespace {
 
-constexpr std::uint8_t kHeaderFlags = kTraceFlag | kSampledFlag;
+constexpr std::uint8_t kHeaderFlags = kTraceFlag | kSampledFlag | kGcFlag;
 
 }  // namespace
 
 void write_header(Writer& w, MsgType t, std::uint32_t dst_site,
-                  std::uint64_t trace_id, bool sampled) {
+                  std::uint64_t trace_id, bool sampled, bool gc) {
+  std::uint8_t b = static_cast<std::uint8_t>(t);
+  if (gc) b |= kGcFlag;
   if (trace_id == 0) {
-    w.u8(static_cast<std::uint8_t>(t));
+    w.u8(b);
     w.u32(dst_site);
     return;
   }
-  std::uint8_t b = static_cast<std::uint8_t>(t) | kTraceFlag;
+  b |= kTraceFlag;
   if (sampled) b |= kSampledFlag;
   w.u8(b);
   w.u32(dst_site);
@@ -40,7 +42,7 @@ PacketHeader read_header(Reader& r) {
   const std::uint8_t b = r.u8();
   const std::uint8_t type = b & static_cast<std::uint8_t>(~kHeaderFlags);
   if (type < static_cast<std::uint8_t>(MsgType::kShipMsg) ||
-      type > static_cast<std::uint8_t>(MsgType::kNsReply))
+      type > static_cast<std::uint8_t>(MsgType::kNsUnregister))
     throw DecodeError("unknown packet type");
   PacketHeader h;
   h.type = static_cast<MsgType>(type);
@@ -49,6 +51,7 @@ PacketHeader read_header(Reader& r) {
     h.trace_id = r.u64();
     h.sampled = (b & kSampledFlag) != 0;
   }
+  h.gc = (b & kGcFlag) != 0;
   return h;
 }
 
@@ -91,7 +94,7 @@ vm::NetRef read_netref(Reader& r) {
   return out;
 }
 
-void marshal_value(vm::Machine& m, const vm::Value& v, Writer& w) {
+void marshal_value(vm::Machine& m, const vm::Value& v, Writer& w, bool gc) {
   using Tag = vm::Value::Tag;
   switch (v.tag) {
     case Tag::kInt:
@@ -113,32 +116,48 @@ void marshal_value(vm::Machine& m, const vm::Value& v, Writer& w) {
     case Tag::kChan: {
       // Step 1: a local name leaving the site becomes a network reference.
       w.u8(static_cast<std::uint8_t>(WireTag::kNetRef));
-      write_netref(w, vm::NetRef{vm::NetRef::Kind::kChan, m.node_id(),
-                                 m.site_id(), m.export_chan(v.idx)});
+      if (gc) {
+        const auto [id, credit] = m.export_chan_credit(v.idx);
+        write_netref(w, vm::NetRef{vm::NetRef::Kind::kChan, m.node_id(),
+                                   m.site_id(), id});
+        w.u64(credit);
+      } else {
+        write_netref(w, vm::NetRef{vm::NetRef::Kind::kChan, m.node_id(),
+                                   m.site_id(), m.export_chan(v.idx)});
+      }
       return;
     }
     case Tag::kClass: {
       w.u8(static_cast<std::uint8_t>(WireTag::kNetRef));
-      write_netref(w, vm::NetRef{vm::NetRef::Kind::kClass, m.node_id(),
-                                 m.site_id(), m.export_class_value(v)});
+      if (gc) {
+        const auto [id, credit] = m.export_class_credit(v);
+        write_netref(w, vm::NetRef{vm::NetRef::Kind::kClass, m.node_id(),
+                                   m.site_id(), id});
+        w.u64(credit);
+      } else {
+        write_netref(w, vm::NetRef{vm::NetRef::Kind::kClass, m.node_id(),
+                                   m.site_id(), m.export_class_value(v)});
+      }
       return;
     }
     case Tag::kNetRef:
-      // Already a network reference: passes through untouched.
+      // Already a network reference: passes through untouched (with gc,
+      // half of the local credit balance travels with it).
       w.u8(static_cast<std::uint8_t>(WireTag::kNetRef));
       write_netref(w, m.netref(v.idx));
+      if (gc) w.u64(m.split_netref_credit(v.idx));
       return;
   }
   throw DecodeError("unmarshallable value tag");
 }
 
 void marshal_values(vm::Machine& m, const std::vector<vm::Value>& vs,
-                    Writer& w) {
+                    Writer& w, bool gc) {
   w.u32(static_cast<std::uint32_t>(vs.size()));
-  for (const auto& v : vs) marshal_value(m, v, w);
+  for (const auto& v : vs) marshal_value(m, v, w, gc);
 }
 
-vm::Value unmarshal_value(vm::Machine& m, Reader& r) {
+vm::Value unmarshal_value(vm::Machine& m, Reader& r, bool gc) {
   switch (static_cast<WireTag>(r.u8())) {
     case WireTag::kInt:
       return vm::Value::make_int(r.i64());
@@ -150,24 +169,43 @@ vm::Value unmarshal_value(vm::Machine& m, Reader& r) {
       return vm::Value::make_str(m.intern_string(r.str()));
     case WireTag::kNetRef: {
       const vm::NetRef ref = read_netref(r);
-      // Step 2: references into this site's heap become local again.
-      if (ref.node == m.node_id() && ref.site == m.site_id()) {
-        return ref.kind == vm::NetRef::Kind::kChan
-                   ? m.resolve_exported_chan(ref.heap_id)
-                   : m.resolve_exported_class(ref.heap_id);
+      const std::uint64_t credit = gc ? r.u64() : 0;
+      // Step 2: references into this site's heap become local again (the
+      // credit they carried comes home to the export entry).
+      if (ref.owned_by(m.node_id(), m.site_id())) {
+        const vm::Value v = ref.kind == vm::NetRef::Kind::kChan
+                                ? m.resolve_exported_chan(ref.heap_id)
+                                : m.resolve_exported_class(ref.heap_id);
+        if (credit != 0) m.return_export_credit(ref.kind, ref.heap_id, credit);
+        return v;
       }
-      return vm::Value::make_netref(m.intern_netref(ref));
+      return vm::Value::make_netref(m.intern_netref_credit(ref, credit));
     }
   }
   throw DecodeError("bad wire tag");
 }
 
-std::vector<vm::Value> unmarshal_values(vm::Machine& m, Reader& r) {
+std::vector<vm::Value> unmarshal_values(vm::Machine& m, Reader& r, bool gc) {
   const std::uint32_t n = r.u32();
   std::vector<vm::Value> out;
   out.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) out.push_back(unmarshal_value(m, r));
+  for (std::uint32_t i = 0; i < n; ++i)
+    out.push_back(unmarshal_value(m, r, gc));
   return out;
+}
+
+std::vector<std::uint8_t> make_release(const vm::NetRef& ref,
+                                       std::uint32_t rel_node,
+                                       std::uint32_t rel_site,
+                                       std::uint64_t cum) {
+  Writer w;
+  write_header(w, MsgType::kRelease, ref.site, /*trace_id=*/0,
+               /*sampled=*/true, /*gc=*/true);
+  write_netref(w, ref);
+  w.u32(rel_node);
+  w.u32(rel_site);
+  w.u64(cum);
+  return w.take();
 }
 
 void write_closure(Writer& w, const std::vector<vm::Segment>& segs) {

@@ -21,13 +21,15 @@ namespace dityco::core {
 
 /// Packet types exchanged between daemons.
 enum class MsgType : std::uint8_t {
-  kShipMsg = 1,    // SHIPM: remote method invocation
-  kShipObj = 2,    // SHIPO: object migration (carries a code closure)
-  kFetchReq = 3,   // FETCH: request for class code
-  kFetchRep = 4,   // FETCH reply: code closure + captured environment
-  kNsExport = 5,   // register an exported identifier with the name service
-  kNsLookup = 6,   // import: look up an exported identifier
-  kNsReply = 7,    // name-service answer (sent once the name exists)
+  kShipMsg = 1,       // SHIPM: remote method invocation
+  kShipObj = 2,       // SHIPO: object migration (carries a code closure)
+  kFetchReq = 3,      // FETCH: request for class code
+  kFetchRep = 4,      // FETCH reply: code closure + captured environment
+  kNsExport = 5,      // register an exported identifier with the name service
+  kNsLookup = 6,      // import: look up an exported identifier
+  kNsReply = 7,       // name-service answer (sent once the name exists)
+  kRelease = 8,       // REL: cumulative credit release back to the owner
+  kNsUnregister = 9,  // drop an IdTable binding (final GC epoch)
 };
 
 // -- packet header (wire format v2) -----------------------------------
@@ -47,22 +49,34 @@ enum class MsgType : std::uint8_t {
 // records it; without the flag the id still rides along (reply routing
 // and causality need it) but hops skip recording. v1 frames and frames
 // predating the flag decode as sampled — the pre-sampling behaviour.
+//
+// Distributed GC adds a third type-byte flag, kGcFlag: a frame with the
+// flag set carries a u64 credit field after every netref in its payload
+// (and, for NS export/reply frames, a trailing credit balance). The
+// flag adds no header bytes, so dst_site and the trace id stay at their
+// fixed offsets; frames without the flag — v1 frames and frames from
+// non-GC peers — decode exactly as before, with zero (weak) credit.
 
 /// Type-byte flag marking a v2 frame that carries a trace id.
 constexpr std::uint8_t kTraceFlag = 0x80;
 /// Type-byte flag (v2 only): this operation's trace id was sampled in.
 constexpr std::uint8_t kSampledFlag = 0x40;
+/// Type-byte flag: payload netrefs carry distributed-GC credit fields.
+constexpr std::uint8_t kGcFlag = 0x20;
 
 struct PacketHeader {
   MsgType type = MsgType::kShipMsg;
   std::uint32_t dst_site = 0;
   std::uint64_t trace_id = 0;  // 0 = untraced (v1 frame)
   bool sampled = true;         // hops should record this operation
+  bool gc = false;             // payload netrefs carry credit fields
 };
 
-/// Write a frame header; emits the v1 layout when trace_id == 0.
+/// Write a frame header; emits the v1 layout when trace_id == 0 (the gc
+/// flag is orthogonal to the trace id and valid on both layouts).
 void write_header(Writer& w, MsgType t, std::uint32_t dst_site,
-                  std::uint64_t trace_id = 0, bool sampled = true);
+                  std::uint64_t trace_id = 0, bool sampled = true,
+                  bool gc = false);
 /// Read either header version; throws DecodeError on an unknown type.
 PacketHeader read_header(Reader& r);
 
@@ -73,14 +87,32 @@ std::uint64_t packet_trace_id(const std::vector<std::uint8_t>& bytes);
 /// Peek whether a framed packet's operation was sampled (true for v1).
 bool packet_sampled(const std::vector<std::uint8_t>& bytes);
 
-/// Marshal one value leaving `m` (sender side, step 1).
-void marshal_value(vm::Machine& m, const vm::Value& v, Writer& w);
+/// Marshal one value leaving `m` (sender side, step 1). With `gc`, every
+/// netref written is followed by a u64 credit field: marshalling an
+/// owned reference mints kMintCredit against its export-table entry,
+/// forwarding a foreign reference ships half the local balance.
+void marshal_value(vm::Machine& m, const vm::Value& v, Writer& w,
+                   bool gc = false);
 void marshal_values(vm::Machine& m, const std::vector<vm::Value>& vs,
-                    Writer& w);
+                    Writer& w, bool gc = false);
 
-/// Unmarshal one value arriving at `m` (receiver side, step 2).
-vm::Value unmarshal_value(vm::Machine& m, Reader& r);
-std::vector<vm::Value> unmarshal_values(vm::Machine& m, Reader& r);
+/// Unmarshal one value arriving at `m` (receiver side, step 2). With
+/// `gc` (from the frame header), credit fields are consumed: credit on a
+/// reference owned by `m` returns to its export entry, credit on a
+/// foreign reference adds to the local balance.
+vm::Value unmarshal_value(vm::Machine& m, Reader& r, bool gc = false);
+std::vector<vm::Value> unmarshal_values(vm::Machine& m, Reader& r,
+                                        bool gc = false);
+
+/// Build a REL frame: releaser (rel_node, rel_site) tells `ref`'s owner
+/// that its *cumulative* released credit for this reference is `cum`.
+/// Cumulative totals make REL idempotent: duplicates and reordered
+/// deliveries max-merge at the owner, dropped ones are healed by
+/// retransmission.
+std::vector<std::uint8_t> make_release(const vm::NetRef& ref,
+                                       std::uint32_t rel_node,
+                                       std::uint32_t rel_site,
+                                       std::uint64_t cum);
 
 void write_netref(Writer& w, const vm::NetRef& r);
 vm::NetRef read_netref(Reader& r);

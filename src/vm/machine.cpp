@@ -117,7 +117,15 @@ void Machine::collect_closure(std::uint32_t slot,
 // ---------------------------------------------------------------------
 
 std::uint32_t Machine::new_channel() {
+  if (!free_chans_.empty()) {
+    const std::uint32_t idx = free_chans_.back();
+    free_chans_.pop_back();
+    chan_freed_[idx] = 0;
+    heap_[idx] = Channel{};
+    return idx;
+  }
   heap_.emplace_back();
+  chan_freed_.push_back(0);
   return static_cast<std::uint32_t>(heap_.size() - 1);
 }
 
@@ -154,6 +162,7 @@ void Machine::reduce(std::uint32_t chan, ObjClosure obj, PendingMsg msg) {
 
 void Machine::channel_send(std::uint32_t chan, std::uint32_t label,
                            std::vector<Value> args) {
+  gc_dirty_ = true;
   Channel& ch = heap_.at(chan);
   if (!ch.objs.empty()) {
     ObjClosure obj = std::move(ch.objs.front());
@@ -167,6 +176,7 @@ void Machine::channel_send(std::uint32_t chan, std::uint32_t label,
 }
 
 void Machine::channel_recv(std::uint32_t chan, ObjClosure obj) {
+  gc_dirty_ = true;
   Channel& ch = heap_.at(chan);
   if (!ch.msgs.empty()) {
     PendingMsg msg = std::move(ch.msgs.front());
@@ -245,6 +255,7 @@ void Machine::deliver_object(std::uint64_t heap_id, std::uint32_t seg_slot,
 }
 
 void Machine::resume_import(std::uint64_t token, Value v) {
+  gc_dirty_ = true;
   auto it = parked_.find(token);
   if (it == parked_.end()) {
     error("resume of unknown import token");
@@ -266,7 +277,7 @@ std::uint64_t Machine::export_chan(std::uint32_t chan_idx) {
   if (it != chan_to_heapid_.end()) return it->second;
   const std::uint64_t id = next_heap_id_++;
   chan_to_heapid_[chan_idx] = id;
-  heapid_to_chan_[id] = chan_idx;
+  chan_exports_[id] = ExportEntry{chan_idx};
   return id;
 }
 
@@ -277,29 +288,302 @@ std::uint64_t Machine::export_class_value(Value cls) {
   if (it != class_to_heapid_.end()) return it->second;
   const std::uint64_t id = next_heap_id_++;
   class_to_heapid_[cls.idx] = id;
-  heapid_to_class_[id] = cls.idx;
+  class_exports_[id] = ExportEntry{cls.idx};
   return id;
 }
 
 Value Machine::resolve_exported_chan(std::uint64_t heap_id) const {
-  auto it = heapid_to_chan_.find(heap_id);
-  if (it == heapid_to_chan_.end())
+  auto it = chan_exports_.find(heap_id);
+  if (it == chan_exports_.end())
     throw DecodeError("unknown channel HeapId in network reference");
-  return Value::make_chan(it->second);
+  return Value::make_chan(it->second.local);
 }
 
 Value Machine::resolve_exported_class(std::uint64_t heap_id) const {
-  auto it = heapid_to_class_.find(heap_id);
-  if (it == heapid_to_class_.end())
+  auto it = class_exports_.find(heap_id);
+  if (it == class_exports_.end())
     throw DecodeError("unknown class HeapId in network reference");
-  return Value::make_class(it->second);
+  return Value::make_class(it->second.local);
+}
+
+// ---------------------------------------------------------------------
+// Distributed GC: credit accounting (DESIGN.md §GC)
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Releaser identity, packed for the per-entry cumulative-release map.
+std::uint64_t releaser_key(std::uint32_t node, std::uint32_t site) {
+  return (static_cast<std::uint64_t>(node) << 32) | site;
+}
+
+}  // namespace
+
+Machine::ExportEntry* Machine::find_export(NetRef::Kind kind,
+                                           std::uint64_t heap_id) {
+  auto& tbl =
+      kind == NetRef::Kind::kChan ? chan_exports_ : class_exports_;
+  auto it = tbl.find(heap_id);
+  return it == tbl.end() ? nullptr : &it->second;
+}
+
+bool Machine::maybe_reclaim(NetRef::Kind kind, std::uint64_t heap_id) {
+  auto& tbl =
+      kind == NetRef::Kind::kChan ? chan_exports_ : class_exports_;
+  auto it = tbl.find(heap_id);
+  if (it == tbl.end()) return false;
+  const ExportEntry& e = it->second;
+  // minted == 0 marks a legacy (credit-less) export: never reclaimed.
+  if (e.minted == 0 || e.names > 0 || e.outstanding() > 0) return false;
+  if (kind == NetRef::Kind::kChan)
+    chan_to_heapid_.erase(e.local);
+  else
+    class_to_heapid_.erase(e.local);
+  tbl.erase(it);
+  ++gc_stats_.exports_reclaimed;
+  // The local channel may now be garbage; let the next collection see it.
+  gc_dirty_ = true;
+  return true;
+}
+
+std::pair<std::uint64_t, std::uint64_t> Machine::export_chan_credit(
+    std::uint32_t chan_idx) {
+  const std::uint64_t id = export_chan(chan_idx);
+  chan_exports_[id].minted += kMintCredit;
+  ++gc_stats_.credit_mints;
+  return {id, kMintCredit};
+}
+
+std::pair<std::uint64_t, std::uint64_t> Machine::export_class_credit(
+    Value cls) {
+  const std::uint64_t id = export_class_value(cls);
+  class_exports_[id].minted += kMintCredit;
+  ++gc_stats_.credit_mints;
+  return {id, kMintCredit};
+}
+
+std::uint64_t Machine::mint_export_credit(const NetRef& ref) {
+  ExportEntry* e = find_export(ref.kind, ref.heap_id);
+  if (!e) return 0;
+  e->minted += kMintCredit;
+  ++gc_stats_.credit_mints;
+  return kMintCredit;
+}
+
+void Machine::return_export_credit(NetRef::Kind kind, std::uint64_t heap_id,
+                                   std::uint64_t credit) {
+  ExportEntry* e = find_export(kind, heap_id);
+  if (!e) {
+    ++gc_stats_.rel_stale;
+    return;
+  }
+  e->returned += credit;
+  maybe_reclaim(kind, heap_id);
+}
+
+void Machine::pin_name(const NetRef& ref) {
+  if (ExportEntry* e = find_export(ref.kind, ref.heap_id)) ++e->names;
+}
+
+void Machine::unpin_name(const NetRef& ref) {
+  ExportEntry* e = find_export(ref.kind, ref.heap_id);
+  if (!e || e->names == 0) return;
+  --e->names;
+  maybe_reclaim(ref.kind, ref.heap_id);
+}
+
+Machine::ReleaseResult Machine::apply_release(NetRef::Kind kind,
+                                              std::uint64_t heap_id,
+                                              std::uint32_t rel_node,
+                                              std::uint32_t rel_site,
+                                              std::uint64_t cum) {
+  ExportEntry* e = find_export(kind, heap_id);
+  if (!e) {
+    // Already reclaimed (heap ids are never reused, so this REL can only
+    // be a retransmission that arrived after the entry drained).
+    ++gc_stats_.rel_stale;
+    return ReleaseResult::kStale;
+  }
+  std::uint64_t& slot = e->released[releaser_key(rel_node, rel_site)];
+  if (cum <= slot) {
+    // A duplicate (==) or a reordered older total (<): cumulative totals
+    // only grow, so the max already merged covers this delivery.
+    ++gc_stats_.rel_stale;
+    return ReleaseResult::kStale;
+  }
+  slot = cum;
+  return maybe_reclaim(kind, heap_id) ? ReleaseResult::kReclaimed
+                                      : ReleaseResult::kApplied;
+}
+
+std::uint64_t Machine::split_netref_credit(std::uint32_t idx) {
+  std::uint64_t& bal = netref_credit_.at(idx);
+  const std::uint64_t share = bal / 2;
+  if (share == 0)
+    ++gc_stats_.credit_starved;  // ships a weak handle (may leak, safe)
+  bal -= share;
+  return share;
+}
+
+std::uint32_t Machine::intern_netref_credit(const NetRef& r,
+                                            std::uint64_t credit) {
+  const std::uint32_t idx = intern_netref(r);
+  netref_credit_[idx] += credit;
+  return idx;
+}
+
+std::uint64_t Machine::exports_outstanding() const {
+  std::uint64_t sum = 0;
+  for (const auto& [id, e] : chan_exports_) sum += e.outstanding();
+  for (const auto& [id, e] : class_exports_) sum += e.outstanding();
+  return sum;
+}
+
+std::uint64_t Machine::netref_credit_total() const {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < netref_credit_.size(); ++i)
+    if (!netref_freed_[i]) sum += netref_credit_[i];
+  return sum;
+}
+
+std::vector<std::pair<NetRef, std::uint64_t>>
+Machine::take_pending_releases() {
+  std::vector<std::pair<NetRef, std::uint64_t>> out;
+  out.reserve(pending_rel_.size());
+  for (const NetRef& ref : pending_rel_) out.emplace_back(ref, rel_cum_[ref]);
+  pending_rel_.clear();
+  return out;
+}
+
+std::vector<std::pair<NetRef, std::uint64_t>> Machine::all_releases() const {
+  std::vector<std::pair<NetRef, std::uint64_t>> out;
+  for (const auto& [ref, cum] : rel_cum_)
+    if (cum > 0) out.emplace_back(ref, cum);
+  return out;
+}
+
+void Machine::free_channel(std::uint32_t idx) {
+  pending_msgs_ -= heap_[idx].msgs.size();
+  pending_objs_ -= heap_[idx].objs.size();
+  heap_[idx] = Channel{};
+  chan_freed_[idx] = 1;
+  free_chans_.push_back(idx);
+  ++gc_stats_.channels_freed;
+}
+
+void Machine::free_netref(std::uint32_t idx) {
+  const NetRef ref = netrefs_[idx];
+  const std::uint64_t credit = netref_credit_[idx];
+  if (credit > 0) {
+    // The dropped balance joins this machine's cumulative release total
+    // for the reference; the owning site learns via an async REL.
+    rel_cum_[ref] += credit;
+    pending_rel_.push_back(ref);
+  }
+  netref_ids_.erase(ref);
+  netref_credit_[idx] = 0;
+  netref_freed_[idx] = 1;
+  free_netrefs_.push_back(idx);
+  ++gc_stats_.netrefs_freed;
+}
+
+Machine::GcOutcome Machine::gc(const std::vector<Value>& extra_roots,
+                               const std::vector<NetRef>& pinned) {
+  gc_dirty_ = false;
+  ++gc_stats_.collections;
+
+  std::vector<std::uint8_t> cmark(heap_.size(), 0);
+  std::vector<std::uint8_t> bmark(blocks_.size(), 0);
+  std::vector<std::uint8_t> clmark(classes_.size(), 0);
+  std::vector<std::uint8_t> nmark(netrefs_.size(), 0);
+  std::vector<Value> work;
+
+  auto mark_block = [&](std::uint32_t blk) {
+    if (blk == Frame::kNoBlock || blk >= bmark.size() || bmark[blk]) return;
+    bmark[blk] = 1;
+    for (const Value& v : blocks_[blk].env) work.push_back(v);
+  };
+  auto mark_value = [&](const Value& v) {
+    switch (v.tag) {
+      case Value::Tag::kChan:
+        if (v.idx < cmark.size() && !chan_freed_[v.idx] && !cmark[v.idx]) {
+          cmark[v.idx] = 1;
+          for (const auto& m : heap_[v.idx].msgs)
+            for (const Value& a : m.args) work.push_back(a);
+          for (const auto& o : heap_[v.idx].objs)
+            for (const Value& e : o.env) work.push_back(e);
+        }
+        return;
+      case Value::Tag::kClass:
+        if (v.idx < clmark.size() && !clmark[v.idx]) {
+          clmark[v.idx] = 1;
+          mark_block(classes_[v.idx].block);
+        }
+        return;
+      case Value::Tag::kNetRef:
+        if (v.idx < nmark.size() && !netref_freed_[v.idx]) nmark[v.idx] = 1;
+        return;
+      default:
+        return;
+    }
+  };
+  auto mark_frame = [&](const Frame& f) {
+    for (const Value& v : f.locals) work.push_back(v);
+    for (const Value& v : f.stack) work.push_back(v);
+    mark_block(f.block);
+  };
+
+  // Roots: runnable and parked frames, free-name channels, live export
+  // entries (a remote holder may still reach them), caller-supplied
+  // roots, and pinned netrefs.
+  for (const Frame& f : queue_) mark_frame(f);
+  for (const auto& [tok, pf] : parked_) mark_frame(pf.frame);
+  for (const auto& [nm, idx] : globals_) work.push_back(Value::make_chan(idx));
+  for (const auto& [id, e] : chan_exports_)
+    work.push_back(Value::make_chan(e.local));
+  for (const auto& [id, e] : class_exports_)
+    work.push_back(Value::make_class(e.local));
+  for (const Value& v : extra_roots) work.push_back(v);
+  for (const NetRef& ref : pinned)
+    if (auto it = netref_ids_.find(ref); it != netref_ids_.end())
+      nmark[it->second] = 1;
+
+  while (!work.empty()) {
+    const Value v = work.back();
+    work.pop_back();
+    mark_value(v);
+  }
+
+  GcOutcome out;
+  for (std::uint32_t i = 0; i < heap_.size(); ++i)
+    if (!chan_freed_[i] && !cmark[i]) {
+      free_channel(i);
+      ++out.channels_freed;
+    }
+  for (std::uint32_t i = 0; i < netrefs_.size(); ++i)
+    if (!netref_freed_[i] && !nmark[i]) {
+      free_netref(i);
+      ++out.netrefs_freed;
+    }
+  return out;
 }
 
 std::uint32_t Machine::intern_netref(const NetRef& r) {
   auto it = netref_ids_.find(r);
   if (it != netref_ids_.end()) return it->second;
+  if (!free_netrefs_.empty()) {
+    const std::uint32_t idx = free_netrefs_.back();
+    free_netrefs_.pop_back();
+    netref_freed_[idx] = 0;
+    netrefs_[idx] = r;
+    netref_credit_[idx] = 0;
+    netref_ids_[r] = idx;
+    return idx;
+  }
   const auto idx = static_cast<std::uint32_t>(netrefs_.size());
   netrefs_.push_back(r);
+  netref_credit_.push_back(0);
+  netref_freed_.push_back(0);
   netref_ids_[r] = idx;
   return idx;
 }
@@ -376,6 +660,7 @@ std::uint64_t Machine::run(std::uint64_t max_instructions) {
     if (requeue) queue_.push_front(std::move(f));
   }
   stats_.instructions += executed;
+  if (executed > 0) gc_dirty_ = true;
   if (tracing) ring_->record(obs::EventType::kSliceEnd, 0, executed);
   return executed;
 }

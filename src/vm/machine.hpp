@@ -17,6 +17,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -198,6 +199,9 @@ class Machine {
   // ---- export table (section 5) ---------------------------------------
 
   /// Register a channel in the export table (idempotent); returns HeapId.
+  /// Entries created this way carry no credit and are never reclaimed
+  /// (pre-GC semantics, kept for peers that do not speak the GC wire
+  /// extension).
   std::uint64_t export_chan(std::uint32_t chan_idx);
   /// Register a class value; returns HeapId.
   std::uint64_t export_class_value(Value cls);
@@ -205,6 +209,93 @@ class Machine {
   /// VmError if unknown — a forged reference).
   Value resolve_exported_chan(std::uint64_t heap_id) const;
   Value resolve_exported_class(std::uint64_t heap_id) const;
+
+  // ---- distributed GC (credit accounting; DESIGN.md §GC) --------------
+
+  /// Export + mint: registers like export_chan and mints kMintCredit
+  /// against the entry. Returns {heap_id, credit to put on the wire}.
+  std::pair<std::uint64_t, std::uint64_t> export_chan_credit(
+      std::uint32_t chan_idx);
+  std::pair<std::uint64_t, std::uint64_t> export_class_credit(Value cls);
+  /// Mint credit against an already-exported reference owned by this
+  /// machine (used when handing a reference to the name service).
+  std::uint64_t mint_export_credit(const NetRef& ref);
+  /// Credit carried by an owned reference that came home: shrinks the
+  /// entry's outstanding balance (and may reclaim it).
+  void return_export_credit(NetRef::Kind kind, std::uint64_t heap_id,
+                            std::uint64_t credit);
+  /// Name-service pin: an entry bound to an exported identifier cannot be
+  /// reclaimed until the binding is dropped.
+  void pin_name(const NetRef& ref);
+  void unpin_name(const NetRef& ref);
+
+  enum class ReleaseResult { kApplied, kReclaimed, kStale };
+  /// Apply a REL: releaser (rel_node, rel_site) has cumulatively released
+  /// `cum` credit for this entry. Cumulative totals max-merge, so
+  /// duplicated / reordered / retransmitted RELs are idempotent; a REL
+  /// for an unknown (already reclaimed) entry is stale and ignored.
+  ReleaseResult apply_release(NetRef::Kind kind, std::uint64_t heap_id,
+                              std::uint32_t rel_node, std::uint32_t rel_site,
+                              std::uint64_t cum);
+
+  /// Forwarding split: removes and returns half of the local credit
+  /// balance of netref slot `idx` (0 for a weak handle — the safe
+  /// direction: the receiver's copy can leak but never frees early).
+  std::uint64_t split_netref_credit(std::uint32_t idx);
+  /// Intern a foreign reference and add wire-carried credit to its
+  /// balance.
+  std::uint32_t intern_netref_credit(const NetRef& r, std::uint64_t credit);
+
+  struct GcOutcome {
+    std::size_t channels_freed = 0;
+    std::size_t netrefs_freed = 0;
+  };
+  /// Local mark-and-sweep over the VM roots (run queue, parked frames,
+  /// globals, live export entries, plus `extra_roots`), with `pinned`
+  /// netrefs kept alive regardless. Unreachable channels go to the free
+  /// list; unreachable netref slots release their credit into the
+  /// pending-REL ledger. Must only be called between run() slices (no
+  /// frame on the C++ stack).
+  GcOutcome gc(const std::vector<Value>& extra_roots = {},
+               const std::vector<NetRef>& pinned = {});
+
+  /// Releases whose cumulative total changed since the last call (the
+  /// owner should be told); clears the pending set.
+  std::vector<std::pair<NetRef, std::uint64_t>> take_pending_releases();
+  /// Every non-zero cumulative release this machine ever made
+  /// (idempotent retransmission for REL-loss healing).
+  std::vector<std::pair<NetRef, std::uint64_t>> all_releases() const;
+
+  /// True when instructions ran (or an entry was reclaimed) since the
+  /// last gc() — collection passes on a clean machine are skipped.
+  bool gc_dirty() const { return gc_dirty_; }
+  void mark_gc_dirty() { gc_dirty_ = true; }
+
+  // -- GC introspection (leak checks and gauges) --
+
+  std::size_t live_exports() const {
+    return chan_exports_.size() + class_exports_.size();
+  }
+  /// Σ over export entries of minted − returned − released: credit in
+  /// flight or held remotely.
+  std::uint64_t exports_outstanding() const;
+  std::size_t live_channels() const { return heap_.size() - free_chans_.size(); }
+  std::size_t live_netrefs() const {
+    return netrefs_.size() - free_netrefs_.size();
+  }
+  /// Σ of local credit balances over live netref slots.
+  std::uint64_t netref_credit_total() const;
+
+  struct GcStats {
+    obs::SoloCounter collections;
+    obs::SoloCounter channels_freed;
+    obs::SoloCounter netrefs_freed;
+    obs::SoloCounter exports_reclaimed;
+    obs::SoloCounter credit_mints;    // marshalled owned refs
+    obs::SoloCounter credit_starved;  // forwarded with a zero share
+    obs::SoloCounter rel_stale;       // duplicate/reordered/unknown RELs
+  };
+  const GcStats& gc_stats() const { return gc_stats_; }
 
   // ---- interning / tables ---------------------------------------------
 
@@ -266,8 +357,37 @@ class Machine {
     std::string what;
   };
 
+  /// One credit-bearing export-table entry (distributed GC). An entry is
+  /// reclaimed when every unit of minted credit has come back — returned
+  /// inline or released via REL — and no name-service binding pins it.
+  /// Legacy entries (minted == 0, from export_chan without credit) stay
+  /// pinned forever, preserving pre-GC semantics.
+  struct ExportEntry {
+    std::uint32_t local = 0;       // channel or class index
+    std::uint64_t minted = 0;      // credit ever put on the wire
+    std::uint64_t returned = 0;    // credit that came home inline
+    std::uint32_t names = 0;       // name-service binding pins
+    // Per-releaser cumulative released credit, max-merged (REL protocol).
+    std::map<std::uint64_t, std::uint64_t> released;
+
+    std::uint64_t released_total() const {
+      std::uint64_t sum = 0;
+      for (const auto& [k, v] : released) sum += v;
+      return sum;
+    }
+    std::uint64_t outstanding() const {
+      const std::uint64_t back = returned + released_total();
+      return back >= minted ? 0 : minted - back;
+    }
+  };
+
   std::uint32_t link_loaded(std::shared_ptr<const Segment> seg,
                             std::vector<std::uint32_t> dep_map);
+  ExportEntry* find_export(NetRef::Kind kind, std::uint64_t heap_id);
+  /// Drop the entry if fully drained and unpinned; returns true if so.
+  bool maybe_reclaim(NetRef::Kind kind, std::uint64_t heap_id);
+  void free_channel(std::uint32_t idx);
+  void free_netref(std::uint32_t idx);
   /// Execute one frame until it halts, parks, or the budget runs out.
   /// Returns instructions consumed; sets `requeue` if the frame must be
   /// put back (budget exhaustion).
@@ -295,13 +415,31 @@ class Machine {
   Interner labels_;
   std::vector<NetRef> netrefs_;
   std::map<NetRef, std::uint32_t> netref_ids_;
+  // Parallel to netrefs_: local GC credit balance and free-slot state.
+  std::vector<std::uint64_t> netref_credit_;
+  std::vector<std::uint8_t> netref_freed_;
+  std::vector<std::uint32_t> free_netrefs_;
 
-  // Export table: HeapId <-> local reference, both directions (paper §5).
+  // Parallel to heap_: free-slot state (slots are reused, never erased,
+  // so channel indices held by live values stay stable).
+  std::vector<std::uint8_t> chan_freed_;
+  std::vector<std::uint32_t> free_chans_;
+
+  // Export table: HeapId -> entry plus the reverse index for idempotent
+  // export (paper §5, extended with GC credit accounting).
   std::map<std::uint32_t, std::uint64_t> chan_to_heapid_;
-  std::map<std::uint64_t, std::uint32_t> heapid_to_chan_;
   std::map<std::uint32_t, std::uint64_t> class_to_heapid_;
-  std::map<std::uint64_t, std::uint32_t> heapid_to_class_;
-  std::uint64_t next_heap_id_ = 1;
+  std::map<std::uint64_t, ExportEntry> chan_exports_;
+  std::map<std::uint64_t, ExportEntry> class_exports_;
+  std::uint64_t next_heap_id_ = 1;  // monotonic; ids are never reused
+
+  // Releaser-side REL ledger: cumulative released credit per foreign
+  // reference (never pruned — cum totals must only grow) and the subset
+  // whose total changed since the last take_pending_releases().
+  std::map<NetRef, std::uint64_t> rel_cum_;
+  std::vector<NetRef> pending_rel_;
+  bool gc_dirty_ = false;
+  GcStats gc_stats_;
 
   std::uint64_t pending_msgs_ = 0;
   std::uint64_t pending_objs_ = 0;

@@ -23,7 +23,19 @@ struct NetRef {
   std::uint64_t heap_id = 0;
 
   bool operator==(const NetRef&) const = default;
+
+  /// True when the reference points into the heap of the given site —
+  /// i.e. that site is the owner holding the export-table entry (and,
+  /// under distributed GC, the credit ledger) for this reference.
+  bool owned_by(std::uint32_t n, std::uint32_t s) const {
+    return node == n && site == s;
+  }
 };
+
+/// Credit minted per marshalling of an owned reference (distributed GC,
+/// see DESIGN.md §GC). Large enough that halving on every forward hop
+/// keeps handles strong through 32 generations of splits.
+inline constexpr std::uint64_t kMintCredit = 1ull << 32;
 
 struct Value {
   enum class Tag : std::uint8_t {

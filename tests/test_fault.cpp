@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include "core/network.hpp"
+#include "core/wire.hpp"
+#include "vm/machine.hpp"
 
 namespace dityco::core {
 namespace {
@@ -119,6 +121,165 @@ TEST(Fault, ReexportAtSameSiteReplacesBinding) {
   auto r3 = net.run();
   EXPECT_TRUE(r3.quiescent);
   EXPECT_EQ(net.output("client"), std::vector<std::string>{"2"});
+}
+
+// ---------------------------------------------------------------------
+// Distributed-GC REL protocol under message faults (DESIGN.md §GC).
+//
+// These drive two Machines directly through the marshalling layer and
+// play the REL frames by hand, so drops, duplicates and reorders are
+// exact. The invariant under every fault: an entry is never reclaimed
+// while credit is still outstanding (premature free is the unrecoverable
+// failure; a delayed reclaim is just a deferred leak).
+// ---------------------------------------------------------------------
+
+using vm::Machine;
+using vm::Value;
+
+/// Ship a minted handle for `chan` from `owner` into `holder`.
+void ship(Machine& owner, std::uint32_t chan, Machine& holder) {
+  Writer w;
+  marshal_value(owner, Value::make_chan(chan), w, /*gc=*/true);
+  const auto bytes = w.take();
+  Reader r(bytes);
+  unmarshal_value(holder, r, /*gc=*/true);
+}
+
+TEST(Fault, DroppedRelIsHealedByResend) {
+  Machine owner("owner", 0, 0);
+  Machine peer("peer", 1, 0);
+  const std::uint32_t ch = owner.new_channel();
+  ship(owner, ch, peer);
+  peer.gc();
+  auto lost = peer.take_pending_releases();  // ...and the REL is dropped
+  ASSERT_EQ(lost.size(), 1u);
+
+  // No premature reclaim: the owner never saw the release.
+  EXPECT_EQ(owner.live_exports(), 1u);
+  EXPECT_GT(owner.exports_outstanding(), 0u);
+  EXPECT_TRUE(peer.take_pending_releases().empty())
+      << "the pending set was consumed; only a resend can heal";
+
+  // Healing: retransmit every cumulative total (idempotent at the owner).
+  auto resend = peer.all_releases();
+  ASSERT_EQ(resend.size(), 1u);
+  EXPECT_EQ(resend[0].second, lost[0].second) << "cumulative, not a delta";
+  const auto& ref = resend[0].first;
+  EXPECT_EQ(owner.apply_release(ref.kind, ref.heap_id, 1, 0, resend[0].second),
+            Machine::ReleaseResult::kReclaimed);
+  EXPECT_EQ(owner.live_exports(), 0u);
+}
+
+TEST(Fault, DuplicatedAndReorderedRelsReclaimExactlyOnce) {
+  Machine owner("owner", 0, 0);
+  Machine peer("peer", 1, 0);
+  const std::uint32_t ch = owner.new_channel();
+  ship(owner, ch, peer);
+  peer.gc();
+  const auto first = peer.take_pending_releases();
+  ASSERT_EQ(first.size(), 1u);
+  const auto [ref, cum1] = first[0];
+
+  ship(owner, ch, peer);  // a second handle for the same entry
+  peer.gc();
+  const auto second = peer.take_pending_releases();
+  ASSERT_EQ(second.size(), 1u);
+  const std::uint64_t cum2 = second[0].second;
+
+  // Adversarial delivery order: newest, then a duplicate of it, then the
+  // stale older total, then the newest again.
+  EXPECT_EQ(owner.apply_release(ref.kind, ref.heap_id, 1, 0, cum2),
+            Machine::ReleaseResult::kReclaimed);
+  for (const std::uint64_t cum : {cum2, cum1, cum2})
+    EXPECT_EQ(owner.apply_release(ref.kind, ref.heap_id, 1, 0, cum),
+              Machine::ReleaseResult::kStale);
+  EXPECT_EQ(owner.live_exports(), 0u);
+  EXPECT_EQ(owner.gc_stats().exports_reclaimed, 1u) << "exactly one reclaim";
+  EXPECT_GE(owner.gc_stats().rel_stale, 3u);
+}
+
+TEST(Fault, PartialDeliveryNeverReclaimsEarly) {
+  // Two independent holders; only one releases. Whatever order frames
+  // arrive in, the entry must survive until *all* credit is back.
+  Machine owner("owner", 0, 0);
+  Machine a("a", 1, 0);
+  Machine b("b", 2, 0);
+  const std::uint32_t ch = owner.new_channel();
+  ship(owner, ch, a);
+  ship(owner, ch, b);
+  a.gc();
+  const auto rels = a.take_pending_releases();
+  ASSERT_EQ(rels.size(), 1u);
+  const auto [ref, cum] = rels[0];
+  EXPECT_EQ(owner.apply_release(ref.kind, ref.heap_id, 1, 0, cum),
+            Machine::ReleaseResult::kApplied);
+  EXPECT_EQ(owner.live_exports(), 1u) << "b's credit is still out";
+  // b finally drops too — now, and only now, the entry drains.
+  b.gc();
+  const auto rels_b = b.take_pending_releases();
+  ASSERT_EQ(rels_b.size(), 1u);
+  EXPECT_EQ(owner.apply_release(ref.kind, ref.heap_id, 2, 0, rels_b[0].second),
+            Machine::ReleaseResult::kReclaimed);
+}
+
+TEST(Fault, CollectGarbageTerminatesWhenCreditDiesWithASite) {
+  // The client pins its imported handle in an object stored at a
+  // site-global channel (its I/O port), so the credit is live — not
+  // collectable — when the site crashes. That balance can never come
+  // back: the final GC epoch must terminate anyway (bounded rounds),
+  // keep the server's entry alive (leak-safe direction), and still
+  // drain everything else.
+  Network net;
+  net.add_node();
+  net.add_node();
+  net.add_site(0, "server");
+  net.add_site(1, "client");
+  net.submit_source("server", "export new p in p?{ val(x, r) = r![x + 1] }");
+  net.submit_source("client", "import p from server in io?(x) = p![x]");
+  auto res = net.run();
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_TRUE(net.all_errors().empty());
+  EXPECT_GE(net.find_site("client")->machine().live_netrefs(), 1u)
+      << "the handle is rooted at the io channel";
+
+  net.find_site("client")->kill();
+  auto rep = net.collect_garbage();
+  EXPECT_LE(rep.rounds, 8u);
+  EXPECT_EQ(rep.ns_ids, 0u) << "the live server still unregisters";
+  EXPECT_EQ(rep.exports_live, 1u)
+      << "the dead client's share is lost: the entry leaks, it never frees";
+  EXPECT_GT(net.find_site("server")->machine().exports_outstanding(), 0u);
+}
+
+TEST(Fault, RelToDeadOwnerIsDroppedSafely) {
+  // Sim mode defers all collection to the final epoch, so the client
+  // still holds its handle when the owner crashes: the epoch's REL is
+  // dropped at the dead site, and collection terminates regardless.
+  Network::Config cfg;
+  cfg.mode = Network::Mode::kSim;
+  Network net(cfg);
+  net.add_node();
+  net.add_node();
+  net.add_site(0, "server");
+  net.add_site(1, "client");
+  net.submit_source("server", "export new p in p?{ val(x, r) = r![x + 1] }");
+  net.submit_source("client",
+                    "import p from server in let z = p![1] in print[z]");
+  auto res = net.run();
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_EQ(net.output("client"), std::vector<std::string>{"2"});
+  vm::Machine& client = net.find_site("client")->machine();
+  ASSERT_GE(client.live_netrefs(), 1u) << "sim defers GC past run()";
+
+  net.find_site("server")->kill();
+  auto rep = net.collect_garbage();
+  EXPECT_LE(rep.rounds, 8u);
+  EXPECT_EQ(client.live_netrefs(), 0u) << "the REL was sent regardless";
+  EXPECT_GE(net.find_site("server")->mobility().dropped, 1u)
+      << "the dead owner dropped the REL";
+  // The client's own reply-channel entry leaks: its releaser died with
+  // the server. Leak-safe, never a premature free.
+  EXPECT_EQ(client.live_exports(), 1u);
 }
 
 TEST(Fault, ThreadedDriverSurvivesDeadSite) {

@@ -1,0 +1,379 @@
+// Distributed GC for network references (DESIGN.md §GC): credit-based
+// reference counting over the wire protocol, proven by leak checks.
+//
+// The acceptance bar: after representative workloads — a token ring over
+// imported names, class fetching, object shipping — every site's export
+// table and the name service's IdTable are empty once the final GC epoch
+// (Network::collect_garbage) runs, and heaps return to their baselines.
+// Machine-level tests pin the REL protocol's idempotence (duplicates,
+// reorders, stale releases) and the credit-split starvation path.
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "core/wire.hpp"
+#include "vm/machine.hpp"
+
+namespace dityco::core {
+namespace {
+
+// ---------------------------------------------------------------------
+// Network-level leak checks
+// ---------------------------------------------------------------------
+
+/// Three sites on three nodes passing a token around a ring of imported
+/// names. Exercises export/import via the name service plus SHIPM credit
+/// transfer in both directions; r0 prints the token after two hops.
+void build_ring(Network& net) {
+  net.add_node();
+  net.add_node();
+  net.add_node();
+  net.add_site(0, "r0");
+  net.add_site(1, "r1");
+  net.add_site(2, "r2");
+  net.submit_source(
+      "r0", "export new c0 in import c1 from r1 in (c1![0] | c0?(v) = print[v])");
+  net.submit_source("r1",
+                    "export new c1 in import c2 from r2 in c1?(v) = c2![v + 1]");
+  net.submit_source("r2",
+                    "export new c2 in import c0 from r0 in c2?(v) = c0![v + 1]");
+}
+
+void expect_all_empty(Network& net, const Network::GcReport& rep) {
+  EXPECT_EQ(rep.exports_live, 0u) << "export-table entries leaked";
+  EXPECT_EQ(rep.netrefs_live, 0u) << "netref slots leaked";
+  EXPECT_EQ(rep.ns_ids, 0u) << "IdTable bindings leaked";
+  for (const auto& n : net.nodes())
+    for (const auto& s : n->sites()) {
+      EXPECT_EQ(s->machine().live_exports(), 0u) << s->name();
+      EXPECT_EQ(s->machine().exports_outstanding(), 0u) << s->name();
+      EXPECT_EQ(s->machine().live_channels(), 0u) << s->name();
+    }
+}
+
+TEST(Gc, RingDrainsToEmpty) {
+  Network net;
+  build_ring(net);
+  auto res = net.run();
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_TRUE(net.all_errors().empty());
+  EXPECT_EQ(net.output("r0"), std::vector<std::string>{"2"});
+  auto rep = net.collect_garbage();
+  EXPECT_GE(rep.rounds, 1u);
+  expect_all_empty(net, rep);
+  // Every site reclaimed its own exported name's entry.
+  for (const auto& n : net.nodes())
+    for (const auto& s : n->sites())
+      EXPECT_GE(s->machine().gc_stats().exports_reclaimed, 1u) << s->name();
+}
+
+TEST(Gc, FetchMobilityDrainsToEmpty) {
+  // Class code fetching (FETCH/instof) with the dynamic-link cache: the
+  // cached class value and its keying netref are pinned during the run
+  // and dropped by the final epoch.
+  Network net;
+  net.add_node();
+  net.add_node();
+  net.add_site(0, "server");
+  net.add_site(1, "client");
+  net.submit_network_source(
+      "site server { export def A(out) = out![1] in 0 }\n"
+      "site client { import A from server in "
+      "new p (A[p] | p?(a) = (print[a] | A[p] | p?(b) = print[b])) }");
+  auto res = net.run();
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_TRUE(net.all_errors().empty());
+  EXPECT_EQ(net.output("client"), (std::vector<std::string>{"1", "1"}));
+  EXPECT_EQ(net.find_site("client")->mobility().fetch_cache_hits, 1u);
+  expect_all_empty(net, net.collect_garbage());
+}
+
+TEST(Gc, ShipObjectDrainsToEmpty) {
+  // SHIPO: the object (with its marshalled environment) migrates to the
+  // imported name and reduces there.
+  Network net;
+  net.add_node();
+  net.add_node();
+  net.add_site(0, "server");
+  net.add_site(1, "client");
+  net.submit_network_source(
+      "site server { export new x in x![10] }\n"
+      "site client { import x from server in x?(v) = print[v + 1] }");
+  auto res = net.run();
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_EQ(net.output("server"), std::vector<std::string>{"11"});
+  EXPECT_EQ(net.find_site("client")->mobility().objs_shipped, 1u);
+  expect_all_empty(net, net.collect_garbage());
+}
+
+TEST(Gc, ReplyChannelReclaimedDuringRun) {
+  // The classic RPC leak: the client marshals a fresh reply channel per
+  // call, creating an export-table entry the pre-GC runtime could never
+  // drop. With credit GC the server's collection releases the carried
+  // credit as soon as its handle dies, and the entry drains *during the
+  // run* — no final epoch needed.
+  Network net;
+  net.add_node();
+  net.add_node();
+  net.add_site(0, "server");
+  net.add_site(1, "client");
+  net.submit_source("server", "export new p in p?{ val(x, r) = r![x * 2] }");
+  net.submit_source("client",
+                    "import p from server in let z = p![5] in print[z]");
+  auto res = net.run();
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_TRUE(net.all_errors().empty());
+  EXPECT_EQ(net.output("client"), std::vector<std::string>{"10"});
+  Site& client = *net.find_site("client");
+  Site& server = *net.find_site("server");
+  EXPECT_EQ(client.machine().live_exports(), 0u)
+      << "reply-channel entry must auto-reclaim at quiescence";
+  EXPECT_EQ(client.machine().gc_stats().exports_reclaimed, 1u);
+  EXPECT_EQ(server.machine().live_netrefs(), 0u);
+  EXPECT_GE(server.mobility().gc_rel_sent, 1u);
+  EXPECT_GE(client.mobility().gc_rel_received, 1u);
+  expect_all_empty(net, net.collect_garbage());
+}
+
+TEST(Gc, ThreadedRingDrainsToEmpty) {
+  Network::Config cfg;
+  cfg.mode = Network::Mode::kThreaded;
+  cfg.timeout_ms = 5000;
+  Network net(cfg);
+  build_ring(net);
+  auto res = net.run();
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_TRUE(net.all_errors().empty());
+  EXPECT_EQ(net.output("r0"), std::vector<std::string>{"2"});
+  expect_all_empty(net, net.collect_garbage());
+}
+
+TEST(Gc, SimRingDrainsToEmpty) {
+  // The sim driver defers GC entirely (virtual-time results must not pay
+  // for collection passes); the final epoch drives the timed transport
+  // with a far-future clock and still drains everything.
+  Network::Config cfg;
+  cfg.mode = Network::Mode::kSim;
+  Network net(cfg);
+  build_ring(net);
+  auto res = net.run();
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_GT(res.virtual_time_us, 0.0);
+  EXPECT_EQ(net.output("r0"), std::vector<std::string>{"2"});
+  std::size_t live = 0;
+  for (const auto& n : net.nodes())
+    for (const auto& s : n->sites()) live += s->machine().live_exports();
+  EXPECT_GT(live, 0u) << "sim mode must not collect mid-run";
+  expect_all_empty(net, net.collect_garbage());
+}
+
+TEST(Gc, DisabledGcKeepsLegacyBehaviour) {
+  // cfg.gc = false: no credit on the wire, entries live forever, and
+  // collect_garbage is a no-op report.
+  Network::Config cfg;
+  cfg.gc = false;
+  Network net(cfg);
+  build_ring(net);
+  auto res = net.run();
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_EQ(net.output("r0"), std::vector<std::string>{"2"});
+  std::size_t live = 0;
+  for (const auto& n : net.nodes())
+    for (const auto& s : n->sites()) live += s->machine().live_exports();
+  EXPECT_GE(live, 3u);
+  auto rep = net.collect_garbage();
+  EXPECT_EQ(rep.rounds, 0u);
+}
+
+TEST(Gc, MetricsExposed) {
+  Network net;
+  net.add_node();
+  net.add_node();
+  net.add_site(0, "server");
+  net.add_site(1, "client");
+  net.submit_source("server", "export new p in p?{ val(x, r) = r![x] }");
+  net.submit_source("client", "import p from server in let z = p![1] in 0");
+  auto res = net.run();
+  EXPECT_TRUE(res.quiescent);
+  net.collect_garbage();
+  const std::string text = net.metrics().expose_text();
+  EXPECT_NE(text.find("site_exports_live{site=\"server\"}"), std::string::npos);
+  EXPECT_NE(text.find("site_gc_reclaimed_total{site=\"client\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("ns_unregisters{ns=\"central\"}"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Machine-level REL protocol semantics
+// ---------------------------------------------------------------------
+
+using vm::Machine;
+using vm::NetRef;
+using vm::Value;
+
+/// Marshal a local channel out of `owner` (minting credit) and intern
+/// the resulting reference at `holder`; returns the netref Value.
+Value ship_chan(Machine& owner, std::uint32_t chan, Machine& holder) {
+  Writer w;
+  marshal_value(owner, Value::make_chan(chan), w, /*gc=*/true);
+  const auto bytes = w.take();
+  Reader r(bytes);
+  return unmarshal_value(holder, r, /*gc=*/true);
+}
+
+TEST(GcProtocol, ReleaseDrainsAndReclaims) {
+  Machine owner("owner", 0, 0);
+  Machine peer("peer", 1, 0);
+  const std::uint32_t ch = owner.new_channel();
+  const Value v = ship_chan(owner, ch, peer);
+  ASSERT_EQ(v.tag, Value::Tag::kNetRef);
+  EXPECT_EQ(owner.live_exports(), 1u);
+  EXPECT_EQ(owner.exports_outstanding(), peer.netref_credit_total());
+
+  peer.gc();  // no roots: the handle dies, its balance joins the ledger
+  auto rels = peer.take_pending_releases();
+  ASSERT_EQ(rels.size(), 1u);
+  const auto [ref, cum] = rels[0];
+  EXPECT_EQ(owner.apply_release(ref.kind, ref.heap_id, peer.node_id(),
+                                peer.site_id(), cum),
+            Machine::ReleaseResult::kReclaimed);
+  EXPECT_EQ(owner.live_exports(), 0u);
+  owner.gc();
+  EXPECT_EQ(owner.live_channels(), 0u);
+}
+
+TEST(GcProtocol, DuplicateReleaseIsStale) {
+  Machine owner("owner", 0, 0);
+  Machine peer("peer", 1, 0);
+  const std::uint32_t ch = owner.new_channel();
+  ship_chan(owner, ch, peer);
+  peer.gc();
+  const auto rels = peer.take_pending_releases();
+  ASSERT_EQ(rels.size(), 1u);
+  const auto [ref, cum] = rels[0];
+  EXPECT_EQ(owner.apply_release(ref.kind, ref.heap_id, 1, 0, cum),
+            Machine::ReleaseResult::kReclaimed);
+  // The duplicate targets a reclaimed entry (heap ids are never reused):
+  // stale, harmless.
+  EXPECT_EQ(owner.apply_release(ref.kind, ref.heap_id, 1, 0, cum),
+            Machine::ReleaseResult::kStale);
+  EXPECT_GE(owner.gc_stats().rel_stale, 1u);
+}
+
+TEST(GcProtocol, ReorderedReleasesMaxMerge) {
+  Machine owner("owner", 0, 0);
+  Machine peer("peer", 1, 0);
+  const std::uint32_t ch = owner.new_channel();
+  // Two marshals of the same channel: minted twice against one entry.
+  ship_chan(owner, ch, peer);
+  peer.gc();
+  const auto first = peer.take_pending_releases();
+  ASSERT_EQ(first.size(), 1u);
+  const auto [ref, cum1] = first[0];
+
+  ship_chan(owner, ch, peer);  // second handle, same heap id
+  peer.gc();
+  const auto second = peer.take_pending_releases();
+  ASSERT_EQ(second.size(), 1u);
+  const auto cum2 = second[0].second;
+  ASSERT_GT(cum2, cum1) << "cumulative totals only grow";
+
+  // Deliver newest-first; the older total must be recognised as stale
+  // and must not resurrect outstanding credit.
+  EXPECT_EQ(owner.apply_release(ref.kind, ref.heap_id, 1, 0, cum2),
+            Machine::ReleaseResult::kReclaimed);
+  EXPECT_EQ(owner.apply_release(ref.kind, ref.heap_id, 1, 0, cum1),
+            Machine::ReleaseResult::kStale);
+  EXPECT_EQ(owner.live_exports(), 0u);
+}
+
+TEST(GcProtocol, PartialReleaseDoesNotReclaim) {
+  Machine owner("owner", 0, 0);
+  Machine a("a", 1, 0);
+  Machine b("b", 2, 0);
+  const std::uint32_t ch = owner.new_channel();
+  ship_chan(owner, ch, a);
+  ship_chan(owner, ch, b);  // two holders, minted twice
+  a.gc();
+  const auto rels = a.take_pending_releases();
+  ASSERT_EQ(rels.size(), 1u);
+  const auto [ref, cum] = rels[0];
+  EXPECT_EQ(owner.apply_release(ref.kind, ref.heap_id, 1, 0, cum),
+            Machine::ReleaseResult::kApplied);
+  EXPECT_EQ(owner.live_exports(), 1u) << "b still holds credit";
+  EXPECT_EQ(owner.exports_outstanding(), b.netref_credit_total());
+}
+
+TEST(GcProtocol, LegacyEntriesAreNeverReclaimed) {
+  // export_chan without credit (a non-GC peer's view): minted == 0
+  // marks the entry immortal, preserving pre-GC semantics.
+  Machine owner("owner", 0, 0);
+  const std::uint32_t ch = owner.new_channel();
+  const std::uint64_t id = owner.export_chan(ch);
+  // Releases and returns against it are recorded but can never drain a
+  // zero mint: the entry survives arbitrary credit traffic.
+  EXPECT_EQ(owner.apply_release(NetRef::Kind::kChan, id, 1, 0, 1ull << 40),
+            Machine::ReleaseResult::kApplied);
+  owner.return_export_credit(NetRef::Kind::kChan, id, 1ull << 40);
+  EXPECT_EQ(owner.live_exports(), 1u);
+  EXPECT_EQ(owner.exports_outstanding(), 0u);
+}
+
+TEST(GcProtocol, NameServicePinBlocksReclaim) {
+  Machine owner("owner", 0, 0);
+  Machine peer("peer", 1, 0);
+  const std::uint32_t ch = owner.new_channel();
+  const Value v = ship_chan(owner, ch, peer);
+  const NetRef ref = peer.netref(v.idx);
+  owner.pin_name(ref);
+  peer.gc();
+  const auto rels = peer.take_pending_releases();
+  ASSERT_EQ(rels.size(), 1u);
+  EXPECT_EQ(owner.apply_release(ref.kind, ref.heap_id, 1, 0, rels[0].second),
+            Machine::ReleaseResult::kApplied)
+      << "fully drained but pinned: no reclaim";
+  EXPECT_EQ(owner.live_exports(), 1u);
+  owner.unpin_name(ref);
+  EXPECT_EQ(owner.live_exports(), 0u) << "unpin completes the reclaim";
+}
+
+TEST(GcProtocol, ForwardingSplitsCreditAndStarves) {
+  Machine owner("owner", 0, 0);
+  Machine a("a", 1, 0);
+  Machine b("b", 2, 0);
+  const std::uint32_t ch = owner.new_channel();
+  const Value va = ship_chan(owner, ch, a);
+
+  // Forward a -> b: half the balance travels.
+  Writer w;
+  marshal_value(a, va, w, /*gc=*/true);
+  const auto bytes = w.take();
+  Reader r(bytes);
+  unmarshal_value(b, r, /*gc=*/true);
+  EXPECT_EQ(a.netref_credit_total(), vm::kMintCredit / 2);
+  EXPECT_EQ(b.netref_credit_total(), vm::kMintCredit / 2);
+  EXPECT_EQ(owner.exports_outstanding(),
+            a.netref_credit_total() + b.netref_credit_total());
+
+  // Starvation: a balance of 1 cannot split — the copy ships weak
+  // (credit 0) and the starvation counter records the safe leak.
+  Machine c("c", 3, 0);
+  const std::uint32_t idx =
+      c.intern_netref_credit(NetRef{NetRef::Kind::kChan, 0, 0, 999}, 1);
+  EXPECT_EQ(c.split_netref_credit(idx), 0u);
+  EXPECT_EQ(c.gc_stats().credit_starved, 1u);
+}
+
+TEST(GcProtocol, HeapSlotsAreReused) {
+  Machine m("m", 0, 0);
+  const std::uint32_t a = m.new_channel();
+  const std::uint32_t b = m.new_channel();
+  EXPECT_EQ(m.live_channels(), 2u);
+  m.gc();  // both unreachable
+  EXPECT_EQ(m.live_channels(), 0u);
+  const std::uint32_t c = m.new_channel();
+  EXPECT_TRUE(c == a || c == b) << "freed slots are recycled";
+  EXPECT_EQ(m.live_channels(), 1u);
+}
+
+}  // namespace
+}  // namespace dityco::core

@@ -1,10 +1,14 @@
-// Transport unit tests: in-process delivery, link-cost models, and the
-// virtual-time semantics of the simulated cluster transport.
+// Transport unit tests: in-process delivery, link-cost models, the
+// virtual-time semantics of the simulated cluster transport — and wire
+// format regression tests pinning the v1/v2 frame layouts against the
+// distributed-GC extension (kGcFlag).
 #include <gtest/gtest.h>
 
 #include <thread>
 
+#include "core/wire.hpp"
 #include "net/transport.hpp"
+#include "vm/machine.hpp"
 
 namespace dityco::net {
 namespace {
@@ -126,3 +130,133 @@ TEST(Sim, BandwidthMatters) {
 
 }  // namespace
 }  // namespace dityco::net
+
+// ---------------------------------------------------------------------
+// Wire format regression: the GC extension must not disturb v1/v2 frames
+// ---------------------------------------------------------------------
+
+namespace dityco::core {
+namespace {
+
+TEST(Wire, V1HeaderBytesUnchanged) {
+  // The original frame layout: [type u8][dst_site u32]. Any drift here
+  // breaks daemon routing of packets from pre-GC peers.
+  Writer w;
+  write_header(w, MsgType::kShipMsg, 7);
+  const auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 5u);
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[1], 0x07);
+  Reader r(bytes);
+  const PacketHeader h = read_header(r);
+  EXPECT_EQ(h.type, MsgType::kShipMsg);
+  EXPECT_EQ(h.dst_site, 7u);
+  EXPECT_EQ(h.trace_id, 0u);
+  EXPECT_FALSE(h.gc);
+}
+
+TEST(Wire, GcFlagRidesTheTypeByteOnBothLayouts) {
+  {  // v1 layout + gc: flag only, no extra header bytes
+    Writer w;
+    write_header(w, MsgType::kShipMsg, 7, /*trace_id=*/0, /*sampled=*/true,
+                 /*gc=*/true);
+    const auto bytes = w.take();
+    ASSERT_EQ(bytes.size(), 5u) << "kGcFlag must not grow the header";
+    EXPECT_EQ(bytes[0], 0x01 | kGcFlag);
+    Reader r(bytes);
+    const PacketHeader h = read_header(r);
+    EXPECT_TRUE(h.gc);
+    EXPECT_EQ(h.dst_site, 7u);
+  }
+  {  // v2 layout (traced + sampled) + gc: all three flags coexist
+    Writer w;
+    write_header(w, MsgType::kShipObj, 3, /*trace_id=*/0xbeef,
+                 /*sampled=*/true, /*gc=*/true);
+    const auto bytes = w.take();
+    EXPECT_EQ(bytes[0], 0x02 | kTraceFlag | kSampledFlag | kGcFlag);
+    Reader r(bytes);
+    const PacketHeader h = read_header(r);
+    EXPECT_EQ(h.type, MsgType::kShipObj);
+    EXPECT_EQ(h.trace_id, 0xbeefu);
+    EXPECT_TRUE(h.sampled);
+    EXPECT_TRUE(h.gc);
+  }
+}
+
+TEST(Wire, NonGcMarshalBytesUnchanged) {
+  // A netref marshalled without the GC extension must produce exactly the
+  // pre-GC byte sequence; with it, the same sequence plus one trailing
+  // u64 credit field (the freshly minted kMintCredit).
+  vm::Machine m1("m1", 0, 0);
+  const std::uint32_t c1 = m1.new_channel();
+  Writer w1;
+  marshal_value(m1, vm::Value::make_chan(c1), w1, /*gc=*/false);
+  const auto legacy = w1.take();
+
+  vm::Machine m2("m2", 0, 0);
+  const std::uint32_t c2 = m2.new_channel();
+  Writer w2;
+  marshal_value(m2, vm::Value::make_chan(c2), w2, /*gc=*/true);
+  const auto gc = w2.take();
+
+  ASSERT_EQ(gc.size(), legacy.size() + 8u);
+  EXPECT_TRUE(std::equal(legacy.begin(), legacy.end(), gc.begin()))
+      << "the GC credit field must be a pure suffix";
+  std::uint64_t credit = 0;
+  for (int i = 0; i < 8; ++i)
+    credit |= static_cast<std::uint64_t>(gc[legacy.size() +
+                                            static_cast<std::size_t>(i)])
+              << (8 * i);
+  EXPECT_EQ(credit, vm::kMintCredit);
+
+  // A legacy frame decodes at a GC-aware receiver as a weak handle.
+  vm::Machine peer("peer", 1, 0);
+  Reader r(legacy);
+  const vm::Value v = unmarshal_value(peer, r, /*gc=*/false);
+  EXPECT_EQ(v.tag, vm::Value::Tag::kNetRef);
+  EXPECT_EQ(peer.netref_credit_total(), 0u);
+}
+
+TEST(Wire, TruncatedCreditFieldIsRejected) {
+  vm::Machine m("m", 0, 0);
+  Writer w;
+  marshal_value(m, vm::Value::make_chan(m.new_channel()), w, /*gc=*/true);
+  auto bytes = w.take();
+  bytes.resize(bytes.size() - 3);  // tear the credit field
+  vm::Machine peer("peer", 1, 0);
+  Reader r(bytes);
+  EXPECT_THROW(unmarshal_value(peer, r, /*gc=*/true), DecodeError);
+}
+
+TEST(Wire, ReleaseFrameRoundTrip) {
+  const vm::NetRef ref{vm::NetRef::Kind::kChan, /*node=*/9, /*site=*/2,
+                       /*heap_id=*/4242};
+  const auto bytes = make_release(ref, /*rel_node=*/3, /*rel_site=*/1,
+                                  /*cum=*/vm::kMintCredit / 2);
+  Reader r(bytes);
+  const PacketHeader h = read_header(r);
+  EXPECT_EQ(h.type, MsgType::kRelease);
+  EXPECT_EQ(h.dst_site, ref.site) << "REL routes to the owning site";
+  const vm::NetRef got = read_netref(r);
+  EXPECT_EQ(got, ref);
+  EXPECT_EQ(r.u32(), 3u);
+  EXPECT_EQ(r.u32(), 1u);
+  EXPECT_EQ(r.u64(), vm::kMintCredit / 2);
+}
+
+TEST(Wire, PlainValuesUnaffectedByGcMode) {
+  // Only netrefs grow a credit field: builtin values marshal identically
+  // with and without the extension.
+  vm::Machine m("m", 0, 0);
+  for (const vm::Value v :
+       {vm::Value::make_int(-7), vm::Value::make_bool(true),
+        vm::Value::make_float(2.5)}) {
+    Writer a, b;
+    marshal_value(m, v, a, /*gc=*/false);
+    marshal_value(m, v, b, /*gc=*/true);
+    EXPECT_EQ(a.take(), b.take());
+  }
+}
+
+}  // namespace
+}  // namespace dityco::core

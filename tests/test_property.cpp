@@ -16,6 +16,7 @@
 #include "compiler/codegen.hpp"
 #include "compiler/parser.hpp"
 #include "core/network.hpp"
+#include "core/wire.hpp"
 #include "support/rng.hpp"
 #include "types/infer.hpp"
 #include "vm/machine.hpp"
@@ -233,8 +234,136 @@ TEST_P(PipelineProperty, ThreadedDriverAgrees) {
   EXPECT_EQ(sorted(all), expected);
 }
 
+TEST_P(PipelineProperty, DistributedRunLeaksNothing) {
+  // Distributed-GC leak check over the same random corpus: whatever the
+  // pipeline shape, the final epoch leaves every export table, netref
+  // table and the name service's IdTable empty.
+  const Pipeline p = gen_pipeline(GetParam());
+  core::Network net;
+  for (std::size_t i = 0; i < p.sites.size(); ++i) {
+    net.add_node();
+    net.add_site(i, p.sites[i].first);
+  }
+  for (const auto& [site, prog] : p.sites) net.submit_source(site, prog);
+  auto res = net.run();
+  ASSERT_TRUE(res.quiescent);
+  ASSERT_TRUE(net.all_errors().empty()) << net.all_errors()[0];
+  auto rep = net.collect_garbage();
+  EXPECT_EQ(rep.exports_live, 0u) << p.single_site;
+  EXPECT_EQ(rep.netrefs_live, 0u) << p.single_site;
+  EXPECT_EQ(rep.ns_ids, 0u) << p.single_site;
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,
                          ::testing::Range<std::uint64_t>(1, 33));
+
+// ---------------------------------------------------------------------
+// Distributed-GC credit conservation
+// ---------------------------------------------------------------------
+//
+// Drives three machines directly through the marshalling layer with a
+// random sequence of export / forward / drop / send-home operations,
+// applying every REL synchronously. The conservation law checked after
+// every step: the owner's outstanding credit equals exactly the credit
+// held across all other machines — no unit is ever created, destroyed,
+// or double-counted by splits, returns or releases.
+
+class GcConservationProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GcConservationProperty, CreditIsConservedAndDrainsToZero) {
+  Rng rng(GetParam() * 9176 + 5);
+  vm::Machine owner("owner", 0, 0);
+  vm::Machine ma("a", 1, 0);
+  vm::Machine mb("b", 2, 0);
+  vm::Machine* holders[2] = {&ma, &mb};
+  std::vector<vm::Value> held[2];        // per-holder GC roots
+  std::vector<std::uint32_t> chans;      // owner-side channels
+
+  auto flush_rels = [&](vm::Machine& h) {
+    for (const auto& [ref, cum] : h.take_pending_releases())
+      owner.apply_release(ref.kind, ref.heap_id, h.node_id(), h.site_id(),
+                          cum);
+  };
+  auto check = [&](const char* what) {
+    EXPECT_EQ(owner.exports_outstanding(),
+              ma.netref_credit_total() + mb.netref_credit_total())
+        << what << " broke conservation (seed " << GetParam() << ")";
+  };
+
+  for (int step = 0; step < 60; ++step) {
+    switch (rng.below(4)) {
+      case 0: {  // owner exports a (fresh or re-exported) channel
+        if (chans.empty() || rng.chance(1, 2)) chans.push_back(owner.new_channel());
+        const std::uint32_t ch = chans[rng.below(chans.size())];
+        const std::size_t h = rng.below(2);
+        Writer w;
+        core::marshal_value(owner, vm::Value::make_chan(ch), w, /*gc=*/true);
+        const auto bytes = w.take();
+        Reader r(bytes);
+        held[h].push_back(core::unmarshal_value(*holders[h], r, /*gc=*/true));
+        check("export");
+        break;
+      }
+      case 1: {  // forward a held handle to the other holder
+        const std::size_t h = rng.below(2);
+        if (held[h].empty()) break;
+        const vm::Value v = held[h][rng.below(held[h].size())];
+        Writer w;
+        core::marshal_value(*holders[h], v, w, /*gc=*/true);
+        const auto bytes = w.take();
+        Reader r(bytes);
+        held[1 - h].push_back(
+            core::unmarshal_value(*holders[1 - h], r, /*gc=*/true));
+        check("forward");
+        break;
+      }
+      case 2: {  // drop a handle; collect; release synchronously
+        const std::size_t h = rng.below(2);
+        if (held[h].empty()) break;
+        const std::size_t i = rng.below(held[h].size());
+        held[h][i] = held[h].back();
+        held[h].pop_back();
+        holders[h]->gc(held[h]);
+        flush_rels(*holders[h]);
+        check("drop");
+        break;
+      }
+      default: {  // send a handle home: its share returns inline
+        const std::size_t h = rng.below(2);
+        if (held[h].empty()) break;
+        const vm::Value v = held[h][rng.below(held[h].size())];
+        Writer w;
+        core::marshal_value(*holders[h], v, w, /*gc=*/true);
+        const auto bytes = w.take();
+        Reader r(bytes);
+        const vm::Value back = core::unmarshal_value(owner, r, /*gc=*/true);
+        EXPECT_EQ(back.tag, vm::Value::Tag::kChan) << "localised at home";
+        check("send home");
+        break;
+      }
+    }
+  }
+
+  // Teardown: every handle dies; all credit must come back and every
+  // entry, netref slot and owner channel must free.
+  held[0].clear();
+  held[1].clear();
+  chans.clear();
+  for (const std::size_t h : {std::size_t{0}, std::size_t{1}}) {
+    holders[h]->gc(held[h]);
+    flush_rels(*holders[h]);
+  }
+  EXPECT_EQ(owner.exports_outstanding(), 0u);
+  EXPECT_EQ(owner.live_exports(), 0u) << "seed " << GetParam();
+  EXPECT_EQ(ma.live_netrefs(), 0u);
+  EXPECT_EQ(mb.live_netrefs(), 0u);
+  owner.gc();
+  EXPECT_EQ(owner.live_channels(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GcConservationProperty,
+                         ::testing::Range<std::uint64_t>(1, 49));
 
 // Expression-only differential: VM and reducer agree on arithmetic.
 class ExprProperty : public ::testing::TestWithParam<std::uint64_t> {};
