@@ -22,7 +22,7 @@ struct Placement {
 };
 
 double run_placement(const Placement& p, int rpcs, std::uint64_t& packets,
-                     MetricsJsonEmitter& mj) {
+                     MetricsJsonEmitter& mj, ObsFlags& obsf) {
   core::Network net = [&] {
     if (p.same_site) {
       auto n = core::Network(sim_config(p.link));
@@ -46,8 +46,10 @@ double run_placement(const Placement& p, int rpcs, std::uint64_t& packets,
   net.submit_source("server", echo_server_src());
   const std::string client = p.same_site ? "server" : "client";
   net.submit_source(client, chained_rpc_client_src("server", rpcs));
+  obsf.attach(net);
   auto res = net.run();
   mj.record(p.name, net);
+  obsf.report(p.name, net);
   packets = res.packets;
   if (!res.quiescent) std::printf("WARNING: %s did not quiesce\n", p.name);
   return res.virtual_time_us;
@@ -57,6 +59,7 @@ double run_placement(const Placement& p, int rpcs, std::uint64_t& packets,
 
 int main(int argc, char** argv) {
   MetricsJsonEmitter mj(argc, argv);
+  ObsFlags obsf(argc, argv);
   const int rpcs = 200;
   const Placement placements[] = {
       {"same site", 1, true, net::myrinet()},
@@ -70,7 +73,7 @@ int main(int argc, char** argv) {
   double base = 0;
   for (const auto& p : placements) {
     std::uint64_t packets = 0;
-    const double t = run_placement(p, rpcs, packets, mj);
+    const double t = run_placement(p, rpcs, packets, mj, obsf);
     if (base == 0) base = t;
     row({p.name, fmt(t), fmt(t / rpcs), fmt_int(packets)});
   }

@@ -37,7 +37,7 @@ struct Outcome {
 };
 
 Outcome run_fetch(int size, int activations, bool cache,
-                  MetricsJsonEmitter& mj, MonitorFlag& mon,
+                  MetricsJsonEmitter& mj, MonitorFlag& mon, ObsFlags& obsf,
                   const std::string& label) {
   auto net = core::Network(sim_config(net::myrinet()));
   net.add_node();
@@ -46,6 +46,7 @@ Outcome run_fetch(int size, int activations, bool cache,
   net.add_site(1, "client");
   net.find_site("client")->set_fetch_cache_enabled(cache);
   mon.attach(net);
+  obsf.attach(net);
   net.submit_source("server", "export def Applet(out) = out![" +
                                   big_expr(size) + "] in 0");
   net.submit_source("client",
@@ -55,6 +56,7 @@ Outcome run_fetch(int size, int activations, bool cache,
                     "in Go[" + std::to_string(activations) + "]");
   auto res = net.run();
   mj.record(label, net);
+  obsf.report(label, net);
   Outcome o;
   o.vtime_us = res.virtual_time_us;
   o.bytes = res.bytes;
@@ -63,13 +65,15 @@ Outcome run_fetch(int size, int activations, bool cache,
 }
 
 Outcome run_ship(int size, int activations, MetricsJsonEmitter& mj,
-                 MonitorFlag& mon, const std::string& label) {
+                 MonitorFlag& mon, ObsFlags& obsf,
+                 const std::string& label) {
   auto net = core::Network(sim_config(net::myrinet()));
   net.add_node();
   net.add_site(0, "server");
   net.add_node();
   net.add_site(1, "client");
   mon.attach(net);
+  obsf.attach(net);
   net.submit_source("server",
                     "def Srv(self) = self?{ get(p) = ((p?(r) = r![" +
                         big_expr(size) +
@@ -81,6 +85,7 @@ Outcome run_ship(int size, int activations, MetricsJsonEmitter& mj,
                     "in Go[" + std::to_string(activations) + "]");
   auto res = net.run();
   mj.record(label, net);
+  obsf.report(label, net);
   Outcome o;
   o.vtime_us = res.virtual_time_us;
   o.bytes = res.bytes;
@@ -93,6 +98,7 @@ Outcome run_ship(int size, int activations, MetricsJsonEmitter& mj,
 int main(int argc, char** argv) {
   MetricsJsonEmitter mj(argc, argv);
   MonitorFlag mon(argc, argv);
+  ObsFlags obsf(argc, argv);
   const int sizes[] = {4, 64, 512};
   const int acts[] = {1, 8, 64};
 
@@ -104,14 +110,14 @@ int main(int argc, char** argv) {
       const std::string tag =
           "size=" + std::to_string(size) + " k=" + std::to_string(k);
       const Outcome f =
-          run_fetch(size, k, true, mj, mon, "fetch+cache " + tag);
+          run_fetch(size, k, true, mj, mon, obsf, "fetch+cache " + tag);
       row({fmt_int(size), fmt_int(k), "fetch+cache", fmt(f.vtime_us),
            fmt_int(f.bytes), fmt_int(f.fetches)});
       const Outcome fn =
-          run_fetch(size, k, false, mj, mon, "fetch-nocache " + tag);
+          run_fetch(size, k, false, mj, mon, obsf, "fetch-nocache " + tag);
       row({fmt_int(size), fmt_int(k), "fetch-nocache (A2)", fmt(fn.vtime_us),
            fmt_int(fn.bytes), fmt_int(fn.fetches)});
-      const Outcome s = run_ship(size, k, mj, mon, "ship " + tag);
+      const Outcome s = run_ship(size, k, mj, mon, obsf, "ship " + tag);
       row({fmt_int(size), fmt_int(k), "ship", fmt(s.vtime_us),
            fmt_int(s.bytes), fmt_int(s.ships)});
     }

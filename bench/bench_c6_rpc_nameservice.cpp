@@ -38,7 +38,8 @@ double one_rpc(const net::LinkModel& link) {
 }
 
 double import_storm(int sites, int imports_each, MetricsJsonEmitter& mj,
-                    MonitorFlag& mon, bool distributed = false) {
+                    MonitorFlag& mon, ObsFlags& obsf,
+                    bool distributed = false) {
   auto cfg = sim_config(net::myrinet());
   cfg.ns_service_us = 2.0;
   cfg.distributed_ns = distributed;
@@ -60,10 +61,13 @@ double import_storm(int sites, int imports_each, MetricsJsonEmitter& mj,
     net.submit_source(name, prog + "print[\"ok\"]");
   }
   mon.attach(net);
+  obsf.attach(net);
   auto res = net.run();
-  mj.record((distributed ? "distributed-ns s=" : "central-ns s=") +
-                std::to_string(sites),
-            net);
+  const std::string label =
+      (distributed ? "distributed-ns s=" : "central-ns s=") +
+      std::to_string(sites);
+  mj.record(label, net);
+  obsf.report(label, net);
   if (!res.quiescent) std::printf("WARNING: import storm not quiescent\n");
   return res.virtual_time_us;
 }
@@ -73,6 +77,7 @@ double import_storm(int sites, int imports_each, MetricsJsonEmitter& mj,
 int main(int argc, char** argv) {
   MetricsJsonEmitter mj(argc, argv);
   MonitorFlag mon(argc, argv);
+  ObsFlags obsf(argc, argv);
   header("C6a: marginal RPC cost, measured vs additive model",
          {"network", "measured us", "2 x link + compute (model)",
           "ratio"});
@@ -94,8 +99,8 @@ int main(int argc, char** argv) {
          {"importing sites", "centralised us", "distributed us (extension)"});
   const int imports_each = 8;
   for (int s : {1, 2, 4, 8, 16, 32}) {
-    const double central = import_storm(s, imports_each, mj, mon, false);
-    const double dist = import_storm(s, imports_each, mj, mon, true);
+    const double central = import_storm(s, imports_each, mj, mon, obsf, false);
+    const double dist = import_storm(s, imports_each, mj, mon, obsf, true);
     row({fmt_int(s), fmt(central), fmt(dist)});
   }
   std::printf(

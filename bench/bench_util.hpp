@@ -170,4 +170,72 @@ class MonitorFlag {
   int port_ = 0;
 };
 
+/// `--profile` / `--flight` support: switch the sampled VM profiler
+/// and/or tail-based trace retention on for every measured network.
+/// After each run the profiler's folded stacks (`--profile`) and the
+/// flight buffer's promotion counters (`--flight`) go to stderr, so the
+/// measured stdout tables stay byte-identical. Without the flags
+/// everything is a no-op — the "observability off" bench baseline.
+class ObsFlags {
+ public:
+  ObsFlags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--profile") profile_ = true;
+      if (arg == "--flight") flight_ = true;
+      if (arg == "--flight-slow-us" && i + 1 < argc) {
+        flight_ = true;
+        slow_us_ = std::atof(argv[i + 1]);
+      }
+    }
+  }
+
+  bool profile() const { return profile_; }
+  bool flight() const { return flight_; }
+
+  /// Call after the topology is built, before run().
+  void attach(core::Network& net) {
+    if (profile_) net.enable_profiling(1024);
+    if (flight_) {
+      obs::FlightPolicy fp;
+      // Default: keep the slowest ~1% of mobility completions; an
+      // explicit --flight-slow-us threshold overrides the percentile.
+      if (slow_us_ > 0)
+        fp.slow_us = slow_us_;
+      else
+        fp.slow_pctl = 0.99;
+      net.enable_flight(fp);
+    }
+  }
+
+  /// Call after run(); `label` names the measured configuration.
+  void report(const std::string& label, core::Network& net) {
+    if (profile_) {
+      std::fprintf(stderr, "-- profile [%s] --\n%s", label.c_str(),
+                   net.profile_folded().c_str());
+    }
+    if (flight_) {
+      using R = obs::FlightRecorder::Reason;
+      auto& f = net.flight();
+      std::fprintf(stderr,
+                   "-- flight [%s] promoted slow=%llu error=%llu "
+                   "starved=%llu rel=%llu of %llu completions --\n",
+                   label.c_str(),
+                   static_cast<unsigned long long>(f.promoted_count(R::kSlow)),
+                   static_cast<unsigned long long>(
+                       f.promoted_count(R::kError)),
+                   static_cast<unsigned long long>(
+                       f.promoted_count(R::kStarved)),
+                   static_cast<unsigned long long>(
+                       f.promoted_count(R::kRelAnomaly)),
+                   static_cast<unsigned long long>(f.completions()));
+    }
+  }
+
+ private:
+  bool profile_ = false;
+  bool flight_ = false;
+  double slow_us_ = 0;
+};
+
 }  // namespace dityco::benchutil

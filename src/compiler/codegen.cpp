@@ -72,6 +72,8 @@ class SegBuilder {
     return static_cast<std::uint32_t>(seg_.deps.size() - 1);
   }
 
+  void set_name(std::string n) { seg_.name = std::move(n); }
+
   Segment take() { return std::move(seg_); }
 
  private:
@@ -115,6 +117,7 @@ class Codegen {
                          *located.begin() +
                          "' (introduce it with import instead)");
     segs_.push_back(std::make_unique<SegBuilder>(0));
+    segs_[0]->set_name("main");
     Ctx root;
     root.sb = segs_[0].get();
     proc(root, p);
@@ -288,6 +291,10 @@ class Codegen {
 
     const std::uint32_t seg_idx = new_segment();
     SegBuilder* sb = segs_[seg_idx].get();
+    std::string obj_name = "{";
+    for (const auto& m : methods)
+      obj_name += (obj_name.size() > 1 ? "," : "") + m.name;
+    sb->set_name(obj_name + "}");
     // Method table: [nmethods, (labelidx, nparams, offset)*]
     sb->word(static_cast<std::uint32_t>(methods.size()));
     std::vector<std::uint32_t> off_at;
@@ -324,6 +331,10 @@ class Codegen {
 
     const std::uint32_t seg_idx = new_segment();
     SegBuilder* sb = segs_[seg_idx].get();
+    std::string blk_name;
+    for (const auto& d : defs)
+      blk_name += (blk_name.empty() ? "" : "+") + d.name;
+    sb->set_name(blk_name);
     // Class table: [nclasses, (nparams, offset)*]
     sb->word(static_cast<std::uint32_t>(defs.size()));
     std::vector<std::uint32_t> off_at;

@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "compiler/codegen.hpp"
 #include "types/infer.hpp"
@@ -29,6 +31,8 @@ Node& Network::add_node() {
   if (trace_capacity_ > 0)
     nodes_.back()->enable_tracing(trace_capacity_, sample_every_,
                                   sample_seed_);
+  if (flight_) nodes_.back()->set_flight(flight_.get());
+  if (prof_period_ > 0) nodes_.back()->enable_profiling(prof_period_);
   return *nodes_.back();
 }
 
@@ -41,11 +45,82 @@ void Network::enable_tracing(std::size_t capacity, std::uint64_t sample_every,
     n->enable_tracing(capacity, sample_every, sample_seed);
 }
 
+void Network::enable_flight(const obs::FlightPolicy& policy) {
+  // The recorder harvests promoted events from the rings, so retention
+  // without tracing would have nothing to keep.
+  if (trace_capacity_ == 0) enable_tracing();
+  if (!flight_) {
+    flight_ = std::make_unique<obs::FlightRecorder>();
+    obs::FlightRecorder* f = flight_.get();
+    flight_reg_ = metrics_->add_collector([f](obs::Collector& c) {
+      using R = obs::FlightRecorder::Reason;
+      for (R r : {R::kSlow, R::kError, R::kStarved, R::kRelAnomaly})
+        c.counter(std::string("flight_promoted{reason=\"") +
+                      obs::FlightRecorder::reason_name(r) + "\"}",
+                  f->promoted_count(r));
+      c.counter("flight_completions", f->completions());
+      c.counter("flight_evicted", f->evicted());
+      c.counter("flight_duplicates", f->duplicates());
+      c.counter("flight_index_rebuilds", f->index_rebuilds());
+      c.histogram("flight_latency_us", f->latency_snapshot());
+    });
+  }
+  flight_->configure(policy);
+  for (auto& n : nodes_) n->set_flight(flight_.get());
+}
+
+void Network::enable_profiling(std::uint64_t period) {
+  prof_period_ = period;
+  for (auto& n : nodes_) n->enable_profiling(period);
+}
+
+std::string Network::profile_folded() const {
+  std::string out;
+  for (const auto& n : nodes_)
+    for (const auto& s : n->sites()) out += s->machine().profile_folded();
+  return out;
+}
+
+std::string Network::flight_json() const {
+  std::vector<obs::ThreadTrace> lines;
+  if (flight_) {
+    // Regroup the promoted events into the (node, site) thread lines the
+    // Chrome exporter expects; flow arrows re-emerge from the trace ids.
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> index;
+    auto site_name = [this](std::uint32_t node, std::uint32_t site) {
+      if (site == obs::kDaemonSite)
+        return "node" + std::to_string(node) + "/tycod";
+      for (const auto& n : nodes_)
+        if (n->id() == node)
+          for (const auto& s : n->sites())
+            if (s->site_id() == site) return s->name();
+      return "node" + std::to_string(node) + "/site" + std::to_string(site);
+    };
+    for (const auto& entry : flight_->snapshot()) {
+      for (const auto& ev : entry.events) {
+        const auto key = std::make_pair(ev.node, ev.site);
+        auto it = index.find(key);
+        if (it == index.end()) {
+          obs::ThreadTrace tt;
+          tt.pid = ev.node;
+          tt.tid = ev.site;
+          tt.name = site_name(ev.node, ev.site);
+          it = index.emplace(key, lines.size()).first;
+          lines.push_back(std::move(tt));
+        }
+        lines[it->second].events.push_back(ev);
+      }
+    }
+  }
+  return obs::chrome_trace_json(lines);
+}
+
 // ---------------------------------------------------------------------
 // TyCOmon
 // ---------------------------------------------------------------------
 
-std::uint16_t Network::start_monitor(std::uint16_t port) {
+std::uint16_t Network::start_monitor(std::uint16_t port,
+                                     const std::string& bind_addr) {
   if (monitor_) return monitor_->port();
   auto srv = std::make_unique<obs::MonitorServer>();
   using Resp = obs::MonitorServer::Response;
@@ -71,7 +146,15 @@ std::uint16_t Network::start_monitor(std::uint16_t port) {
   srv->route("/healthz", [this] {
     return Resp{200, "application/json", health_json()};
   });
-  if (srv->start(port) == 0) return 0;
+  // The flight buffer and the profiler tables are mutex/atomic-guarded,
+  // so both endpoints are safe mid-run.
+  srv->route("/flight", [this] {
+    return Resp{200, "application/json", flight_json()};
+  });
+  srv->route("/profile", [this] {
+    return Resp{200, "text/plain; charset=utf-8", profile_folded()};
+  });
+  if (srv->start(port, bind_addr) == 0) return 0;
   monitor_ = std::move(srv);
   return monitor_->port();
 }
@@ -140,6 +223,9 @@ std::string Network::health_json() const {
 
 std::vector<obs::ThreadTrace> Network::collect_traces() const {
   std::vector<obs::ThreadTrace> out;
+  // Tail retention runs the rings in record-all mode; /trace keeps its
+  // 1-in-N contract by re-filtering to the sampled id set.
+  const bool refilter = flight_ != nullptr && sample_every_ > 1;
   for (const auto& n : nodes_) {
     if (n->daemon_ring().enabled()) {
       obs::ThreadTrace tt;
@@ -147,6 +233,12 @@ std::vector<obs::ThreadTrace> Network::collect_traces() const {
       tt.pid = n->id();
       tt.tid = obs::kDaemonSite;
       tt.events = n->daemon_ring().snapshot();
+      if (refilter)
+        std::erase_if(tt.events, [this](const obs::TraceEvent& e) {
+          return e.trace_id != 0 &&
+                 !obs::trace_id_sampled(e.trace_id, sample_every_,
+                                        sample_seed_);
+        });
       out.push_back(std::move(tt));
     }
     for (const auto& s : n->sites()) {
@@ -156,6 +248,12 @@ std::vector<obs::ThreadTrace> Network::collect_traces() const {
       tt.pid = n->id();
       tt.tid = s->site_id();
       tt.events = s->trace_ring().snapshot();
+      if (refilter)
+        std::erase_if(tt.events, [this](const obs::TraceEvent& e) {
+          return e.trace_id != 0 &&
+                 !obs::trace_id_sampled(e.trace_id, sample_every_,
+                                        sample_seed_);
+        });
       out.push_back(std::move(tt));
     }
   }
@@ -371,11 +469,23 @@ Network::Result Network::run_threaded() {
   for (std::size_t i = 0; i < sites.size(); ++i) {
     threads.emplace_back([&, i] {
       Site& s = *sites[i];
+      // Periodic REL resend (Config::gc_resend_ms): collect() is an
+      // executor-thread operation, so the heal timer lives here.
+      const bool resend_gc = cfg_.gc && cfg_.gc_resend_ms > 0;
+      auto next_resend = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(cfg_.gc_resend_ms);
       while (!stop.load(std::memory_order_relaxed)) {
         idle_hints[i]->store(false, std::memory_order_release);
         const std::size_t applied = s.process_incoming();
         const std::uint64_t ran = s.run_slice(cfg_.slice);
         executed.fetch_add(ran, std::memory_order_relaxed);
+        if (resend_gc && std::chrono::steady_clock::now() >= next_resend) {
+          next_resend += std::chrono::milliseconds(cfg_.gc_resend_ms);
+          const std::size_t queued = s.collect(/*final=*/false,
+                                               /*resend=*/true);
+          if (queued != 0)
+            progress.fetch_add(queued, std::memory_order_release);
+        }
         if (applied != 0)
           progress.fetch_add(applied, std::memory_order_release);
         const bool idle =
@@ -467,7 +577,11 @@ Network::GcReport Network::collect_garbage(int max_rounds) {
   bool final = true;
   for (int round = 0; round < max_rounds; ++round) {
     ++rep.rounds;
-    const std::size_t queued = gc_pass(final);
+    // With the heal timer configured, the final epoch also retransmits
+    // cumulative releases: a REL the transport dropped mid-run is then
+    // healed even by runs too short for the timer to fire.
+    const std::size_t queued =
+        gc_pass(final, /*resend=*/final && cfg_.gc_resend_ms > 0);
     final = false;
     for (;;) {
       std::size_t moved = 0;

@@ -67,6 +67,13 @@ class Network {
     /// passes at quiescence; sim mode defers GC entirely to
     /// collect_garbage() so virtual-time results are unaffected.
     bool gc = true;
+    /// Threaded driver: every `gc_resend_ms` milliseconds each site
+    /// retransmits its non-zero cumulative releases (Site::collect with
+    /// resend), healing RELs a lossy transport dropped — the owner's
+    /// max-merge makes the retransmission idempotent. 0 (default)
+    /// disables the timer. collect_garbage()'s first epoch also resends
+    /// when this is set, so a drop is healed even by a short run.
+    std::uint64_t gc_resend_ms = 0;
   };
 
   struct Result {
@@ -143,6 +150,29 @@ class Network {
                       std::uint64_t sample_seed = 0);
   bool tracing_enabled() const { return trace_capacity_ > 0; }
 
+  /// Tail-based trace retention (obs/flight.hpp): switches every ring —
+  /// current and future — into record-all mode, attaches a flight
+  /// recorder to every site, and registers its counters with the
+  /// metrics registry. Implies enable_tracing() (with defaults) when
+  /// tracing is off. GET /trace keeps its 1-in-N sampled view — the
+  /// exporter re-filters — while GET /flight serves the promoted tail.
+  /// Call before run(); callable again to adjust the policy.
+  void enable_flight(const obs::FlightPolicy& policy = {});
+  bool flight_enabled() const { return flight_ != nullptr; }
+  obs::FlightRecorder& flight() { return *flight_; }
+  /// The promoted traces as Chrome trace-event JSON (TyCOmon /flight).
+  std::string flight_json() const;
+
+  /// Enable the sampled VM execution profiler (obs/profile.hpp) on every
+  /// current and future site: one sample per `period` executed
+  /// instructions, attributed to (opcode, definition).
+  void enable_profiling(std::uint64_t period = 1024);
+  bool profiling_enabled() const { return prof_period_ > 0; }
+  /// All sites' samples as folded stacks — `site;definition;opcode N`
+  /// lines, highest count first per site (TyCOmon /profile; feed to
+  /// flamegraph tools).
+  std::string profile_folded() const;
+
   // -- TyCOmon: the per-network monitoring daemon --
 
   /// Start the TyCOmon scrape server on 127.0.0.1:`port` (0 picks an
@@ -152,7 +182,10 @@ class Network {
   /// safe to hit while run() executes. Returns the bound port, 0 on
   /// failure. The Network must not be moved once the monitor is started
   /// (handlers capture `this`).
-  std::uint16_t start_monitor(std::uint16_t port = 0);
+  /// `bind_addr` other than 127.0.0.1 exposes the endpoints off-host —
+  /// plain text, unauthenticated; the server prints a warning.
+  std::uint16_t start_monitor(std::uint16_t port = 0,
+                              const std::string& bind_addr = "127.0.0.1");
   void stop_monitor();
   /// Bound port, or 0 when the monitor is not running.
   std::uint16_t monitor_port() const {
@@ -206,6 +239,9 @@ class Network {
   // registrations that must unregister before the registry dies.
   // Heap-allocated so collector lambdas survive Network moves.
   std::unique_ptr<obs::Registry> metrics_;
+  // Declared before nodes_ so sites' raw FlightRecorder pointers never
+  // outlive the recorder.
+  std::unique_ptr<obs::FlightRecorder> flight_;
   // Heap-allocated so that Nodes' pointers into it survive moves.
   std::unique_ptr<NameService> ns_;
   std::vector<std::unique_ptr<Node>> nodes_;
@@ -214,6 +250,8 @@ class Network {
   bool ns_distributed_ = false;
   std::size_t trace_capacity_ = 0;
   std::uint64_t sample_every_ = 1, sample_seed_ = 0;
+  std::uint64_t prof_period_ = 0;  // 0 = profiling off
+  obs::Registry::Registration flight_reg_;
   std::unique_ptr<LiveStatus> live_ = std::make_unique<LiveStatus>();
   // Declared last: the server thread reads everything above, so it must
   // be stopped (destroyed) first.

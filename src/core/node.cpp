@@ -40,7 +40,27 @@ Site& Node::add_site(const std::string& name) {
     s.enable_tracing(trace_capacity_);
     s.set_trace_sampling(sample_every_, sample_seed_);
   }
+  if (flight_ != nullptr) {
+    s.set_flight(flight_);
+    s.trace_ring().set_record_all(true);
+  }
+  if (prof_period_ > 0) s.machine().enable_profiling(prof_period_);
   return s;
+}
+
+void Node::set_flight(obs::FlightRecorder* f) {
+  flight_ = f;
+  ring_.set_record_all(f != nullptr);
+  if (f != nullptr) f->attach_ring(&ring_);
+  for (auto& s : sites_) {
+    s->set_flight(f);
+    s->trace_ring().set_record_all(f != nullptr);
+  }
+}
+
+void Node::enable_profiling(std::uint64_t period) {
+  prof_period_ = period;
+  for (auto& s : sites_) s->machine().enable_profiling(period);
 }
 
 void Node::enable_tracing(std::size_t capacity, std::uint64_t sample_every,
@@ -64,7 +84,7 @@ void Node::route(net::Packet p, net::Transport& t, double now_us) {
     const PacketHeader h = read_header(r);
     std::vector<net::Packet> replies;
     if (h.type == MsgType::kNsExport || h.type == MsgType::kNsUnregister) {
-      if (h.sampled)
+      if (ring_.should_record(h.sampled))
         ring_.record(obs::EventType::kNsExport, h.trace_id, p.bytes.size());
       // Replicated mode: exports (and unregisters) originating here
       // propagate to every other replica (which releases their parked
@@ -87,7 +107,7 @@ void Node::route(net::Packet p, net::Transport& t, double now_us) {
       else
         ns_->handle_unregister(r, replies);
     } else {
-      if (h.sampled)
+      if (ring_.should_record(h.sampled))
         ring_.record(obs::EventType::kNsLookup, h.trace_id, p.bytes.size());
       ns_->handle_lookup(r, replies, h.trace_id, h.sampled);
     }
@@ -114,7 +134,7 @@ std::size_t Node::pump_site_outgoing(net::Transport& t, std::size_t site_idx,
       if (!packet_is_ns(p)) ++local_deliveries_;
       route(std::move(p), t, now_us);  // shared-memory fast path
     } else {
-      if (ring_.enabled() && packet_sampled(p.bytes))
+      if (ring_.enabled() && ring_.should_record(packet_sampled(p.bytes)))
         ring_.record(obs::EventType::kPacketSend, packet_trace_id(p.bytes),
                      p.bytes.size());
       t.send(std::move(p), now_us);
@@ -135,7 +155,7 @@ std::size_t Node::pump_incoming(net::Transport& t, double now_us) {
   net::Packet p;
   while (t.recv(id_, p, now_us)) {
     ++moved;
-    if (ring_.enabled() && packet_sampled(p.bytes))
+    if (ring_.enabled() && ring_.should_record(packet_sampled(p.bytes)))
       ring_.record(obs::EventType::kPacketRecv, packet_trace_id(p.bytes),
                    p.bytes.size());
     route(std::move(p), t, now_us);

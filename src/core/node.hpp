@@ -14,6 +14,7 @@
 #include "core/nameservice.hpp"
 #include "core/site.hpp"
 #include "net/transport.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 
 namespace dityco::core {
@@ -75,6 +76,14 @@ class Node {
   obs::TraceRing& daemon_ring() { return ring_; }
   const obs::TraceRing& daemon_ring() const { return ring_; }
 
+  /// Tail-based retention: record *all* trace ids into the rings (the
+  /// flight recorder decides post-hoc which survive) and attach the
+  /// recorder to every current and future site. /trace re-filters to the
+  /// sampled subset, so head sampling semantics are preserved.
+  void set_flight(obs::FlightRecorder* f);
+  /// Enable the sampled VM profiler on every current and future site.
+  void enable_profiling(std::uint64_t period);
+
  private:
   std::uint64_t local_deliveries_ = 0;
   std::uint32_t id_;
@@ -85,6 +94,8 @@ class Node {
   std::vector<std::unique_ptr<Site>> sites_;
   std::size_t trace_capacity_ = 0;  // 0 = tracing off for new sites
   std::uint64_t sample_every_ = 1, sample_seed_ = 0;
+  obs::FlightRecorder* flight_ = nullptr;  // set by set_flight
+  std::uint64_t prof_period_ = 0;          // 0 = profiling off
   obs::TraceRing ring_;             // daemon-side events
 };
 

@@ -189,6 +189,10 @@ std::size_t Site::process_incoming(std::size_t max_packets) {
       // (malformed frame, verification, forged reference) poisons only
       // this delivery, never the site.
       record_error(name_ + ": malformed packet: " + e.what());
+      if (flight_ != nullptr && bytes.size() >= 13 &&
+          (bytes[0] & kTraceFlag) != 0)
+        flight_->promote(packet_trace_id(bytes),
+                         obs::FlightRecorder::Reason::kError);
     }
     ++n;
   }
@@ -209,6 +213,7 @@ void Site::ship_message(const vm::NetRef& target, const std::string& label,
     return;
   }
   const obs::TraceTag tid = fresh_trace_id();
+  const std::uint64_t starved0 = machine_.gc_stats().credit_starved;
   Writer w;
   write_header(w, MsgType::kShipMsg, target.site, tid.id, tid.sampled,
                gc_enabled_);
@@ -217,8 +222,13 @@ void Site::ship_message(const vm::NetRef& target, const std::string& label,
   marshal_values(machine_, args, w, gc_enabled_);
   auto bytes = w.take();
   packet_bytes_.observe(static_cast<double>(bytes.size()));
-  if (tid.sampled)
+  if (ring_.should_record(tid.sampled))
     ring_.record(obs::EventType::kShipMsgOut, tid.id, bytes.size());
+  if (flight_ != nullptr && tid.id != 0) {
+    flight_->on_depart(tid.id, now_ns());
+    if (machine_.gc_stats().credit_starved > starved0)
+      flight_->promote(tid.id, obs::FlightRecorder::Reason::kStarved);
+  }
   send_packet(target.node, std::move(bytes));
   ++mobility_.msgs_shipped;
 }
@@ -231,6 +241,7 @@ void Site::ship_object(const vm::NetRef& target, std::uint32_t seg_slot,
     return;
   }
   const obs::TraceTag tid = fresh_trace_id();
+  const std::uint64_t starved0 = machine_.gc_stats().credit_starved;
   Writer w;
   write_header(w, MsgType::kShipObj, target.site, tid.id, tid.sampled,
                gc_enabled_);
@@ -241,8 +252,13 @@ void Site::ship_object(const vm::NetRef& target, std::uint32_t seg_slot,
   marshal_values(machine_, env, w, gc_enabled_);
   auto bytes = w.take();
   packet_bytes_.observe(static_cast<double>(bytes.size()));
-  if (tid.sampled)
+  if (ring_.should_record(tid.sampled))
     ring_.record(obs::EventType::kShipObjOut, tid.id, bytes.size());
+  if (flight_ != nullptr && tid.id != 0) {
+    flight_->on_depart(tid.id, now_ns());
+    if (machine_.gc_stats().credit_starved > starved0)
+      flight_->promote(tid.id, obs::FlightRecorder::Reason::kStarved);
+  }
   send_packet(target.node, std::move(bytes));
   ++mobility_.objs_shipped;
 }
@@ -269,7 +285,9 @@ void Site::fetch_instantiate(const vm::NetRef& cls,
   if (parked.size() > 1) return;  // request already in flight
   const obs::TraceTag tid = fresh_trace_id();
   const std::uint64_t req = next_req_++;
-  fetch_by_req_[req] = FetchInFlight{cls, obs::trace_now_ns()};
+  // Ring time base: under the sim driver the FETCH RTT (and the flight
+  // recorder's promotion decision) is then virtual-time deterministic.
+  fetch_by_req_[req] = FetchInFlight{cls, now_ns()};
   Writer w;
   write_header(w, MsgType::kFetchReq, cls.site, tid.id, tid.sampled);
   w.u64(cls.heap_id);
@@ -278,8 +296,9 @@ void Site::fetch_instantiate(const vm::NetRef& cls,
   w.u64(req);
   auto bytes = w.take();
   packet_bytes_.observe(static_cast<double>(bytes.size()));
-  if (tid.sampled)
+  if (ring_.should_record(tid.sampled))
     ring_.record(obs::EventType::kFetchReq, tid.id, cls.heap_id);
+  if (flight_ != nullptr && tid.id != 0) flight_->on_depart(tid.id, now_ns());
   send_packet(cls.node, std::move(bytes));
   ++mobility_.fetch_requests;
 }
@@ -299,7 +318,8 @@ void Site::export_id(const std::string& name, const vm::NetRef& ref) {
     exported_names_.emplace_back(name, ref);
   }
   const obs::TraceTag tid = fresh_trace_id();
-  if (tid.sampled) ring_.record(obs::EventType::kNsExport, tid.id);
+  if (ring_.should_record(tid.sampled))
+    ring_.record(obs::EventType::kNsExport, tid.id);
   send_packet(ns_node_, NameService::make_export(0, name_, name, ref, sig,
                                                  tid.id, tid.sampled, credit));
 }
@@ -308,7 +328,8 @@ void Site::import_id(const std::string& site, const std::string& name,
                      vm::NetRef::Kind kind, std::uint64_t token) {
   import_token_keys_[token] = {site, name};
   const obs::TraceTag tid = fresh_trace_id();
-  if (tid.sampled) ring_.record(obs::EventType::kNsLookup, tid.id, token);
+  if (ring_.should_record(tid.sampled))
+    ring_.record(obs::EventType::kNsLookup, tid.id, token);
   send_packet(ns_node_,
               NameService::make_lookup(site, name, kind, node_id_, site_id_,
                                        token, tid.id, tid.sampled));
@@ -361,7 +382,12 @@ std::size_t Site::collect(bool final, bool resend) {
       machine_.apply_release(ref.kind, ref.heap_id, node_id_, site_id_, cum);
       continue;
     }
-    send_packet(ref.node, make_release(ref, node_id_, site_id_, cum));
+    const obs::TraceTag tid = fresh_trace_id();
+    if (ring_.should_record(tid.sampled))
+      ring_.record(obs::EventType::kRelOut, tid.id, cum);
+    send_packet(ref.node,
+                make_release(ref, node_id_, site_id_, cum, tid.id,
+                             tid.sampled));
     ++mobility_.gc_rel_sent;
     ++queued;
   }
@@ -381,8 +407,10 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
       const std::uint64_t heap_id = r.u64();
       const std::string label = r.str();
       auto args = unmarshal_values(machine_, r, h.gc);
-      if (h.sampled)
+      if (ring_.should_record(h.sampled))
         ring_.record(obs::EventType::kShipMsgIn, h.trace_id, bytes.size());
+      if (flight_ != nullptr && h.trace_id != 0)
+        flight_->on_complete(h.trace_id, now_ns());
       machine_.deliver_message(heap_id, label, std::move(args));
       ++mobility_.msgs_received;
       return;
@@ -393,8 +421,10 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
       auto pool = read_closure(r, root);
       const std::uint32_t slot = machine_.link(root, pool);
       auto env = unmarshal_values(machine_, r, h.gc);
-      if (h.sampled)
+      if (ring_.should_record(h.sampled))
         ring_.record(obs::EventType::kShipObjIn, h.trace_id, bytes.size());
+      if (flight_ != nullptr && h.trace_id != 0)
+        flight_->on_complete(h.trace_id, now_ns());
       machine_.deliver_object(heap_id, slot, std::move(env));
       ++mobility_.objs_received;
       return;
@@ -420,7 +450,7 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
       marshal_values(machine_, blk.env, w, gc_enabled_);
       auto reply = w.take();
       packet_bytes_.observe(static_cast<double>(reply.size()));
-      if (h.sampled)
+      if (ring_.should_record(h.sampled))
         ring_.record(obs::EventType::kFetchServed, h.trace_id, reply.size());
       send_packet(req_node, std::move(reply));
       ++mobility_.fetch_served;
@@ -436,11 +466,14 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
       if (rit == fetch_by_req_.end())
         throw DecodeError("fetch reply for unknown request");
       const vm::NetRef ref = rit->second.cls;
-      fetch_rtt_us_.observe(
-          static_cast<double>(obs::trace_now_ns() - rit->second.issued_ns) /
-          1e3);
-      if (h.sampled)
+      const std::uint64_t arrived = now_ns();
+      if (arrived > rit->second.issued_ns)
+        fetch_rtt_us_.observe(
+            static_cast<double>(arrived - rit->second.issued_ns) / 1e3);
+      if (ring_.should_record(h.sampled))
         ring_.record(obs::EventType::kFetchReply, h.trace_id, bytes.size());
+      if (flight_ != nullptr && h.trace_id != 0)
+        flight_->on_complete(h.trace_id, arrived);
       fetch_by_req_.erase(rit);
       const std::uint32_t slot = machine_.link(root, pool);
       const std::uint32_t block = machine_.make_block(slot, std::move(env));
@@ -463,11 +496,13 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
       // its held balance for this importer (flag only set on ok replies
       // from a credit-bearing binding).
       const std::uint64_t credit = h.gc ? r.u64() : 0;
-      if (h.sampled)
+      if (ring_.should_record(h.sampled))
         ring_.record(obs::EventType::kNsReply, h.trace_id, token);
       if (!ok) {
         record_error(name_ + ": import kind mismatch for token " +
                      std::to_string(token));
+        if (flight_ != nullptr && h.trace_id != 0)
+          flight_->promote(h.trace_id, obs::FlightRecorder::Reason::kError);
         return;  // the frame stays parked; the network reports a stall
       }
       // Dynamic half of the combined type-checking scheme: if the import
@@ -481,6 +516,8 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
           record_error(name_ + ": type mismatch importing " +
                        kit->second.second + " from " + kit->second.first +
                        ": expected " + eit->second + ", exporter has " + sig);
+          if (flight_ != nullptr && h.trace_id != 0)
+            flight_->promote(h.trace_id, obs::FlightRecorder::Reason::kError);
           import_token_keys_.erase(kit);
           return;
         }
@@ -508,7 +545,15 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
       const std::uint32_t rel_site = r.u32();
       const std::uint64_t cum = r.u64();
       ++mobility_.gc_rel_received;
-      machine_.apply_release(ref.kind, ref.heap_id, rel_node, rel_site, cum);
+      if (ring_.should_record(h.sampled))
+        ring_.record(obs::EventType::kRelIn, h.trace_id, cum);
+      const auto res =
+          machine_.apply_release(ref.kind, ref.heap_id, rel_node, rel_site,
+                                 cum);
+      if (res == vm::Machine::ReleaseResult::kStale && flight_ != nullptr &&
+          h.trace_id != 0)
+        flight_->promote(h.trace_id,
+                         obs::FlightRecorder::Reason::kRelAnomaly);
       return;
     }
     case MsgType::kNsExport:

@@ -19,6 +19,7 @@
 
 #include "core/wire.hpp"
 #include "net/transport.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "vm/machine.hpp"
@@ -139,6 +140,16 @@ class Site {
   obs::TraceRing& trace_ring() { return ring_; }
   const obs::TraceRing& trace_ring() const { return ring_; }
 
+  /// Attach a flight recorder (tail-based trace retention): departure /
+  /// completion hooks for SHIPM/SHIPO/FETCH feed its latency policy, and
+  /// error / credit-starvation / stale-REL paths promote their trace ids
+  /// unconditionally. The recorder must outlive the site (Network owns
+  /// it). Call alongside enable_tracing, before the site executes.
+  void set_flight(obs::FlightRecorder* f) {
+    flight_ = f;
+    if (f != nullptr) f->attach_ring(&ring_);
+  }
+
   /// Register this site's mobility counters, latency histograms and the
   /// VM's counters with `registry`, labelled {site="<name>"}. The
   /// registration dies with the site.
@@ -158,6 +169,11 @@ class Site {
     t.id = obs::next_trace_id();
     t.sampled = ring_.sample(t.id);
     return t;
+  }
+  /// The ring's time base (virtual under the sim driver) so latency
+  /// measurements are deterministic there; wall clock when untraced.
+  std::uint64_t now_ns() const {
+    return ring_.enabled() ? ring_.now_ns() : obs::trace_now_ns();
   }
 
   // RemoteBackend entry points (called from machine_.run()).
@@ -206,6 +222,7 @@ class Site {
   std::vector<std::string> errors_;
 
   obs::TraceRing ring_;
+  obs::FlightRecorder* flight_ = nullptr;
   // Outbound packet sizes in bytes (16B .. ~256KiB) and FETCH round trips
   // in microseconds.
   obs::Histogram packet_bytes_{obs::Histogram::exponential_bounds(16, 4, 8)};

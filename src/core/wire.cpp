@@ -197,10 +197,12 @@ std::vector<vm::Value> unmarshal_values(vm::Machine& m, Reader& r, bool gc) {
 std::vector<std::uint8_t> make_release(const vm::NetRef& ref,
                                        std::uint32_t rel_node,
                                        std::uint32_t rel_site,
-                                       std::uint64_t cum) {
+                                       std::uint64_t cum,
+                                       std::uint64_t trace_id,
+                                       bool sampled) {
   Writer w;
-  write_header(w, MsgType::kRelease, ref.site, /*trace_id=*/0,
-               /*sampled=*/true, /*gc=*/true);
+  write_header(w, MsgType::kRelease, ref.site, trace_id, sampled,
+               /*gc=*/true);
   write_netref(w, ref);
   w.u32(rel_node);
   w.u32(rel_site);

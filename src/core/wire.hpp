@@ -109,10 +109,15 @@ std::vector<vm::Value> unmarshal_values(vm::Machine& m, Reader& r,
 /// Cumulative totals make REL idempotent: duplicates and reordered
 /// deliveries max-merge at the owner, dropped ones are healed by
 /// retransmission.
+/// `trace_id`/`sampled` ride the standard v2 header bits so traced
+/// sites can follow REL frames too; the defaults keep untraced frames
+/// byte-identical to v1+kGcFlag (pinned by test_net).
 std::vector<std::uint8_t> make_release(const vm::NetRef& ref,
                                        std::uint32_t rel_node,
                                        std::uint32_t rel_site,
-                                       std::uint64_t cum);
+                                       std::uint64_t cum,
+                                       std::uint64_t trace_id = 0,
+                                       bool sampled = true);
 
 void write_netref(Writer& w, const vm::NetRef& r);
 vm::NetRef read_netref(Reader& r);

@@ -6,10 +6,24 @@ namespace dityco::net {
 
 void InProcTransport::send(Packet p, double /*now_us*/) {
   std::lock_guard<std::mutex> lk(mu_);
+  if (drop_ && drop_(p)) {
+    ++dropped_;
+    return;
+  }
   bytes_ += p.bytes.size();
   ++packets_;
   ++in_flight_;
   inboxes_.at(p.dst_node).push_back(std::move(p));
+}
+
+void InProcTransport::set_drop_filter(std::function<bool(const Packet&)> f) {
+  std::lock_guard<std::mutex> lk(mu_);
+  drop_ = std::move(f);
+}
+
+std::uint64_t InProcTransport::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_;
 }
 
 bool InProcTransport::recv(std::uint32_t node, Packet& out,
@@ -33,7 +47,8 @@ LinkModel myrinet() { return LinkModel{10.0, 1000.0, 1.0}; }
 LinkModel fast_ethernet() { return LinkModel{100.0, 100.0, 1.0}; }
 
 void SimTransport::send(Packet p, double now_us) {
-  const double arrival = now_us + model_.cost_us(p.bytes.size());
+  double arrival = now_us + model_.cost_us(p.bytes.size());
+  if (extra_cost_) arrival += extra_cost_(p);
   bytes_ += p.bytes.size();
   ++packets_;
   ++in_flight_;

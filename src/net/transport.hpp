@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -64,12 +65,20 @@ class InProcTransport : public Transport {
   std::uint64_t bytes_sent() const override { return bytes_; }
   std::uint64_t packets_sent() const override { return packets_; }
 
+  /// Fault injection: packets the filter claims are silently discarded
+  /// at send time (a lossy link). The filter runs under the transport
+  /// mutex, so it must not call back into the transport.
+  void set_drop_filter(std::function<bool(const Packet&)> f);
+  std::uint64_t dropped() const;
+
  private:
   mutable std::mutex mu_;
   std::vector<std::deque<Packet>> inboxes_;
+  std::function<bool(const Packet&)> drop_;
   std::size_t in_flight_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t packets_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 /// Point-to-point link cost model: one-way delivery time for a packet.
@@ -113,6 +122,12 @@ class SimTransport : public Transport {
 
   const LinkModel& model() const { return model_; }
 
+  /// Per-packet extra delivery cost in µs, added on top of the link
+  /// model (fault/latency injection for deterministic slow-path tests).
+  void set_extra_cost(std::function<double(const Packet&)> f) {
+    extra_cost_ = std::move(f);
+  }
+
  private:
   struct Timed {
     double arrival_us;
@@ -120,6 +135,7 @@ class SimTransport : public Transport {
   };
 
   LinkModel model_;
+  std::function<double(const Packet&)> extra_cost_;
   std::vector<std::deque<Timed>> inboxes_;  // kept sorted by arrival
   std::size_t in_flight_ = 0;
   std::uint64_t bytes_ = 0;

@@ -1,0 +1,146 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+
+namespace dityco::obs {
+
+const char* FlightRecorder::reason_name(Reason r) {
+  switch (r) {
+    case Reason::kSlow: return "slow";
+    case Reason::kError: return "error";
+    case Reason::kStarved: return "starved";
+    case Reason::kRelAnomaly: return "rel-anomaly";
+  }
+  return "?";
+}
+
+void FlightRecorder::configure(const FlightPolicy& p) {
+  std::lock_guard<std::mutex> lk(mu_);
+  policy_ = p;
+}
+
+FlightPolicy FlightRecorder::policy() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return policy_;
+}
+
+void FlightRecorder::attach_ring(const TraceRing* ring) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const RingIndex& ri : rings_)
+    if (ri.ring == ring) return;
+  RingIndex ri;
+  ri.ring = ring;
+  rings_.push_back(std::move(ri));
+}
+
+void FlightRecorder::on_depart(std::uint64_t trace_id, std::uint64_t ts_ns) {
+  if (trace_id == 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (depart_ns_.size() >= policy_.max_inflight) return;
+  depart_ns_.emplace(trace_id, ts_ns);
+}
+
+bool FlightRecorder::on_complete(std::uint64_t trace_id,
+                                 std::uint64_t ts_ns) {
+  if (trace_id == 0) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = depart_ns_.find(trace_id);
+  if (it == depart_ns_.end()) return false;
+  const std::uint64_t departed = it->second;
+  depart_ns_.erase(it);
+  const double latency_us =
+      ts_ns >= departed ? static_cast<double>(ts_ns - departed) / 1e3 : 0;
+  latency_us_.observe(latency_us);
+  ++completions_;
+  bool slow = policy_.slow_us > 0 && latency_us >= policy_.slow_us;
+  if (!slow && policy_.slow_pctl > 0) {
+    const double thr = pctl_threshold_locked();
+    slow = thr > 0 && latency_us >= thr;
+  }
+  if (!slow) return false;
+  return promote_locked(trace_id, Reason::kSlow, latency_us);
+}
+
+bool FlightRecorder::promote(std::uint64_t trace_id, Reason reason,
+                             double latency_us) {
+  if (trace_id == 0) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  return promote_locked(trace_id, reason, latency_us);
+}
+
+double FlightRecorder::pctl_threshold_locked() const {
+  const Histogram::Snapshot s = latency_us_.snapshot();
+  if (s.total < policy_.pctl_min_samples) return 0;
+  const double want = policy_.slow_pctl * static_cast<double>(s.total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+    cum += s.counts[i];
+    if (static_cast<double>(cum) >= want) return s.bounds[i];
+  }
+  // Percentile lands in the +inf bucket: only the largest finite bound
+  // can act as the threshold.
+  return s.bounds.empty() ? 0 : s.bounds.back();
+}
+
+bool FlightRecorder::promote_locked(std::uint64_t trace_id, Reason reason,
+                                    double latency_us) {
+  if (promoted_ids_.count(trace_id)) {
+    ++duplicates_;
+    return false;
+  }
+  Entry e;
+  e.trace_id = trace_id;
+  e.reason = reason;
+  e.latency_us = latency_us;
+  for (RingIndex& ri : rings_) {
+    // Lazy per-ring index: rebuild only when the producer has recorded
+    // past the last build. recorded() is read before snapshot(), so a
+    // concurrent producer at worst leaves the index one build behind —
+    // the next promotion rebuilds again.
+    const std::uint64_t head = ri.ring->recorded();
+    if (head != ri.built_head) {
+      ri.by_id.clear();
+      for (TraceEvent& ev : ri.ring->snapshot())
+        if (ev.trace_id != 0) ri.by_id[ev.trace_id].push_back(ev);
+      ri.built_head = head;
+      ++index_rebuilds_;
+    }
+    const auto it = ri.by_id.find(trace_id);
+    if (it != ri.by_id.end())
+      e.events.insert(e.events.end(), it->second.begin(), it->second.end());
+  }
+  std::stable_sort(e.events.begin(), e.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  promoted_ids_.insert(trace_id);
+  buffer_.push_back(std::move(e));
+  while (buffer_.size() > policy_.max_traces) {
+    buffer_.pop_front();
+    ++evicted_;
+  }
+  switch (reason) {
+    case Reason::kSlow: ++promoted_slow_; break;
+    case Reason::kError: ++promoted_error_; break;
+    case Reason::kStarved: ++promoted_starved_; break;
+    case Reason::kRelAnomaly: ++promoted_rel_; break;
+  }
+  return true;
+}
+
+std::vector<FlightRecorder::Entry> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return {buffer_.begin(), buffer_.end()};
+}
+
+std::uint64_t FlightRecorder::promoted_count(Reason r) const {
+  switch (r) {
+    case Reason::kSlow: return promoted_slow_.value();
+    case Reason::kError: return promoted_error_.value();
+    case Reason::kStarved: return promoted_starved_.value();
+    case Reason::kRelAnomaly: return promoted_rel_.value();
+  }
+  return 0;
+}
+
+}  // namespace dityco::obs

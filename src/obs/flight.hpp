@@ -1,0 +1,132 @@
+// Flight recorder: tail-based trace retention (observability, story 2).
+//
+// Uniform 1-in-N sampling (obs/trace.hpp) answers "what does typical
+// traffic look like" but discards exactly the operations worth keeping:
+// the slow FETCH, the malformed packet, the starved credit forward, the
+// stale REL. The flight recorder closes that gap with a *post-hoc*
+// policy: sites record every traced hop into their rings (the rings run
+// in record-all mode while a recorder is attached), and when a mobility
+// operation COMPLETES the recorder decides — completion latency above an
+// absolute threshold or a percentile of the live distribution, or an
+// error/starvation/REL-anomaly path — whether to promote that trace id.
+// Promotion copies the id's events out of every attached ring into a
+// small durable buffer before the rings overwrite them, so the uniform
+// sample stream and the "always keep the slow and broken ones" stream
+// coexist; TyCOmon serves the buffer at GET /flight as Chrome trace JSON.
+//
+// Mechanics: sites call on_depart(id, ts) when a SHIPM/SHIPO/FETCH
+// leaves and on_complete(id, ts) when the matching arrival/reply is
+// handled; latency is the difference on the caller's time base (virtual
+// time under the sim driver, so the promotion decision is deterministic
+// there). Promotion walks a per-ring index keyed by trace id, rebuilt
+// lazily only when that ring's head has advanced since the last build —
+// promotions are rare, so the common case costs one map lookup per ring.
+//
+// Thread safety: every entry point takes one mutex. Completions are
+// per-remote-operation (not per-instruction), so the lock is off any
+// hot path; ring reads go through TraceRing::snapshot(), which is safe
+// against the owning producer by construction.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dityco::obs {
+
+/// Retention policy. Everything off by default: a default-constructed
+/// recorder only promotes explicit error/starvation/REL anomalies.
+struct FlightPolicy {
+  /// Promote completions slower than this many microseconds (0 = off).
+  double slow_us = 0;
+  /// Promote completions above this latency percentile (0 = off; e.g.
+  /// 0.99 keeps the slowest ~1%). Needs pctl_min_samples completions
+  /// before it starts firing, so early traffic is not all "slow".
+  double slow_pctl = 0;
+  std::uint64_t pctl_min_samples = 64;
+  /// Flight-buffer capacity in promoted traces (oldest evicted first).
+  std::size_t max_traces = 64;
+  /// Departure-table cap: beyond this many in-flight operations new
+  /// departures are dropped from latency tracking (never from tracing).
+  std::size_t max_inflight = 4096;
+};
+
+class FlightRecorder {
+ public:
+  enum class Reason : std::uint8_t {
+    kSlow = 1,    // completion latency over threshold/percentile
+    kError,       // malformed packet / NS failure on this trace
+    kStarved,     // marshalling shipped a zero-credit (weak) handle
+    kRelAnomaly,  // owner saw a stale/duplicate REL for this trace
+  };
+  static const char* reason_name(Reason r);
+
+  /// One promoted trace: every hop recovered from the rings, oldest
+  /// first, plus why it was kept.
+  struct Entry {
+    std::uint64_t trace_id = 0;
+    Reason reason = Reason::kSlow;
+    double latency_us = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  void configure(const FlightPolicy& p);
+  FlightPolicy policy() const;
+
+  /// Register a ring to harvest promoted events from. The ring must
+  /// outlive the recorder (Network owns both and attaches at
+  /// enable_flight time).
+  void attach_ring(const TraceRing* ring);
+
+  /// A traced operation departed at ts_ns (ring time base).
+  void on_depart(std::uint64_t trace_id, std::uint64_t ts_ns);
+  /// The matching completion; applies the latency policy. Returns true
+  /// if the trace was promoted.
+  bool on_complete(std::uint64_t trace_id, std::uint64_t ts_ns);
+  /// Unconditional promotion (error / starvation / REL-anomaly paths).
+  bool promote(std::uint64_t trace_id, Reason reason, double latency_us = 0);
+
+  /// Promoted traces, oldest first.
+  std::vector<Entry> snapshot() const;
+
+  // Counters for the metrics exposition (atomic; any thread).
+  std::uint64_t promoted_count(Reason r) const;
+  std::uint64_t completions() const { return completions_.value(); }
+  std::uint64_t evicted() const { return evicted_.value(); }
+  std::uint64_t duplicates() const { return duplicates_.value(); }
+  std::uint64_t index_rebuilds() const { return index_rebuilds_.value(); }
+  Histogram::Snapshot latency_snapshot() const {
+    return latency_us_.snapshot();
+  }
+
+ private:
+  struct RingIndex {
+    const TraceRing* ring = nullptr;
+    std::uint64_t built_head = ~0ull;  // recorded() when by_id was built
+    std::unordered_map<std::uint64_t, std::vector<TraceEvent>> by_id;
+  };
+
+  bool promote_locked(std::uint64_t trace_id, Reason reason,
+                      double latency_us);
+  /// Smallest histogram bound at or above the configured percentile, or
+  /// 0 when the percentile policy cannot fire yet.
+  double pctl_threshold_locked() const;
+
+  mutable std::mutex mu_;
+  FlightPolicy policy_;
+  std::vector<RingIndex> rings_;
+  std::unordered_map<std::uint64_t, std::uint64_t> depart_ns_;
+  std::deque<Entry> buffer_;
+  std::unordered_set<std::uint64_t> promoted_ids_;
+  Histogram latency_us_;  // completion latencies, policy input
+  Counter promoted_slow_, promoted_error_, promoted_starved_, promoted_rel_;
+  Counter completions_, evicted_, duplicates_, index_rebuilds_;
+};
+
+}  // namespace dityco::obs

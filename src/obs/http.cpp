@@ -1,11 +1,15 @@
 #include "obs/http.hpp"
 
+#include <arpa/inet.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
 #include <cstring>
 
 namespace dityco::obs {
@@ -33,13 +37,26 @@ void send_all(int fd, const std::string& data) {
   }
 }
 
+/// Case-insensitive "does this request head carry `Connection: <token>`?"
+bool has_connection_token(const std::string& head, const char* token) {
+  std::string lower(head);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  const auto h = lower.find("connection:");
+  if (h == std::string::npos) return false;
+  const auto eol = lower.find('\n', h);
+  return lower.substr(h, eol - h).find(token) != std::string::npos;
+}
+
 }  // namespace
 
 void MonitorServer::route(std::string path, Handler h) {
   routes_[std::move(path)] = std::move(h);
 }
 
-std::uint16_t MonitorServer::start(std::uint16_t port) {
+std::uint16_t MonitorServer::start(std::uint16_t port,
+                                   const std::string& bind_addr,
+                                   int workers) {
   if (fd_ >= 0) return port_;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return 0;
@@ -48,10 +65,21 @@ std::uint16_t MonitorServer::start(std::uint16_t port) {
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
   addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return 0;
+  }
+  if (ntohl(addr.sin_addr.s_addr) != INADDR_LOOPBACK) {
+    // Opt-in only; the endpoints are unauthenticated telemetry.
+    std::fprintf(stderr,
+                 "tycomon: WARNING: binding %s — metrics, traces and "
+                 "profiles will be readable from off-host with no "
+                 "authentication\n",
+                 bind_addr.c_str());
+  }
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
-      ::listen(fd, 8) < 0) {
+      ::listen(fd, 64) < 0) {
     ::close(fd);
     return 0;
   }
@@ -63,20 +91,29 @@ std::uint16_t MonitorServer::start(std::uint16_t port) {
   port_ = ntohs(addr.sin_port);
   fd_ = fd;
   stop_.store(false, std::memory_order_relaxed);
-  thread_ = std::thread([this] { serve(); });
+  if (workers < 1) workers = 1;
+  for (int i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  acceptor_ = std::thread([this] { accept_loop(); });
   return port_;
 }
 
 void MonitorServer::stop() {
   if (fd_ < 0) return;
   stop_.store(true, std::memory_order_relaxed);
-  if (thread_.joinable()) thread_.join();
+  q_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& w : workers_)
+    if (w.joinable()) w.join();
+  workers_.clear();
+  for (const int client : pending_) ::close(client);
+  pending_.clear();
   ::close(fd_);
   fd_ = -1;
   port_ = 0;
 }
 
-void MonitorServer::serve() {
+void MonitorServer::accept_loop() {
   while (!stop_.load(std::memory_order_relaxed)) {
     pollfd pfd{fd_, POLLIN, 0};
     // Short poll timeout keeps stop() latency bounded without a
@@ -85,62 +122,104 @@ void MonitorServer::serve() {
     if (r <= 0 || !(pfd.revents & POLLIN)) continue;
     const int client = ::accept(fd_, nullptr, nullptr);
     if (client < 0) continue;
-    handle_client(client);
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(q_mu_);
+      if (pending_.size() >= kMaxPending) {
+        // Shed load instead of queueing unboundedly.
+        ::close(client);
+        continue;
+      }
+      pending_.push_back(client);
+    }
+    q_cv_.notify_one();
+  }
+}
+
+void MonitorServer::worker_loop() {
+  for (;;) {
+    int client = -1;
+    {
+      std::unique_lock<std::mutex> lk(q_mu_);
+      q_cv_.wait(lk, [this] {
+        return stop_.load(std::memory_order_relaxed) || !pending_.empty();
+      });
+      if (stop_.load(std::memory_order_relaxed)) return;
+      client = pending_.front();
+      pending_.pop_front();
+    }
+    handle_connection(client);
     ::close(client);
   }
 }
 
-void MonitorServer::handle_client(int client) {
-  // A scraper that connects but never writes must not wedge the server.
+void MonitorServer::handle_connection(int client) {
+  // A scraper that connects but never writes must not wedge this worker
+  // forever; the timeout doubles as the keep-alive idle limit.
   timeval tv{2, 0};
   ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
 
-  // Read until the end of the request head; the request line is all we
-  // ever use, but draining the headers keeps well-behaved clients happy.
-  std::string req;
-  char buf[2048];
-  while (req.find("\r\n\r\n") == std::string::npos &&
-         req.find("\n\n") == std::string::npos && req.size() < 16384) {
-    const ssize_t n = ::recv(client, buf, sizeof buf, 0);
-    if (n <= 0) break;
-    req.append(buf, static_cast<std::size_t>(n));
-    if (req.find("\r\n") != std::string::npos && n < 2) break;
-  }
-  const auto eol = req.find_first_of("\r\n");
-  if (eol == std::string::npos) return;
-  const std::string line = req.substr(0, eol);
-
-  Response resp;
-  const auto sp1 = line.find(' ');
-  const auto sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
-  if (sp1 == std::string::npos) {
-    resp = {405, "text/plain; charset=utf-8", "malformed request\n"};
-  } else {
-    const std::string method = line.substr(0, sp1);
-    std::string path = sp2 == std::string::npos
-                           ? line.substr(sp1 + 1)
-                           : line.substr(sp1 + 1, sp2 - sp1 - 1);
-    const auto q = path.find('?');
-    if (q != std::string::npos) path.resize(q);
-    if (method != "GET") {
-      resp = {405, "text/plain; charset=utf-8", "only GET is served\n"};
-    } else if (auto it = routes_.find(path); it != routes_.end()) {
-      resp = it->second();
-    } else {
-      std::string index = "not found; routes:\n";
-      for (const auto& [p, h] : routes_) index += "  " + p + "\n";
-      resp = {404, "text/plain; charset=utf-8", std::move(index)};
+  std::string buf;  // may hold pipelined follow-up requests
+  char chunk[2048];
+  for (int served = 0; served < kMaxRequestsPerConn; ++served) {
+    if (stop_.load(std::memory_order_relaxed)) return;
+    // Read until the end of the request head. GETs have no body, so the
+    // next request (if any) starts right after the blank line.
+    std::size_t head_end;
+    while ((head_end = buf.find("\r\n\r\n")) == std::string::npos &&
+           buf.size() < 16384) {
+      const ssize_t n = ::recv(client, chunk, sizeof chunk, 0);
+      if (n <= 0) return;  // idle timeout, EOF or error: drop connection
+      buf.append(chunk, static_cast<std::size_t>(n));
     }
-  }
-  requests_.fetch_add(1, std::memory_order_relaxed);
+    if (head_end == std::string::npos) return;  // oversized head
+    const std::string head = buf.substr(0, head_end + 4);
+    buf.erase(0, head_end + 4);
 
-  std::string head = "HTTP/1.0 " + std::to_string(resp.status) + " " +
-                     status_text(resp.status) +
-                     "\r\nContent-Type: " + resp.content_type +
-                     "\r\nContent-Length: " + std::to_string(resp.body.size()) +
-                     "\r\nConnection: close\r\n\r\n";
-  send_all(client, head);
-  send_all(client, resp.body);
+    const auto eol = head.find_first_of("\r\n");
+    const std::string line = head.substr(0, eol);
+
+    // HTTP/1.1 defaults to persistent; HTTP/1.0 must ask for it.
+    const bool http11 = line.find("HTTP/1.1") != std::string::npos;
+    bool keep_alive = http11 ? !has_connection_token(head, "close")
+                             : has_connection_token(head, "keep-alive");
+    if (served + 1 == kMaxRequestsPerConn) keep_alive = false;
+
+    Response resp;
+    const auto sp1 = line.find(' ');
+    const auto sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+    if (sp1 == std::string::npos) {
+      resp = {405, "text/plain; charset=utf-8", "malformed request\n"};
+      keep_alive = false;
+    } else {
+      const std::string method = line.substr(0, sp1);
+      std::string path = sp2 == std::string::npos
+                             ? line.substr(sp1 + 1)
+                             : line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const auto q = path.find('?');
+      if (q != std::string::npos) path.resize(q);
+      if (method != "GET") {
+        resp = {405, "text/plain; charset=utf-8", "only GET is served\n"};
+      } else if (auto it = routes_.find(path); it != routes_.end()) {
+        resp = it->second();
+      } else {
+        std::string index = "not found; routes:\n";
+        for (const auto& [p, h] : routes_) index += "  " + p + "\n";
+        resp = {404, "text/plain; charset=utf-8", std::move(index)};
+      }
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+
+    std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                      status_text(resp.status) +
+                      "\r\nContent-Type: " + resp.content_type +
+                      "\r\nContent-Length: " +
+                      std::to_string(resp.body.size()) + "\r\nConnection: " +
+                      (keep_alive ? "keep-alive" : "close") + "\r\n\r\n";
+    send_all(client, out);
+    send_all(client, resp.body);
+    if (!keep_alive) return;
+  }
 }
 
 }  // namespace dityco::obs

@@ -1,25 +1,38 @@
 // TyCOmon: the monitoring daemon's scrape server (tentpole of the live
 // telemetry plane).
 //
-// A deliberately small, dependency-free HTTP/1.0 server: one background
-// thread accepts loopback TCP connections, answers a single GET per
-// connection from a fixed route table, and closes. That is exactly the
-// shape Prometheus-style scraping needs, and nothing more — no
-// keep-alive, no TLS, no request bodies. Handlers run on the server
-// thread, so anything they touch must be safe to read while the network
-// executes (see obs::Registry's live_safe collectors and
-// TraceRing::snapshot()).
+// A deliberately small, dependency-free HTTP/1.1 server shaped for
+// production scraping: one acceptor thread feeds a fixed pool of worker
+// threads (so one slow or stalled scraper cannot block /healthz for the
+// others), each worker answers GETs from a fixed route table over a
+// keep-alive connection (HTTP/1.1 persistent by default, HTTP/1.0 and
+// `Connection: close` honoured, a per-connection request cap and a 2s
+// idle timeout bound resource use). No TLS, no request bodies.
+//
+// Binding defaults to 127.0.0.1; an explicit non-loopback bind address
+// (e.g. "0.0.0.0" for off-host Prometheus) is opt-in and prints a
+// plain-text warning to stderr — the endpoints expose program-level
+// telemetry with no authentication.
+//
+// Handlers run on worker threads, so anything they touch must be safe
+// to read while the network executes (see obs::Registry's live_safe
+// collectors and TraceRing::snapshot()) AND safe to run from multiple
+// workers at once.
 //
 // core::Network wires a MonitorServer to /metrics, /metrics.json,
-// /trace and /healthz via Network::start_monitor().
+// /trace, /flight, /profile and /healthz via Network::start_monitor().
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace dityco::obs {
 
@@ -30,7 +43,8 @@ class MonitorServer {
     std::string content_type = "text/plain; charset=utf-8";
     std::string body;
   };
-  /// Invoked on the server thread for each matching GET.
+  /// Invoked on a worker thread for each matching GET; must be safe to
+  /// call from several workers concurrently.
   using Handler = std::function<Response()>;
 
   MonitorServer() = default;
@@ -42,10 +56,13 @@ class MonitorServer {
   /// before matching). Call before start().
   void route(std::string path, Handler h);
 
-  /// Bind 127.0.0.1:`port` (0 picks an ephemeral port) and serve on a
-  /// background thread. Returns the bound port, or 0 on failure.
-  std::uint16_t start(std::uint16_t port);
-  /// Stop serving and join the thread. Idempotent.
+  /// Bind `bind_addr`:`port` (0 picks an ephemeral port) and serve on
+  /// background threads. Returns the bound port, or 0 on failure.
+  /// Non-loopback addresses print a security warning to stderr.
+  std::uint16_t start(std::uint16_t port,
+                      const std::string& bind_addr = "127.0.0.1",
+                      int workers = 4);
+  /// Stop serving and join all threads. Idempotent.
   void stop();
 
   bool running() const { return fd_ >= 0; }
@@ -54,15 +71,30 @@ class MonitorServer {
   std::uint64_t requests() const {
     return requests_.load(std::memory_order_relaxed);
   }
+  /// Connections accepted so far.
+  std::uint64_t connections() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
 
  private:
-  void serve();
-  void handle_client(int client);
+  // Keep-alive bounds: a connection is closed after this many requests,
+  // and the accept queue sheds load beyond this many waiting sockets.
+  static constexpr int kMaxRequestsPerConn = 1000;
+  static constexpr std::size_t kMaxPending = 128;
+
+  void accept_loop();
+  void worker_loop();
+  void handle_connection(int client);
 
   std::map<std::string, Handler> routes_;
-  std::thread thread_;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::mutex q_mu_;
+  std::condition_variable q_cv_;
+  std::deque<int> pending_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> connections_{0};
   int fd_ = -1;
   std::uint16_t port_ = 0;
 };

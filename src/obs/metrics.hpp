@@ -130,6 +130,22 @@ class Histogram {
 
   Histogram() : Histogram(default_bounds()) {}
   explicit Histogram(std::vector<double> bounds);
+  // Movable (not copyable) so owners like vm::Machine stay movable;
+  // moving is only safe while no other thread observes/snapshots.
+  Histogram(Histogram&& o) noexcept
+      : bounds_(std::move(o.bounds_)),
+        counts_(std::move(o.counts_)),
+        total_(o.total_.load(std::memory_order_relaxed)),
+        sum_(o.sum_.load(std::memory_order_relaxed)) {}
+  Histogram& operator=(Histogram&& o) noexcept {
+    bounds_ = std::move(o.bounds_);
+    counts_ = std::move(o.counts_);
+    total_.store(o.total_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    sum_.store(o.sum_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    return *this;
+  }
 
   void observe(double v);
   Snapshot snapshot() const;

@@ -1,0 +1,67 @@
+#include "obs/profile.hpp"
+
+namespace dityco::obs {
+
+void Profiler::enable(std::uint64_t period) {
+  if (period != 0 && !cells_) cells_ = std::make_unique<Cell[]>(kSlots);
+  period_ = period;
+}
+
+void Profiler::sample(std::uint32_t op, std::uint32_t ctx) {
+  if (!cells_) return;
+  const std::uint64_t key = make_key(op, ctx);
+  // splitmix64-style scramble spreads (op, ctx) pairs over the table.
+  std::uint64_t h = key * 0x9e3779b97f4a7c15ull;
+  h ^= h >> 29;
+  for (int probe = 0; probe < kMaxProbe; ++probe) {
+    Cell& c = cells_[(h + static_cast<std::uint64_t>(probe)) & (kSlots - 1)];
+    std::uint64_t k = c.key.load(std::memory_order_relaxed);
+    if (k == 0) {
+      // Single writer: claiming a cell is a plain store; concurrent
+      // readers may momentarily see the key with count 0, which is a
+      // harmless empty sample.
+      c.key.store(key, std::memory_order_relaxed);
+      k = key;
+    }
+    if (k == key) {
+      c.count.store(c.count.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+      total_.store(total_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+      return;
+    }
+  }
+  overflow_.store(overflow_.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
+}
+
+void Profiler::set_context_name(std::uint32_t ctx, std::string name) {
+  std::lock_guard<std::mutex> lk(names_mu_);
+  names_[ctx] = std::move(name);
+}
+
+std::string Profiler::context_name(std::uint32_t ctx) const {
+  std::lock_guard<std::mutex> lk(names_mu_);
+  const auto it = names_.find(ctx);
+  if (it != names_.end()) return it->second;
+  return "seg" + std::to_string(ctx);
+}
+
+std::vector<Profiler::Sample> Profiler::snapshot() const {
+  std::vector<Sample> out;
+  if (!cells_) return out;
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    const std::uint64_t k = cells_[i].key.load(std::memory_order_relaxed);
+    if (k == 0) continue;
+    const std::uint64_t n = cells_[i].count.load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    Sample s;
+    s.op = static_cast<std::uint32_t>(k & 0xffffu);
+    s.ctx = static_cast<std::uint32_t>((k >> 16) & 0xffffffffull);
+    s.count = n;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace dityco::obs

@@ -1,0 +1,103 @@
+// Sampled execution profiler (observability, story 2).
+//
+// A counting profiler answers "which TyCO definitions burn the VM's
+// instructions" without per-instruction bookkeeping: the VM decrements a
+// countdown each decoded instruction and, every `period` instructions,
+// attributes one sample to the pair (opcode, code-segment slot). The
+// sample table is a fixed-capacity open-addressed array of atomic
+// {key, count} cells written only by the owning executor thread, so the
+// hot path is a hash, a probe, and a relaxed add — and any thread
+// (TyCOmon's scrape workers) can read a consistent snapshot mid-run.
+//
+// Segment slots are mapped to human names (the compiler stamps
+// vm::Segment::name with the source-level definition, e.g. "Serve")
+// through a small mutex-guarded registry, so /profile folds samples
+// into `site;definition;opcode count` lines flamegraph tools ingest.
+//
+// Disabled cost: one predictable branch per decoded instruction
+// (`period == 0` keeps the countdown at zero).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dityco::obs {
+
+class Profiler {
+ public:
+  Profiler() = default;
+  // Movable (not copyable) so owners like vm::Machine stay movable;
+  // moving is only safe while no other thread samples or snapshots.
+  Profiler(Profiler&& o) noexcept { *this = std::move(o); }
+  Profiler& operator=(Profiler&& o) noexcept {
+    cells_ = std::move(o.cells_);
+    period_ = o.period_;
+    total_.store(o.total_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    overflow_.store(o.overflow_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    names_ = std::move(o.names_);
+    return *this;
+  }
+
+  struct Sample {
+    std::uint32_t op = 0;
+    std::uint32_t ctx = 0;  // segment slot (VM) or caller-defined context
+    std::uint64_t count = 0;
+  };
+
+  /// Start sampling every `period` attributed instructions (0 disables).
+  /// Allocates the cell table on first enable. Owner thread only.
+  void enable(std::uint64_t period);
+  bool enabled() const { return period_ != 0; }
+  std::uint64_t period() const { return period_; }
+
+  /// Attribute one sample. Owner thread only.
+  void sample(std::uint32_t op, std::uint32_t ctx);
+
+  /// Human name for a context slot (e.g. the linked segment's source
+  /// definition). Any thread.
+  void set_context_name(std::uint32_t ctx, std::string name);
+  std::string context_name(std::uint32_t ctx) const;
+
+  /// All non-empty cells; order unspecified. Any thread, mid-run safe.
+  std::vector<Sample> snapshot() const;
+  std::uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+  /// Samples that found no free cell within the probe limit.
+  std::uint64_t overflow() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // 2^11 cells ≈ far more than |opcodes| x live segments in practice;
+  // the probe limit bounds worst-case insert cost, overflow_ counts the
+  // (lossy, but measured) spill.
+  static constexpr std::size_t kSlots = 2048;
+  static constexpr int kMaxProbe = 16;
+
+  struct Cell {
+    std::atomic<std::uint64_t> key{0};  // 0 = empty; see make_key
+    std::atomic<std::uint64_t> count{0};
+  };
+
+  static std::uint64_t make_key(std::uint32_t op, std::uint32_t ctx) {
+    // Bit 63 marks the cell used so (op=0, ctx=0) is distinguishable
+    // from empty.
+    return (1ull << 63) | (static_cast<std::uint64_t>(ctx) << 16) |
+           (op & 0xffffu);
+  }
+
+  std::unique_ptr<Cell[]> cells_;
+  std::uint64_t period_ = 0;
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> overflow_{0};
+  mutable std::mutex names_mu_;
+  std::unordered_map<std::uint32_t, std::string> names_;
+};
+
+}  // namespace dityco::obs

@@ -24,6 +24,8 @@ const char* event_name(EventType t) {
     case EventType::kPacketRecv: return "packet-recv";
     case EventType::kSliceBegin: return "run-slice";
     case EventType::kSliceEnd: return "run-slice";
+    case EventType::kRelOut: return "REL-out";
+    case EventType::kRelIn: return "REL-in";
   }
   return "?";
 }

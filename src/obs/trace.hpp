@@ -58,6 +58,8 @@ enum class EventType : std::uint8_t {
   kPacketRecv,    // daemon received a packet   arg = bytes
   kSliceBegin,    // run-slice started
   kSliceEnd,      // run-slice finished         arg = instructions executed
+  kRelOut,        // GC REL frame departure     arg = cumulative credit
+  kRelIn,         // GC REL frame applied       arg = cumulative credit
 };
 
 const char* event_name(EventType t);
@@ -124,6 +126,7 @@ class TraceRing {
     return keep;
   }
   std::uint64_t sample_every() const { return every_; }
+  std::uint64_t sample_seed() const { return seed_; }
   std::uint64_t sampled() const {
     return sampled_.load(std::memory_order_relaxed);
   }
@@ -136,6 +139,25 @@ class TraceRing {
   void set_virtual_time(std::uint64_t ts_ns) {
     virtual_mode_ = true;
     virtual_now_ns_ = ts_ns;
+  }
+
+  /// The timestamp record() would use right now: the virtual clock in
+  /// sim mode, steady_clock otherwise. Lets latency measurements (FETCH
+  /// RTT, flight-recorder completions) share the ring's time base.
+  std::uint64_t now_ns() const {
+    return virtual_mode_ ? virtual_now_ns_ : trace_now_ns();
+  }
+
+  /// Tail-based retention (obs/flight.hpp) needs every traced hop in
+  /// the ring regardless of the wire sampling bit — the slow operation
+  /// worth keeping is usually an unsampled one. record_all makes
+  /// should_record() ignore `sampled`; exporters that want the 1-in-N
+  /// view re-filter with trace_id_sampled().
+  void set_record_all(bool on) { record_all_ = on; }
+  bool record_all() const { return record_all_; }
+  /// Should an event for a packet with this sampling bit be recorded?
+  bool should_record(bool sampled) const {
+    return mask_ != 0 && (sampled || record_all_);
   }
 
   void record(EventType t, std::uint64_t trace_id, std::uint64_t arg = 0) {
@@ -178,6 +200,7 @@ class TraceRing {
   std::uint32_t node_ = 0, site_ = 0;
   std::uint64_t every_ = 1, seed_ = 0;
   bool virtual_mode_ = false;
+  bool record_all_ = false;
   std::uint64_t virtual_now_ns_ = 0;
   std::atomic<std::uint64_t> sampled_{0};
   std::atomic<std::uint64_t> unsampled_{0};

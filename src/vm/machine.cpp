@@ -1,5 +1,6 @@
 #include "vm/machine.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "support/fmt.hpp"
@@ -44,6 +45,8 @@ std::uint32_t Machine::link_loaded(std::shared_ptr<const Segment> seg,
   const auto slot = static_cast<std::uint32_t>(linked_.size());
   guid_to_slot_[ls.seg->guid] = slot;
   linked_.push_back(std::move(ls));
+  if (prof_.enabled() && !linked_.back().seg->name.empty())
+    prof_.set_context_name(slot, linked_.back().seg->name);
   return slot;
 }
 
@@ -592,6 +595,33 @@ std::uint32_t Machine::intern_string(std::string_view s) {
   return strings_.intern(s);
 }
 
+void Machine::enable_profiling(std::uint64_t period) {
+  prof_.enable(period);
+  prof_countdown_ = period;
+  if (period == 0) return;
+  // Segments linked before enabling get their names registered
+  // retroactively; link_loaded covers everything after.
+  for (std::size_t slot = 0; slot < linked_.size(); ++slot)
+    if (!linked_[slot].seg->name.empty())
+      prof_.set_context_name(static_cast<std::uint32_t>(slot),
+                             linked_[slot].seg->name);
+}
+
+std::string Machine::profile_folded() const {
+  std::vector<obs::Profiler::Sample> samples = prof_.snapshot();
+  std::sort(samples.begin(), samples.end(),
+            [](const obs::Profiler::Sample& a, const obs::Profiler::Sample& b) {
+              return a.count > b.count;
+            });
+  std::string out;
+  for (const auto& smp : samples) {
+    out += name_ + ";" + prof_.context_name(smp.ctx) + ";" +
+           op_name(static_cast<Op>(smp.op)) + " " +
+           std::to_string(smp.count) + "\n";
+  }
+  return out;
+}
+
 void Machine::register_metrics(obs::Registry& registry) {
   metrics_reg_ = registry.add_collector([this](obs::Collector& c) {
     const std::string l = "{site=\"" + name_ + "\"}";
@@ -601,6 +631,16 @@ void Machine::register_metrics(obs::Registry& registry) {
     c.counter("vm_forks" + l, stats_.forks);
     c.counter("vm_frames_run" + l, stats_.frames_run);
     c.counter("vm_prints" + l, stats_.prints);
+    if (prof_.enabled()) {
+      c.counter("vm_profile_samples" + l, prof_.total());
+      c.counter("vm_profile_overflow" + l, prof_.overflow());
+      c.histogram("vm_run_wait_us" + l, run_wait_us_.snapshot());
+      for (const auto& smp : prof_.snapshot())
+        c.counter("site_vm_opcode_samples{site=\"" + name_ + "\",def=\"" +
+                      prof_.context_name(smp.ctx) + "\",op=\"" +
+                      op_name(static_cast<Op>(smp.op)) + "\"}",
+                  smp.count);
+    }
   });
   // The gauges walk executor-owned containers, so they are exposed only
   // when the machine is at rest (skipped by live scrapes).
@@ -655,6 +695,12 @@ std::uint64_t Machine::run(std::uint64_t max_instructions) {
     Frame f = std::move(queue_.front());
     queue_.pop_front();
     ++stats_.frames_run;
+    if (f.enq_ns != 0) {
+      const std::uint64_t now = clock_ns();
+      if (now > f.enq_ns)
+        run_wait_us_.observe(static_cast<double>(now - f.enq_ns) / 1e3);
+      f.enq_ns = 0;  // preempted frames are not re-measured
+    }
     bool requeue = false;
     executed += exec(f, max_instructions - executed, requeue);
     if (requeue) queue_.push_front(std::move(f));
@@ -702,6 +748,12 @@ std::uint64_t Machine::exec(Frame& f, std::uint64_t budget, bool& requeue) {
       if (f.pc >= code->size()) throw VmError{"pc out of range"};
       const std::uint32_t* cp = code->data() + f.pc;
       const Op op = static_cast<Op>(cp[0]);
+      // Sampled profiler: prof_countdown_ stays 0 while profiling is
+      // off, so the common case is a single not-taken branch.
+      if (prof_countdown_ != 0 && --prof_countdown_ == 0) {
+        prof_countdown_ = prof_.period();
+        prof_.sample(static_cast<std::uint32_t>(op), f.seg);
+      }
       const int arity = op_arity(op);
       if (f.pc + 1 + static_cast<std::uint32_t>(arity) > code->size())
         throw VmError{"truncated instruction"};

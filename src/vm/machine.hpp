@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "support/intern.hpp"
 #include "vm/segment.hpp"
@@ -99,6 +100,7 @@ struct Frame {
   std::uint32_t seg = 0;
   std::uint32_t pc = 0;
   std::uint32_t block = kNoBlock;  // enclosing def block (for kLoadSibling)
+  std::uint64_t enq_ns = 0;  // run-queue entry time (profiling only; 0 = off)
   std::vector<Value> locals;
   std::vector<Value> stack;
 
@@ -160,7 +162,10 @@ class Machine {
   std::uint64_t pending_messages() const { return pending_msgs_; }
   std::uint64_t pending_objects() const { return pending_objs_; }
 
-  void spawn_frame(Frame f) { queue_.push_back(std::move(f)); }
+  void spawn_frame(Frame f) {
+    if (prof_.enabled()) f.enq_ns = clock_ns();
+    queue_.push_back(std::move(f));
+  }
 
   // ---- channel operations (shared by local execution and deliveries) --
 
@@ -333,6 +338,26 @@ class Machine {
   /// Null (the default) costs one predictable branch per reduction.
   void set_event_ring(obs::TraceRing* ring) { ring_ = ring; }
 
+  /// The attached ring's time base (virtual in sim mode) or steady_clock
+  /// when tracing is off — shared by the profiler's run-queue wait
+  /// measurement and the Site's latency hooks.
+  std::uint64_t clock_ns() const {
+    return ring_ && ring_->enabled() ? ring_->now_ns() : obs::trace_now_ns();
+  }
+
+  /// Sampled execution profiling: every `period` executed instructions
+  /// one sample is attributed to (opcode, current segment), and frames
+  /// get enqueue->dispatch wait times observed into a histogram. Off by
+  /// default (period 0); when off the only cost is one predictable
+  /// branch per instruction. Owner thread only, like run().
+  void enable_profiling(std::uint64_t period);
+  bool profiling_enabled() const { return prof_.enabled(); }
+  const obs::Profiler& profiler() const { return prof_; }
+  const obs::Histogram& run_wait_histogram() const { return run_wait_us_; }
+  /// Folded-stacks text: one `site;definition;opcode count` line per
+  /// sampled (segment, opcode) pair, hottest first. Any thread.
+  std::string profile_folded() const;
+
   /// Publish this machine's Stats into a metrics registry under
   /// `vm_*{site="<name>"}` names. The registrations are dropped when the
   /// machine dies. The Stats counters are live-safe (atomic cells); the
@@ -448,6 +473,9 @@ class Machine {
   std::vector<std::string> errors_;
   std::vector<std::string>* trace_ = nullptr;
   obs::TraceRing* ring_ = nullptr;
+  obs::Profiler prof_;
+  std::uint64_t prof_countdown_ = 0;  // 0 = profiling off (see exec())
+  obs::Histogram run_wait_us_;
   obs::Registry::Registration metrics_reg_;
   obs::Registry::Registration gauges_reg_;
   Stats stats_;

@@ -85,6 +85,11 @@ struct Segment {
   std::vector<std::string> strings;  // string constants
   std::vector<double> floats;        // float constants
   std::vector<SegmentGuid> deps;     // referenced segments (seg-local index)
+  // Debug-only: the source-level definition(s) this segment compiles
+  // (e.g. "Serve" for a def block, "{get}" for an object). NOT
+  // serialized — shipped code arrives anonymous and the profiler falls
+  // back to a slot label; the wire layout stays pinned by test_net.
+  std::string name;
 
   void serialize(Writer& w) const;
   static Segment deserialize(Reader& r);

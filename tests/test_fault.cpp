@@ -5,8 +5,12 @@
 // re-exporting a dead site's identifiers from a backup.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+
 #include "core/network.hpp"
 #include "core/wire.hpp"
+#include "net/transport.hpp"
 #include "vm/machine.hpp"
 
 namespace dityco::core {
@@ -296,6 +300,61 @@ TEST(Fault, ThreadedDriverSurvivesDeadSite) {
   auto res = net.run();
   EXPECT_FALSE(res.budget_exhausted);
   EXPECT_EQ(net.output("client"), std::vector<std::string>{"still here"});
+}
+
+// ---------------------------------------------------------------------
+// Lost-REL healing (distributed GC + fault injection)
+// ---------------------------------------------------------------------
+
+/// A REL frame silently dropped by the network must not leak the owner's
+/// export-table entry forever: with Config::gc_resend_ms set, sites
+/// periodically retransmit their cumulative releases (idempotent at the
+/// owner), so the next epoch heals the loss. The control run (resend
+/// off) must keep the leak — proving the drop actually bit.
+void run_with_first_rel_dropped(bool resend, Network::GcReport& rep_out,
+                                std::uint64_t& dropped_out) {
+  Network::Config cfg;
+  cfg.gc_resend_ms = resend ? 1 : 0;
+  Network net(cfg);
+  net.add_node();
+  net.add_node();
+  net.add_site(0, "server");
+  net.add_site(1, "client");
+  // transport() materialises lazily; grab it only after topology exists.
+  auto& tr = dynamic_cast<net::InProcTransport&>(net.transport());
+  auto first = std::make_shared<std::atomic<bool>>(true);
+  tr.set_drop_filter([first](const net::Packet& p) {
+    return packet_type(p.bytes) == MsgType::kRelease &&
+           first->exchange(false);
+  });
+  net.submit_source("server",
+                    "def S(self) = self?{ val(x, r) = (r![x] | S[self]) } in "
+                    "export new p in S[p]");
+  net.submit_source("client",
+                    "import p from server in new a (p![7, a] | a?(v) = 0)");
+  ASSERT_TRUE(net.run().quiescent);
+  ASSERT_TRUE(net.all_errors().empty());
+  rep_out = net.collect_garbage();
+  dropped_out = tr.dropped();
+}
+
+TEST(Fault, DroppedRelHealsWithResendTimer) {
+  Network::GcReport rep;
+  std::uint64_t dropped = 0;
+  run_with_first_rel_dropped(/*resend=*/true, rep, dropped);
+  EXPECT_GE(dropped, 1u) << "the fault fired";
+  EXPECT_EQ(rep.exports_live, 0u)
+      << "retransmitted cumulative REL healed the loss";
+  EXPECT_EQ(rep.netrefs_live, 0u);
+}
+
+TEST(Fault, DroppedRelLeaksWithoutResend) {
+  Network::GcReport rep;
+  std::uint64_t dropped = 0;
+  run_with_first_rel_dropped(/*resend=*/false, rep, dropped);
+  EXPECT_GE(dropped, 1u) << "the fault fired";
+  EXPECT_GE(rep.exports_live, 1u)
+      << "without resend the dropped REL's credit is gone for good";
 }
 
 }  // namespace

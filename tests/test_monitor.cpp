@@ -1,6 +1,7 @@
 // TyCOmon: the per-network monitoring daemon. Covers the HTTP server in
-// isolation (routing, 404/405, lifecycle) and the Network-level
-// endpoints — including a scrape raced against a threaded run, which is
+// isolation (routing, 404/405, keep-alive, pipelining, the worker pool,
+// lifecycle) and the Network-level endpoints — including concurrent
+// persistent-connection scrapers raced against a threaded run, which is
 // the whole point of the live telemetry plane (TSan-checked in CI).
 #include <gtest/gtest.h>
 
@@ -9,9 +10,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/network.hpp"
 #include "obs/http.hpp"
@@ -58,6 +62,69 @@ std::string body_of(const std::string& response) {
   return pos == std::string::npos ? std::string() : response.substr(pos + 4);
 }
 
+/// Persistent-connection client: request every path down ONE HTTP/1.1
+/// keep-alive connection (pipelined when asked: all requests written
+/// before any response is read) and return the response bodies, framed
+/// by Content-Length. An empty result slot means the server hung up.
+std::vector<std::string> http_keepalive(std::uint16_t port,
+                                        const std::vector<std::string>& paths,
+                                        bool pipeline = false) {
+  std::vector<std::string> out(paths.size());
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return out;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return out;
+  }
+  auto send_req = [fd](const std::string& path) {
+    const std::string req = "GET " + path + " HTTP/1.1\r\nHost: t\r\n\r\n";
+    std::size_t off = 0;
+    while (off < req.size()) {
+      const ssize_t n = ::send(fd, req.data() + off, req.size() - off, 0);
+      if (n <= 0) return;
+      off += static_cast<std::size_t>(n);
+    }
+  };
+  std::string buf;
+  char chunk[4096];
+  auto read_response = [&]() -> std::string {
+    std::size_t head_end;
+    while ((head_end = buf.find("\r\n\r\n")) == std::string::npos) {
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n <= 0) return {};
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
+    const std::string head = buf.substr(0, head_end + 4);
+    std::size_t len = 0;
+    const auto cl = head.find("Content-Length:");
+    if (cl != std::string::npos)
+      len = std::strtoul(head.c_str() + cl + 15, nullptr, 10);
+    while (buf.size() < head_end + 4 + len) {
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n <= 0) return {};
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
+    std::string body = buf.substr(head_end + 4, len);
+    buf.erase(0, head_end + 4 + len);
+    return body;
+  };
+  if (pipeline) {
+    for (const auto& p : paths) send_req(p);
+    for (std::size_t i = 0; i < paths.size(); ++i) out[i] = read_response();
+  } else {
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      send_req(paths[i]);
+      out[i] = read_response();
+    }
+  }
+  ::close(fd);
+  return out;
+}
+
 // ---------------------------------------------------------------------
 // MonitorServer in isolation
 // ---------------------------------------------------------------------
@@ -81,7 +148,7 @@ TEST(MonitorServer, ServesRoutesAndRejectsUnknownOnes) {
   EXPECT_EQ(srv.port(), port);
 
   const std::string ok = http_get(port, "/ping");
-  EXPECT_NE(ok.find("HTTP/1.0 200"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("HTTP/1.1 200"), std::string::npos) << ok;
   EXPECT_EQ(body_of(ok), "pong");
   EXPECT_NE(ok.find("Content-Length: 4"), std::string::npos);
 
@@ -89,17 +156,17 @@ TEST(MonitorServer, ServesRoutesAndRejectsUnknownOnes) {
   EXPECT_EQ(body_of(http_get(port, "/ping?x=1")), "pong");
 
   // A handler controls its own status line.
-  EXPECT_NE(http_get(port, "/teapot").find("HTTP/1.0 404"),
+  EXPECT_NE(http_get(port, "/teapot").find("HTTP/1.1 404"),
             std::string::npos);
 
   // Unknown path: 404 listing the routes that do exist.
   const std::string miss = http_get(port, "/nope");
-  EXPECT_NE(miss.find("HTTP/1.0 404"), std::string::npos);
+  EXPECT_NE(miss.find("HTTP/1.1 404"), std::string::npos);
   EXPECT_NE(miss.find("/ping"), std::string::npos);
 
   // Non-GET: 405.
   EXPECT_NE(http_request(port, "POST /ping HTTP/1.0\r\n\r\n")
-                .find("HTTP/1.0 405"),
+                .find("HTTP/1.1 405"),
             std::string::npos);
 
   EXPECT_GE(srv.requests(), 5u);
@@ -120,6 +187,91 @@ TEST(MonitorServer, HandlesSequentialClients) {
   ASSERT_NE(port, 0u);
   for (int i = 1; i <= 5; ++i)
     EXPECT_EQ(body_of(http_get(port, "/n")), std::to_string(i));
+  srv.stop();
+}
+
+TEST(MonitorServer, KeepAliveReusesOneConnection) {
+  obs::MonitorServer srv;
+  int hits = 0;
+  srv.route("/n", [&hits] {
+    obs::MonitorServer::Response r;
+    r.body = std::to_string(++hits);
+    return r;
+  });
+  const std::uint16_t port = srv.start(0);
+  ASSERT_NE(port, 0u);
+  const auto bodies = http_keepalive(port, {"/n", "/n", "/n"});
+  EXPECT_EQ(bodies, (std::vector<std::string>{"1", "2", "3"}));
+  // Three requests, one TCP connection: that is what keep-alive buys.
+  EXPECT_EQ(srv.connections(), 1u);
+  EXPECT_EQ(srv.requests(), 3u);
+  srv.stop();
+}
+
+TEST(MonitorServer, PipelinedRequestsAnswerInOrder) {
+  obs::MonitorServer srv;
+  int hits = 0;
+  srv.route("/n", [&hits] {
+    obs::MonitorServer::Response r;
+    r.body = std::to_string(++hits);
+    return r;
+  });
+  const std::uint16_t port = srv.start(0);
+  ASSERT_NE(port, 0u);
+  const auto bodies = http_keepalive(port, {"/n", "/n"}, /*pipeline=*/true);
+  EXPECT_EQ(bodies, (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(srv.connections(), 1u);
+  srv.stop();
+}
+
+TEST(MonitorServer, Http10ClosesUnlessAskedToStay) {
+  obs::MonitorServer srv;
+  srv.route("/p", [] {
+    obs::MonitorServer::Response r;
+    r.body = "pong";
+    return r;
+  });
+  const std::uint16_t port = srv.start(0);
+  ASSERT_NE(port, 0u);
+  // Plain HTTP/1.0: exactly one response, then EOF (http_request reads
+  // to EOF, so a non-closing server would stall it into the timeout).
+  const std::string one = http_request(port, "GET /p HTTP/1.0\r\n\r\n");
+  EXPECT_NE(one.find("Connection: close"), std::string::npos) << one;
+  EXPECT_EQ(body_of(one), "pong");
+  // HTTP/1.1 + Connection: close is honoured too.
+  const std::string bye = http_request(
+      port, "GET /p HTTP/1.1\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(bye.find("Connection: close"), std::string::npos) << bye;
+  srv.stop();
+}
+
+TEST(MonitorServer, SlowScraperDoesNotBlockOthers) {
+  obs::MonitorServer srv;
+  srv.route("/slow", [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    obs::MonitorServer::Response r;
+    r.body = "slow";
+    return r;
+  });
+  srv.route("/fast", [] {
+    obs::MonitorServer::Response r;
+    r.body = "fast";
+    return r;
+  });
+  const std::uint16_t port = srv.start(0);
+  ASSERT_NE(port, 0u);
+  std::thread slow([&] { EXPECT_EQ(body_of(http_get(port, "/slow")), "slow"); });
+  // Give the slow request time to reach its handler and park a worker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(body_of(http_get(port, "/fast")), "fast");
+  const auto fast_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  slow.join();
+  // The pool (default 4 workers) must answer /fast while /slow is still
+  // sleeping; a single-threaded server would serialise them.
+  EXPECT_LT(fast_ms, 300) << "a slow scraper blocked the fast one";
   srv.stop();
 }
 
@@ -148,6 +300,12 @@ core::Network rpc_net(core::Network::Config cfg, int calls) {
 TEST(Monitor, EndpointsAnswerAtRest) {
   auto net = rpc_net({}, 4);
   net.enable_tracing(1 << 12);
+  // Promote everything (slow_us well under any real latency) so /flight
+  // has content; profile at a tight period so /profile has samples.
+  obs::FlightPolicy fp;
+  fp.slow_us = 0.001;
+  net.enable_flight(fp);
+  net.enable_profiling(16);
   const std::uint16_t port = net.start_monitor(0);
   ASSERT_NE(port, 0u);
   EXPECT_EQ(net.monitor_port(), port);
@@ -172,6 +330,17 @@ TEST(Monitor, EndpointsAnswerAtRest) {
   const std::string trace = body_of(http_get(port, "/trace"));
   EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
 
+  const std::string flight = body_of(http_get(port, "/flight"));
+  EXPECT_NE(flight.find("\"traceEvents\""), std::string::npos);
+  // Every mobility completion in this run beat the threshold, so the
+  // flight buffer cannot be empty: at least one SHIPM hop survived.
+  EXPECT_NE(flight.find("SHIPM"), std::string::npos) << flight;
+
+  const std::string profile = body_of(http_get(port, "/profile"));
+  EXPECT_NE(profile.find(';'), std::string::npos) << profile;
+  // Folded stacks name the user-level definition, not just opcodes.
+  EXPECT_NE(profile.find("Loop"), std::string::npos) << profile;
+
   net.stop_monitor();
   EXPECT_EQ(net.monitor_port(), 0u);
 }
@@ -193,21 +362,31 @@ TEST(Monitor, ScrapeRacesThreadedRun) {
   cfg.mode = core::Network::Mode::kThreaded;
   auto net = rpc_net(cfg, 2000);
   net.enable_tracing(1 << 12);
+  obs::FlightPolicy fp;
+  fp.slow_pctl = 0.99;
+  net.enable_flight(fp);
+  net.enable_profiling(64);
   const std::uint16_t port = net.start_monitor(0);
   ASSERT_NE(port, 0u);
 
   core::Network::Result res;
   std::thread runner([&] { res = net.run(); });
-  // Hammer every endpoint while the two executor threads and the daemon
-  // pumps are live; the live scrape path must stay off their plain
-  // fields (TSan enforces this in CI).
-  for (int i = 0; i < 20; ++i) {
-    EXPECT_NE(http_get(port, "/metrics").find("HTTP/1.0 200"),
-              std::string::npos);
-    http_get(port, "/metrics.json");
-    http_get(port, "/healthz");
-    http_get(port, "/trace");
-  }
+  // Two concurrent persistent-connection scrapers hammer every endpoint
+  // while the two executor threads and the daemon pumps are live; the
+  // live scrape path must stay off their plain fields and the profiler/
+  // flight reads off the executors' single-writer cells (TSan enforces
+  // this in CI).
+  auto scrape = [port] {
+    for (int i = 0; i < 10; ++i) {
+      const auto bodies = http_keepalive(
+          port, {"/metrics", "/metrics.json", "/healthz", "/trace",
+                 "/flight", "/profile"});
+      for (const auto& b : bodies) EXPECT_FALSE(b.empty());
+    }
+  };
+  std::thread scraper1(scrape), scraper2(scrape);
+  scraper1.join();
+  scraper2.join();
   runner.join();
   EXPECT_TRUE(res.quiescent);
 

@@ -11,6 +11,8 @@
 #include "core/network.hpp"
 #include "core/node.hpp"
 #include "core/wire.hpp"
+#include "net/transport.hpp"
+#include "obs/flight.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -618,6 +620,195 @@ TEST(EndToEnd, ThreadedModeStatsReadableWhileRunning) {
   EXPECT_TRUE(res.quiescent);
   EXPECT_GE(net.find_site("client")->mobility().msgs_shipped.value(), 50u);
   (void)observed;
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder: tail-based trace retention
+// ---------------------------------------------------------------------
+
+TEST(Flight, PromoteHarvestsEventsFromAttachedRings) {
+  obs::TraceRing a, b;
+  a.enable(64, 0, 0);
+  b.enable(64, 1, 0);
+  a.record(obs::EventType::kFetchReq, 42, 7);
+  b.record(obs::EventType::kFetchServed, 42, 7);
+  b.record(obs::EventType::kShipMsgIn, 43, 1);  // unrelated id
+  a.record(obs::EventType::kFetchReply, 42, 7);
+
+  obs::FlightRecorder fr;
+  fr.attach_ring(&a);
+  fr.attach_ring(&a);  // idempotent
+  fr.attach_ring(&b);
+  ASSERT_TRUE(fr.promote(42, obs::FlightRecorder::Reason::kError));
+  const auto entries = fr.snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].trace_id, 42u);
+  EXPECT_EQ(entries[0].reason, obs::FlightRecorder::Reason::kError);
+  ASSERT_EQ(entries[0].events.size(), 3u) << "both rings, only id 42";
+  // Sorted by timestamp across rings.
+  for (std::size_t i = 1; i < entries[0].events.size(); ++i)
+    EXPECT_LE(entries[0].events[i - 1].ts_ns, entries[0].events[i].ts_ns);
+  EXPECT_EQ(fr.promoted_count(obs::FlightRecorder::Reason::kError), 1u);
+}
+
+TEST(Flight, AbsoluteLatencyThresholdDecidesPromotion) {
+  obs::TraceRing ring;
+  ring.enable(64, 0, 0);
+  obs::FlightRecorder fr;
+  obs::FlightPolicy p;
+  p.slow_us = 100.0;
+  fr.configure(p);
+  fr.attach_ring(&ring);
+
+  fr.on_depart(1, 1'000);
+  EXPECT_FALSE(fr.on_complete(1, 50'000)) << "49us < 100us: fast";
+  fr.on_depart(2, 1'000);
+  EXPECT_TRUE(fr.on_complete(2, 201'000)) << "200us >= 100us: slow";
+  EXPECT_EQ(fr.completions(), 2u);
+  EXPECT_EQ(fr.promoted_count(obs::FlightRecorder::Reason::kSlow), 1u);
+  const auto entries = fr.snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_DOUBLE_EQ(entries[0].latency_us, 200.0);
+}
+
+TEST(Flight, PercentilePolicyKeepsTheTail) {
+  obs::FlightRecorder fr;
+  obs::FlightPolicy p;
+  p.slow_pctl = 0.5;
+  p.pctl_min_samples = 4;
+  fr.configure(p);
+  // Below min samples nothing fires, however slow.
+  fr.on_depart(1, 0);
+  EXPECT_FALSE(fr.on_complete(1, 1'000'000'000));
+  // Build a distribution of ~2us completions...
+  for (std::uint64_t id = 2; id < 100; ++id) {
+    fr.on_depart(id, 0);
+    fr.on_complete(id, 2'000);
+  }
+  // ...then a 1s outlier must land beyond the median bucket bound.
+  fr.on_depart(1000, 0);
+  EXPECT_TRUE(fr.on_complete(1000, 1'000'000'000'000ull));
+  // And a typical completion still must not.
+  fr.on_depart(1001, 0);
+  EXPECT_FALSE(fr.on_complete(1001, 2'000));
+}
+
+TEST(Flight, BufferCapsDedupsAndCountsEvictions) {
+  obs::FlightRecorder fr;
+  obs::FlightPolicy p;
+  p.max_traces = 2;
+  fr.configure(p);
+  using R = obs::FlightRecorder::Reason;
+  EXPECT_TRUE(fr.promote(1, R::kError));
+  EXPECT_FALSE(fr.promote(1, R::kError)) << "already promoted";
+  EXPECT_EQ(fr.duplicates(), 1u);
+  EXPECT_TRUE(fr.promote(2, R::kStarved));
+  EXPECT_TRUE(fr.promote(3, R::kRelAnomaly));
+  EXPECT_EQ(fr.evicted(), 1u);
+  const auto entries = fr.snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].trace_id, 2u) << "oldest evicted first";
+  EXPECT_EQ(entries[1].trace_id, 3u);
+}
+
+/// The acceptance scenario: under the sim driver with 1-in-64 head
+/// sampling, one artificially slow FETCH (extra virtual latency injected
+/// on its reply packet) must land in /flight with EVERY hop of its trace
+/// id — deterministically, whatever its sampling bit says — while a
+/// fast control run promotes nothing.
+core::Network fetch_net() {
+  auto net = two_node_net(sim_cfg());
+  net.submit_source("server",
+                    "export def Applet(out) = out![1 + 2] in 0");
+  net.submit_source("client",
+                    "import Applet from server in "
+                    "new p (Applet[p] | p?(v) = print[v])");
+  return net;
+}
+
+TEST(Flight, SlowFetchIsPromotedWithEveryHopDeterministically) {
+  auto net = fetch_net();
+  net.enable_tracing(1 << 12, /*sample_every=*/64, /*sample_seed=*/7);
+  obs::FlightPolicy p;
+  p.slow_us = 10'000.0;  // 10ms: far above any unperturbed sim latency
+  net.enable_flight(p);
+  // +50ms of virtual wire time on the FETCH reply only.
+  auto& sim = dynamic_cast<net::SimTransport&>(net.transport());
+  sim.set_extra_cost([](const net::Packet& pkt) {
+    return core::packet_type(pkt.bytes) == core::MsgType::kFetchRep
+               ? 50'000.0
+               : 0.0;
+  });
+  ASSERT_TRUE(net.run().quiescent);
+
+  const auto entries = net.flight().snapshot();
+  ASSERT_EQ(entries.size(), 1u) << "exactly the slow FETCH is promoted";
+  const auto& e = entries[0];
+  EXPECT_EQ(e.reason, obs::FlightRecorder::Reason::kSlow);
+  EXPECT_GE(e.latency_us, 50'000.0);
+  // Every hop of the operation: request issued at the client, request
+  // packet through both daemons, served at the server, reply packet
+  // through both daemons, reply linked at the client.
+  auto has = [&](obs::EventType t) {
+    for (const auto& ev : e.events)
+      if (ev.type == t && ev.trace_id == e.trace_id) return true;
+    return false;
+  };
+  EXPECT_TRUE(has(obs::EventType::kFetchReq));
+  EXPECT_TRUE(has(obs::EventType::kFetchServed));
+  EXPECT_TRUE(has(obs::EventType::kFetchReply));
+  EXPECT_TRUE(has(obs::EventType::kPacketSend)) << "daemon hops harvested";
+  // /flight renders as Chrome trace JSON with the server-side hop.
+  const std::string json = net.flight_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("FETCH-served"), std::string::npos) << json;
+}
+
+TEST(Flight, FastFetchIsNeverPromoted) {
+  auto net = fetch_net();
+  net.enable_tracing(1 << 12, /*sample_every=*/64, /*sample_seed=*/7);
+  obs::FlightPolicy p;
+  p.slow_us = 10'000.0;
+  net.enable_flight(p);
+  ASSERT_TRUE(net.run().quiescent);
+  EXPECT_GE(net.flight().completions(), 1u) << "the FETCH completed";
+  EXPECT_TRUE(net.flight().snapshot().empty())
+      << "an unperturbed sim FETCH is microseconds, never 10ms";
+}
+
+TEST(Flight, TraceEndpointKeepsItsSampledViewUnderRecordAll) {
+  auto net = fetch_net();
+  const std::uint64_t every = 64, seed = 7;
+  net.enable_tracing(1 << 12, every, seed);
+  net.enable_flight({});
+  ASSERT_TRUE(net.run().quiescent);
+  // The rings ran in record-all mode (so the flight recorder could
+  // harvest any id), but /trace must still honour 1-in-64 sampling.
+  for (const auto& tt : net.collect_traces())
+    for (const auto& ev : tt.events)
+      if (ev.trace_id != 0)
+        EXPECT_TRUE(obs::trace_id_sampled(ev.trace_id, every, seed))
+            << "unsampled id " << ev.trace_id << " leaked into /trace";
+}
+
+// ---------------------------------------------------------------------
+// Profiler sanity at the network level
+// ---------------------------------------------------------------------
+
+TEST(Profiler, FoldedStacksNameUserDefinitions) {
+  core::Network net{{}};
+  net.add_node();
+  net.add_site(0, "main");
+  net.enable_profiling(/*period=*/8);
+  net.submit_source("main",
+                    "def Spin(i) = if i == 0 then print[\"done\"] else "
+                    "Spin[i - 1] in Spin[500]");
+  ASSERT_TRUE(net.run().quiescent);
+  const std::string folded = net.profile_folded();
+  ASSERT_FALSE(folded.empty());
+  // site;definition;opcode count — with the definition's source name.
+  EXPECT_NE(folded.find("main;"), std::string::npos) << folded;
+  EXPECT_NE(folded.find(";Spin;"), std::string::npos) << folded;
 }
 
 }  // namespace

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Bench baseline for the observability stack: run the mobility-heavy
+# benches (C2 placement, C5 applet mobility, C6 RPC/name-service) twice —
+# observability off, then with the sampled profiler and tail-based flight
+# retention on (--profile --flight) — and write wall-clock milliseconds
+# per configuration to a JSON file. The committed BENCH_pr4.json is this
+# script's output on the CI container; regenerate with
+#   tools/bench_baseline.sh [build-dir] [out.json]
+# The interesting number is the on/off ratio per bench: with
+# observability off the runtime must not regress (the disabled paths are
+# a branch each). With it on the dominant cost is allocating the trace
+# rings themselves (visible in C6's many-network sweep); the per-event
+# record, sample and retention paths stay off the VM's hot loop.
+set -eu
+
+BUILD="${1:-build}"
+OUT="${2:-BENCH_pr4.json}"
+
+for b in bench_c2_local_vs_remote bench_c5_mobility bench_c6_rpc_nameservice; do
+  if [ ! -x "$BUILD/bench/$b" ]; then
+    echo "bench_baseline: no $BUILD/bench/$b (build the repo first)" >&2
+    exit 2
+  fi
+done
+
+run_ms() {
+  local start end
+  start=$(date +%s%N)
+  "$@" >/dev/null 2>&1
+  end=$(date +%s%N)
+  echo $(( (end - start) / 1000000 ))
+}
+
+# One warm-up pass per binary so the first measured run does not pay
+# page-cache/loader costs the second would skip.
+for b in bench_c2_local_vs_remote bench_c5_mobility bench_c6_rpc_nameservice; do
+  "$BUILD/bench/$b" >/dev/null 2>&1
+done
+
+{
+  echo "{"
+  echo "  \"schema\": \"dityco-bench-baseline-v1\","
+  echo "  \"benches\": ["
+  first=1
+  for b in bench_c2_local_vs_remote bench_c5_mobility bench_c6_rpc_nameservice; do
+    plain=$(run_ms "$BUILD/bench/$b")
+    obs=$(run_ms "$BUILD/bench/$b" --profile --flight)
+    [ "$first" -eq 1 ] || echo "    ,"
+    first=0
+    echo "    {\"bench\": \"$b\", \"plain_ms\": $plain, \"obs_ms\": $obs}"
+  done
+  echo "  ]"
+  echo "}"
+} > "$OUT"
+
+echo "bench_baseline: wrote $OUT"
+cat "$OUT"

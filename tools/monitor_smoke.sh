@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# TyCOmon smoke test: launch tycosh with --monitor on an ephemeral port,
-# scrape /metrics, /healthz and /trace while (or right after) a threaded
-# two-site RPC run executes, and assert each endpoint answers with real
+# TyCOmon smoke test: launch tycosh with --monitor on an ephemeral port
+# (plus :profile and tail-based flight retention), scrape /metrics,
+# /healthz, /trace, /flight and /profile while (or right after) a
+# threaded two-site RPC run executes — including two concurrent
+# keep-alive scrapers — and assert each endpoint answers with real
 # content. Used by CI; run locally as tools/monitor_smoke.sh [tycosh],
 # default build/tools/tycosh.
 set -u
@@ -23,7 +25,8 @@ site client { import svc from server in
   else let v = svc![acc] in Loop[i - 1, v]
   in Loop[2000, 0] }'
 
-"$TYCOSH" --mode threads --monitor 0 --linger 4000 -e "$PROG" >"$OUT" 2>&1 &
+"$TYCOSH" --mode threads --monitor 0 --linger 4000 :profile \
+  --flight-slow-us 1 -e "$PROG" >"$OUT" 2>&1 &
 PID=$!
 
 # Wait for the "tycomon listening on http://127.0.0.1:<port>" line.
@@ -72,6 +75,36 @@ if ! printf '%s' "$JSON" | grep -q '"counters"'; then
   fail=1
 fi
 
+FLIGHT="$(curl -sf "http://127.0.0.1:$PORT/flight")" || fail=1
+if ! printf '%s' "$FLIGHT" | grep -q '"traceEvents"'; then
+  echo "monitor_smoke: /flight is not Chrome trace JSON" >&2
+  fail=1
+fi
+
+PROFILE="$(curl -sf "http://127.0.0.1:$PORT/profile")" || fail=1
+if ! printf '%s' "$PROFILE" | grep -q ';'; then
+  echo "monitor_smoke: /profile has no folded stacks:" >&2
+  printf '%s\n' "$PROFILE" | head -5 >&2
+  fail=1
+fi
+
+# Keep-alive: two requests down one connection must both answer (the
+# second would hang forever on a close-per-request server).
+KEEP="$(curl -sf "http://127.0.0.1:$PORT/healthz" "http://127.0.0.1:$PORT/healthz")" || fail=1
+if [ "$(printf '%s' "$KEEP" | grep -o '"sites"' | wc -l)" -ne 2 ]; then
+  echo "monitor_smoke: keep-alive reuse did not answer twice" >&2
+  fail=1
+fi
+
+# Worker pool: two concurrent scrapers, each holding its own persistent
+# connection, must both complete.
+curl -sf "http://127.0.0.1:$PORT/metrics" "http://127.0.0.1:$PORT/trace" >/dev/null &
+C1=$!
+curl -sf "http://127.0.0.1:$PORT/healthz" "http://127.0.0.1:$PORT/flight" >/dev/null &
+C2=$!
+wait "$C1" || { echo "monitor_smoke: concurrent scraper 1 failed" >&2; fail=1; }
+wait "$C2" || { echo "monitor_smoke: concurrent scraper 2 failed" >&2; fail=1; }
+
 wait "$PID"
 STATUS=$?
 if [ "$STATUS" -ne 0 ]; then
@@ -86,6 +119,6 @@ if ! grep -q 'done 2000' "$OUT"; then
 fi
 
 if [ "$fail" -eq 0 ]; then
-  echo "monitor_smoke: OK (metrics, metrics.json, healthz, trace)"
+  echo "monitor_smoke: OK (metrics, metrics.json, healthz, trace, flight, profile, keep-alive)"
 fi
 exit "$fail"

@@ -23,11 +23,21 @@
 //                    timeline as Chrome trace-event JSON to FILE (open in
 //                    chrome://tracing or https://ui.perfetto.dev)
 //   --sample N       with tracing: record only 1-in-N trace ids
-//   --monitor PORT   start TyCOmon on 127.0.0.1:PORT (0 = ephemeral);
-//                    GET /metrics, /metrics.json, /trace, /healthz.
+//   --monitor PORT   start TyCOmon on PORT (0 = ephemeral); GET /metrics,
+//                    /metrics.json, /trace, /healthz, /flight, /profile.
 //                    Implies tracing. :serve = --monitor 0
+//   --bind ADDR      TyCOmon bind address (default 127.0.0.1). Anything
+//                    else serves the endpoints off-host: plain text, no
+//                    authentication — use only on trusted networks
 //   --linger MS      keep the process (and TyCOmon) alive MS ms after the
 //                    run so the endpoints can be scraped post-mortem
+//   :profile         enable the sampled VM profiler (1-in-1024
+//                    instructions) and print the folded stacks after the
+//                    run (`site;definition;opcode count`)
+//   :flight FILE     enable tail-based trace retention and write the
+//                    promoted traces as Chrome trace JSON to FILE
+//   --flight-slow-us N   with :flight (or alone: implies it), promote
+//                    mobility operations slower than N µs
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -53,7 +63,13 @@ int usage() {
       "         :trace FILE.json       write a Perfetto/Chrome trace\n"
       "         --sample N             trace 1-in-N operations\n"
       "         --monitor PORT | :serve  start TyCOmon (0 = ephemeral)\n"
-      "         --linger MS            keep TyCOmon up after the run\n";
+      "         --bind ADDR            TyCOmon bind address (default\n"
+      "                                127.0.0.1; other values are served\n"
+      "                                unauthenticated — trusted nets only)\n"
+      "         --linger MS            keep TyCOmon up after the run\n"
+      "         :profile               sampled VM profiler, folded stacks\n"
+      "         :flight FILE.json      tail-based retention -> Chrome trace\n"
+      "         --flight-slow-us N     promote operations slower than N us\n";
   return 2;
 }
 
@@ -69,8 +85,13 @@ int main(int argc, char** argv) {
   std::string trace_path;
   bool monitor = false;
   int monitor_port = 0;
+  std::string bind_addr = "127.0.0.1";
   long sample_every = 1;
   long linger_ms = 0;
+  bool profile = false;
+  std::string flight_path;
+  bool flight = false;
+  double flight_slow_us = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -100,6 +121,16 @@ int main(int argc, char** argv) {
     } else if (arg == ":serve") {
       monitor = true;
       monitor_port = 0;
+    } else if (arg == "--bind" && i + 1 < argc) {
+      bind_addr = argv[++i];
+    } else if (arg == ":profile" || arg == "--profile") {
+      profile = true;
+    } else if ((arg == ":flight" || arg == "--flight") && i + 1 < argc) {
+      flight = true;
+      flight_path = argv[++i];
+    } else if (arg == "--flight-slow-us" && i + 1 < argc) {
+      flight = true;
+      flight_slow_us = std::atof(argv[++i]);
     } else if (arg == "--linger" && i + 1 < argc) {
       linger_ms = std::atol(argv[++i]);
     } else if (!arg.empty() && (arg[0] == '-' || arg[0] == ':')) {
@@ -163,14 +194,20 @@ int main(int argc, char** argv) {
       net.add_site(i % static_cast<std::size_t>(nnodes), programs[i].first);
     for (const auto& [site, prog] : programs) net.submit(site, prog);
     // A monitored run always traces: /trace would otherwise be empty.
-    if (!trace_path.empty() || monitor)
+    if (!trace_path.empty() || monitor || flight)
       net.enable_tracing(1 << 14,
                          sample_every > 1
                              ? static_cast<std::uint64_t>(sample_every)
                              : 1);
+    if (flight) {
+      dityco::obs::FlightPolicy fp;
+      fp.slow_us = flight_slow_us;
+      net.enable_flight(fp);
+    }
+    if (profile) net.enable_profiling(1024);
     if (monitor) {
-      const std::uint16_t port =
-          net.start_monitor(static_cast<std::uint16_t>(monitor_port));
+      const std::uint16_t port = net.start_monitor(
+          static_cast<std::uint16_t>(monitor_port), bind_addr);
       if (port == 0) {
         std::cerr << "tycosh: cannot start TyCOmon on port " << monitor_port
                   << "\n";
@@ -178,7 +215,7 @@ int main(int argc, char** argv) {
       }
       // Flushed before the run so scripts can parse the port and start
       // scraping while the network executes.
-      std::cout << "tycomon listening on http://127.0.0.1:" << port
+      std::cout << "tycomon listening on http://" << bind_addr << ":" << port
                 << std::endl;
     }
 
@@ -199,6 +236,21 @@ int main(int argc, char** argv) {
               << " packets\n";
 
     if (stats) std::cout << net.metrics().expose_text();
+
+    if (profile) {
+      const std::string folded = net.profile_folded();
+      std::cout << "-- profile (" << (folded.empty() ? "no samples" : "folded")
+                << ") --\n" << folded;
+    }
+    if (!flight_path.empty()) {
+      std::ofstream out(flight_path);
+      if (!out) {
+        std::cerr << "tycosh: cannot write " << flight_path << "\n";
+        return 1;
+      }
+      out << net.flight_json();
+      std::cout << "flight recording written to " << flight_path << "\n";
+    }
 
     if (!trace_path.empty()) {
       std::ofstream out(trace_path);
