@@ -93,6 +93,48 @@ Outcome run_ship(int size, int activations, MetricsJsonEmitter& mj,
   return o;
 }
 
+// Both mobility styles under the threaded driver on a real transport:
+// the applet's byte-code crosses in-proc queues vs loopback TCP sockets
+// (docs/NETWORKING.md). Wall clock, one size/activation point.
+double run_wall_style(core::Network::TransportKind t, bool ship, int size,
+                      int activations, MetricsJsonEmitter& mj,
+                      ObsFlags& obsf) {
+  core::Network net(wall_config(t));
+  net.add_node();
+  net.add_site(0, "server");
+  net.add_node();
+  net.add_site(1, "client");
+  obsf.attach(net);
+  if (ship) {
+    net.submit_source("server",
+                      "def Srv(self) = self?{ get(p) = ((p?(r) = r![" +
+                          big_expr(size) +
+                          "]) | Srv[self]) } in export new srv in Srv[srv]");
+    net.submit_source("client",
+                      "import srv from server in "
+                      "def Go(i) = if i == 0 then print[\"done\"] else "
+                      "new p (srv!get[p] | let v = p![] in Go[i - 1]) "
+                      "in Go[" + std::to_string(activations) + "]");
+  } else {
+    net.submit_source("server", "export def Applet(out) = out![" +
+                                    big_expr(size) + "] in 0");
+    net.submit_source("client",
+                      "import Applet from server in "
+                      "def Go(i) = if i == 0 then print[\"done\"] else "
+                      "new p (Applet[p] | p?(v) = Go[i - 1]) "
+                      "in Go[" + std::to_string(activations) + "]");
+  }
+  core::Network::Result res;
+  const double us = run_wall_us(net, &res);
+  const std::string label = std::string("wall ") +
+                            (ship ? "ship " : "fetch ") + transport_name(t);
+  mj.record(label, net);
+  obsf.report(label, net);
+  if (!res.quiescent) std::printf("WARNING: %s did not quiesce\n",
+                                  label.c_str());
+  return us;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -127,5 +169,20 @@ int main(int argc, char** argv) {
       "activations grow while ship bytes grow linearly; disabling the\n"
       "cache (A2) makes fetch bytes/time scale like ship plus a request\n"
       "leg. For one-shot applets, ship needs no request round trip.\n");
+
+  header("C5-wall: mobility over a real transport (size=512, k=64, "
+         "threaded, wall clock)",
+         {"transport", "style", "wall us"});
+  using TK = core::Network::TransportKind;
+  for (TK t : {TK::kInProc, TK::kTcp}) {
+    for (bool ship : {false, true}) {
+      const double us = run_wall_style(t, ship, 512, 64, mj, obsf);
+      row({transport_name(t), ship ? "ship" : "fetch+cache", fmt(us)});
+    }
+  }
+  std::printf(
+      "\nshape check: the fetch-vs-ship ordering must survive the move\n"
+      "from in-proc queues to loopback sockets — TCP raises the constant\n"
+      "per code move, so repeated shipping is hit hardest.\n");
   return 0;
 }

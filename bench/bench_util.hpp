@@ -3,6 +3,7 @@
 // figure/claim of the paper (see DESIGN.md section 5 and EXPERIMENTS.md).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -35,6 +36,34 @@ inline core::Network::Config sim_config(const net::LinkModel& link,
   cfg.link = link;
   cfg.instr_per_us = instr_per_us;
   return cfg;
+}
+
+/// Wall-clock config: the threaded driver over a real transport —
+/// kInProc shared-memory queues or a kTcp loopback socket mesh (one
+/// TcpTransport per node in this process; docs/NETWORKING.md). Unlike
+/// sim_config the numbers are wall time, so runs are only comparable
+/// against each other on the same machine.
+inline core::Network::Config wall_config(
+    core::Network::TransportKind transport) {
+  core::Network::Config cfg;
+  cfg.mode = core::Network::Mode::kThreaded;
+  cfg.transport = transport;
+  return cfg;
+}
+
+/// Run `net` to quiescence and return elapsed wall-clock microseconds.
+inline double run_wall_us(core::Network& net, core::Network::Result* out =
+                                                  nullptr) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto res = net.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  if (out) *out = res;
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+inline const char* transport_name(core::Network::TransportKind t) {
+  return t == core::Network::TransportKind::kTcp ? "loopback TCP"
+                                                 : "in-proc";
 }
 
 /// A server program answering `val(x, reply)` with x+1, forever.

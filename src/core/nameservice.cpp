@@ -1,5 +1,7 @@
 #include "core/nameservice.hpp"
 
+#include <algorithm>
+
 #include "core/wire.hpp"
 
 namespace dityco::core {
@@ -46,6 +48,17 @@ void NameService::reply_to(const Waiter& w, Entry& e, bool ok,
   p.bytes = out.take();
   replies.push_back(std::move(p));
   ++stats_.replies;
+  if (share > 0 && w.node != e.ref.node) {
+    // CREDIT-MOVED: the owner minted this credit against the name
+    // service (unattributed); tell it the share now lives at the
+    // importer's node so a failure write-off there can forgive it.
+    net::Packet cm;
+    cm.src_node = home_node_;
+    cm.dst_node = e.ref.node;
+    cm.bytes = make_credit_moved(e.ref, w.node, share);
+    replies.push_back(std::move(cm));
+    ++stats_.credit_moves;
+  }
 }
 
 void NameService::release_entry(const Entry& e, std::vector<net::Packet>& out) {
@@ -140,6 +153,53 @@ std::size_t NameService::parked() const {
   return n;
 }
 
+std::size_t NameService::evict_node(std::uint32_t node) {
+  std::size_t dropped = 0;
+  // SiteTable: the dead node's sites are gone; lookups must stop
+  // resolving to them.
+  for (auto it = sites_.begin(); it != sites_.end();) {
+    if (it->second.node == node) {
+      it = sites_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  // IdTable: bindings whose referent lived on the dead node are dead
+  // references. The credit the service holds for them is NOT released —
+  // there is no owner left to receive a REL; survivors write the
+  // balance off through their own PEER-DOWN handling.
+  for (auto it = ids_.begin(); it != ids_.end();) {
+    if (it->second.ref.node == node) {
+      it = ids_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  // Parked lookups from the dead node would pin their keys forever (the
+  // requester can never consume a reply).
+  for (auto it = waiting_.begin(); it != waiting_.end();) {
+    auto& ws = it->second;
+    const std::size_t before = ws.size();
+    ws.erase(std::remove_if(ws.begin(), ws.end(),
+                            [node](const Waiter& w) { return w.node == node; }),
+             ws.end());
+    const std::size_t removed = before - ws.size();
+    if (removed > 0) {
+      dropped += removed;
+      parked_now_.fetch_sub(static_cast<std::int64_t>(removed),
+                            std::memory_order_relaxed);
+    }
+    if (ws.empty())
+      it = waiting_.erase(it);
+    else
+      ++it;
+  }
+  if (dropped > 0) stats_.evictions += dropped;
+  return dropped;
+}
+
 void NameService::register_metrics(obs::Registry& registry,
                                    const std::string& label) {
   metrics_reg_ = registry.add_collector([this, label](obs::Collector& c) {
@@ -150,6 +210,8 @@ void NameService::register_metrics(obs::Registry& registry,
     c.counter("ns_parked_total" + l, stats_.parked_total);
     c.counter("ns_unregisters" + l, stats_.unregisters);
     c.counter("ns_releases" + l, stats_.releases);
+    c.counter("ns_credit_moves" + l, stats_.credit_moves);
+    c.counter("ns_evictions" + l, stats_.evictions);
     c.gauge("ns_parked" + l, parked_now_.load(std::memory_order_relaxed));
   });
 }

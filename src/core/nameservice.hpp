@@ -42,6 +42,8 @@ class NameService {
     obs::SoloCounter parked_total;
     obs::SoloCounter unregisters;  // IdTable bindings dropped
     obs::SoloCounter releases;     // REL frames sent for held credit
+    obs::SoloCounter credit_moves; // CREDIT-MOVED notices sent to owners
+    obs::SoloCounter evictions;    // entries dropped for dead nodes
   };
 
   explicit NameService(std::uint32_t home_node = 0) : home_node_(home_node) {}
@@ -90,6 +92,13 @@ class NameService {
   std::size_t parked() const;
   /// IdTable size (leak checks: zero after the final GC epoch).
   std::size_t id_count() const { return ids_.size(); }
+
+  /// Failure cleanup: drop every registration owned by a dead node —
+  /// its SiteTable rows, IdTable bindings whose referent lived there
+  /// (held credit is written off by the owner's survivors, not RELed:
+  /// the owner no longer exists to receive one), and parked lookups
+  /// from it. Returns entries dropped.
+  std::size_t evict_node(std::uint32_t node);
   const Stats& stats() const { return stats_; }
 
   /// Publish this service's counters into `registry` under `ns_*` names,

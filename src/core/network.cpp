@@ -20,14 +20,22 @@ Network::Network(Config cfg)
   ns_->register_metrics(*metrics_, "central");
 }
 
-Network::~Network() = default;
+Network::~Network() {
+  // Stop transport background machinery (the TCP I/O thread) before any
+  // member it could race with is torn down; also releases senders
+  // blocked on backpressure.
+  if (transport_) transport_->shutdown();
+}
 
 Node& Network::add_node() {
   if (transport_)
     throw std::logic_error("cannot add nodes after the network started");
-  nodes_.push_back(
-      std::make_unique<Node>(static_cast<std::uint32_t>(nodes_.size()), *ns_,
-                             metrics_.get()));
+  std::uint32_t id = static_cast<std::uint32_t>(nodes_.size());
+  // A multiprocess TCP network hosts one node whose id is the
+  // process-global node id, not a local ordinal.
+  if (cfg_.transport == TransportKind::kTcp && cfg_.tcp.multiprocess)
+    id += cfg_.tcp.self;
+  nodes_.push_back(std::make_unique<Node>(id, *ns_, metrics_.get()));
   if (trace_capacity_ > 0)
     nodes_.back()->enable_tracing(trace_capacity_, sample_every_,
                                   sample_seed_);
@@ -302,13 +310,72 @@ void Network::submit_network_source(std::string_view src) {
 
 net::Transport& Network::transport() {
   if (!transport_) {
-    if (cfg_.mode == Mode::kSim)
+    if (cfg_.mode == Mode::kSim) {
+      if (cfg_.transport == TransportKind::kTcp)
+        throw std::logic_error(
+            "TCP transport cannot run under the virtual-time sim driver");
       transport_ = std::make_unique<net::SimTransport>(nodes_.size(),
                                                        cfg_.link);
-    else
+    } else if (cfg_.transport == TransportKind::kTcp) {
+      if (cfg_.tcp.multiprocess) {
+        auto t = std::make_unique<net::TcpTransport>(cfg_.tcp);
+        // A confirmed-dead peer becomes a PEER-DOWN packet in our inbox,
+        // routed like any delivery (GC write-off on executor threads).
+        t->set_death_frame(
+            [](std::uint32_t dead) { return make_peer_down(dead); });
+        register_tcp_metrics(*t, "self");
+        transport_ = std::move(t);
+      } else {
+        auto mesh =
+            std::make_unique<net::TcpMeshTransport>(nodes_.size(), cfg_.tcp);
+        if (mesh->parts_count() > 0) register_tcp_metrics(mesh->part(0), "0");
+        transport_ = std::move(mesh);
+      }
+    } else {
       transport_ = std::make_unique<net::InProcTransport>(nodes_.size());
+    }
   }
   return *transport_;
+}
+
+net::TcpTransport* Network::tcp_transport() {
+  return dynamic_cast<net::TcpTransport*>(&transport());
+}
+
+void Network::register_tcp_metrics(net::TcpTransport& t,
+                                   const std::string& label) {
+  tcp_metrics_reg_ = metrics_->add_collector([&t, label](obs::Collector& c) {
+    const std::string l = "{transport=\"" + label + "\"}";
+    const auto& s = t.stats();
+    c.counter("tcp_connects" + l, s.connects.load(std::memory_order_relaxed));
+    c.counter("tcp_reconnects" + l,
+              s.reconnects.load(std::memory_order_relaxed));
+    c.counter("tcp_accepts" + l, s.accepts.load(std::memory_order_relaxed));
+    c.counter("tcp_frames_out" + l,
+              s.frames_out.load(std::memory_order_relaxed));
+    c.counter("tcp_frames_in" + l,
+              s.frames_in.load(std::memory_order_relaxed));
+    c.counter("tcp_bytes_in" + l, s.bytes_in.load(std::memory_order_relaxed));
+    c.counter("tcp_heartbeats_sent" + l,
+              s.heartbeats_sent.load(std::memory_order_relaxed));
+    c.counter("tcp_heartbeats_acked" + l,
+              s.heartbeats_acked.load(std::memory_order_relaxed));
+    c.counter("tcp_backpressure_waits" + l,
+              s.backpressure_waits.load(std::memory_order_relaxed));
+    c.counter("tcp_frames_dropped" + l,
+              s.frames_dropped.load(std::memory_order_relaxed));
+    c.counter("tcp_peers_suspected" + l,
+              s.peers_suspected.load(std::memory_order_relaxed));
+    c.counter("tcp_peers_dead" + l,
+              s.peers_dead.load(std::memory_order_relaxed));
+    c.gauge("tcp_connections" + l,
+            static_cast<std::int64_t>(t.connected_peers()));
+    c.gauge("tcp_queue_bytes" + l,
+            static_cast<std::int64_t>(t.queued_bytes()));
+    c.gauge("tcp_heartbeat_rtt_us" + l,
+            static_cast<std::int64_t>(
+                s.last_rtt_us.load(std::memory_order_relaxed)));
+  });
 }
 
 const std::vector<std::string>& Network::output(const std::string& site_name) {
@@ -456,11 +523,19 @@ Network::Result Network::run_threaded() {
   // packet sits in a daemon's or executor's hands and is in no queue.
   std::vector<std::unique_ptr<std::atomic<bool>>> idle_hints;
   std::vector<std::unique_ptr<std::atomic<bool>>> daemon_hints;
+  // Remote transports only: a site parked on an import is quiescent
+  // locally, but its reply is still in flight *somewhere* — in the
+  // peer's queues, which this process cannot scan. The executor
+  // publishes a parked hint (machine().parked() is executor-private
+  // state, unsafe to read from the scan thread) and the drain scan
+  // refuses to declare quiescence while any site still waits.
+  std::vector<std::unique_ptr<std::atomic<bool>>> parked_hints;
   std::vector<Site*> sites;
   for (auto& n : nodes_)
     for (auto& s : n->sites()) {
       sites.push_back(s.get());
       idle_hints.push_back(std::make_unique<std::atomic<bool>>(false));
+      parked_hints.push_back(std::make_unique<std::atomic<bool>>(false));
     }
   for (std::size_t j = 0; j < nodes_.size(); ++j)
     daemon_hints.push_back(std::make_unique<std::atomic<bool>>(false));
@@ -490,6 +565,8 @@ Network::Result Network::run_threaded() {
           progress.fetch_add(applied, std::memory_order_release);
         const bool idle =
             applied == 0 && ran == 0 && s.incoming_size() == 0;
+        parked_hints[i]->store(s.machine().parked() > 0 && !s.failed(),
+                               std::memory_order_release);
         idle_hints[i]->store(idle, std::memory_order_release);
         if (idle) std::this_thread::sleep_for(std::chrono::microseconds(50));
       }
@@ -512,12 +589,21 @@ Network::Result Network::run_threaded() {
 
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(cfg_.timeout_ms);
+  // Cross-process transports make the in-flight count approximate: a
+  // frame the peer has written but we have not yet read is invisible to
+  // every scan this process can make. Two adjustments: parked imports
+  // veto the drain (their replies are queued at the peer), and the
+  // confirm grace stretches to cover loopback delivery latency.
+  const bool remote = t.remote();
+  const auto grace = std::chrono::milliseconds(remote ? 250 : 1);
   auto all_drained = [&] {
     if (t.in_flight() != 0) return false;
     for (std::size_t j = 0; j < nodes_.size(); ++j)
       if (!daemon_hints[j]->load(std::memory_order_acquire)) return false;
     for (std::size_t i = 0; i < sites.size(); ++i) {
       if (!idle_hints[i]->load(std::memory_order_acquire)) return false;
+      if (remote && parked_hints[i]->load(std::memory_order_acquire))
+        return false;
       if (sites[i]->incoming_size() != 0 || sites[i]->outgoing_size() != 0)
         return false;
     }
@@ -540,7 +626,7 @@ Network::Result Network::run_threaded() {
       // thus dodge both) moves the clock and voids the pass.
       const std::uint64_t p0 = progress.load(std::memory_order_acquire);
       const std::uint64_t e0 = executed.load(std::memory_order_relaxed);
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      std::this_thread::sleep_for(grace);
       if (all_drained() && progress.load(std::memory_order_acquire) == p0 &&
           executed.load(std::memory_order_relaxed) == e0)
         break;
@@ -583,6 +669,10 @@ Network::GcReport Network::collect_garbage(int max_rounds) {
     const std::size_t queued =
         gc_pass(final, /*resend=*/final && cfg_.gc_resend_ms > 0);
     final = false;
+    // A remote transport delivers asynchronously: a peer's REL can be on
+    // the wire while every local scan reads empty. Idle-wait a grace
+    // window before declaring the epoch drained.
+    int quiet_ms = 0;
     for (;;) {
       std::size_t moved = 0;
       for (auto& n : nodes_) moved += n->pump_outgoing(t, now);
@@ -590,10 +680,18 @@ Network::GcReport Network::collect_garbage(int max_rounds) {
       for (auto& n : nodes_)
         for (auto& s : n->sites()) moved += s->process_incoming();
       if (moved == 0) {
-        if (t.in_flight() == 0) break;
-        now += 1e9;  // sim: jump past any link latency
-        continue;
+        if (t.in_flight() != 0) {
+          now += 1e9;  // sim: jump past any link latency
+          continue;
+        }
+        if (t.remote() && quiet_ms < 300) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          quiet_ms += 10;
+          continue;
+        }
+        break;
       }
+      quiet_ms = 0;
       now += 1e6;
     }
     if (queued == 0) break;  // a pass with nothing to say: converged

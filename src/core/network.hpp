@@ -26,6 +26,7 @@
 
 #include "calculus/ast.hpp"
 #include "core/node.hpp"
+#include "net/tcp.hpp"
 #include "net/transport.hpp"
 #include "obs/export.hpp"
 #include "obs/http.hpp"
@@ -37,8 +38,25 @@ class Network {
  public:
   enum class Mode { kSequential, kThreaded, kSim };
 
+  /// Which wire carries inter-node packets. kInProc is the default
+  /// shared-memory queueing; kSim is forced by Mode::kSim; kTcp routes
+  /// every inter-node packet over real loopback/LAN sockets — either an
+  /// in-process mesh (one TcpTransport per node; benches, tests) or,
+  /// with tcp.multiprocess, a single socket endpoint for this process's
+  /// one node (the tycod daemon).
+  enum class TransportKind { kInProc, kSim, kTcp };
+
   struct Config {
     Mode mode = Mode::kSequential;
+    /// Transport selector. kInProc auto-upgrades to kSim under
+    /// Mode::kSim (the sim driver requires virtual-time delivery);
+    /// combining kTcp with Mode::kSim is an error.
+    TransportKind transport = TransportKind::kInProc;
+    /// TCP parameters (TransportKind::kTcp). With multiprocess set, the
+    /// network hosts exactly one node whose id is tcp.self and peers
+    /// are other OS processes; otherwise an in-process loopback mesh of
+    /// nodes_.size() endpoints is built and tcp.self is ignored.
+    net::TcpConfig tcp;
     net::LinkModel link = net::myrinet();
     /// VM speed for the simulated cluster (byte-code instructions per µs).
     double instr_per_us = 100.0;
@@ -126,6 +144,10 @@ class Network {
   const std::vector<std::string>& output(const std::string& site_name);
   NameService& name_service() { return *ns_; }
   net::Transport& transport();
+  /// The transport as a TcpTransport (TransportKind::kTcp, multiprocess
+  /// mode only); nullptr otherwise. For tycod: port discovery, peer
+  /// bootstrap, death-frame wiring checks.
+  net::TcpTransport* tcp_transport();
   const Config& config() const { return cfg_; }
 
   /// All runtime errors across sites and machines.
@@ -212,6 +234,8 @@ class Network {
   /// One distributed-GC collection pass over every site; returns the
   /// number of packets (RELs, unregisters) the pass queued.
   std::size_t gc_pass(bool final, bool resend = false);
+  /// Publish a TcpTransport's counters/gauges into the registry.
+  void register_tcp_metrics(net::TcpTransport& t, const std::string& label);
   /// The sequential pump loop: round-robin sites until quiescent (with
   /// cfg.gc, quiescence triggers collection passes until no RELs flow).
   void sequential_drain(net::Transport& t, Result& res);
@@ -252,6 +276,7 @@ class Network {
   std::uint64_t sample_every_ = 1, sample_seed_ = 0;
   std::uint64_t prof_period_ = 0;  // 0 = profiling off
   obs::Registry::Registration flight_reg_;
+  obs::Registry::Registration tcp_metrics_reg_;
   std::unique_ptr<LiveStatus> live_ = std::make_unique<LiveStatus>();
   // Declared last: the server thread reads everything above, so it must
   // be stopped (destroyed) first.

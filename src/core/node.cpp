@@ -119,9 +119,21 @@ void Node::route(net::Packet p, net::Transport& t, double now_us) {
     }
     return;
   }
+  if (packet_type(p.bytes) == MsgType::kPeerDown) {
+    // A synthetic death notice injected by the transport's failure
+    // detector: every site on this node writes off the dead holder's
+    // export credit, and the name service (central or replica) drops
+    // the dead node's registrations so lookups stop resolving to it.
+    Reader r(p.bytes);
+    read_header(r);
+    const std::uint32_t dead = read_peer_down(r);
+    if (ns_->home_node() == id_) ns_->evict_node(dead);
+    for (auto& s : sites_) s->push_incoming(p.bytes, p.src_node);
+    return;
+  }
   const std::uint32_t dst_site = packet_dst_site(p);
   if (dst_site >= sites_.size()) throw DecodeError("packet to unknown site");
-  sites_[dst_site]->push_incoming(std::move(p.bytes));
+  sites_[dst_site]->push_incoming(std::move(p.bytes), p.src_node);
 }
 
 std::size_t Node::pump_site_outgoing(net::Transport& t, std::size_t site_idx,

@@ -98,6 +98,10 @@ void Site::register_metrics(obs::Registry& registry) {
     c.counter("site_gc_rel_stale" + l, machine_.gc_stats().rel_stale);
     c.counter("site_gc_rel_sent" + l, mobility_.gc_rel_sent);
     c.counter("site_gc_rel_received" + l, mobility_.gc_rel_received);
+    c.counter("site_gc_rel_dead" + l, mobility_.gc_rel_dead);
+    c.counter("site_gc_credit_written_off" + l,
+              machine_.gc_stats().credit_written_off);
+    c.counter("site_peers_down" + l, mobility_.peers_down);
     c.histogram("site_packet_bytes" + l, packet_bytes_.snapshot());
     c.histogram("site_fetch_rtt_us" + l, fetch_rtt_us_.snapshot());
   });
@@ -134,9 +138,10 @@ void Site::record_error(std::string what) {
 // Queues
 // ---------------------------------------------------------------------
 
-void Site::push_incoming(std::vector<std::uint8_t> bytes) {
+void Site::push_incoming(std::vector<std::uint8_t> bytes,
+                         std::uint32_t src_node) {
   std::lock_guard<std::mutex> lk(queue_mu_);
-  incoming_.push_back(std::move(bytes));
+  incoming_.push_back(Delivery{std::move(bytes), src_node});
 }
 
 bool Site::pop_outgoing(net::Packet& out) {
@@ -170,11 +175,11 @@ void Site::send_packet(std::uint32_t dst_node,
 std::size_t Site::process_incoming(std::size_t max_packets) {
   std::size_t n = 0;
   while (n < max_packets) {
-    std::vector<std::uint8_t> bytes;
+    Delivery d;
     {
       std::lock_guard<std::mutex> lk(queue_mu_);
       if (incoming_.empty()) break;
-      bytes = std::move(incoming_.front());
+      d = std::move(incoming_.front());
       incoming_.pop_front();
     }
     if (failed()) {
@@ -182,6 +187,11 @@ std::size_t Site::process_incoming(std::size_t max_packets) {
       ++n;
       continue;
     }
+    // Debtor attribution: credit returning in this packet pays down the
+    // sender's debt slot (a self-delivery attributes to ourselves, which
+    // is equally correct — our own node is never written off).
+    machine_.set_credit_peer(d.src_node);
+    const std::vector<std::uint8_t>& bytes = d.bytes;
     try {
       handle_packet(bytes);
     } catch (const std::exception& e) {
@@ -194,6 +204,7 @@ std::size_t Site::process_incoming(std::size_t max_packets) {
         flight_->promote(packet_trace_id(bytes),
                          obs::FlightRecorder::Reason::kError);
     }
+    machine_.set_credit_peer(vm::Machine::kNoPeer);
     ++n;
   }
   return n;
@@ -219,7 +230,10 @@ void Site::ship_message(const vm::NetRef& target, const std::string& label,
                gc_enabled_);
   w.u64(target.heap_id);
   w.str(label);
+  // Credit minted while marshalling is charged to the receiving node.
+  machine_.set_credit_peer(target.node);
   marshal_values(machine_, args, w, gc_enabled_);
+  machine_.set_credit_peer(vm::Machine::kNoPeer);
   auto bytes = w.take();
   packet_bytes_.observe(static_cast<double>(bytes.size()));
   if (ring_.should_record(tid.sampled))
@@ -249,7 +263,9 @@ void Site::ship_object(const vm::NetRef& target, std::uint32_t seg_slot,
   std::vector<vm::Segment> closure;
   machine_.collect_closure(seg_slot, closure);
   write_closure(w, closure);
+  machine_.set_credit_peer(target.node);
   marshal_values(machine_, env, w, gc_enabled_);
+  machine_.set_credit_peer(vm::Machine::kNoPeer);
   auto bytes = w.take();
   packet_bytes_.observe(static_cast<double>(bytes.size()));
   if (ring_.should_record(tid.sampled))
@@ -376,6 +392,12 @@ std::size_t Site::collect(bool final, bool resend) {
   const auto rels =
       resend ? machine_.all_releases() : machine_.take_pending_releases();
   for (const auto& [ref, cum] : rels) {
+    if (dead_peers_.count(ref.node) != 0) {
+      // The owner is confirmed dead: a REL cannot reach it, and its
+      // survivors already wrote this credit off. Drop instead of queue.
+      ++mobility_.gc_rel_dead;
+      continue;
+    }
     if (ref.owned_by(node_id_, site_id_)) {
       // A reference to our own heap that was interned here (loopback):
       // apply without a wire round trip.
@@ -447,6 +469,8 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
       machine_.collect_closure(blk.seg, closure);
       write_closure(w, closure);
       w.u32(entry.cls);
+      // The requester becomes the holder of any credit the reply mints.
+      machine_.set_credit_peer(req_node);
       marshal_values(machine_, blk.env, w, gc_enabled_);
       auto reply = w.take();
       packet_bytes_.observe(static_cast<double>(reply.size()));
@@ -554,6 +578,26 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
           h.trace_id != 0)
         flight_->promote(h.trace_id,
                          obs::FlightRecorder::Reason::kRelAnomaly);
+      return;
+    }
+    case MsgType::kPeerDown: {
+      // A failure detector confirmed a node dead. Write off every unit
+      // of export credit attributed to it (the synthetic release makes
+      // drained entries reclaimable) and stop sending it RELs.
+      const std::uint32_t dead = read_peer_down(r);
+      dead_peers_.insert(dead);
+      machine_.write_off_node(dead);
+      ++mobility_.peers_down;
+      return;
+    }
+    case MsgType::kCreditMoved: {
+      // The name service moved part of its (unattributed) held credit
+      // for one of our exports to a new holder; charge that node so a
+      // future write-off can forgive it.
+      const CreditMoved cm = read_credit_moved(r);
+      if (cm.ref.owned_by(node_id_, site_id_))
+        machine_.attribute_export_credit(cm.ref.kind, cm.ref.heap_id,
+                                         cm.to_node, cm.amount);
       return;
     }
     case MsgType::kNsExport:

@@ -14,6 +14,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,8 @@ class Site {
                                     // failed (fault injection)
     obs::Counter gc_rel_sent;       // REL frames sent to owners
     obs::Counter gc_rel_received;   // REL frames applied as owner
+    obs::Counter gc_rel_dead;       // RELs discarded (owner confirmed dead)
+    obs::Counter peers_down;        // PEER-DOWN notices processed
   };
 
   Site(std::string name, std::uint32_t node_id, std::uint32_t site_id,
@@ -103,7 +106,12 @@ class Site {
 
   // -- daemon-thread operations (thread-safe) --
 
-  void push_incoming(std::vector<std::uint8_t> bytes);
+  /// `src_node` is the sending node when known (the daemon threads it
+  /// through from the transport packet); it drives GC debtor attribution
+  /// — kUnknownSource deliveries are processed but not attributed.
+  static constexpr std::uint32_t kUnknownSource = 0xffffffffu;
+  void push_incoming(std::vector<std::uint8_t> bytes,
+                     std::uint32_t src_node = kUnknownSource);
   bool pop_outgoing(net::Packet& out);
   std::size_t incoming_size() const;
   std::size_t outgoing_size() const;
@@ -120,6 +128,9 @@ class Site {
   /// binding).
   void kill() { failed_.store(true, std::memory_order_relaxed); }
   bool failed() const { return failed_.load(std::memory_order_relaxed); }
+
+  /// Nodes this site has seen a PEER-DOWN notice for (executor thread).
+  const std::set<std::uint32_t>& dead_peers() const { return dead_peers_; }
 
   const MobilityStats& mobility() const { return mobility_; }
   /// Snapshot of accumulated errors (copied under a lock; safe to call
@@ -197,9 +208,18 @@ class Site {
   std::unique_ptr<Backend> backend_;
   vm::Machine machine_;
 
+  struct Delivery {
+    std::vector<std::uint8_t> bytes;
+    std::uint32_t src_node = kUnknownSource;
+  };
   mutable std::mutex queue_mu_;
-  std::deque<std::vector<std::uint8_t>> incoming_;
+  std::deque<Delivery> incoming_;
   std::deque<net::Packet> outgoing_;
+
+  // Nodes a failure detector confirmed dead (via PEER-DOWN). Their
+  // export credit has been written off; RELs to them are pointless and
+  // are discarded instead of queued.
+  std::set<std::uint32_t> dead_peers_;
 
   // FETCH bookkeeping.
   struct FetchInFlight {

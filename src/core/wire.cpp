@@ -42,7 +42,7 @@ PacketHeader read_header(Reader& r) {
   const std::uint8_t b = r.u8();
   const std::uint8_t type = b & static_cast<std::uint8_t>(~kHeaderFlags);
   if (type < static_cast<std::uint8_t>(MsgType::kShipMsg) ||
-      type > static_cast<std::uint8_t>(MsgType::kNsUnregister))
+      type > static_cast<std::uint8_t>(MsgType::kCreditMoved))
     throw DecodeError("unknown packet type");
   PacketHeader h;
   h.type = static_cast<MsgType>(type);
@@ -208,6 +208,41 @@ std::vector<std::uint8_t> make_release(const vm::NetRef& ref,
   w.u32(rel_site);
   w.u64(cum);
   return w.take();
+}
+
+namespace {
+// PEER-DOWN is node-wide, not addressed to any site; the broadcast
+// sentinel keeps it clear of every real dst_site.
+constexpr std::uint32_t kBroadcastSite = 0xffffffffu;
+}  // namespace
+
+std::vector<std::uint8_t> make_peer_down(std::uint32_t dead_node) {
+  Writer w;
+  write_header(w, MsgType::kPeerDown, kBroadcastSite);
+  w.u32(dead_node);
+  return w.take();
+}
+
+std::uint32_t read_peer_down(Reader& r) { return r.u32(); }
+
+std::vector<std::uint8_t> make_credit_moved(const vm::NetRef& ref,
+                                            std::uint32_t to_node,
+                                            std::uint64_t amount) {
+  Writer w;
+  write_header(w, MsgType::kCreditMoved, ref.site, /*trace_id=*/0,
+               /*sampled=*/true, /*gc=*/true);
+  write_netref(w, ref);
+  w.u32(to_node);
+  w.u64(amount);
+  return w.take();
+}
+
+CreditMoved read_credit_moved(Reader& r) {
+  CreditMoved out;
+  out.ref = read_netref(r);
+  out.to_node = r.u32();
+  out.amount = r.u64();
+  return out;
 }
 
 void write_closure(Writer& w, const std::vector<vm::Segment>& segs) {

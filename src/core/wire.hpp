@@ -30,6 +30,8 @@ enum class MsgType : std::uint8_t {
   kNsReply = 7,       // name-service answer (sent once the name exists)
   kRelease = 8,       // REL: cumulative credit release back to the owner
   kNsUnregister = 9,  // drop an IdTable binding (final GC epoch)
+  kPeerDown = 10,     // synthetic death notice from a failure detector
+  kCreditMoved = 11,  // NS moved part of its credit share to a new holder
 };
 
 // -- packet header (wire format v2) -----------------------------------
@@ -118,6 +120,29 @@ std::vector<std::uint8_t> make_release(const vm::NetRef& ref,
                                        std::uint64_t cum,
                                        std::uint64_t trace_id = 0,
                                        bool sampled = true);
+
+/// Build a PEER-DOWN frame: a local failure detector confirmed
+/// `dead_node` dead. Never sent over the network — the transport injects
+/// it into its own inbox so the node routes it like any delivery and
+/// write-off runs on an executor thread, not the I/O thread. dst_site is
+/// a broadcast sentinel (every site on the node must write off).
+std::vector<std::uint8_t> make_peer_down(std::uint32_t dead_node);
+/// Read the dead node id from a PEER-DOWN payload (after the header).
+std::uint32_t read_peer_down(Reader& r);
+
+/// Build a CREDIT-MOVED frame: the name service (or another
+/// intermediary) handed `amount` of its held credit for `ref` to
+/// `to_node`; `ref`'s owner should re-attribute that slice of its
+/// outstanding balance so a write-off of `to_node` can forgive it.
+std::vector<std::uint8_t> make_credit_moved(const vm::NetRef& ref,
+                                            std::uint32_t to_node,
+                                            std::uint64_t amount);
+struct CreditMoved {
+  vm::NetRef ref;
+  std::uint32_t to_node = 0;
+  std::uint64_t amount = 0;
+};
+CreditMoved read_credit_moved(Reader& r);
 
 void write_netref(Writer& w, const vm::NetRef& r);
 vm::NetRef read_netref(Reader& r);

@@ -1,0 +1,41 @@
+#include "net/failure.hpp"
+
+#include <cmath>
+
+namespace dityco::net {
+
+void PhiAccrualDetector::heartbeat(double now_ms) {
+  if (last_ms_ >= 0 && now_ms >= last_ms_) {
+    intervals_.push_back(now_ms - last_ms_);
+    sum_ms_ += intervals_.back();
+    if (intervals_.size() > opt_.window) {
+      sum_ms_ -= intervals_.front();
+      intervals_.pop_front();
+    }
+  }
+  if (now_ms > last_ms_) last_ms_ = now_ms;
+}
+
+double PhiAccrualDetector::mean_interval_ms() const {
+  double mean = opt_.first_interval_ms;
+  if (!intervals_.empty())
+    mean = sum_ms_ / static_cast<double>(intervals_.size());
+  return mean < opt_.min_interval_ms ? opt_.min_interval_ms : mean;
+}
+
+double PhiAccrualDetector::phi(double now_ms) const {
+  if (last_ms_ < 0) return 0.0;
+  const double elapsed = now_ms - last_ms_;
+  if (elapsed <= 0) return 0.0;
+  // P(next arrival later than `elapsed`) = exp(-elapsed/mean) under the
+  // exponential model; phi = -log10 of that probability.
+  return elapsed / (mean_interval_ms() * std::log(10.0));
+}
+
+void PhiAccrualDetector::reset() {
+  intervals_.clear();
+  sum_ms_ = 0.0;
+  last_ms_ = -1.0;
+}
+
+}  // namespace dityco::net

@@ -1,0 +1,66 @@
+// Phi-accrual failure detection (Hayashibara et al., "The φ Accrual
+// Failure Detector"), in the exponential-interarrival simplification
+// popularised by Cassandra: instead of a binary alive/dead verdict the
+// detector outputs a suspicion level
+//
+//   phi(now) = (now - last_arrival) / (mean_interarrival * ln 10)
+//
+// i.e. -log10 of the probability that the next heartbeat is merely late,
+// assuming exponentially distributed inter-arrival times whose mean is
+// estimated over a sliding window. phi = 1 means "90% sure it's dead",
+// phi = 3 "99.9%", and so on; the caller picks a threshold matched to
+// its tolerance for false positives.
+//
+// The paper's future-work list asks for exactly this ("detect site
+// failures, reconfigure the computation topology"); TcpTransport feeds
+// one detector per peer from heartbeat/data arrivals and turns a
+// sustained phi breach into a confirmed-dead verdict (see tcp.hpp).
+//
+// All methods take explicit `now_ms` timestamps, so unit tests drive the
+// detector with a fake clock and the verdict timeline is deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace dityco::net {
+
+class PhiAccrualDetector {
+ public:
+  struct Options {
+    /// Sliding window of inter-arrival samples used for the mean.
+    std::size_t window = 64;
+    /// Floor for the estimated mean (guards phi explosion when a burst
+    /// of back-to-back arrivals drives the observed mean toward zero).
+    double min_interval_ms = 10.0;
+    /// Mean assumed after the first arrival, before any interval exists.
+    double first_interval_ms = 500.0;
+  };
+
+  PhiAccrualDetector() : PhiAccrualDetector(Options{}) {}
+  explicit PhiAccrualDetector(Options o) : opt_(o) {}
+
+  /// Record an arrival (heartbeat or any other traffic from the peer).
+  void heartbeat(double now_ms);
+
+  /// Suspicion level at `now_ms`; 0 while no arrival has been seen
+  /// (a peer that never spoke cannot be declared dead — only ever
+  /// unreachable, which reconnect handles).
+  double phi(double now_ms) const;
+
+  bool started() const { return last_ms_ >= 0; }
+  double mean_interval_ms() const;
+  std::size_t samples() const { return intervals_.size(); }
+
+  /// Forget everything (peer restarted under a fresh connection).
+  void reset();
+
+ private:
+  Options opt_;
+  std::deque<double> intervals_;
+  double sum_ms_ = 0.0;
+  double last_ms_ = -1.0;
+};
+
+}  // namespace dityco::net

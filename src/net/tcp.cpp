@@ -1,0 +1,768 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "support/bytes.hpp"
+
+namespace dityco::net {
+
+// -- framing ----------------------------------------------------------
+
+std::vector<std::uint8_t> encode_frame(
+    const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + payload.size());
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<std::uint8_t>(len));
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.push_back(static_cast<std::uint8_t>(len >> 16));
+  out.push_back(static_cast<std::uint8_t>(len >> 24));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+bool FrameParser::feed(const std::uint8_t* data, std::size_t n,
+                       std::vector<std::vector<std::uint8_t>>& out) {
+  if (error_) return false;
+  buf_.insert(buf_.end(), data, data + n);
+  std::size_t off = 0;
+  while (buf_.size() - off >= 4) {
+    std::uint32_t len;
+    std::memcpy(&len, buf_.data() + off, 4);
+    if (len == 0 || len > kMaxFrameBytes) {
+      error_ = true;
+      buf_.clear();
+      return false;
+    }
+    if (buf_.size() - off < 4 + static_cast<std::size_t>(len)) break;
+    out.emplace_back(buf_.begin() + static_cast<std::ptrdiff_t>(off + 4),
+                     buf_.begin() + static_cast<std::ptrdiff_t>(off + 4 + len));
+    off += 4 + len;
+  }
+  if (off > 0) buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off));
+  return true;
+}
+
+std::pair<std::string, std::uint16_t> parse_hostport(const std::string& s) {
+  const auto colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size())
+    throw std::invalid_argument("expected host:port, got '" + s + "'");
+  const std::string host = s.substr(0, colon);
+  const std::string port_str = s.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port < 0 || port > 65535)
+    throw std::invalid_argument("bad port in '" + s + "'");
+  return {host, static_cast<std::uint16_t>(port)};
+}
+
+// -- small socket helpers ---------------------------------------------
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void close_quietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::invalid_argument("bad IPv4 address '" + host + "'");
+  return addr;
+}
+
+}  // namespace
+
+// -- TcpTransport -----------------------------------------------------
+
+TcpTransport::TcpTransport(TcpConfig cfg)
+    : cfg_(std::move(cfg)), epoch_(std::chrono::steady_clock::now()) {
+  rng_ ^= static_cast<std::uint64_t>(::getpid()) << 17 ^ cfg_.self;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("tcp: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = make_addr(cfg_.listen_host, cfg_.listen_port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    close_quietly(listen_fd_);
+    throw std::runtime_error("tcp: cannot bind " + cfg_.listen_host + ":" +
+                             std::to_string(cfg_.listen_port) + ": " +
+                             std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    close_quietly(listen_fd_);
+    throw std::runtime_error("tcp: listen() failed");
+  }
+  socklen_t alen = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    close_quietly(listen_fd_);
+    throw std::runtime_error("tcp: pipe() failed");
+  }
+  wake_r_ = pipefd[0];
+  wake_w_ = pipefd[1];
+  set_nonblocking(wake_r_);
+  set_nonblocking(wake_w_);
+
+  for (const auto& [node, hp] : cfg_.peers)
+    if (node != cfg_.self) peers_[node].hostport = hp;
+
+  io_ = std::thread([this] { io_loop(); });
+}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+double TcpTransport::now_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::uint64_t TcpTransport::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void TcpTransport::shutdown() {
+  if (stop_.exchange(true)) {
+    if (io_.joinable()) io_.join();
+    return;
+  }
+  // Unblock any sender stuck in backpressure, then stop the loop.
+  backpressure_cv_.notify_all();
+  if (wake_w_ >= 0) {
+    const char b = 1;
+    [[maybe_unused]] ssize_t rc = ::write(wake_w_, &b, 1);
+  }
+  if (io_.joinable()) io_.join();
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [node, p] : peers_) {
+    close_quietly(p.fd);
+    p.fd = -1;
+  }
+  for (auto& [fd, in] : inbound_) close_quietly(fd);
+  inbound_.clear();
+  close_quietly(listen_fd_);
+  close_quietly(wake_r_);
+  close_quietly(wake_w_);
+  listen_fd_ = wake_r_ = wake_w_ = -1;
+}
+
+void TcpTransport::add_peer(std::uint32_t node, const std::string& hostport) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    peers_[node].hostport = hostport;
+  }
+  const char b = 1;
+  [[maybe_unused]] ssize_t rc = ::write(wake_w_, &b, 1);
+}
+
+std::size_t TcpTransport::connected_peers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t n = 0;
+  for (const auto& [node, p] : peers_)
+    if (p.fd >= 0 && !p.connecting) ++n;
+  return n;
+}
+
+std::size_t TcpTransport::queued_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t n = 0;
+  for (const auto& [node, p] : peers_) n += p.outbuf.size();
+  return n;
+}
+
+bool TcpTransport::peer_dead(std::uint32_t node) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = peers_.find(node);
+  return it != peers_.end() && it->second.dead;
+}
+
+std::vector<std::uint32_t> TcpTransport::dead_peers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::uint32_t> out;
+  for (const auto& [node, p] : peers_)
+    if (p.dead) out.push_back(node);
+  return out;
+}
+
+void TcpTransport::send(Packet p, double /*now_us: wall clock rules*/) {
+  if (stop_.load(std::memory_order_relaxed)) return;
+  const std::size_t wire = p.bytes.size();
+  if (p.dst_node == cfg_.self) {
+    // Loopback: a daemon packet addressed to this very node (rare — the
+    // node's shared-memory fast path catches most) skips the socket.
+    std::lock_guard<std::mutex> lk(mu_);
+    packets_out_.fetch_add(1, std::memory_order_relaxed);
+    bytes_out_.fetch_add(wire, std::memory_order_relaxed);
+    inbox_.push_back(std::move(p));
+    return;
+  }
+  Writer body;
+  body.u8(static_cast<std::uint8_t>(FrameKind::kData));
+  body.u32(p.src_node);
+  body.u32(p.dst_node);
+  body.raw(p.bytes.data(), p.bytes.size());
+  const auto frame = encode_frame(body.take());
+
+  std::unique_lock<std::mutex> lk(mu_);
+  Peer& peer = peers_[p.dst_node];  // unknown peers wait for an address
+  if (peer.dead) {
+    stats_.frames_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (peer.outbuf.size() > cfg_.max_queue_bytes) {
+    stats_.backpressure_waits.fetch_add(1, std::memory_order_relaxed);
+    backpressure_cv_.wait(lk, [&] {
+      return stop_.load(std::memory_order_relaxed) || peer.dead ||
+             peer.outbuf.size() <= cfg_.max_queue_bytes;
+    });
+    if (stop_.load(std::memory_order_relaxed)) return;
+    if (peer.dead) {
+      stats_.frames_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  peer.outbuf.append(reinterpret_cast<const char*>(frame.data()),
+                     frame.size());
+  ++peer.queued_frames;
+  packets_out_.fetch_add(1, std::memory_order_relaxed);
+  bytes_out_.fetch_add(wire, std::memory_order_relaxed);
+  stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+  lk.unlock();
+  const char b = 1;
+  [[maybe_unused]] ssize_t rc = ::write(wake_w_, &b, 1);
+}
+
+bool TcpTransport::recv(std::uint32_t node, Packet& out, double /*now_us*/) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (node != cfg_.self || inbox_.empty()) return false;
+  out = std::move(inbox_.front());
+  inbox_.pop_front();
+  return true;
+}
+
+std::size_t TcpTransport::in_flight() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t n = inbox_.size();
+  for (const auto& [node, p] : peers_) n += p.queued_frames;
+  return n;
+}
+
+// -- I/O loop ---------------------------------------------------------
+
+void TcpTransport::queue_frame(Peer& p, FrameKind kind,
+                               const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(1 + body.size());
+  payload.push_back(static_cast<std::uint8_t>(kind));
+  payload.insert(payload.end(), body.begin(), body.end());
+  const auto frame = encode_frame(payload);
+  p.outbuf.append(reinterpret_cast<const char*>(frame.data()), frame.size());
+}
+
+void TcpTransport::start_connect(std::uint32_t node, Peer& p, double now) {
+  std::string host;
+  std::uint16_t port = 0;
+  try {
+    std::tie(host, port) = parse_hostport(p.hostport);
+  } catch (const std::invalid_argument&) {
+    return;  // unusable address; wait for gossip to replace it
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  set_nonblocking(fd);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr;
+  try {
+    addr = make_addr(host, port);
+  } catch (const std::invalid_argument&) {
+    close_quietly(fd);
+    return;
+  }
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc == 0) {
+    p.fd = fd;
+    p.connecting = false;
+    finish_connect(node, p, now);
+  } else if (errno == EINPROGRESS) {
+    p.fd = fd;
+    p.connecting = true;
+  } else {
+    close_quietly(fd);
+    fail_connect(node, p, now);
+  }
+}
+
+void TcpTransport::finish_connect(std::uint32_t node, Peer& p, double now) {
+  p.connecting = false;
+  if (p.ever_connected)
+    stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
+  stats_.connects.fetch_add(1, std::memory_order_relaxed);
+  p.ever_connected = true;
+  p.backoff_ms = 0;
+  p.parser = FrameParser{};
+  // Identity first: the hello must precede any queued data so the
+  // acceptor can tag the connection (and learn our reach-back address)
+  // before payloads arrive.
+  Writer hello;
+  hello.u8(static_cast<std::uint8_t>(FrameKind::kHello));
+  hello.u32(cfg_.self);
+  hello.u16(port_);
+  const auto frame = encode_frame(hello.take());
+  p.outbuf.insert(0, reinterpret_cast<const char*>(frame.data()),
+                  frame.size());
+  p.next_hb_ms = now + static_cast<double>(cfg_.heartbeat_ms);
+  (void)node;
+}
+
+void TcpTransport::fail_connect(std::uint32_t node, Peer& p, double now) {
+  close_quietly(p.fd);
+  p.fd = -1;
+  p.connecting = false;
+  // Exponential backoff with up to 50% jitter (xorshift — cheap, seeded
+  // per process so restarted fleets spread out).
+  p.backoff_ms = p.backoff_ms == 0
+                     ? cfg_.backoff_min_ms
+                     : std::min(p.backoff_ms * 2, cfg_.backoff_max_ms);
+  rng_ ^= rng_ << 13;
+  rng_ ^= rng_ >> 7;
+  rng_ ^= rng_ << 17;
+  const std::uint64_t jitter = p.backoff_ms > 1 ? rng_ % (p.backoff_ms / 2 + 1) : 0;
+  p.next_connect_ms = now + static_cast<double>(p.backoff_ms + jitter);
+  (void)node;
+}
+
+void TcpTransport::feed_liveness(std::uint32_t node, double now) {
+  auto it = peers_.find(node);
+  if (it == peers_.end()) return;
+  it->second.detector.heartbeat(now);
+  it->second.suspect_since_ms = -1;
+}
+
+void TcpTransport::mark_dead(std::uint32_t node, Peer& p) {
+  p.dead = true;
+  close_quietly(p.fd);
+  p.fd = -1;
+  p.connecting = false;
+  stats_.frames_dropped.fetch_add(p.queued_frames,
+                                  std::memory_order_relaxed);
+  p.queued_frames = 0;
+  p.outbuf.clear();
+  for (auto it = inbound_.begin(); it != inbound_.end();) {
+    if (it->second.node == node) {
+      close_quietly(it->first);
+      it = inbound_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  stats_.peers_dead.fetch_add(1, std::memory_order_relaxed);
+  if (death_frame_) {
+    Packet obit;
+    obit.src_node = node;
+    obit.dst_node = cfg_.self;
+    obit.bytes = death_frame_(node);
+    inbox_.push_back(std::move(obit));
+  }
+  backpressure_cv_.notify_all();
+}
+
+void TcpTransport::check_liveness(double now) {
+  if (!cfg_.detect_failures) return;
+  for (auto& [node, p] : peers_) {
+    if (p.dead || !p.detector.started()) continue;
+    if (p.detector.phi(now) > cfg_.phi_threshold) {
+      if (p.suspect_since_ms < 0) {
+        p.suspect_since_ms = now;
+        stats_.peers_suspected.fetch_add(1, std::memory_order_relaxed);
+      } else if (now - p.suspect_since_ms >=
+                 static_cast<double>(cfg_.confirm_ms)) {
+        mark_dead(node, p);
+      }
+    } else {
+      p.suspect_since_ms = -1;
+    }
+  }
+}
+
+void TcpTransport::handle_payload(int fd, std::uint32_t tagged_node,
+                                  const std::vector<std::uint8_t>& payload,
+                                  double now) {
+  Reader r(payload);
+  const auto kind = static_cast<FrameKind>(r.u8());
+  switch (kind) {
+    case FrameKind::kHello: {
+      const std::uint32_t node = r.u32();
+      const std::uint16_t lport = r.u16();
+      auto in = inbound_.find(fd);
+      if (in != inbound_.end()) in->second.node = node;
+      Peer& p = peers_[node];
+      if (p.dead) {
+        // The peer restarted under the same node id: resurrect it (fresh
+        // detector, reconnect allowed again).
+        p.dead = false;
+        p.detector.reset();
+        p.suspect_since_ms = -1;
+        p.backoff_ms = 0;
+        p.next_connect_ms = 0;
+      }
+      if (p.hostport.empty()) {
+        // Learn the reach-back address: the peer's observed IP plus its
+        // advertised listen port (the --join bootstrap).
+        sockaddr_in addr{};
+        socklen_t alen = sizeof addr;
+        char ip[INET_ADDRSTRLEN] = "127.0.0.1";
+        if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &alen) == 0)
+          ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof ip);
+        p.hostport = std::string(ip) + ":" + std::to_string(lport);
+        broadcast_peers_locked();
+      }
+      feed_liveness(node, now);
+      return;
+    }
+    case FrameKind::kData: {
+      const std::uint32_t src = r.u32();
+      const std::uint32_t dst = r.u32();
+      Packet p;
+      p.src_node = src;
+      p.dst_node = dst;
+      p.bytes.assign(payload.begin() + 9, payload.end());
+      stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
+      stats_.bytes_in.fetch_add(p.bytes.size(), std::memory_order_relaxed);
+      const std::uint32_t liveness_node =
+          tagged_node != kUnknownNode ? tagged_node : src;
+      feed_liveness(liveness_node, now);
+      inbox_.push_back(std::move(p));
+      return;
+    }
+    case FrameKind::kHeartbeat: {
+      const std::uint32_t node = r.u32();
+      r.u64();  // seq rides back in the echo below
+      r.u64();
+      feed_liveness(node, now);
+      // Echo the body back on the same connection as an ACK.
+      std::vector<std::uint8_t> echo;
+      echo.reserve(payload.size());
+      echo.push_back(static_cast<std::uint8_t>(FrameKind::kHeartbeatAck));
+      echo.insert(echo.end(), payload.begin() + 1, payload.end());
+      const auto frame = encode_frame(echo);
+      auto in = inbound_.find(fd);
+      if (in != inbound_.end()) {
+        if (in->second.node == kUnknownNode) in->second.node = node;
+        in->second.outbuf.append(reinterpret_cast<const char*>(frame.data()),
+                                 frame.size());
+      } else {
+        // Heartbeat arrived on our own outbound connection (the peer
+        // echoes through it too); answer there.
+        auto pit = peers_.find(node);
+        if (pit != peers_.end() && pit->second.fd == fd)
+          pit->second.outbuf.append(
+              reinterpret_cast<const char*>(frame.data()), frame.size());
+      }
+      return;
+    }
+    case FrameKind::kHeartbeatAck: {
+      const std::uint32_t node = r.u32();
+      r.u64();  // seq
+      const std::uint64_t sent_us = r.u64();
+      const std::uint64_t rtt = now_us() - sent_us;
+      stats_.last_rtt_us.store(rtt, std::memory_order_relaxed);
+      stats_.heartbeats_acked.fetch_add(1, std::memory_order_relaxed);
+      feed_liveness(node, now);
+      return;
+    }
+    case FrameKind::kPeers: {
+      const std::uint32_t n = r.u32();
+      bool changed = false;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t node = r.u32();
+        const std::string hp = r.str();
+        if (node == cfg_.self) continue;
+        Peer& p = peers_[node];
+        if (p.hostport.empty() && !hp.empty()) {
+          p.hostport = hp;
+          changed = true;
+        }
+      }
+      if (tagged_node != kUnknownNode) feed_liveness(tagged_node, now);
+      (void)changed;
+      return;
+    }
+  }
+  // Unknown frame kind: tolerate (forward compatibility), drop silently.
+}
+
+void TcpTransport::broadcast_peers_locked() {
+  // Address gossip: whenever a new address is learned, share the whole
+  // table with every known peer so late joiners can reach each other
+  // without static configuration.
+  Writer w;
+  std::uint32_t n = 1;
+  for (const auto& [node, p] : peers_)
+    if (!p.hostport.empty()) ++n;
+  w.u32(n);
+  w.u32(cfg_.self);
+  w.str(cfg_.listen_host + ":" + std::to_string(port_));
+  for (const auto& [node, p] : peers_)
+    if (!p.hostport.empty()) {
+      w.u32(node);
+      w.str(p.hostport);
+    }
+  const auto body = w.take();
+  for (auto& [node, p] : peers_)
+    if (p.fd >= 0 && !p.connecting && !p.dead)
+      queue_frame(p, FrameKind::kPeers, body);
+}
+
+void TcpTransport::flush_writes(int fd, std::string& buf) {
+  while (!buf.empty()) {
+    const ssize_t n = ::write(fd, buf.data(), buf.size());
+    if (n > 0) {
+      buf.erase(0, static_cast<std::size_t>(n));
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return;  // short write: the rest goes out on the next POLLOUT
+    } else {
+      return;  // hard error: the read side will notice and tear down
+    }
+  }
+}
+
+void TcpTransport::io_loop() {
+  std::vector<pollfd> fds;
+  std::vector<std::uint32_t> fd_peer;  // parallel: peer node or kUnknownNode
+  while (!stop_.load(std::memory_order_relaxed)) {
+    fds.clear();
+    fd_peer.clear();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      const double now = now_ms();
+      fds.push_back({listen_fd_, POLLIN, 0});
+      fd_peer.push_back(kUnknownNode);
+      fds.push_back({wake_r_, POLLIN, 0});
+      fd_peer.push_back(kUnknownNode);
+      for (auto& [node, p] : peers_) {
+        if (p.dead) continue;
+        const bool want =
+            !p.outbuf.empty() || !p.hostport.empty();
+        if (p.fd < 0 && want && now >= p.next_connect_ms) {
+          start_connect(node, p, now);
+        }
+        if (p.fd >= 0 && !p.connecting && now >= p.next_hb_ms &&
+            cfg_.heartbeat_ms > 0) {
+          p.next_hb_ms = now + static_cast<double>(cfg_.heartbeat_ms);
+          Writer hb;
+          hb.u32(cfg_.self);
+          hb.u64(++p.hb_seq);
+          hb.u64(now_us());
+          queue_frame(p, FrameKind::kHeartbeat, hb.take());
+          stats_.heartbeats_sent.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (p.fd >= 0) {
+          short ev = POLLIN;
+          if (p.connecting || !p.outbuf.empty()) ev |= POLLOUT;
+          fds.push_back({p.fd, ev, 0});
+          fd_peer.push_back(node);
+        }
+      }
+      for (auto& [fd, in] : inbound_) {
+        short ev = POLLIN;
+        if (!in.outbuf.empty()) ev |= POLLOUT;
+        fds.push_back({fd, ev, 0});
+        fd_peer.push_back(kUnknownNode);
+      }
+      check_liveness(now);
+    }
+    const int timeout_ms =
+        cfg_.heartbeat_ms > 0
+            ? static_cast<int>(std::min<std::uint64_t>(cfg_.heartbeat_ms, 20))
+            : 20;
+    ::poll(fds.data(), fds.size(), timeout_ms);
+    if (stop_.load(std::memory_order_relaxed)) break;
+
+    std::unique_lock<std::mutex> lk(mu_);
+    const double now = now_ms();
+    bool drained = false;
+    std::uint8_t buf[65536];
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      const pollfd& pf = fds[i];
+      if (pf.revents == 0) continue;
+      if (pf.fd == wake_r_) {
+        ssize_t n;
+        char sink[256];
+        while ((n = ::read(wake_r_, sink, sizeof sink)) > 0) {
+        }
+        continue;
+      }
+      if (pf.fd == listen_fd_) {
+        for (;;) {
+          const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+          if (cfd < 0) break;
+          set_nonblocking(cfd);
+          const int one = 1;
+          ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+          inbound_.emplace(cfd, Inbound{});
+          stats_.accepts.fetch_add(1, std::memory_order_relaxed);
+        }
+        continue;
+      }
+      const std::uint32_t pnode = fd_peer[i];
+      if (pnode != kUnknownNode) {
+        // Our outbound connection to `pnode`.
+        auto pit = peers_.find(pnode);
+        if (pit == peers_.end() || pit->second.fd != pf.fd) continue;
+        Peer& p = pit->second;
+        if (p.connecting && (pf.revents & (POLLOUT | POLLERR | POLLHUP))) {
+          int err = 0;
+          socklen_t elen = sizeof err;
+          ::getsockopt(pf.fd, SOL_SOCKET, SO_ERROR, &err, &elen);
+          if (err != 0) {
+            fail_connect(pnode, p, now);
+            continue;
+          }
+          finish_connect(pnode, p, now);
+        }
+        if (pf.revents & POLLIN) {
+          for (;;) {
+            const ssize_t n = ::read(pf.fd, buf, sizeof buf);
+            if (n > 0) {
+              std::vector<std::vector<std::uint8_t>> payloads;
+              if (!p.parser.feed(buf, static_cast<std::size_t>(n),
+                                 payloads)) {
+                fail_connect(pnode, p, now);
+                break;
+              }
+              for (const auto& pl : payloads)
+                handle_payload(pf.fd, pnode, pl, now);
+            } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+              break;
+            } else {
+              // Peer closed (restart or crash): tear down and let the
+              // backoff timer drive reconnection. Queued frames stay.
+              fail_connect(pnode, p, now);
+              break;
+            }
+          }
+        }
+        if (p.fd >= 0 && !p.connecting && (pf.revents & POLLOUT)) {
+          const std::size_t before = p.outbuf.size();
+          flush_writes(p.fd, p.outbuf);
+          if (p.outbuf.size() < before) {
+            drained = true;
+            if (p.outbuf.empty()) p.queued_frames = 0;
+          }
+        }
+        continue;
+      }
+      // An accepted (inbound) connection.
+      auto iit = inbound_.find(pf.fd);
+      if (iit == inbound_.end()) continue;
+      bool dead_fd = false;
+      if (pf.revents & POLLIN) {
+        for (;;) {
+          const ssize_t n = ::read(pf.fd, buf, sizeof buf);
+          if (n > 0) {
+            std::vector<std::vector<std::uint8_t>> payloads;
+            if (!iit->second.parser.feed(buf, static_cast<std::size_t>(n),
+                                         payloads)) {
+              dead_fd = true;
+              break;
+            }
+            for (const auto& pl : payloads)
+              handle_payload(pf.fd, iit->second.node, pl, now);
+          } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            break;
+          } else {
+            dead_fd = true;
+            break;
+          }
+        }
+      }
+      if (!dead_fd && (pf.revents & (POLLERR | POLLHUP))) dead_fd = true;
+      if (!dead_fd && (pf.revents & POLLOUT))
+        flush_writes(pf.fd, iit->second.outbuf);
+      if (dead_fd) {
+        close_quietly(pf.fd);
+        inbound_.erase(iit);
+      }
+    }
+    // Estimate queued data frames after partial drains: outbuf holds
+    // whole frames plus at most one partial tail, so recount lazily by
+    // capping at the byte-derived bound. (Exact per-frame tracking is
+    // not worth the bookkeeping: in_flight only needs to reach zero
+    // exactly when the queue is empty, which `queued_frames = 0` above
+    // guarantees.)
+    if (drained) backpressure_cv_.notify_all();
+  }
+  backpressure_cv_.notify_all();
+}
+
+// -- TcpMeshTransport -------------------------------------------------
+
+TcpMeshTransport::TcpMeshTransport(std::size_t nodes, TcpConfig base) {
+  base.detect_failures = false;  // one process: peers cannot die alone
+  for (std::size_t i = 0; i < nodes; ++i) {
+    TcpConfig c = base;
+    c.self = static_cast<std::uint32_t>(i);
+    c.listen_host = "127.0.0.1";
+    c.listen_port = 0;
+    c.peers.clear();
+    c.multiprocess = false;
+    parts_.push_back(std::make_unique<TcpTransport>(c));
+  }
+  for (std::size_t i = 0; i < nodes; ++i)
+    for (std::size_t j = 0; j < nodes; ++j)
+      if (i != j)
+        parts_[i]->add_peer(
+            static_cast<std::uint32_t>(j),
+            "127.0.0.1:" + std::to_string(parts_[j]->port()));
+}
+
+TcpMeshTransport::~TcpMeshTransport() { shutdown(); }
+
+void TcpMeshTransport::shutdown() {
+  for (auto& p : parts_) p->shutdown();
+}
+
+void TcpMeshTransport::send(Packet p, double now_us) {
+  bytes_.fetch_add(p.bytes.size(), std::memory_order_relaxed);
+  packets_.fetch_add(1, std::memory_order_relaxed);
+  // Count before the socket write: the packet must be visible to
+  // quiescence scans for its entire socket transit.
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  parts_.at(p.src_node)->send(std::move(p), now_us);
+}
+
+bool TcpMeshTransport::recv(std::uint32_t node, Packet& out, double now_us) {
+  if (!parts_.at(node)->recv(node, out, now_us)) return false;
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  return true;
+}
+
+}  // namespace dityco::net

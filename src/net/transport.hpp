@@ -31,8 +31,14 @@ class Transport {
  public:
   virtual ~Transport() = default;
 
-  /// Enqueue a packet. `now_us` is the sender's (virtual) clock; real
-  /// transports ignore it.
+  /// Enqueue a packet.
+  ///
+  /// Clock contract: `now_us` is the sender's *virtual* clock and is
+  /// only meaningful to virtual-time transports (SimTransport uses it
+  /// to stamp arrival times). Real transports — InProcTransport,
+  /// TcpTransport — run on the wall clock and ignore the argument
+  /// entirely; callers must not encode ordering or delay assumptions
+  /// into it. The same holds for `recv`'s `now_us`.
   virtual void send(Packet p, double now_us) = 0;
 
   /// Pop one deliverable packet for `node`. `now_us` is the receiver's
@@ -41,6 +47,19 @@ class Transport {
 
   /// Packets sent but not yet received (for quiescence detection).
   virtual std::size_t in_flight() const = 0;
+
+  /// Stop any background machinery (I/O threads, sockets) and release
+  /// waiters blocked in send(). Idempotent; default is a no-op for
+  /// passive transports. Drivers call this before tearing down nodes so
+  /// a teardown-time quiescence scan cannot race a live I/O thread.
+  virtual void shutdown() {}
+
+  /// True when this transport reaches peers *outside* the current
+  /// process (tycod over TCP). Remote transports make quiescence
+  /// fundamentally approximate — packets can be on another machine's
+  /// queue — so drivers extend their drain grace period and keep
+  /// serving until the remote side goes idle too.
+  virtual bool remote() const { return false; }
 
   /// Earliest arrival time of any undelivered packet for `node`
   /// (virtual-time transports only; nullopt when none or not simulated).

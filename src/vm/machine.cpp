@@ -320,6 +320,21 @@ std::uint64_t releaser_key(std::uint32_t node, std::uint32_t site) {
   return (static_cast<std::uint64_t>(node) << 32) | site;
 }
 
+/// Synthetic releaser site for failure write-offs (no real site carries
+/// this id, so forgiven credit cannot collide with a live REL stream).
+constexpr std::uint32_t kWriteOffSite = 0xffffffffu;
+
+/// Pay down a debtor's slot by up to `amount`; drops empty slots.
+void pay_debt(std::map<std::uint32_t, std::uint64_t>& debt,
+              std::uint32_t node, std::uint64_t amount) {
+  auto it = debt.find(node);
+  if (it == debt.end()) return;
+  if (it->second <= amount)
+    debt.erase(it);
+  else
+    it->second -= amount;
+}
+
 }  // namespace
 
 Machine::ExportEntry* Machine::find_export(NetRef::Kind kind,
@@ -352,7 +367,9 @@ bool Machine::maybe_reclaim(NetRef::Kind kind, std::uint64_t heap_id) {
 std::pair<std::uint64_t, std::uint64_t> Machine::export_chan_credit(
     std::uint32_t chan_idx) {
   const std::uint64_t id = export_chan(chan_idx);
-  chan_exports_[id].minted += kMintCredit;
+  ExportEntry& e = chan_exports_[id];
+  e.minted += kMintCredit;
+  if (credit_peer_ != kNoPeer) e.debt[credit_peer_] += kMintCredit;
   ++gc_stats_.credit_mints;
   return {id, kMintCredit};
 }
@@ -360,7 +377,9 @@ std::pair<std::uint64_t, std::uint64_t> Machine::export_chan_credit(
 std::pair<std::uint64_t, std::uint64_t> Machine::export_class_credit(
     Value cls) {
   const std::uint64_t id = export_class_value(cls);
-  class_exports_[id].minted += kMintCredit;
+  ExportEntry& e = class_exports_[id];
+  e.minted += kMintCredit;
+  if (credit_peer_ != kNoPeer) e.debt[credit_peer_] += kMintCredit;
   ++gc_stats_.credit_mints;
   return {id, kMintCredit};
 }
@@ -369,6 +388,7 @@ std::uint64_t Machine::mint_export_credit(const NetRef& ref) {
   ExportEntry* e = find_export(ref.kind, ref.heap_id);
   if (!e) return 0;
   e->minted += kMintCredit;
+  if (credit_peer_ != kNoPeer) e->debt[credit_peer_] += kMintCredit;
   ++gc_stats_.credit_mints;
   return kMintCredit;
 }
@@ -381,7 +401,48 @@ void Machine::return_export_credit(NetRef::Kind kind, std::uint64_t heap_id,
     return;
   }
   e->returned += credit;
+  if (credit_peer_ != kNoPeer) pay_debt(e->debt, credit_peer_, credit);
   maybe_reclaim(kind, heap_id);
+}
+
+void Machine::attribute_export_credit(NetRef::Kind kind,
+                                      std::uint64_t heap_id,
+                                      std::uint32_t node,
+                                      std::uint64_t amount) {
+  ExportEntry* e = find_export(kind, heap_id);
+  if (!e || amount == 0) return;
+  e->debt[node] += amount;
+  // The share came out of the sender's hand (for CREDIT-MOVED, the name
+  // service's unattributed pool), so there is no matching slot to drain:
+  // attribution only ever adds precision to a future write-off.
+}
+
+std::uint64_t Machine::write_off_node(std::uint32_t node) {
+  std::uint64_t total = 0;
+  for (const auto kind : {NetRef::Kind::kChan, NetRef::Kind::kClass}) {
+    auto& tbl = kind == NetRef::Kind::kChan ? chan_exports_ : class_exports_;
+    std::vector<std::uint64_t> drained;
+    for (auto& [id, e] : tbl) {
+      auto it = e.debt.find(node);
+      if (it == e.debt.end()) continue;
+      const std::uint64_t forgiven = std::min(it->second, e.outstanding());
+      e.debt.erase(it);
+      if (forgiven == 0) continue;
+      // Forgive via a synthetic cumulative-release slot so every other
+      // invariant (max-merge, outstanding(), reclaim rule) is untouched.
+      // Accumulating is safe: only write-offs touch this slot and each
+      // addition reflects distinct forgiven credit.
+      e.released[releaser_key(node, kWriteOffSite)] += forgiven;
+      total += forgiven;
+      if (e.outstanding() == 0) drained.push_back(id);
+    }
+    for (const std::uint64_t id : drained) maybe_reclaim(kind, id);
+  }
+  if (total > 0) {
+    gc_stats_.credit_written_off += total;
+    gc_dirty_ = true;
+  }
+  return total;
 }
 
 void Machine::pin_name(const NetRef& ref) {
@@ -414,6 +475,7 @@ Machine::ReleaseResult Machine::apply_release(NetRef::Kind kind,
     ++gc_stats_.rel_stale;
     return ReleaseResult::kStale;
   }
+  pay_debt(e->debt, rel_node, cum - slot);
   slot = cum;
   return maybe_reclaim(kind, heap_id) ? ReleaseResult::kReclaimed
                                       : ReleaseResult::kApplied;

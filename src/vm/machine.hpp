@@ -234,6 +234,33 @@ class Machine {
   void pin_name(const NetRef& ref);
   void unpin_name(const NetRef& ref);
 
+  /// No-peer sentinel for set_credit_peer.
+  static constexpr std::uint32_t kNoPeer = 0xffffffffu;
+  /// Debtor attribution: while a peer node is set, minted export credit
+  /// is charged to that node's per-entry debt slot and returned credit
+  /// pays it down. The Site brackets marshalling (debtor = destination
+  /// node) and inbound processing (debtor = source node) with this, so
+  /// each export entry knows roughly who holds its outstanding credit —
+  /// the ledger consulted when a failure detector declares a node dead.
+  void set_credit_peer(std::uint32_t node) { credit_peer_ = node; }
+  std::uint32_t credit_peer() const { return credit_peer_; }
+
+  /// Re-attribute `amount` of an entry's outstanding credit to `node`
+  /// (CREDIT-MOVED: the name service handed part of its held share to a
+  /// third party; the owner must charge the new holder, not the NS).
+  void attribute_export_credit(NetRef::Kind kind, std::uint64_t heap_id,
+                               std::uint32_t node, std::uint64_t amount);
+
+  /// Failure write-off: forgive every export entry's credit attributed
+  /// to `node` (a confirmed-dead peer). The forgiven amount enters a
+  /// synthetic released slot — (node, 0xffffffff), a site id no real
+  /// site uses — so the normal reclaim rule fires once live holders
+  /// drain too. Returns total credit written off. Attribution is
+  /// best-effort (peer-to-peer forwarding splits are charged to the
+  /// first hop), so entries whose credit died in an unattributed hand
+  /// leak instead of freeing early: the safe direction.
+  std::uint64_t write_off_node(std::uint32_t node);
+
   enum class ReleaseResult { kApplied, kReclaimed, kStale };
   /// Apply a REL: releaser (rel_node, rel_site) has cumulatively released
   /// `cum` credit for this entry. Cumulative totals max-merge, so
@@ -299,6 +326,7 @@ class Machine {
     obs::SoloCounter credit_mints;    // marshalled owned refs
     obs::SoloCounter credit_starved;  // forwarded with a zero share
     obs::SoloCounter rel_stale;       // duplicate/reordered/unknown RELs
+    obs::SoloCounter credit_written_off;  // forgiven for dead peers
   };
   const GcStats& gc_stats() const { return gc_stats_; }
 
@@ -394,6 +422,10 @@ class Machine {
     std::uint32_t names = 0;       // name-service binding pins
     // Per-releaser cumulative released credit, max-merged (REL protocol).
     std::map<std::uint64_t, std::uint64_t> released;
+    // Debtor ledger: node -> credit believed held there (see
+    // set_credit_peer / write_off_node). Advisory only — it never gates
+    // reclamation, it only bounds what a failure write-off may forgive.
+    std::map<std::uint32_t, std::uint64_t> debt;
 
     std::uint64_t released_total() const {
       std::uint64_t sum = 0;
@@ -465,6 +497,7 @@ class Machine {
   std::vector<NetRef> pending_rel_;
   bool gc_dirty_ = false;
   GcStats gc_stats_;
+  std::uint32_t credit_peer_ = kNoPeer;
 
   std::uint64_t pending_msgs_ = 0;
   std::uint64_t pending_objs_ = 0;

@@ -3,7 +3,7 @@
 # benches (C2 placement, C5 applet mobility, C6 RPC/name-service) twice —
 # observability off, then with the sampled profiler and tail-based flight
 # retention on (--profile --flight) — and write wall-clock milliseconds
-# per configuration to a JSON file. The committed BENCH_pr4.json is this
+# per configuration to a JSON file. The committed BENCH_pr5.json is this
 # script's output on the CI container; regenerate with
 #   tools/bench_baseline.sh [build-dir] [out.json]
 # The interesting number is the on/off ratio per bench: with
@@ -11,10 +11,13 @@
 # a branch each). With it on the dominant cost is allocating the trace
 # rings themselves (visible in C6's many-network sweep); the per-event
 # record, sample and retention paths stay off the VM's hot loop.
+# Since PR 5 each bench also runs its wall-clock section twice per pass
+# (threaded driver over in-proc queues and over the loopback TCP mesh),
+# so the totals now include real socket transit.
 set -eu
 
 BUILD="${1:-build}"
-OUT="${2:-BENCH_pr4.json}"
+OUT="${2:-BENCH_pr5.json}"
 
 for b in bench_c2_local_vs_remote bench_c5_mobility bench_c6_rpc_nameservice; do
   if [ ! -x "$BUILD/bench/$b" ]; then

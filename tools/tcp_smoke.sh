@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# TCP networking smoke test: launch two real tycod processes on loopback
+# (node 0 hosting the name service, node 1 joining it), run a cross-
+# process import + remote method call to completion, and assert both
+# daemons exit cleanly with empty export tables. Then kill node 1 of a
+# second pair mid-run and assert the survivor's failure detector writes
+# the dead holder's GC credit off. Used by CI; run locally as
+# tools/tcp_smoke.sh [tycod], default build/tools/tycod.
+set -u
+
+TYCOD="${1:-build/tools/tycod}"
+if [ ! -x "$TYCOD" ]; then
+  echo "tcp_smoke: no tycod binary at $TYCOD" >&2
+  exit 2
+fi
+
+OUT0="$(mktemp)"
+OUT1="$(mktemp)"
+trap 'kill "$PID0" "$PID1" 2>/dev/null; rm -f "$OUT0" "$OUT1"' EXIT
+
+fail=0
+
+wait_port() {
+  # Scrape "tycod nodeN listening on 127.0.0.1:<port>" from $1.
+  local log="$1" pid="$2" port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's#^tycod node[0-9]* listening on 127\.0\.0\.1:\([0-9]*\)$#\1#p' "$log")"
+    [ -n "$port" ] && { echo "$port"; return 0; }
+    kill -0 "$pid" 2>/dev/null || return 1
+    sleep 0.1
+  done
+  return 1
+}
+
+# ---------------------------------------------------------------------
+# Happy path: SHIPO + FETCH across two processes
+# ---------------------------------------------------------------------
+
+"$TYCOD" --node 0 --idle-exit-ms 1200 --serve-ms 30000 -e \
+  'site server { export def Applet(out) = out![7] in
+     export new p in p?{ val(x, rep) = rep![x * 2] } }' >"$OUT0" 2>&1 &
+PID0=$!
+PORT="$(wait_port "$OUT0" "$PID0")" || {
+  echo "tcp_smoke: node 0 never announced a port:" >&2
+  cat "$OUT0" >&2
+  exit 1
+}
+echo "tcp_smoke: node 0 on port $PORT"
+
+"$TYCOD" --node 1 --join "127.0.0.1:$PORT" --idle-exit-ms 1200 \
+  --serve-ms 30000 -e \
+  'site client { import Applet from server in import p from server in
+     new r (Applet[r] | r?(v) = let z = p![v * 3] in print[z + v]) }' \
+  >"$OUT1" 2>&1 &
+PID1=$!
+
+wait "$PID1"; S1=$?
+wait "$PID0"; S0=$?
+if [ "$S0" -ne 0 ] || [ "$S1" -ne 0 ]; then
+  echo "tcp_smoke: daemons exited $S0/$S1:" >&2
+  cat "$OUT0" "$OUT1" >&2
+  fail=1
+fi
+# Applet ran at the client (code mobility) and the remote call
+# round-tripped: 7*3*2 + 7 = 49.
+grep -q '\[client\] 49' "$OUT1" || {
+  echo "tcp_smoke: client output missing:" >&2; cat "$OUT1" >&2; fail=1; }
+grep -q 'exports_live=0' "$OUT0" || {
+  echo "tcp_smoke: node 0 leaked exports:" >&2; cat "$OUT0" >&2; fail=1; }
+grep -q 'exports_live=0' "$OUT1" || {
+  echo "tcp_smoke: node 1 leaked exports:" >&2; cat "$OUT1" >&2; fail=1; }
+
+# ---------------------------------------------------------------------
+# Failure path: kill node 1 mid-run, survivor writes its credit off
+# ---------------------------------------------------------------------
+
+"$TYCOD" --node 0 --heartbeat-ms 25 --confirm-ms 200 --idle-exit-ms 3000 \
+  --serve-ms 30000 -e \
+  'site server { export new p in p?{ val(x, rep) = rep![x * 2] } }' \
+  >"$OUT0" 2>&1 &
+PID0=$!
+PORT="$(wait_port "$OUT0" "$PID0")" || {
+  echo "tcp_smoke: kill-test node 0 never announced a port:" >&2
+  cat "$OUT0" >&2
+  exit 1
+}
+
+# The client imports p (holding attributed credit) and parks forever.
+"$TYCOD" --node 1 --join "127.0.0.1:$PORT" --heartbeat-ms 25 \
+  --timeout-ms 25000 -e \
+  'site client { import p from server in import never from server in
+     p!val[1, p] }' >"$OUT1" 2>&1 &
+PID1=$!
+sleep 1.5
+kill -9 "$PID1" 2>/dev/null
+wait "$PID1" 2>/dev/null
+
+wait "$PID0"; S0=$?
+if [ "$S0" -ne 0 ]; then
+  echo "tcp_smoke: survivor exited $S0:" >&2; cat "$OUT0" >&2; fail=1
+fi
+grep -q 'peers_down=1' "$OUT0" || {
+  echo "tcp_smoke: survivor never saw the death:" >&2; cat "$OUT0" >&2
+  fail=1; }
+grep -Eq 'credit_written_off=[1-9][0-9]*' "$OUT0" || {
+  echo "tcp_smoke: no credit written off:" >&2; cat "$OUT0" >&2; fail=1; }
+grep -q 'exports_live=0' "$OUT0" || {
+  echo "tcp_smoke: survivor leaked exports:" >&2; cat "$OUT0" >&2; fail=1; }
+
+if [ "$fail" -eq 0 ]; then
+  echo "tcp_smoke: OK (cross-process SHIPO/FETCH, empty tables, kill -> write-off)"
+fi
+exit "$fail"

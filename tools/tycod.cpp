@@ -1,0 +1,226 @@
+// tycod — the DiTyCO node daemon as an OS process (paper, section 5:
+// "each node runs a daemon, TyCOd, that holds the node's sites and
+// exchanges messages with its peers").
+//
+// One tycod process hosts exactly one node (its sites come from the
+// program file's `site name { P }` blocks) and speaks the v2 daemon
+// wire format to other tycod processes over TCP (docs/NETWORKING.md).
+// Node 0 hosts the network name service; every other node needs
+// --join (or --peer 0=...) to reach it.
+//
+// Usage:
+//   tycod --node 0 --listen 127.0.0.1:7100 a.dtc
+//   tycod --node 1 --join 127.0.0.1:7100 b.dtc
+//
+// Options:
+//   --node N             this process's node id (default 0)
+//   --listen HOST:PORT   bind address (default 127.0.0.1:0 = ephemeral;
+//                        the bound port is printed as
+//                        `tycod nodeN listening on HOST:PORT`)
+//   --join HOST:PORT     address of node 0 (shorthand for --peer 0=...)
+//   --peer N=HOST:PORT   static peer address (repeatable; others are
+//                        learnt from gossip)
+//   -e SRC               run SRC instead of a file
+//   --typecheck          infer types; check remote signatures
+//   --stats              print the metrics registry before exiting
+//   --monitor PORT       start TyCOmon (0 = ephemeral)
+//   --heartbeat-ms N     heartbeat period (default 100)
+//   --phi T              failure-detector suspicion threshold (default 6)
+//   --confirm-ms N       suspicion must persist this long before the
+//                        peer is declared dead (default 500)
+//   --no-detect          disable the failure detector entirely
+//   --idle-exit-ms N     exit after N ms with no inbound work once the
+//                        local program is quiescent (default 2000)
+//   --serve-ms N         hard cap on total serve time (default 60000)
+//   --timeout-ms N       per-run wall-clock cap (default 10000)
+//   --gc-resend-ms N     periodic cumulative-REL retransmission
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compiler/parser.hpp"
+#include "core/network.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: tycod [options] program.dtc\n"
+      "       tycod [options] -e 'site a { ... }'\n"
+      "options: --node N  --listen HOST:PORT  --join HOST:PORT\n"
+      "         --peer N=HOST:PORT (repeatable)  --typecheck  --stats\n"
+      "         --monitor PORT  --heartbeat-ms N  --phi T  --confirm-ms N\n"
+      "         --no-detect  --idle-exit-ms N  --serve-ms N\n"
+      "         --timeout-ms N  --gc-resend-ms N\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using Clock = std::chrono::steady_clock;
+  std::string source, path;
+  dityco::core::Network::Config cfg;
+  cfg.mode = dityco::core::Network::Mode::kThreaded;
+  cfg.transport = dityco::core::Network::TransportKind::kTcp;
+  cfg.tcp.multiprocess = true;
+  bool stats = false;
+  bool monitor = false;
+  int monitor_port = 0;
+  long idle_exit_ms = 2000;
+  long serve_ms = 60'000;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-e" && i + 1 < argc) {
+      source = argv[++i];
+    } else if (arg == "--node" && i + 1 < argc) {
+      cfg.tcp.self = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--listen" && i + 1 < argc) {
+      const auto [host, port] = dityco::net::parse_hostport(argv[++i]);
+      cfg.tcp.listen_host = host;
+      cfg.tcp.listen_port = port;
+    } else if (arg == "--join" && i + 1 < argc) {
+      cfg.tcp.peers[0] = argv[++i];
+    } else if (arg == "--peer" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos) return usage();
+      cfg.tcp.peers[static_cast<std::uint32_t>(
+          std::atoi(spec.substr(0, eq).c_str()))] = spec.substr(eq + 1);
+    } else if (arg == "--typecheck") {
+      cfg.typecheck = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--monitor" && i + 1 < argc) {
+      monitor = true;
+      monitor_port = std::atoi(argv[++i]);
+    } else if (arg == "--heartbeat-ms" && i + 1 < argc) {
+      cfg.tcp.heartbeat_ms = std::atol(argv[++i]);
+    } else if (arg == "--phi" && i + 1 < argc) {
+      cfg.tcp.phi_threshold = std::atof(argv[++i]);
+    } else if (arg == "--confirm-ms" && i + 1 < argc) {
+      cfg.tcp.confirm_ms = std::atol(argv[++i]);
+    } else if (arg == "--no-detect") {
+      cfg.tcp.detect_failures = false;
+    } else if (arg == "--idle-exit-ms" && i + 1 < argc) {
+      idle_exit_ms = std::atol(argv[++i]);
+    } else if (arg == "--serve-ms" && i + 1 < argc) {
+      serve_ms = std::atol(argv[++i]);
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      cfg.timeout_ms = static_cast<std::uint64_t>(std::atol(argv[++i]));
+    } else if (arg == "--gc-resend-ms" && i + 1 < argc) {
+      cfg.gc_resend_ms = static_cast<std::uint64_t>(std::atol(argv[++i]));
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      path = arg;
+    }
+  }
+  if (source.empty() && path.empty()) return usage();
+  if (source.empty()) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "tycod: cannot open " << path << "\n";
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    source = ss.str();
+  }
+
+  try {
+    auto programs = dityco::comp::parse_network(source);
+    dityco::core::Network net(cfg);
+    net.add_node();
+    for (const auto& [site, prog] : programs) {
+      net.add_site(0, site);
+      net.submit(site, prog);
+    }
+    if (monitor) {
+      const std::uint16_t mp = net.start_monitor(
+          static_cast<std::uint16_t>(monitor_port));
+      if (mp == 0) {
+        std::cerr << "tycod: cannot start TyCOmon on port " << monitor_port
+                  << "\n";
+        return 1;
+      }
+      std::cout << "tycomon listening on http://127.0.0.1:" << mp
+                << std::endl;
+    }
+    // Bind now (transport() is lazy) and advertise the port: scripts
+    // parse this line to wire up --join/--peer for later processes.
+    dityco::net::TcpTransport* tcp = net.tcp_transport();
+    std::cout << "tycod node" << cfg.tcp.self << " listening on "
+              << cfg.tcp.listen_host << ":" << tcp->port() << std::endl;
+
+    // Serve loop: drive the local program to quiescence, then stay up —
+    // peers keep sending lookups, FETCHes and RELs — until the node has
+    // been idle for idle_exit_ms (or the serve budget runs out).
+    const auto hard_deadline = Clock::now() +
+                               std::chrono::milliseconds(serve_ms);
+    dityco::core::Network::Result res;
+    std::uint64_t total_instructions = 0;
+    for (;;) {
+      res = net.run();
+      total_instructions += res.instructions;
+      if (res.budget_exhausted) break;
+      const auto idle_deadline = Clock::now() +
+                                 std::chrono::milliseconds(idle_exit_ms);
+      bool more = false;
+      while (Clock::now() < idle_deadline && Clock::now() < hard_deadline) {
+        if (net.transport().in_flight() > 0) {
+          more = true;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      if (!more || Clock::now() >= hard_deadline) break;
+    }
+
+    // Final GC epoch. Cross-process convergence needs the peers' RELs,
+    // which arrive on their own schedule: retry while export tables
+    // still hold entries and the serve budget allows.
+    auto gc = net.collect_garbage();
+    for (int retry = 0; retry < 20 && gc.exports_live > 0 &&
+                        Clock::now() < hard_deadline;
+         ++retry) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      gc = net.collect_garbage();
+    }
+
+    for (const auto& [site, _] : programs)
+      for (const auto& line : net.output(site))
+        std::cout << "[" << site << "] " << line << "\n";
+    for (const auto& err : net.all_errors())
+      std::cerr << "error: " << err << "\n";
+
+    std::uint64_t written_off = 0;
+    std::size_t peers_down = 0;
+    for (const auto& n : net.nodes())
+      for (const auto& s : n->sites()) {
+        written_off += s->machine().gc_stats().credit_written_off.value();
+        peers_down = std::max(peers_down, s->dead_peers().size());
+      }
+    std::cout << "-- " << (res.quiescent ? "quiescent" : res.stalled
+                               ? "STALLED (import waiting on a missing export)"
+                               : "BUDGET EXHAUSTED")
+              << ", " << total_instructions << " instructions\n";
+    std::cout << "-- gc: rounds=" << gc.rounds
+              << " exports_live=" << gc.exports_live
+              << " netrefs_live=" << gc.netrefs_live
+              << " credit_written_off=" << written_off
+              << " peers_down=" << peers_down << "\n";
+    if (stats) std::cout << net.metrics().expose_text();
+    std::cout.flush();
+    return net.all_errors().empty() && gc.exports_live == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "tycod: " << e.what() << "\n";
+    return 1;
+  }
+}

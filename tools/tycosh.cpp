@@ -14,6 +14,16 @@
 //   --mode M         seq (default) | threads | sim
 //   --link L         myrinet (default) | ethernet     (sim mode)
 //   --nodes N        number of nodes (default: one per site)
+//   --transport T    inproc (default) | tcp. tcp routes every inter-node
+//                    packet over real loopback sockets (an in-process
+//                    mesh; docs/NETWORKING.md)
+//   --tcp HOST:PORT  run as ONE node of a multi-process network, bound
+//                    to HOST:PORT (implies --transport tcp and
+//                    --mode threads; see also tycod, the daemon form)
+//   --node N         this process's node id (with --tcp; default 0)
+//   --join HOST:PORT address of node 0 (with --tcp; shorthand for
+//                    --peer 0=HOST:PORT)
+//   --peer N=H:P     static peer address (with --tcp; repeatable)
 //   --typecheck      infer types; reject ill-typed programs; enable the
 //                    dynamic signature check on imports
 //   --check          static whole-network type check only (no execution)
@@ -39,8 +49,10 @@
 //   --flight-slow-us N   with :flight (or alone: implies it), promote
 //                    mobility operations slower than N µs
 #include <chrono>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -59,6 +71,9 @@ int usage() {
       "       tycosh [options] -e 'source'\n"
       "options: --mode seq|threads|sim  --link myrinet|ethernet\n"
       "         --nodes N  --typecheck  --check  --disasm\n"
+      "         --transport inproc|tcp  loopback-socket mesh transport\n"
+      "         --tcp HOST:PORT        one node of a multi-process network\n"
+      "         --node N  --join HOST:PORT  --peer N=HOST:PORT\n"
       "         --stats | :stats       print the metrics registry\n"
       "         :trace FILE.json       write a Perfetto/Chrome trace\n"
       "         --sample N             trace 1-in-N operations\n"
@@ -80,6 +95,10 @@ int main(int argc, char** argv) {
   std::string path;
   std::string mode = "seq";
   std::string link = "myrinet";
+  std::string transport = "inproc";
+  std::string tcp_listen;
+  int self_node = 0;
+  std::map<std::uint32_t, std::string> tcp_peers;
   int nodes = 0;
   bool typecheck = false, check_only = false, disasm = false, stats = false;
   std::string trace_path;
@@ -103,6 +122,20 @@ int main(int argc, char** argv) {
       link = argv[++i];
     } else if (arg == "--nodes" && i + 1 < argc) {
       nodes = std::atoi(argv[++i]);
+    } else if (arg == "--transport" && i + 1 < argc) {
+      transport = argv[++i];
+    } else if (arg == "--tcp" && i + 1 < argc) {
+      tcp_listen = argv[++i];
+    } else if (arg == "--node" && i + 1 < argc) {
+      self_node = std::atoi(argv[++i]);
+    } else if (arg == "--join" && i + 1 < argc) {
+      tcp_peers[0] = argv[++i];
+    } else if (arg == "--peer" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos) return usage();
+      tcp_peers[static_cast<std::uint32_t>(
+          std::atoi(spec.substr(0, eq).c_str()))] = spec.substr(eq + 1);
     } else if (arg == "--typecheck") {
       typecheck = true;
     } else if (arg == "--check") {
@@ -185,13 +218,40 @@ int main(int argc, char** argv) {
     cfg.link = link == "ethernet" ? dityco::net::fast_ethernet()
                                   : dityco::net::myrinet();
     cfg.typecheck = typecheck;
+    // --tcp / --join / --peer put this process into a multi-process
+    // network: one node, real sockets, peers are other tycosh/tycod
+    // processes. --transport tcp alone builds an in-process loopback
+    // mesh (every node gets its own socket endpoint).
+    const bool multiprocess = !tcp_listen.empty() || !tcp_peers.empty();
+    if (transport == "tcp" || multiprocess) {
+      cfg.transport = dityco::core::Network::TransportKind::kTcp;
+      if (multiprocess) {
+        cfg.mode = dityco::core::Network::Mode::kThreaded;
+        cfg.tcp.multiprocess = true;
+        cfg.tcp.self = static_cast<std::uint32_t>(self_node);
+        cfg.tcp.peers = tcp_peers;
+        if (!tcp_listen.empty()) {
+          const auto [host, port] = dityco::net::parse_hostport(tcp_listen);
+          cfg.tcp.listen_host = host;
+          cfg.tcp.listen_port = port;
+        }
+      }
+    } else if (transport != "inproc") {
+      return usage();
+    }
 
     dityco::core::Network net(cfg);
-    const int nnodes =
-        nodes > 0 ? nodes : static_cast<int>(programs.size());
+    const int nnodes = cfg.tcp.multiprocess
+                           ? 1
+                           : nodes > 0 ? nodes
+                                       : static_cast<int>(programs.size());
     for (int i = 0; i < nnodes; ++i) net.add_node();
     for (std::size_t i = 0; i < programs.size(); ++i)
       net.add_site(i % static_cast<std::size_t>(nnodes), programs[i].first);
+    if (cfg.tcp.multiprocess)
+      std::cout << "tycosh node" << cfg.tcp.self << " listening on "
+                << cfg.tcp.listen_host << ":" << net.tcp_transport()->port()
+                << std::endl;
     for (const auto& [site, prog] : programs) net.submit(site, prog);
     // A monitored run always traces: /trace would otherwise be empty.
     if (!trace_path.empty() || monitor || flight)
