@@ -364,6 +364,10 @@ void Network::register_tcp_metrics(net::TcpTransport& t,
               s.backpressure_waits.load(std::memory_order_relaxed));
     c.counter("tcp_frames_dropped" + l,
               s.frames_dropped.load(std::memory_order_relaxed));
+    c.counter("tcp_send_timeouts" + l,
+              s.send_timeouts.load(std::memory_order_relaxed));
+    c.counter("tcp_frames_malformed" + l,
+              s.frames_malformed.load(std::memory_order_relaxed));
     c.counter("tcp_peers_suspected" + l,
               s.peers_suspected.load(std::memory_order_relaxed));
     c.counter("tcp_peers_dead" + l,

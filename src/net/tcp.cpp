@@ -53,6 +53,17 @@ bool FrameParser::feed(const std::uint8_t* data, std::size_t n,
   return true;
 }
 
+void drop_written_frames(std::string& buf, std::size_t& wr_off) {
+  while (buf.size() >= 4) {
+    std::uint32_t len;
+    std::memcpy(&len, buf.data(), 4);
+    const std::size_t fsize = 4 + static_cast<std::size_t>(len);
+    if (wr_off < fsize) break;
+    buf.erase(0, fsize);
+    wr_off -= fsize;
+  }
+}
+
 std::pair<std::string, std::uint16_t> parse_hostport(const std::string& s) {
   const auto colon = s.rfind(':');
   if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size())
@@ -193,7 +204,7 @@ std::size_t TcpTransport::connected_peers() const {
 std::size_t TcpTransport::queued_bytes() const {
   std::lock_guard<std::mutex> lk(mu_);
   std::size_t n = 0;
-  for (const auto& [node, p] : peers_) n += p.outbuf.size();
+  for (const auto& [node, p] : peers_) n += p.outbuf.size() - p.wr_off;
   return n;
 }
 
@@ -236,18 +247,35 @@ void TcpTransport::send(Packet p, double /*now_us: wall clock rules*/) {
     stats_.frames_dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  if (peer.outbuf.size() > cfg_.max_queue_bytes) {
+  if (peer.outbuf.size() - peer.wr_off > cfg_.max_queue_bytes) {
     stats_.backpressure_waits.fetch_add(1, std::memory_order_relaxed);
-    backpressure_cv_.wait(lk, [&] {
+    const auto drained = [&] {
       return stop_.load(std::memory_order_relaxed) || peer.dead ||
-             peer.outbuf.size() <= cfg_.max_queue_bytes;
-    });
+             peer.outbuf.size() - peer.wr_off <= cfg_.max_queue_bytes;
+    };
+    bool ok = true;
+    if (cfg_.send_timeout_ms == 0) {
+      backpressure_cv_.wait(lk, drained);
+    } else {
+      ok = backpressure_cv_.wait_for(
+          lk, std::chrono::milliseconds(cfg_.send_timeout_ms), drained);
+    }
     if (stop_.load(std::memory_order_relaxed)) return;
+    if (!ok) {
+      // The queue never drained: drop this frame rather than wedge an
+      // executor thread forever on a peer that cannot keep up (or whose
+      // address is simply wrong — see connect_deadline_ms).
+      stats_.send_timeouts.fetch_add(1, std::memory_order_relaxed);
+      stats_.frames_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     if (peer.dead) {
       stats_.frames_dropped.fetch_add(1, std::memory_order_relaxed);
       return;
     }
   }
+  if (!peer.ever_connected && peer.demand_since_ms < 0)
+    peer.demand_since_ms = now_ms();
   peer.outbuf.append(reinterpret_cast<const char*>(frame.data()),
                      frame.size());
   ++peer.queued_frames;
@@ -326,11 +354,13 @@ void TcpTransport::finish_connect(std::uint32_t node, Peer& p, double now) {
     stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
   stats_.connects.fetch_add(1, std::memory_order_relaxed);
   p.ever_connected = true;
+  p.demand_since_ms = -1;
   p.backoff_ms = 0;
   p.parser = FrameParser{};
   // Identity first: the hello must precede any queued data so the
   // acceptor can tag the connection (and learn our reach-back address)
-  // before payloads arrive.
+  // before payloads arrive. Prepending at offset 0 is frame-aligned:
+  // wr_off is 0 here (fresh peers start there, fail_connect rewinds).
   Writer hello;
   hello.u8(static_cast<std::uint8_t>(FrameKind::kHello));
   hello.u32(cfg_.self);
@@ -346,6 +376,11 @@ void TcpTransport::fail_connect(std::uint32_t node, Peer& p, double now) {
   close_quietly(p.fd);
   p.fd = -1;
   p.connecting = false;
+  // Rewind to the start of the partially-written head frame: the broken
+  // connection's receiver discarded its partial bytes with the socket,
+  // so the next connection must carry the frame whole (after the hello),
+  // never the leftover tail.
+  p.wr_off = 0;
   // Exponential backoff with up to 50% jitter (xorshift — cheap, seeded
   // per process so restarted fleets spread out).
   p.backoff_ms = p.backoff_ms == 0
@@ -375,6 +410,7 @@ void TcpTransport::mark_dead(std::uint32_t node, Peer& p) {
                                   std::memory_order_relaxed);
   p.queued_frames = 0;
   p.outbuf.clear();
+  p.wr_off = 0;
   for (auto it = inbound_.begin(); it != inbound_.end();) {
     if (it->second.node == node) {
       close_quietly(it->first);
@@ -397,7 +433,19 @@ void TcpTransport::mark_dead(std::uint32_t node, Peer& p) {
 void TcpTransport::check_liveness(double now) {
   if (!cfg_.detect_failures) return;
   for (auto& [node, p] : peers_) {
-    if (p.dead || !p.detector.started()) continue;
+    if (p.dead) continue;
+    // Phi is blind to a peer that never spoke: a wrong or unreachable
+    // address would otherwise queue (and block senders) forever. Demand
+    // that never yields a connection — or any inbound traffic — for
+    // connect_deadline_ms is a death verdict of its own.
+    if (cfg_.connect_deadline_ms > 0 && !p.ever_connected &&
+        !p.detector.started() && p.demand_since_ms >= 0 &&
+        now - p.demand_since_ms >=
+            static_cast<double>(cfg_.connect_deadline_ms)) {
+      mark_dead(node, p);
+      continue;
+    }
+    if (!p.detector.started()) continue;
     if (p.detector.phi(now) > cfg_.phi_threshold) {
       if (p.suspect_since_ms < 0) {
         p.suspect_since_ms = now;
@@ -412,9 +460,14 @@ void TcpTransport::check_liveness(double now) {
   }
 }
 
-void TcpTransport::handle_payload(int fd, std::uint32_t tagged_node,
+bool TcpTransport::handle_payload(int fd, std::uint32_t tagged_node,
                                   const std::vector<std::uint8_t>& payload,
                                   double now) {
+  // Frame bodies come off the network and must never be trusted: every
+  // Reader access is bounds-checked and throws DecodeError on truncated
+  // input. Catch it here — an escaped exception would terminate the I/O
+  // thread (and the process) on the first malformed frame from a peer.
+  try {
   Reader r(payload);
   const auto kind = static_cast<FrameKind>(r.u8());
   switch (kind) {
@@ -430,6 +483,7 @@ void TcpTransport::handle_payload(int fd, std::uint32_t tagged_node,
         p.dead = false;
         p.detector.reset();
         p.suspect_since_ms = -1;
+        p.demand_since_ms = -1;
         p.backoff_ms = 0;
         p.next_connect_ms = 0;
       }
@@ -445,7 +499,7 @@ void TcpTransport::handle_payload(int fd, std::uint32_t tagged_node,
         broadcast_peers_locked();
       }
       feed_liveness(node, now);
-      return;
+      return true;
     }
     case FrameKind::kData: {
       const std::uint32_t src = r.u32();
@@ -460,7 +514,7 @@ void TcpTransport::handle_payload(int fd, std::uint32_t tagged_node,
           tagged_node != kUnknownNode ? tagged_node : src;
       feed_liveness(liveness_node, now);
       inbox_.push_back(std::move(p));
-      return;
+      return true;
     }
     case FrameKind::kHeartbeat: {
       const std::uint32_t node = r.u32();
@@ -486,7 +540,7 @@ void TcpTransport::handle_payload(int fd, std::uint32_t tagged_node,
           pit->second.outbuf.append(
               reinterpret_cast<const char*>(frame.data()), frame.size());
       }
-      return;
+      return true;
     }
     case FrameKind::kHeartbeatAck: {
       const std::uint32_t node = r.u32();
@@ -496,7 +550,7 @@ void TcpTransport::handle_payload(int fd, std::uint32_t tagged_node,
       stats_.last_rtt_us.store(rtt, std::memory_order_relaxed);
       stats_.heartbeats_acked.fetch_add(1, std::memory_order_relaxed);
       feed_liveness(node, now);
-      return;
+      return true;
     }
     case FrameKind::kPeers: {
       const std::uint32_t n = r.u32();
@@ -513,10 +567,26 @@ void TcpTransport::handle_payload(int fd, std::uint32_t tagged_node,
       }
       if (tagged_node != kUnknownNode) feed_liveness(tagged_node, now);
       (void)changed;
-      return;
+      return true;
     }
   }
   // Unknown frame kind: tolerate (forward compatibility), drop silently.
+  return true;
+  } catch (const DecodeError&) {
+    stats_.frames_malformed.fetch_add(1, std::memory_order_relaxed);
+    return false;  // caller drops the connection, like a framing error
+  }
+}
+
+std::string TcpTransport::advertised_hostport() const {
+  std::string host =
+      !cfg_.advertise_host.empty() ? cfg_.advertise_host : cfg_.listen_host;
+  // A wildcard bind is not routable from other hosts; without an
+  // explicit advertise_host, loopback is the only address we can be
+  // sure of. Non-loopback deployments must configure advertise_host.
+  if (host.empty() || host == "0.0.0.0" || host == "::" || host == "*")
+    host = "127.0.0.1";
+  return host + ":" + std::to_string(port_);
 }
 
 void TcpTransport::broadcast_peers_locked() {
@@ -529,7 +599,7 @@ void TcpTransport::broadcast_peers_locked() {
     if (!p.hostport.empty()) ++n;
   w.u32(n);
   w.u32(cfg_.self);
-  w.str(cfg_.listen_host + ":" + std::to_string(port_));
+  w.str(advertised_hostport());
   for (const auto& [node, p] : peers_)
     if (!p.hostport.empty()) {
       w.u32(node);
@@ -542,10 +612,32 @@ void TcpTransport::broadcast_peers_locked() {
 }
 
 void TcpTransport::flush_writes(int fd, std::string& buf) {
+  // Inbound connections only (heartbeat ACKs): these sockets are never
+  // reconnected, so consuming written bytes immediately is safe here.
   while (!buf.empty()) {
     const ssize_t n = ::write(fd, buf.data(), buf.size());
     if (n > 0) {
       buf.erase(0, static_cast<std::size_t>(n));
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return;  // short write: the rest goes out on the next POLLOUT
+    } else {
+      return;  // hard error: the read side will notice and tear down
+    }
+  }
+}
+
+void TcpTransport::flush_peer_writes(Peer& p) {
+  // Peer outbufs survive reconnects, so they stay frame-aligned: bytes
+  // are consumed via wr_off and whole frames erased only once fully
+  // written (drop_written_frames). A disconnect mid-frame then rewinds
+  // wr_off to 0 (fail_connect) and the next connection retransmits the
+  // head frame whole — never a dangling tail after the hello.
+  while (p.wr_off < p.outbuf.size()) {
+    const ssize_t n = ::write(p.fd, p.outbuf.data() + p.wr_off,
+                              p.outbuf.size() - p.wr_off);
+    if (n > 0) {
+      p.wr_off += static_cast<std::size_t>(n);
+      drop_written_frames(p.outbuf, p.wr_off);
     } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       return;  // short write: the rest goes out on the next POLLOUT
     } else {
@@ -658,8 +750,16 @@ void TcpTransport::io_loop() {
                 fail_connect(pnode, p, now);
                 break;
               }
+              bool malformed = false;
               for (const auto& pl : payloads)
-                handle_payload(pf.fd, pnode, pl, now);
+                if (!handle_payload(pf.fd, pnode, pl, now)) {
+                  malformed = true;
+                  break;
+                }
+              if (malformed) {
+                fail_connect(pnode, p, now);
+                break;
+              }
             } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
               break;
             } else {
@@ -671,9 +771,9 @@ void TcpTransport::io_loop() {
           }
         }
         if (p.fd >= 0 && !p.connecting && (pf.revents & POLLOUT)) {
-          const std::size_t before = p.outbuf.size();
-          flush_writes(p.fd, p.outbuf);
-          if (p.outbuf.size() < before) {
+          const std::size_t before = p.outbuf.size() - p.wr_off;
+          flush_peer_writes(p);
+          if (p.outbuf.size() - p.wr_off < before) {
             drained = true;
             if (p.outbuf.empty()) p.queued_frames = 0;
           }
@@ -695,7 +795,11 @@ void TcpTransport::io_loop() {
               break;
             }
             for (const auto& pl : payloads)
-              handle_payload(pf.fd, iit->second.node, pl, now);
+              if (!handle_payload(pf.fd, iit->second.node, pl, now)) {
+                dead_fd = true;
+                break;
+              }
+            if (dead_fd) break;
           } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
             break;
           } else {

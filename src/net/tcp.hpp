@@ -89,6 +89,15 @@ class FrameParser {
 /// Split "host:port"; throws std::invalid_argument on malformed input.
 std::pair<std::string, std::uint16_t> parse_hostport(const std::string& s);
 
+/// Erase the whole frames at the head of `buf` that `wr_off` has fully
+/// passed, keeping `buf`/`wr_off` frame-aligned: after the call,
+/// `wr_off` always points inside (or at the start of) the first frame.
+/// This is what lets a disconnect rewind `wr_off` to 0 and retransmit
+/// the partially-written head frame whole on the next connection —
+/// without it, the unsent tail of a half-written frame would follow the
+/// reconnect hello and poison the receiver's framing.
+void drop_written_frames(std::string& buf, std::size_t& wr_off);
+
 // -- transport --------------------------------------------------------
 
 struct TcpConfig {
@@ -96,6 +105,11 @@ struct TcpConfig {
   std::uint32_t self = 0;
   std::string listen_host = "127.0.0.1";
   std::uint16_t listen_port = 0;  // 0 = ephemeral (read back via port())
+  /// Reach-back host gossiped to peers (kPeers frames). Empty = derive
+  /// from listen_host; a wildcard bind (0.0.0.0 / ::) falls back to
+  /// 127.0.0.1, so non-loopback deployments that bind the wildcard must
+  /// set this to a routable address.
+  std::string advertise_host;
   /// Known peer addresses, node id -> "host:port". Peers may also be
   /// learned later from hello/gossip frames (the --join bootstrap).
   std::map<std::uint32_t, std::string> peers;
@@ -109,6 +123,19 @@ struct TcpConfig {
   /// Per-peer outbound queue bound in bytes; send() blocks (backpressure)
   /// while a peer's queue is over it.
   std::size_t max_queue_bytes = 8u << 20;
+  /// Longest a send() may park in backpressure before the frame is
+  /// dropped instead (counted in send_timeouts + frames_dropped); 0 =
+  /// wait forever. Guards executor threads against wedging on a peer
+  /// whose queue never drains.
+  std::uint64_t send_timeout_ms = 30'000;
+  /// A peer that has demand (queued frames) but has never completed a
+  /// connection — and never spoke to us inbound — is declared dead after
+  /// this long, releasing blocked senders and triggering the same
+  /// write-off path as a heartbeat death. The phi detector cannot cover
+  /// this case (phi is 0 until a first arrival), so without it a wrong
+  /// or unreachable address wedges senders forever. 0 = disabled; only
+  /// active when detect_failures is set.
+  std::uint64_t connect_deadline_ms = 10'000;
 
   // Liveness. Heartbeats are only load-bearing on idle links: *any*
   // frame from a peer feeds its detector, so a link saturated with data
@@ -143,6 +170,8 @@ class TcpTransport : public Transport {
     std::atomic<std::uint64_t> heartbeats_acked{0};
     std::atomic<std::uint64_t> backpressure_waits{0};
     std::atomic<std::uint64_t> frames_dropped{0};  // to dead peers
+    std::atomic<std::uint64_t> send_timeouts{0};   // backpressure gave up
+    std::atomic<std::uint64_t> frames_malformed{0};  // undecodable bodies
     std::atomic<std::uint64_t> peers_suspected{0};
     std::atomic<std::uint64_t> peers_dead{0};
     /// Last heartbeat round trip, microseconds (any peer).
@@ -170,6 +199,9 @@ class TcpTransport : public Transport {
   bool remote() const override { return cfg_.multiprocess; }
 
   std::uint16_t port() const { return port_; }
+  /// The reach-back address gossiped to peers: advertise_host (or
+  /// listen_host, with wildcard binds resolved to loopback) + port().
+  std::string advertised_hostport() const;
   const TcpConfig& config() const { return cfg_; }
   const Stats& stats() const { return stats_; }
 
@@ -199,8 +231,16 @@ class TcpTransport : public Transport {
     bool connecting = false;
     bool hello_sent = false;
     FrameParser parser;    // ACKs flowing back on the outbound conn
-    std::string outbuf;    // framed bytes not yet written
+    std::string outbuf;    // whole frames queued for the socket
+    /// Bytes of outbuf's head frame already written to the socket.
+    /// Invariant (drop_written_frames): outbuf always starts at a frame
+    /// boundary and wr_off stays inside the head frame, so a disconnect
+    /// rewinds wr_off to 0 and resends that frame whole.
+    std::size_t wr_off = 0;
     std::size_t queued_frames = 0;  // data frames inside outbuf
+    /// When demand first appeared while never connected (-1 = none);
+    /// drives connect_deadline_ms.
+    double demand_since_ms = -1;
     double next_connect_ms = 0;
     std::uint64_t backoff_ms = 0;
     bool ever_connected = false;
@@ -224,13 +264,17 @@ class TcpTransport : public Transport {
   void start_connect(std::uint32_t node, Peer& p, double now_ms);
   void finish_connect(std::uint32_t node, Peer& p, double now_ms);
   void fail_connect(std::uint32_t node, Peer& p, double now_ms);
-  void handle_payload(int fd, std::uint32_t tagged_node,
+  /// Returns false when the payload is undecodable (truncated body): a
+  /// malformed frame is a protocol error and the connection carrying it
+  /// must be dropped, exactly like a framing error.
+  bool handle_payload(int fd, std::uint32_t tagged_node,
                       const std::vector<std::uint8_t>& payload,
                       double now_ms);
   void feed_liveness(std::uint32_t node, double now_ms);
   void check_liveness(double now_ms);
   void mark_dead(std::uint32_t node, Peer& p);
   void flush_writes(int fd, std::string& buf);
+  void flush_peer_writes(Peer& p);
   void queue_frame(Peer& p, FrameKind kind,
                    const std::vector<std::uint8_t>& body);
   void broadcast_peers_locked();

@@ -17,6 +17,10 @@
 //   --listen HOST:PORT   bind address (default 127.0.0.1:0 = ephemeral;
 //                        the bound port is printed as
 //                        `tycod nodeN listening on HOST:PORT`)
+//   --advertise HOST     reach-back host gossiped to peers (required for
+//                        routability when binding a wildcard address;
+//                        defaults to the listen host, wildcards falling
+//                        back to 127.0.0.1)
 //   --join HOST:PORT     address of node 0 (shorthand for --peer 0=...)
 //   --peer N=HOST:PORT   static peer address (repeatable; others are
 //                        learnt from gossip)
@@ -52,7 +56,8 @@ int usage() {
   std::cerr <<
       "usage: tycod [options] program.dtc\n"
       "       tycod [options] -e 'site a { ... }'\n"
-      "options: --node N  --listen HOST:PORT  --join HOST:PORT\n"
+      "options: --node N  --listen HOST:PORT  --advertise HOST\n"
+      "         --join HOST:PORT\n"
       "         --peer N=HOST:PORT (repeatable)  --typecheck  --stats\n"
       "         --monitor PORT  --heartbeat-ms N  --phi T  --confirm-ms N\n"
       "         --no-detect  --idle-exit-ms N  --serve-ms N\n"
@@ -85,6 +90,8 @@ int main(int argc, char** argv) {
       const auto [host, port] = dityco::net::parse_hostport(argv[++i]);
       cfg.tcp.listen_host = host;
       cfg.tcp.listen_port = port;
+    } else if (arg == "--advertise" && i + 1 < argc) {
+      cfg.tcp.advertise_host = argv[++i];
     } else if (arg == "--join" && i + 1 < argc) {
       cfg.tcp.peers[0] = argv[++i];
     } else if (arg == "--peer" && i + 1 < argc) {

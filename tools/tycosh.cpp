@@ -73,6 +73,7 @@ int usage() {
       "         --nodes N  --typecheck  --check  --disasm\n"
       "         --transport inproc|tcp  loopback-socket mesh transport\n"
       "         --tcp HOST:PORT        one node of a multi-process network\n"
+      "         --advertise HOST       reach-back host gossiped to peers\n"
       "         --node N  --join HOST:PORT  --peer N=HOST:PORT\n"
       "         --stats | :stats       print the metrics registry\n"
       "         :trace FILE.json       write a Perfetto/Chrome trace\n"
@@ -97,6 +98,7 @@ int main(int argc, char** argv) {
   std::string link = "myrinet";
   std::string transport = "inproc";
   std::string tcp_listen;
+  std::string advertise_host;
   int self_node = 0;
   std::map<std::uint32_t, std::string> tcp_peers;
   int nodes = 0;
@@ -126,6 +128,8 @@ int main(int argc, char** argv) {
       transport = argv[++i];
     } else if (arg == "--tcp" && i + 1 < argc) {
       tcp_listen = argv[++i];
+    } else if (arg == "--advertise" && i + 1 < argc) {
+      advertise_host = argv[++i];
     } else if (arg == "--node" && i + 1 < argc) {
       self_node = std::atoi(argv[++i]);
     } else if (arg == "--join" && i + 1 < argc) {
@@ -235,6 +239,7 @@ int main(int argc, char** argv) {
           cfg.tcp.listen_host = host;
           cfg.tcp.listen_port = port;
         }
+        cfg.tcp.advertise_host = advertise_host;
       }
     } else if (transport != "inproc") {
       return usage();
