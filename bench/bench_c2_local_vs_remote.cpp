@@ -16,6 +16,7 @@ namespace {
 
 struct Placement {
   const char* name;
+  const char* slug;  // stable bench-schema section name
   int nodes;
   bool same_site;
   net::LinkModel link;
@@ -59,7 +60,8 @@ double run_placement(const Placement& p, int rpcs, std::uint64_t& packets,
 // transport: in-proc shared-memory queues vs the loopback TCP socket
 // mesh (docs/NETWORKING.md). Wall clock, best of `reps`.
 double run_wall(core::Network::TransportKind t, int rpcs, int reps,
-                MetricsJsonEmitter& mj, ObsFlags& obsf) {
+                MetricsJsonEmitter& mj, ObsFlags& obsf,
+                std::vector<double>& samples) {
   double best = 0;
   for (int r = 0; r < reps; ++r) {
     core::Network net(wall_config(t));
@@ -78,6 +80,7 @@ double run_wall(core::Network::TransportKind t, int rpcs, int reps,
       mj.record(std::string("wall ") + transport_name(t), net);
       obsf.report(std::string("wall ") + transport_name(t), net);
     }
+    samples.push_back(us);
     if (best == 0 || us < best) best = us;
   }
   return best;
@@ -88,12 +91,16 @@ double run_wall(core::Network::TransportKind t, int rpcs, int reps,
 int main(int argc, char** argv) {
   MetricsJsonEmitter mj(argc, argv);
   ObsFlags obsf(argc, argv);
+  BenchJson bj("bench_c2_local_vs_remote", argc, argv);
   const int rpcs = 200;
   const Placement placements[] = {
-      {"same site", 1, true, net::myrinet()},
-      {"same node (2 sites)", 1, false, net::myrinet()},
-      {"cross node, Myrinet", 2, false, net::myrinet()},
-      {"cross node, FastEthernet", 2, false, net::fast_ethernet()},
+      {"same site", "c2_sim_rpc_same_site", 1, true, net::myrinet()},
+      {"same node (2 sites)", "c2_sim_rpc_same_node", 1, false,
+       net::myrinet()},
+      {"cross node, Myrinet", "c2_sim_rpc_myrinet", 2, false,
+       net::myrinet()},
+      {"cross node, FastEthernet", "c2_sim_rpc_fastethernet", 2, false,
+       net::fast_ethernet()},
   };
 
   header("C2: one RPC by placement (200 chained RPCs, virtual time)",
@@ -103,6 +110,7 @@ int main(int argc, char** argv) {
     std::uint64_t packets = 0;
     const double t = run_placement(p, rpcs, packets, mj, obsf);
     if (base == 0) base = t;
+    bj.section(p.slug, "virtual_us", rpcs, {t});
     row({p.name, fmt(t), fmt(t / rpcs), fmt_int(packets)});
   }
   std::printf(
@@ -114,7 +122,10 @@ int main(int argc, char** argv) {
          {"transport", "total us", "us/RPC"});
   using TK = core::Network::TransportKind;
   for (TK t : {TK::kInProc, TK::kTcp}) {
-    const double us = run_wall(t, rpcs, 3, mj, obsf);
+    std::vector<double> samples;
+    const double us = run_wall(t, rpcs, 3, mj, obsf, samples);
+    bj.section(t == TK::kTcp ? "c2_wall_rpc_tcp_mesh" : "c2_wall_rpc_inproc",
+               "wall_us", rpcs, samples);
     row({transport_name(t), fmt(us), fmt(us / rpcs)});
   }
   std::printf(

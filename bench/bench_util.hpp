@@ -3,6 +3,7 @@
 // figure/claim of the paper (see DESIGN.md section 5 and EXPERIMENTS.md).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -163,6 +164,79 @@ class MetricsJsonEmitter {
  private:
   std::string path_;
   std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// `--bench-json <path>` support: the versioned bench result schema
+/// (schema_version 2, one document per bench binary). Each measured
+/// section records a STABLE name, its measurement unit ("virtual_us"
+/// for simulated time, "wall_us" for wall clock), the operation count
+/// per run and the raw per-run durations; the emitter derives
+/// throughput (msgs_per_sec) and per-operation p50/p99 latency.
+/// Sections are compared across commits BY NAME — rename one only with
+/// an EXPERIMENTS.md note mapping old to new ("bench schema v2" there
+/// records the v1 -> v2 renames). tools/bench_baseline.sh assembles the
+/// per-binary documents into the committed BENCH_*.json baseline.
+/// Without the flag everything is a no-op.
+class BenchJson {
+ public:
+  BenchJson(std::string bench, int argc, char** argv)
+      : bench_(std::move(bench)) {
+    for (int i = 1; i + 1 < argc; ++i)
+      if (std::string(argv[i]) == "--bench-json") path_ = argv[i + 1];
+  }
+  ~BenchJson() {
+    if (path_.empty()) return;
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return;
+    }
+    out << "{\n  \"schema\": \"dityco-bench-v2\",\n"
+        << "  \"schema_version\": 2,\n"
+        << "  \"bench\": \"" << bench_ << "\",\n  \"sections\": [\n";
+    for (std::size_t i = 0; i < sections_.size(); ++i)
+      out << sections_[i] << (i + 1 < sections_.size() ? ",\n" : "\n");
+    out << "  ]\n}\n";
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// One measured section: `run_us` holds one duration per repetition
+  /// of a workload of `ops_per_run` operations. Percentiles are over
+  /// the per-operation latencies run_us[i] / ops_per_run (a single
+  /// deterministic sim run yields p50 == p99 == the mean, by design).
+  void section(const std::string& name, const std::string& unit,
+               double ops_per_run, std::vector<double> run_us) {
+    if (path_.empty() || run_us.empty() || ops_per_run <= 0) return;
+    std::vector<double> per_op;
+    double total = 0;
+    per_op.reserve(run_us.size());
+    for (double us : run_us) {
+      total += us;
+      per_op.push_back(us / ops_per_run);
+    }
+    std::sort(per_op.begin(), per_op.end());
+    const auto pct = [&](double q) {
+      const auto idx =
+          static_cast<std::size_t>(q * static_cast<double>(per_op.size()));
+      return per_op[std::min(idx, per_op.size() - 1)];
+    };
+    const double ops = ops_per_run * static_cast<double>(run_us.size());
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"name\": \"%s\", \"unit\": \"%s\", \"ops_per_run\": %.0f,"
+        " \"runs\": %zu, \"total_us\": %.2f, \"msgs_per_sec\": %.1f,"
+        " \"p50_us\": %.3f, \"p99_us\": %.3f}",
+        name.c_str(), unit.c_str(), ops_per_run, run_us.size(), total,
+        total > 0 ? ops / (total / 1e6) : 0.0, pct(0.50), pct(0.99));
+    sections_.emplace_back(buf);
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<std::string> sections_;
 };
 
 /// `--monitor <port>` support: attach TyCOmon to each measured network so

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <map>
 #include <stdexcept>
 #include <thread>
@@ -51,6 +52,12 @@ void Network::enable_tracing(std::size_t capacity, std::uint64_t sample_every,
   sample_seed_ = sample_seed;
   for (auto& n : nodes_)
     n->enable_tracing(capacity, sample_every, sample_seed);
+  // Socket-level hops record into transport-owned rings with the same
+  // sampling, so one trace id lines up from site to wire to peer.
+  for (net::TcpTransport* t : tcp_parts()) {
+    t->enable_trace(capacity, sample_every, sample_seed);
+    if (flight_) t->set_trace_record_all(true);
+  }
 }
 
 void Network::enable_flight(const obs::FlightPolicy& policy) {
@@ -62,7 +69,8 @@ void Network::enable_flight(const obs::FlightPolicy& policy) {
     obs::FlightRecorder* f = flight_.get();
     flight_reg_ = metrics_->add_collector([f](obs::Collector& c) {
       using R = obs::FlightRecorder::Reason;
-      for (R r : {R::kSlow, R::kError, R::kStarved, R::kRelAnomaly})
+      for (R r : {R::kSlow, R::kError, R::kStarved, R::kRelAnomaly,
+                  R::kNetwork})
         c.counter(std::string("flight_promoted{reason=\"") +
                       obs::FlightRecorder::reason_name(r) + "\"}",
                   f->promoted_count(r));
@@ -75,6 +83,35 @@ void Network::enable_flight(const obs::FlightPolicy& policy) {
   }
   flight_->configure(policy);
   for (auto& n : nodes_) n->set_flight(flight_.get());
+  for (net::TcpTransport* t : tcp_parts()) wire_tcp_flight(*t);
+}
+
+std::vector<net::TcpTransport*> Network::tcp_parts() const {
+  std::vector<net::TcpTransport*> out;
+  if (!transport_) return out;
+  if (auto* t = dynamic_cast<net::TcpTransport*>(transport_.get())) {
+    out.push_back(t);
+  } else if (auto* m =
+                 dynamic_cast<net::TcpMeshTransport*>(transport_.get())) {
+    for (std::size_t i = 0; i < m->parts_count(); ++i)
+      out.push_back(&m->part(i));
+  }
+  return out;
+}
+
+void Network::wire_tcp_flight(net::TcpTransport& t) {
+  // The recorder needs every traced socket hop available for promotion,
+  // not just the 1-in-N sampled set; /trace re-filters (collect_traces).
+  t.set_trace_record_all(true);
+  flight_->attach_ring(&t.trace_ring());
+  obs::FlightRecorder* f = flight_.get();
+  // Hook runs on the I/O thread under the transport lock; promote() only
+  // takes the recorder's own mutex and never calls back into the
+  // transport, so the lock order is one-way.
+  t.set_peer_event_hook([f](net::TcpTransport::PeerEvent, std::uint32_t,
+                            std::uint64_t trace_id) {
+    f->promote(trace_id, obs::FlightRecorder::Reason::kNetwork);
+  });
 }
 
 void Network::enable_profiling(std::uint64_t period) {
@@ -154,6 +191,9 @@ std::uint16_t Network::start_monitor(std::uint16_t port,
   srv->route("/healthz", [this] {
     return Resp{200, "application/json", health_json()};
   });
+  srv->route("/peers", [this] {
+    return Resp{200, "application/json", peers_json()};
+  });
   // The flight buffer and the profiler tables are mutex/atomic-guarded,
   // so both endpoints are safe mid-run.
   srv->route("/flight", [this] {
@@ -164,7 +204,64 @@ std::uint16_t Network::start_monitor(std::uint16_t port,
   });
   if (srv->start(port, bind_addr) == 0) return 0;
   monitor_ = std::move(srv);
+  // A transport built before the monitor (late start_monitor) has been
+  // gossiping monitor_port 0; publish the real port to connected peers.
+  if (auto* t = dynamic_cast<net::TcpTransport*>(transport_.get()))
+    t->set_monitor_port(monitor_->port());
   return monitor_->port();
+}
+
+namespace {
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+}  // namespace
+
+std::string Network::peers_json() const {
+  std::string out = "{\"self\":{";
+  const std::uint32_t self_node =
+      cfg_.transport == TransportKind::kTcp && cfg_.tcp.multiprocess
+          ? cfg_.tcp.self
+          : 0;
+  out += "\"node\":" + std::to_string(self_node);
+  net::TcpTransport* tcp = nullptr;
+  // Never force the lazy transport factory from a scrape: building it
+  // early would make a later add_node() throw.
+  for (net::TcpTransport* t : tcp_parts())
+    if (t->config().self == self_node) tcp = t;
+  if (tcp)
+    out += ",\"hostport\":\"" + obs::json_escape(tcp->advertised_hostport()) +
+           "\"";
+  out += ",\"monitor\":" + std::to_string(monitor_ ? monitor_->port() : 0);
+  out += "},\"peers\":[";
+  if (tcp) {
+    bool first = true;
+    for (const auto& pi : tcp->peer_info()) {
+      if (!first) out += ",";
+      first = false;
+      const char* state = pi.dead          ? "dead"
+                          : pi.suspected   ? "suspected"
+                          : pi.connected   ? "connected"
+                          : pi.connecting  ? "connecting"
+                                           : "idle";
+      out += "{\"node\":" + std::to_string(pi.node);
+      out += ",\"hostport\":\"" + obs::json_escape(pi.hostport) + "\"";
+      out += ",\"monitor\":" + std::to_string(pi.monitor_port);
+      out += ",\"state\":\"" + std::string(state) + "\"";
+      out += ",\"phi\":" + fmt_double(pi.phi);
+      out += ",\"last_heard_age_ms\":" + fmt_double(pi.last_heard_age_ms);
+      out += ",\"queue_bytes\":" + std::to_string(pi.queue_bytes);
+      out += ",\"queued_frames\":" + std::to_string(pi.queued_frames);
+      out += ",\"reconnects\":" + std::to_string(pi.reconnects);
+      out += ",\"backoff_ms\":" + std::to_string(pi.backoff_ms);
+      out += ",\"rtt_us\":" + std::to_string(pi.last_rtt_us);
+      out += "}";
+    }
+  }
+  out += "]}";
+  return out;
 }
 
 void Network::stop_monitor() { monitor_.reset(); }
@@ -225,7 +322,29 @@ std::string Network::health_json() const {
       out += "}";
     }
   }
-  out += "]}";
+  out += "]";
+  // Per-peer transport state (the failure detector's live view): only on
+  // TCP networks; peer_info() takes the transport lock briefly and is
+  // safe mid-run. On an in-process mesh, part 0's view stands in.
+  const std::vector<net::TcpTransport*> parts = tcp_parts();
+  if (!parts.empty()) {
+    out += ",\"peers\":[";
+    bool pfirst = true;
+    for (const auto& pi : parts.front()->peer_info()) {
+      if (!pfirst) out += ",";
+      pfirst = false;
+      out += "{\"node\":" + std::to_string(pi.node);
+      out += ",\"phi\":" + fmt_double(pi.phi);
+      out += ",\"last_heard_age_ms\":" + fmt_double(pi.last_heard_age_ms);
+      out += ",\"queue_bytes\":" + std::to_string(pi.queue_bytes);
+      out += ",\"reconnects\":" + std::to_string(pi.reconnects);
+      out += ",\"dead\":";
+      out += pi.dead ? "true" : "false";
+      out += "}";
+    }
+    out += "]";
+  }
+  out += "}";
   return out;
 }
 
@@ -265,11 +384,41 @@ std::vector<obs::ThreadTrace> Network::collect_traces() const {
       out.push_back(std::move(tt));
     }
   }
+  // Socket-level rings: one "tcp" line per endpoint, under the owning
+  // node's process group.
+  for (net::TcpTransport* t : tcp_parts()) {
+    if (!t->trace_ring().enabled()) continue;
+    obs::ThreadTrace tt;
+    tt.name = "node" + std::to_string(t->config().self) + "/tcp";
+    tt.pid = t->config().self;
+    tt.tid = obs::kTcpSite;
+    tt.events = t->trace_ring().snapshot();
+    if (refilter)
+      std::erase_if(tt.events, [this](const obs::TraceEvent& e) {
+        return e.trace_id != 0 &&
+               !obs::trace_id_sampled(e.trace_id, sample_every_,
+                                      sample_seed_);
+      });
+    out.push_back(std::move(tt));
+  }
   return out;
 }
 
 std::string Network::trace_json() const {
-  return obs::chrome_trace_json(collect_traces());
+  // Anchor the steady-clock timeline to the wall clock at export time so
+  // a fleet aggregator can rebase documents from different processes
+  // onto one axis (ExportMeta in obs/export.hpp). Meaningless under the
+  // sim driver's virtual time, but harmless — aggregation targets real
+  // multiprocess runs.
+  obs::ExportMeta meta;
+  meta.has_anchor = true;
+  meta.node = nodes_.empty() ? 0 : nodes_.front()->id();
+  meta.steady_now_ns = obs::trace_now_ns();
+  meta.wall_now_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  return obs::chrome_trace_json(collect_traces(), meta);
 }
 
 Site& Network::add_site(std::size_t node_idx, const std::string& name) {
@@ -317,6 +466,9 @@ net::Transport& Network::transport() {
       transport_ = std::make_unique<net::SimTransport>(nodes_.size(),
                                                        cfg_.link);
     } else if (cfg_.transport == TransportKind::kTcp) {
+      // A monitor started before the transport (tycod's order) rides in
+      // the hello/gossip frames so peers can federate scrapes.
+      if (monitor_) cfg_.tcp.monitor_port = monitor_->port();
       if (cfg_.tcp.multiprocess) {
         auto t = std::make_unique<net::TcpTransport>(cfg_.tcp);
         // A confirmed-dead peer becomes a PEER-DOWN packet in our inbox,
@@ -324,11 +476,20 @@ net::Transport& Network::transport() {
         t->set_death_frame(
             [](std::uint32_t dead) { return make_peer_down(dead); });
         register_tcp_metrics(*t, "self");
+        if (trace_capacity_ > 0)
+          t->enable_trace(trace_capacity_, sample_every_, sample_seed_);
+        if (flight_) wire_tcp_flight(*t);
         transport_ = std::move(t);
       } else {
         auto mesh =
             std::make_unique<net::TcpMeshTransport>(nodes_.size(), cfg_.tcp);
         if (mesh->parts_count() > 0) register_tcp_metrics(mesh->part(0), "0");
+        for (std::size_t i = 0; i < mesh->parts_count(); ++i) {
+          if (trace_capacity_ > 0)
+            mesh->part(i).enable_trace(trace_capacity_, sample_every_,
+                                       sample_seed_);
+          if (flight_) wire_tcp_flight(mesh->part(i));
+        }
         transport_ = std::move(mesh);
       }
     } else {
@@ -379,6 +540,28 @@ void Network::register_tcp_metrics(net::TcpTransport& t,
     c.gauge("tcp_heartbeat_rtt_us" + l,
             static_cast<std::int64_t>(
                 s.last_rtt_us.load(std::memory_order_relaxed)));
+    // Path-telemetry distributions: where cross-node latency went.
+    c.histogram("tcp_rtt_us" + l, s.rtt_us.snapshot());
+    c.histogram("tcp_send_queue_bytes" + l, s.send_queue_bytes.snapshot());
+    c.histogram("tcp_reconnect_backoff_ms" + l,
+                s.reconnect_backoff_ms.snapshot());
+    // Per-peer series (peer_info takes the transport lock briefly). Phi
+    // is exported milli-scaled: the registry's gauges are integers and
+    // the actionable range is ~0.5..12.
+    for (const auto& pi : t.peer_info()) {
+      const std::string pl = "{transport=\"" + label + "\",peer=\"" +
+                             std::to_string(pi.node) + "\"}";
+      c.gauge("tcp_peer_phi_milli" + pl,
+              static_cast<std::int64_t>(pi.phi * 1000.0));
+      c.gauge("tcp_peer_last_heard_age_ms" + pl,
+              static_cast<std::int64_t>(pi.last_heard_age_ms));
+      c.gauge("tcp_peer_queue_bytes" + pl,
+              static_cast<std::int64_t>(pi.queue_bytes));
+      c.gauge("tcp_peer_backoff_ms" + pl,
+              static_cast<std::int64_t>(pi.backoff_ms));
+      c.counter("tcp_peer_reconnects" + pl, pi.reconnects);
+      c.histogram("tcp_peer_rtt_us" + pl, pi.rtt_us);
+    }
   });
 }
 

@@ -214,9 +214,18 @@ class Network {
     return monitor_ ? monitor_->port() : 0;
   }
 
-  /// The /healthz payload: liveness + per-site queue/trace state. Public
-  /// for tests and tools; always safe to call.
+  /// The /healthz payload: liveness + per-site queue/trace state (plus,
+  /// on a TCP network, per-peer transport state). Public for tests and
+  /// tools; always safe to call.
   std::string health_json() const;
+
+  /// The /peers payload: this node's identity (node id, advertised
+  /// address, monitor port) plus every known peer's transport state —
+  /// gossip view, phi, last-heard age, queue depth, reconnects, RTT and
+  /// the peer's gossiped TyCOmon port. A fleet aggregator walks these
+  /// monitor ports transitively to discover every node from one seed
+  /// (obs/fleet.hpp). Empty peer list on non-TCP networks.
+  std::string peers_json() const;
 
   /// Merge every enabled ring into per-thread event lists (one per site,
   /// one per node daemon). Call after run(); rings are left intact.
@@ -236,6 +245,13 @@ class Network {
   std::size_t gc_pass(bool final, bool resend = false);
   /// Publish a TcpTransport's counters/gauges into the registry.
   void register_tcp_metrics(net::TcpTransport& t, const std::string& label);
+  /// The TCP endpoints already constructed, without forcing the lazy
+  /// transport factory (safe to call before add_node()): the single
+  /// multiprocess transport, or every part of an in-process mesh.
+  std::vector<net::TcpTransport*> tcp_parts() const;
+  /// Attach a transport's ring to the flight recorder, switch it to
+  /// record-all, and promote reconnect/peer-death events as kNetwork.
+  void wire_tcp_flight(net::TcpTransport& t);
   /// The sequential pump loop: round-robin sites until quiescent (with
   /// cfg.gc, quiescence triggers collection passes until no RELs flow).
   void sequential_drain(net::Transport& t, Result& res);

@@ -99,6 +99,25 @@ sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
   return addr;
 }
 
+// Peek at a daemon packet's v2 trace header without decoding it. This
+// mirrors core/wire.hpp — which net/ cannot include (packets are opaque
+// at this layer) — so the socket hops of a traced operation carry the
+// same id and sampling decision as every other hop.
+constexpr std::uint8_t kPeekTraceFlag = 0x80;
+constexpr std::uint8_t kPeekSampledFlag = 0x40;
+
+std::uint64_t peek_trace_id(const std::vector<std::uint8_t>& b) {
+  if (b.size() < 13 || !(b[0] & kPeekTraceFlag)) return 0;
+  std::uint64_t id;
+  std::memcpy(&id, b.data() + 5, sizeof id);
+  return id;
+}
+
+bool peek_sampled(const std::vector<std::uint8_t>& b) {
+  // v1 packets (no trace header) count as sampled, like packet_sampled.
+  return b.empty() || !(b[0] & kPeekTraceFlag) || (b[0] & kPeekSampledFlag);
+}
+
 }  // namespace
 
 // -- TcpTransport -----------------------------------------------------
@@ -222,6 +241,58 @@ std::vector<std::uint32_t> TcpTransport::dead_peers() const {
   return out;
 }
 
+std::vector<TcpTransport::PeerInfo> TcpTransport::peer_info() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const double now = now_ms();
+  std::vector<PeerInfo> out;
+  out.reserve(peers_.size());
+  for (const auto& [node, p] : peers_) {
+    PeerInfo pi;
+    pi.node = node;
+    pi.hostport = p.hostport;
+    pi.monitor_port = p.monitor_port;
+    pi.connected = p.fd >= 0 && !p.connecting;
+    pi.connecting = p.connecting;
+    pi.suspected = p.suspect_since_ms >= 0;
+    pi.dead = p.dead;
+    pi.phi = p.detector.started() ? p.detector.phi(now) : 0;
+    pi.last_heard_age_ms = p.last_heard_ms >= 0 ? now - p.last_heard_ms : -1;
+    pi.queue_bytes = p.outbuf.size() - p.wr_off;
+    pi.queued_frames = p.queued_frames;
+    pi.reconnects = p.reconnects;
+    pi.backoff_ms = p.backoff_ms;
+    pi.last_rtt_us = p.last_rtt_us;
+    pi.rtt_us = p.rtt_hist.snapshot();
+    out.push_back(std::move(pi));
+  }
+  return out;
+}
+
+void TcpTransport::set_monitor_port(std::uint16_t port) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    cfg_.monitor_port = port;
+    // Re-gossip so already-connected peers learn the (possibly late-
+    // bound) monitor port without waiting for new address traffic.
+    broadcast_peers_locked();
+  }
+  const char b = 1;
+  [[maybe_unused]] ssize_t rc = ::write(wake_w_, &b, 1);
+}
+
+void TcpTransport::enable_trace(std::size_t capacity,
+                                std::uint64_t sample_every,
+                                std::uint64_t sample_seed) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ring_.enable(capacity, cfg_.self, obs::kTcpSite);
+  ring_.set_sampling(sample_every, sample_seed);
+}
+
+void TcpTransport::set_trace_record_all(bool on) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ring_.set_record_all(on);
+}
+
 void TcpTransport::send(Packet p, double /*now_us: wall clock rules*/) {
   if (stop_.load(std::memory_order_relaxed)) return;
   const std::size_t wire = p.bytes.size();
@@ -231,6 +302,9 @@ void TcpTransport::send(Packet p, double /*now_us: wall clock rules*/) {
     std::lock_guard<std::mutex> lk(mu_);
     packets_out_.fetch_add(1, std::memory_order_relaxed);
     bytes_out_.fetch_add(wire, std::memory_order_relaxed);
+    if (ring_.should_record(peek_sampled(p.bytes)))
+      ring_.record(obs::EventType::kTcpSend, peek_trace_id(p.bytes),
+                   p.dst_node);
     inbox_.push_back(std::move(p));
     return;
   }
@@ -279,6 +353,11 @@ void TcpTransport::send(Packet p, double /*now_us: wall clock rules*/) {
   peer.outbuf.append(reinterpret_cast<const char*>(frame.data()),
                      frame.size());
   ++peer.queued_frames;
+  stats_.send_queue_bytes.observe(
+      static_cast<double>(peer.outbuf.size() - peer.wr_off));
+  if (ring_.should_record(peek_sampled(p.bytes)))
+    ring_.record(obs::EventType::kTcpSend, peek_trace_id(p.bytes),
+                 p.dst_node);
   packets_out_.fetch_add(1, std::memory_order_relaxed);
   bytes_out_.fetch_add(wire, std::memory_order_relaxed);
   stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
@@ -292,6 +371,9 @@ bool TcpTransport::recv(std::uint32_t node, Packet& out, double /*now_us*/) {
   if (node != cfg_.self || inbox_.empty()) return false;
   out = std::move(inbox_.front());
   inbox_.pop_front();
+  if (ring_.should_record(peek_sampled(out.bytes)))
+    ring_.record(obs::EventType::kTcpRecv, peek_trace_id(out.bytes),
+                 out.src_node);
   return true;
 }
 
@@ -350,8 +432,18 @@ void TcpTransport::start_connect(std::uint32_t node, Peer& p, double now) {
 
 void TcpTransport::finish_connect(std::uint32_t node, Peer& p, double now) {
   p.connecting = false;
-  if (p.ever_connected)
+  if (p.ever_connected) {
     stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
+    ++p.reconnects;
+    // A reconnect is a path anomaly worth keeping: stamp the trace event
+    // with a fresh id so a flight recorder can promote exactly it.
+    if (ring_.enabled() || peer_event_hook_) {
+      const std::uint64_t id = obs::next_trace_id();
+      if (ring_.enabled())
+        ring_.record(obs::EventType::kTcpReconnect, id, node);
+      if (peer_event_hook_) peer_event_hook_(PeerEvent::kReconnect, node, id);
+    }
+  }
   stats_.connects.fetch_add(1, std::memory_order_relaxed);
   p.ever_connected = true;
   p.demand_since_ms = -1;
@@ -365,11 +457,11 @@ void TcpTransport::finish_connect(std::uint32_t node, Peer& p, double now) {
   hello.u8(static_cast<std::uint8_t>(FrameKind::kHello));
   hello.u32(cfg_.self);
   hello.u16(port_);
+  hello.u16(cfg_.monitor_port);
   const auto frame = encode_frame(hello.take());
   p.outbuf.insert(0, reinterpret_cast<const char*>(frame.data()),
                   frame.size());
   p.next_hb_ms = now + static_cast<double>(cfg_.heartbeat_ms);
-  (void)node;
 }
 
 void TcpTransport::fail_connect(std::uint32_t node, Peer& p, double now) {
@@ -386,6 +478,7 @@ void TcpTransport::fail_connect(std::uint32_t node, Peer& p, double now) {
   p.backoff_ms = p.backoff_ms == 0
                      ? cfg_.backoff_min_ms
                      : std::min(p.backoff_ms * 2, cfg_.backoff_max_ms);
+  stats_.reconnect_backoff_ms.observe(static_cast<double>(p.backoff_ms));
   rng_ ^= rng_ << 13;
   rng_ ^= rng_ >> 7;
   rng_ ^= rng_ << 17;
@@ -399,6 +492,7 @@ void TcpTransport::feed_liveness(std::uint32_t node, double now) {
   if (it == peers_.end()) return;
   it->second.detector.heartbeat(now);
   it->second.suspect_since_ms = -1;
+  it->second.last_heard_ms = now;
 }
 
 void TcpTransport::mark_dead(std::uint32_t node, Peer& p) {
@@ -420,6 +514,12 @@ void TcpTransport::mark_dead(std::uint32_t node, Peer& p) {
     }
   }
   stats_.peers_dead.fetch_add(1, std::memory_order_relaxed);
+  if (ring_.enabled() || peer_event_hook_) {
+    const std::uint64_t id = obs::next_trace_id();
+    if (ring_.enabled())
+      ring_.record(obs::EventType::kTcpPeerDead, id, node);
+    if (peer_event_hook_) peer_event_hook_(PeerEvent::kDead, node, id);
+  }
   if (death_frame_) {
     Packet obit;
     obit.src_node = node;
@@ -474,6 +574,8 @@ bool TcpTransport::handle_payload(int fd, std::uint32_t tagged_node,
     case FrameKind::kHello: {
       const std::uint32_t node = r.u32();
       const std::uint16_t lport = r.u16();
+      // Monitor port is an additive field: old hellos simply end here.
+      const std::uint16_t mport = r.remaining() >= 2 ? r.u16() : 0;
       auto in = inbound_.find(fd);
       if (in != inbound_.end()) in->second.node = node;
       Peer& p = peers_[node];
@@ -498,6 +600,7 @@ bool TcpTransport::handle_payload(int fd, std::uint32_t tagged_node,
         p.hostport = std::string(ip) + ":" + std::to_string(lport);
         broadcast_peers_locked();
       }
+      if (mport != 0) p.monitor_port = mport;
       feed_liveness(node, now);
       return true;
     }
@@ -543,13 +646,22 @@ bool TcpTransport::handle_payload(int fd, std::uint32_t tagged_node,
       return true;
     }
     case FrameKind::kHeartbeatAck: {
-      const std::uint32_t node = r.u32();
+      r.u32();  // our own node id — the ack echoes our heartbeat body
       r.u64();  // seq
       const std::uint64_t sent_us = r.u64();
       const std::uint64_t rtt = now_us() - sent_us;
       stats_.last_rtt_us.store(rtt, std::memory_order_relaxed);
+      stats_.rtt_us.observe(static_cast<double>(rtt));
       stats_.heartbeats_acked.fetch_add(1, std::memory_order_relaxed);
-      feed_liveness(node, now);
+      // The body names us, not the responder: attribute the RTT to
+      // whichever peer owns the connection the echo came back on.
+      for (auto& [peer_node, p] : peers_) {
+        if (p.fd != fd) continue;
+        p.last_rtt_us = rtt;
+        p.rtt_hist.observe(static_cast<double>(rtt));
+        feed_liveness(peer_node, now);
+        break;
+      }
       return true;
     }
     case FrameKind::kPeers: {
@@ -558,12 +670,14 @@ bool TcpTransport::handle_payload(int fd, std::uint32_t tagged_node,
       for (std::uint32_t i = 0; i < n; ++i) {
         const std::uint32_t node = r.u32();
         const std::string hp = r.str();
+        const std::uint16_t mport = r.remaining() >= 2 ? r.u16() : 0;
         if (node == cfg_.self) continue;
         Peer& p = peers_[node];
         if (p.hostport.empty() && !hp.empty()) {
           p.hostport = hp;
           changed = true;
         }
+        if (mport != 0) p.monitor_port = mport;
       }
       if (tagged_node != kUnknownNode) feed_liveness(tagged_node, now);
       (void)changed;
@@ -600,10 +714,12 @@ void TcpTransport::broadcast_peers_locked() {
   w.u32(n);
   w.u32(cfg_.self);
   w.str(advertised_hostport());
+  w.u16(cfg_.monitor_port);
   for (const auto& [node, p] : peers_)
     if (!p.hostport.empty()) {
       w.u32(node);
       w.str(p.hostport);
+      w.u16(p.monitor_port);
     }
   const auto body = w.take();
   for (auto& [node, p] : peers_)

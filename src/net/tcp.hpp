@@ -47,6 +47,8 @@
 
 #include "net/failure.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dityco::net {
 
@@ -54,11 +56,13 @@ namespace dityco::net {
 
 /// Wire frame kinds (the u8 after the length prefix).
 enum class FrameKind : std::uint8_t {
-  kHello = 1,      // [node u32][listen_port u16] — identity + reach-back
+  kHello = 1,      // [node u32][listen_port u16][monitor_port u16] —
+                   // identity + reach-back + TyCOmon port (0 = none)
   kData = 2,       // [src u32][dst u32][daemon packet bytes]
   kHeartbeat = 3,  // [node u32][seq u64][send_us u64]
   kHeartbeatAck = 4,  // echo of a heartbeat body
-  kPeers = 5,      // [n u32] x ([node u32][host:port str]) — address gossip
+  kPeers = 5,      // [n u32] x ([node u32][host:port str][monitor u16]) —
+                   // address + monitor-port gossip
 };
 
 /// Frames larger than this are a protocol error (guards the length
@@ -153,6 +157,11 @@ struct TcpConfig {
   /// (tycod / --tcp / --join); the Network then builds one single-node
   /// TcpTransport instead of an in-process loopback mesh.
   bool multiprocess = false;
+
+  /// This node's TyCOmon HTTP port, gossiped to peers (kHello/kPeers) so
+  /// a fleet aggregator can discover every node's monitor from one seed
+  /// (/peers). 0 = no monitor; update late with set_monitor_port().
+  std::uint16_t monitor_port = 0;
 };
 
 class TcpTransport : public Transport {
@@ -176,6 +185,37 @@ class TcpTransport : public Transport {
     std::atomic<std::uint64_t> peers_dead{0};
     /// Last heartbeat round trip, microseconds (any peer).
     std::atomic<std::uint64_t> last_rtt_us{0};
+    /// Path telemetry (lock-free histograms; safe to snapshot any time):
+    /// heartbeat round trips across all peers, the outbound queue depth
+    /// seen by each send(), and the backoff picked by each failed
+    /// connect — the three distributions that explain where cross-node
+    /// latency went (docs/OBSERVABILITY.md).
+    obs::Histogram rtt_us{obs::Histogram::default_bounds()};
+    obs::Histogram send_queue_bytes{
+        obs::Histogram::exponential_bounds(64.0, 4.0, 12)};
+    obs::Histogram reconnect_backoff_ms{
+        obs::Histogram::exponential_bounds(1.0, 2.0, 12)};
+  };
+
+  /// One peer's transport state, snapshotted under the lock — the
+  /// source for TyCOmon's /peers endpoint, the /healthz peer block and
+  /// the per-peer metric labels.
+  struct PeerInfo {
+    std::uint32_t node = 0;
+    std::string hostport;             // empty until learned
+    std::uint16_t monitor_port = 0;   // peer's TyCOmon port (0 = unknown)
+    bool connected = false;
+    bool connecting = false;
+    bool suspected = false;
+    bool dead = false;
+    double phi = 0;                   // failure-detector suspicion, now
+    double last_heard_age_ms = -1;    // since any frame from the peer
+    std::uint64_t queue_bytes = 0;    // outbound bytes not yet written
+    std::uint64_t queued_frames = 0;
+    std::uint64_t reconnects = 0;
+    std::uint64_t backoff_ms = 0;     // current reconnect backoff
+    std::uint64_t last_rtt_us = 0;    // last heartbeat round trip
+    obs::Histogram::Snapshot rtt_us;  // per-peer heartbeat RTTs
   };
 
   /// Binds the listen socket (synchronously, so port() is valid on
@@ -213,6 +253,38 @@ class TcpTransport : public Transport {
   std::size_t queued_bytes() const;
   bool peer_dead(std::uint32_t node) const;
   std::vector<std::uint32_t> dead_peers() const;
+  /// Every known peer's transport state (see PeerInfo). Thread-safe;
+  /// phi/ages are evaluated against the call's clock.
+  std::vector<PeerInfo> peer_info() const;
+
+  /// Publish (or change) this node's TyCOmon port: updates the config
+  /// and gossips the new value to every connected peer. Thread-safe.
+  void set_monitor_port(std::uint16_t port);
+
+  /// Record socket-level trace events (tcp-send/tcp-recv on the daemon
+  /// pump paths, tcp-reconnect/tcp-peer-dead from the I/O loop) into a
+  /// transport-owned ring. All record sites hold mu_, so the ring's
+  /// single-producer contract holds even though two threads record.
+  /// Sampling mirrors the wire bit (kSampledFlag peeked from the packet
+  /// header), so a sampled operation is captured at the socket hop too.
+  void enable_trace(std::size_t capacity, std::uint64_t sample_every = 1,
+                    std::uint64_t sample_seed = 0);
+  /// Tail-retention support: record every traced hop regardless of the
+  /// wire sampling bit (obs/flight.hpp).
+  void set_trace_record_all(bool on);
+  const obs::TraceRing& trace_ring() const { return ring_; }
+
+  /// Path events worth promoting into a flight recorder.
+  enum class PeerEvent : std::uint8_t { kReconnect, kDead };
+  /// Called (with mu_ held — must not call back into the transport)
+  /// right after a reconnect or a confirmed peer death is recorded; the
+  /// trace id is the fresh id stamped on the ring event, so the hook can
+  /// promote exactly that event out of the ring.
+  void set_peer_event_hook(
+      std::function<void(PeerEvent, std::uint32_t, std::uint64_t)> f) {
+    std::lock_guard<std::mutex> lk(mu_);
+    peer_event_hook_ = std::move(f);
+  }
 
   /// Factory for the synthetic packet injected into the local inbox when
   /// a peer is confirmed dead (the node routes it like any delivery, so
@@ -250,6 +322,12 @@ class TcpTransport : public Transport {
     bool dead = false;
     std::uint64_t hb_seq = 0;
     double next_hb_ms = 0;
+    // Path telemetry (peer_info / per-peer metrics).
+    std::uint64_t reconnects = 0;
+    std::uint64_t last_rtt_us = 0;
+    double last_heard_ms = -1;       // transport clock, -1 = never
+    std::uint16_t monitor_port = 0;  // learned from hello/gossip
+    obs::Histogram rtt_hist{obs::Histogram::default_bounds()};
   };
   struct Inbound {
     FrameParser parser;
@@ -293,6 +371,9 @@ class TcpTransport : public Transport {
   std::map<int, Inbound> inbound_;
   std::deque<Packet> inbox_;
   std::function<std::vector<std::uint8_t>(std::uint32_t)> death_frame_;
+  std::function<void(PeerEvent, std::uint32_t, std::uint64_t)>
+      peer_event_hook_;
+  obs::TraceRing ring_;  // all record sites hold mu_ (single producer)
   std::uint64_t rng_ = 0x9e3779b97f4a7c15ull;  // jitter; I/O thread only
 
   std::atomic<bool> stop_{false};

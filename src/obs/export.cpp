@@ -26,6 +26,11 @@ struct FlowPoint {
 }  // namespace
 
 std::string chrome_trace_json(const std::vector<ThreadTrace>& traces) {
+  return chrome_trace_json(traces, ExportMeta{});
+}
+
+std::string chrome_trace_json(const std::vector<ThreadTrace>& traces,
+                              const ExportMeta& meta) {
   // Normalise timestamps so the timeline starts near zero.
   std::uint64_t base = UINT64_MAX;
   for (const auto& t : traces)
@@ -127,7 +132,16 @@ std::string chrome_trace_json(const std::vector<ThreadTrace>& traces) {
     }
   }
 
-  out += "],\"displayTimeUnit\":\"ms\"}";
+  out += "],\"displayTimeUnit\":\"ms\"";
+  if (meta.has_anchor) {
+    // ts values are (event_ts_ns - ts_base_ns)/1000; with the anchor a
+    // reader recovers wall time (see ExportMeta in export.hpp).
+    out += ",\"otherData\":{\"node\":" + std::to_string(meta.node) +
+           ",\"ts_base_ns\":" + std::to_string(base) +
+           ",\"steady_now_ns\":" + std::to_string(meta.steady_now_ns) +
+           ",\"wall_now_us\":" + std::to_string(meta.wall_now_us) + "}";
+  }
+  out += "}";
   return out;
 }
 

@@ -28,7 +28,25 @@ struct ThreadTrace {
   std::vector<TraceEvent> events;
 };
 
+/// Clock anchor for cross-process stitching. Trace timestamps are
+/// steady_clock, which is meaningless across OS processes; the anchor
+/// pairs "steady now" with "wall now" *at export time*, letting an
+/// aggregator (obs/fleet.hpp, tools/tycotop) rebase every node's events
+/// onto the shared wall clock:
+///   wall_us(event) = wall_now_us - (steady_now_ns - event_ts_ns)/1000.
+/// Exported as "otherData" next to ts_base_ns (the subtracted base), so
+/// a document alone still carries everything needed for the rebase.
+struct ExportMeta {
+  bool has_anchor = false;
+  std::uint32_t node = 0;          // this process's node id
+  std::uint64_t steady_now_ns = 0; // trace_now_ns() at export
+  std::uint64_t wall_now_us = 0;   // system_clock at the same instant
+};
+
 /// Render the merged timeline as a Chrome trace-event JSON document.
 std::string chrome_trace_json(const std::vector<ThreadTrace>& traces);
+/// Same, with a clock anchor in "otherData" for fleet-level stitching.
+std::string chrome_trace_json(const std::vector<ThreadTrace>& traces,
+                              const ExportMeta& meta);
 
 }  // namespace dityco::obs

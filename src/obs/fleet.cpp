@@ -1,0 +1,542 @@
+#include "obs/fleet.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+
+#include "obs/metrics.hpp"  // json_escape
+
+namespace dityco::obs::fleet {
+
+// -- tiny JSON reader ---------------------------------------------------
+
+double Json::num() const { return std::strtod(raw.c_str(), nullptr); }
+
+std::uint64_t Json::u64() const {
+  return std::strtoull(raw.c_str(), nullptr, 10);
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : fields)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double Json::num_or(const std::string& key, double def) const {
+  const Json* v = find(key);
+  return v && v->kind == Kind::kNumber ? v->num() : def;
+}
+
+std::uint64_t Json::u64_or(const std::string& key, std::uint64_t def) const {
+  const Json* v = find(key);
+  return v && v->kind == Kind::kNumber ? v->u64() : def;
+}
+
+std::string Json::str_or(const std::string& key,
+                         const std::string& def) const {
+  const Json* v = find(key);
+  return v && v->kind == Kind::kString ? v->raw : def;
+}
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  int depth = 0;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
+      ++p;
+  }
+
+  bool literal(const char* s) {
+    const std::size_t n = std::strlen(s);
+    if (static_cast<std::size_t>(end - p) < n || std::memcmp(p, s, n) != 0)
+      return false;
+    p += n;
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (p >= end || *p != '"') return false;
+    ++p;
+    out.clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        if (p + 1 >= end) return false;
+        ++p;
+        switch (*p) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            // Pass \uXXXX through literally: nothing we scrape emits
+            // unicode escapes for content we interpret.
+            if (end - p < 5) return false;
+            out += "\\u";
+            out.append(p + 1, 4);
+            p += 4;
+            break;
+          }
+          default: return false;
+        }
+        ++p;
+      } else {
+        out += *p++;
+      }
+    }
+    if (p >= end) return false;
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool value(Json& out) {
+    if (++depth > 64) return false;  // stack guard for hostile input
+    skip_ws();
+    if (p >= end) return false;
+    bool ok = false;
+    if (*p == '{') {
+      ++p;
+      out.kind = Json::Kind::kObject;
+      skip_ws();
+      if (p < end && *p == '}') {
+        ++p;
+        ok = true;
+      } else {
+        for (;;) {
+          std::string key;
+          skip_ws();
+          if (!string(key)) break;
+          skip_ws();
+          if (p >= end || *p != ':') break;
+          ++p;
+          Json v;
+          if (!value(v)) break;
+          out.fields.emplace_back(std::move(key), std::move(v));
+          skip_ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == '}') {
+            ++p;
+            ok = true;
+          }
+          break;
+        }
+      }
+    } else if (*p == '[') {
+      ++p;
+      out.kind = Json::Kind::kArray;
+      skip_ws();
+      if (p < end && *p == ']') {
+        ++p;
+        ok = true;
+      } else {
+        for (;;) {
+          Json v;
+          if (!value(v)) break;
+          out.items.push_back(std::move(v));
+          skip_ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == ']') {
+            ++p;
+            ok = true;
+          }
+          break;
+        }
+      }
+    } else if (*p == '"') {
+      out.kind = Json::Kind::kString;
+      ok = string(out.raw);
+    } else if (literal("true")) {
+      out.kind = Json::Kind::kBool;
+      out.boolean = true;
+      ok = true;
+    } else if (literal("false")) {
+      out.kind = Json::Kind::kBool;
+      out.boolean = false;
+      ok = true;
+    } else if (literal("null")) {
+      out.kind = Json::Kind::kNull;
+      ok = true;
+    } else {
+      const char* start = p;
+      if (p < end && (*p == '-' || *p == '+')) ++p;
+      while (p < end && (std::isdigit(static_cast<unsigned char>(*p)) ||
+                         *p == '.' || *p == 'e' || *p == 'E' || *p == '-' ||
+                         *p == '+'))
+        ++p;
+      if (p > start) {
+        out.kind = Json::Kind::kNumber;
+        out.raw.assign(start, p);
+        ok = true;
+      }
+    }
+    --depth;
+    return ok;
+  }
+};
+
+}  // namespace
+
+bool parse_json(const std::string& text, Json& out) {
+  Parser ps{text.data(), text.data() + text.size()};
+  if (!ps.value(out)) return false;
+  ps.skip_ws();
+  return ps.p == ps.end;
+}
+
+// -- HTTP ---------------------------------------------------------------
+
+bool parse_url(const std::string& url, std::string& host,
+               std::uint16_t& port) {
+  std::string rest = url;
+  const std::string scheme = "http://";
+  if (rest.rfind(scheme, 0) == 0) rest = rest.substr(scheme.size());
+  const auto slash = rest.find('/');
+  if (slash != std::string::npos) rest = rest.substr(0, slash);
+  const auto colon = rest.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= rest.size())
+    return false;
+  host = rest.substr(0, colon);
+  char* endp = nullptr;
+  const long v = std::strtol(rest.c_str() + colon + 1, &endp, 10);
+  if (endp == nullptr || *endp != '\0' || v <= 0 || v > 65535) return false;
+  port = static_cast<std::uint16_t>(v);
+  return true;
+}
+
+std::string http_get(const std::string& host, std::uint16_t port,
+                     const std::string& path, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return "";
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + path +
+                          " HTTP/1.0\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+  if (::send(fd, req.data(), req.size(), 0) !=
+      static_cast<ssize_t>(req.size())) {
+    ::close(fd);
+    return "";
+  }
+  std::string resp;
+  char buf[16384];
+  for (;;) {
+    pollfd pf{fd, POLLIN, 0};
+    const int rc = ::poll(&pf, 1, timeout_ms);
+    if (rc <= 0) break;  // timeout or error: return what we have
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (resp.compare(0, 5, "HTTP/") != 0) return "";
+  // Require a 2xx status.
+  const auto sp = resp.find(' ');
+  if (sp == std::string::npos || sp + 1 >= resp.size() ||
+      resp[sp + 1] != '2')
+    return "";
+  const auto hdr_end = resp.find("\r\n\r\n");
+  return hdr_end == std::string::npos ? "" : resp.substr(hdr_end + 4);
+}
+
+// -- discovery ------------------------------------------------------------
+
+namespace {
+
+std::string host_of(const std::string& hostport, const std::string& fallback) {
+  const auto colon = hostport.rfind(':');
+  if (colon == std::string::npos || colon == 0) return fallback;
+  return hostport.substr(0, colon);
+}
+
+}  // namespace
+
+std::vector<NodeEndpoint> discover(const std::string& seed_url) {
+  std::vector<NodeEndpoint> out;
+  std::string host;
+  std::uint16_t port = 0;
+  if (!parse_url(seed_url, host, port)) return out;
+
+  // (host, monitor-port) pairs queued for a /peers probe.
+  std::vector<std::pair<std::string, std::uint16_t>> todo{{host, port}};
+  std::set<std::pair<std::string, std::uint16_t>> seen{{host, port}};
+  std::set<std::uint32_t> known_nodes;
+
+  while (!todo.empty()) {
+    const auto [h, p] = todo.back();
+    todo.pop_back();
+    const std::string body = http_get(h, p, "/peers");
+    if (body.empty()) continue;
+    Json doc;
+    if (!parse_json(body, doc)) continue;
+
+    if (const Json* self = doc.find("self")) {
+      const auto node = static_cast<std::uint32_t>(self->u64_or("node", 0));
+      if (known_nodes.insert(node).second) {
+        NodeEndpoint ep;
+        ep.node = node;
+        ep.host = h;
+        ep.monitor = p;
+        ep.hostport = self->str_or("hostport");
+        out.push_back(std::move(ep));
+      }
+    }
+    const Json* peers = doc.find("peers");
+    if (!peers || peers->kind != Json::Kind::kArray) continue;
+    for (const Json& peer : peers->items) {
+      const auto mport =
+          static_cast<std::uint16_t>(peer.u64_or("monitor", 0));
+      if (mport == 0) continue;
+      // The peer's monitor listens where its transport does; fall back
+      // to the probed host for peers whose address is not yet gossiped.
+      const std::string mhost = host_of(peer.str_or("hostport"), h);
+      if (seen.insert({mhost, mport}).second) todo.push_back({mhost, mport});
+    }
+  }
+  return out;
+}
+
+// -- stitching ------------------------------------------------------------
+
+namespace {
+
+std::string fmt_ts(double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", us);
+  return buf;
+}
+
+}  // namespace
+
+MergedTrace merge_traces(const std::vector<std::string>& docs) {
+  MergedTrace merged;
+
+  struct Meta {
+    std::uint32_t pid;
+    std::string kind;  // "process_name" | "thread_name"
+    std::string name;
+    bool has_tid = false;
+    std::uint32_t tid = 0;
+  };
+  std::vector<Meta> metas;
+  std::set<std::pair<std::uint32_t, std::uint64_t>> meta_seen;
+
+  for (const std::string& text : docs) {
+    Json doc;
+    if (!parse_json(text, doc)) continue;
+    const Json* events = doc.find("traceEvents");
+    if (!events || events->kind != Json::Kind::kArray) continue;
+    ++merged.nodes;
+
+    // Clock anchor: the wall time of local ts 0 (see the file header of
+    // fleet.hpp). Unanchored documents keep their local base.
+    double offset_us = 0;
+    if (const Json* other = doc.find("otherData")) {
+      const std::uint64_t steady = other->u64_or("steady_now_ns", 0);
+      const std::uint64_t base = other->u64_or("ts_base_ns", 0);
+      const std::uint64_t wall = other->u64_or("wall_now_us", 0);
+      if (steady != 0 && wall != 0 && steady >= base) {
+        offset_us = static_cast<double>(wall) -
+                    static_cast<double>(steady - base) / 1000.0;
+        ++merged.anchored;
+      }
+    }
+
+    for (const Json& e : events->items) {
+      const std::string ph = e.str_or("ph");
+      const auto pid = static_cast<std::uint32_t>(e.u64_or("pid", 0));
+      const auto tid = static_cast<std::uint32_t>(e.u64_or("tid", 0));
+      if (ph == "M") {
+        // Dedup metadata across documents (every node names its own
+        // pid; a re-scrape must not emit it twice).
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(tid) << 1) |
+            (e.str_or("name") == "process_name" ? 0u : 1u);
+        if (!meta_seen.insert({pid, key}).second) continue;
+        Meta m;
+        m.pid = pid;
+        m.kind = e.str_or("name");
+        if (const Json* args = e.find("args")) m.name = args->str_or("name");
+        m.has_tid = e.find("tid") != nullptr;
+        m.tid = tid;
+        metas.push_back(std::move(m));
+        continue;
+      }
+      if (ph == "s" || ph == "t" || ph == "f") continue;  // regenerated
+      FleetEvent fe;
+      fe.ph = ph;
+      fe.name = e.str_or("name");
+      fe.cat = e.str_or("cat");
+      fe.pid = pid;
+      fe.tid = tid;
+      fe.ts_us = offset_us + e.num_or("ts", 0);
+      fe.trace_id = e.u64_or("id", 0);  // async b/e spans
+      if (const Json* args = e.find("args")) {
+        if (fe.trace_id == 0) fe.trace_id = args->u64_or("trace_id", 0);
+        fe.arg = args->u64_or("arg", args->u64_or("instructions", 0));
+      }
+      merged.events.push_back(std::move(fe));
+    }
+  }
+
+  // Rebase the fleet axis to its earliest event.
+  double base = 0;
+  bool have_base = false;
+  for (const FleetEvent& e : merged.events)
+    if (!have_base || e.ts_us < base) {
+      base = e.ts_us;
+      have_base = true;
+    }
+  for (FleetEvent& e : merged.events) e.ts_us -= base;
+
+  // Re-emit one Chrome trace document.
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& obj) {
+    if (!first) out += ",\n";
+    first = false;
+    out += obj;
+  };
+  for (const Meta& m : metas) {
+    std::string obj = "{\"ph\":\"M\",\"name\":\"" + json_escape(m.kind) +
+                      "\",\"pid\":" + std::to_string(m.pid);
+    if (m.has_tid) obj += ",\"tid\":" + std::to_string(m.tid);
+    obj += ",\"args\":{\"name\":\"" + json_escape(m.name) + "\"}}";
+    emit(obj);
+  }
+  struct FlowPoint {
+    double ts_us;
+    std::uint32_t pid, tid;
+  };
+  std::map<std::uint64_t, std::vector<FlowPoint>> flows;
+  for (const FleetEvent& e : merged.events) {
+    const std::string pidtid = "\"pid\":" + std::to_string(e.pid) +
+                               ",\"tid\":" + std::to_string(e.tid);
+    const std::string ts = fmt_ts(e.ts_us);
+    if (e.ph == "B") {
+      emit("{\"ph\":\"B\",\"name\":\"" + json_escape(e.name) +
+           "\",\"cat\":\"" + json_escape(e.cat) + "\"," + pidtid +
+           ",\"ts\":" + ts + "}");
+    } else if (e.ph == "E") {
+      emit("{\"ph\":\"E\"," + pidtid + ",\"ts\":" + ts +
+           ",\"args\":{\"instructions\":" + std::to_string(e.arg) + "}}");
+    } else if (e.ph == "b" || e.ph == "e") {
+      emit("{\"ph\":\"" + e.ph + "\",\"name\":\"" + json_escape(e.name) +
+           "\",\"cat\":\"" + json_escape(e.cat) +
+           "\",\"id\":" + std::to_string(e.trace_id) + "," + pidtid +
+           ",\"ts\":" + ts + ",\"args\":{\"arg\":" + std::to_string(e.arg) +
+           "}}");
+    } else {
+      emit("{\"ph\":\"i\",\"s\":\"t\",\"name\":\"" + json_escape(e.name) +
+           "\",\"cat\":\"" + json_escape(e.cat) + "\"," + pidtid +
+           ",\"ts\":" + ts + ",\"args\":{\"arg\":" + std::to_string(e.arg) +
+           ",\"trace_id\":" + std::to_string(e.trace_id) + "}}");
+    }
+    if (e.trace_id != 0)
+      flows[e.trace_id].push_back(FlowPoint{e.ts_us, e.pid, e.tid});
+  }
+  for (auto& [id, points] : flows) {
+    if (points.size() < 2) continue;
+    std::stable_sort(points.begin(), points.end(),
+                     [](const FlowPoint& a, const FlowPoint& b) {
+                       return a.ts_us < b.ts_us;
+                     });
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const FlowPoint& p = points[i];
+      const char* ph = i == 0 ? "s" : (i + 1 == points.size() ? "f" : "t");
+      std::string obj = "{\"ph\":\"";
+      obj += ph;
+      obj += "\",\"name\":\"flow\",\"cat\":\"mobility\",\"id\":" +
+             std::to_string(id) + ",\"pid\":" + std::to_string(p.pid) +
+             ",\"tid\":" + std::to_string(p.tid) +
+             ",\"ts\":" + fmt_ts(p.ts_us);
+      if (ph[0] == 'f') obj += ",\"bp\":\"e\"";
+      obj += "}";
+      emit(obj);
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  merged.json = std::move(out);
+  return merged;
+}
+
+std::string federate_metrics(
+    const std::vector<std::pair<std::uint32_t, std::string>>& texts) {
+  std::string out;
+  for (const auto& [node, body] : texts) {
+    const std::string label = "node=\"" + std::to_string(node) + "\"";
+    std::size_t pos = 0;
+    while (pos < body.size()) {
+      std::size_t nl = body.find('\n', pos);
+      if (nl == std::string::npos) nl = body.size();
+      std::string line = body.substr(pos, nl - pos);
+      pos = nl + 1;
+      if (line.empty() || line[0] == '#') {
+        out += line;
+        out += '\n';
+        continue;
+      }
+      const auto brace = line.find('{');
+      const auto space = line.find(' ');
+      if (brace != std::string::npos &&
+          (space == std::string::npos || brace < space)) {
+        line.insert(brace + 1, label + ",");
+      } else if (space != std::string::npos) {
+        line.insert(space, "{" + label + "}");
+      }
+      out += line;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string federate_metrics_json(
+    const std::vector<std::pair<std::uint32_t, std::string>>& docs) {
+  std::string out = "{\"nodes\":[";
+  bool first = true;
+  for (const auto& [node, body] : docs) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"node\":" + std::to_string(node) + ",\"metrics\":";
+    out += body.empty() ? "null" : body;
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace dityco::obs::fleet

@@ -1,0 +1,125 @@
+// Fleet-wide observability: discover every TyCOmon in a DiTyCO cluster
+// from one seed, scrape them all, and stitch the results together.
+//
+// Discovery rides the transport's own gossip: every node's TyCOmon
+// serves GET /peers — its node id, advertised address and monitor port
+// plus the same for every peer it knows (monitor ports travel in the
+// kHello/kPeers frames, net/tcp.hpp). discover() walks that graph
+// transitively, so one `--join`-style seed URL reaches the whole fleet.
+//
+// Trace stitching is the hard part: TraceRing timestamps are
+// steady_clock, which is meaningless across OS processes. Each node's
+// /trace document therefore carries a clock anchor in "otherData"
+// (obs::ExportMeta): the steady-clock and wall-clock readings taken at
+// the same instant, plus the base subtracted from every ts. merge()
+// rebases every event onto the shared wall clock
+//   wall_us(ev) = wall_now_us - (steady_now_ns - ts_base_ns)/1000 + ts
+// drops each node's local flow arrows, and regenerates s/t/f flow
+// chains globally — an id that appears on two nodes (a FETCH's request
+// and serve sides) becomes one arrow crossing process boundaries.
+//
+// Everything here is dependency-free (a hand-rolled blocking HTTP GET
+// and a small recursive-descent JSON reader) and synchronous: callers
+// are tools (tycotop, tycosh :fleet) and tests, not hot paths.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dityco::obs::fleet {
+
+// -- tiny JSON reader ---------------------------------------------------
+
+/// A parsed JSON value. Numbers keep their raw spelling so 64-bit
+/// nanosecond anchors survive the trip (doubles alone would round).
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string raw;  // number spelling, or string value
+  std::vector<Json> items;
+  std::vector<std::pair<std::string, Json>> fields;
+
+  double num() const;
+  std::uint64_t u64() const;
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+  /// Convenience: find(key)->num() with a default.
+  double num_or(const std::string& key, double def) const;
+  std::uint64_t u64_or(const std::string& key, std::uint64_t def) const;
+  std::string str_or(const std::string& key,
+                     const std::string& def = "") const;
+};
+
+/// Parse a complete JSON document. Returns false (out untouched beyond
+/// partial state) on malformed input.
+bool parse_json(const std::string& text, Json& out);
+
+// -- HTTP ---------------------------------------------------------------
+
+/// Blocking GET http://host:port/path (HTTP/1.0, read to EOF). Returns
+/// the response body, or empty on connect/read/status failure.
+std::string http_get(const std::string& host, std::uint16_t port,
+                     const std::string& path, int timeout_ms = 5000);
+
+/// Split "http://host:port[/...]" or bare "host:port" into host + port;
+/// returns false on malformed input.
+bool parse_url(const std::string& url, std::string& host,
+               std::uint16_t& port);
+
+// -- discovery ------------------------------------------------------------
+
+/// One node's monitor endpoint, as discovered via /peers.
+struct NodeEndpoint {
+  std::uint32_t node = 0;
+  std::string host;            // monitor host (from the transport address)
+  std::uint16_t monitor = 0;   // TyCOmon port
+  std::string hostport;        // transport address ("" for the seed self)
+};
+
+/// Walk /peers transitively from a seed monitor URL until no new
+/// monitors appear. Unreachable peers are skipped; the seed itself is
+/// always first when reachable. Returns empty on a dead seed.
+std::vector<NodeEndpoint> discover(const std::string& seed_url);
+
+// -- stitching ------------------------------------------------------------
+
+/// One event of the merged fleet timeline (exposed so tools can compute
+/// cross-process operation latency without re-parsing the JSON).
+struct FleetEvent {
+  std::string ph;        // B E i b e
+  std::string name;
+  std::string cat;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  double ts_us = 0;      // rebased onto the fleet-wide axis
+  std::uint64_t trace_id = 0;
+  std::uint64_t arg = 0;
+};
+
+struct MergedTrace {
+  std::string json;               // one Chrome trace-event document
+  std::vector<FleetEvent> events; // every event, rebased, in doc order
+  std::size_t nodes = 0;          // documents merged
+  std::size_t anchored = 0;       // documents that carried a clock anchor
+};
+
+/// Merge per-node /trace documents (see file header). Documents without
+/// an anchor keep their local time base (offset 0) — fine for a single
+/// process, skewed across several.
+MergedTrace merge_traces(const std::vector<std::string>& docs);
+
+/// Federate Prometheus text expositions: inject a node="N" label into
+/// every sample line and concatenate. Input: (node id, /metrics body).
+std::string federate_metrics(
+    const std::vector<std::pair<std::uint32_t, std::string>>& texts);
+
+/// Federate JSON expositions: {"nodes":[{"node":N,"metrics":<doc>}...]}.
+/// Bodies are embedded verbatim (they are already JSON).
+std::string federate_metrics_json(
+    const std::vector<std::pair<std::uint32_t, std::string>>& docs);
+
+}  // namespace dityco::obs::fleet

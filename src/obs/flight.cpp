@@ -10,6 +10,7 @@ const char* FlightRecorder::reason_name(Reason r) {
     case Reason::kError: return "error";
     case Reason::kStarved: return "starved";
     case Reason::kRelAnomaly: return "rel-anomaly";
+    case Reason::kNetwork: return "network";
   }
   return "?";
 }
@@ -124,6 +125,7 @@ bool FlightRecorder::promote_locked(std::uint64_t trace_id, Reason reason,
     case Reason::kError: ++promoted_error_; break;
     case Reason::kStarved: ++promoted_starved_; break;
     case Reason::kRelAnomaly: ++promoted_rel_; break;
+    case Reason::kNetwork: ++promoted_network_; break;
   }
   return true;
 }
@@ -139,6 +141,7 @@ std::uint64_t FlightRecorder::promoted_count(Reason r) const {
     case Reason::kError: return promoted_error_.value();
     case Reason::kStarved: return promoted_starved_.value();
     case Reason::kRelAnomaly: return promoted_rel_.value();
+    case Reason::kNetwork: return promoted_network_.value();
   }
   return 0;
 }

@@ -64,6 +64,7 @@ class FlightRecorder {
     kError,       // malformed packet / NS failure on this trace
     kStarved,     // marshalling shipped a zero-credit (weak) handle
     kRelAnomaly,  // owner saw a stale/duplicate REL for this trace
+    kNetwork,     // transport path event (peer reconnect / write-off)
   };
   static const char* reason_name(Reason r);
 
@@ -125,7 +126,8 @@ class FlightRecorder {
   std::deque<Entry> buffer_;
   std::unordered_set<std::uint64_t> promoted_ids_;
   Histogram latency_us_;  // completion latencies, policy input
-  Counter promoted_slow_, promoted_error_, promoted_starved_, promoted_rel_;
+  Counter promoted_slow_, promoted_error_, promoted_starved_, promoted_rel_,
+      promoted_network_;
   Counter completions_, evicted_, duplicates_, index_rebuilds_;
 };
 

@@ -26,6 +26,10 @@ const char* event_name(EventType t) {
     case EventType::kSliceEnd: return "run-slice";
     case EventType::kRelOut: return "REL-out";
     case EventType::kRelIn: return "REL-in";
+    case EventType::kTcpSend: return "tcp-send";
+    case EventType::kTcpRecv: return "tcp-recv";
+    case EventType::kTcpReconnect: return "tcp-reconnect";
+    case EventType::kTcpPeerDead: return "tcp-peer-dead";
   }
   return "?";
 }

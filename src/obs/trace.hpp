@@ -60,6 +60,10 @@ enum class EventType : std::uint8_t {
   kSliceEnd,      // run-slice finished         arg = instructions executed
   kRelOut,        // GC REL frame departure     arg = cumulative credit
   kRelIn,         // GC REL frame applied       arg = cumulative credit
+  kTcpSend,       // frame queued to a peer socket   arg = dst node
+  kTcpRecv,       // frame popped from the socket    arg = src node
+  kTcpReconnect,  // outbound connection re-established  arg = peer node
+  kTcpPeerDead,   // peer confirmed dead, queue written off  arg = peer node
 };
 
 const char* event_name(EventType t);
@@ -67,6 +71,9 @@ const char* event_name(EventType t);
 /// Sentinel "site" id used by a node daemon's ring (a daemon is not a
 /// site; exporters render it as its own thread line).
 constexpr std::uint32_t kDaemonSite = 0xffffffffu;
+/// Sentinel "site" id used by a TCP transport's ring: the socket-level
+/// hops underneath the daemon's packet-send/packet-recv events.
+constexpr std::uint32_t kTcpSite = 0xfffffffeu;
 
 struct TraceEvent {
   EventType type = EventType::kComm;

@@ -18,7 +18,10 @@
 #include <vector>
 
 #include "core/network.hpp"
+#include "net/tcp.hpp"
+#include "obs/fleet.hpp"
 #include "obs/http.hpp"
+#include "obs/trace.hpp"
 
 namespace dityco {
 namespace {
@@ -404,6 +407,131 @@ TEST(Monitor, StartTwiceKeepsFirstServer) {
   ASSERT_NE(a, 0u);
   const std::uint16_t b = net.start_monitor(0);
   EXPECT_EQ(a, b) << "second start_monitor returns the live server's port";
+}
+
+// ---------------------------------------------------------------------
+// /peers, gossiped monitor ports and fleet-wide federation
+// ---------------------------------------------------------------------
+
+/// A one-node multiprocess Network (the tycod shape) with tracing and
+/// TyCOmon up, its TCP transport bound. Port 0 = ephemeral listen.
+struct FleetNode {
+  explicit FleetNode(std::uint32_t self, const std::string& join = "") {
+    core::Network::Config cfg;
+    cfg.mode = core::Network::Mode::kThreaded;
+    cfg.transport = core::Network::TransportKind::kTcp;
+    cfg.tcp.multiprocess = true;
+    cfg.tcp.self = self;
+    if (!join.empty()) cfg.tcp.peers[0] = join;
+    net = std::make_unique<core::Network>(cfg);
+    net->add_node();
+    net->enable_tracing(1 << 12);
+    monitor = net->start_monitor(0);
+    tcp = net->tcp_transport();
+  }
+  std::unique_ptr<core::Network> net;
+  std::uint16_t monitor = 0;
+  net::TcpTransport* tcp = nullptr;
+};
+
+bool wait_for(const std::function<bool()>& pred, int ms = 5000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+TEST(Fleet, PeersEndpointGossipsMonitorPortsAndHealthzShowsTransport) {
+  // Two tycod-shaped networks in one process, joined over real loopback
+  // sockets. The hello/kPeers frames carry each side's TyCOmon port, so
+  // either monitor's /peers names the other's.
+  FleetNode n0(0);
+  ASSERT_NE(n0.monitor, 0u);
+  FleetNode n1(1, "127.0.0.1:" + std::to_string(n0.tcp->port()));
+  ASSERT_NE(n1.monitor, 0u);
+
+  // Node 0 learns node 1's monitor port from its hello.
+  ASSERT_TRUE(wait_for([&] {
+    const std::string body = body_of(http_get(n0.monitor, "/peers"));
+    return body.find("\"monitor\":" + std::to_string(n1.monitor)) !=
+           std::string::npos;
+  })) << body_of(http_get(n0.monitor, "/peers"));
+
+  const std::string peers0 = body_of(http_get(n0.monitor, "/peers"));
+  EXPECT_NE(peers0.find("\"self\":{\"node\":0"), std::string::npos) << peers0;
+  EXPECT_NE(peers0.find("\"node\":1"), std::string::npos);
+  EXPECT_NE(peers0.find("\"state\":\"connected\""), std::string::npos)
+      << peers0;
+  EXPECT_NE(peers0.find("\"phi\":"), std::string::npos);
+  EXPECT_NE(peers0.find("\"queue_bytes\":"), std::string::npos);
+  EXPECT_NE(peers0.find("\"reconnects\":"), std::string::npos);
+
+  // /healthz gained the per-peer transport block.
+  const std::string health = body_of(http_get(n0.monitor, "/healthz"));
+  EXPECT_NE(health.find("\"peers\":["), std::string::npos) << health;
+  EXPECT_NE(health.find("\"last_heard_age_ms\":"), std::string::npos);
+
+  // discover() walks the gossip from one seed URL to the whole fleet.
+  const auto eps = obs::fleet::discover(
+      "http://127.0.0.1:" + std::to_string(n0.monitor));
+  ASSERT_EQ(eps.size(), 2u) << "seed + gossiped peer";
+  EXPECT_EQ(eps[0].node, 0u);
+  EXPECT_EQ(eps[1].node, 1u);
+  EXPECT_EQ(eps[1].monitor, n1.monitor);
+}
+
+TEST(Fleet, FederatedScrapeMergesTracesAndLabelsMetrics) {
+  namespace fleet = obs::fleet;
+  FleetNode n0(0);
+  FleetNode n1(1, "127.0.0.1:" + std::to_string(n0.tcp->port()));
+  ASSERT_TRUE(wait_for([&] { return n1.tcp->stats().connects.load() > 0; }));
+
+  // One traced daemon packet crosses the socket: v2 header, sampled bit
+  // set, a fresh id. The send span lands in n1's transport ring; the
+  // recv span lands in n0's when the packet is popped.
+  const std::uint64_t id = obs::next_trace_id();
+  net::Packet p;
+  p.src_node = 1;
+  p.dst_node = 0;
+  p.bytes.push_back(0x01 | 0x80 | 0x40);
+  p.bytes.resize(13);
+  std::memcpy(p.bytes.data() + 5, &id, sizeof id);
+  n1.tcp->send(std::move(p), 0);
+  net::Packet got;
+  ASSERT_TRUE(wait_for([&] { return n0.tcp->recv(0, got, 0); }));
+
+  // Scrape both /trace docs and stitch them: the merged timeline must
+  // hold both processes and connect the send and recv spans of `id`
+  // with one cross-process flow.
+  const std::string doc0 = body_of(http_get(n0.monitor, "/trace"));
+  const std::string doc1 = body_of(http_get(n1.monitor, "/trace"));
+  const fleet::MergedTrace merged = fleet::merge_traces({doc0, doc1});
+  EXPECT_EQ(merged.nodes, 2u);
+  EXPECT_EQ(merged.anchored, 2u);
+  std::set<std::uint32_t> pids;
+  for (const auto& e : merged.events)
+    if (e.trace_id == id) pids.insert(e.pid);
+  EXPECT_EQ(pids, (std::set<std::uint32_t>{0u, 1u})) << merged.json;
+  // The regenerated flow chain for the id is in the merged document.
+  EXPECT_NE(merged.json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(merged.json.find("\"ph\":\"f\""), std::string::npos);
+
+  // Federated Prometheus view: every sample line gains a node label.
+  const std::string fed = fleet::federate_metrics(
+      {{0, body_of(http_get(n0.monitor, "/metrics"))},
+       {1, body_of(http_get(n1.monitor, "/metrics"))}});
+  EXPECT_NE(fed.find("node=\"0\""), std::string::npos);
+  EXPECT_NE(fed.find("node=\"1\""), std::string::npos);
+  // The transport's path telemetry is in there, per node and per peer.
+  EXPECT_NE(fed.find("tcp_peer_phi_milli"), std::string::npos) << fed;
+  const std::string fedj = fleet::federate_metrics_json(
+      {{0, body_of(http_get(n0.monitor, "/metrics.json"))},
+       {1, body_of(http_get(n1.monitor, "/metrics.json"))}});
+  EXPECT_NE(fedj.find("\"nodes\":["), std::string::npos);
+  EXPECT_NE(fedj.find("\"counters\""), std::string::npos);
 }
 
 }  // namespace

@@ -15,6 +15,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <map>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +25,8 @@
 #include "core/wire.hpp"
 #include "net/failure.hpp"
 #include "net/tcp.hpp"
+#include "obs/fleet.hpp"
+#include "obs/trace.hpp"
 #include "support/bytes.hpp"
 #include "vm/machine.hpp"
 
@@ -527,6 +531,192 @@ TEST(TcpTransport, FailureDetectorInjectsDeathFrame) {
 }
 
 // ---------------------------------------------------------------------
+// Socket-level trace spans (tcp-send / tcp-recv, trace-id propagation)
+// ---------------------------------------------------------------------
+
+/// Daemon-packet bytes in the v2 wire header: [type|flags][dst_site u32]
+/// [trace_id u64][payload]. The transport treats packets as opaque but
+/// peeks exactly these fields for its span events.
+std::vector<std::uint8_t> traced_bytes(std::uint64_t id, bool sampled) {
+  std::vector<std::uint8_t> b;
+  b.push_back(static_cast<std::uint8_t>(0x01 | 0x80 | (sampled ? 0x40 : 0)));
+  b.resize(13);  // dst_site u32 (zero) + trace_id u64
+  std::memcpy(b.data() + 5, &id, sizeof id);
+  b.push_back(0x7f);  // payload
+  return b;
+}
+
+bool ring_has(const obs::TraceRing& r, obs::EventType t, std::uint64_t id,
+              std::uint64_t* arg = nullptr) {
+  for (const auto& e : r.snapshot())
+    if (e.type == t && e.trace_id == id) {
+      if (arg) *arg = e.arg;
+      return true;
+    }
+  return false;
+}
+
+TEST(TcpTrace, SendRecvSpansCarryThePropagatedTraceId) {
+  TcpConfig ca;
+  ca.self = 0;
+  ca.detect_failures = false;
+  TcpTransport a(ca);
+  a.enable_trace(1024);
+  TcpConfig cb;
+  cb.self = 1;
+  cb.detect_failures = false;
+  cb.peers[0] = "127.0.0.1:" + std::to_string(a.port());
+  TcpTransport b(cb);
+  b.enable_trace(1024);
+  a.add_peer(1, "127.0.0.1:" + std::to_string(b.port()));
+
+  const std::uint64_t id = obs::next_trace_id();
+  net::Packet p;
+  p.src_node = 0;
+  p.dst_node = 1;
+  p.bytes = traced_bytes(id, /*sampled=*/true);
+  a.send(std::move(p), 0);
+  net::Packet got;
+  ASSERT_TRUE(recv_wait(b, 1, got));
+
+  // The sender recorded the socket hop out, the receiver the hop in,
+  // both under the id peeked from the packet's v2 header — this is what
+  // lets the exporter draw one flow arrow across the process boundary.
+  std::uint64_t arg = 0;
+  EXPECT_TRUE(ring_has(a.trace_ring(), obs::EventType::kTcpSend, id, &arg));
+  EXPECT_EQ(arg, 1u);  // arg = destination node
+  EXPECT_TRUE(ring_has(b.trace_ring(), obs::EventType::kTcpRecv, id, &arg));
+  EXPECT_EQ(arg, 0u);  // arg = source node
+  a.shutdown();
+  b.shutdown();
+}
+
+TEST(TcpTrace, UnsampledFramesCrossButAreNotRecorded) {
+  TcpConfig ca;
+  ca.self = 0;
+  ca.detect_failures = false;
+  TcpTransport a(ca);
+  a.enable_trace(1024, /*sample_every=*/4);
+  TcpConfig cb;
+  cb.self = 1;
+  cb.detect_failures = false;
+  cb.peers[0] = "127.0.0.1:" + std::to_string(a.port());
+  TcpTransport b(cb);
+  b.enable_trace(1024, /*sample_every=*/4);
+  a.add_peer(1, "127.0.0.1:" + std::to_string(b.port()));
+
+  // kTraceFlag without kSampledFlag: the id crosses the socket (reply
+  // routing still needs it) but no hop spends a ring slot on it.
+  const std::uint64_t unsampled = obs::next_trace_id();
+  net::Packet p;
+  p.src_node = 0;
+  p.dst_node = 1;
+  p.bytes = traced_bytes(unsampled, /*sampled=*/false);
+  a.send(std::move(p), 0);
+  net::Packet got;
+  ASSERT_TRUE(recv_wait(b, 1, got));
+  EXPECT_EQ(got.bytes, traced_bytes(unsampled, false));
+  EXPECT_FALSE(ring_has(a.trace_ring(), obs::EventType::kTcpSend, unsampled));
+  EXPECT_FALSE(ring_has(b.trace_ring(), obs::EventType::kTcpRecv, unsampled));
+
+  // A sampled frame through the same pair IS recorded: the decision is
+  // the wire bit, not anything local to the transport.
+  const std::uint64_t sampled = obs::next_trace_id();
+  net::Packet q;
+  q.src_node = 0;
+  q.dst_node = 1;
+  q.bytes = traced_bytes(sampled, /*sampled=*/true);
+  a.send(std::move(q), 0);
+  ASSERT_TRUE(recv_wait(b, 1, got));
+  EXPECT_TRUE(ring_has(a.trace_ring(), obs::EventType::kTcpSend, sampled));
+  EXPECT_TRUE(ring_has(b.trace_ring(), obs::EventType::kTcpRecv, sampled));
+  a.shutdown();
+  b.shutdown();
+}
+
+TEST(TcpTrace, ReconnectLandsInRingAndFiresPeerEventHook) {
+  TcpConfig ca;
+  ca.self = 0;
+  ca.detect_failures = false;
+  ca.backoff_min_ms = 10;
+  ca.backoff_max_ms = 100;
+  TcpTransport a(ca);
+  a.enable_trace(1024);
+  a.set_trace_record_all(true);
+  std::atomic<int> reconnect_hooks{0};
+  a.set_peer_event_hook(
+      [&](TcpTransport::PeerEvent ev, std::uint32_t node, std::uint64_t) {
+        if (ev == TcpTransport::PeerEvent::kReconnect && node == 1)
+          reconnect_hooks.fetch_add(1);
+      });
+
+  std::uint16_t bport = 0;
+  {
+    TcpConfig cb;
+    cb.self = 1;
+    cb.detect_failures = false;
+    auto b = std::make_unique<TcpTransport>(cb);
+    bport = b->port();
+    a.add_peer(1, "127.0.0.1:" + std::to_string(bport));
+    a.send(make_packet(0, 1, "before"), 0);
+    net::Packet got;
+    ASSERT_TRUE(recv_wait(*b, 1, got));
+    b->shutdown();
+  }
+  a.send(make_packet(0, 1, "after"), 0);
+  {
+    TcpConfig cb;
+    cb.self = 1;
+    cb.detect_failures = false;
+    cb.listen_port = bport;
+    TcpTransport b2(cb);
+    net::Packet got;
+    ASSERT_TRUE(recv_wait(b2, 1, got));
+    b2.shutdown();
+  }
+  // The re-established connection shows up as a flight-recorder-grade
+  // event: a ring entry (for the timeline) plus the hook (for
+  // promotion into tail-based retention).
+  bool found = false;
+  for (const auto& e : a.trace_ring().snapshot())
+    if (e.type == obs::EventType::kTcpReconnect && e.arg == 1) found = true;
+  EXPECT_TRUE(found);
+  EXPECT_GE(reconnect_hooks.load(), 1);
+  a.shutdown();
+}
+
+TEST(TcpTrace, PeerInfoReportsTransportState) {
+  TcpConfig ca;
+  ca.self = 0;
+  ca.heartbeat_ms = 20;
+  TcpTransport a(ca);
+  TcpConfig cb;
+  cb.self = 1;
+  cb.heartbeat_ms = 20;
+  cb.peers[0] = "127.0.0.1:" + std::to_string(a.port());
+  TcpTransport b(cb);
+  a.add_peer(1, "127.0.0.1:" + std::to_string(b.port()));
+  a.send(make_packet(0, 1, "hi"), 0);
+  net::Packet got;
+  ASSERT_TRUE(recv_wait(b, 1, got));
+  // Give a couple of heartbeat round trips time to land.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  const auto infos = a.peer_info();
+  ASSERT_EQ(infos.size(), 1u);
+  const auto& pi = infos[0];
+  EXPECT_EQ(pi.node, 1u);
+  EXPECT_TRUE(pi.connected);
+  EXPECT_FALSE(pi.dead);
+  EXPECT_GE(pi.last_heard_age_ms, 0.0);
+  EXPECT_GT(pi.last_rtt_us, 0u);          // heartbeat ack RTT attributed
+  EXPECT_GT(pi.rtt_us.total, 0u);         // ... and histogrammed
+  EXPECT_EQ(pi.queue_bytes, 0u);          // drained
+  a.shutdown();
+  b.shutdown();
+}
+
+// ---------------------------------------------------------------------
 // PEER-DOWN -> GC write-off (single process, forged death notice)
 // ---------------------------------------------------------------------
 
@@ -758,6 +948,66 @@ TEST(TycodE2E, TwoProcessesCompleteShipAndFetch) {
   EXPECT_NE(out0.find("exports_live=0"), std::string::npos) << out0;
   EXPECT_EQ(WEXITSTATUS(rc0), 0) << out0;
   EXPECT_EQ(WEXITSTATUS(rc1), 0) << out1;
+}
+
+TEST(TycodE2E, TraceIdsStitchAcrossTwoProcesses) {
+  // Two --trace'd daemons; scrape both TyCOmon /trace documents while
+  // they serve and stitch them. A FETCH allocates its trace id on the
+  // client, so finding that id in BOTH processes' rings proves the id
+  // (and kSampledFlag) survived the real socket hop.
+  const std::string tycod = TYCOD_PATH;
+  FILE* p0 = popen((tycod +
+                    " --node 0 --monitor 0 --trace --idle-exit-ms 4000 "
+                    "--serve-ms 20000 -e "
+                    "'site server { export def Applet(out) = out![7] in 0 }'"
+                    " 2>&1")
+                       .c_str(),
+                   "r");
+  ASSERT_NE(p0, nullptr);
+  const std::string mon0_line = read_until(p0, "tycomon listening");
+  ASSERT_FALSE(mon0_line.empty()) << "node 0 monitor never bound";
+  const std::string mon0 = parse_port(mon0_line);
+  const std::string port = parse_port(read_until(p0, "tycod node0"));
+  ASSERT_FALSE(port.empty());
+
+  FILE* p1 = popen((tycod + " --node 1 --join 127.0.0.1:" + port +
+                    " --monitor 0 --trace --idle-exit-ms 4000 "
+                    "--serve-ms 20000 -e "
+                    "'site client { import Applet from server in "
+                    "new r (Applet[r] | r?(v) = print[v]) }' 2>&1")
+                       .c_str(),
+                   "r");
+  ASSERT_NE(p1, nullptr);
+  const std::string mon1_line = read_until(p1, "tycomon listening");
+  ASSERT_FALSE(mon1_line.empty()) << "node 1 monitor never bound";
+  const std::string mon1 = parse_port(mon1_line);
+
+  // Let the FETCH complete, then scrape both nodes' rings over HTTP.
+  namespace fleet = obs::fleet;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2000));
+  const std::string doc0 = fleet::http_get(
+      "127.0.0.1", static_cast<std::uint16_t>(std::stoi(mon0)), "/trace");
+  const std::string doc1 = fleet::http_get(
+      "127.0.0.1", static_cast<std::uint16_t>(std::stoi(mon1)), "/trace");
+  ASSERT_FALSE(doc0.empty());
+  ASSERT_FALSE(doc1.empty());
+
+  const fleet::MergedTrace merged = fleet::merge_traces({doc0, doc1});
+  EXPECT_EQ(merged.nodes, 2u);
+  EXPECT_EQ(merged.anchored, 2u);  // both docs carried a clock anchor
+  // Some nonzero trace id must have events in both processes.
+  std::map<std::uint64_t, std::set<std::uint32_t>> pids_by_id;
+  for (const auto& e : merged.events)
+    if (e.trace_id != 0) pids_by_id[e.trace_id].insert(e.pid);
+  bool crossed = false;
+  for (const auto& [id, pids] : pids_by_id)
+    if (pids.size() >= 2) crossed = true;
+  EXPECT_TRUE(crossed) << "no trace id appeared on both nodes";
+
+  (void)slurp(p1);
+  pclose(p1);
+  (void)slurp(p0);
+  pclose(p0);
 }
 
 TEST(TycodE2E, KilledPeerIsWrittenOff) {

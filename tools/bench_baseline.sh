@@ -1,30 +1,48 @@
 #!/usr/bin/env bash
-# Bench baseline for the observability stack: run the mobility-heavy
+# Bench baseline, schema v2 (regression-proof): run the mobility-heavy
 # benches (C2 placement, C5 applet mobility, C6 RPC/name-service) twice —
 # observability off, then with the sampled profiler and tail-based flight
-# retention on (--profile --flight) — and write wall-clock milliseconds
-# per configuration to a JSON file. The committed BENCH_pr5.json is this
-# script's output on the CI container; regenerate with
+# retention on (--profile --flight) — and assemble each binary's
+# per-section results (--bench-json) into one versioned document. The
+# committed BENCH_pr6.json is this script's output on the CI container;
+# regenerate with
 #   tools/bench_baseline.sh [build-dir] [out.json]
-# The interesting number is the on/off ratio per bench: with
-# observability off the runtime must not regress (the disabled paths are
-# a branch each). With it on the dominant cost is allocating the trace
-# rings themselves (visible in C6's many-network sweep); the per-event
-# record, sample and retention paths stay off the VM's hot loop.
-# Since PR 5 each bench also runs its wall-clock section twice per pass
-# (threaded driver over in-proc queues and over the loopback TCP mesh),
-# so the totals now include real socket transit.
+#
+# Schema (dityco-bench-baseline-v2):
+#   { "schema": ..., "schema_version": 2,
+#     "benches": [ { "bench": NAME, "plain_ms": N, "obs_ms": N,
+#                    "plain": { "sections": [...] },
+#                    "obs":   { "sections": [...] } } ] }
+# Every section carries a STABLE name (e.g. c2_wall_rpc_tcp_mesh), its
+# unit ("virtual_us" = deterministic simulated time, "wall_us" = wall
+# clock), ops_per_run, runs, msgs_per_sec and per-operation p50/p99
+# latency (bench/bench_util.hpp BenchJson). Compare across commits BY
+# SECTION NAME — binaries may add sections, never silently redefine one
+# (EXPERIMENTS.md "bench schema v2" records the v1 -> v2 renames; the v1
+# whole-binary numbers were incomparable across PRs because PR 5 added
+# TCP sweeps to the same totals).
+#
+# Reading the numbers: per bench the interesting ratio is obs/plain per
+# section (the disabled observability paths must stay a branch each);
+# across commits the interesting deltas are per-section msgs_per_sec and
+# p99_us. virtual_us sections are deterministic — any change is a real
+# behaviour change, not noise.
 set -eu
 
 BUILD="${1:-build}"
-OUT="${2:-BENCH_pr5.json}"
+OUT="${2:-BENCH_pr6.json}"
 
-for b in bench_c2_local_vs_remote bench_c5_mobility bench_c6_rpc_nameservice; do
+BENCHES="bench_c2_local_vs_remote bench_c5_mobility bench_c6_rpc_nameservice"
+
+for b in $BENCHES; do
   if [ ! -x "$BUILD/bench/$b" ]; then
     echo "bench_baseline: no $BUILD/bench/$b (build the repo first)" >&2
     exit 2
   fi
 done
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
 
 run_ms() {
   local start end
@@ -36,25 +54,37 @@ run_ms() {
 
 # One warm-up pass per binary so the first measured run does not pay
 # page-cache/loader costs the second would skip.
-for b in bench_c2_local_vs_remote bench_c5_mobility bench_c6_rpc_nameservice; do
+for b in $BENCHES; do
   "$BUILD/bench/$b" >/dev/null 2>&1
 done
 
-{
-  echo "{"
-  echo "  \"schema\": \"dityco-bench-baseline-v1\","
-  echo "  \"benches\": ["
-  first=1
-  for b in bench_c2_local_vs_remote bench_c5_mobility bench_c6_rpc_nameservice; do
-    plain=$(run_ms "$BUILD/bench/$b")
-    obs=$(run_ms "$BUILD/bench/$b" --profile --flight)
-    [ "$first" -eq 1 ] || echo "    ,"
-    first=0
-    echo "    {\"bench\": \"$b\", \"plain_ms\": $plain, \"obs_ms\": $obs}"
-  done
-  echo "  ]"
-  echo "}"
-} > "$OUT"
+for b in $BENCHES; do
+  plain=$(run_ms "$BUILD/bench/$b" --bench-json "$TMP/$b.plain.json")
+  obs=$(run_ms "$BUILD/bench/$b" --profile --flight \
+        --bench-json "$TMP/$b.obs.json")
+  echo "$plain" > "$TMP/$b.plain.ms"
+  echo "$obs" > "$TMP/$b.obs.ms"
+done
+
+python3 - "$TMP" "$OUT" $BENCHES <<'EOF'
+import json, sys
+tmp, out, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
+doc = {"schema": "dityco-bench-baseline-v2", "schema_version": 2,
+       "benches": []}
+for b in benches:
+    entry = {"bench": b}
+    for mode in ("plain", "obs"):
+        with open(f"{tmp}/{b}.{mode}.ms") as f:
+            entry[f"{mode}_ms"] = int(f.read().strip())
+        with open(f"{tmp}/{b}.{mode}.json") as f:
+            sections = json.load(f)
+        assert sections["schema_version"] == 2, b
+        entry[mode] = {"sections": sections["sections"]}
+    doc["benches"].append(entry)
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+EOF
 
 echo "bench_baseline: wrote $OUT"
-cat "$OUT"
+python3 -m json.tool "$OUT" > /dev/null

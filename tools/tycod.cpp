@@ -28,6 +28,11 @@
 //   --typecheck          infer types; check remote signatures
 //   --stats              print the metrics registry before exiting
 //   --monitor PORT       start TyCOmon (0 = ephemeral)
+//   --trace              enable causal event tracing (site, daemon and
+//                        socket rings; serve via TyCOmon /trace — each
+//                        document carries a wall-clock anchor so
+//                        tycotop can stitch a fleet-wide timeline)
+//   --trace-sample N     keep 1-in-N trace ids (default 1 = all)
 //   --heartbeat-ms N     heartbeat period (default 100)
 //   --phi T              failure-detector suspicion threshold (default 6)
 //   --confirm-ms N       suspicion must persist this long before the
@@ -59,7 +64,8 @@ int usage() {
       "options: --node N  --listen HOST:PORT  --advertise HOST\n"
       "         --join HOST:PORT\n"
       "         --peer N=HOST:PORT (repeatable)  --typecheck  --stats\n"
-      "         --monitor PORT  --heartbeat-ms N  --phi T  --confirm-ms N\n"
+      "         --monitor PORT  --trace  --trace-sample N\n"
+      "         --heartbeat-ms N  --phi T  --confirm-ms N\n"
       "         --no-detect  --idle-exit-ms N  --serve-ms N\n"
       "         --timeout-ms N  --gc-resend-ms N\n";
   return 2;
@@ -76,6 +82,8 @@ int main(int argc, char** argv) {
   cfg.tcp.multiprocess = true;
   bool stats = false;
   bool monitor = false;
+  bool trace = false;
+  long trace_sample = 1;
   int monitor_port = 0;
   long idle_exit_ms = 2000;
   long serve_ms = 60'000;
@@ -107,6 +115,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--monitor" && i + 1 < argc) {
       monitor = true;
       monitor_port = std::atoi(argv[++i]);
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--trace-sample" && i + 1 < argc) {
+      trace = true;
+      trace_sample = std::atol(argv[++i]);
     } else if (arg == "--heartbeat-ms" && i + 1 < argc) {
       cfg.tcp.heartbeat_ms = std::atol(argv[++i]);
     } else if (arg == "--phi" && i + 1 < argc) {
@@ -149,6 +162,12 @@ int main(int argc, char** argv) {
       net.add_site(0, site);
       net.submit(site, prog);
     }
+    // Before the monitor and the transport bind: the rings must exist
+    // when the first traced packet crosses the socket.
+    if (trace)
+      net.enable_tracing(1 << 14,
+                         static_cast<std::uint64_t>(
+                             trace_sample < 1 ? 1 : trace_sample));
     if (monitor) {
       const std::uint16_t mp = net.start_monitor(
           static_cast<std::uint16_t>(monitor_port));

@@ -48,6 +48,13 @@
 //                    promoted traces as Chrome trace JSON to FILE
 //   --flight-slow-us N   with :flight (or alone: implies it), promote
 //                    mobility operations slower than N µs
+//   :peers           after the run, print this node's transport view of
+//                    the fleet (gossip + failure detector: per-peer
+//                    state, phi, RTT, queue depth) as JSON
+//   :fleet URL       one-shot federated scrape: discover every TyCOmon
+//                    reachable from the seed monitor URL via /peers and
+//                    print one merged metrics JSON document (no program
+//                    file needed)
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -61,6 +68,7 @@
 #include "compiler/codegen.hpp"
 #include "compiler/parser.hpp"
 #include "core/network.hpp"
+#include "obs/fleet.hpp"
 #include "types/infer.hpp"
 
 namespace {
@@ -85,7 +93,9 @@ int usage() {
       "         --linger MS            keep TyCOmon up after the run\n"
       "         :profile               sampled VM profiler, folded stacks\n"
       "         :flight FILE.json      tail-based retention -> Chrome trace\n"
-      "         --flight-slow-us N     promote operations slower than N us\n";
+      "         --flight-slow-us N     promote operations slower than N us\n"
+      "         :peers                 print the transport's fleet view\n"
+      "         :fleet URL             one-shot federated metrics scrape\n";
   return 2;
 }
 
@@ -113,6 +123,8 @@ int main(int argc, char** argv) {
   std::string flight_path;
   bool flight = false;
   double flight_slow_us = 0;
+  bool show_peers = false;
+  std::string fleet_url;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -168,6 +180,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--flight-slow-us" && i + 1 < argc) {
       flight = true;
       flight_slow_us = std::atof(argv[++i]);
+    } else if (arg == ":peers" || arg == "--peers") {
+      show_peers = true;
+    } else if ((arg == ":fleet" || arg == "--fleet") && i + 1 < argc) {
+      fleet_url = argv[++i];
     } else if (arg == "--linger" && i + 1 < argc) {
       linger_ms = std::atol(argv[++i]);
     } else if (!arg.empty() && (arg[0] == '-' || arg[0] == ':')) {
@@ -176,6 +192,24 @@ int main(int argc, char** argv) {
       path = arg;
     }
   }
+  // :fleet is a one-shot scrape, not a run: walk /peers from the seed
+  // monitor, pull every node's /metrics.json, print one federated
+  // document, exit. No program file involved.
+  if (!fleet_url.empty()) {
+    namespace fleet = dityco::obs::fleet;
+    const std::vector<fleet::NodeEndpoint> eps = fleet::discover(fleet_url);
+    if (eps.empty()) {
+      std::cerr << "tycosh: no reachable monitors at " << fleet_url << "\n";
+      return 1;
+    }
+    std::vector<std::pair<std::uint32_t, std::string>> docs;
+    for (const fleet::NodeEndpoint& ep : eps)
+      docs.emplace_back(ep.node,
+                        fleet::http_get(ep.host, ep.monitor, "/metrics.json"));
+    std::cout << fleet::federate_metrics_json(docs) << "\n";
+    return 0;
+  }
+
   if (source.empty() && path.empty()) return usage();
   if (source.empty()) {
     std::ifstream in(path);
@@ -301,6 +335,7 @@ int main(int argc, char** argv) {
               << " packets\n";
 
     if (stats) std::cout << net.metrics().expose_text();
+    if (show_peers) std::cout << net.peers_json() << "\n";
 
     if (profile) {
       const std::string folded = net.profile_folded();

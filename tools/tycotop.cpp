@@ -1,0 +1,241 @@
+// tycotop — fleet-wide TyCOmon aggregator.
+//
+// Give it one monitor URL and it walks the cluster's own gossip
+// (GET /peers carries every peer's TyCOmon port, learnt from the
+// transport's hello/kPeers frames), scrapes every node it finds, and:
+//
+//   * default: prints a per-node summary table (transport address,
+//     peer states, phi, RTT, queue depth) plus cross-process operation
+//     latency percentiles computed from the stitched timeline — the
+//     FETCH/SHIPO/SHIPM round trips that survive process boundaries;
+//   * --trace FILE: writes one merged Perfetto document. Each node's
+//     /trace carries a wall-clock anchor (otherData), so events from
+//     different OS processes land on one axis and a FETCH's request and
+//     serve sides connect with a flow arrow across processes;
+//   * --metrics FILE: federated Prometheus text, node="N" label per
+//     sample; --metrics-json FILE: the same as one JSON document.
+//
+// Usage:
+//   tycotop http://127.0.0.1:7001
+//   tycotop --trace fleet.json http://127.0.0.1:7001
+//   tycotop --metrics - http://127.0.0.1:7001 http://10.0.0.2:7001
+//
+// Extra seeds are only needed for partitioned fleets; one URL normally
+// reaches everything.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/fleet.hpp"
+
+namespace fleet = dityco::obs::fleet;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: tycotop [--trace FILE] [--metrics FILE]\n"
+               "               [--metrics-json FILE] [--json]\n"
+               "               MONITOR_URL [MONITOR_URL...]\n"
+               "FILE may be '-' for stdout.\n";
+  return 2;
+}
+
+bool write_out(const std::string& path, const std::string& body) {
+  if (path == "-") {
+    std::cout << body;
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "tycotop: cannot write " << path << "\n";
+    return false;
+  }
+  out << body;
+  return true;
+}
+
+double pctl(std::vector<double>& v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(v.size()));
+  return v[std::min(idx, v.size() - 1)];
+}
+
+/// Operation kind of a stitched event, for the latency rollup.
+const char* op_kind(const fleet::FleetEvent& e) {
+  if (e.cat == "fetch" || e.name.rfind("FETCH", 0) == 0) return "FETCH";
+  if (e.name.rfind("SHIPO", 0) == 0) return "SHIPO";
+  if (e.name.rfind("SHIPM", 0) == 0) return "SHIPM";
+  if (e.name.rfind("NS-", 0) == 0) return "NS";
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path, metrics_path, metrics_json_path;
+  bool as_json = false;
+  std::vector<std::string> seeds;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg == "--metrics-json" && i + 1 < argc) {
+      metrics_json_path = argv[++i];
+    } else if (arg == "--json") {
+      as_json = true;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      return usage();
+    } else {
+      seeds.push_back(arg);
+    }
+  }
+  if (seeds.empty()) return usage();
+
+  // Discovery: walk /peers from every seed, dedup by node id.
+  std::map<std::uint32_t, fleet::NodeEndpoint> nodes;
+  for (const std::string& seed : seeds)
+    for (const fleet::NodeEndpoint& ep : fleet::discover(seed))
+      nodes.emplace(ep.node, ep);
+  if (nodes.empty()) {
+    std::cerr << "tycotop: no reachable monitors (seed down, or started "
+                 "without --monitor?)\n";
+    return 1;
+  }
+
+  const bool want_summary =
+      trace_path.empty() && metrics_path.empty() && metrics_json_path.empty();
+  const bool want_trace = !trace_path.empty() || want_summary;
+
+  std::vector<std::string> trace_docs;
+  std::vector<std::pair<std::uint32_t, std::string>> metric_texts;
+  std::vector<std::pair<std::uint32_t, std::string>> metric_docs;
+  std::map<std::uint32_t, std::string> peer_docs;
+  for (const auto& [node, ep] : nodes) {
+    if (want_trace) {
+      std::string doc = fleet::http_get(ep.host, ep.monitor, "/trace");
+      if (!doc.empty()) trace_docs.push_back(std::move(doc));
+    }
+    if (!metrics_path.empty())
+      metric_texts.emplace_back(node,
+                                fleet::http_get(ep.host, ep.monitor,
+                                                "/metrics"));
+    if (!metrics_json_path.empty())
+      metric_docs.emplace_back(node,
+                               fleet::http_get(ep.host, ep.monitor,
+                                               "/metrics.json"));
+    if (want_summary)
+      peer_docs[node] = fleet::http_get(ep.host, ep.monitor, "/peers");
+  }
+
+  fleet::MergedTrace merged;
+  if (want_trace) merged = fleet::merge_traces(trace_docs);
+  if (!trace_path.empty() && !write_out(trace_path, merged.json)) return 1;
+  if (!metrics_path.empty() &&
+      !write_out(metrics_path, fleet::federate_metrics(metric_texts)))
+    return 1;
+  if (!metrics_json_path.empty() &&
+      !write_out(metrics_json_path,
+                 fleet::federate_metrics_json(metric_docs)))
+    return 1;
+  if (!want_summary) return 0;
+
+  // Cross-process operation latency: per trace id, the lifespan from its
+  // first to its last stitched event; kept only when the id actually
+  // crossed a process boundary (events on >= 2 pids).
+  struct Span {
+    double lo = 0, hi = 0;
+    std::uint32_t first_pid = 0;
+    bool crossed = false, init = false;
+    const char* kind = nullptr;
+  };
+  std::map<std::uint64_t, Span> spans;
+  for (const fleet::FleetEvent& e : merged.events) {
+    if (e.trace_id == 0) continue;
+    Span& s = spans[e.trace_id];
+    if (!s.init) {
+      s.init = true;
+      s.lo = s.hi = e.ts_us;
+      s.first_pid = e.pid;
+    } else {
+      s.lo = std::min(s.lo, e.ts_us);
+      s.hi = std::max(s.hi, e.ts_us);
+      if (e.pid != s.first_pid) s.crossed = true;
+    }
+    if (const char* k = op_kind(e)) s.kind = k;
+  }
+  std::map<std::string, std::vector<double>> lat;
+  for (const auto& [id, s] : spans)
+    if (s.crossed && s.kind) lat[s.kind].push_back(s.hi - s.lo);
+
+  if (as_json) {
+    std::string out = "{\"nodes\":[";
+    bool first = true;
+    for (const auto& [node, ep] : nodes) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"node\":" + std::to_string(node) + ",\"monitor\":\"" +
+             ep.host + ":" + std::to_string(ep.monitor) + "\",\"peers\":" +
+             (peer_docs[node].empty() ? "null" : peer_docs[node]) + "}";
+    }
+    out += "],\"cross_process_ops\":{";
+    bool firstk = true;
+    for (auto& [kind, v] : lat) {
+      if (!firstk) out += ",";
+      firstk = false;
+      char buf[128];
+      std::snprintf(buf, sizeof buf,
+                    "\"%s\":{\"count\":%zu,\"p50_us\":%.1f,\"p99_us\":%.1f}",
+                    kind.c_str(), v.size(), pctl(v, 0.50), pctl(v, 0.99));
+      out += buf;
+    }
+    out += "}}\n";
+    std::cout << out;
+    return 0;
+  }
+
+  std::printf("fleet: %zu node(s), %zu trace doc(s) (%zu anchored)\n",
+              nodes.size(), merged.nodes, merged.anchored);
+  std::printf("%-6s %-22s %-22s %s\n", "node", "monitor", "transport",
+              "peers (state phi rtt_us queue)");
+  for (const auto& [node, ep] : nodes) {
+    std::string peers_col;
+    fleet::Json doc;
+    if (!peer_docs[node].empty() && fleet::parse_json(peer_docs[node], doc)) {
+      if (const fleet::Json* peers = doc.find("peers")) {
+        for (const fleet::Json& p : peers->items) {
+          char cell[128];
+          std::snprintf(cell, sizeof cell, "%s%llu:%s phi=%.2f rtt=%llu q=%llu",
+                        peers_col.empty() ? "" : "  ",
+                        static_cast<unsigned long long>(p.u64_or("node", 0)),
+                        p.str_or("state", "?").c_str(), p.num_or("phi", 0),
+                        static_cast<unsigned long long>(p.u64_or("rtt_us", 0)),
+                        static_cast<unsigned long long>(
+                            p.u64_or("queue_bytes", 0)));
+          peers_col += cell;
+        }
+      }
+    }
+    std::printf("%-6u %-22s %-22s %s\n", node,
+                (ep.host + ":" + std::to_string(ep.monitor)).c_str(),
+                ep.hostport.c_str(), peers_col.c_str());
+  }
+  if (!lat.empty()) {
+    std::printf("cross-process operations (stitched trace):\n");
+    std::printf("%-8s %8s %12s %12s\n", "op", "count", "p50_us", "p99_us");
+    for (auto& [kind, v] : lat)
+      std::printf("%-8s %8zu %12.1f %12.1f\n", kind.c_str(), v.size(),
+                  pctl(v, 0.50), pctl(v, 0.99));
+  } else {
+    std::printf("cross-process operations: none stitched (enable --trace "
+                "on the daemons)\n");
+  }
+  return 0;
+}
