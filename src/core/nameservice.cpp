@@ -16,6 +16,7 @@ constexpr std::uint32_t kNsReleaserSite = 0xfffffffeu;
 void NameService::register_site(const std::string& name, std::uint32_t node,
                                 std::uint32_t site) {
   sites_[name] = SiteInfo{node, site};
+  ++mutations_;
 }
 
 std::optional<NameService::SiteInfo> NameService::lookup_site(
@@ -34,6 +35,7 @@ void NameService::reply_to(const Waiter& w, Entry& e, bool ok,
   if (gc) {
     share = e.credit / 2;
     e.credit -= share;
+    if (share > 0) ++mutations_;
   }
   Writer out;
   write_header(out, MsgType::kNsReply, w.site, w.trace_id, w.sampled, gc);
@@ -65,6 +67,7 @@ void NameService::release_entry(const Entry& e, std::vector<net::Packet>& out) {
   if (!e.gc || e.credit == 0) return;
   std::uint64_t& cum = released_cum_[e.ref];
   cum += e.credit;
+  ++mutations_;
   net::Packet p;
   p.src_node = home_node_;
   p.dst_node = e.ref.node;
@@ -83,6 +86,7 @@ void NameService::register_id(const std::string& site, const std::string& name,
   if (auto old = ids_.find(key); old != ids_.end())
     release_entry(old->second, replies);  // overwritten binding drains
   ids_[key] = Entry{ref, type_sig, credit, credit > 0};
+  ++mutations_;
   auto it = waiting_.find(key);
   if (it == waiting_.end()) return;
   for (const Waiter& w : it->second)
@@ -114,6 +118,7 @@ void NameService::handle_unregister(Reader& r,
   if (it == ids_.end()) return;  // already dropped (duplicate unregister)
   release_entry(it->second, replies);
   ids_.erase(it);
+  ++mutations_;
 }
 
 void NameService::handle_lookup(Reader& r, std::vector<net::Packet>& replies,
@@ -137,6 +142,7 @@ void NameService::handle_lookup(Reader& r, std::vector<net::Packet>& replies,
   // Not exported yet: park until it is (blocking import).
   waiting_[key].push_back(w);
   ++stats_.parked_total;
+  ++mutations_;
   parked_now_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -196,8 +202,50 @@ std::size_t NameService::evict_node(std::uint32_t node) {
     else
       ++it;
   }
-  if (dropped > 0) stats_.evictions += dropped;
+  if (dropped > 0) {
+    stats_.evictions += dropped;
+    ++mutations_;
+  }
   return dropped;
+}
+
+NameService::Snapshot NameService::snapshot() const {
+  Snapshot s;
+  s.home_node = home_node_;
+  s.sites.reserve(sites_.size());
+  for (const auto& [name, info] : sites_)
+    s.sites.push_back({name, info.node, info.site});
+  s.ids.reserve(ids_.size());
+  for (const auto& [key, e] : ids_) {
+    Snapshot::IdRow row;
+    row.site = key.first;
+    row.name = key.second;
+    row.ref = e.ref;
+    row.type_sig = e.type_sig;
+    row.credit = e.credit;
+    row.gc = e.gc;
+    if (auto it = waiting_.find(key); it != waiting_.end())
+      row.waiters = it->second.size();
+    s.ids.push_back(std::move(row));
+  }
+  for (const auto& [ref, cum] : released_cum_)
+    if (cum > 0) s.releases.push_back({ref, cum});
+  s.parked = parked();
+  return s;
+}
+
+void NameService::publish_snapshot() {
+  if (mutations_ == published_mutations_) return;
+  published_mutations_ = mutations_;
+  auto snap = std::make_shared<const Snapshot>(snapshot());
+  std::lock_guard<std::mutex> lk(snap_mu_);
+  snap_ = std::move(snap);
+}
+
+std::shared_ptr<const NameService::Snapshot> NameService::last_snapshot()
+    const {
+  std::lock_guard<std::mutex> lk(snap_mu_);
+  return snap_;
 }
 
 void NameService::register_metrics(obs::Registry& registry,

@@ -15,6 +15,8 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -105,6 +107,41 @@ class NameService {
   /// labelled {ns="<label>"} (central service vs. per-node replicas).
   void register_metrics(obs::Registry& registry, const std::string& label);
 
+  /// Consistent copy of both tables with ownership and credit — the
+  /// name-service half of the audit plane (TyCOmon /names).
+  struct Snapshot {
+    struct SiteRow {
+      std::string name;
+      std::uint32_t node = 0, site = 0;
+    };
+    struct IdRow {
+      std::string site, name;
+      vm::NetRef ref;
+      std::string type_sig;
+      std::uint64_t credit = 0;  // GC credit the service holds
+      bool gc = false;
+      std::size_t waiters = 0;   // parked lookups for this key
+    };
+    struct Rel {
+      vm::NetRef ref;
+      std::uint64_t cum = 0;     // service-side cumulative REL ledger
+    };
+    std::uint32_t home_node = 0;
+    std::vector<SiteRow> sites;
+    std::vector<IdRow> ids;
+    std::vector<Rel> releases;
+    std::size_t parked = 0;
+  };
+  /// Build a fresh snapshot. Owner thread only (the daemon routing NS
+  /// packets), or any thread while the network is at rest.
+  Snapshot snapshot() const;
+  /// Owner thread: publish a snapshot for concurrent readers. Cheap when
+  /// nothing changed since the last publish (a dirty counter gates the
+  /// rebuild), so the daemon can call it on every idle transition.
+  void publish_snapshot();
+  /// Last published snapshot (any thread; null until first publish).
+  std::shared_ptr<const Snapshot> last_snapshot() const;
+
   // -- payload builders (used by sites) --
   static std::vector<std::uint8_t> make_export(
       std::uint32_t dst_site_unused, const std::string& site,
@@ -152,6 +189,12 @@ class NameService {
   // gauge is what a live scrape reads instead.
   std::atomic<std::int64_t> parked_now_{0};
   obs::Registry::Registration metrics_reg_;
+  // Table-mutation count (owner thread) vs. the count at the last
+  // publish: publish_snapshot() rebuilds only when they differ.
+  std::uint64_t mutations_ = 0;
+  std::uint64_t published_mutations_ = ~0ull;
+  mutable std::mutex snap_mu_;
+  std::shared_ptr<const Snapshot> snap_;
 };
 
 }  // namespace dityco::core

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <map>
+#include <set>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -19,6 +20,13 @@ Network::Network(Config cfg)
       metrics_(std::make_unique<obs::Registry>()),
       ns_(std::make_unique<NameService>(0)) {
   ns_->register_metrics(*metrics_, "central");
+  // Audit-plane counters live in LiveStatus (heap, survives moves); the
+  // cells are atomic so the collector is live-safe.
+  LiveStatus* ls = live_.get();
+  audit_reg_ = metrics_->add_collector([ls](obs::Collector& c) {
+    c.counter("gc_audits", ls->gc_audits);
+    c.counter("gc_audit_imbalance", ls->gc_audit_imbalance);
+  });
 }
 
 Network::~Network() {
@@ -194,6 +202,15 @@ std::uint16_t Network::start_monitor(std::uint16_t port,
   srv->route("/peers", [this] {
     return Resp{200, "application/json", peers_json()};
   });
+  // The audit plane: at rest these build fresh snapshots under scrape_mu
+  // (run() cannot start executors mid-build); while running they serve
+  // the owner threads' last published snapshots.
+  srv->route("/gc", [this] {
+    return Resp{200, "application/json", gc_json()};
+  });
+  srv->route("/names", [this] {
+    return Resp{200, "application/json", names_json()};
+  });
   // The flight buffer and the profiler tables are mutex/atomic-guarded,
   // so both endpoints are safe mid-run.
   srv->route("/flight", [this] {
@@ -262,6 +279,268 @@ std::string Network::peers_json() const {
   }
   out += "]}";
   return out;
+}
+
+namespace {
+
+std::uint64_t wall_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string owner_ref_json(const vm::NetRef& r) {
+  return "\"owner_node\":" + std::to_string(r.node) +
+         ",\"owner_site\":" + std::to_string(r.site) +
+         ",\"kind\":" + std::to_string(static_cast<int>(r.kind)) +
+         ",\"id\":" + std::to_string(r.heap_id);
+}
+
+std::string gc_snapshot_json(const vm::Machine::GcSnapshot& g,
+                             std::uint64_t now_ns) {
+  std::string out = "{\"name\":\"" + obs::json_escape(g.name) + "\"";
+  out += ",\"node\":" + std::to_string(g.node);
+  out += ",\"site\":" + std::to_string(g.site);
+  out += ",\"stale\":false";
+  out += ",\"live_channels\":" + std::to_string(g.live_channels);
+  out += ",\"free_channels\":" + std::to_string(g.free_channels);
+  out += ",\"live_netrefs\":" + std::to_string(g.live_netrefs);
+  out += ",\"free_netrefs\":" + std::to_string(g.free_netrefs);
+  out += ",\"outstanding\":" + std::to_string(g.outstanding);
+  out += ",\"held\":" + std::to_string(g.held);
+  out += ",\"exports\":[";
+  bool first = true;
+  for (const auto& e : g.exports) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"kind\":" + std::to_string(static_cast<int>(e.kind));
+    out += ",\"id\":" + std::to_string(e.heap_id);
+    out += ",\"local\":" + std::to_string(e.local);
+    out += ",\"minted\":" + std::to_string(e.minted);
+    out += ",\"returned\":" + std::to_string(e.returned);
+    out += ",\"released\":" + std::to_string(e.released);
+    out += ",\"outstanding\":" + std::to_string(e.outstanding);
+    out += ",\"pins\":" + std::to_string(e.pins);
+    // Leak age: the scrape's clock minus the ledger's last movement.
+    // A stale snapshot still ages correctly — touched_ns is absolute
+    // steady time within this process.
+    const double age_ms =
+        e.touched_ns == 0 || now_ns < e.touched_ns
+            ? 0.0
+            : static_cast<double>(now_ns - e.touched_ns) / 1e6;
+    out += ",\"age_ms\":" + fmt_double(age_ms);
+    out += ",\"trace\":" + std::to_string(e.last_trace);
+    out += ",\"releasers\":[";
+    for (std::size_t i = 0; i < e.releasers.size(); ++i) {
+      if (i) out += ",";
+      out += "[" + std::to_string(e.releasers[i].first >> 32) + "," +
+             std::to_string(e.releasers[i].first & 0xffffffffu) + "," +
+             std::to_string(e.releasers[i].second) + "]";
+    }
+    out += "],\"debt\":[";
+    for (std::size_t i = 0; i < e.debt.size(); ++i) {
+      if (i) out += ",";
+      out += "[" + std::to_string(e.debt[i].first) + "," +
+             std::to_string(e.debt[i].second) + "]";
+    }
+    out += "]}";
+  }
+  out += "],\"imports\":[";
+  first = true;
+  for (const auto& h : g.imports) {
+    if (!first) out += ",";
+    first = false;
+    out += "{" + owner_ref_json(h.ref) +
+           ",\"credit\":" + std::to_string(h.credit) + "}";
+  }
+  out += "],\"releases\":[";
+  first = true;
+  for (const auto& r : g.releases) {
+    if (!first) out += ",";
+    first = false;
+    out += "{" + owner_ref_json(r.ref) + ",\"cum\":" + std::to_string(r.cum) +
+           "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ns_snapshot_json(const NameService::Snapshot& s,
+                             const std::string& scope) {
+  std::string out = "{\"scope\":\"" + obs::json_escape(scope) + "\"";
+  out += ",\"home_node\":" + std::to_string(s.home_node);
+  out += ",\"stale\":false";
+  out += ",\"parked\":" + std::to_string(s.parked);
+  out += ",\"sites\":[";
+  bool first = true;
+  for (const auto& row : s.sites) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + obs::json_escape(row.name) +
+           "\",\"node\":" + std::to_string(row.node) +
+           ",\"site\":" + std::to_string(row.site) + "}";
+  }
+  out += "],\"ids\":[";
+  first = true;
+  for (const auto& row : s.ids) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"site\":\"" + obs::json_escape(row.site) + "\"";
+    out += ",\"name\":\"" + obs::json_escape(row.name) + "\"";
+    out += "," + owner_ref_json(row.ref);
+    out += ",\"type\":\"" + obs::json_escape(row.type_sig) + "\"";
+    out += ",\"credit\":" + std::to_string(row.credit);
+    out += ",\"gc\":";
+    out += row.gc ? "true" : "false";
+    out += ",\"waiters\":" + std::to_string(row.waiters);
+    out += "}";
+  }
+  out += "],\"releases\":[";
+  first = true;
+  for (const auto& r : s.releases) {
+    if (!first) out += ",";
+    first = false;
+    out += "{" + owner_ref_json(r.ref) + ",\"cum\":" + std::to_string(r.cum) +
+           "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+std::string Network::gc_json() const {
+  std::lock_guard<std::mutex> lk(live_->scrape_mu);
+  const bool running = live_->running.load(std::memory_order_relaxed);
+  const std::uint64_t now_ns = obs::trace_now_ns();
+  std::string out = "{\"running\":";
+  out += running ? "true" : "false";
+  out += ",\"fresh\":";
+  out += running ? "false" : "true";
+  out += ",\"steady_now_ns\":" + std::to_string(now_ns);
+  out += ",\"wall_now_us\":" + std::to_string(wall_now_us());
+  out += ",\"sites\":[";
+  bool first = true;
+  for (const auto& n : nodes_) {
+    for (const auto& s : n->sites()) {
+      if (!first) out += ",";
+      first = false;
+      if (!running) {
+        // At rest under scrape_mu: the machine is unowned, build fresh.
+        out += gc_snapshot_json(s->machine().gc_snapshot(), now_ns);
+      } else if (auto snap = s->gc_snapshot()) {
+        out += gc_snapshot_json(*snap, now_ns);
+      } else {
+        out += "{\"name\":\"" + obs::json_escape(s->name()) +
+               "\",\"node\":" + std::to_string(n->id()) +
+               ",\"site\":" + std::to_string(s->site_id()) +
+               ",\"stale\":true}";
+      }
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Network::names_json() const {
+  std::lock_guard<std::mutex> lk(live_->scrape_mu);
+  const bool running = live_->running.load(std::memory_order_relaxed);
+  std::string out = "{\"running\":";
+  out += running ? "true" : "false";
+  out += ",\"fresh\":";
+  out += running ? "false" : "true";
+  out += ",\"services\":[";
+  bool first = true;
+  auto emit = [&](const NameService& svc, const std::string& scope) {
+    if (!first) out += ",";
+    first = false;
+    if (!running) {
+      out += ns_snapshot_json(svc.snapshot(), scope);
+    } else if (auto snap = svc.last_snapshot()) {
+      out += ns_snapshot_json(*snap, scope);
+    } else {
+      out += "{\"scope\":\"" + obs::json_escape(scope) +
+             "\",\"home_node\":" + std::to_string(svc.home_node()) +
+             ",\"stale\":true}";
+    }
+  };
+  // The central service is only authoritative where its home node is
+  // hosted; other processes of a multiprocess fleet never route its
+  // packets and would report an empty shell.
+  if (!ns_distributed_) {
+    for (const auto& n : nodes_)
+      if (n->id() == ns_->home_node()) {
+        emit(*ns_, "central");
+        break;
+      }
+  } else {
+    for (const auto& n : nodes_)
+      emit(n->name_service(), "node" + std::to_string(n->id()));
+  }
+  out += "]}";
+  return out;
+}
+
+obs::fleet::AuditReport Network::self_audit(bool include_fleet) {
+  namespace fleet = obs::fleet;
+  std::vector<fleet::Json> gc_docs, names_docs;
+  std::vector<std::uint32_t> expected;
+  auto add_doc = [](std::vector<fleet::Json>& docs, const std::string& body) {
+    fleet::Json doc;
+    if (!body.empty() && fleet::parse_json(body, doc))
+      docs.push_back(std::move(doc));
+  };
+  add_doc(gc_docs, gc_json());
+  add_doc(names_docs, names_json());
+  std::set<std::uint32_t> local;
+  for (const auto& n : nodes_) {
+    local.insert(n->id());
+    expected.push_back(n->id());
+  }
+  if (include_fleet && monitor_) {
+    // Peers gossip their TyCOmon ports; walk them from our own monitor
+    // so the audit joins every reachable node's ledgers.
+    const std::string seed = "127.0.0.1:" + std::to_string(monitor_->port());
+    for (const fleet::NodeEndpoint& ep : fleet::discover(seed)) {
+      if (local.count(ep.node)) continue;
+      expected.push_back(ep.node);
+      add_doc(gc_docs, fleet::http_get(ep.host, ep.monitor, "/gc"));
+      add_doc(names_docs, fleet::http_get(ep.host, ep.monitor, "/names"));
+    }
+  }
+  fleet::AuditReport rep = fleet::audit(gc_docs, names_docs, expected);
+  ++live_->gc_audits;
+  if (!rep.balanced) {
+    live_->gc_audit_imbalance.inc(rep.offenders.size() +
+                                  rep.orphan_imports.size() +
+                                  rep.ns_mismatches.size());
+    // Promote the minting traces of the offending entries so the flight
+    // recorder retains the operations that leaked the credit.
+    if (flight_)
+      for (const auto& off : rep.offenders)
+        if (off.trace != 0)
+          flight_->promote(off.trace,
+                           obs::FlightRecorder::Reason::kRelAnomaly);
+  }
+  return rep;
+}
+
+std::size_t Network::heal_releases() {
+  if (!cfg_.gc) return 0;
+  {
+    std::lock_guard<std::mutex> lk(live_->scrape_mu);
+    if (live_->running.load(std::memory_order_relaxed)) return 0;
+    live_->running.store(true, std::memory_order_relaxed);
+  }
+  const std::size_t queued = gc_pass(/*final=*/false, /*resend=*/true);
+  Result res;
+  sequential_drain(transport(), res);
+  {
+    std::lock_guard<std::mutex> lk(live_->scrape_mu);
+    live_->running.store(false, std::memory_order_relaxed);
+  }
+  return queued;
 }
 
 void Network::stop_monitor() { monitor_.reset(); }
@@ -527,6 +806,8 @@ void Network::register_tcp_metrics(net::TcpTransport& t,
               s.frames_dropped.load(std::memory_order_relaxed));
     c.counter("tcp_send_timeouts" + l,
               s.send_timeouts.load(std::memory_order_relaxed));
+    c.counter("tcp_frames_filtered" + l,
+              s.frames_filtered.load(std::memory_order_relaxed));
     c.counter("tcp_frames_malformed" + l,
               s.frames_malformed.load(std::memory_order_relaxed));
     c.counter("tcp_peers_suspected" + l,
@@ -736,6 +1017,14 @@ Network::Result Network::run_threaded() {
       const bool resend_gc = cfg_.gc && cfg_.gc_resend_ms > 0;
       auto next_resend = std::chrono::steady_clock::now() +
                          std::chrono::milliseconds(cfg_.gc_resend_ms);
+      bool was_idle = false;
+      // The credit snapshot walk is O(export table + heap), and a
+      // request/reply site flips busy->idle once per round trip — so
+      // publishing on every flip is quadratic over a long run. Throttle
+      // the idle-edge publish; /gc mid-run is last-published state by
+      // contract, and every collect() still publishes unconditionally.
+      auto next_publish = std::chrono::steady_clock::now();
+      const auto publish_every = std::chrono::milliseconds(20);
       while (!stop.load(std::memory_order_relaxed)) {
         idle_hints[i]->store(false, std::memory_order_release);
         const std::size_t applied = s.process_incoming();
@@ -752,6 +1041,15 @@ Network::Result Network::run_threaded() {
           progress.fetch_add(applied, std::memory_order_release);
         const bool idle =
             applied == 0 && ran == 0 && s.incoming_size() == 0;
+        // Publish the credit snapshot on busy→idle transitions (at most
+        // one per throttle window) so a mid-run /gc scrape sees state
+        // roughly as of the last real work.
+        if (idle && !was_idle &&
+            std::chrono::steady_clock::now() >= next_publish) {
+          s.publish_gc_snapshot();
+          next_publish = std::chrono::steady_clock::now() + publish_every;
+        }
+        was_idle = idle;
         parked_hints[i]->store(s.machine().parked() > 0 && !s.failed(),
                                std::memory_order_release);
         idle_hints[i]->store(idle, std::memory_order_release);
@@ -768,8 +1066,14 @@ Network::Result Network::run_threaded() {
         if (moved != 0)
           progress.fetch_add(moved, std::memory_order_release);
         daemon_hints[j]->store(moved == 0, std::memory_order_release);
-        if (moved == 0)
+        if (moved == 0) {
+          // The daemon is the NS owner thread: publish its tables for
+          // concurrent /names scrapes (cheap — gated on a dirty count).
+          // Only the home node's daemon may touch a service's state.
+          NameService& dns = node->name_service();
+          if (dns.home_node() == node->id()) dns.publish_snapshot();
           std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
       }
     });
   }

@@ -29,6 +29,7 @@
 #include "net/tcp.hpp"
 #include "net/transport.hpp"
 #include "obs/export.hpp"
+#include "obs/fleet.hpp"
 #include "obs/http.hpp"
 #include "obs/metrics.hpp"
 
@@ -227,6 +228,36 @@ class Network {
   /// (obs/fleet.hpp). Empty peer list on non-TCP networks.
   std::string peers_json() const;
 
+  /// The /gc payload: every site's export-table snapshot — per-entry
+  /// minted/returned/released ledgers, applied releaser slots, debt,
+  /// pins — plus import balances, declared cumulative RELs and
+  /// free-list sizes. At rest the snapshots are built fresh under
+  /// scrape_mu (executors cannot start mid-build); while run() executes
+  /// the last snapshots published by the executor threads are served
+  /// (sites that never published are marked "stale").
+  std::string gc_json() const;
+
+  /// The /names payload: the name service's Site/Id tables with
+  /// ownership, held credit and its REL ledger — the central service
+  /// when this process hosts its home node, plus every per-node replica
+  /// in distributed-NS mode. Same at-rest/published discipline as /gc.
+  std::string names_json() const;
+
+  /// Run the GC credit audit (obs/fleet.hpp) over this process's own
+  /// /gc + /names documents — and, with `include_fleet` on a monitored
+  /// TCP network, over every peer TyCOmon discovered via /peers.
+  /// Every call bumps the `gc_audits` counter; each confirmed anomaly
+  /// bumps `gc_audit_imbalance` and promotes the offending entry's
+  /// minting trace into the flight recorder (kRelAnomaly).
+  obs::fleet::AuditReport self_audit(bool include_fleet = false);
+
+  /// At-rest REL heal: resend every site's cumulative releases and pump
+  /// until quiet (the executor-thread heal timer only runs inside
+  /// run()). Returns REL packets queued; no-op while run() executes or
+  /// when GC is off. Used by tycod's --audit-ms loop so a REL dropped
+  /// after the last run still heals within one interval.
+  std::size_t heal_releases();
+
   /// Merge every enabled ring into per-thread event lists (one per site,
   /// one per node daemon). Call after run(); rings are left intact.
   std::vector<obs::ThreadTrace> collect_traces() const;
@@ -265,6 +296,10 @@ class Network {
     std::atomic<std::uint64_t> progress{0};      // queue movements
     // 0 = never ran, 1 = quiescent, 2 = stalled, 3 = budget exhausted.
     std::atomic<int> outcome{0};
+    // Audit plane: self-audits run and confirmed anomalies they found
+    // (exported as gc_audits / gc_audit_imbalance; live-safe).
+    obs::Counter gc_audits;
+    obs::Counter gc_audit_imbalance;
     // Serialises a scrape's "at rest → full snapshot" decision against
     // the running transitions: run() flips `running` under this mutex,
     // and a scrape that saw false keeps holding it through the full
@@ -293,6 +328,7 @@ class Network {
   std::uint64_t prof_period_ = 0;  // 0 = profiling off
   obs::Registry::Registration flight_reg_;
   obs::Registry::Registration tcp_metrics_reg_;
+  obs::Registry::Registration audit_reg_;
   std::unique_ptr<LiveStatus> live_ = std::make_unique<LiveStatus>();
   // Declared last: the server thread reads everything above, so it must
   // be stopped (destroyed) first.

@@ -37,6 +37,7 @@ class Node {
   /// on-node and exports are broadcast to every other node's replica.
   void enable_local_ns(std::uint32_t n_nodes);
   NameService& name_service() { return *ns_; }
+  const NameService& name_service() const { return *ns_; }
 
   Site& add_site(const std::string& name);
   std::vector<std::unique_ptr<Site>>& sites() { return sites_; }

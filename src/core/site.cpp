@@ -191,6 +191,10 @@ std::size_t Site::process_incoming(std::size_t max_packets) {
     // sender's debt slot (a self-delivery attributes to ourselves, which
     // is equally correct — our own node is never written off).
     machine_.set_credit_peer(d.src_node);
+    machine_.set_credit_trace(
+        d.bytes.size() >= 13 && (d.bytes[0] & kTraceFlag) != 0
+            ? packet_trace_id(d.bytes)
+            : 0);
     const std::vector<std::uint8_t>& bytes = d.bytes;
     try {
       handle_packet(bytes);
@@ -205,6 +209,7 @@ std::size_t Site::process_incoming(std::size_t max_packets) {
                          obs::FlightRecorder::Reason::kError);
     }
     machine_.set_credit_peer(vm::Machine::kNoPeer);
+    machine_.set_credit_trace(0);
     ++n;
   }
   return n;
@@ -230,10 +235,13 @@ void Site::ship_message(const vm::NetRef& target, const std::string& label,
                gc_enabled_);
   w.u64(target.heap_id);
   w.str(label);
-  // Credit minted while marshalling is charged to the receiving node.
+  // Credit minted while marshalling is charged to the receiving node
+  // (and stamped with this ship's trace id for the audit plane).
   machine_.set_credit_peer(target.node);
+  machine_.set_credit_trace(tid.id);
   marshal_values(machine_, args, w, gc_enabled_);
   machine_.set_credit_peer(vm::Machine::kNoPeer);
+  machine_.set_credit_trace(0);
   auto bytes = w.take();
   packet_bytes_.observe(static_cast<double>(bytes.size()));
   if (ring_.should_record(tid.sampled))
@@ -264,8 +272,10 @@ void Site::ship_object(const vm::NetRef& target, std::uint32_t seg_slot,
   machine_.collect_closure(seg_slot, closure);
   write_closure(w, closure);
   machine_.set_credit_peer(target.node);
+  machine_.set_credit_trace(tid.id);
   marshal_values(machine_, env, w, gc_enabled_);
   machine_.set_credit_peer(vm::Machine::kNoPeer);
+  machine_.set_credit_trace(0);
   auto bytes = w.take();
   packet_bytes_.observe(static_cast<double>(bytes.size()));
   if (ring_.should_record(tid.sampled))
@@ -323,17 +333,19 @@ void Site::export_id(const std::string& name, const vm::NetRef& ref) {
   std::string sig;
   if (auto it = export_sigs_.find(name); it != export_sigs_.end())
     sig = it->second;
+  const obs::TraceTag tid = fresh_trace_id();
   std::uint64_t credit = 0;
   if (gc_enabled_) {
     // The name service becomes a credit holder for this entry: it hands
     // shares of the minted balance to importers and RELs the remainder
     // when the binding is dropped. The name pin keeps the entry alive
     // even if every unit of credit drains first.
+    machine_.set_credit_trace(tid.id);
     credit = machine_.mint_export_credit(ref);
+    machine_.set_credit_trace(0);
     machine_.pin_name(ref);
     exported_names_.emplace_back(name, ref);
   }
-  const obs::TraceTag tid = fresh_trace_id();
   if (ring_.should_record(tid.sampled))
     ring_.record(obs::EventType::kNsExport, tid.id);
   send_packet(ns_node_, NameService::make_export(0, name_, name, ref, sig,
@@ -413,7 +425,23 @@ std::size_t Site::collect(bool final, bool resend) {
     ++mobility_.gc_rel_sent;
     ++queued;
   }
+  // Every collection pass ends with a fresh published snapshot, so /gc
+  // served mid-run reflects the credit state as of the last quiescence
+  // or resend pass.
+  publish_gc_snapshot();
   return queued;
+}
+
+void Site::publish_gc_snapshot() {
+  auto snap = std::make_shared<const vm::Machine::GcSnapshot>(
+      machine_.gc_snapshot());
+  std::lock_guard<std::mutex> lk(snap_mu_);
+  gc_snap_ = std::move(snap);
+}
+
+std::shared_ptr<const vm::Machine::GcSnapshot> Site::gc_snapshot() const {
+  std::lock_guard<std::mutex> lk(snap_mu_);
+  return gc_snap_;
 }
 
 // ---------------------------------------------------------------------

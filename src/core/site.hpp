@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -166,6 +167,14 @@ class Site {
   /// registration dies with the site.
   void register_metrics(obs::Registry& registry);
 
+  /// Executor thread: rebuild and publish the machine's credit-state
+  /// snapshot for concurrent /gc scrapes (called at the end of every
+  /// collect() pass and on executor idle transitions — the same
+  /// single-writer/atomic-snapshot discipline as the trace ring).
+  void publish_gc_snapshot();
+  /// Last published snapshot (any thread; null until first publish).
+  std::shared_ptr<const vm::Machine::GcSnapshot> gc_snapshot() const;
+
  private:
   class Backend;
 
@@ -249,6 +258,9 @@ class Site {
   obs::Histogram fetch_rtt_us_{obs::Histogram::default_bounds()};
   obs::Registry::Registration metrics_reg_;
   obs::Registry::Registration gauges_reg_;
+
+  mutable std::mutex snap_mu_;
+  std::shared_ptr<const vm::Machine::GcSnapshot> gc_snap_;
 };
 
 }  // namespace dityco::core

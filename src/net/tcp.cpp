@@ -295,6 +295,15 @@ void TcpTransport::set_trace_record_all(bool on) {
 
 void TcpTransport::send(Packet p, double /*now_us: wall clock rules*/) {
   if (stop_.load(std::memory_order_relaxed)) return;
+  {
+    // Fault injection: a filtered packet vanishes before framing, as if
+    // the wire lost it.
+    std::lock_guard<std::mutex> lk(mu_);
+    if (drop_filter_ && drop_filter_(p)) {
+      stats_.frames_filtered.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
   const std::size_t wire = p.bytes.size();
   if (p.dst_node == cfg_.self) {
     // Loopback: a daemon packet addressed to this very node (rare — the

@@ -180,6 +180,7 @@ class TcpTransport : public Transport {
     std::atomic<std::uint64_t> backpressure_waits{0};
     std::atomic<std::uint64_t> frames_dropped{0};  // to dead peers
     std::atomic<std::uint64_t> send_timeouts{0};   // backpressure gave up
+    std::atomic<std::uint64_t> frames_filtered{0}; // eaten by a drop filter
     std::atomic<std::uint64_t> frames_malformed{0};  // undecodable bodies
     std::atomic<std::uint64_t> peers_suspected{0};
     std::atomic<std::uint64_t> peers_dead{0};
@@ -296,6 +297,20 @@ class TcpTransport : public Transport {
     death_frame_ = std::move(f);
   }
 
+  /// Fault injection, mirroring InProcTransport::set_drop_filter: a
+  /// packet for which `f` returns true is silently eaten at send time
+  /// (counted in frames_filtered) — it never reaches a socket, exactly
+  /// like a lossy wire. The filter runs under the transport mutex, so it
+  /// must be cheap and must not call back into the transport. Used by
+  /// tycod --drop-rel and the GC-heal tests; pass nullptr to clear.
+  void set_drop_filter(std::function<bool(const Packet&)> f) {
+    std::lock_guard<std::mutex> lk(mu_);
+    drop_filter_ = std::move(f);
+  }
+  std::uint64_t filtered() const {
+    return stats_.frames_filtered.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Peer {
     std::string hostport;  // empty until learned
@@ -373,6 +388,7 @@ class TcpTransport : public Transport {
   std::function<std::vector<std::uint8_t>(std::uint32_t)> death_frame_;
   std::function<void(PeerEvent, std::uint32_t, std::uint64_t)>
       peer_event_hook_;
+  std::function<bool(const Packet&)> drop_filter_;
   obs::TraceRing ring_;  // all record sites hold mu_ (single producer)
   std::uint64_t rng_ = 0x9e3779b97f4a7c15ull;  // jitter; I/O thread only
 

@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <set>
+#include <tuple>
 
 #include "obs/metrics.hpp"  // json_escape
 
@@ -284,7 +285,8 @@ std::string host_of(const std::string& hostport, const std::string& fallback) {
 
 }  // namespace
 
-std::vector<NodeEndpoint> discover(const std::string& seed_url) {
+std::vector<NodeEndpoint> discover(const std::string& seed_url,
+                                   std::vector<std::uint32_t>* unmonitored) {
   std::vector<NodeEndpoint> out;
   std::string host;
   std::uint16_t port = 0;
@@ -294,6 +296,7 @@ std::vector<NodeEndpoint> discover(const std::string& seed_url) {
   std::vector<std::pair<std::string, std::uint16_t>> todo{{host, port}};
   std::set<std::pair<std::string, std::uint16_t>> seen{{host, port}};
   std::set<std::uint32_t> known_nodes;
+  std::set<std::uint32_t> no_monitor;
 
   while (!todo.empty()) {
     const auto [h, p] = todo.back();
@@ -319,12 +322,22 @@ std::vector<NodeEndpoint> discover(const std::string& seed_url) {
     for (const Json& peer : peers->items) {
       const auto mport =
           static_cast<std::uint16_t>(peer.u64_or("monitor", 0));
-      if (mport == 0) continue;
+      if (mport == 0) {
+        // Monitor-less peer (or its port has not gossiped yet): part of
+        // the fleet, just not scrapeable — record, don't fail.
+        no_monitor.insert(static_cast<std::uint32_t>(peer.u64_or("node", 0)));
+        continue;
+      }
       // The peer's monitor listens where its transport does; fall back
       // to the probed host for peers whose address is not yet gossiped.
       const std::string mhost = host_of(peer.str_or("hostport"), h);
       if (seen.insert({mhost, mport}).second) todo.push_back({mhost, mport});
     }
+  }
+  if (unmonitored != nullptr) {
+    unmonitored->clear();
+    for (std::uint32_t n : no_monitor)
+      if (!known_nodes.count(n)) unmonitored->push_back(n);
   }
   return out;
 }
@@ -521,6 +534,357 @@ std::string federate_metrics(
       out += '\n';
     }
   }
+  return out;
+}
+
+// -- credit audit ---------------------------------------------------------
+
+namespace {
+
+// Owner identity of one export-table entry across the fleet.
+using OwnerKey = std::tuple<std::uint32_t, std::uint32_t, int, std::uint64_t>;
+// Releaser identity: the (node, site) a cumulative REL ledger belongs to.
+using Releaser = std::pair<std::uint32_t, std::uint32_t>;
+
+// The name service RELs under this pseudo-site id (core/nameservice.cpp).
+constexpr std::uint32_t kNsReleaserSite = 0xfffffffeu;
+
+std::string key_str(const OwnerKey& k) {
+  return std::string(std::get<2>(k) == 1 ? "class " : "chan ") +
+         std::to_string(std::get<0>(k)) + "/" + std::to_string(std::get<1>(k)) +
+         "#" + std::to_string(std::get<3>(k));
+}
+
+}  // namespace
+
+AuditReport audit(const std::vector<Json>& gc_docs,
+                  const std::vector<Json>& names_docs,
+                  const std::vector<std::uint32_t>& expected_nodes) {
+  AuditReport rep;
+
+  struct Entry {
+    std::uint64_t minted = 0, returned = 0, released = 0, outstanding = 0;
+    std::uint64_t pins = 0, trace = 0;
+    double age_ms = 0;
+    std::map<Releaser, std::uint64_t> applied;  // owner-side REL slots
+    std::vector<std::uint32_t> debt_nodes;      // advisory holder set
+    std::uint64_t held = 0, lag = 0;
+    std::string ns_name;
+  };
+  std::map<OwnerKey, Entry> entries;
+  // Releaser-side declared cumulative REL ledgers (max-merged: the wire
+  // protocol is idempotent under the same rule).
+  std::map<std::pair<OwnerKey, Releaser>, std::uint64_t> declared;
+  struct Import {
+    OwnerKey key;
+    std::uint32_t at_node = 0;
+    std::string at_site;
+    std::uint64_t credit = 0;
+  };
+  std::vector<Import> imports;
+
+  std::set<std::uint32_t> scraped;      // nodes with >= 1 fresh site doc
+  std::set<std::uint32_t> stale_nodes;  // nodes with a stale site doc
+
+  auto owner_key = [](const Json& o) {
+    return OwnerKey{static_cast<std::uint32_t>(o.u64_or("owner_node", 0)),
+                    static_cast<std::uint32_t>(o.u64_or("owner_site", 0)),
+                    static_cast<int>(o.u64_or("kind", 0)),
+                    o.u64_or("id", 0)};
+  };
+
+  for (const Json& doc : gc_docs) {
+    const Json* sites = doc.find("sites");
+    if (!sites || sites->kind != Json::Kind::kArray) continue;
+    ++rep.nodes;
+    for (const Json& s : sites->items) {
+      const auto node = static_cast<std::uint32_t>(s.u64_or("node", 0));
+      const auto site = static_cast<std::uint32_t>(s.u64_or("site", 0));
+      if (const Json* st = s.find("stale");
+          st && st->kind == Json::Kind::kBool && st->boolean) {
+        stale_nodes.insert(node);
+        rep.gaps.push_back("node " + std::to_string(node) + " site \"" +
+                           s.str_or("name") + "\": stale snapshot");
+        continue;
+      }
+      scraped.insert(node);
+      ++rep.sites;
+      if (const Json* exp = s.find("exports");
+          exp && exp->kind == Json::Kind::kArray) {
+        for (const Json& e : exp->items) {
+          const OwnerKey key{node, site,
+                             static_cast<int>(e.u64_or("kind", 0)),
+                             e.u64_or("id", 0)};
+          Entry& en = entries[key];
+          en.minted = e.u64_or("minted", 0);
+          en.returned = e.u64_or("returned", 0);
+          en.released = e.u64_or("released", 0);
+          en.outstanding = e.u64_or("outstanding", 0);
+          en.pins = e.u64_or("pins", 0);
+          en.trace = e.u64_or("trace", 0);
+          en.age_ms = e.num_or("age_ms", 0);
+          if (const Json* rel = e.find("releasers");
+              rel && rel->kind == Json::Kind::kArray)
+            for (const Json& r : rel->items)
+              if (r.kind == Json::Kind::kArray && r.items.size() == 3)
+                en.applied[{static_cast<std::uint32_t>(r.items[0].u64()),
+                            static_cast<std::uint32_t>(r.items[1].u64())}] =
+                    r.items[2].u64();
+          if (const Json* d = e.find("debt");
+              d && d->kind == Json::Kind::kArray)
+            for (const Json& r : d->items)
+              if (r.kind == Json::Kind::kArray && r.items.size() == 2)
+                en.debt_nodes.push_back(
+                    static_cast<std::uint32_t>(r.items[0].u64()));
+        }
+      }
+      if (const Json* imp = s.find("imports");
+          imp && imp->kind == Json::Kind::kArray) {
+        for (const Json& i : imp->items) {
+          Import im;
+          im.key = owner_key(i);
+          im.at_node = node;
+          im.at_site = s.str_or("name");
+          im.credit = i.u64_or("credit", 0);
+          imports.push_back(std::move(im));
+        }
+      }
+      if (const Json* rel = s.find("releases");
+          rel && rel->kind == Json::Kind::kArray) {
+        for (const Json& r : rel->items) {
+          auto& cum = declared[{owner_key(r), Releaser{node, site}}];
+          cum = std::max(cum, r.u64_or("cum", 0));
+        }
+      }
+    }
+  }
+
+  // Name-service half: credit the service still holds joins `held`; its
+  // REL ledger joins the declared set under the NS pseudo-releaser.
+  bool ns_complete = true;
+  struct NsHold {
+    OwnerKey key;
+    std::string label;
+    std::uint64_t credit = 0;
+  };
+  std::vector<NsHold> ns_holds;
+  for (const Json& doc : names_docs) {
+    const Json* svcs = doc.find("services");
+    if (!svcs || svcs->kind != Json::Kind::kArray) continue;
+    for (const Json& svc : svcs->items) {
+      const auto home =
+          static_cast<std::uint32_t>(svc.u64_or("home_node", 0));
+      if (const Json* st = svc.find("stale");
+          st && st->kind == Json::Kind::kBool && st->boolean) {
+        ns_complete = false;
+        rep.gaps.push_back("name service @ node " + std::to_string(home) +
+                           ": stale snapshot");
+        continue;
+      }
+      if (const Json* ids = svc.find("ids");
+          ids && ids->kind == Json::Kind::kArray) {
+        for (const Json& row : ids->items) {
+          const Json* gc = row.find("gc");
+          if (!gc || gc->kind != Json::Kind::kBool || !gc->boolean) continue;
+          NsHold h;
+          h.key = owner_key(row);
+          h.label = row.str_or("site") + "/" + row.str_or("name");
+          h.credit = row.u64_or("credit", 0);
+          if (auto it = entries.find(h.key); it != entries.end())
+            it->second.ns_name = h.label;
+          ns_holds.push_back(std::move(h));
+        }
+      }
+      if (const Json* rel = svc.find("releases");
+          rel && rel->kind == Json::Kind::kArray) {
+        for (const Json& r : rel->items) {
+          auto& cum =
+              declared[{owner_key(r), Releaser{home, kNsReleaserSite}}];
+          cum = std::max(cum, r.u64_or("cum", 0));
+        }
+      }
+    }
+  }
+  if (names_docs.empty()) ns_complete = false;
+
+  // Completeness of the scrape: every expected node present and fresh.
+  bool fleet_complete = stale_nodes.empty();
+  for (std::uint32_t n : expected_nodes)
+    if (!scraped.count(n)) {
+      fleet_complete = false;
+      rep.gaps.push_back("node " + std::to_string(n) +
+                         ": expected but not scraped");
+    }
+
+  // Join the holder sides into the owner entries.
+  for (const Import& im : imports) {
+    auto it = entries.find(im.key);
+    if (it != entries.end()) {
+      it->second.held += im.credit;
+    } else if (im.credit > 0 && scraped.count(std::get<0>(im.key))) {
+      // The owner was scraped and has no such entry: an entry reclaimed
+      // while credit for it was still out, or a corrupted ledger.
+      rep.orphan_imports.push_back(
+          im.at_site + "@node" + std::to_string(im.at_node) + " holds " +
+          std::to_string(im.credit) + " credit for missing " +
+          key_str(im.key));
+    }
+  }
+  for (const NsHold& h : ns_holds) {
+    auto it = entries.find(h.key);
+    if (it != entries.end()) {
+      it->second.held += h.credit;
+    } else if (h.credit > 0 && scraped.count(std::get<0>(h.key))) {
+      rep.ns_mismatches.push_back("name service holds " +
+                                  std::to_string(h.credit) + " credit for \"" +
+                                  h.label + "\" but owner " + key_str(h.key) +
+                                  " has no entry");
+    }
+  }
+  for (const auto& [joined, cum] : declared) {
+    auto it = entries.find(joined.first);
+    if (it == entries.end()) continue;  // reclaimed: ledger outlives entry
+    const auto slot = it->second.applied.find(joined.second);
+    const std::uint64_t applied =
+        slot == it->second.applied.end() ? 0 : slot->second;
+    if (cum > applied) it->second.lag += cum - applied;
+  }
+
+  // Verdicts.
+  for (auto& [key, en] : entries) {
+    if (en.minted == 0) continue;  // legacy immortal entry: no ledger
+    ++rep.entries;
+    rep.outstanding += en.outstanding;
+    rep.held += en.held;
+    rep.lag += en.lag;
+    bool entry_verifiable = fleet_complete && (en.pins == 0 || ns_complete);
+    for (std::uint32_t dn : en.debt_nodes)
+      if (!scraped.count(dn)) entry_verifiable = false;
+    const std::int64_t residual = static_cast<std::int64_t>(en.outstanding) -
+                                  static_cast<std::int64_t>(en.held) -
+                                  static_cast<std::int64_t>(en.lag);
+    const char* why = nullptr;
+    if (en.lag > 0)
+      why = "rel_lost";
+    else if (residual < 0)
+      why = "over_release";
+    else if (residual > 0 && entry_verifiable)
+      why = "leak";
+    else if (residual > 0)
+      rep.verifiable = false;  // positive residual we cannot confirm
+    if (why == nullptr) continue;
+    AuditOffender off;
+    off.owner_node = std::get<0>(key);
+    off.owner_site = std::get<1>(key);
+    off.kind = std::get<2>(key);
+    off.heap_id = std::get<3>(key);
+    off.ns_name = en.ns_name;
+    off.minted = en.minted;
+    off.outstanding = en.outstanding;
+    off.held = en.held;
+    off.lag = en.lag;
+    off.residual = residual;
+    off.age_ms = en.age_ms;
+    off.trace = en.trace;
+    off.why = why;
+    rep.offenders.push_back(std::move(off));
+  }
+  std::stable_sort(rep.offenders.begin(), rep.offenders.end(),
+                   [](const AuditOffender& a, const AuditOffender& b) {
+                     const auto sev = [](const AuditOffender& o) {
+                       return o.lag + static_cast<std::uint64_t>(
+                                          o.residual < 0 ? -o.residual
+                                                         : o.residual);
+                     };
+                     return sev(a) > sev(b);
+                   });
+  if (!rep.gaps.empty()) rep.verifiable = false;
+  rep.balanced = rep.offenders.empty() && rep.orphan_imports.empty() &&
+                 rep.ns_mismatches.empty();
+  return rep;
+}
+
+namespace {
+
+std::string str_array(const std::vector<std::string>& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ",";
+    out += "\"" + json_escape(v[i]) + "\"";
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+std::string AuditReport::to_json() const {
+  std::string out = "{\"balanced\":";
+  out += balanced ? "true" : "false";
+  out += ",\"verifiable\":";
+  out += verifiable ? "true" : "false";
+  out += ",\"nodes\":" + std::to_string(nodes);
+  out += ",\"sites\":" + std::to_string(sites);
+  out += ",\"entries\":" + std::to_string(entries);
+  out += ",\"outstanding\":" + std::to_string(outstanding);
+  out += ",\"held\":" + std::to_string(held);
+  out += ",\"lag\":" + std::to_string(lag);
+  out += ",\"offenders\":[";
+  for (std::size_t i = 0; i < offenders.size(); ++i) {
+    const AuditOffender& o = offenders[i];
+    if (i) out += ",";
+    out += "{\"why\":\"" + o.why + "\"";
+    out += ",\"owner_node\":" + std::to_string(o.owner_node);
+    out += ",\"owner_site\":" + std::to_string(o.owner_site);
+    out += ",\"kind\":" + std::to_string(o.kind);
+    out += ",\"id\":" + std::to_string(o.heap_id);
+    if (!o.ns_name.empty())
+      out += ",\"name\":\"" + json_escape(o.ns_name) + "\"";
+    out += ",\"minted\":" + std::to_string(o.minted);
+    out += ",\"outstanding\":" + std::to_string(o.outstanding);
+    out += ",\"held\":" + std::to_string(o.held);
+    out += ",\"lag\":" + std::to_string(o.lag);
+    out += ",\"residual\":" + std::to_string(o.residual);
+    out += ",\"age_ms\":" + fmt_ts(o.age_ms);
+    out += ",\"trace\":" + std::to_string(o.trace);
+    out += "}";
+  }
+  out += "],\"orphan_imports\":" + str_array(orphan_imports);
+  out += ",\"ns_mismatches\":" + str_array(ns_mismatches);
+  out += ",\"gaps\":" + str_array(gaps);
+  out += "}";
+  return out;
+}
+
+std::string AuditReport::to_text() const {
+  std::string out = "credit audit: ";
+  out += balanced ? "BALANCED" : "IMBALANCED";
+  if (!verifiable) out += " (unverifiable)";
+  out += " — " + std::to_string(entries) + " entries, " +
+         std::to_string(sites) + " sites, " + std::to_string(nodes) +
+         " nodes\n";
+  out += "  outstanding " + std::to_string(outstanding) + " = held " +
+         std::to_string(held) + " + lag " + std::to_string(lag) +
+         " + residual " +
+         std::to_string(static_cast<std::int64_t>(outstanding) -
+                        static_cast<std::int64_t>(held) -
+                        static_cast<std::int64_t>(lag)) +
+         "\n";
+  for (const AuditOffender& o : offenders) {
+    out += "  [" + o.why + "] " +
+           key_str({o.owner_node, o.owner_site, o.kind, o.heap_id});
+    if (!o.ns_name.empty()) out += " (\"" + o.ns_name + "\")";
+    out += " minted=" + std::to_string(o.minted) +
+           " outstanding=" + std::to_string(o.outstanding) +
+           " held=" + std::to_string(o.held) +
+           " lag=" + std::to_string(o.lag) +
+           " residual=" + std::to_string(o.residual) + " age=" +
+           fmt_ts(o.age_ms) + "ms trace=" + std::to_string(o.trace) + "\n";
+  }
+  for (const std::string& s : orphan_imports)
+    out += "  [orphan_import] " + s + "\n";
+  for (const std::string& s : ns_mismatches)
+    out += "  [ns_mismatch] " + s + "\n";
+  for (const std::string& s : gaps) out += "  [gap] " + s + "\n";
   return out;
 }
 

@@ -83,7 +83,15 @@ struct NodeEndpoint {
 /// Walk /peers transitively from a seed monitor URL until no new
 /// monitors appear. Unreachable peers are skipped; the seed itself is
 /// always first when reachable. Returns empty on a dead seed.
-std::vector<NodeEndpoint> discover(const std::string& seed_url);
+///
+/// A peer that gossips monitor port 0 runs without a TyCOmon (tycod
+/// --monitor off) — it cannot be scraped but it IS part of the fleet:
+/// it is skipped, never an error, and with `unmonitored` non-null its
+/// node id is reported so aggregators (tycotop, the audit plane) can
+/// mark the fleet view incomplete instead of silently under-counting.
+std::vector<NodeEndpoint> discover(const std::string& seed_url,
+                                   std::vector<std::uint32_t>* unmonitored =
+                                       nullptr);
 
 // -- stitching ------------------------------------------------------------
 
@@ -121,5 +129,63 @@ std::string federate_metrics(
 /// Bodies are embedded verbatim (they are already JSON).
 std::string federate_metrics_json(
     const std::vector<std::pair<std::uint32_t, std::string>>& docs);
+
+// -- credit audit ---------------------------------------------------------
+//
+// Joins per-node /gc and /names documents by (owner node, owner site,
+// kind, heap id) and checks the conservation invariant of the
+// credit-based GC (DESIGN.md §GC invariants): for every export entry,
+//
+//   minted = returned + released_applied + Σ held + lag + in-flight
+//
+// where `held` sums remote netref balances plus name-service credit,
+// and `lag` is Σ max(0, declared_releaser_cum - applied_slot) — credit a
+// releaser has cumulatively RELed that the owner has not yet applied (a
+// dropped REL, healed by gc_resend_ms). On an idle fleet in-flight is
+// zero, so residual = outstanding - held - lag must be zero too.
+
+/// One out-of-balance export entry, worst first in AuditReport.
+struct AuditOffender {
+  std::uint32_t owner_node = 0, owner_site = 0;
+  int kind = 0;                  // 0 chan, 1 class
+  std::uint64_t heap_id = 0;
+  std::string ns_name;           // "site/name" when NS-bound, else ""
+  std::uint64_t minted = 0, outstanding = 0, held = 0, lag = 0;
+  std::int64_t residual = 0;     // outstanding - held - lag
+  double age_ms = 0;             // since the entry's ledger last moved
+  std::uint64_t trace = 0;       // trace id of the minting operation
+  std::string why;               // "rel_lost" | "leak" | "over_release"
+};
+
+struct AuditReport {
+  bool balanced = true;      // no confirmed anomaly of any class
+  bool verifiable = true;    // every referenced node was scraped, fresh
+  std::size_t nodes = 0;     // /gc documents joined
+  std::size_t sites = 0;     // site snapshots joined (stale ones excluded)
+  std::size_t entries = 0;   // credit-bearing export entries audited
+  std::uint64_t outstanding = 0, held = 0, lag = 0;
+  std::vector<AuditOffender> offenders;
+  /// Imports holding credit for an export the (scraped) owner no longer
+  /// has — over-released or corrupted ledgers.
+  std::vector<std::string> orphan_imports;
+  /// Name-service credit for an export the (scraped) owner no longer
+  /// has, or an NS ledger that disagrees with the origin's export table.
+  std::vector<std::string> ns_mismatches;
+  /// Expected-but-missing node ids, plus stale site snapshots; anything
+  /// here clears `verifiable`.
+  std::vector<std::string> gaps;
+  std::string to_json() const;
+  std::string to_text() const;
+};
+
+/// Audit parsed /gc and /names documents. `expected_nodes` lists every
+/// node id the fleet should contain (discovery view); nodes referenced
+/// by any ledger but absent from the scrape make the report
+/// unverifiable rather than imbalanced. Anomalies that depend only on
+/// scraped data (REL lag, over-release, orphans) are confirmed
+/// regardless of gaps.
+AuditReport audit(const std::vector<Json>& gc_docs,
+                  const std::vector<Json>& names_docs,
+                  const std::vector<std::uint32_t>& expected_nodes = {});
 
 }  // namespace dityco::obs::fleet

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "support/fmt.hpp"
 #include "vm/verify.hpp"
@@ -370,6 +371,8 @@ std::pair<std::uint64_t, std::uint64_t> Machine::export_chan_credit(
   ExportEntry& e = chan_exports_[id];
   e.minted += kMintCredit;
   if (credit_peer_ != kNoPeer) e.debt[credit_peer_] += kMintCredit;
+  e.touched_ns = obs::trace_now_ns();
+  if (credit_trace_ != 0) e.last_trace = credit_trace_;
   ++gc_stats_.credit_mints;
   return {id, kMintCredit};
 }
@@ -380,6 +383,8 @@ std::pair<std::uint64_t, std::uint64_t> Machine::export_class_credit(
   ExportEntry& e = class_exports_[id];
   e.minted += kMintCredit;
   if (credit_peer_ != kNoPeer) e.debt[credit_peer_] += kMintCredit;
+  e.touched_ns = obs::trace_now_ns();
+  if (credit_trace_ != 0) e.last_trace = credit_trace_;
   ++gc_stats_.credit_mints;
   return {id, kMintCredit};
 }
@@ -389,6 +394,8 @@ std::uint64_t Machine::mint_export_credit(const NetRef& ref) {
   if (!e) return 0;
   e->minted += kMintCredit;
   if (credit_peer_ != kNoPeer) e->debt[credit_peer_] += kMintCredit;
+  e->touched_ns = obs::trace_now_ns();
+  if (credit_trace_ != 0) e->last_trace = credit_trace_;
   ++gc_stats_.credit_mints;
   return kMintCredit;
 }
@@ -402,6 +409,7 @@ void Machine::return_export_credit(NetRef::Kind kind, std::uint64_t heap_id,
   }
   e->returned += credit;
   if (credit_peer_ != kNoPeer) pay_debt(e->debt, credit_peer_, credit);
+  e->touched_ns = obs::trace_now_ns();
   maybe_reclaim(kind, heap_id);
 }
 
@@ -433,6 +441,7 @@ std::uint64_t Machine::write_off_node(std::uint32_t node) {
       // Accumulating is safe: only write-offs touch this slot and each
       // addition reflects distinct forgiven credit.
       e.released[releaser_key(node, kWriteOffSite)] += forgiven;
+      e.touched_ns = obs::trace_now_ns();
       total += forgiven;
       if (e.outstanding() == 0) drained.push_back(id);
     }
@@ -446,13 +455,17 @@ std::uint64_t Machine::write_off_node(std::uint32_t node) {
 }
 
 void Machine::pin_name(const NetRef& ref) {
-  if (ExportEntry* e = find_export(ref.kind, ref.heap_id)) ++e->names;
+  if (ExportEntry* e = find_export(ref.kind, ref.heap_id)) {
+    ++e->names;
+    e->touched_ns = obs::trace_now_ns();
+  }
 }
 
 void Machine::unpin_name(const NetRef& ref) {
   ExportEntry* e = find_export(ref.kind, ref.heap_id);
   if (!e || e->names == 0) return;
   --e->names;
+  e->touched_ns = obs::trace_now_ns();
   maybe_reclaim(ref.kind, ref.heap_id);
 }
 
@@ -477,6 +490,7 @@ Machine::ReleaseResult Machine::apply_release(NetRef::Kind kind,
   }
   pay_debt(e->debt, rel_node, cum - slot);
   slot = cum;
+  e->touched_ns = obs::trace_now_ns();
   return maybe_reclaim(kind, heap_id) ? ReleaseResult::kReclaimed
                                       : ReleaseResult::kApplied;
 }
@@ -525,6 +539,55 @@ std::vector<std::pair<NetRef, std::uint64_t>> Machine::all_releases() const {
   for (const auto& [ref, cum] : rel_cum_)
     if (cum > 0) out.emplace_back(ref, cum);
   return out;
+}
+
+Machine::GcSnapshot Machine::gc_snapshot() const {
+  GcSnapshot s;
+  s.node = node_id_;
+  s.site = site_id_;
+  s.name = name_;
+  s.steady_now_ns = obs::trace_now_ns();
+  s.wall_now_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  auto copy_table = [&](NetRef::Kind kind,
+                        const std::map<std::uint64_t, ExportEntry>& tbl) {
+    for (const auto& [id, e] : tbl) {
+      GcSnapshot::Entry out;
+      out.kind = kind;
+      out.heap_id = id;
+      out.local = e.local;
+      out.minted = e.minted;
+      out.returned = e.returned;
+      out.released = e.released_total();
+      out.outstanding = e.outstanding();
+      out.pins = e.names;
+      out.touched_ns = e.touched_ns;
+      out.last_trace = e.last_trace;
+      out.releasers.assign(e.released.begin(), e.released.end());
+      out.debt.assign(e.debt.begin(), e.debt.end());
+      s.outstanding += out.outstanding;
+      s.exports.push_back(std::move(out));
+    }
+  };
+  copy_table(NetRef::Kind::kChan, chan_exports_);
+  copy_table(NetRef::Kind::kClass, class_exports_);
+  for (std::size_t i = 0; i < netrefs_.size(); ++i) {
+    if (netref_freed_[i]) continue;
+    GcSnapshot::Held h;
+    h.ref = netrefs_[i];
+    h.credit = netref_credit_[i];
+    s.held += h.credit;
+    s.imports.push_back(h);
+  }
+  for (const auto& [ref, cum] : rel_cum_)
+    if (cum > 0) s.releases.push_back({ref, cum});
+  s.live_channels = live_channels();
+  s.free_channels = free_chans_.size();
+  s.live_netrefs = live_netrefs();
+  s.free_netrefs = free_netrefs_.size();
+  return s;
 }
 
 void Machine::free_channel(std::uint32_t idx) {

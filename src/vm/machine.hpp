@@ -245,6 +245,12 @@ class Machine {
   void set_credit_peer(std::uint32_t node) { credit_peer_ = node; }
   std::uint32_t credit_peer() const { return credit_peer_; }
 
+  /// Observability context: while set, freshly minted credit stamps its
+  /// export entry with this trace id, so an audit that later finds the
+  /// entry imbalanced can promote the trace that created the credit into
+  /// the flight recorder. Zero clears (no active trace).
+  void set_credit_trace(std::uint64_t trace_id) { credit_trace_ = trace_id; }
+
   /// Re-attribute `amount` of an entry's outstanding credit to `node`
   /// (CREDIT-MOVED: the name service handed part of its held share to a
   /// third party; the owner must charge the new holder, not the NS).
@@ -317,6 +323,56 @@ class Machine {
   }
   /// Σ of local credit balances over live netref slots.
   std::uint64_t netref_credit_total() const;
+
+  /// Consistent copy of the whole credit state of this machine: every
+  /// export-table entry with its full minted/returned/released/pin/debt
+  /// ledgers, every live import (foreign netref) with its balance, the
+  /// releaser-side cumulative REL ledger, and the heap/netref free-list
+  /// sizes. Built by the owner thread (or any thread while the machine is
+  /// at rest) and published by the Site as an atomic shared_ptr so
+  /// TyCOmon's /gc endpoint can serve it mid-run — the same
+  /// single-writer/atomic-snapshot discipline as the trace rings.
+  struct GcSnapshot {
+    struct Entry {
+      NetRef::Kind kind = NetRef::Kind::kChan;
+      std::uint64_t heap_id = 0;
+      std::uint32_t local = 0;      // channel or class index
+      std::uint64_t minted = 0;
+      std::uint64_t returned = 0;
+      std::uint64_t released = 0;   // Σ of the released map
+      std::uint64_t outstanding = 0;
+      std::uint32_t pins = 0;       // name-service binding pins
+      std::uint64_t touched_ns = 0; // last credit activity (leak age)
+      std::uint64_t last_trace = 0; // trace id of the last mint
+      // (releaser_key, cumulative released) — the applied REL slots.
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> releasers;
+      // (node, credit believed held there) — the advisory debt ledger.
+      std::vector<std::pair<std::uint32_t, std::uint64_t>> debt;
+    };
+    struct Held {           // one live imported reference
+      NetRef ref;
+      std::uint64_t credit = 0;
+    };
+    struct Rel {            // releaser-side cumulative ledger
+      NetRef ref;
+      std::uint64_t cum = 0;
+    };
+    std::uint32_t node = 0, site = 0;
+    std::string name;
+    std::vector<Entry> exports;   // channels first, then classes
+    std::vector<Held> imports;
+    std::vector<Rel> releases;
+    std::size_t live_channels = 0, free_channels = 0;
+    std::size_t live_netrefs = 0, free_netrefs = 0;
+    std::uint64_t outstanding = 0;  // Σ entry outstanding
+    std::uint64_t held = 0;         // Σ import balances
+    // Clock anchor: steady (trace) time and wall time sampled together
+    // at build, so a fleet auditor can rebase touched_ns across
+    // processes (same scheme as /trace's ExportMeta anchor).
+    std::uint64_t steady_now_ns = 0;
+    std::uint64_t wall_now_us = 0;
+  };
+  GcSnapshot gc_snapshot() const;
 
   struct GcStats {
     obs::SoloCounter collections;
@@ -426,6 +482,8 @@ class Machine {
     // set_credit_peer / write_off_node). Advisory only — it never gates
     // reclamation, it only bounds what a failure write-off may forgive.
     std::map<std::uint32_t, std::uint64_t> debt;
+    std::uint64_t touched_ns = 0;  // last credit activity (audit leak age)
+    std::uint64_t last_trace = 0;  // trace id active at the last mint
 
     std::uint64_t released_total() const {
       std::uint64_t sum = 0;
@@ -498,6 +556,7 @@ class Machine {
   bool gc_dirty_ = false;
   GcStats gc_stats_;
   std::uint32_t credit_peer_ = kNoPeer;
+  std::uint64_t credit_trace_ = 0;
 
   std::uint64_t pending_msgs_ = 0;
   std::uint64_t pending_objs_ = 0;

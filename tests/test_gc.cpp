@@ -9,8 +9,13 @@
 // reorders, stale releases) and the credit-split starvation path.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+
 #include "core/network.hpp"
 #include "core/wire.hpp"
+#include "net/transport.hpp"
+#include "obs/fleet.hpp"
 #include "vm/machine.hpp"
 
 namespace dityco::core {
@@ -373,6 +378,108 @@ TEST(GcProtocol, HeapSlotsAreReused) {
   const std::uint32_t c = m.new_channel();
   EXPECT_TRUE(c == a || c == b) << "freed slots are recycled";
   EXPECT_EQ(m.live_channels(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// GC snapshots and the credit audit plane
+// ---------------------------------------------------------------------
+
+TEST(GcSnapshot, LedgersMirrorTheExportTable) {
+  // One channel shipped to two holders, one of which releases: the
+  // snapshot must expose the full per-entry ledger — mint/return/release
+  // totals, the applied releaser slot under its (node<<32)|site key —
+  // plus the holder's import balance and the releaser's cumulative
+  // ledger, which outlives the handle.
+  Machine owner("owner", 0, 0);
+  Machine a("a", 1, 0);
+  Machine b("b", 2, 1);
+  const std::uint32_t ch = owner.new_channel();
+  ship_chan(owner, ch, a);
+  ship_chan(owner, ch, b);
+  a.gc();
+  const auto rels = a.take_pending_releases();
+  ASSERT_EQ(rels.size(), 1u);
+  const auto [ref, cum] = rels[0];
+  ASSERT_EQ(owner.apply_release(ref.kind, ref.heap_id, a.node_id(),
+                                a.site_id(), cum),
+            Machine::ReleaseResult::kApplied);
+
+  const auto snap = owner.gc_snapshot();
+  EXPECT_EQ(snap.node, 0u);
+  ASSERT_EQ(snap.exports.size(), 1u);
+  const auto& e = snap.exports[0];
+  EXPECT_EQ(e.heap_id, ref.heap_id);
+  EXPECT_EQ(e.minted, 2 * vm::kMintCredit);
+  EXPECT_EQ(e.released, cum);
+  EXPECT_EQ(e.minted, e.returned + e.released + e.outstanding);
+  EXPECT_EQ(e.outstanding, b.netref_credit_total());
+  ASSERT_EQ(e.releasers.size(), 1u);
+  EXPECT_EQ(e.releasers[0].first, (std::uint64_t{1} << 32) | 0u);
+  EXPECT_EQ(e.releasers[0].second, cum);
+  EXPECT_EQ(snap.outstanding, e.outstanding);
+  EXPECT_GT(e.touched_ns, 0u);
+
+  const auto held = b.gc_snapshot();
+  ASSERT_EQ(held.imports.size(), 1u);
+  EXPECT_EQ(held.imports[0].credit, e.outstanding);
+  EXPECT_EQ(held.held, e.outstanding);
+  const auto released = a.gc_snapshot();
+  ASSERT_EQ(released.releases.size(), 1u);
+  EXPECT_EQ(released.releases[0].cum, cum);
+  EXPECT_EQ(released.held, 0u);
+}
+
+TEST(GcAudit, DroppedRelIsFlaggedThenHealed) {
+  // A REL frame the wire loses shows up in the fleet audit as lag on the
+  // owner's entry — the releaser's cumulative ledger declares more than
+  // the owner's applied slot — and an at-rest cumulative retransmission
+  // (Network::heal_releases) clears it. Resend timer deliberately off so
+  // the imbalance persists until healed explicitly.
+  Network net;
+  net.add_node();
+  net.add_node();
+  net.add_site(0, "server");
+  net.add_site(1, "client");
+  auto& tr = dynamic_cast<net::InProcTransport&>(net.transport());
+  auto first = std::make_shared<std::atomic<bool>>(true);
+  tr.set_drop_filter([first](const net::Packet& p) {
+    return packet_type(p.bytes) == MsgType::kRelease && first->exchange(false);
+  });
+  net.submit_source("server",
+                    "def S(self) = self?{ val(x, r) = (r![x] | S[self]) } in "
+                    "export new p in S[p]");
+  net.submit_source("client",
+                    "import p from server in new a (p![7, a] | a?(v) = 0)");
+  ASSERT_TRUE(net.run().quiescent);
+  ASSERT_TRUE(net.all_errors().empty());
+  net.collect_garbage();
+  ASSERT_GE(tr.dropped(), 1u) << "the fault fired";
+
+  namespace fleet = obs::fleet;
+  auto audit = [&net] {
+    fleet::Json gc, names;
+    EXPECT_TRUE(fleet::parse_json(net.gc_json(), gc));
+    EXPECT_TRUE(fleet::parse_json(net.names_json(), names));
+    return fleet::audit({gc}, {names}, {0, 1});
+  };
+
+  const fleet::AuditReport broken = audit();
+  EXPECT_FALSE(broken.balanced) << broken.to_text();
+  EXPECT_GT(broken.lag, 0u);
+  ASSERT_GE(broken.offenders.size(), 1u);
+  EXPECT_EQ(broken.offenders[0].why, "rel_lost");
+  // Whichever REL went first — the server's for the client's reply
+  // channel, or the client's for the service — the lag pins its owner.
+  EXPECT_LE(broken.offenders[0].owner_node, 1u);
+  EXPECT_GT(broken.offenders[0].lag, 0u);
+
+  // Heal: retransmit every cumulative REL at rest and drain; the
+  // idempotent max-merge at the owner absorbs the replay.
+  EXPECT_GT(net.heal_releases(), 0u);
+  const fleet::AuditReport healed = audit();
+  EXPECT_TRUE(healed.balanced) << healed.to_text();
+  EXPECT_EQ(healed.lag, 0u);
+  EXPECT_EQ(net.collect_garbage().exports_live, 0u);
 }
 
 }  // namespace

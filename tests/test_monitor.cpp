@@ -534,5 +534,134 @@ TEST(Fleet, FederatedScrapeMergesTracesAndLabelsMetrics) {
   EXPECT_NE(fedj.find("\"counters\""), std::string::npos);
 }
 
+// ---------------------------------------------------------------------
+// /gc, /names and the credit audit plane
+// ---------------------------------------------------------------------
+
+TEST(Monitor, GcAndNamesEndpointsAnswerAtRest) {
+  namespace fleet = obs::fleet;
+  auto net = rpc_net({}, 3);
+  const std::uint16_t port = net.start_monitor(0);
+  ASSERT_NE(port, 0u);
+  ASSERT_TRUE(net.run().quiescent);
+
+  // /gc: at rest the snapshot is rebuilt fresh and every export entry's
+  // ledger adds up (minted = returned + released + outstanding).
+  const std::string gc_body = body_of(http_get(port, "/gc"));
+  fleet::Json gc;
+  ASSERT_TRUE(fleet::parse_json(gc_body, gc)) << gc_body;
+  ASSERT_NE(gc.find("running"), nullptr);
+  EXPECT_FALSE(gc.find("running")->boolean);
+  EXPECT_TRUE(gc.find("fresh")->boolean);
+  const fleet::Json* sites = gc.find("sites");
+  ASSERT_NE(sites, nullptr);
+  ASSERT_EQ(sites->items.size(), 2u) << gc_body;
+  bool saw_entry = false;
+  for (const fleet::Json& site : sites->items) {
+    const fleet::Json* exports = site.find("exports");
+    ASSERT_NE(exports, nullptr) << gc_body;
+    for (const fleet::Json& e : exports->items) {
+      saw_entry = true;
+      EXPECT_EQ(e.u64_or("minted", 0),
+                e.u64_or("returned", 0) + e.u64_or("released", 0) +
+                    e.u64_or("outstanding", 0))
+          << gc_body;
+    }
+  }
+  EXPECT_TRUE(saw_entry) << "the exported service left no ledger: "
+                         << gc_body;
+
+  // /names: the central service lists both registered sites and the
+  // exported id with its retained credit share.
+  const std::string names_body = body_of(http_get(port, "/names"));
+  fleet::Json names;
+  ASSERT_TRUE(fleet::parse_json(names_body, names)) << names_body;
+  const fleet::Json* services = names.find("services");
+  ASSERT_NE(services, nullptr);
+  ASSERT_EQ(services->items.size(), 1u) << names_body;
+  const fleet::Json& svc = services->items[0];
+  EXPECT_EQ(svc.str_or("scope"), "central");
+  EXPECT_EQ(svc.find("sites")->items.size(), 2u) << names_body;
+  bool saw_id = false;
+  for (const fleet::Json& id : svc.find("ids")->items)
+    if (id.str_or("name") == "svc") {
+      saw_id = true;
+      EXPECT_EQ(id.u64_or("owner_node", 99), 0u);
+      EXPECT_TRUE(id.find("gc")->boolean) << names_body;
+    }
+  EXPECT_TRUE(saw_id) << names_body;
+
+  // The two documents join into a balanced audit: every minted credit
+  // is covered by import balances plus name-service credit.
+  const fleet::AuditReport rep = fleet::audit({gc}, {names}, {0, 1});
+  EXPECT_TRUE(rep.balanced) << rep.to_text();
+  EXPECT_TRUE(rep.verifiable) << rep.to_text();
+  EXPECT_GE(rep.entries, 1u);
+  EXPECT_EQ(rep.lag, 0u);
+}
+
+TEST(Monitor, GcAndNamesScrapesRaceThreadedRun) {
+  // Concurrent persistent-connection /gc + /names scrapes while the
+  // executor threads run: the endpoints must serve published snapshots
+  // (or stale markers) without touching live site state — TSan enforces
+  // the discipline in CI.
+  namespace fleet = obs::fleet;
+  core::Network::Config cfg;
+  cfg.mode = core::Network::Mode::kThreaded;
+  auto net = rpc_net(cfg, 2000);
+  const std::uint16_t port = net.start_monitor(0);
+  ASSERT_NE(port, 0u);
+
+  core::Network::Result res;
+  std::thread runner([&] { res = net.run(); });
+  auto scrape = [port] {
+    for (int i = 0; i < 10; ++i) {
+      const auto bodies =
+          http_keepalive(port, {"/gc", "/names", "/gc", "/names"});
+      for (const auto& b : bodies) {
+        EXPECT_FALSE(b.empty());
+        fleet::Json doc;
+        EXPECT_TRUE(fleet::parse_json(b, doc)) << b;
+      }
+    }
+  };
+  std::thread scraper1(scrape), scraper2(scrape);
+  scraper1.join();
+  scraper2.join();
+  runner.join();
+  EXPECT_TRUE(res.quiescent);
+
+  // Post-run the fresh at-rest documents audit clean.
+  fleet::Json gc, names;
+  ASSERT_TRUE(fleet::parse_json(body_of(http_get(port, "/gc")), gc));
+  ASSERT_TRUE(fleet::parse_json(body_of(http_get(port, "/names")), names));
+  const fleet::AuditReport rep = fleet::audit({gc}, {names}, {0, 1});
+  EXPECT_TRUE(rep.balanced) << rep.to_text();
+}
+
+TEST(Fleet, IdleTcpMeshAuditsToZeroImbalance) {
+  // Two nodes over the loopback-socket mesh run an RPC exchange and go
+  // idle; the network's own self-audit must find every minted credit
+  // accounted for — zero lag, zero residual — and bump the audit
+  // counter it exports.
+  core::Network::Config cfg;
+  cfg.mode = core::Network::Mode::kThreaded;
+  cfg.transport = core::Network::TransportKind::kTcp;
+  auto net = rpc_net(cfg, 4);
+  ASSERT_TRUE(net.run().quiescent);
+
+  const auto rep = net.self_audit();
+  EXPECT_TRUE(rep.balanced) << rep.to_text();
+  EXPECT_TRUE(rep.verifiable) << rep.to_text();
+  EXPECT_GE(rep.entries, 1u);
+  EXPECT_EQ(rep.lag, 0u);
+  EXPECT_EQ(rep.outstanding, rep.held) << rep.to_text();
+  EXPECT_TRUE(rep.offenders.empty());
+  EXPECT_TRUE(rep.orphan_imports.empty());
+  EXPECT_TRUE(rep.ns_mismatches.empty());
+  EXPECT_NE(net.metrics().expose_text().find("gc_audits 1"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace dityco

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Compare two schema-v2 bench baselines (BENCH_*.json) section by section.
+
+Usage:
+    tools/bench_compare.py OLD.json NEW.json [--threshold PCT]
+
+Every section of every bench is joined by (bench, config, section name)
+across the two files — config being "plain" or "obs" — and the
+msgs_per_sec and p99_us deltas are printed. A section whose throughput
+drops, or whose p99 latency grows, by more than the threshold (default
+15%) is a REGRESSION and turns the exit code nonzero, so CI can gate on
+a bench run against the committed baseline.
+
+Sections present on only one side are reported (coverage changes should
+be loud) but never fail the comparison; v1 baselines (no sections) fall
+back to comparing the per-bench wall-clock totals only, informationally.
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+
+
+def sections(doc):
+    """{(bench, config, section): section-dict} for a baseline document."""
+    out = {}
+    for bench in doc.get("benches", []):
+        name = bench.get("bench", "?")
+        for config in ("plain", "obs"):
+            for sec in bench.get(config, {}).get("sections", []):
+                out[(name, config, sec.get("name", "?"))] = sec
+    return out
+
+
+def pct(new, old):
+    if old == 0:
+        return 0.0
+    return (new - old) / old * 100.0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff two schema-v2 bench baselines")
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--threshold", type=float, default=15.0,
+                    help="regression threshold in percent (default 15)")
+    args = ap.parse_args()
+
+    old_doc, new_doc = load(args.old), load(args.new)
+    old_secs, new_secs = sections(old_doc), sections(new_doc)
+
+    regressions = []
+    rows = []
+    for key in sorted(set(old_secs) | set(new_secs)):
+        bench, config, sec = key
+        label = f"{bench}/{config}/{sec}"
+        if key not in old_secs:
+            rows.append(f"  NEW      {label}")
+            continue
+        if key not in new_secs:
+            rows.append(f"  DROPPED  {label}")
+            continue
+        o, n = old_secs[key], new_secs[key]
+        d_tput = pct(n.get("msgs_per_sec", 0), o.get("msgs_per_sec", 0))
+        d_p99 = pct(n.get("p99_us", 0), o.get("p99_us", 0))
+        flag = ""
+        # Throughput DOWN or p99 UP beyond the threshold is a regression.
+        if d_tput < -args.threshold or d_p99 > args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append(label)
+        rows.append(
+            f"  {'ok' if not flag else '!!':8s}{label:60s} "
+            f"msgs/s {o.get('msgs_per_sec', 0):>12.1f} -> "
+            f"{n.get('msgs_per_sec', 0):>12.1f} ({d_tput:+6.1f}%)  "
+            f"p99_us {o.get('p99_us', 0):>9.3f} -> "
+            f"{n.get('p99_us', 0):>9.3f} ({d_p99:+6.1f}%){flag}")
+
+    print(f"bench_compare: {args.old} -> {args.new} "
+          f"(threshold {args.threshold:g}%)")
+    if rows:
+        print("\n".join(rows))
+    else:
+        # v1 fallback: only the coarse wall-clock totals exist.
+        old_ms = {b.get("bench"): b for b in old_doc.get("benches", [])}
+        for b in new_doc.get("benches", []):
+            o = old_ms.get(b.get("bench"))
+            if not o:
+                continue
+            for k in ("plain_ms", "obs_ms"):
+                print(f"  info     {b.get('bench')}/{k} "
+                      f"{o.get(k, 0)} -> {b.get(k, 0)} ms")
+        print("bench_compare: no sections on either side "
+              "(v1 baselines?) — nothing to gate on")
+
+    if regressions:
+        print(f"bench_compare: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:g}%:")
+        for r in regressions:
+            print(f"  {r}")
+        return 1
+    print("bench_compare: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

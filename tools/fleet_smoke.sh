@@ -6,8 +6,16 @@
 # discovery reaches all three nodes and that the merged Perfetto
 # timeline holds spans from all three processes, FETCH spans on at
 # least two of them, and a cross-process flow arrow (one trace id with
-# a flow start and finish on different pids). Used by CI; run locally
-# as tools/fleet_smoke.sh [tycod] [tycotop].
+# a flow start and finish on different pids).
+#
+# The run also exercises the GC credit audit plane end to end: node 0
+# drops its first outbound REL frame (--drop-rel 1 — the release of a
+# client's reply channel), so `tycotop --audit` must flag the owner's
+# entry as rel_lost while the loss is live, node 0's own audit tick
+# (--audit-ms, with --gc-resend-ms) must retransmit the cumulative REL
+# and heal it, and the fleet must audit balanced again — with node 0's
+# gc_audit_imbalance counter recording that the anomaly was seen.
+# Used by CI; run locally as tools/fleet_smoke.sh [tycod] [tycotop].
 set -u
 
 TYCOD="${1:-build/tools/tycod}"
@@ -24,8 +32,9 @@ OUT1="$(mktemp)"
 OUT2="$(mktemp)"
 MERGED="$(mktemp)"
 TOPJSON="$(mktemp)"
+AUDIT="$(mktemp)"
 trap 'kill "$PID0" "$PID1" "$PID2" 2>/dev/null;
-      rm -f "$OUT0" "$OUT1" "$OUT2" "$MERGED" "$TOPJSON"' EXIT
+      rm -f "$OUT0" "$OUT1" "$OUT2" "$MERGED" "$TOPJSON" "$AUDIT"' EXIT
 
 fail=0
 
@@ -54,10 +63,18 @@ wait_mon() {
 # Three traced daemons: node 0 serves, nodes 1 and 2 FETCH from it
 # ---------------------------------------------------------------------
 
-COMMON="--monitor 0 --trace --idle-exit-ms 6000 --serve-ms 30000"
+# Audit fast, heal slow: every daemon audits its ledgers every 250 ms of
+# idle time but only retransmits cumulative RELs on the 1200 ms resend
+# timer, so a dropped REL is observed (and counted) strictly before the
+# next resend interval heals it.
+COMMON="--monitor 0 --trace --idle-exit-ms 6000 --serve-ms 30000 \
+  --gc-resend-ms 1200 --audit-ms 250"
 
+# Node 0 eats its first outbound REL, as if the wire lost it: the fleet
+# audit must flag the resulting imbalance, and node 0's next audit tick
+# retransmits the cumulative ledger and heals it.
 # shellcheck disable=SC2086
-"$TYCOD" --node 0 $COMMON -e \
+"$TYCOD" --node 0 --drop-rel 1 $COMMON -e \
   'site server { export def Applet(out) = out![7] in
      export new p in p?{ val(x, rep) = rep![x * 2] } }' >"$OUT0" 2>&1 &
 PID0=$!
@@ -96,6 +113,62 @@ MON2="$(wait_mon "$OUT2" "$PID2")" || {
   exit 1
 }
 echo "fleet_smoke: node 1 monitor :$MON1, node 2 monitor :$MON2"
+
+# ---------------------------------------------------------------------
+# Credit audit: dropped REL -> flagged -> healed
+# ---------------------------------------------------------------------
+
+# Phase 1: catch the loss while it is live. The window closes when the
+# next gc_resend_ms interval (1200 ms) retransmits the cumulative REL,
+# so poll tightly from the start. A confirmed rel_lost offender makes
+# tycotop --audit exit nonzero with the (owner, entry) in its JSON.
+imb=0
+for _ in $(seq 1 120); do
+  if ! "$TYCOTOP" --audit --json "http://127.0.0.1:$MON0" >"$AUDIT" \
+      2>/dev/null && grep -q '"why":"rel_lost"' "$AUDIT"; then
+    imb=1
+    break
+  fi
+  sleep 0.1
+done
+if [ "$imb" -ne 1 ]; then
+  echo "fleet_smoke: auditor never flagged the dropped REL; last report:" >&2
+  cat "$AUDIT" >&2
+  exit 1
+fi
+# The offender names the specific (owner, entry) whose credit lags.
+OWNER="$(sed -n 's/.*"owner_node":\([0-9]*\).*/\1/p' "$AUDIT" | head -n 1)"
+if [ -z "$OWNER" ]; then
+  echo "fleet_smoke: rel_lost offender carries no owner:" >&2
+  cat "$AUDIT" >&2
+  exit 1
+fi
+echo "fleet_smoke: auditor flagged the dropped REL (owner node $OWNER)"
+
+# Phase 2: the next resend interval heals the loss (cumulative resend
+# is idempotent at the owner); the fleet must audit balanced again
+# within roughly one gc_resend_ms interval.
+healed=0
+for _ in $(seq 1 100); do
+  if "$TYCOTOP" --audit "http://127.0.0.1:$MON0" >"$AUDIT" 2>/dev/null; then
+    healed=1
+    break
+  fi
+  sleep 0.1
+done
+if [ "$healed" -ne 1 ]; then
+  echo "fleet_smoke: imbalance never healed; last report:" >&2
+  cat "$AUDIT" >&2
+  exit 1
+fi
+echo "fleet_smoke: audit healed -> balanced"
+
+# The anomaly left its mark: node 0 counted it on gc_audit_imbalance.
+"$TYCOTOP" --metrics - "http://127.0.0.1:$MON0" 2>/dev/null |
+  grep 'gc_audit_imbalance{node="0"}' | grep -qv ' 0$' || {
+  echo "fleet_smoke: node 0 never counted the imbalance" >&2
+  fail=1
+}
 
 # ---------------------------------------------------------------------
 # tycotop: one seed URL -> whole fleet, one merged timeline

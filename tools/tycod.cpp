@@ -43,10 +43,21 @@
 //   --serve-ms N         hard cap on total serve time (default 60000)
 //   --timeout-ms N       per-run wall-clock cap (default 10000)
 //   --gc-resend-ms N     periodic cumulative-REL retransmission
+//   --audit-ms N         continuous self-audit: every N ms of idle time
+//                        run the GC credit audit (fleet-wide when
+//                        --monitor is on), print a line whenever the
+//                        verdict flips, and — with --gc-resend-ms —
+//                        retransmit cumulative RELs so a dropped REL
+//                        heals during the idle window too
+//   --drop-rel N         fault injection: silently drop the first N
+//                        outbound REL frames (exercises the audit
+//                        plane and the resend path; tests/CI only)
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -54,6 +65,7 @@
 
 #include "compiler/parser.hpp"
 #include "core/network.hpp"
+#include "core/wire.hpp"
 
 namespace {
 
@@ -67,7 +79,8 @@ int usage() {
       "         --monitor PORT  --trace  --trace-sample N\n"
       "         --heartbeat-ms N  --phi T  --confirm-ms N\n"
       "         --no-detect  --idle-exit-ms N  --serve-ms N\n"
-      "         --timeout-ms N  --gc-resend-ms N\n";
+      "         --timeout-ms N  --gc-resend-ms N  --audit-ms N\n"
+      "         --drop-rel N\n";
   return 2;
 }
 
@@ -87,6 +100,8 @@ int main(int argc, char** argv) {
   int monitor_port = 0;
   long idle_exit_ms = 2000;
   long serve_ms = 60'000;
+  long audit_ms = 0;
+  long drop_rel = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -136,6 +151,10 @@ int main(int argc, char** argv) {
       cfg.timeout_ms = static_cast<std::uint64_t>(std::atol(argv[++i]));
     } else if (arg == "--gc-resend-ms" && i + 1 < argc) {
       cfg.gc_resend_ms = static_cast<std::uint64_t>(std::atol(argv[++i]));
+    } else if (arg == "--audit-ms" && i + 1 < argc) {
+      audit_ms = std::atol(argv[++i]);
+    } else if (arg == "--drop-rel" && i + 1 < argc) {
+      drop_rel = std::atol(argv[++i]);
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -184,6 +203,20 @@ int main(int argc, char** argv) {
     dityco::net::TcpTransport* tcp = net.tcp_transport();
     std::cout << "tycod node" << cfg.tcp.self << " listening on "
               << cfg.tcp.listen_host << ":" << tcp->port() << std::endl;
+    if (drop_rel > 0) {
+      // Fault injection: eat the first N outbound RELs before framing,
+      // as if the wire lost them. The audit plane must flag the owner's
+      // imbalance and the cumulative-REL resend must heal it.
+      auto left = std::make_shared<std::atomic<long>>(drop_rel);
+      tcp->set_drop_filter([left](const dityco::net::Packet& p) {
+        if (dityco::core::packet_type(p.bytes) !=
+            dityco::core::MsgType::kRelease)
+          return false;
+        return left->fetch_sub(1, std::memory_order_relaxed) > 0;
+      });
+      std::cout << "tycod node" << cfg.tcp.self << " dropping first "
+                << drop_rel << " REL frame(s)" << std::endl;
+    }
 
     // Serve loop: drive the local program to quiescence, then stay up —
     // peers keep sending lookups, FETCHes and RELs — until the node has
@@ -192,6 +225,17 @@ int main(int argc, char** argv) {
                                std::chrono::milliseconds(serve_ms);
     dityco::core::Network::Result res;
     std::uint64_t total_instructions = 0;
+    // Continuous self-audit (--audit-ms): ticks only on the quiescence
+    // path below — while a run is live the executor owns the sites and
+    // /gc serves published snapshots instead. Healing runs on its own
+    // timer (gc_resend_ms, mirroring the executor's in-run resend), so
+    // an observed anomaly is counted strictly before it is repaired.
+    auto next_audit = Clock::now() + std::chrono::milliseconds(audit_ms);
+    auto next_heal = Clock::now() +
+                     std::chrono::milliseconds(
+                         static_cast<long>(cfg.gc_resend_ms));
+    bool last_balanced = true;
+    std::uint64_t audit_rounds = 0;
     for (;;) {
       res = net.run();
       total_instructions += res.instructions;
@@ -203,6 +247,29 @@ int main(int argc, char** argv) {
         if (net.transport().in_flight() > 0) {
           more = true;
           break;
+        }
+        if (audit_ms > 0 && Clock::now() >= next_audit) {
+          next_audit = Clock::now() + std::chrono::milliseconds(audit_ms);
+          const auto rep = net.self_audit(/*include_fleet=*/true);
+          ++audit_rounds;
+          if (rep.balanced != last_balanced) {
+            std::cout << "-- audit: "
+                      << (rep.balanced ? "balanced" : "IMBALANCED")
+                      << " entries=" << rep.entries
+                      << " offenders=" << rep.offenders.size()
+                      << " lag=" << rep.lag
+                      << (rep.verifiable ? "" : " (unverifiable)")
+                      << std::endl;
+            last_balanced = rep.balanced;
+          }
+        }
+        if (cfg.gc_resend_ms > 0 && Clock::now() >= next_heal) {
+          // Between runs the executor's resend timer is not ticking;
+          // the idle window retransmits cumulative RELs here instead.
+          next_heal = Clock::now() +
+                      std::chrono::milliseconds(
+                          static_cast<long>(cfg.gc_resend_ms));
+          net.heal_releases();
         }
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
       }
@@ -242,6 +309,15 @@ int main(int argc, char** argv) {
               << " netrefs_live=" << gc.netrefs_live
               << " credit_written_off=" << written_off
               << " peers_down=" << peers_down << "\n";
+    if (audit_ms > 0) {
+      // Exit-time verdict over the local tables only: the peers may
+      // already be gone, so a fleet scrape here would just time out.
+      const auto rep = net.self_audit(/*include_fleet=*/false);
+      std::cout << "-- audit: rounds=" << (audit_rounds + 1) << " final="
+                << (rep.balanced ? "balanced" : "IMBALANCED")
+                << " entries=" << rep.entries << " outstanding="
+                << rep.outstanding << "\n";
+    }
     if (stats) std::cout << net.metrics().expose_text();
     std::cout.flush();
     return net.all_errors().empty() && gc.exports_live == 0 ? 0 : 1;

@@ -55,6 +55,13 @@
 //                    reachable from the seed monitor URL via /peers and
 //                    print one merged metrics JSON document (no program
 //                    file needed)
+//   :gc              after the run, print every site's distributed-GC
+//                    export/import ledgers as JSON (the /gc document)
+//   :names           after the run, print the name-service tables as
+//                    JSON (the /names document)
+//   :audit           after the run, check the GC conservation invariant
+//                    over the local tables and print the report; the
+//                    exit code turns nonzero on a confirmed imbalance
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -95,7 +102,10 @@ int usage() {
       "         :flight FILE.json      tail-based retention -> Chrome trace\n"
       "         --flight-slow-us N     promote operations slower than N us\n"
       "         :peers                 print the transport's fleet view\n"
-      "         :fleet URL             one-shot federated metrics scrape\n";
+      "         :fleet URL             one-shot federated metrics scrape\n"
+      "         :gc                    print the GC credit ledgers (JSON)\n"
+      "         :names                 print the name-service tables (JSON)\n"
+      "         :audit                 check the GC conservation invariant\n";
   return 2;
 }
 
@@ -124,6 +134,7 @@ int main(int argc, char** argv) {
   bool flight = false;
   double flight_slow_us = 0;
   bool show_peers = false;
+  bool show_gc = false, show_names = false, do_audit = false;
   std::string fleet_url;
 
   for (int i = 1; i < argc; ++i) {
@@ -182,6 +193,12 @@ int main(int argc, char** argv) {
       flight_slow_us = std::atof(argv[++i]);
     } else if (arg == ":peers" || arg == "--peers") {
       show_peers = true;
+    } else if (arg == ":gc" || arg == "--gc") {
+      show_gc = true;
+    } else if (arg == ":names" || arg == "--names") {
+      show_names = true;
+    } else if (arg == ":audit" || arg == "--audit") {
+      do_audit = true;
     } else if ((arg == ":fleet" || arg == "--fleet") && i + 1 < argc) {
       fleet_url = argv[++i];
     } else if (arg == "--linger" && i + 1 < argc) {
@@ -336,6 +353,14 @@ int main(int argc, char** argv) {
 
     if (stats) std::cout << net.metrics().expose_text();
     if (show_peers) std::cout << net.peers_json() << "\n";
+    if (show_gc) std::cout << net.gc_json() << "\n";
+    if (show_names) std::cout << net.names_json() << "\n";
+    bool audit_ok = true;
+    if (do_audit) {
+      const auto rep = net.self_audit(/*include_fleet=*/false);
+      std::cout << rep.to_text();
+      audit_ok = rep.balanced;
+    }
 
     if (profile) {
       const std::string folded = net.profile_folded();
@@ -366,7 +391,7 @@ int main(int argc, char** argv) {
                 << std::endl;
       std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
     }
-    return res.quiescent && net.all_errors().empty() ? 0 : 1;
+    return res.quiescent && net.all_errors().empty() && audit_ok ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "tycosh: " << e.what() << "\n";
     return 1;

@@ -14,21 +14,33 @@
 //     serve sides connect with a flow arrow across processes;
 //   * --metrics FILE: federated Prometheus text, node="N" label per
 //     sample; --metrics-json FILE: the same as one JSON document.
+//   * --audit: scrapes /gc and /names from every node, joins the credit
+//     ledgers and checks the GC conservation invariant fleet-wide
+//     (DESIGN.md §GC invariants). Exit 0 when balanced, 1 when any
+//     confirmed anomaly (lost REL, leak, over-release, orphan import,
+//     NS mismatch) is found; --watch MS repeats forever. A fleet that
+//     cannot be fully scraped (a node without --monitor, a stale
+//     snapshot) is reported as unverifiable, not as imbalanced.
 //
 // Usage:
 //   tycotop http://127.0.0.1:7001
 //   tycotop --trace fleet.json http://127.0.0.1:7001
 //   tycotop --metrics - http://127.0.0.1:7001 http://10.0.0.2:7001
+//   tycotop --audit http://127.0.0.1:7001
+//   tycotop --audit --watch 1000 --json http://127.0.0.1:7001
 //
 // Extra seeds are only needed for partitioned fleets; one URL normally
 // reaches everything.
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/fleet.hpp"
@@ -40,6 +52,7 @@ namespace {
 int usage() {
   std::cerr << "usage: tycotop [--trace FILE] [--metrics FILE]\n"
                "               [--metrics-json FILE] [--json]\n"
+               "               [--audit] [--watch MS]\n"
                "               MONITOR_URL [MONITOR_URL...]\n"
                "FILE may be '-' for stdout.\n";
   return 2;
@@ -80,6 +93,8 @@ const char* op_kind(const fleet::FleetEvent& e) {
 int main(int argc, char** argv) {
   std::string trace_path, metrics_path, metrics_json_path;
   bool as_json = false;
+  bool do_audit = false;
+  long watch_ms = 0;
   std::vector<std::string> seeds;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -91,6 +106,11 @@ int main(int argc, char** argv) {
       metrics_json_path = argv[++i];
     } else if (arg == "--json") {
       as_json = true;
+    } else if (arg == "--audit") {
+      do_audit = true;
+    } else if (arg == "--watch" && i + 1 < argc) {
+      do_audit = true;
+      watch_ms = std::atol(argv[++i]);
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       return usage();
     } else {
@@ -99,15 +119,68 @@ int main(int argc, char** argv) {
   }
   if (seeds.empty()) return usage();
 
-  // Discovery: walk /peers from every seed, dedup by node id.
+  // Discovery: walk /peers from every seed, dedup by node id. Peers that
+  // run without a TyCOmon are collected separately — they cannot be
+  // scraped but still count toward the audit's expected fleet.
   std::map<std::uint32_t, fleet::NodeEndpoint> nodes;
-  for (const std::string& seed : seeds)
-    for (const fleet::NodeEndpoint& ep : fleet::discover(seed))
+  std::set<std::uint32_t> unmonitored;
+  for (const std::string& seed : seeds) {
+    std::vector<std::uint32_t> unm;
+    for (const fleet::NodeEndpoint& ep : fleet::discover(seed, &unm))
       nodes.emplace(ep.node, ep);
+    unmonitored.insert(unm.begin(), unm.end());
+  }
+  for (const auto& [node, ep] : nodes) unmonitored.erase(node);
   if (nodes.empty()) {
     std::cerr << "tycotop: no reachable monitors (seed down, or started "
                  "without --monitor?)\n";
     return 1;
+  }
+
+  if (do_audit) {
+    for (;;) {
+      std::vector<fleet::Json> gc_docs, names_docs;
+      for (const auto& [node, ep] : nodes) {
+        fleet::Json doc;
+        std::string body = fleet::http_get(ep.host, ep.monitor, "/gc");
+        if (!body.empty() && fleet::parse_json(body, doc))
+          gc_docs.push_back(std::move(doc));
+        body = fleet::http_get(ep.host, ep.monitor, "/names");
+        if (!body.empty() && fleet::parse_json(body, doc))
+          names_docs.push_back(std::move(doc));
+      }
+      std::vector<std::uint32_t> expected;
+      for (const auto& [node, ep] : nodes) expected.push_back(node);
+      expected.insert(expected.end(), unmonitored.begin(),
+                      unmonitored.end());
+      const fleet::AuditReport rep =
+          fleet::audit(gc_docs, names_docs, expected);
+      if (as_json) {
+        std::cout << rep.to_json() << "\n";
+      } else {
+        std::cout << rep.to_text();
+        for (std::uint32_t n : unmonitored)
+          std::cout << "  note: node " << n
+                    << " runs without --monitor (not scraped)\n";
+      }
+      std::cout.flush();
+      if (watch_ms <= 0) return rep.balanced ? 0 : 1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(watch_ms));
+      // Re-discover between rounds: nodes join, exit, or gain monitors.
+      nodes.clear();
+      unmonitored.clear();
+      for (const std::string& seed : seeds) {
+        std::vector<std::uint32_t> unm;
+        for (const fleet::NodeEndpoint& ep : fleet::discover(seed, &unm))
+          nodes.emplace(ep.node, ep);
+        unmonitored.insert(unm.begin(), unm.end());
+      }
+      for (const auto& [node, ep] : nodes) unmonitored.erase(node);
+      if (nodes.empty()) {
+        std::cerr << "tycotop: fleet lost (no reachable monitors)\n";
+        return 1;
+      }
+    }
   }
 
   const bool want_summary =
