@@ -61,10 +61,12 @@ double run_placement(const Placement& p, int rpcs, std::uint64_t& packets,
 // mesh (docs/NETWORKING.md). Wall clock, best of `reps`.
 double run_wall(core::Network::TransportKind t, int rpcs, int reps,
                 MetricsJsonEmitter& mj, ObsFlags& obsf,
-                std::vector<double>& samples) {
+                std::vector<double>& samples, std::size_t flush_frames = 0) {
   double best = 0;
   for (int r = 0; r < reps; ++r) {
-    core::Network net(wall_config(t));
+    auto cfg = wall_config(t);
+    if (flush_frames) cfg.tcp.flush_frames = flush_frames;
+    core::Network net(cfg);
     net.add_node();
     net.add_site(0, "server");
     net.add_node();
@@ -127,6 +129,14 @@ int main(int argc, char** argv) {
     bj.section(t == TK::kTcp ? "c2_wall_rpc_tcp_mesh" : "c2_wall_rpc_inproc",
                "wall_us", rpcs, samples);
     row({transport_name(t), fmt(us), fmt(us / rpcs)});
+  }
+  {
+    // Coalescing off (flush_frames=1 → one write per frame): the delta
+    // against c2_wall_rpc_tcp_mesh is the writev batching win.
+    std::vector<double> samples;
+    const double us = run_wall(TK::kTcp, rpcs, 3, mj, obsf, samples, 1);
+    bj.section("c2_wall_rpc_tcp_mesh_nocoalesce", "wall_us", rpcs, samples);
+    row({"loopback TCP (no coalesce)", fmt(us), fmt(us / rpcs)});
   }
   std::printf(
       "\nshape check: loopback TCP pays framing plus two kernel\n"

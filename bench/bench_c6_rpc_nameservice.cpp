@@ -78,10 +78,13 @@ double import_storm(int sites, int imports_each, MetricsJsonEmitter& mj,
 // `reps`; each repetition's duration lands in `samples`.
 double wall_import_storm(core::Network::TransportKind t, int sites,
                          int imports_each, int reps, MetricsJsonEmitter& mj,
-                         ObsFlags& obsf, std::vector<double>& samples) {
+                         ObsFlags& obsf, std::vector<double>& samples,
+                         std::size_t flush_frames = 0) {
   double best = 0;
   for (int rep = 0; rep < reps; ++rep) {
-    core::Network net(wall_config(t));
+    auto cfg = wall_config(t);
+    if (flush_frames) cfg.tcp.flush_frames = flush_frames;
+    core::Network net(cfg);
     net.add_node();
     net.add_site(0, "server");
     std::string exports;
@@ -171,6 +174,16 @@ int main(int argc, char** argv) {
                              : "c6_wall_import_storm_inproc",
                "wall_us", 8 * imports_each, samples);
     row({transport_name(t), fmt(us)});
+  }
+  {
+    // Coalescing off: one write() per frame, same workload. The storm
+    // funnels 8 clients into node 0, so this is where batching pays.
+    std::vector<double> samples;
+    const double us =
+        wall_import_storm(TK::kTcp, 8, imports_each, 3, mj, obsf, samples, 1);
+    bj.section("c6_wall_import_storm_tcp_mesh_nocoalesce", "wall_us",
+               8 * imports_each, samples);
+    row({"loopback TCP (no coalesce)", fmt(us)});
   }
   std::printf(
       "\nshape check: every lookup serialises at node 0's name service\n"

@@ -1,4 +1,5 @@
 #include "core/network.hpp"
+#include <sys/prctl.h>
 
 #include <atomic>
 #include <chrono>
@@ -252,6 +253,17 @@ std::string Network::peers_json() const {
     out += ",\"hostport\":\"" + obs::json_escape(tcp->advertised_hostport()) +
            "\"";
   out += ",\"monitor\":" + std::to_string(monitor_ ? monitor_->port() : 0);
+  if (tcp) {
+    const auto ps = tcp->pool_stats();
+    out += ",\"pool\":{\"hits\":" + std::to_string(ps.hits);
+    out += ",\"misses\":" + std::to_string(ps.misses);
+    out += ",\"releases\":" + std::to_string(ps.releases);
+    out += ",\"trimmed\":" + std::to_string(ps.trimmed);
+    out += ",\"outstanding\":" + std::to_string(ps.outstanding);
+    out += ",\"free_buffers\":" + std::to_string(ps.free_buffers);
+    out += ",\"free_bytes\":" + std::to_string(ps.free_bytes);
+    out += "}";
+  }
   out += "},\"peers\":[";
   if (tcp) {
     bool first = true;
@@ -821,9 +833,32 @@ void Network::register_tcp_metrics(net::TcpTransport& t,
     c.gauge("tcp_heartbeat_rtt_us" + l,
             static_cast<std::int64_t>(
                 s.last_rtt_us.load(std::memory_order_relaxed)));
+    // Coalescing: how many frames each writev() carried. A mean near 1
+    // means the queue never builds up (latency-bound); higher means the
+    // batching path is actually amortizing syscalls.
+    c.counter("tcp_writev_calls" + l,
+              s.writev_calls.load(std::memory_order_relaxed));
+    c.counter("tcp_writev_frames" + l,
+              s.writev_frames.load(std::memory_order_relaxed));
+    // Buffer pool: hits vs. misses says whether steady state is
+    // allocation-free; outstanding not draining to zero at shutdown is
+    // a leak (the ASan job asserts this).
+    const auto ps = t.pool_stats();
+    c.counter("tcp_pool_hits" + l, ps.hits);
+    c.counter("tcp_pool_misses" + l, ps.misses);
+    c.counter("tcp_pool_releases" + l, ps.releases);
+    c.counter("tcp_pool_trimmed" + l, ps.trimmed);
+    c.gauge("tcp_pool_outstanding" + l,
+            static_cast<std::int64_t>(ps.outstanding));
+    c.gauge("tcp_pool_free_buffers" + l,
+            static_cast<std::int64_t>(ps.free_buffers));
+    c.gauge("tcp_pool_free_bytes" + l,
+            static_cast<std::int64_t>(ps.free_bytes));
     // Path-telemetry distributions: where cross-node latency went.
     c.histogram("tcp_rtt_us" + l, s.rtt_us.snapshot());
     c.histogram("tcp_send_queue_bytes" + l, s.send_queue_bytes.snapshot());
+    c.histogram("tcp_flush_frames_per_call" + l,
+                s.flush_frames_per_call.snapshot());
     c.histogram("tcp_reconnect_backoff_ms" + l,
                 s.reconnect_backoff_ms.snapshot());
     // Per-peer series (peer_info takes the transport lock briefly). Phi
@@ -1011,6 +1046,7 @@ Network::Result Network::run_threaded() {
   std::vector<std::thread> threads;
   for (std::size_t i = 0; i < sites.size(); ++i) {
     threads.emplace_back([&, i] {
+      ::prctl(PR_SET_TIMERSLACK, 1000, 0, 0, 0);
       Site& s = *sites[i];
       // Periodic REL resend (Config::gc_resend_ms): collect() is an
       // executor-thread operation, so the heal timer lives here.
@@ -1018,6 +1054,7 @@ Network::Result Network::run_threaded() {
       auto next_resend = std::chrono::steady_clock::now() +
                          std::chrono::milliseconds(cfg_.gc_resend_ms);
       bool was_idle = false;
+      std::uint32_t idle_streak = 0;
       // The credit snapshot walk is O(export table + heap), and a
       // request/reply site flips busy->idle once per round trip — so
       // publishing on every flip is quadratic over a long run. Throttle
@@ -1053,12 +1090,26 @@ Network::Result Network::run_threaded() {
         parked_hints[i]->store(s.machine().parked() > 0 && !s.failed(),
                                std::memory_order_release);
         idle_hints[i]->store(idle, std::memory_order_release);
-        if (idle) std::this_thread::sleep_for(std::chrono::microseconds(50));
+        if (idle) {
+          // Adaptive idle: a 50µs park really costs ~100µs of wall once
+          // timer slack and a scheduler pass are added — several hops of
+          // that dominates cross-site RPC latency. Yield first (a
+          // freshly-arrived message is picked up within one scheduler
+          // pass) and only park after a sustained idle streak.
+          if (++idle_streak < 64)
+            std::this_thread::yield();
+          else
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        } else {
+          idle_streak = 0;
+        }
       }
     });
   }
   for (std::size_t j = 0; j < nodes_.size(); ++j) {
     threads.emplace_back([&, j, node = nodes_[j].get()] {
+      ::prctl(PR_SET_TIMERSLACK, 1000, 0, 0, 0);
+      std::uint32_t idle_streak = 0;
       while (!stop.load(std::memory_order_relaxed)) {
         daemon_hints[j]->store(false, std::memory_order_release);
         const std::size_t moved =
@@ -1072,7 +1123,13 @@ Network::Result Network::run_threaded() {
           // Only the home node's daemon may touch a service's state.
           NameService& dns = node->name_service();
           if (dns.home_node() == node->id()) dns.publish_snapshot();
-          std::this_thread::sleep_for(std::chrono::microseconds(50));
+          // Same adaptive idle as the executors (see above).
+          if (++idle_streak < 64)
+            std::this_thread::yield();
+          else
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        } else {
+          idle_streak = 0;
         }
       }
     });

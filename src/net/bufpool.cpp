@@ -1,0 +1,56 @@
+#include "net/bufpool.hpp"
+
+namespace dityco::net {
+
+BufPtr BufferPool::acquire(std::size_t reserve) {
+  BufPtr b;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++outstanding_;
+    if (!free_.empty()) {
+      ++hits_;
+      b = std::move(free_.back());
+      free_.pop_back();
+    } else {
+      ++misses_;
+    }
+  }
+  if (!b) b = std::make_unique<Buf>();
+  b->clear();
+  if (b->capacity() < reserve) b->reserve(reserve);
+  return b;
+}
+
+void BufferPool::release(BufPtr b) {
+  if (!b) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  ++releases_;
+  if (outstanding_ > 0) --outstanding_;
+  if (free_.size() >= opts_.max_free ||
+      b->capacity() > opts_.max_buffer_bytes) {
+    ++trimmed_;
+    return;  // unique_ptr frees it
+  }
+  free_.push_back(std::move(b));
+}
+
+void BufferPool::trim() {
+  std::lock_guard<std::mutex> lk(mu_);
+  trimmed_ += free_.size();
+  free_.clear();
+}
+
+BufferPool::StatsSnapshot BufferPool::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  StatsSnapshot s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.releases = releases_;
+  s.trimmed = trimmed_;
+  s.outstanding = outstanding_;
+  s.free_buffers = free_.size();
+  for (const auto& b : free_) s.free_bytes += b->capacity();
+  return s;
+}
+
+}  // namespace dityco::net

@@ -1,0 +1,72 @@
+// Pooled packet buffers for the TCP hot path.
+//
+// The paper's threads are tens of instructions (§5), so in the TCP mesh
+// a malloc/free pair per tiny frame is real overhead. A BufferPool
+// recycles encode buffers through a bounded free list: the steady-state
+// wire path (encode -> enqueue -> writev -> release) allocates nothing.
+//
+// Buffers are plain std::vector<uint8_t> handed out by unique_ptr, so a
+// buffer that escapes the pool (or outlives it) is still just a vector
+// — releasing back is an optimisation, never a correctness requirement.
+// The pool is thread-safe (executors acquire while the I/O thread
+// releases) and bounded: at most `max_free` buffers are retained, and
+// buffers grown past `max_buffer_bytes` are dropped on release instead
+// of pinning large capacities forever (counted in `trimmed`).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace dityco::net {
+
+/// A recyclable byte buffer. Always a valid vector; the pool only
+/// affects where its capacity comes from.
+using Buf = std::vector<std::uint8_t>;
+using BufPtr = std::unique_ptr<Buf>;
+
+class BufferPool {
+ public:
+  struct Options {
+    /// Free-list bound: releases beyond it free the buffer instead.
+    std::size_t max_free = 256;
+    /// Buffers whose capacity grew past this are not retained.
+    std::size_t max_buffer_bytes = 1u << 20;
+  };
+
+  /// Gauges and counters for the observability layer (tcp_pool_* metrics
+  /// and the /peers pool block). Taken under the pool lock, so the
+  /// snapshot is internally consistent.
+  struct StatsSnapshot {
+    std::uint64_t hits = 0;      // acquires served from the free list
+    std::uint64_t misses = 0;    // acquires that had to allocate
+    std::uint64_t releases = 0;  // buffers returned (retained or not)
+    std::uint64_t trimmed = 0;   // releases dropped by the bounds
+    std::uint64_t outstanding = 0;   // acquired - released (gauge)
+    std::uint64_t free_buffers = 0;  // on the free list now (gauge)
+    std::uint64_t free_bytes = 0;    // capacity held by the free list
+  };
+
+  BufferPool() = default;
+  explicit BufferPool(Options opts) : opts_(opts) {}
+
+  /// A cleared buffer (size 0) with capacity >= `reserve`.
+  BufPtr acquire(std::size_t reserve);
+  /// Return a buffer; nullptr is a no-op. The buffer's contents are
+  /// dead the moment this is called.
+  void release(BufPtr b);
+  /// Drop the whole free list (e.g. after a burst).
+  void trim();
+
+  StatsSnapshot stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<BufPtr> free_;
+  Options opts_;
+  std::uint64_t hits_ = 0, misses_ = 0, releases_ = 0, trimmed_ = 0;
+  std::uint64_t outstanding_ = 0;
+};
+
+}  // namespace dityco::net

@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/prctl.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -33,34 +34,35 @@ std::vector<std::uint8_t> encode_frame(
 
 bool FrameParser::feed(const std::uint8_t* data, std::size_t n,
                        std::vector<std::vector<std::uint8_t>>& out) {
-  if (error_) return false;
-  buf_.insert(buf_.end(), data, data + n);
-  std::size_t off = 0;
-  while (buf_.size() - off >= 4) {
-    std::uint32_t len;
-    std::memcpy(&len, buf_.data() + off, 4);
-    if (len == 0 || len > kMaxFrameBytes) {
-      error_ = true;
-      buf_.clear();
-      return false;
-    }
-    if (buf_.size() - off < 4 + static_cast<std::size_t>(len)) break;
-    out.emplace_back(buf_.begin() + static_cast<std::ptrdiff_t>(off + 4),
-                     buf_.begin() + static_cast<std::ptrdiff_t>(off + 4 + len));
-    off += 4 + len;
-  }
-  if (off > 0) buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off));
-  return true;
+  return feed(data, n, [&out](const std::uint8_t* p, std::size_t len) {
+    out.emplace_back(p, p + len);
+    return true;
+  });
 }
 
-void drop_written_frames(std::string& buf, std::size_t& wr_off) {
-  while (buf.size() >= 4) {
-    std::uint32_t len;
-    std::memcpy(&len, buf.data(), 4);
-    const std::size_t fsize = 4 + static_cast<std::size_t>(len);
-    if (wr_off < fsize) break;
-    buf.erase(0, fsize);
-    wr_off -= fsize;
+std::size_t gather_frames(const std::deque<BufPtr>& q, std::size_t wr_off,
+                          std::size_t flush_bytes, std::size_t flush_frames,
+                          struct iovec* iov, std::size_t iov_max) {
+  std::size_t cnt = 0, bytes = 0;
+  for (const auto& f : q) {
+    if (cnt == iov_max) break;
+    const std::size_t skip = cnt == 0 ? wr_off : 0;
+    iov[cnt].iov_base = const_cast<std::uint8_t*>(f->data() + skip);
+    iov[cnt].iov_len = f->size() - skip;
+    bytes += iov[cnt].iov_len;
+    ++cnt;
+    if (cnt >= flush_frames || bytes >= flush_bytes) break;
+  }
+  return cnt;
+}
+
+void consume_written(std::deque<BufPtr>& q, std::size_t& wr_off,
+                     std::size_t n, BufferPool& pool) {
+  wr_off += n;
+  while (!q.empty() && wr_off >= q.front()->size()) {
+    wr_off -= q.front()->size();
+    pool.release(std::move(q.front()));
+    q.pop_front();
   }
 }
 
@@ -117,6 +119,17 @@ bool peek_sampled(const std::vector<std::uint8_t>& b) {
   // v1 packets (no trace header) count as sampled, like packet_sampled.
   return b.empty() || !(b[0] & kPeekTraceFlag) || (b[0] & kPeekSampledFlag);
 }
+
+void append_u32(Buf& b, std::uint32_t v) {
+  b.push_back(static_cast<std::uint8_t>(v));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v >> 16));
+  b.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+/// Read buffer drained per poll() wakeup; large enough that a batch of
+/// tiny frames is dispatched in one read.
+constexpr std::size_t kReadChunk = 256u << 10;
 
 }  // namespace
 
@@ -194,6 +207,12 @@ void TcpTransport::shutdown() {
   for (auto& [node, p] : peers_) {
     close_quietly(p.fd);
     p.fd = -1;
+    // Return undelivered frames so the pool gauge drains to baseline —
+    // the ASan leak check (and /peers) can then prove nothing escaped.
+    for (auto& f : p.outq) pool_.release(std::move(f));
+    p.outq.clear();
+    p.out_bytes = 0;
+    p.wr_off = 0;
   }
   for (auto& [fd, in] : inbound_) close_quietly(fd);
   inbound_.clear();
@@ -223,7 +242,7 @@ std::size_t TcpTransport::connected_peers() const {
 std::size_t TcpTransport::queued_bytes() const {
   std::lock_guard<std::mutex> lk(mu_);
   std::size_t n = 0;
-  for (const auto& [node, p] : peers_) n += p.outbuf.size() - p.wr_off;
+  for (const auto& [node, p] : peers_) n += p.out_bytes - p.wr_off;
   return n;
 }
 
@@ -257,7 +276,7 @@ std::vector<TcpTransport::PeerInfo> TcpTransport::peer_info() const {
     pi.dead = p.dead;
     pi.phi = p.detector.started() ? p.detector.phi(now) : 0;
     pi.last_heard_age_ms = p.last_heard_ms >= 0 ? now - p.last_heard_ms : -1;
-    pi.queue_bytes = p.outbuf.size() - p.wr_off;
+    pi.queue_bytes = p.out_bytes - p.wr_off;
     pi.queued_frames = p.queued_frames;
     pi.reconnects = p.reconnects;
     pi.backoff_ms = p.backoff_ms;
@@ -317,24 +336,28 @@ void TcpTransport::send(Packet p, double /*now_us: wall clock rules*/) {
     inbox_.push_back(std::move(p));
     return;
   }
-  Writer body;
-  body.u8(static_cast<std::uint8_t>(FrameKind::kData));
-  body.u32(p.src_node);
-  body.u32(p.dst_node);
-  body.raw(p.bytes.data(), p.bytes.size());
-  const auto frame = encode_frame(body.take());
+  // Encode straight into a pooled buffer — the steady-state hot path
+  // allocates nothing: [len u32][kData u8][src u32][dst u32][packet].
+  const std::uint32_t body_len = static_cast<std::uint32_t>(9 + wire);
+  BufPtr frame = pool_.acquire(4 + body_len);
+  append_u32(*frame, body_len);
+  frame->push_back(static_cast<std::uint8_t>(FrameKind::kData));
+  append_u32(*frame, p.src_node);
+  append_u32(*frame, p.dst_node);
+  frame->insert(frame->end(), p.bytes.begin(), p.bytes.end());
 
   std::unique_lock<std::mutex> lk(mu_);
   Peer& peer = peers_[p.dst_node];  // unknown peers wait for an address
   if (peer.dead) {
     stats_.frames_dropped.fetch_add(1, std::memory_order_relaxed);
+    pool_.release(std::move(frame));
     return;
   }
-  if (peer.outbuf.size() - peer.wr_off > cfg_.max_queue_bytes) {
+  if (peer.out_bytes - peer.wr_off > cfg_.max_queue_bytes) {
     stats_.backpressure_waits.fetch_add(1, std::memory_order_relaxed);
     const auto drained = [&] {
       return stop_.load(std::memory_order_relaxed) || peer.dead ||
-             peer.outbuf.size() - peer.wr_off <= cfg_.max_queue_bytes;
+             peer.out_bytes - peer.wr_off <= cfg_.max_queue_bytes;
     };
     bool ok = true;
     if (cfg_.send_timeout_ms == 0) {
@@ -343,27 +366,33 @@ void TcpTransport::send(Packet p, double /*now_us: wall clock rules*/) {
       ok = backpressure_cv_.wait_for(
           lk, std::chrono::milliseconds(cfg_.send_timeout_ms), drained);
     }
-    if (stop_.load(std::memory_order_relaxed)) return;
+    if (stop_.load(std::memory_order_relaxed)) {
+      pool_.release(std::move(frame));
+      return;
+    }
     if (!ok) {
       // The queue never drained: drop this frame rather than wedge an
       // executor thread forever on a peer that cannot keep up (or whose
       // address is simply wrong — see connect_deadline_ms).
       stats_.send_timeouts.fetch_add(1, std::memory_order_relaxed);
       stats_.frames_dropped.fetch_add(1, std::memory_order_relaxed);
+      pool_.release(std::move(frame));
       return;
     }
     if (peer.dead) {
       stats_.frames_dropped.fetch_add(1, std::memory_order_relaxed);
+      pool_.release(std::move(frame));
       return;
     }
   }
   if (!peer.ever_connected && peer.demand_since_ms < 0)
     peer.demand_since_ms = now_ms();
-  peer.outbuf.append(reinterpret_cast<const char*>(frame.data()),
-                     frame.size());
+  const bool was_empty = peer.outq.empty();
+  peer.out_bytes += frame->size();
+  peer.outq.push_back(std::move(frame));
   ++peer.queued_frames;
   stats_.send_queue_bytes.observe(
-      static_cast<double>(peer.outbuf.size() - peer.wr_off));
+      static_cast<double>(peer.out_bytes - peer.wr_off));
   if (ring_.should_record(peek_sampled(p.bytes)))
     ring_.record(obs::EventType::kTcpSend, peek_trace_id(p.bytes),
                  p.dst_node);
@@ -371,8 +400,16 @@ void TcpTransport::send(Packet p, double /*now_us: wall clock rules*/) {
   bytes_out_.fetch_add(wire, std::memory_order_relaxed);
   stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
   lk.unlock();
-  const char b = 1;
-  [[maybe_unused]] ssize_t rc = ::write(wake_w_, &b, 1);
+  // Wake elision: the I/O loop rebuilds its fd set — arming POLLOUT for
+  // every peer with a non-empty queue — under mu_, so appending to an
+  // already non-empty queue never needs a poke (either POLLOUT is armed
+  // for the in-flight poll(), or the queue was non-empty at the last
+  // rebuild and still is). Only the empty→non-empty transition can find
+  // the loop parked without POLLOUT; that's the one syscall we pay.
+  if (was_empty) {
+    const char b = 1;
+    [[maybe_unused]] ssize_t rc = ::write(wake_w_, &b, 1);
+  }
 }
 
 bool TcpTransport::recv(std::uint32_t node, Packet& out, double /*now_us*/) {
@@ -397,12 +434,12 @@ std::size_t TcpTransport::in_flight() const {
 
 void TcpTransport::queue_frame(Peer& p, FrameKind kind,
                                const std::vector<std::uint8_t>& body) {
-  std::vector<std::uint8_t> payload;
-  payload.reserve(1 + body.size());
-  payload.push_back(static_cast<std::uint8_t>(kind));
-  payload.insert(payload.end(), body.begin(), body.end());
-  const auto frame = encode_frame(payload);
-  p.outbuf.append(reinterpret_cast<const char*>(frame.data()), frame.size());
+  BufPtr f = pool_.acquire(4 + 1 + body.size());
+  append_u32(*f, static_cast<std::uint32_t>(1 + body.size()));
+  f->push_back(static_cast<std::uint8_t>(kind));
+  f->insert(f->end(), body.begin(), body.end());
+  p.out_bytes += f->size();
+  p.outq.push_back(std::move(f));
 }
 
 void TcpTransport::start_connect(std::uint32_t node, Peer& p, double now) {
@@ -460,16 +497,20 @@ void TcpTransport::finish_connect(std::uint32_t node, Peer& p, double now) {
   p.parser = FrameParser{};
   // Identity first: the hello must precede any queued data so the
   // acceptor can tag the connection (and learn our reach-back address)
-  // before payloads arrive. Prepending at offset 0 is frame-aligned:
-  // wr_off is 0 here (fresh peers start there, fail_connect rewinds).
+  // before payloads arrive. Prepending at the queue head is
+  // frame-aligned: wr_off is 0 here (fresh peers start there,
+  // fail_connect rewinds).
   Writer hello;
   hello.u8(static_cast<std::uint8_t>(FrameKind::kHello));
   hello.u32(cfg_.self);
   hello.u16(port_);
   hello.u16(cfg_.monitor_port);
-  const auto frame = encode_frame(hello.take());
-  p.outbuf.insert(0, reinterpret_cast<const char*>(frame.data()),
-                  frame.size());
+  const auto body = hello.take();
+  BufPtr frame = pool_.acquire(4 + body.size());
+  append_u32(*frame, static_cast<std::uint32_t>(body.size()));
+  frame->insert(frame->end(), body.begin(), body.end());
+  p.out_bytes += frame->size();
+  p.outq.push_front(std::move(frame));
   p.next_hb_ms = now + static_cast<double>(cfg_.heartbeat_ms);
 }
 
@@ -512,7 +553,9 @@ void TcpTransport::mark_dead(std::uint32_t node, Peer& p) {
   stats_.frames_dropped.fetch_add(p.queued_frames,
                                   std::memory_order_relaxed);
   p.queued_frames = 0;
-  p.outbuf.clear();
+  for (auto& f : p.outq) pool_.release(std::move(f));
+  p.outq.clear();
+  p.out_bytes = 0;
   p.wr_off = 0;
   for (auto it = inbound_.begin(); it != inbound_.end();) {
     if (it->second.node == node) {
@@ -570,14 +613,14 @@ void TcpTransport::check_liveness(double now) {
 }
 
 bool TcpTransport::handle_payload(int fd, std::uint32_t tagged_node,
-                                  const std::vector<std::uint8_t>& payload,
-                                  double now) {
+                                  const std::uint8_t* payload,
+                                  std::size_t len, double now) {
   // Frame bodies come off the network and must never be trusted: every
   // Reader access is bounds-checked and throws DecodeError on truncated
   // input. Catch it here — an escaped exception would terminate the I/O
   // thread (and the process) on the first malformed frame from a peer.
   try {
-  Reader r(payload);
+  Reader r(std::span<const std::uint8_t>(payload, len));
   const auto kind = static_cast<FrameKind>(r.u8());
   switch (kind) {
     case FrameKind::kHello: {
@@ -619,7 +662,7 @@ bool TcpTransport::handle_payload(int fd, std::uint32_t tagged_node,
       Packet p;
       p.src_node = src;
       p.dst_node = dst;
-      p.bytes.assign(payload.begin() + 9, payload.end());
+      p.bytes.assign(payload + 9, payload + len);
       stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
       stats_.bytes_in.fetch_add(p.bytes.size(), std::memory_order_relaxed);
       const std::uint32_t liveness_node =
@@ -634,23 +677,26 @@ bool TcpTransport::handle_payload(int fd, std::uint32_t tagged_node,
       r.u64();
       feed_liveness(node, now);
       // Echo the body back on the same connection as an ACK.
-      std::vector<std::uint8_t> echo;
-      echo.reserve(payload.size());
-      echo.push_back(static_cast<std::uint8_t>(FrameKind::kHeartbeatAck));
-      echo.insert(echo.end(), payload.begin() + 1, payload.end());
-      const auto frame = encode_frame(echo);
+      BufPtr frame = pool_.acquire(4 + len);
+      append_u32(*frame, static_cast<std::uint32_t>(len));
+      frame->push_back(static_cast<std::uint8_t>(FrameKind::kHeartbeatAck));
+      frame->insert(frame->end(), payload + 1, payload + len);
       auto in = inbound_.find(fd);
       if (in != inbound_.end()) {
         if (in->second.node == kUnknownNode) in->second.node = node;
-        in->second.outbuf.append(reinterpret_cast<const char*>(frame.data()),
-                                 frame.size());
+        in->second.outbuf.append(
+            reinterpret_cast<const char*>(frame->data()), frame->size());
+        pool_.release(std::move(frame));
       } else {
         // Heartbeat arrived on our own outbound connection (the peer
         // echoes through it too); answer there.
         auto pit = peers_.find(node);
-        if (pit != peers_.end() && pit->second.fd == fd)
-          pit->second.outbuf.append(
-              reinterpret_cast<const char*>(frame.data()), frame.size());
+        if (pit != peers_.end() && pit->second.fd == fd) {
+          pit->second.out_bytes += frame->size();
+          pit->second.outq.push_back(std::move(frame));
+        } else {
+          pool_.release(std::move(frame));
+        }
       }
       return true;
     }
@@ -752,17 +798,28 @@ void TcpTransport::flush_writes(int fd, std::string& buf) {
 }
 
 void TcpTransport::flush_peer_writes(Peer& p) {
-  // Peer outbufs survive reconnects, so they stay frame-aligned: bytes
-  // are consumed via wr_off and whole frames erased only once fully
-  // written (drop_written_frames). A disconnect mid-frame then rewinds
-  // wr_off to 0 (fail_connect) and the next connection retransmits the
-  // head frame whole — never a dangling tail after the hello.
-  while (p.wr_off < p.outbuf.size()) {
-    const ssize_t n = ::write(p.fd, p.outbuf.data() + p.wr_off,
-                              p.outbuf.size() - p.wr_off);
+  // Coalesced flush: gather up to flush_frames/flush_bytes of whole
+  // frames into one writev(). Peer queues survive reconnects, so they
+  // stay frame-aligned: bytes are consumed via wr_off and whole frames
+  // recycled only once fully written (consume_written). A disconnect
+  // mid-batch then rewinds wr_off to 0 (fail_connect) and the next
+  // connection retransmits the head frame whole — never a dangling
+  // tail after the hello.
+  struct iovec iov[kIovMax];
+  while (!p.outq.empty()) {
+    const std::size_t cnt = gather_frames(
+        p.outq, p.wr_off, cfg_.flush_bytes,
+        std::max<std::size_t>(1, cfg_.flush_frames), iov, kIovMax);
+    const ssize_t n = cnt == 1
+                          ? ::write(p.fd, iov[0].iov_base, iov[0].iov_len)
+                          : ::writev(p.fd, iov, static_cast<int>(cnt));
     if (n > 0) {
-      p.wr_off += static_cast<std::size_t>(n);
-      drop_written_frames(p.outbuf, p.wr_off);
+      stats_.writev_calls.fetch_add(1, std::memory_order_relaxed);
+      stats_.writev_frames.fetch_add(cnt, std::memory_order_relaxed);
+      stats_.flush_frames_per_call.observe(static_cast<double>(cnt));
+      const std::size_t before = p.wr_off;
+      consume_written(p.outq, p.wr_off, static_cast<std::size_t>(n), pool_);
+      p.out_bytes -= before + static_cast<std::size_t>(n) - p.wr_off;
     } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       return;  // short write: the rest goes out on the next POLLOUT
     } else {
@@ -772,8 +829,13 @@ void TcpTransport::flush_peer_writes(Peer& p) {
 }
 
 void TcpTransport::io_loop() {
+  // Linux pads timed sleeps (poll included) by the thread's timer slack
+  // — 50µs by default, the size of this loop's whole wakeup budget.
+  // 1µs slack keeps idle-path latency at the timer's resolution.
+  ::prctl(PR_SET_TIMERSLACK, 1000, 0, 0, 0);
   std::vector<pollfd> fds;
   std::vector<std::uint32_t> fd_peer;  // parallel: peer node or kUnknownNode
+  BufPtr rdbuf;  // pooled read buffer, held for the loop's lifetime
   while (!stop_.load(std::memory_order_relaxed)) {
     fds.clear();
     fd_peer.clear();
@@ -787,7 +849,7 @@ void TcpTransport::io_loop() {
       for (auto& [node, p] : peers_) {
         if (p.dead) continue;
         const bool want =
-            !p.outbuf.empty() || !p.hostport.empty();
+            !p.outq.empty() || !p.hostport.empty();
         if (p.fd < 0 && want && now >= p.next_connect_ms) {
           start_connect(node, p, now);
         }
@@ -803,7 +865,7 @@ void TcpTransport::io_loop() {
         }
         if (p.fd >= 0) {
           short ev = POLLIN;
-          if (p.connecting || !p.outbuf.empty()) ev |= POLLOUT;
+          if (p.connecting || !p.outq.empty()) ev |= POLLOUT;
           fds.push_back({p.fd, ev, 0});
           fd_peer.push_back(node);
         }
@@ -820,13 +882,41 @@ void TcpTransport::io_loop() {
         cfg_.heartbeat_ms > 0
             ? static_cast<int>(std::min<std::uint64_t>(cfg_.heartbeat_ms, 20))
             : 20;
-    ::poll(fds.data(), fds.size(), timeout_ms);
+    if (cfg_.busy_poll_us == 0) {
+      ::poll(fds.data(), fds.size(), timeout_ms);
+    } else {
+      // Opt-in busy-poll: spin on zero-timeout polls (yielding the core
+      // between probes so executor threads still run) for up to
+      // busy_poll_us before parking in a blocking poll. The fd set is
+      // safe to reuse while spinning — any state change that matters
+      // either arms an fd already polled or pokes the wake pipe.
+      int nready = ::poll(fds.data(), fds.size(), 0);
+      if (nready == 0) {
+        const auto spin_until =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(cfg_.busy_poll_us);
+        while (nready == 0 && !stop_.load(std::memory_order_relaxed) &&
+               std::chrono::steady_clock::now() < spin_until) {
+          std::this_thread::yield();
+          nready = ::poll(fds.data(), fds.size(), 0);
+        }
+        if (nready == 0 && !stop_.load(std::memory_order_relaxed))
+          ::poll(fds.data(), fds.size(), timeout_ms);
+      }
+    }
     if (stop_.load(std::memory_order_relaxed)) break;
 
     std::unique_lock<std::mutex> lk(mu_);
     const double now = now_ms();
     bool drained = false;
-    std::uint8_t buf[65536];
+    // Read-side batching: drain each ready socket into a pooled
+    // contiguous buffer and dispatch every complete frame it holds in
+    // one pass (zero copies for frames that don't span reads).
+    if (!rdbuf) {
+      rdbuf = pool_.acquire(kReadChunk);
+      rdbuf->resize(kReadChunk);
+    }
+    std::uint8_t* const buf = rdbuf->data();
     for (std::size_t i = 0; i < fds.size(); ++i) {
       const pollfd& pf = fds[i];
       if (pf.revents == 0) continue;
@@ -867,21 +957,17 @@ void TcpTransport::io_loop() {
         }
         if (pf.revents & POLLIN) {
           for (;;) {
-            const ssize_t n = ::read(pf.fd, buf, sizeof buf);
+            const ssize_t n = ::read(pf.fd, buf, kReadChunk);
             if (n > 0) {
-              std::vector<std::vector<std::uint8_t>> payloads;
-              if (!p.parser.feed(buf, static_cast<std::size_t>(n),
-                                 payloads)) {
-                fail_connect(pnode, p, now);
-                break;
-              }
-              bool malformed = false;
-              for (const auto& pl : payloads)
-                if (!handle_payload(pf.fd, pnode, pl, now)) {
-                  malformed = true;
-                  break;
-                }
-              if (malformed) {
+              const bool ok = p.parser.feed(
+                  buf, static_cast<std::size_t>(n),
+                  [&](const std::uint8_t* pl, std::size_t pl_len) {
+                    return handle_payload(pf.fd, pnode, pl, pl_len, now);
+                  });
+              if (!ok) {
+                if (p.parser.error())
+                  stats_.frames_malformed.fetch_add(
+                      1, std::memory_order_relaxed);
                 fail_connect(pnode, p, now);
                 break;
               }
@@ -896,11 +982,11 @@ void TcpTransport::io_loop() {
           }
         }
         if (p.fd >= 0 && !p.connecting && (pf.revents & POLLOUT)) {
-          const std::size_t before = p.outbuf.size() - p.wr_off;
+          const std::size_t before = p.out_bytes - p.wr_off;
           flush_peer_writes(p);
-          if (p.outbuf.size() - p.wr_off < before) {
+          if (p.out_bytes - p.wr_off < before) {
             drained = true;
-            if (p.outbuf.empty()) p.queued_frames = 0;
+            if (p.outq.empty()) p.queued_frames = 0;
           }
         }
         continue;
@@ -911,20 +997,21 @@ void TcpTransport::io_loop() {
       bool dead_fd = false;
       if (pf.revents & POLLIN) {
         for (;;) {
-          const ssize_t n = ::read(pf.fd, buf, sizeof buf);
+          const ssize_t n = ::read(pf.fd, buf, kReadChunk);
           if (n > 0) {
-            std::vector<std::vector<std::uint8_t>> payloads;
-            if (!iit->second.parser.feed(buf, static_cast<std::size_t>(n),
-                                         payloads)) {
+            const bool ok = iit->second.parser.feed(
+                buf, static_cast<std::size_t>(n),
+                [&](const std::uint8_t* pl, std::size_t pl_len) {
+                  return handle_payload(pf.fd, iit->second.node, pl, pl_len,
+                                        now);
+                });
+            if (!ok) {
+              if (iit->second.parser.error())
+                stats_.frames_malformed.fetch_add(1,
+                                                  std::memory_order_relaxed);
               dead_fd = true;
               break;
             }
-            for (const auto& pl : payloads)
-              if (!handle_payload(pf.fd, iit->second.node, pl, now)) {
-                dead_fd = true;
-                break;
-              }
-            if (dead_fd) break;
           } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
             break;
           } else {
@@ -941,14 +1028,13 @@ void TcpTransport::io_loop() {
         inbound_.erase(iit);
       }
     }
-    // Estimate queued data frames after partial drains: outbuf holds
-    // whole frames plus at most one partial tail, so recount lazily by
-    // capping at the byte-derived bound. (Exact per-frame tracking is
-    // not worth the bookkeeping: in_flight only needs to reach zero
+    // queued_frames stays an estimate between drains (the queue mixes
+    // data and control frames): in_flight only needs to reach zero
     // exactly when the queue is empty, which `queued_frames = 0` above
-    // guarantees.)
+    // guarantees.
     if (drained) backpressure_cv_.notify_all();
   }
+  pool_.release(std::move(rdbuf));
   backpressure_cv_.notify_all();
 }
 

@@ -31,10 +31,13 @@
 // docs/NETWORKING.md.
 #pragma once
 
+#include <sys/uio.h>
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <functional>
 #include <map>
@@ -45,6 +48,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/bufpool.hpp"
 #include "net/failure.hpp"
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
@@ -78,29 +82,106 @@ std::vector<std::uint8_t> encode_frame(const std::vector<std::uint8_t>& payload)
 /// boundaries); complete payloads come out in order.
 class FrameParser {
  public:
-  /// Returns false once the stream is poisoned (oversized frame); the
-  /// connection must be dropped.
+  /// Zero-copy dispatch: `sink(payload, len)` is invoked once per
+  /// complete frame, in order. Whole frames inside `data` are handed
+  /// out in place; only a partial tail (or a frame spanning feeds) is
+  /// stashed and completed from later input. The sink returns false to
+  /// abort (its payload was malformed — the connection must drop).
+  /// feed() returns false once the stream is poisoned (zero-length or
+  /// oversized frame, error() set) or the sink aborted.
+  template <class Sink>
+  bool feed(const std::uint8_t* data, std::size_t n, Sink&& sink) {
+    if (error_) return false;
+    std::size_t off = 0;
+    // First complete the stashed partial frame, header then body.
+    while (!buf_.empty() && off < n) {
+      if (buf_.size() < 4) {
+        const std::size_t take =
+            std::min<std::size_t>(4 - buf_.size(), n - off);
+        buf_.insert(buf_.end(), data + off, data + off + take);
+        off += take;
+        if (buf_.size() < 4) return true;  // header still split
+      }
+      std::uint32_t len;
+      std::memcpy(&len, buf_.data(), 4);
+      if (len == 0 || len > kMaxFrameBytes) {
+        error_ = true;
+        buf_.clear();
+        return false;
+      }
+      const std::size_t need = 4 + static_cast<std::size_t>(len) - buf_.size();
+      const std::size_t take = std::min(need, n - off);
+      buf_.insert(buf_.end(), data + off, data + off + take);
+      off += take;
+      if (take < need) return true;  // frame still incomplete
+      if (!sink(buf_.data() + 4, static_cast<std::size_t>(len))) {
+        buf_.clear();
+        return false;
+      }
+      buf_.clear();
+    }
+    // Whole frames inside `data` dispatch in place — no copy, many
+    // frames per socket read (the read-side half of batching).
+    while (n - off >= 4) {
+      std::uint32_t len;
+      std::memcpy(&len, data + off, 4);
+      if (len == 0 || len > kMaxFrameBytes) {
+        error_ = true;
+        buf_.clear();
+        return false;
+      }
+      if (n - off < 4 + static_cast<std::size_t>(len)) break;
+      if (!sink(data + off + 4, static_cast<std::size_t>(len))) return false;
+      off += 4 + len;
+    }
+    if (off < n) buf_.assign(data + off, data + n);  // stash the tail
+    return true;
+  }
+
+  /// Copying variant (tests, tools): complete payloads appended to
+  /// `out`. Returns false once the stream is poisoned.
   bool feed(const std::uint8_t* data, std::size_t n,
             std::vector<std::vector<std::uint8_t>>& out);
   bool error() const { return error_; }
   std::size_t buffered() const { return buf_.size(); }
 
  private:
-  std::vector<std::uint8_t> buf_;
+  std::vector<std::uint8_t> buf_;  // partial tail only
   bool error_ = false;
 };
 
 /// Split "host:port"; throws std::invalid_argument on malformed input.
 std::pair<std::string, std::uint16_t> parse_hostport(const std::string& s);
 
-/// Erase the whole frames at the head of `buf` that `wr_off` has fully
-/// passed, keeping `buf`/`wr_off` frame-aligned: after the call,
-/// `wr_off` always points inside (or at the start of) the first frame.
-/// This is what lets a disconnect rewind `wr_off` to 0 and retransmit
-/// the partially-written head frame whole on the next connection —
-/// without it, the unsent tail of a half-written frame would follow the
-/// reconnect hello and poison the receiver's framing.
-void drop_written_frames(std::string& buf, std::size_t& wr_off);
+// -- coalesced outbound queues ----------------------------------------
+//
+// A peer's outbound queue is a deque of pooled whole-frame buffers plus
+// `wr_off`, the bytes of the head frame already written to the socket.
+// Invariant: the queue always starts at a frame boundary and wr_off
+// stays inside the head frame — a disconnect rewinds wr_off to 0 and
+// the next connection retransmits the head frame whole (after the
+// hello), never a dangling tail that would poison the receiver's
+// framing. gather/consume below are the two halves of a writev() flush
+// and are pure over (queue, wr_off), so tests can drive them directly.
+
+/// Largest scatter-gather batch per writev() call.
+constexpr std::size_t kIovMax = 64;
+
+/// Fill `iov[0..iov_max)` from the frame queue starting `wr_off` bytes
+/// into the head frame. At least one entry is produced for a non-empty
+/// queue; gathering stops once `flush_frames` frames or `flush_bytes`
+/// bytes are covered (flush_frames = 1 degenerates to one write per
+/// frame — coalescing off). Returns the iovec count.
+std::size_t gather_frames(const std::deque<BufPtr>& q, std::size_t wr_off,
+                          std::size_t flush_bytes, std::size_t flush_frames,
+                          struct iovec* iov, std::size_t iov_max);
+
+/// Account `n` freshly-written bytes: advance `wr_off`, releasing each
+/// fully-written head frame back to `pool` and popping it. Preserves
+/// the frame-alignment invariant above (wr_off ends inside — or at the
+/// start of — the new head frame).
+void consume_written(std::deque<BufPtr>& q, std::size_t& wr_off,
+                     std::size_t n, BufferPool& pool);
 
 // -- transport --------------------------------------------------------
 
@@ -153,6 +234,19 @@ struct TcpConfig {
   std::uint64_t confirm_ms = 500;
   PhiAccrualDetector::Options phi;
 
+  // Wire-path batching (docs/NETWORKING.md "Wire-path throughput").
+  /// One flush gathers up to `flush_frames` whole frames — and roughly
+  /// `flush_bytes` bytes — into a single writev(). flush_frames = 1
+  /// disables coalescing (one write per frame, the pre-batching wire
+  /// behaviour; the benches' "nocoalesce" sections run this way).
+  std::size_t flush_bytes = 256u << 10;
+  std::size_t flush_frames = 64;
+  /// Opt-in busy-poll: after an idle poll() the I/O thread spins
+  /// (zero-timeout polls interleaved with sched_yield) for up to this
+  /// many microseconds before blocking again. Trades a core for wakeup
+  /// latency; leave 0 unless the node has CPU to burn.
+  std::uint64_t busy_poll_us = 0;
+
   /// Set by the CLI layers when the configuration spans OS processes
   /// (tycod / --tcp / --join); the Network then builds one single-node
   /// TcpTransport instead of an in-process loopback mesh.
@@ -184,6 +278,10 @@ class TcpTransport : public Transport {
     std::atomic<std::uint64_t> frames_malformed{0};  // undecodable bodies
     std::atomic<std::uint64_t> peers_suspected{0};
     std::atomic<std::uint64_t> peers_dead{0};
+    /// Coalescing: flush calls (write/writev) and the frames they
+    /// covered — frames/call is the realised batch factor.
+    std::atomic<std::uint64_t> writev_calls{0};
+    std::atomic<std::uint64_t> writev_frames{0};
     /// Last heartbeat round trip, microseconds (any peer).
     std::atomic<std::uint64_t> last_rtt_us{0};
     /// Path telemetry (lock-free histograms; safe to snapshot any time):
@@ -196,6 +294,9 @@ class TcpTransport : public Transport {
         obs::Histogram::exponential_bounds(64.0, 4.0, 12)};
     obs::Histogram reconnect_backoff_ms{
         obs::Histogram::exponential_bounds(1.0, 2.0, 12)};
+    /// Frames per flush (1 = no batching opportunity or coalescing off).
+    obs::Histogram flush_frames_per_call{
+        obs::Histogram::exponential_bounds(1.0, 2.0, 8)};
   };
 
   /// One peer's transport state, snapshotted under the lock — the
@@ -240,6 +341,10 @@ class TcpTransport : public Transport {
   bool remote() const override { return cfg_.multiprocess; }
 
   std::uint16_t port() const { return port_; }
+  /// The packet-buffer pool behind encode/enqueue/read (tcp_pool_*
+  /// metrics and the /peers pool block). Thread-safe snapshot.
+  BufferPool::StatsSnapshot pool_stats() const { return pool_.stats(); }
+  BufferPool& pool() { return pool_; }
   /// The reach-back address gossiped to peers: advertise_host (or
   /// listen_host, with wildcard binds resolved to loopback) + port().
   std::string advertised_hostport() const;
@@ -318,13 +423,16 @@ class TcpTransport : public Transport {
     bool connecting = false;
     bool hello_sent = false;
     FrameParser parser;    // ACKs flowing back on the outbound conn
-    std::string outbuf;    // whole frames queued for the socket
-    /// Bytes of outbuf's head frame already written to the socket.
-    /// Invariant (drop_written_frames): outbuf always starts at a frame
+    /// Whole pooled frames queued for the socket, oldest first, drained
+    /// by coalesced writev() flushes (gather_frames/consume_written).
+    std::deque<BufPtr> outq;
+    std::size_t out_bytes = 0;  // total bytes across outq
+    /// Bytes of the head frame already written to the socket.
+    /// Invariant (consume_written): the queue always starts at a frame
     /// boundary and wr_off stays inside the head frame, so a disconnect
     /// rewinds wr_off to 0 and resends that frame whole.
     std::size_t wr_off = 0;
-    std::size_t queued_frames = 0;  // data frames inside outbuf
+    std::size_t queued_frames = 0;  // data frames inside outq
     /// When demand first appeared while never connected (-1 = none);
     /// drives connect_deadline_ms.
     double demand_since_ms = -1;
@@ -361,7 +469,7 @@ class TcpTransport : public Transport {
   /// malformed frame is a protocol error and the connection carrying it
   /// must be dropped, exactly like a framing error.
   bool handle_payload(int fd, std::uint32_t tagged_node,
-                      const std::vector<std::uint8_t>& payload,
+                      const std::uint8_t* payload, std::size_t len,
                       double now_ms);
   void feed_liveness(std::uint32_t node, double now_ms);
   void check_liveness(double now_ms);
@@ -391,6 +499,9 @@ class TcpTransport : public Transport {
   std::function<bool(const Packet&)> drop_filter_;
   obs::TraceRing ring_;  // all record sites hold mu_ (single producer)
   std::uint64_t rng_ = 0x9e3779b97f4a7c15ull;  // jitter; I/O thread only
+  /// Packet-buffer recycling for encode/enqueue/read (own lock; safe
+  /// for executor threads to acquire while the I/O thread releases).
+  BufferPool pool_;
 
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> bytes_out_{0};

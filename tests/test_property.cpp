@@ -11,12 +11,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <deque>
 
 #include "calculus/reducer.hpp"
 #include "compiler/codegen.hpp"
 #include "compiler/parser.hpp"
 #include "core/network.hpp"
 #include "core/wire.hpp"
+#include "net/tcp.hpp"
 #include "support/rng.hpp"
 #include "types/infer.hpp"
 #include "vm/machine.hpp"
@@ -387,6 +389,143 @@ TEST_P(ExprProperty, VmMatchesReducerExactly) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExprProperty,
                          ::testing::Range<std::uint64_t>(1, 65));
+
+// ---------------------------------------------------------------------
+// Wire-path coalescing (net/tcp.hpp gather_frames / consume_written)
+// ---------------------------------------------------------------------
+//
+// The writev flush is modelled exactly: gather a bounded iovec batch
+// from the frame queue, let a simulated kernel accept a random prefix
+// of it, account the accepted bytes. Two properties: (1) whatever the
+// budgets and partial writes, the bytes that reach the wire are the
+// frames' exact concatenation — coalescing must be invisible to the
+// receiver; (2) a disconnect at any offset rewinds to a whole-frame
+// boundary, so across old + new connection every frame arrives exactly
+// once, never torn, never duplicated.
+
+std::vector<std::uint8_t> random_frame(Rng& rng) {
+  std::vector<std::uint8_t> payload(1 + rng.below(200));
+  for (auto& b : payload)
+    b = static_cast<std::uint8_t>(rng.below(256));
+  return net::encode_frame(payload);
+}
+
+class WireCoalescingProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireCoalescingProperty, CoalescedWritesMatchPerFrameByteStream) {
+  Rng rng(GetParam() * 7919 + 3);
+  net::BufferPool pool;
+  std::vector<std::uint8_t> reference;  // one-write-per-frame stream
+  std::deque<net::BufPtr> q;
+  const std::size_t nframes = 1 + rng.below(40);
+  for (std::size_t i = 0; i < nframes; ++i) {
+    const auto f = random_frame(rng);
+    reference.insert(reference.end(), f.begin(), f.end());
+    auto buf = pool.acquire(f.size());
+    buf->assign(f.begin(), f.end());
+    q.push_back(std::move(buf));
+  }
+
+  // Random budgets each flush — including flush_frames = 1, the
+  // coalescing-off degenerate the benches compare against.
+  std::vector<std::uint8_t> wire;
+  std::size_t wr_off = 0;
+  struct iovec iov[net::kIovMax];
+  while (!q.empty()) {
+    const std::size_t flush_bytes = 1 + rng.below(4096);
+    const std::size_t flush_frames = 1 + rng.below(net::kIovMax);
+    const std::size_t cnt = net::gather_frames(q, wr_off, flush_bytes,
+                                               flush_frames, iov,
+                                               net::kIovMax);
+    ASSERT_GE(cnt, 1u);
+    ASSERT_LE(cnt, std::min(flush_frames, q.size()));
+    std::size_t gathered = 0;
+    for (std::size_t i = 0; i < cnt; ++i) gathered += iov[i].iov_len;
+    // The kernel accepts a random nonzero prefix (short writes happen
+    // at any byte, not at iovec boundaries).
+    std::size_t n = 1 + rng.below(gathered);
+    for (std::size_t i = 0; i < cnt && n > 0; ++i) {
+      const std::size_t take = std::min(n, iov[i].iov_len);
+      const auto* base = static_cast<const std::uint8_t*>(iov[i].iov_base);
+      wire.insert(wire.end(), base, base + take);
+      net::consume_written(q, wr_off, take, pool);
+      n -= take;
+    }
+    // Frame-alignment invariant: wr_off stays inside the head frame.
+    if (q.empty())
+      EXPECT_EQ(wr_off, 0u);
+    else
+      ASSERT_LT(wr_off, q.front()->size());
+  }
+  EXPECT_EQ(wire, reference) << "coalescing changed the byte stream (seed "
+                             << GetParam() << ")";
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+}
+
+TEST_P(WireCoalescingProperty, DisconnectAtAnyOffsetRewindsWholeFrames) {
+  Rng rng(GetParam() * 104729 + 11);
+  net::BufferPool pool;
+  std::vector<std::vector<std::uint8_t>> payloads;
+  std::deque<net::BufPtr> q;
+  const std::size_t nframes = 2 + rng.below(30);
+  for (std::size_t i = 0; i < nframes; ++i) {
+    std::vector<std::uint8_t> p(1 + rng.below(120));
+    for (auto& b : p) b = static_cast<std::uint8_t>(rng.below(256));
+    payloads.push_back(p);
+    const auto f = net::encode_frame(p);
+    auto buf = pool.acquire(f.size());
+    buf->assign(f.begin(), f.end());
+    q.push_back(std::move(buf));
+  }
+
+  // First connection: write a random number of bytes (any offset, very
+  // possibly mid-frame), then the peer drops.
+  std::size_t wr_off = 0;
+  std::vector<std::uint8_t> conn1;
+  std::size_t total = 0;
+  for (const auto& b : q) total += b->size();
+  std::size_t written = rng.below(total + 1);
+  while (written > 0 && !q.empty()) {
+    const std::size_t chunk =
+        std::min<std::size_t>(1 + rng.below(64), written);
+    const std::size_t head_left = q.front()->size() - wr_off;
+    const std::size_t take = std::min(chunk, head_left);
+    conn1.insert(conn1.end(), q.front()->data() + wr_off,
+                 q.front()->data() + wr_off + take);
+    net::consume_written(q, wr_off, take, pool);
+    written -= take;
+  }
+  // Disconnect: the transport rewinds to the head frame's start — the
+  // partially written prefix is abandoned with the dead socket.
+  wr_off = 0;
+
+  // Second connection drains the rest.
+  std::vector<std::uint8_t> conn2;
+  for (const auto& b : q) conn2.insert(conn2.end(), b->begin(), b->end());
+
+  // Receiver side: each connection gets a fresh parser; the first
+  // connection's dangling tail dies with its socket.
+  net::FrameParser parse1, parse2;
+  std::vector<std::vector<std::uint8_t>> got;
+  if (!conn1.empty())
+    ASSERT_TRUE(parse1.feed(conn1.data(), conn1.size(), got));
+  const std::size_t from_conn1 = got.size();
+  if (!conn2.empty())
+    ASSERT_TRUE(parse2.feed(conn2.data(), conn2.size(), got));
+  // Exactly once, in order, never torn: complete frames of connection 1
+  // plus the retransmitted-whole remainder reassemble the original
+  // sequence with no gap and no duplicate at the boundary.
+  ASSERT_EQ(got.size(), payloads.size())
+      << "frame lost or duplicated across reconnect (seed " << GetParam()
+      << ", conn1 delivered " << from_conn1 << ")";
+  for (std::size_t i = 0; i < payloads.size(); ++i)
+    EXPECT_EQ(got[i], payloads[i]) << "frame " << i << " torn (seed "
+                                   << GetParam() << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireCoalescingProperty,
+                         ::testing::Range<std::uint64_t>(1, 49));
 
 }  // namespace
 }  // namespace dityco

@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdio>
 #include <map>
+#include <random>
 #include <set>
 #include <string>
 #include <thread>
@@ -101,29 +102,211 @@ TEST(Framing, ZeroLengthFrameIsError) {
   EXPECT_FALSE(parser.feed(hdr, 4, out));
 }
 
-TEST(Framing, DropWrittenFramesKeepsAlignment) {
+TEST(Framing, ConsumeWrittenKeepsAlignment) {
+  net::BufferPool pool;
   const auto f1 = net::encode_frame(payload_of(2, "first"));
   const auto f2 = net::encode_frame(payload_of(2, "second!"));
-  std::string buf(reinterpret_cast<const char*>(f1.data()), f1.size());
-  buf.append(reinterpret_cast<const char*>(f2.data()), f2.size());
-  // Mid-frame: nothing may be erased — a disconnect must be able to
+  std::deque<net::BufPtr> q;
+  q.push_back(std::make_unique<net::Buf>(f1));
+  q.push_back(std::make_unique<net::Buf>(f2));
+  // Mid-frame: nothing may be popped — a disconnect must be able to
   // rewind to the start of the partially written frame and resend it
   // whole, or the reconnect stream would carry a dangling tail.
-  std::size_t wr = f1.size() - 2;
-  net::drop_written_frames(buf, wr);
-  EXPECT_EQ(buf.size(), f1.size() + f2.size());
+  std::size_t wr = 0;
+  net::consume_written(q, wr, f1.size() - 2, pool);
+  EXPECT_EQ(q.size(), 2u);
   EXPECT_EQ(wr, f1.size() - 2);
-  // Past the first frame boundary: exactly that frame goes, the offset
-  // lands inside the new head frame.
-  wr = f1.size() + 3;
-  net::drop_written_frames(buf, wr);
-  EXPECT_EQ(buf.size(), f2.size());
+  // Past the first frame boundary: exactly that frame goes (back to the
+  // pool), the offset lands inside the new head frame.
+  net::consume_written(q, wr, 2 + 3, pool);
+  EXPECT_EQ(q.size(), 1u);
   EXPECT_EQ(wr, 3u);
-  // Everything written: the buffer drains completely, offset back to 0.
-  wr = buf.size();
-  net::drop_written_frames(buf, wr);
-  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(pool.stats().free_buffers, 1u);
+  // Everything written: the queue drains completely, offset back to 0.
+  net::consume_written(q, wr, f2.size() - 3, pool);
+  EXPECT_TRUE(q.empty());
   EXPECT_EQ(wr, 0u);
+  EXPECT_EQ(pool.stats().free_buffers, 2u);
+}
+
+TEST(Framing, GatherFramesHonoursBudgetsAndOffset) {
+  std::deque<net::BufPtr> q;
+  std::vector<std::size_t> sizes;
+  for (int i = 0; i < 6; ++i) {
+    const auto f =
+        net::encode_frame(payload_of(2, std::string(10 + i, 'x')));
+    sizes.push_back(f.size());
+    q.push_back(std::make_unique<net::Buf>(f));
+  }
+  struct iovec iov[net::kIovMax];
+  // Unbounded budgets: every frame gathers, head offset honoured.
+  std::size_t cnt = net::gather_frames(q, 3, 1u << 20, 64, iov, net::kIovMax);
+  ASSERT_EQ(cnt, 6u);
+  EXPECT_EQ(iov[0].iov_len, sizes[0] - 3);
+  EXPECT_EQ(iov[0].iov_base, q[0]->data() + 3);
+  EXPECT_EQ(iov[5].iov_len, sizes[5]);
+  // Frame budget: flush_frames = 1 is the one-write-per-frame path.
+  cnt = net::gather_frames(q, 0, 1u << 20, 1, iov, net::kIovMax);
+  EXPECT_EQ(cnt, 1u);
+  // Byte budget: stop once the gathered bytes cross flush_bytes — but
+  // always make progress (at least one frame).
+  cnt = net::gather_frames(q, 0, sizes[0] + 1, 64, iov, net::kIovMax);
+  EXPECT_EQ(cnt, 2u);
+  cnt = net::gather_frames(q, 0, 1, 64, iov, net::kIovMax);
+  EXPECT_EQ(cnt, 1u);
+}
+
+TEST(Framing, CoalescedBatchSplitAtEveryBoundary) {
+  // A coalesced writev lands many frames in one TCP segment, but the
+  // receiver may still wake at any byte offset. Split the batch at
+  // every position and demand identical output.
+  std::vector<std::vector<std::uint8_t>> frames;
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 8; ++i) {
+    auto p = payload_of(2, "b" + std::to_string(i) + std::string(i * 3, 'y'));
+    frames.push_back(p);
+    const auto f = net::encode_frame(p);
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  for (std::size_t split = 0; split <= stream.size(); ++split) {
+    FrameParser parser;
+    std::vector<std::vector<std::uint8_t>> out;
+    ASSERT_TRUE(parser.feed(stream.data(), split, out));
+    ASSERT_TRUE(
+        parser.feed(stream.data() + split, stream.size() - split, out));
+    ASSERT_EQ(out.size(), frames.size()) << "split at " << split;
+    for (std::size_t i = 0; i < frames.size(); ++i)
+      EXPECT_EQ(out[i], frames[i]) << "split at " << split;
+    EXPECT_EQ(parser.buffered(), 0u);
+  }
+}
+
+TEST(Framing, FuzzRandomChunksNeverTearFrames) {
+  // Randomized read-boundary torture: random frame batches, possibly
+  // truncated mid-frame, fed in random slices. The parser must emit
+  // exactly the whole frames the bytes contain — never a partial one —
+  // and hold exactly the unconsumed tail.
+  std::mt19937_64 rng(0xd117c0de5eedull);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t nf = 1 + rng() % 20;
+    std::vector<std::vector<std::uint8_t>> frames;
+    std::vector<std::uint8_t> stream;
+    for (std::size_t i = 0; i < nf; ++i) {
+      std::vector<std::uint8_t> p(1 + rng() % 600);
+      for (auto& b : p) b = static_cast<std::uint8_t>(rng());
+      frames.push_back(p);
+      const auto f = net::encode_frame(p);
+      stream.insert(stream.end(), f.begin(), f.end());
+    }
+    // Half the rounds stop mid-stream (a peer died mid-batch).
+    const std::size_t cut =
+        rng() % 2 ? stream.size() : rng() % (stream.size() + 1);
+    FrameParser parser;
+    std::vector<std::vector<std::uint8_t>> out;
+    std::size_t off = 0;
+    while (off < cut) {
+      const std::size_t n = std::min<std::size_t>(1 + rng() % 97, cut - off);
+      ASSERT_TRUE(parser.feed(stream.data() + off, n, out));
+      off += n;
+    }
+    std::size_t consumed = 0, expect = 0;
+    for (const auto& f : frames) {
+      if (consumed + 4 + f.size() > cut) break;
+      consumed += 4 + f.size();
+      ++expect;
+    }
+    ASSERT_EQ(out.size(), expect) << "round " << round << " cut " << cut;
+    for (std::size_t i = 0; i < expect; ++i)
+      EXPECT_EQ(out[i], frames[i]) << "round " << round;
+    EXPECT_EQ(parser.buffered(), cut - consumed) << "round " << round;
+    EXPECT_FALSE(parser.error());
+  }
+}
+
+TEST(Framing, FuzzGarbageNeverCrashesAndPoisonSticks) {
+  // Pure garbage: most 4-byte prefixes decode to an oversized length
+  // and must poison the stream without allocating; a lucky small prefix
+  // just buffers. Either way: no crash, no zero-length payloads, and a
+  // poisoned parser stays poisoned.
+  std::mt19937_64 rng(0xbadc0ffeull);
+  for (int round = 0; round < 300; ++round) {
+    FrameParser parser;
+    std::vector<std::vector<std::uint8_t>> out;
+    bool poisoned = false;
+    for (int chunk = 0; chunk < 20; ++chunk) {
+      std::vector<std::uint8_t> junk(1 + rng() % 64);
+      for (auto& b : junk) b = static_cast<std::uint8_t>(rng());
+      const bool ok = parser.feed(junk.data(), junk.size(), out);
+      if (poisoned) EXPECT_FALSE(ok);
+      if (!ok) {
+        EXPECT_TRUE(parser.error());
+        poisoned = true;
+      }
+    }
+    for (const auto& p : out) {
+      EXPECT_GE(p.size(), 1u);
+      EXPECT_LE(p.size(), net::kMaxFrameBytes);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Buffer pool
+// ---------------------------------------------------------------------
+
+TEST(BufferPool, RecyclesAndCountsAccurately) {
+  net::BufferPool pool(net::BufferPool::Options{2, 1024});
+  auto a = pool.acquire(100);
+  auto b = pool.acquire(100);
+  auto s = pool.stats();
+  EXPECT_EQ(s.outstanding, 2u);
+  EXPECT_EQ(s.misses, 2u);
+  pool.release(std::move(a));
+  pool.release(std::move(b));
+  s = pool.stats();
+  EXPECT_EQ(s.outstanding, 0u);
+  EXPECT_EQ(s.free_buffers, 2u);
+  auto c = pool.acquire(10);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  // A buffer grown past max_buffer_bytes is freed, not cached — one
+  // giant frame must not pin its capacity forever.
+  c->reserve(4096);
+  pool.release(std::move(c));
+  s = pool.stats();
+  EXPECT_EQ(s.trimmed, 1u);
+  EXPECT_EQ(s.free_buffers, 1u);
+  // A full free list trims instead of growing without bound.
+  auto d = pool.acquire(1);
+  auto e = pool.acquire(1);
+  auto f = pool.acquire(1);
+  pool.release(std::move(d));
+  pool.release(std::move(e));
+  pool.release(std::move(f));
+  s = pool.stats();
+  EXPECT_EQ(s.free_buffers, 2u);
+  EXPECT_EQ(s.trimmed, 2u);
+  EXPECT_EQ(s.releases, 6u);
+}
+
+TEST(BufferPool, ConcurrentAcquireReleaseIsRaceFree) {
+  // TSan target: four threads hammer one pool; the gauges must balance
+  // exactly when they drain (no lost or double-counted buffer).
+  net::BufferPool pool;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t)
+    ts.emplace_back([&pool, t] {
+      std::mt19937 rng(static_cast<unsigned>(t));
+      for (int i = 0; i < 2000; ++i) {
+        auto b = pool.acquire(64 + rng() % 512);
+        b->push_back(static_cast<std::uint8_t>(i));
+        pool.release(std::move(b));
+      }
+    });
+  for (auto& th : ts) th.join();
+  const auto s = pool.stats();
+  EXPECT_EQ(s.outstanding, 0u);
+  EXPECT_EQ(s.hits + s.misses, 8000u);
+  EXPECT_EQ(s.releases, 8000u);
 }
 
 TEST(Framing, ParseHostport) {
@@ -403,6 +586,74 @@ TEST(TcpTransport, MalformedFrameDropsConnectionNotProcess) {
   EXPECT_EQ(std::string(got.bytes.begin(), got.bytes.end()), "still alive");
   a.shutdown();
   b.shutdown();
+}
+
+TEST(TcpTransport, GarbageFramingCountsMalformedAndDropsConnection) {
+  // A framing-level poison (zero-length prefix — never valid) from a
+  // raw client must be counted in tcp_frames_malformed and cost only
+  // that connection, exactly like an undecodable body.
+  TcpConfig ca;
+  ca.self = 0;
+  ca.detect_failures = false;
+  TcpTransport a(ca);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(a.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  const std::uint8_t zero[4] = {0, 0, 0, 0};
+  ASSERT_EQ(::write(fd, zero, sizeof zero), 4);
+  char byte;
+  EXPECT_EQ(::read(fd, &byte, 1), 0);  // transport dropped us
+  ::close(fd);
+  EXPECT_GE(a.stats().frames_malformed.load(), 1u);
+  a.shutdown();
+}
+
+TEST(TcpTransport, ConcurrentSendersRecycleThroughThePool) {
+  // TSan target for the pool's hot path: executor threads encode into
+  // pooled buffers while the I/O thread flushes and releases them. At
+  // shutdown every buffer must be back (use-after-return would tear the
+  // gauges; TSan catches the races themselves).
+  TcpConfig ca;
+  ca.self = 0;
+  ca.detect_failures = false;
+  TcpTransport a(ca);
+  TcpConfig cb;
+  cb.self = 1;
+  cb.detect_failures = false;
+  cb.peers[0] = "127.0.0.1:" + std::to_string(a.port());
+  TcpTransport b(cb);
+  a.add_peer(1, "127.0.0.1:" + std::to_string(b.port()));
+
+  // Two waves: wave 1's buffers are all back in the pool before wave 2
+  // encodes (receipt implies the flush released them), so wave 2 MUST
+  // recycle — a hungry scheduler can starve the I/O thread long enough
+  // for a single wave to be all misses.
+  constexpr int kThreads = 4, kEach = 100;
+  for (int wave = 0; wave < 2; ++wave) {
+    std::vector<std::thread> senders;
+    for (int t = 0; t < kThreads; ++t)
+      senders.emplace_back([&a, t] {
+        for (int i = 0; i < kEach; ++i)
+          a.send(make_packet(0, 1, "t" + std::to_string(t) + ":" +
+                                       std::to_string(i)),
+                 0);
+      });
+    for (auto& th : senders) th.join();
+    net::Packet got;
+    for (int i = 0; i < kThreads * kEach; ++i)
+      ASSERT_TRUE(recv_wait(b, 1, got)) << "wave " << wave << " packet " << i;
+  }
+  a.shutdown();
+  b.shutdown();
+  const auto pa = a.pool_stats();
+  EXPECT_EQ(pa.outstanding, 0u) << "sender leaked pooled buffers";
+  EXPECT_GT(pa.hits, 0u) << "steady state never recycled";
+  EXPECT_EQ(b.pool_stats().outstanding, 0u) << "receiver leaked";
 }
 
 TEST(TcpTransport, BackpressureTimeoutDropsInsteadOfWedging) {
@@ -874,6 +1125,43 @@ TEST(TcpMesh, SequentialDriverAlsoWorks) {
   EXPECT_EQ(net.output("a")[0], "11");
 }
 
+TEST(TcpMesh, PoolDrainsToZeroAfterImportStorm) {
+  // ASan-job leak check (ISSUE 8): after a full C6-shaped mesh run every
+  // pooled buffer is back — encode buffers released by the flush path,
+  // read buffers released at I/O-loop exit, queued frames released by
+  // shutdown. A nonzero gauge here is a leak even when ASan is silent
+  // (the pool would pin the memory live).
+  core::Network::Config cfg;
+  cfg.mode = core::Network::Mode::kThreaded;
+  cfg.transport = core::Network::TransportKind::kTcp;
+  core::Network net(cfg);
+  net.add_node();
+  net.add_site(0, "server");
+  std::string exports;
+  for (int i = 0; i < 8; ++i)
+    exports += "export new a" + std::to_string(i) + " in ";
+  net.submit_source("server", exports + "0");
+  for (int s = 0; s < 4; ++s) {
+    net.add_node();
+    const std::string name = "c" + std::to_string(s);
+    net.add_site(static_cast<std::size_t>(s) + 1, name);
+    std::string prog;
+    for (int i = 0; i < 8; ++i)
+      prog += "import a" + std::to_string(i) + " from server in ";
+    net.submit_source(name, prog + "print[\"ok\"]");
+  }
+  auto res = net.run();
+  EXPECT_TRUE(res.quiescent);
+  auto* mesh = dynamic_cast<net::TcpMeshTransport*>(&net.transport());
+  ASSERT_NE(mesh, nullptr);
+  mesh->shutdown();
+  for (std::size_t i = 0; i < mesh->parts_count(); ++i) {
+    const auto ps = mesh->part(i).pool_stats();
+    EXPECT_EQ(ps.outstanding, 0u) << "mesh part " << i;
+    EXPECT_EQ(ps.hits + ps.misses, ps.releases) << "mesh part " << i;
+  }
+}
+
 TEST(TcpMesh, SimModeRejectsTcp) {
   core::Network::Config cfg;
   cfg.mode = core::Network::Mode::kSim;
@@ -1049,6 +1337,60 @@ TEST(TycodE2E, KilledPeerIsWrittenOff) {
   const int rc0 = pclose(p0);
   // The survivor's failure detector fired, the dead holder's credit was
   // written off (> 0), tables drained, and shutdown was clean.
+  EXPECT_NE(out0.find("peers_down=1"), std::string::npos) << out0;
+  EXPECT_NE(out0.find("exports_live=0"), std::string::npos) << out0;
+  const auto pos = out0.find("credit_written_off=");
+  ASSERT_NE(pos, std::string::npos) << out0;
+  EXPECT_EQ(out0.find("credit_written_off=0 ", pos), std::string::npos)
+      << out0;
+  EXPECT_EQ(WEXITSTATUS(rc0), 0) << out0;
+}
+
+TEST(TycodE2E, CoalescedRpcSoakSurvivesMidBatchKill) {
+  // Soak: sustained C2-style RPC load with coalescing explicitly on
+  // (the new --flush-* / writev path carries every frame), then SIGKILL
+  // the client mid-batch. The survivor's failure detector must fire and
+  // the GC write-off converge — a torn or replayed partial frame after
+  // the kill would poison the server's framing and show up as a decode
+  // error or a wedged daemon instead.
+  const std::string tycod = TYCOD_PATH;
+  FILE* p0 = popen((tycod +
+                    " --node 0 --heartbeat-ms 25 --confirm-ms 200 "
+                    "--flush-bytes 262144 --flush-frames 64 "
+                    "--idle-exit-ms 3000 --serve-ms 30000 -e "
+                    "'site server { export new svc in "
+                    "def Serve(self) = self?{ val(x, r) = (r![x + 1] | "
+                    "Serve[self]) } in Serve[svc] }' 2>&1")
+                       .c_str(),
+                   "r");
+  ASSERT_NE(p0, nullptr);
+  const std::string line = read_until(p0, "listening on");
+  ASSERT_FALSE(line.empty()) << "node 0 never bound";
+  const std::string port = parse_port(line);
+
+  // The client RPCs in an unbounded loop — load is still flowing in
+  // both directions when the SIGKILL lands.
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    freopen("/dev/null", "w", stdout);
+    freopen("/dev/null", "w", stderr);
+    execl(TYCOD_PATH, "tycod", "--node", "1", "--join",
+          ("127.0.0.1:" + port).c_str(), "--heartbeat-ms", "25",
+          "--flush-bytes", "262144", "--flush-frames", "64", "--timeout-ms",
+          "25000", "-e",
+          "site client { import svc from server in "
+          "def Loop(i) = let v = svc![i] in Loop[v] in Loop[0] }",
+          static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  ASSERT_EQ(kill(child, SIGKILL), 0);
+  int wstatus = 0;
+  waitpid(child, &wstatus, 0);
+
+  const std::string out0 = slurp(p0);
+  const int rc0 = pclose(p0);
   EXPECT_NE(out0.find("peers_down=1"), std::string::npos) << out0;
   EXPECT_NE(out0.find("exports_live=0"), std::string::npos) << out0;
   const auto pos = out0.find("credit_written_off=");

@@ -4,8 +4,9 @@
 # observability off, then with the sampled profiler and tail-based flight
 # retention on (--profile --flight) — and assemble each binary's
 # per-section results (--bench-json) into one versioned document. The
-# committed BENCH_pr6.json is this script's output on the CI container;
-# regenerate with
+# committed BENCH_pr8.json is this script's output on the CI container
+# (BENCH_pr6.json is the pre-coalescing PR 6 baseline, kept for the
+# bench_compare.py delta); regenerate with
 #   tools/bench_baseline.sh [build-dir] [out.json]
 #
 # Schema (dityco-bench-baseline-v2):
@@ -30,7 +31,7 @@
 set -eu
 
 BUILD="${1:-build}"
-OUT="${2:-BENCH_pr6.json}"
+OUT="${2:-BENCH_pr8.json}"
 
 BENCHES="bench_c2_local_vs_remote bench_c5_mobility bench_c6_rpc_nameservice"
 

@@ -34,6 +34,11 @@
 //                        tycotop can stitch a fleet-wide timeline)
 //   --trace-sample N     keep 1-in-N trace ids (default 1 = all)
 //   --heartbeat-ms N     heartbeat period (default 100)
+//   --flush-bytes N      writev coalescing byte budget (default 256K)
+//   --flush-frames N     writev coalescing frame budget (default 64;
+//                        1 = one write per frame, coalescing off)
+//   --busy-poll-us N     spin the I/O thread this long before falling
+//                        back to a blocking poll (default 0 = off)
 //   --phi T              failure-detector suspicion threshold (default 6)
 //   --confirm-ms N       suspicion must persist this long before the
 //                        peer is declared dead (default 500)
@@ -78,6 +83,7 @@ int usage() {
       "         --peer N=HOST:PORT (repeatable)  --typecheck  --stats\n"
       "         --monitor PORT  --trace  --trace-sample N\n"
       "         --heartbeat-ms N  --phi T  --confirm-ms N\n"
+      "         --flush-bytes N  --flush-frames N  --busy-poll-us N\n"
       "         --no-detect  --idle-exit-ms N  --serve-ms N\n"
       "         --timeout-ms N  --gc-resend-ms N  --audit-ms N\n"
       "         --drop-rel N\n";
@@ -137,6 +143,12 @@ int main(int argc, char** argv) {
       trace_sample = std::atol(argv[++i]);
     } else if (arg == "--heartbeat-ms" && i + 1 < argc) {
       cfg.tcp.heartbeat_ms = std::atol(argv[++i]);
+    } else if (arg == "--flush-bytes" && i + 1 < argc) {
+      cfg.tcp.flush_bytes = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--flush-frames" && i + 1 < argc) {
+      cfg.tcp.flush_frames = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--busy-poll-us" && i + 1 < argc) {
+      cfg.tcp.busy_poll_us = static_cast<std::uint64_t>(std::atol(argv[++i]));
     } else if (arg == "--phi" && i + 1 < argc) {
       cfg.tcp.phi_threshold = std::atof(argv[++i]);
     } else if (arg == "--confirm-ms" && i + 1 < argc) {

@@ -90,6 +90,8 @@ int usage() {
       "         --tcp HOST:PORT        one node of a multi-process network\n"
       "         --advertise HOST       reach-back host gossiped to peers\n"
       "         --node N  --join HOST:PORT  --peer N=HOST:PORT\n"
+      "         --flush-bytes N  --flush-frames N  writev coalescing caps\n"
+      "         --busy-poll-us N       spin the I/O thread before blocking\n"
       "         --stats | :stats       print the metrics registry\n"
       "         :trace FILE.json       write a Perfetto/Chrome trace\n"
       "         --sample N             trace 1-in-N operations\n"
@@ -136,6 +138,7 @@ int main(int argc, char** argv) {
   bool show_peers = false;
   bool show_gc = false, show_names = false, do_audit = false;
   std::string fleet_url;
+  long flush_bytes = -1, flush_frames = -1, busy_poll_us = -1;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -163,6 +166,12 @@ int main(int argc, char** argv) {
       if (eq == std::string::npos) return usage();
       tcp_peers[static_cast<std::uint32_t>(
           std::atoi(spec.substr(0, eq).c_str()))] = spec.substr(eq + 1);
+    } else if (arg == "--flush-bytes" && i + 1 < argc) {
+      flush_bytes = std::atol(argv[++i]);
+    } else if (arg == "--flush-frames" && i + 1 < argc) {
+      flush_frames = std::atol(argv[++i]);
+    } else if (arg == "--busy-poll-us" && i + 1 < argc) {
+      busy_poll_us = std::atol(argv[++i]);
     } else if (arg == "--typecheck") {
       typecheck = true;
     } else if (arg == "--check") {
@@ -295,6 +304,12 @@ int main(int argc, char** argv) {
     } else if (transport != "inproc") {
       return usage();
     }
+    if (flush_bytes >= 0)
+      cfg.tcp.flush_bytes = static_cast<std::size_t>(flush_bytes);
+    if (flush_frames >= 0)
+      cfg.tcp.flush_frames = static_cast<std::size_t>(flush_frames);
+    if (busy_poll_us >= 0)
+      cfg.tcp.busy_poll_us = static_cast<std::uint64_t>(busy_poll_us);
 
     dityco::core::Network net(cfg);
     const int nnodes = cfg.tcp.multiprocess
