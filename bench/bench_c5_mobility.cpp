@@ -37,16 +37,18 @@ struct Outcome {
 };
 
 Outcome run_fetch(int size, int activations, bool cache,
-                  MetricsJsonEmitter& mj, MonitorFlag& mon, ObsFlags& obsf,
-                  const std::string& label) {
+                  MetricsJsonEmitter* mj, MonitorFlag* mon, ObsFlags* obsf,
+                  const std::string& label,
+                  obs::SloHistogram::Snapshot* e2e = nullptr) {
   auto net = core::Network(sim_config(net::myrinet()));
   net.add_node();
   net.add_site(0, "server");
   net.add_node();
   net.add_site(1, "client");
   net.find_site("client")->set_fetch_cache_enabled(cache);
-  mon.attach(net);
-  obsf.attach(net);
+  if (e2e) net.enable_slo();
+  if (mon) mon->attach(net);
+  if (obsf) obsf->attach(net);
   net.submit_source("server", "export def Applet(out) = out![" +
                                   big_expr(size) + "] in 0");
   net.submit_source("client",
@@ -55,8 +57,9 @@ Outcome run_fetch(int size, int activations, bool cache,
                     "new p (Applet[p] | p?(v) = Go[i - 1]) "
                     "in Go[" + std::to_string(activations) + "]");
   auto res = net.run();
-  mj.record(label, net);
-  obsf.report(label, net);
+  if (mj) mj->record(label, net);
+  if (obsf) obsf->report(label, net);
+  if (e2e) *e2e = slo_e2e_all(net);
   Outcome o;
   o.vtime_us = res.virtual_time_us;
   o.bytes = res.bytes;
@@ -64,16 +67,18 @@ Outcome run_fetch(int size, int activations, bool cache,
   return o;
 }
 
-Outcome run_ship(int size, int activations, MetricsJsonEmitter& mj,
-                 MonitorFlag& mon, ObsFlags& obsf,
-                 const std::string& label) {
+Outcome run_ship(int size, int activations, MetricsJsonEmitter* mj,
+                 MonitorFlag* mon, ObsFlags* obsf,
+                 const std::string& label,
+                 obs::SloHistogram::Snapshot* e2e = nullptr) {
   auto net = core::Network(sim_config(net::myrinet()));
   net.add_node();
   net.add_site(0, "server");
   net.add_node();
   net.add_site(1, "client");
-  mon.attach(net);
-  obsf.attach(net);
+  if (e2e) net.enable_slo();
+  if (mon) mon->attach(net);
+  if (obsf) obsf->attach(net);
   net.submit_source("server",
                     "def Srv(self) = self?{ get(p) = ((p?(r) = r![" +
                         big_expr(size) +
@@ -84,8 +89,9 @@ Outcome run_ship(int size, int activations, MetricsJsonEmitter& mj,
                     "new p (srv!get[p] | let v = p![] in Go[i - 1]) "
                     "in Go[" + std::to_string(activations) + "]");
   auto res = net.run();
-  mj.record(label, net);
-  obsf.report(label, net);
+  if (mj) mj->record(label, net);
+  if (obsf) obsf->report(label, net);
+  if (e2e) *e2e = slo_e2e_all(net);
   Outcome o;
   o.vtime_us = res.virtual_time_us;
   o.bytes = res.bytes;
@@ -162,20 +168,42 @@ int main(int argc, char** argv) {
           "size=" + std::to_string(size) + " k=" + std::to_string(k);
       const std::string slug_tag =
           "_size" + std::to_string(size) + "_k" + std::to_string(k);
+      // Each sim section keeps its synthesized single-sample form (byte
+      // comparable with older baselines), plus a companion "_e2e"
+      // section holding the per-operation latency histogram from a
+      // second, SLO-instrumented run — real percentiles, no p50 == p99
+      // collapse when the run has more than one mobility op.
+      const auto e2e_section = [&](const std::string& name, double vtime_us,
+                                   const obs::SloHistogram::Snapshot& e2e) {
+        if (e2e.count > 0)
+          bj.section_hist(name + "_e2e", "virtual_us", e2e, vtime_us);
+      };
+      obs::SloHistogram::Snapshot e2e;
       const Outcome f =
-          run_fetch(size, k, true, mj, mon, obsf, "fetch+cache " + tag);
+          run_fetch(size, k, true, &mj, &mon, &obsf, "fetch+cache " + tag);
       bj.section("c5_sim_fetch_cache" + slug_tag, "virtual_us", k,
                  {f.vtime_us});
+      if (bj.enabled())
+        run_fetch(size, k, true, nullptr, nullptr, nullptr, "", &e2e);
+      e2e_section("c5_sim_fetch_cache" + slug_tag, f.vtime_us, e2e);
       row({fmt_int(size), fmt_int(k), "fetch+cache", fmt(f.vtime_us),
            fmt_int(f.bytes), fmt_int(f.fetches)});
       const Outcome fn =
-          run_fetch(size, k, false, mj, mon, obsf, "fetch-nocache " + tag);
+          run_fetch(size, k, false, &mj, &mon, &obsf, "fetch-nocache " + tag);
       bj.section("c5_sim_fetch_nocache" + slug_tag, "virtual_us", k,
                  {fn.vtime_us});
+      e2e = {};
+      if (bj.enabled())
+        run_fetch(size, k, false, nullptr, nullptr, nullptr, "", &e2e);
+      e2e_section("c5_sim_fetch_nocache" + slug_tag, fn.vtime_us, e2e);
       row({fmt_int(size), fmt_int(k), "fetch-nocache (A2)", fmt(fn.vtime_us),
            fmt_int(fn.bytes), fmt_int(fn.fetches)});
-      const Outcome s = run_ship(size, k, mj, mon, obsf, "ship " + tag);
+      const Outcome s = run_ship(size, k, &mj, &mon, &obsf, "ship " + tag);
       bj.section("c5_sim_ship" + slug_tag, "virtual_us", k, {s.vtime_us});
+      e2e = {};
+      if (bj.enabled())
+        run_ship(size, k, nullptr, nullptr, nullptr, "", &e2e);
+      e2e_section("c5_sim_ship" + slug_tag, s.vtime_us, e2e);
       row({fmt_int(size), fmt_int(k), "ship", fmt(s.vtime_us),
            fmt_int(s.bytes), fmt_int(s.ships)});
     }

@@ -13,8 +13,22 @@
 #include "core/network.hpp"
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 
 namespace dityco::benchutil {
+
+/// Every mobility operation's e2e latency from a network's SLO plane,
+/// merged across SHIPM/SHIPO/FETCH — the per-op sample set behind
+/// BenchJson::section_hist. Empty when the plane is off or the
+/// workload never left a site.
+inline obs::SloHistogram::Snapshot slo_e2e_all(core::Network& net) {
+  if (!net.slo_enabled()) return {};
+  obs::SloHistogram::Snapshot s =
+      net.slo().e2e_snapshot(obs::SloPlane::Op::kMsg);
+  s.merge(net.slo().e2e_snapshot(obs::SloPlane::Op::kObj));
+  s.merge(net.slo().e2e_snapshot(obs::SloPlane::Op::kFetch));
+  return s;
+}
 
 /// Build a network with `nodes` nodes and `sites_per_node` sites each,
 /// named s<node>_<k>.
@@ -230,6 +244,29 @@ class BenchJson {
         " \"p50_us\": %.3f, \"p99_us\": %.3f}",
         name.c_str(), unit.c_str(), ops_per_run, run_us.size(), total,
         total > 0 ? ops / (total / 1e6) : 0.0, pct(0.50), pct(0.99));
+    sections_.emplace_back(buf);
+  }
+
+  /// One measured section whose per-operation latency distribution comes
+  /// from an SLO-plane histogram (every mobility operation's e2e latency)
+  /// instead of being synthesized from run totals. This is what fixes the
+  /// p50 == p99 collapse for single-run sim sections: the histogram holds
+  /// one sample per operation, so the tail is real.
+  void section_hist(const std::string& name, const std::string& unit,
+                    const obs::SloHistogram::Snapshot& s, double total_us) {
+    if (path_.empty() || s.count == 0) return;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"name\": \"%s\", \"unit\": \"%s\", \"ops_per_run\": %llu,"
+        " \"runs\": 1, \"total_us\": %.2f, \"msgs_per_sec\": %.1f,"
+        " \"p50_us\": %.3f, \"p99_us\": %.3f, \"p999_us\": %.3f,"
+        " \"max_us\": %.3f}",
+        name.c_str(), unit.c_str(),
+        static_cast<unsigned long long>(s.count), total_us,
+        total_us > 0 ? static_cast<double>(s.count) / (total_us / 1e6) : 0.0,
+        s.quantile_us(0.50), s.quantile_us(0.99), s.quantile_us(0.999),
+        static_cast<double>(s.max_ns) / 1e3);
     sections_.emplace_back(buf);
   }
 

@@ -50,6 +50,7 @@ Node& Network::add_node() {
     nodes_.back()->enable_tracing(trace_capacity_, sample_every_,
                                   sample_seed_);
   if (flight_) nodes_.back()->set_flight(flight_.get());
+  if (slo_) nodes_.back()->set_slo(slo_.get());
   if (prof_period_ > 0) nodes_.back()->enable_profiling(prof_period_);
   return *nodes_.back();
 }
@@ -91,8 +92,60 @@ void Network::enable_flight(const obs::FlightPolicy& policy) {
     });
   }
   flight_->configure(policy);
+  if (slo_) slo_->set_flight(flight_.get());
   for (auto& n : nodes_) n->set_flight(flight_.get());
   for (net::TcpTransport* t : tcp_parts()) wire_tcp_flight(*t);
+}
+
+void Network::enable_slo(const obs::SloPlane::Config& cfg) {
+  // The ledger keys on propagated v2 trace ids, which only exist while
+  // tracing is on (fresh_trace_id returns 0 otherwise).
+  if (trace_capacity_ == 0) enable_tracing();
+  if (!slo_) {
+    slo_ = std::make_unique<obs::SloPlane>();
+    obs::SloPlane* s = slo_.get();
+    slo_reg_ = metrics_->add_collector([s](obs::Collector& c) {
+      c.counter("slo_requests_tracked", s->tracked());
+      c.counter("slo_requests_completed", s->completed());
+      c.counter("slo_requests_executed", s->executed());
+      c.counter("slo_violations", s->violations());
+      c.counter("slo_requests_expired", s->expired());
+      c.counter("slo_requests_dropped", s->dropped());
+      c.counter("slo_state_transitions", s->transitions_total());
+      c.gauge("slo_inflight", static_cast<std::int64_t>(s->inflight()));
+      c.gauge("slo_state", static_cast<std::int64_t>(s->state()));
+      const auto v = s->burn(obs::trace_now_ns());
+      c.gauge("slo_burn_short_milli",
+              static_cast<std::int64_t>(v.short_w.burn * 1000.0));
+      c.gauge("slo_burn_long_milli",
+              static_cast<std::int64_t>(v.long_w.burn * 1000.0));
+      using Op = obs::SloPlane::Op;
+      for (Op op : {Op::kMsg, Op::kObj, Op::kFetch}) {
+        const auto snap = s->e2e_snapshot(op);
+        if (snap.empty()) continue;
+        const std::string lbl =
+            std::string("{op=\"") + obs::SloPlane::op_name(op) + "\"}";
+        c.gauge("slo_e2e_p50_us" + lbl,
+                static_cast<std::int64_t>(snap.quantile_us(0.50)));
+        c.gauge("slo_e2e_p99_us" + lbl,
+                static_cast<std::int64_t>(snap.quantile_us(0.99)));
+      }
+    });
+  }
+  slo_->configure(cfg);
+  if (flight_) slo_->set_flight(flight_.get());
+  for (auto& n : nodes_) n->set_slo(slo_.get());
+  for (net::TcpTransport* t : tcp_parts()) wire_tcp_slo(*t);
+}
+
+std::string Network::slo_json() {
+  if (!slo_) return "{}";
+  // Render on the ledger's own time base: under the sim driver the
+  // sites stamped it with virtual time, which the daemon rings carry.
+  std::uint64_t now = obs::trace_now_ns();
+  if (cfg_.mode == Mode::kSim && !nodes_.empty())
+    now = nodes_.front()->daemon_ring().now_ns();
+  return slo_->json(now);
 }
 
 std::vector<net::TcpTransport*> Network::tcp_parts() const {
@@ -120,6 +173,20 @@ void Network::wire_tcp_flight(net::TcpTransport& t) {
   t.set_peer_event_hook([f](net::TcpTransport::PeerEvent, std::uint32_t,
                             std::uint64_t trace_id) {
     f->promote(trace_id, obs::FlightRecorder::Reason::kNetwork);
+  });
+}
+
+void Network::wire_tcp_slo(net::TcpTransport& t) {
+  obs::SloPlane* s = slo_.get();
+  // Hook runs under the transport lock; the plane only takes its own
+  // mutex and never calls back into the transport (one-way lock order,
+  // same shape as the flight recorder's peer-event hook).
+  t.set_slo_hook([s](std::uint64_t trace_id, bool outbound,
+                     std::uint64_t now_ns) {
+    if (outbound)
+      s->on_tcp_send(trace_id, now_ns);
+    else
+      s->on_tcp_recv(trace_id, now_ns);
   });
 }
 
@@ -219,6 +286,10 @@ std::uint16_t Network::start_monitor(std::uint16_t port,
   });
   srv->route("/profile", [this] {
     return Resp{200, "text/plain; charset=utf-8", profile_folded()};
+  });
+  // The SLO plane is mutex/atomic-guarded, so /slo is safe mid-run.
+  srv->route("/slo", [this] {
+    return Resp{200, "application/json", slo_json()};
   });
   if (srv->start(port, bind_addr) == 0) return 0;
   monitor_ = std::move(srv);
@@ -770,6 +841,7 @@ net::Transport& Network::transport() {
         if (trace_capacity_ > 0)
           t->enable_trace(trace_capacity_, sample_every_, sample_seed_);
         if (flight_) wire_tcp_flight(*t);
+        if (slo_) wire_tcp_slo(*t);
         transport_ = std::move(t);
       } else {
         auto mesh =
@@ -780,6 +852,7 @@ net::Transport& Network::transport() {
             mesh->part(i).enable_trace(trace_capacity_, sample_every_,
                                        sample_seed_);
           if (flight_) wire_tcp_flight(mesh->part(i));
+          if (slo_) wire_tcp_slo(mesh->part(i));
         }
         transport_ = std::move(mesh);
       }

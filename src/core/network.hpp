@@ -186,6 +186,22 @@ class Network {
   /// The promoted traces as Chrome trace-event JSON (TyCOmon /flight).
   std::string flight_json() const;
 
+  /// Workload SLO plane (obs/slo.hpp): attach a request ledger to every
+  /// current and future site — SHIPM/SHIPO/FETCH departures/completions
+  /// plus the transport's tcp-send/tcp-recv hops decompose into
+  /// per-stage latency histograms — and evaluate `cfg.objective` with
+  /// multi-window burn-rate state (ok/warn/page). Implies
+  /// enable_tracing() (the ledger keys on propagated trace ids); with
+  /// the flight recorder enabled (either order), objective-violating
+  /// trace ids are promoted so /flight holds the offending timeline.
+  /// TyCOmon serves the plane at GET /slo; slo_* metrics land in the
+  /// registry. Call before run(); callable again to adjust objectives.
+  void enable_slo(const obs::SloPlane::Config& cfg = {});
+  bool slo_enabled() const { return slo_ != nullptr; }
+  obs::SloPlane& slo() { return *slo_; }
+  /// The /slo payload (empty object when the plane is off).
+  std::string slo_json();
+
   /// Enable the sampled VM execution profiler (obs/profile.hpp) on every
   /// current and future site: one sample per `period` executed
   /// instructions, attributed to (opcode, definition).
@@ -283,6 +299,8 @@ class Network {
   /// Attach a transport's ring to the flight recorder, switch it to
   /// record-all, and promote reconnect/peer-death events as kNetwork.
   void wire_tcp_flight(net::TcpTransport& t);
+  /// Feed a transport's tcp-send/tcp-recv hops into the SLO ledger.
+  void wire_tcp_slo(net::TcpTransport& t);
   /// The sequential pump loop: round-robin sites until quiescent (with
   /// cfg.gc, quiescence triggers collection passes until no RELs flow).
   void sequential_drain(net::Transport& t, Result& res);
@@ -317,6 +335,8 @@ class Network {
   // Declared before nodes_ so sites' raw FlightRecorder pointers never
   // outlive the recorder.
   std::unique_ptr<obs::FlightRecorder> flight_;
+  // Same lifetime discipline as flight_: sites hold raw pointers.
+  std::unique_ptr<obs::SloPlane> slo_;
   // Heap-allocated so that Nodes' pointers into it survive moves.
   std::unique_ptr<NameService> ns_;
   std::vector<std::unique_ptr<Node>> nodes_;
@@ -327,6 +347,7 @@ class Network {
   std::uint64_t sample_every_ = 1, sample_seed_ = 0;
   std::uint64_t prof_period_ = 0;  // 0 = profiling off
   obs::Registry::Registration flight_reg_;
+  obs::Registry::Registration slo_reg_;
   obs::Registry::Registration tcp_metrics_reg_;
   obs::Registry::Registration audit_reg_;
   std::unique_ptr<LiveStatus> live_ = std::make_unique<LiveStatus>();

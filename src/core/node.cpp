@@ -44,8 +44,14 @@ Site& Node::add_site(const std::string& name) {
     s.set_flight(flight_);
     s.trace_ring().set_record_all(true);
   }
+  if (slo_ != nullptr) s.set_slo(slo_);
   if (prof_period_ > 0) s.machine().enable_profiling(prof_period_);
   return s;
+}
+
+void Node::set_slo(obs::SloPlane* slo) {
+  slo_ = slo;
+  for (auto& s : sites_) s->set_slo(slo);
 }
 
 void Node::set_flight(obs::FlightRecorder* f) {

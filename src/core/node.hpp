@@ -82,6 +82,9 @@ class Node {
   /// recorder to every current and future site. /trace re-filters to the
   /// sampled subset, so head sampling semantics are preserved.
   void set_flight(obs::FlightRecorder* f);
+  /// Attach the SLO plane's request ledger to every current and future
+  /// site (obs/slo.hpp; the Network owns the plane).
+  void set_slo(obs::SloPlane* s);
   /// Enable the sampled VM profiler on every current and future site.
   void enable_profiling(std::uint64_t period);
 
@@ -96,6 +99,7 @@ class Node {
   std::size_t trace_capacity_ = 0;  // 0 = tracing off for new sites
   std::uint64_t sample_every_ = 1, sample_seed_ = 0;
   obs::FlightRecorder* flight_ = nullptr;  // set by set_flight
+  obs::SloPlane* slo_ = nullptr;           // set by set_slo
   std::uint64_t prof_period_ = 0;          // 0 = profiling off
   obs::TraceRing ring_;             // daemon-side events
 };

@@ -251,6 +251,8 @@ void Site::ship_message(const vm::NetRef& target, const std::string& label,
     if (machine_.gc_stats().credit_starved > starved0)
       flight_->promote(tid.id, obs::FlightRecorder::Reason::kStarved);
   }
+  if (slo_ != nullptr && tid.id != 0)
+    slo_->on_depart(tid.id, obs::SloPlane::Op::kMsg, now_ns());
   send_packet(target.node, std::move(bytes));
   ++mobility_.msgs_shipped;
 }
@@ -285,6 +287,8 @@ void Site::ship_object(const vm::NetRef& target, std::uint32_t seg_slot,
     if (machine_.gc_stats().credit_starved > starved0)
       flight_->promote(tid.id, obs::FlightRecorder::Reason::kStarved);
   }
+  if (slo_ != nullptr && tid.id != 0)
+    slo_->on_depart(tid.id, obs::SloPlane::Op::kObj, now_ns());
   send_packet(target.node, std::move(bytes));
   ++mobility_.objs_shipped;
 }
@@ -325,6 +329,8 @@ void Site::fetch_instantiate(const vm::NetRef& cls,
   if (ring_.should_record(tid.sampled))
     ring_.record(obs::EventType::kFetchReq, tid.id, cls.heap_id);
   if (flight_ != nullptr && tid.id != 0) flight_->on_depart(tid.id, now_ns());
+  if (slo_ != nullptr && tid.id != 0)
+    slo_->on_depart(tid.id, obs::SloPlane::Op::kFetch, now_ns());
   send_packet(cls.node, std::move(bytes));
   ++mobility_.fetch_requests;
 }
@@ -461,6 +467,8 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
         ring_.record(obs::EventType::kShipMsgIn, h.trace_id, bytes.size());
       if (flight_ != nullptr && h.trace_id != 0)
         flight_->on_complete(h.trace_id, now_ns());
+      if (slo_ != nullptr && h.trace_id != 0)
+        slo_->on_complete(h.trace_id, now_ns());
       machine_.deliver_message(heap_id, label, std::move(args));
       ++mobility_.msgs_received;
       return;
@@ -475,6 +483,8 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
         ring_.record(obs::EventType::kShipObjIn, h.trace_id, bytes.size());
       if (flight_ != nullptr && h.trace_id != 0)
         flight_->on_complete(h.trace_id, now_ns());
+      if (slo_ != nullptr && h.trace_id != 0)
+        slo_->on_complete(h.trace_id, now_ns());
       machine_.deliver_object(heap_id, slot, std::move(env));
       ++mobility_.objs_received;
       return;
@@ -504,6 +514,11 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
       packet_bytes_.observe(static_cast<double>(reply.size()));
       if (ring_.should_record(h.sampled))
         ring_.record(obs::EventType::kFetchServed, h.trace_id, reply.size());
+      // The serving side of the FETCH: close the server-side ledger
+      // record (opened by the transport's recv hook) into the execute
+      // stage; the requester's e2e closes on the kFetchRep below.
+      if (slo_ != nullptr && h.trace_id != 0)
+        slo_->on_served(h.trace_id, now_ns());
       send_packet(req_node, std::move(reply));
       ++mobility_.fetch_served;
       return;
@@ -526,6 +541,8 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
         ring_.record(obs::EventType::kFetchReply, h.trace_id, bytes.size());
       if (flight_ != nullptr && h.trace_id != 0)
         flight_->on_complete(h.trace_id, arrived);
+      if (slo_ != nullptr && h.trace_id != 0)
+        slo_->on_complete(h.trace_id, arrived);
       fetch_by_req_.erase(rit);
       const std::uint32_t slot = machine_.link(root, pool);
       const std::uint32_t block = machine_.make_block(slot, std::move(env));

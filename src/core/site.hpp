@@ -23,6 +23,7 @@
 #include "net/transport.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "vm/machine.hpp"
 
@@ -162,6 +163,12 @@ class Site {
     if (f != nullptr) f->attach_ring(&ring_);
   }
 
+  /// Attach the SLO plane's request ledger: SHIPM/SHIPO/FETCH departures
+  /// and completions feed the per-stage latency histograms and the
+  /// objective/burn-rate evaluation (obs/slo.hpp). Same hook points and
+  /// lifetime rules as set_flight. Call before the site executes.
+  void set_slo(obs::SloPlane* s) { slo_ = s; }
+
   /// Register this site's mobility counters, latency histograms and the
   /// VM's counters with `registry`, labelled {site="<name>"}. The
   /// registration dies with the site.
@@ -252,6 +259,7 @@ class Site {
 
   obs::TraceRing ring_;
   obs::FlightRecorder* flight_ = nullptr;
+  obs::SloPlane* slo_ = nullptr;
   // Outbound packet sizes in bytes (16B .. ~256KiB) and FETCH round trips
   // in microseconds.
   obs::Histogram packet_bytes_{obs::Histogram::exponential_bounds(16, 4, 8)};

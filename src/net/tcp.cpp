@@ -333,6 +333,10 @@ void TcpTransport::send(Packet p, double /*now_us: wall clock rules*/) {
     if (ring_.should_record(peek_sampled(p.bytes)))
       ring_.record(obs::EventType::kTcpSend, peek_trace_id(p.bytes),
                    p.dst_node);
+    if (slo_hook_) {
+      const std::uint64_t tid = peek_trace_id(p.bytes);
+      if (tid != 0) slo_hook_(tid, true, obs::trace_now_ns());
+    }
     inbox_.push_back(std::move(p));
     return;
   }
@@ -396,6 +400,10 @@ void TcpTransport::send(Packet p, double /*now_us: wall clock rules*/) {
   if (ring_.should_record(peek_sampled(p.bytes)))
     ring_.record(obs::EventType::kTcpSend, peek_trace_id(p.bytes),
                  p.dst_node);
+  if (slo_hook_) {
+    const std::uint64_t tid = peek_trace_id(p.bytes);
+    if (tid != 0) slo_hook_(tid, true, obs::trace_now_ns());
+  }
   packets_out_.fetch_add(1, std::memory_order_relaxed);
   bytes_out_.fetch_add(wire, std::memory_order_relaxed);
   stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
@@ -420,6 +428,10 @@ bool TcpTransport::recv(std::uint32_t node, Packet& out, double /*now_us*/) {
   if (ring_.should_record(peek_sampled(out.bytes)))
     ring_.record(obs::EventType::kTcpRecv, peek_trace_id(out.bytes),
                  out.src_node);
+  if (slo_hook_) {
+    const std::uint64_t tid = peek_trace_id(out.bytes);
+    if (tid != 0) slo_hook_(tid, false, obs::trace_now_ns());
+  }
   return true;
 }
 

@@ -380,6 +380,21 @@ class TcpTransport : public Transport {
   void set_trace_record_all(bool on);
   const obs::TraceRing& trace_ring() const { return ring_; }
 
+  /// SLO plane stage hooks (obs/slo.hpp): called with mu_ held at the
+  /// same points as the kTcpSend/kTcpRecv ring records — outbound=true
+  /// when a frame is queued for (or looped back past) a socket,
+  /// outbound=false when the daemon pump pops an inbound packet. Fires
+  /// for every traced packet regardless of the wire sampling bit (the
+  /// ledger needs every request, like the flight recorder). The hook
+  /// must be cheap and must not call back into the transport.
+  void set_slo_hook(
+      std::function<void(std::uint64_t trace_id, bool outbound,
+                         std::uint64_t now_ns)>
+          f) {
+    std::lock_guard<std::mutex> lk(mu_);
+    slo_hook_ = std::move(f);
+  }
+
   /// Path events worth promoting into a flight recorder.
   enum class PeerEvent : std::uint8_t { kReconnect, kDead };
   /// Called (with mu_ held — must not call back into the transport)
@@ -496,6 +511,7 @@ class TcpTransport : public Transport {
   std::function<std::vector<std::uint8_t>(std::uint32_t)> death_frame_;
   std::function<void(PeerEvent, std::uint32_t, std::uint64_t)>
       peer_event_hook_;
+  std::function<void(std::uint64_t, bool, std::uint64_t)> slo_hook_;
   std::function<bool(const Packet&)> drop_filter_;
   obs::TraceRing ring_;  // all record sites hold mu_ (single producer)
   std::uint64_t rng_ = 0x9e3779b97f4a7c15ull;  // jitter; I/O thread only

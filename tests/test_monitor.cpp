@@ -348,6 +348,67 @@ TEST(Monitor, EndpointsAnswerAtRest) {
   EXPECT_EQ(net.monitor_port(), 0u);
 }
 
+// The SLO plane behind /slo (and tycosh :slo): the ledger tracks every
+// RPC's departure and completion, the document carries real e2e
+// percentiles, and a sub-threshold run stays in the ok state with the
+// violating-trace path never firing.
+TEST(Monitor, SloEndpointServesLedgerAndBurnState) {
+  auto net = rpc_net({}, 8);
+  net.enable_flight();
+  net.enable_slo();
+  ASSERT_TRUE(net.slo_enabled());
+  const std::uint16_t port = net.start_monitor(0);
+  ASSERT_NE(port, 0u);
+  ASSERT_TRUE(net.run().quiescent);
+
+  const std::string doc = body_of(http_get(port, "/slo"));
+  EXPECT_NE(doc.find("\"schema\":\"dityco-slo-v1\""), std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"state\":\"ok\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"burn\""), std::string::npos);
+  EXPECT_NE(doc.find("\"stages\""), std::string::npos);
+  // 8 calls + the initial import round-trip all completed through the
+  // ledger; nothing is left in flight and nothing violated a 5ms
+  // objective on loopback.
+  const auto& plane = net.slo();
+  EXPECT_GE(plane.completed(), 8u);
+  EXPECT_EQ(plane.inflight(), 0u);
+  EXPECT_EQ(plane.violations(), 0u);
+  EXPECT_GE(plane.e2e_snapshot(obs::SloPlane::Op::kMsg).count, 8u);
+
+  // The metrics exposition carries the plane's counters and gauges.
+  const std::string metrics = http_get(port, "/metrics");
+  EXPECT_NE(metrics.find("slo_requests_completed"), std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("slo_state 0"), std::string::npos) << metrics;
+  net.stop_monitor();
+}
+
+// A hostile objective (0ns threshold) must drive the burn-rate state
+// machine to page and promote the offending trace ids into /flight —
+// the alert path the slo smoke exercises across real processes.
+TEST(Monitor, SloViolationsPageAndLandInFlight) {
+  auto net = rpc_net({}, 8);
+  net.enable_flight();
+  obs::SloPlane::Config cfg;
+  cfg.objective.threshold_ns = 0;  // every completion violates
+  cfg.objective.short_window_s = 5;
+  cfg.objective.long_window_s = 10;
+  net.enable_slo(cfg);
+  ASSERT_TRUE(net.run().quiescent);
+
+  const auto& plane = net.slo();
+  EXPECT_GE(plane.violations(), 8u);
+  EXPECT_EQ(plane.state(), obs::SloState::kPage);
+  EXPECT_GE(plane.transitions_total(), 1u);
+  const std::string doc = net.slo_json();
+  EXPECT_NE(doc.find("\"state\":\"page\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"transitions\":[{"), std::string::npos) << doc;
+  // The flight recorder holds the promoted slow traces.
+  const std::string flight = net.flight_json();
+  EXPECT_NE(flight.find("SHIPM"), std::string::npos) << flight;
+}
+
 TEST(Monitor, HealthJsonTracksRunState) {
   auto net = rpc_net({}, 2);
   const std::string before = net.health_json();

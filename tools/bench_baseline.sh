@@ -7,7 +7,12 @@
 # committed BENCH_pr8.json is this script's output on the CI container
 # (BENCH_pr6.json is the pre-coalescing PR 6 baseline, kept for the
 # bench_compare.py delta); regenerate with
-#   tools/bench_baseline.sh [build-dir] [out.json]
+#   tools/bench_baseline.sh [build-dir] [out.json] [extra.json ...]
+#
+# Any extra.json arguments are raw single-binary dityco-bench-v2
+# documents (e.g. the --bench-json output of a tycoload fleet run,
+# which this script cannot produce itself because it needs live
+# daemons) merged into the baseline as that binary's "plain" sections.
 #
 # Schema (dityco-bench-baseline-v2):
 #   { "schema": ..., "schema_version": 2,
@@ -31,7 +36,9 @@
 set -eu
 
 BUILD="${1:-build}"
-OUT="${2:-BENCH_pr8.json}"
+OUT="${2:-BENCH_pr9.json}"
+shift $(( $# > 2 ? 2 : $# ))
+EXTRA="$*"
 
 BENCHES="bench_c2_local_vs_remote bench_c5_mobility bench_c6_rpc_nameservice"
 
@@ -67,9 +74,9 @@ for b in $BENCHES; do
   echo "$obs" > "$TMP/$b.obs.ms"
 done
 
-python3 - "$TMP" "$OUT" $BENCHES <<'EOF'
+python3 - "$TMP" "$OUT" "$EXTRA" $BENCHES <<'EOF'
 import json, sys
-tmp, out, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
+tmp, out, extra, benches = sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4:]
 doc = {"schema": "dityco-bench-baseline-v2", "schema_version": 2,
        "benches": []}
 for b in benches:
@@ -82,6 +89,14 @@ for b in benches:
         assert sections["schema_version"] == 2, b
         entry[mode] = {"sections": sections["sections"]}
     doc["benches"].append(entry)
+# Pre-produced raw documents (tycoload fleet runs etc.) merge as that
+# binary's "plain" sections.
+for path in extra.split():
+    with open(path) as f:
+        raw = json.load(f)
+    assert raw.get("schema") == "dityco-bench-v2", path
+    doc["benches"].append({"bench": raw.get("bench", path),
+                           "plain": {"sections": raw["sections"]}})
 with open(out, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")

@@ -11,12 +11,21 @@ drops, or whose p99 latency grows, by more than the threshold (default
 15%) is a REGRESSION and turns the exit code nonzero, so CI can gate on
 a bench run against the committed baseline.
 
-Sections present on only one side are reported (coverage changes should
-be loud) but never fail the comparison; v1 baselines (no sections) fall
-back to comparing the per-bench wall-clock totals only, informationally.
+A section present in OLD but missing from NEW is a DROPPED section and
+FAILS the comparison: losing a measurement silently is how coverage
+rots. Sanctioned renames/retirements pass `--allow-drop REGEX`
+(matched against "bench/config/section", repeatable) and get a row in
+EXPERIMENTS.md. Sections only in NEW are reported but never fail.
+
+Raw single-binary documents (`dityco-bench-v2`, e.g. the output of
+`tycoload --bench-json` or any bench's own `--bench-json`) are accepted
+on either side: their top-level sections join under (bench, "plain").
+v1 baselines (no sections) fall back to comparing the per-bench
+wall-clock totals only, informationally.
 """
 import argparse
 import json
+import re
 import sys
 
 
@@ -36,6 +45,12 @@ def sections(doc):
         for config in ("plain", "obs"):
             for sec in bench.get(config, {}).get("sections", []):
                 out[(name, config, sec.get("name", "?"))] = sec
+    # Raw single-binary document (tycoload --bench-json, bench_* --bench-json):
+    # top-level sections join as the "plain" config of that binary.
+    if not out and doc.get("schema") == "dityco-bench-v2":
+        name = doc.get("bench", "?")
+        for sec in doc.get("sections", []):
+            out[(name, "plain", sec.get("name", "?"))] = sec
     return out
 
 
@@ -52,10 +67,15 @@ def main():
     ap.add_argument("new")
     ap.add_argument("--threshold", type=float, default=15.0,
                     help="regression threshold in percent (default 15)")
+    ap.add_argument("--allow-drop", action="append", default=[],
+                    metavar="REGEX",
+                    help="bench/config/section pattern whose disappearance "
+                         "is sanctioned (repeatable)")
     args = ap.parse_args()
 
     old_doc, new_doc = load(args.old), load(args.new)
     old_secs, new_secs = sections(old_doc), sections(new_doc)
+    allowed = [re.compile(p) for p in args.allow_drop]
 
     regressions = []
     rows = []
@@ -66,7 +86,12 @@ def main():
             rows.append(f"  NEW      {label}")
             continue
         if key not in new_secs:
-            rows.append(f"  DROPPED  {label}")
+            if any(p.search(label) for p in allowed):
+                rows.append(f"  DROPPED  {label} (allowed)")
+            else:
+                rows.append(f"  DROPPED  {label}  << REGRESSION "
+                            "(measurement lost; --allow-drop to sanction)")
+                regressions.append(label + " (dropped)")
             continue
         o, n = old_secs[key], new_secs[key]
         d_tput = pct(n.get("msgs_per_sec", 0), o.get("msgs_per_sec", 0))

@@ -1,0 +1,224 @@
+#!/usr/bin/env bash
+# Workload SLO smoke test: launch three tycod daemons on loopback, each
+# exporting a persistent echo service and running the SLO plane
+# (--slo), then drive them with the tycoload open-loop generator —
+# SIGKILLing node 2 mid-run (--kill-node, the failover drill of
+# docs/NETWORKING.md) — and assert the whole alerting path end to end:
+#
+#   * tycoload survives the failover (exit 0, completions on both
+#     sides of the kill, a separate failover latency histogram);
+#   * the survivors' /slo ledgers hold NON-COLLAPSED per-stage
+#     latency histograms (at least two stages populated, p50 != p99
+#     somewhere — the whole point of the per-op ledger);
+#   * the burn-rate state machine left `ok` (a recorded transition,
+#     current state warn/page) — the objective is set deliberately
+#     tight (--slo-p99-us 50) so the drill always pages: this tests
+#     the alerting machinery, not the fleet's tuning;
+#   * objective-violating trace ids were promoted into the flight
+#     recorder (flight_promoted{reason="slow"} > 0, /flight non-empty);
+#   * `tycotop --slo` renders the fleet view from one seed monitor
+#     and exits 0.
+#
+# Used by CI; run locally as
+#   tools/slo_smoke.sh [tycod] [tycoload] [tycotop]
+set -u
+
+TYCOD="${1:-build/tools/tycod}"
+TYCOLOAD="${2:-build/tools/tycoload}"
+TYCOTOP="${3:-build/tools/tycotop}"
+for bin in "$TYCOD" "$TYCOLOAD" "$TYCOTOP"; do
+  if [ ! -x "$bin" ]; then
+    echo "slo_smoke: no binary at $bin" >&2
+    exit 2
+  fi
+done
+
+OUT0="$(mktemp)"
+OUT1="$(mktemp)"
+OUT2="$(mktemp)"
+LOAD="$(mktemp)"
+SLO="$(mktemp)"
+TOPJSON="$(mktemp)"
+trap 'kill -9 "$PID0" "$PID1" "$PID2" 2>/dev/null;
+      rm -f "$OUT0" "$OUT1" "$OUT2" "$LOAD" "$SLO" "$TOPJSON"' EXIT
+
+fail=0
+
+scrape() {
+  # First match of sed pattern $2 in log $1 while pid $3 stays alive.
+  local log="$1" pat="$2" pid="$3" got=""
+  for _ in $(seq 1 100); do
+    got="$(sed -n "$pat" "$log" | head -n 1)"
+    [ -n "$got" ] && { echo "$got"; return 0; }
+    kill -0 "$pid" 2>/dev/null || return 1
+    sleep 0.1
+  done
+  return 1
+}
+
+wait_port() {
+  scrape "$1" 's#^tycod node[0-9]* listening on 127\.0\.0\.1:\([0-9]*\)$#\1#p' "$2"
+}
+
+wait_mon() {
+  scrape "$1" 's#^tycomon listening on http://127\.0\.0\.1:\([0-9]*\)$#\1#p' "$2"
+}
+
+http_get() {
+  python3 - "$1" <<'EOF'
+import sys, urllib.request
+print(urllib.request.urlopen(sys.argv[1], timeout=5).read().decode())
+EOF
+}
+
+# ---------------------------------------------------------------------
+# Three daemons, each a persistent echo service under the SLO plane
+# ---------------------------------------------------------------------
+
+SRV='export new svc in def Serve(self) = self?{ val(x, r) = (r![x + 1] | Serve[self]) } in Serve[svc]'
+COMMON="--monitor 0 --slo --slo-p99-us 50 --slo-budget 0.001 \
+  --idle-exit-ms 8000 --serve-ms 60000"
+
+# shellcheck disable=SC2086
+"$TYCOD" --node 0 $COMMON -e "site server0 { $SRV }" >"$OUT0" 2>&1 &
+PID0=$!
+PORT0="$(wait_port "$OUT0" "$PID0")" || {
+  echo "slo_smoke: node 0 never announced a port:" >&2
+  cat "$OUT0" >&2
+  exit 1
+}
+MON0="$(wait_mon "$OUT0" "$PID0")" || {
+  echo "slo_smoke: node 0 never announced a monitor:" >&2
+  cat "$OUT0" >&2
+  exit 1
+}
+
+# shellcheck disable=SC2086
+"$TYCOD" --node 1 --join "127.0.0.1:$PORT0" $COMMON \
+  -e "site server1 { $SRV }" >"$OUT1" 2>&1 &
+PID1=$!
+# shellcheck disable=SC2086
+"$TYCOD" --node 2 --join "127.0.0.1:$PORT0" $COMMON \
+  -e "site server2 { $SRV }" >"$OUT2" 2>&1 &
+PID2=$!
+MON1="$(wait_mon "$OUT1" "$PID1")" || {
+  echo "slo_smoke: node 1 never announced a monitor:" >&2
+  cat "$OUT1" >&2
+  exit 1
+}
+wait_mon "$OUT2" "$PID2" >/dev/null || {
+  echo "slo_smoke: node 2 never announced a monitor:" >&2
+  cat "$OUT2" >&2
+  exit 1
+}
+echo "slo_smoke: fleet up (transport :$PORT0, monitors :$MON0 :$MON1)"
+
+# ---------------------------------------------------------------------
+# Open-loop load with a mid-run SIGKILL of node 2
+# ---------------------------------------------------------------------
+
+"$TYCOLOAD" --join "127.0.0.1:$PORT0" \
+  --import server0:svc --import server1:svc --import server2:svc \
+  --scenario rpc --rate 2000 --duration-ms 4000 --timeout-ms 1500 \
+  --kill-node 2 --kill-pid "$PID2" --at 2000 --json >"$LOAD" 2>&1
+LOADRC=$?
+if [ "$LOADRC" -ne 0 ]; then
+  echo "slo_smoke: tycoload exited $LOADRC:" >&2
+  cat "$LOAD" >&2
+  exit 1
+fi
+
+python3 - "$LOAD" <<'EOF' || fail=1
+import json, sys
+rep = json.loads(open(sys.argv[1]).read().strip().splitlines()[-1])
+assert rep["schema"] == "tycoload-report-v1", rep
+assert rep["completed"] > 0, "no request ever completed"
+lat = rep["latency"]
+assert lat["count"] > 0 and lat["p50_us"] < lat["p99_us"], \
+    f"client latency collapsed: {lat}"
+assert "failover" in rep, "kill drill produced no failover histogram"
+assert rep["failover"]["count"] > 0, \
+    "no request completed after the kill point"
+print(f"slo_smoke: tycoload ok "
+      f"({rep['completed']} completed, {rep['failed']} failed, "
+      f"{rep['failover']['count']} through failover, "
+      f"client state {rep['state']})")
+EOF
+
+# ---------------------------------------------------------------------
+# Survivors' /slo: populated stage histograms, a burn transition
+# ---------------------------------------------------------------------
+
+for mon in "$MON0" "$MON1"; do
+  http_get "http://127.0.0.1:$mon/slo" >"$SLO" || {
+    echo "slo_smoke: cannot scrape /slo on :$mon" >&2
+    exit 1
+  }
+  python3 - "$SLO" "$mon" <<'EOF' || fail=1
+import json, sys
+doc = json.load(open(sys.argv[1]))
+mon = sys.argv[2]
+assert doc["schema"] == "dityco-slo-v1", doc.get("schema")
+stages = doc["stages"]
+live = {k: v for k, v in stages.items() if v.get("count", 0) > 0}
+assert len(live) >= 2, f":{mon} has {len(live)} populated stage(s): " \
+    f"{sorted(stages)}"
+spread = [k for k, v in live.items() if v["p50_us"] < v["p99_us"]]
+assert spread, f":{mon} every stage histogram collapsed: {live}"
+assert doc["transitions"], f":{mon} burn state never left ok"
+assert doc["state"] in ("warn", "page"), \
+    f":{mon} state {doc['state']} after a deliberately tight objective"
+req = doc["requests"]
+assert req["violations"] > 0, f":{mon} no recorded violations: {req}"
+assert req["state_transitions"] >= 1, f":{mon} no state flips: {req}"
+print(f"slo_smoke: :{mon} /slo ok (stages {sorted(live)}, "
+      f"spread in {spread}, state {doc['state']}, "
+      f"{req['violations']} violations)")
+EOF
+done
+
+# ---------------------------------------------------------------------
+# Violating trace ids landed in the flight recorder
+# ---------------------------------------------------------------------
+
+http_get "http://127.0.0.1:$MON0/metrics" | \
+  grep 'flight_promoted{reason="slow"}' | grep -qv ' 0$' || {
+  echo "slo_smoke: node 0 promoted no slow traces" >&2
+  fail=1
+}
+http_get "http://127.0.0.1:$MON0/flight" >"$SLO" || {
+  echo "slo_smoke: cannot scrape /flight" >&2
+  exit 1
+}
+python3 - "$SLO" <<'EOF' || fail=1
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = [e for e in doc["traceEvents"] if e.get("ph") != "M"]
+assert events, "flight recorder holds no promoted timeline"
+print(f"slo_smoke: /flight holds {len(events)} promoted events")
+EOF
+
+# ---------------------------------------------------------------------
+# tycotop --slo: fleet burn view from one seed monitor
+# ---------------------------------------------------------------------
+
+"$TYCOTOP" --slo --json "http://127.0.0.1:$MON0" >"$TOPJSON" || {
+  echo "slo_smoke: tycotop --slo failed:" >&2
+  cat "$TOPJSON" >&2
+  exit 1
+}
+python3 - "$TOPJSON" <<'EOF' || fail=1
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "tycotop-slo-v1", doc.get("schema")
+rows = {n["node"]: n for n in doc["nodes"]}
+assert {0, 1} <= set(rows), f"fleet view missing a survivor: {sorted(rows)}"
+hot = [n for n, r in rows.items() if r["state"] in ("warn", "page")]
+assert hot, f"no node shows burn in the fleet view: {rows}"
+print(f"slo_smoke: tycotop --slo ok (nodes {sorted(rows)}, burning {hot})")
+EOF
+
+if [ "$fail" -eq 0 ]; then
+  echo "slo_smoke: OK (failover drill, stage tails, burn alert, flight)"
+fi
+exit "$fail"

@@ -33,6 +33,16 @@
 //                        document carries a wall-clock anchor so
 //                        tycotop can stitch a fleet-wide timeline)
 //   --trace-sample N     keep 1-in-N trace ids (default 1 = all)
+//   --slo                enable the workload SLO plane (request ledger,
+//                        per-stage latency histograms, burn-rate state;
+//                        served at TyCOmon /slo). Implies --trace and a
+//                        flight recorder, so objective-violating trace
+//                        ids land in /flight
+//   --slo-p99-us N       objective latency threshold in microseconds
+//                        (default 5000 = 5ms)
+//   --slo-budget F       error budget as a fraction (default 0.001)
+//   --slo-windows S,L    short,long burn windows in seconds
+//                        (default 30,300)
 //   --heartbeat-ms N     heartbeat period (default 100)
 //   --flush-bytes N      writev coalescing byte budget (default 256K)
 //   --flush-frames N     writev coalescing frame budget (default 64;
@@ -82,6 +92,7 @@ int usage() {
       "         --join HOST:PORT\n"
       "         --peer N=HOST:PORT (repeatable)  --typecheck  --stats\n"
       "         --monitor PORT  --trace  --trace-sample N\n"
+      "         --slo  --slo-p99-us N  --slo-budget F  --slo-windows S,L\n"
       "         --heartbeat-ms N  --phi T  --confirm-ms N\n"
       "         --flush-bytes N  --flush-frames N  --busy-poll-us N\n"
       "         --no-detect  --idle-exit-ms N  --serve-ms N\n"
@@ -102,6 +113,8 @@ int main(int argc, char** argv) {
   bool stats = false;
   bool monitor = false;
   bool trace = false;
+  bool slo = false;
+  dityco::obs::SloPlane::Config slo_cfg;
   long trace_sample = 1;
   int monitor_port = 0;
   long idle_exit_ms = 2000;
@@ -141,6 +154,24 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace-sample" && i + 1 < argc) {
       trace = true;
       trace_sample = std::atol(argv[++i]);
+    } else if (arg == "--slo") {
+      slo = true;
+    } else if (arg == "--slo-p99-us" && i + 1 < argc) {
+      slo = true;
+      slo_cfg.objective.threshold_ns =
+          static_cast<std::uint64_t>(std::atof(argv[++i]) * 1000.0);
+    } else if (arg == "--slo-budget" && i + 1 < argc) {
+      slo = true;
+      slo_cfg.objective.budget = std::atof(argv[++i]);
+    } else if (arg == "--slo-windows" && i + 1 < argc) {
+      slo = true;
+      const std::string spec = argv[++i];
+      const auto comma = spec.find(',');
+      if (comma == std::string::npos) return usage();
+      slo_cfg.objective.short_window_s = static_cast<std::uint32_t>(
+          std::atol(spec.substr(0, comma).c_str()));
+      slo_cfg.objective.long_window_s = static_cast<std::uint32_t>(
+          std::atol(spec.substr(comma + 1).c_str()));
     } else if (arg == "--heartbeat-ms" && i + 1 < argc) {
       cfg.tcp.heartbeat_ms = std::atol(argv[++i]);
     } else if (arg == "--flush-bytes" && i + 1 < argc) {
@@ -199,6 +230,13 @@ int main(int argc, char** argv) {
       net.enable_tracing(1 << 14,
                          static_cast<std::uint64_t>(
                              trace_sample < 1 ? 1 : trace_sample));
+    if (slo) {
+      // Flight first so violating trace ids have somewhere to land
+      // (/flight shows the offending timeline); then the plane itself,
+      // which also implies tracing when --trace was not given.
+      net.enable_flight();
+      net.enable_slo(slo_cfg);
+    }
     if (monitor) {
       const std::uint16_t mp = net.start_monitor(
           static_cast<std::uint16_t>(monitor_port));

@@ -59,6 +59,9 @@
 //                    export/import ledgers as JSON (the /gc document)
 //   :names           after the run, print the name-service tables as
 //                    JSON (the /names document)
+//   :slo             enable the workload SLO plane (request ledger +
+//                    burn-rate evaluation; implies tracing) and print
+//                    the /slo document after the run
 //   :audit           after the run, check the GC conservation invariant
 //                    over the local tables and print the report; the
 //                    exit code turns nonzero on a confirmed imbalance
@@ -107,6 +110,7 @@ int usage() {
       "         :fleet URL             one-shot federated metrics scrape\n"
       "         :gc                    print the GC credit ledgers (JSON)\n"
       "         :names                 print the name-service tables (JSON)\n"
+      "         :slo                   SLO plane; print /slo after the run\n"
       "         :audit                 check the GC conservation invariant\n";
   return 2;
 }
@@ -137,6 +141,7 @@ int main(int argc, char** argv) {
   double flight_slow_us = 0;
   bool show_peers = false;
   bool show_gc = false, show_names = false, do_audit = false;
+  bool show_slo = false;
   std::string fleet_url;
   long flush_bytes = -1, flush_frames = -1, busy_poll_us = -1;
 
@@ -206,6 +211,8 @@ int main(int argc, char** argv) {
       show_gc = true;
     } else if (arg == ":names" || arg == "--names") {
       show_names = true;
+    } else if (arg == ":slo" || arg == "--slo") {
+      show_slo = true;
     } else if (arg == ":audit" || arg == "--audit") {
       do_audit = true;
     } else if ((arg == ":fleet" || arg == "--fleet") && i + 1 < argc) {
@@ -335,6 +342,7 @@ int main(int argc, char** argv) {
       fp.slow_us = flight_slow_us;
       net.enable_flight(fp);
     }
+    if (show_slo) net.enable_slo();
     if (profile) net.enable_profiling(1024);
     if (monitor) {
       const std::uint16_t port = net.start_monitor(
@@ -370,6 +378,7 @@ int main(int argc, char** argv) {
     if (show_peers) std::cout << net.peers_json() << "\n";
     if (show_gc) std::cout << net.gc_json() << "\n";
     if (show_names) std::cout << net.names_json() << "\n";
+    if (show_slo) std::cout << net.slo_json() << "\n";
     bool audit_ok = true;
     if (do_audit) {
       const auto rep = net.self_audit(/*include_fleet=*/false);

@@ -14,6 +14,12 @@
 //     serve sides connect with a flow arrow across processes;
 //   * --metrics FILE: federated Prometheus text, node="N" label per
 //     sample; --metrics-json FILE: the same as one JSON document.
+//   * --slo: scrapes /slo from every node and stitches one fleet SLO
+//     view — nodes ordered worst burn rate first, with burn-window
+//     state, violation counts and a per-stage tail attribution table
+//     (which pipeline stage — enqueue, remote, reply, execute — owns
+//     the p99). Exit 0 when at least one node was scraped, 1 when the
+//     fleet is unreachable or no node has the SLO plane enabled.
 //   * --audit: scrapes /gc and /names from every node, joins the credit
 //     ledgers and checks the GC conservation invariant fleet-wide
 //     (DESIGN.md §GC invariants). Exit 0 when balanced, 1 when any
@@ -52,10 +58,74 @@ namespace {
 int usage() {
   std::cerr << "usage: tycotop [--trace FILE] [--metrics FILE]\n"
                "               [--metrics-json FILE] [--json]\n"
-               "               [--audit] [--watch MS]\n"
+               "               [--audit] [--slo] [--watch MS]\n"
                "               MONITOR_URL [MONITOR_URL...]\n"
                "FILE may be '-' for stdout.\n";
   return 2;
+}
+
+int state_rank(const std::string& s) {
+  if (s == "page") return 2;
+  if (s == "warn") return 1;
+  return 0;
+}
+
+/// One node's /slo document, reduced to the fleet view.
+struct SloRow {
+  std::uint32_t node = 0;
+  std::string state = "off";
+  double burn_short = 0, burn_long = 0;
+  std::uint64_t violations = 0, completed = 0, executed = 0, inflight = 0;
+  std::uint64_t transitions = 0;
+  // stage -> (count, p50_us, p99_us, p999_us, max_us)
+  struct Stage {
+    std::uint64_t count = 0;
+    double p50 = 0, p99 = 0, p999 = 0, max = 0;
+  };
+  std::map<std::string, Stage> stages;
+  std::string dominant;  // stage with the largest p99 (tail owner)
+  bool scraped = false;
+};
+
+SloRow parse_slo(std::uint32_t node, const std::string& body) {
+  SloRow row;
+  row.node = node;
+  fleet::Json doc;
+  if (body.empty() || !fleet::parse_json(body, doc) ||
+      doc.find("state") == nullptr)
+    return row;  // node up but SLO plane off ("{}") or unreachable
+  row.scraped = true;
+  row.state = doc.str_or("state", "ok");
+  if (const fleet::Json* burn = doc.find("burn")) {
+    if (const fleet::Json* w = burn->find("short"))
+      row.burn_short = w->num_or("rate", 0);
+    if (const fleet::Json* w = burn->find("long"))
+      row.burn_long = w->num_or("rate", 0);
+  }
+  if (const fleet::Json* req = doc.find("requests")) {
+    row.violations = req->u64_or("violations", 0);
+    row.completed = req->u64_or("completed", 0);
+    row.executed = req->u64_or("executed", 0);
+    row.inflight = req->u64_or("inflight", 0);
+    row.transitions = req->u64_or("state_transitions", 0);
+  }
+  if (const fleet::Json* stages = doc.find("stages")) {
+    double worst = -1;
+    for (const auto& [name, h] : stages->fields) {
+      SloRow::Stage s;
+      s.count = h.u64_or("count", 0);
+      s.p50 = h.num_or("p50_us", 0);
+      s.p99 = h.num_or("p99_us", 0);
+      s.p999 = h.num_or("p999_us", 0);
+      s.max = h.num_or("max_us", 0);
+      if (s.count > 0 && s.p99 > worst) {
+        worst = s.p99;
+        row.dominant = name;
+      }
+      row.stages.emplace(name, s);
+    }
+  }
+  return row;
 }
 
 bool write_out(const std::string& path, const std::string& body) {
@@ -94,6 +164,7 @@ int main(int argc, char** argv) {
   std::string trace_path, metrics_path, metrics_json_path;
   bool as_json = false;
   bool do_audit = false;
+  bool do_slo = false;
   long watch_ms = 0;
   std::vector<std::string> seeds;
   for (int i = 1; i < argc; ++i) {
@@ -108,6 +179,8 @@ int main(int argc, char** argv) {
       as_json = true;
     } else if (arg == "--audit") {
       do_audit = true;
+    } else if (arg == "--slo") {
+      do_slo = true;
     } else if (arg == "--watch" && i + 1 < argc) {
       do_audit = true;
       watch_ms = std::atol(argv[++i]);
@@ -135,6 +208,93 @@ int main(int argc, char** argv) {
     std::cerr << "tycotop: no reachable monitors (seed down, or started "
                  "without --monitor?)\n";
     return 1;
+  }
+
+  if (do_slo) {
+    // Fleet SLO view: every node's /slo, worst burn rate first. A node
+    // whose plane is off serves "{}" and shows as state=off.
+    std::vector<SloRow> rows;
+    for (const auto& [node, ep] : nodes)
+      rows.push_back(
+          parse_slo(node, fleet::http_get(ep.host, ep.monitor, "/slo")));
+    std::sort(rows.begin(), rows.end(), [](const SloRow& a, const SloRow& b) {
+      const int ra = state_rank(a.state), rb = state_rank(b.state);
+      if (ra != rb) return ra > rb;
+      const double ba = std::max(a.burn_short, a.burn_long);
+      const double bb = std::max(b.burn_short, b.burn_long);
+      if (ba != bb) return ba > bb;
+      return a.node < b.node;
+    });
+    const std::size_t scraped = static_cast<std::size_t>(
+        std::count_if(rows.begin(), rows.end(),
+                      [](const SloRow& r) { return r.scraped; }));
+    if (as_json) {
+      std::string out = "{\"schema\":\"tycotop-slo-v1\",\"nodes\":[";
+      bool first = true;
+      for (const SloRow& r : rows) {
+        if (!first) out += ",";
+        first = false;
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "{\"node\":%u,\"state\":\"%s\",\"burn_short\":%.3f,"
+                      "\"burn_long\":%.3f,\"violations\":%llu,"
+                      "\"completed\":%llu,\"executed\":%llu,\"inflight\":%llu,"
+                      "\"state_transitions\":%llu,\"dominant_stage\":\"%s\","
+                      "\"stages\":{",
+                      r.node, r.state.c_str(), r.burn_short, r.burn_long,
+                      static_cast<unsigned long long>(r.violations),
+                      static_cast<unsigned long long>(r.completed),
+                      static_cast<unsigned long long>(r.executed),
+                      static_cast<unsigned long long>(r.inflight),
+                      static_cast<unsigned long long>(r.transitions),
+                      r.dominant.c_str());
+        out += buf;
+        bool firsts = true;
+        for (const auto& [name, s] : r.stages) {
+          if (!firsts) out += ",";
+          firsts = false;
+          std::snprintf(buf, sizeof buf,
+                        "\"%s\":{\"count\":%llu,\"p50_us\":%.1f,"
+                        "\"p99_us\":%.1f,\"p999_us\":%.1f,\"max_us\":%.1f}",
+                        name.c_str(),
+                        static_cast<unsigned long long>(s.count), s.p50,
+                        s.p99, s.p999, s.max);
+          out += buf;
+        }
+        out += "}}";
+      }
+      out += "]}\n";
+      std::cout << out;
+    } else {
+      std::printf("fleet SLO: %zu node(s), %zu with the plane enabled; "
+                  "worst burn first\n",
+                  rows.size(), scraped);
+      std::printf("%-6s %-5s %10s %10s %8s %10s %10s %9s  %s\n", "node",
+                  "state", "burn_30s", "burn_long", "viol", "completed",
+                  "executed", "inflight", "tail owner");
+      for (const SloRow& r : rows)
+        std::printf("%-6u %-5s %10.2f %10.2f %8llu %10llu %10llu %9llu  %s\n",
+                    r.node, r.state.c_str(), r.burn_short, r.burn_long,
+                    static_cast<unsigned long long>(r.violations),
+                    static_cast<unsigned long long>(r.completed),
+                    static_cast<unsigned long long>(r.executed),
+                    static_cast<unsigned long long>(r.inflight),
+                    r.dominant.empty() ? "-" : r.dominant.c_str());
+      for (const SloRow& r : rows) {
+        if (!r.scraped) continue;
+        std::printf("node %u stage tails (us):\n", r.node);
+        std::printf("  %-8s %10s %10s %10s %10s %10s\n", "stage", "count",
+                    "p50", "p99", "p99.9", "max");
+        for (const auto& [name, s] : r.stages) {
+          if (s.count == 0) continue;
+          std::printf("  %-8s %10llu %10.1f %10.1f %10.1f %10.1f%s\n",
+                      name.c_str(), static_cast<unsigned long long>(s.count),
+                      s.p50, s.p99, s.p999, s.max,
+                      name == r.dominant ? "  <- p99 owner" : "");
+        }
+      }
+    }
+    return scraped > 0 ? 0 : 1;
   }
 
   if (do_audit) {
