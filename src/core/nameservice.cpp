@@ -50,6 +50,10 @@ void NameService::reply_to(const Waiter& w, Entry& e, bool ok,
   p.bytes = out.take();
   replies.push_back(std::move(p));
   ++stats_.replies;
+  if (lease_tracking_ && ok &&
+      std::find(e.lease_holders.begin(), e.lease_holders.end(), w.node) ==
+          e.lease_holders.end())
+    e.lease_holders.push_back(w.node);
   if (share > 0 && w.node != e.ref.node) {
     // CREDIT-MOVED: the owner minted this credit against the name
     // service (unattributed); tell it the share now lives at the
@@ -76,6 +80,21 @@ void NameService::release_entry(const Entry& e, std::vector<net::Packet>& out) {
   ++stats_.releases;
 }
 
+void NameService::push_invalidations(const Key& key, Entry& e,
+                                     std::vector<net::Packet>& out) {
+  if (e.lease_holders.empty()) return;
+  const auto bytes = make_ns_invalidate(key.first, key.second);
+  for (const std::uint32_t holder : e.lease_holders) {
+    net::Packet p;
+    p.src_node = home_node_;
+    p.dst_node = holder;
+    p.bytes = bytes;
+    out.push_back(std::move(p));
+    ++stats_.invalidations;
+  }
+  e.lease_holders.clear();
+}
+
 void NameService::register_id(const std::string& site, const std::string& name,
                               const vm::NetRef& ref,
                               const std::string& type_sig,
@@ -83,9 +102,18 @@ void NameService::register_id(const std::string& site, const std::string& name,
                               std::uint64_t credit) {
   ++stats_.exports;
   const Key key{site, name};
-  if (auto old = ids_.find(key); old != ids_.end())
+  std::vector<std::uint32_t> holders;
+  if (auto old = ids_.find(key); old != ids_.end()) {
     release_entry(old->second, replies);  // overwritten binding drains
-  ids_[key] = Entry{ref, type_sig, credit, credit > 0};
+    // A rebind to a *different* referent stales every outstanding
+    // lease; re-registering the same referent (replication re-sends)
+    // leaves caches valid, so their holders carry over.
+    if (old->second.ref != ref)
+      push_invalidations(key, old->second, replies);
+    else
+      holders = std::move(old->second.lease_holders);
+  }
+  ids_[key] = Entry{ref, type_sig, credit, credit > 0, std::move(holders)};
   ++mutations_;
   auto it = waiting_.find(key);
   if (it == waiting_.end()) return;
@@ -117,6 +145,7 @@ void NameService::handle_unregister(Reader& r,
   auto it = ids_.find({site, name});
   if (it == ids_.end()) return;  // already dropped (duplicate unregister)
   release_entry(it->second, replies);
+  push_invalidations({site, name}, it->second, replies);
   ids_.erase(it);
   ++mutations_;
 }
@@ -159,7 +188,8 @@ std::size_t NameService::parked() const {
   return n;
 }
 
-std::size_t NameService::evict_node(std::uint32_t node) {
+std::size_t NameService::evict_node(std::uint32_t node,
+                                    std::vector<net::Packet>* out) {
   std::size_t dropped = 0;
   // SiteTable: the dead node's sites are gone; lookups must stop
   // resolving to them.
@@ -177,6 +207,7 @@ std::size_t NameService::evict_node(std::uint32_t node) {
   // balance off through their own PEER-DOWN handling.
   for (auto it = ids_.begin(); it != ids_.end();) {
     if (it->second.ref.node == node) {
+      if (out != nullptr) push_invalidations(it->first, it->second, *out);
       it = ids_.erase(it);
       ++dropped;
     } else {
@@ -207,6 +238,14 @@ std::size_t NameService::evict_node(std::uint32_t node) {
     ++mutations_;
   }
   return dropped;
+}
+
+std::vector<NameService::HandoffRecord> NameService::handoff_records() const {
+  std::vector<HandoffRecord> out;
+  out.reserve(ids_.size());
+  for (const auto& [key, e] : ids_)
+    out.push_back({key.first, key.second, e.ref, e.type_sig});
+  return out;
 }
 
 NameService::Snapshot NameService::snapshot() const {
@@ -260,6 +299,7 @@ void NameService::register_metrics(obs::Registry& registry,
     c.counter("ns_releases" + l, stats_.releases);
     c.counter("ns_credit_moves" + l, stats_.credit_moves);
     c.counter("ns_evictions" + l, stats_.evictions);
+    c.counter("ns_invalidations_pushed" + l, stats_.invalidations);
     c.gauge("ns_parked" + l, parked_now_.load(std::memory_order_relaxed));
   });
 }

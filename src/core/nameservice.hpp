@@ -46,6 +46,7 @@ class NameService {
     obs::SoloCounter releases;     // REL frames sent for held credit
     obs::SoloCounter credit_moves; // CREDIT-MOVED notices sent to owners
     obs::SoloCounter evictions;    // entries dropped for dead nodes
+    obs::SoloCounter invalidations; // NS-INVALIDATE frames pushed to leasers
   };
 
   explicit NameService(std::uint32_t home_node = 0) : home_node_(home_node) {}
@@ -99,9 +100,26 @@ class NameService {
   /// its SiteTable rows, IdTable bindings whose referent lived there
   /// (held credit is written off by the owner's survivors, not RELed:
   /// the owner no longer exists to receive one), and parked lookups
-  /// from it. Returns entries dropped.
-  std::size_t evict_node(std::uint32_t node);
+  /// from it. With `out` set, lease invalidations for the dropped
+  /// bindings are pushed there. Returns entries dropped.
+  std::size_t evict_node(std::uint32_t node,
+                         std::vector<net::Packet>* out = nullptr);
   const Stats& stats() const { return stats_; }
+
+  /// With lease tracking on, replies record which nodes hold a lease on
+  /// each binding, and rebind / unregister / evict push kNsInvalidate
+  /// frames to them.
+  void set_lease_tracking(bool on) { lease_tracking_ = on; }
+
+  /// Everything a shard primary needs to re-replicate its slice of the
+  /// directory after a failover (the copies travel as weak kNsExport
+  /// frames — the credit stays on this instance).
+  struct HandoffRecord {
+    std::string site, name;
+    vm::NetRef ref;
+    std::string type_sig;
+  };
+  std::vector<HandoffRecord> handoff_records() const;
 
   /// Publish this service's counters into `registry` under `ns_*` names,
   /// labelled {ns="<label>"} (central service vs. per-node replicas).
@@ -161,6 +179,9 @@ class NameService {
     std::string type_sig;
     std::uint64_t credit = 0;  // GC credit the service holds for the ref
     bool gc = false;           // binding participates in distributed GC
+    // Nodes that imported this binding while lease caching was on; the
+    // push set for invalidations (cleared once pushed).
+    std::vector<std::uint32_t> lease_holders;
   };
   struct Waiter {
     std::uint32_t node = 0;
@@ -176,8 +197,12 @@ class NameService {
                 std::vector<net::Packet>& replies);
   /// REL the entry's remaining held credit back to its owner.
   void release_entry(const Entry& e, std::vector<net::Packet>& out);
+  /// Push kNsInvalidate to every lease holder of `e` and clear the set.
+  void push_invalidations(const Key& key, Entry& e,
+                          std::vector<net::Packet>& out);
 
   std::uint32_t home_node_;
+  bool lease_tracking_ = false;
   std::map<std::string, SiteInfo> sites_;
   std::map<Key, Entry> ids_;
   std::map<Key, std::vector<Waiter>> waiting_;

@@ -1,6 +1,7 @@
 #include "core/network.hpp"
 #include <sys/prctl.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -551,7 +552,13 @@ std::string Network::names_json() const {
   // The central service is only authoritative where its home node is
   // hosted; other processes of a multiprocess fleet never route its
   // packets and would report an empty shell.
-  if (!ns_distributed_) {
+  if (ns_sharded_) {
+    // One scope per hosted shard slice: primaries carry credit
+    // (gc=true), follower copies are weak — the fleet audit joins only
+    // the credit-bearing rows, so slices federate without double count.
+    for (const auto& n : nodes_)
+      emit(n->name_service(), "shard" + std::to_string(n->id()));
+  } else if (!ns_distributed_) {
     for (const auto& n : nodes_)
       if (n->id() == ns_->home_node()) {
         emit(*ns_, "central");
@@ -561,7 +568,39 @@ std::string Network::names_json() const {
     for (const auto& n : nodes_)
       emit(n->name_service(), "node" + std::to_string(n->id()));
   }
-  out += "]}";
+  out += "]";
+  if (ns_sharded_ && ns_router_) {
+    out += ",\"sharding\":{\"shards\":" + std::to_string(ns_router_->shards()) +
+           ",\"replicas\":" + std::to_string(ns_router_->replicas()) +
+           ",\"epoch\":" + std::to_string(ns_router_->epoch()) +
+           ",\"generation\":" + std::to_string(ns_router_->generation()) +
+           ",\"dead\":[";
+    bool fd = true;
+    for (std::uint32_t d : ns_router_->dead()) {
+      if (!fd) out += ",";
+      fd = false;
+      out += std::to_string(d);
+    }
+    out += "]}";
+    out += ",\"caches\":[";
+    bool fc = true;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const ns::LeaseCache* c = i < ns_caches_.size() ? ns_caches_[i].get()
+                                                      : nullptr;
+      if (c == nullptr) continue;
+      if (!fc) out += ",";
+      fc = false;
+      out += "{\"node\":" + std::to_string(nodes_[i]->id()) +
+             ",\"entries\":" + std::to_string(c->size()) +
+             ",\"hits\":" + std::to_string(c->hits()) +
+             ",\"misses\":" + std::to_string(c->misses()) +
+             ",\"invalidations\":" + std::to_string(c->invalidations()) +
+             ",\"stale_served\":" + std::to_string(c->stale_served()) +
+             ",\"evictions\":" + std::to_string(c->evictions()) + "}";
+    }
+    out += "]";
+  }
+  out += "}";
   return out;
 }
 
@@ -999,6 +1038,38 @@ Network::Result Network::finish(Result r) const {
 }
 
 Network::Result Network::run() {
+  if (cfg_.ns_shards > 0 && !cfg_.distributed_ns && !ns_sharded_) {
+    ns_sharded_ = true;
+    // In-process runs clamp the shard count to the nodes that exist; a
+    // multiprocess daemon hosts one node of a larger fleet and must use
+    // the fleet-wide count so every process computes the same map.
+    std::uint32_t shards = cfg_.ns_shards;
+    if (!(cfg_.transport == TransportKind::kTcp && cfg_.tcp.multiprocess))
+      shards = std::min<std::uint32_t>(
+          shards, static_cast<std::uint32_t>(nodes_.size()));
+    ns_router_ = std::make_unique<ns::ShardRouter>(shards, cfg_.ns_replicas);
+    const std::uint64_t lease_ns = cfg_.ns_lease_ms * 1'000'000ull;
+    for (auto& node : nodes_) {
+      ns::LeaseCache* cache = nullptr;
+      if (lease_ns > 0) {
+        ns_caches_.push_back(std::make_unique<ns::LeaseCache>(lease_ns));
+        cache = ns_caches_.back().get();
+        cache->register_metrics(*metrics_,
+                                "node" + std::to_string(node->id()));
+      } else {
+        ns_caches_.push_back(nullptr);
+      }
+      node->enable_sharded_ns(ns_router_.get(), cache, lease_ns > 0);
+      node->name_service().register_metrics(
+          *metrics_, "shard" + std::to_string(node->id()));
+      // Every slice knows every site's location in advance (paper §5);
+      // which slice answers a given lookup is the router's business.
+      for (auto& other : nodes_)
+        for (auto& s : other->sites())
+          node->name_service().register_site(s->name(), other->id(),
+                                             s->site_id());
+    }
+  }
   if (cfg_.distributed_ns && !ns_distributed_) {
     ns_distributed_ = true;
     for (auto& node : nodes_) {
@@ -1183,8 +1254,22 @@ Network::Result Network::run_threaded() {
     threads.emplace_back([&, j, node = nodes_[j].get()] {
       ::prctl(PR_SET_TIMERSLACK, 1000, 0, 0, 0);
       std::uint32_t idle_streak = 0;
+      // Sharded NS over a real wire: death advisories gossiped on
+      // kPeers frames move shard ownership here (generation-gated so a
+      // quiet fleet costs one atomic load per pump).
+      net::TcpTransport* tcp =
+          node->ns_router() != nullptr ? dynamic_cast<net::TcpTransport*>(&t)
+                                       : nullptr;
+      std::uint64_t adv_gen = 0;
       while (!stop.load(std::memory_order_relaxed)) {
         daemon_hints[j]->store(false, std::memory_order_release);
+        if (tcp != nullptr) {
+          const std::uint64_t g = tcp->advisory_dead_generation();
+          if (g != adv_gen) {
+            adv_gen = g;
+            node->ns_merge_dead(tcp->advisory_dead(), t, 0);
+          }
+        }
         const std::size_t moved =
             node->pump_incoming(t, 0) + node->pump_outgoing(t, 0);
         if (moved != 0)
@@ -1322,7 +1407,10 @@ Network::GcReport Network::collect_garbage(int max_rounds) {
       rep.exports_live += s->machine().live_exports();
       rep.netrefs_live += s->machine().live_netrefs();
     }
-  if (ns_distributed_) {
+  if (ns_distributed_ || ns_sharded_) {
+    // Sharded: primaries and their follower copies both count — a
+    // leak-free run drains every slice to zero (the final unregister is
+    // forwarded from primary to replica like any other mutation).
     for (const auto& n : nodes_) rep.ns_ids += n->name_service().id_count();
   } else {
     rep.ns_ids = ns_->id_count();
@@ -1356,8 +1444,16 @@ Network::Result Network::run_sim() {
         return i;
     throw std::logic_error("unknown site in packet");
   };
-  // The centralised name service is one server: its requests serialise.
-  double ns_clock = 0.0;
+  // Each name-service host is one server: its requests serialise. The
+  // centralised service routes everything to one node (one hot clock);
+  // distributed replicas and shard slices each get their own, which is
+  // exactly the contention relief the C6 experiment measures.
+  std::vector<double> ns_clock(nodes_.size(), 0.0);
+  auto ns_clock_of = [&](std::uint32_t node_id) -> double& {
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+      if (nodes_[i]->id() == node_id) return ns_clock[i];
+    throw std::logic_error("NS packet to unknown node");
+  };
 
   // Trace timestamps in sim mode are *virtual*: each ring is switched to
   // the owning site's simulated clock (µs -> ns) before the site does
@@ -1402,9 +1498,11 @@ Network::Result Network::run_sim() {
         if (idx != SIZE_MAX) {
           clock[idx] = std::max(clock[idx], arrival);
         } else {
-          // NS request: queue behind earlier requests, pay service time.
-          ns_clock = std::max(ns_clock, arrival) + cfg_.ns_service_us;
-          now = ns_clock;
+          // NS request: queue behind earlier requests at this host, pay
+          // service time.
+          double& nsc = ns_clock_of(n->id());
+          nsc = std::max(nsc, arrival) + cfg_.ns_service_us;
+          now = nsc;
         }
         if (vtrace) n->daemon_ring().set_virtual_time(vns(now));
         n->route(std::move(p), t, now);

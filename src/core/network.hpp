@@ -27,6 +27,8 @@
 #include "calculus/ast.hpp"
 #include "core/node.hpp"
 #include "net/tcp.hpp"
+#include "ns/cache.hpp"
+#include "ns/shard.hpp"
 #include "net/transport.hpp"
 #include "obs/export.hpp"
 #include "obs/fleet.hpp"
@@ -75,6 +77,17 @@ class Network {
     /// future-work item): lookups are answered by the local replica and
     /// exports are broadcast, removing the central bottleneck.
     bool distributed_ns = false;
+    /// Shard the name service across the fleet (src/ns): each directory
+    /// key lives on the node rendezvous-hashing assigns it, with one
+    /// follower copy for failover. 0 = off (central, or distributed_ns
+    /// when that is set). In-process runs clamp this to the node count;
+    /// a multiprocess daemon passes the fleet size.
+    std::uint32_t ns_shards = 0;
+    /// Follower copies per shard entry (0 disables replication).
+    std::uint32_t ns_replicas = 1;
+    /// Lease TTL for client-side caching of positive lookups, in
+    /// milliseconds; 0 disables the cache. Sharded mode only.
+    std::uint64_t ns_lease_ms = 0;
     /// Run Damas-Milner inference on every submitted program; attach the
     /// inferred export signatures and import requirements to the site so
     /// remote interactions are checked dynamically (paper, section 7).
@@ -144,6 +157,12 @@ class Network {
 
   const std::vector<std::string>& output(const std::string& site_name);
   NameService& name_service() { return *ns_; }
+  /// Sharded-NS state (null / empty until run() with cfg.ns_shards > 0).
+  ns::ShardRouter* ns_router() { return ns_router_.get(); }
+  /// Node `node_idx`'s lease cache; null when caching is off.
+  ns::LeaseCache* lease_cache(std::size_t node_idx) {
+    return node_idx < ns_caches_.size() ? ns_caches_[node_idx].get() : nullptr;
+  }
   net::Transport& transport();
   /// The transport as a TcpTransport (TransportKind::kTcp, multiprocess
   /// mode only); nullptr otherwise. For tycod: port discovery, peer
@@ -339,10 +358,14 @@ class Network {
   std::unique_ptr<obs::SloPlane> slo_;
   // Heap-allocated so that Nodes' pointers into it survive moves.
   std::unique_ptr<NameService> ns_;
+  // Sharded NS (cfg.ns_shards): one shared map, one cache per node.
+  std::unique_ptr<ns::ShardRouter> ns_router_;
+  std::vector<std::unique_ptr<ns::LeaseCache>> ns_caches_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<net::Transport> transport_;
   std::uint64_t instructions_run_ = 0;
   bool ns_distributed_ = false;
+  bool ns_sharded_ = false;
   std::size_t trace_capacity_ = 0;
   std::uint64_t sample_every_ = 1, sample_seed_ = 0;
   std::uint64_t prof_period_ = 0;  // 0 = profiling off

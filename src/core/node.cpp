@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "ns/cache.hpp"
+#include "ns/shard.hpp"
+
 namespace dityco::core {
 
 std::uint32_t packet_dst_site(const net::Packet& p) {
@@ -17,7 +20,7 @@ bool packet_is_ns(const net::Packet& p) {
   // same as v1.
   const MsgType t = packet_type(p.bytes);
   return t == MsgType::kNsExport || t == MsgType::kNsLookup ||
-         t == MsgType::kNsUnregister;
+         t == MsgType::kNsUnregister || t == MsgType::kNsInvalidate;
 }
 
 void Node::enable_local_ns(std::uint32_t n_nodes) {
@@ -29,12 +32,30 @@ void Node::enable_local_ns(std::uint32_t n_nodes) {
   for (auto& s : sites_) s->set_ns_node(id_);
 }
 
+void Node::enable_sharded_ns(ns::ShardRouter* router, ns::LeaseCache* cache,
+                             bool lease_tracking) {
+  replica_ = std::make_unique<NameService>(id_);
+  ns_ = replica_.get();
+  router_ = router;
+  ns_cache_ = cache;
+  ns_->set_lease_tracking(lease_tracking);
+  for (auto& s : sites_) {
+    s->set_ns_node(id_);  // fallback only; per-key routing via the router
+    s->set_ns_router(router);
+    s->set_lease_cache(cache);
+  }
+}
+
 Site& Node::add_site(const std::string& name) {
   const auto site_id = static_cast<std::uint32_t>(sites_.size());
   sites_.push_back(
       std::make_unique<Site>(name, id_, site_id, ns_->home_node()));
   ns_->register_site(name, id_, site_id);
   Site& s = *sites_.back();
+  if (router_ != nullptr) {
+    s.set_ns_router(router_);
+    s.set_lease_cache(ns_cache_);
+  }
   if (metrics_) s.register_metrics(*metrics_);
   if (trace_capacity_ > 0) {
     s.enable_tracing(trace_capacity_);
@@ -84,10 +105,66 @@ void Node::enable_tracing(std::size_t capacity, std::uint64_t sample_every,
 
 void Node::route(net::Packet p, net::Transport& t, double now_us) {
   if (packet_is_ns(p)) {
-    // This node hosts a name service (the central one, or its replica
-    // when the service is distributed).
+    // This node hosts a name service (the central one, a replica when the
+    // service is distributed, or a shard slice when it is sharded).
     Reader r(p.bytes);
     const PacketHeader h = read_header(r);
+    if (h.type == MsgType::kNsInvalidate) {
+      // Lease invalidation pushed by a shard primary: drop the cached
+      // binding so the next import re-resolves authoritatively.
+      const NsInvalidate inv = read_ns_invalidate(r);
+      if (ns_cache_ != nullptr) ns_cache_->invalidate(inv.site, inv.name);
+      return;
+    }
+    // Sharded mode: the key's rendezvous owners decide this packet's
+    // fate. Every NS frame leads with the key (site str, name str), so a
+    // second reader peeks it without disturbing `r`.
+    bool keep_credit = broadcast_nodes_ == 0 || p.src_node == id_;
+    if (router_ != nullptr) {
+      Reader peek(p.bytes);
+      read_header(peek);
+      const std::string ksite = peek.str();
+      const std::string kname = peek.str();
+      const auto owners = router_->owners_of(ksite, kname);
+      if (h.type == MsgType::kNsLookup) {
+        if (owners.primary != id_ && owners.primary != ns::ShardRouter::kNoNode) {
+          // Not ours: forward to the owning shard. The reply goes
+          // straight to the requester carried in the payload.
+          net::Packet fwd;
+          fwd.src_node = id_;
+          fwd.dst_node = owners.primary;
+          fwd.bytes = std::move(p.bytes);
+          t.send(std::move(fwd), now_us);
+          return;
+        }
+      } else {
+        const bool primary_here = owners.primary == id_;
+        const bool replica_here = owners.replica == id_;
+        if (!primary_here && !replica_here) {
+          // Stale client map or in-flight handoff: bounce to the
+          // current primary, which re-replicates as needed.
+          net::Packet fwd;
+          fwd.src_node = id_;
+          fwd.dst_node = owners.primary;
+          fwd.bytes = std::move(p.bytes);
+          if (owners.primary != ns::ShardRouter::kNoNode)
+            t.send(std::move(fwd), now_us);
+          return;
+        }
+        if (primary_here && owners.replica != ns::ShardRouter::kNoNode &&
+            owners.replica != id_ && !router_->is_dead(owners.replica)) {
+          // Primary replicates byte-identically to its follower; the
+          // follower classifies itself as replica and keeps no credit.
+          net::Packet copy;
+          copy.src_node = id_;
+          copy.dst_node = owners.replica;
+          copy.bytes = p.bytes;
+          t.send(std::move(copy), now_us);
+        }
+        // Exactly one credit holder per minted unit: the primary.
+        keep_credit = primary_here;
+      }
+    }
     std::vector<net::Packet> replies;
     if (h.type == MsgType::kNsExport || h.type == MsgType::kNsUnregister) {
       if (ring_.should_record(h.sampled))
@@ -95,7 +172,6 @@ void Node::route(net::Packet p, net::Transport& t, double now_us) {
       // Replicated mode: exports (and unregisters) originating here
       // propagate to every other replica (which releases their parked
       // lookups / drops their copies of the binding).
-      const bool origin = broadcast_nodes_ == 0 || p.src_node == id_;
       if (broadcast_nodes_ > 0 && p.src_node == id_) {
         for (std::uint32_t n = 0; n < broadcast_nodes_; ++n) {
           if (n == id_) continue;
@@ -107,9 +183,10 @@ void Node::route(net::Packet p, net::Transport& t, double now_us) {
         }
       }
       if (h.type == MsgType::kNsExport)
-        // Only the origin replica keeps the GC credit the export carries:
-        // one holder per minted unit.
-        ns_->handle_export(r, replies, h.trace_id, h.sampled, h.gc, origin);
+        // Only the origin replica / shard primary keeps the GC credit
+        // the export carries: one holder per minted unit.
+        ns_->handle_export(r, replies, h.trace_id, h.sampled, h.gc,
+                           keep_credit);
       else
         ns_->handle_unregister(r, replies);
     } else {
@@ -133,13 +210,67 @@ void Node::route(net::Packet p, net::Transport& t, double now_us) {
     Reader r(p.bytes);
     read_header(r);
     const std::uint32_t dead = read_peer_down(r);
-    if (ns_->home_node() == id_) ns_->evict_node(dead);
+    if (router_ != nullptr)
+      ns_handle_dead(dead, t, now_us);
+    else if (ns_->home_node() == id_)
+      ns_->evict_node(dead);
     for (auto& s : sites_) s->push_incoming(p.bytes, p.src_node);
     return;
   }
   const std::uint32_t dst_site = packet_dst_site(p);
   if (dst_site >= sites_.size()) throw DecodeError("packet to unknown site");
   sites_[dst_site]->push_incoming(std::move(p.bytes), p.src_node);
+}
+
+void Node::ns_handle_dead(std::uint32_t dead, net::Transport& t,
+                          double now_us) {
+  // Confirmed death (our own failure detector, not gossip): shrink the
+  // shard map, drop the dead node's bindings from our slice, and push
+  // lease invalidations for them.
+  router_->note_dead(dead);
+  std::vector<net::Packet> out;
+  ns_->evict_node(dead, &out);
+  // Handoff: bindings we held as a follower of the dead primary are
+  // promoted implicitly — the map already points at us — and everything
+  // we now serve as primary gets re-replicated to its new follower.
+  ns_reshard(t, now_us);
+  if (ns_cache_ != nullptr) ns_cache_->invalidate_node(dead);
+  for (auto& o : out) {
+    if (o.dst_node == id_)
+      route(std::move(o), t, now_us);
+    else
+      t.send(std::move(o), now_us);
+  }
+}
+
+void Node::ns_reshard(net::Transport& t, double now_us) {
+  // Weak copies only (credit=0): the credit a primary holds never
+  // travels on the repair path — a promoted follower serves bindings
+  // weakly and the original exporter's write-off of the dead primary
+  // squares the ledger (DESIGN.md, GC invariants).
+  for (const auto& rec : ns_->handoff_records()) {
+    const auto owners = router_->owners_of(rec.site, rec.name);
+    if (owners.primary != id_) continue;
+    const std::uint32_t rep = owners.replica;
+    if (rep == ns::ShardRouter::kNoNode || rep == id_ || router_->is_dead(rep))
+      continue;
+    net::Packet copy;
+    copy.src_node = id_;
+    copy.dst_node = rep;
+    copy.bytes = NameService::make_export(0, rec.site, rec.name, rec.ref,
+                                          rec.type_sig, 0, true, /*credit=*/0);
+    t.send(std::move(copy), now_us);
+  }
+}
+
+void Node::ns_merge_dead(const std::vector<std::uint32_t>& dead,
+                         net::Transport& t, double now_us) {
+  if (router_ == nullptr) return;
+  std::vector<std::uint32_t> others;
+  for (std::uint32_t d : dead)
+    if (d != id_) others.push_back(d);
+  if (!router_->merge_dead(others)) return;
+  ns_reshard(t, now_us);
 }
 
 std::size_t Node::pump_site_outgoing(net::Transport& t, std::size_t site_idx,

@@ -1,6 +1,8 @@
 #include "core/site.hpp"
 
 #include "core/nameservice.hpp"
+#include "ns/cache.hpp"
+#include "ns/shard.hpp"
 #include "types/type.hpp"
 
 namespace dityco::core {
@@ -335,27 +337,38 @@ void Site::fetch_instantiate(const vm::NetRef& cls,
   ++mobility_.fetch_requests;
 }
 
+std::uint32_t Site::ns_target(const std::string& site,
+                              const std::string& name) const {
+  return ns_router_ != nullptr ? ns_router_->primary_of(site, name)
+                               : ns_node_;
+}
+
 void Site::export_id(const std::string& name, const vm::NetRef& ref) {
   std::string sig;
   if (auto it = export_sigs_.find(name); it != export_sigs_.end())
     sig = it->second;
   const obs::TraceTag tid = fresh_trace_id();
+  const std::uint32_t target = ns_target(name_, name);
   std::uint64_t credit = 0;
   if (gc_enabled_) {
     // The name service becomes a credit holder for this entry: it hands
     // shares of the minted balance to importers and RELs the remainder
     // when the binding is dropped. The name pin keeps the entry alive
-    // even if every unit of credit drains first.
+    // even if every unit of credit drains first. Under sharding the
+    // mint is attributed to the owning primary, so a confirmed-dead
+    // shard's held balance is forgiven by write_off_node.
+    if (ns_router_ != nullptr) machine_.set_credit_peer(target);
     machine_.set_credit_trace(tid.id);
     credit = machine_.mint_export_credit(ref);
     machine_.set_credit_trace(0);
+    if (ns_router_ != nullptr) machine_.set_credit_peer(vm::Machine::kNoPeer);
     machine_.pin_name(ref);
     exported_names_.emplace_back(name, ref);
   }
   if (ring_.should_record(tid.sampled))
     ring_.record(obs::EventType::kNsExport, tid.id);
-  send_packet(ns_node_, NameService::make_export(0, name_, name, ref, sig,
-                                                 tid.id, tid.sampled, credit));
+  send_packet(target, NameService::make_export(0, name_, name, ref, sig,
+                                               tid.id, tid.sampled, credit));
 }
 
 void Site::import_id(const std::string& site, const std::string& name,
@@ -364,7 +377,28 @@ void Site::import_id(const std::string& site, const std::string& name,
   const obs::TraceTag tid = fresh_trace_id();
   if (ring_.should_record(tid.sampled))
     ring_.record(obs::EventType::kNsLookup, tid.id, token);
-  send_packet(ns_node_,
+  if (lease_cache_ != nullptr) {
+    vm::NetRef ref;
+    std::string sig;
+    if (lease_cache_->lookup(site, name, kind, obs::trace_now_ns(), ref,
+                             sig)) {
+      // Lease hit: synthesize the reply the service would have sent and
+      // deliver it through the normal queue (the importing frame parks
+      // first; the resume must not run under this stack). The handle is
+      // weak (no credit share) — safe, the exporter's name pin holds
+      // the entry for the binding's lifetime.
+      cache_tokens_.insert(token);
+      Writer w;
+      write_header(w, MsgType::kNsReply, site_id_, tid.id, tid.sampled);
+      w.u64(token);
+      w.boolean(true);
+      write_netref(w, ref);
+      w.str(sig);
+      push_incoming(w.take(), node_id_);
+      return;
+    }
+  }
+  send_packet(ns_target(site, name),
               NameService::make_lookup(site, name, kind, node_id_, site_id_,
                                        token, tid.id, tid.sampled));
 }
@@ -382,7 +416,8 @@ std::size_t Site::collect(bool final, bool resend) {
     // (the unregister REL-releases the credit the service still holds).
     class_cache_.clear();
     for (const auto& [name, ref] : exported_names_) {
-      send_packet(ns_node_, NameService::make_unregister(name_, name));
+      send_packet(ns_target(name_, name),
+                  NameService::make_unregister(name_, name));
       ++queued;
       machine_.unpin_name(ref);
     }
@@ -567,12 +602,21 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
       const std::uint64_t credit = h.gc ? r.u64() : 0;
       if (ring_.should_record(h.sampled))
         ring_.record(obs::EventType::kNsReply, h.trace_id, token);
+      // A reply synthesized from the lease cache must not re-fill it
+      // (that would renew the lease without authority).
+      const bool from_cache = cache_tokens_.erase(token) > 0;
       if (!ok) {
         record_error(name_ + ": import kind mismatch for token " +
                      std::to_string(token));
         if (flight_ != nullptr && h.trace_id != 0)
           flight_->promote(h.trace_id, obs::FlightRecorder::Reason::kError);
         return;  // the frame stays parked; the network reports a stall
+      }
+      if (lease_cache_ != nullptr && !from_cache) {
+        if (auto kit = import_token_keys_.find(token);
+            kit != import_token_keys_.end())
+          lease_cache_->store(kit->second.first, kit->second.second, ref, sig,
+                              obs::trace_now_ns());
       }
       // Dynamic half of the combined type-checking scheme: if the import
       // site declared an expected signature, it must match the exporter's.
@@ -648,6 +692,7 @@ void Site::handle_packet(const std::vector<std::uint8_t>& bytes) {
     case MsgType::kNsExport:
     case MsgType::kNsLookup:
     case MsgType::kNsUnregister:
+    case MsgType::kNsInvalidate:
       throw DecodeError("name-service packet routed to a site");
   }
   throw DecodeError("unknown packet type");

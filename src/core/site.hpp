@@ -27,6 +27,11 @@
 #include "obs/trace.hpp"
 #include "vm/machine.hpp"
 
+namespace dityco::ns {
+class LeaseCache;
+class ShardRouter;
+}  // namespace dityco::ns
+
 namespace dityco::core {
 
 class Site {
@@ -63,6 +68,12 @@ class Site {
   std::uint32_t site_id() const { return site_id_; }
   /// Repoint this site's name-service requests (distributed NS mode).
   void set_ns_node(std::uint32_t node) { ns_node_ = node; }
+  /// Sharded NS mode: route each request to the owning shard primary
+  /// instead of ns_node_. The router outlives the site (Network owns it).
+  void set_ns_router(ns::ShardRouter* router) { ns_router_ = router; }
+  /// Lease cache consulted before lookups cross the wire (one per node,
+  /// owned by the Network; outlives the site).
+  void set_lease_cache(ns::LeaseCache* cache) { lease_cache_ = cache; }
   vm::Machine& machine() { return machine_; }
   const vm::Machine& machine() const { return machine_; }
 
@@ -213,8 +224,17 @@ class Site {
   void import_id(const std::string& site, const std::string& name,
                  vm::NetRef::Kind kind, std::uint64_t token);
 
+  /// Owning shard primary for a directory key (ns_node_ when central).
+  std::uint32_t ns_target(const std::string& site,
+                          const std::string& name) const;
+
   std::string name_;
   std::uint32_t node_id_, site_id_, ns_node_;
+  ns::ShardRouter* ns_router_ = nullptr;
+  ns::LeaseCache* lease_cache_ = nullptr;
+  // Lookup tokens answered from the lease cache (a synthesized reply
+  // must not re-fill the cache — that would renew the lease for free).
+  std::set<std::uint64_t> cache_tokens_;
   bool gc_enabled_ = false;
   // Name-service bindings this site created, kept for the final
   // unregister epoch (duplicates allowed: re-export pins again).

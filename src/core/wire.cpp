@@ -42,7 +42,7 @@ PacketHeader read_header(Reader& r) {
   const std::uint8_t b = r.u8();
   const std::uint8_t type = b & static_cast<std::uint8_t>(~kHeaderFlags);
   if (type < static_cast<std::uint8_t>(MsgType::kShipMsg) ||
-      type > static_cast<std::uint8_t>(MsgType::kCreditMoved))
+      type > static_cast<std::uint8_t>(MsgType::kNsInvalidate))
     throw DecodeError("unknown packet type");
   PacketHeader h;
   h.type = static_cast<MsgType>(type);
@@ -242,6 +242,22 @@ CreditMoved read_credit_moved(Reader& r) {
   out.ref = read_netref(r);
   out.to_node = r.u32();
   out.amount = r.u64();
+  return out;
+}
+
+std::vector<std::uint8_t> make_ns_invalidate(const std::string& site,
+                                             const std::string& name) {
+  Writer w;
+  write_header(w, MsgType::kNsInvalidate, kBroadcastSite);
+  w.str(site);
+  w.str(name);
+  return w.take();
+}
+
+NsInvalidate read_ns_invalidate(Reader& r) {
+  NsInvalidate out;
+  out.site = r.str();
+  out.name = r.str();
   return out;
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "support/bytes.hpp"
@@ -32,6 +33,7 @@ enum class MsgType : std::uint8_t {
   kNsUnregister = 9,  // drop an IdTable binding (final GC epoch)
   kPeerDown = 10,     // synthetic death notice from a failure detector
   kCreditMoved = 11,  // NS moved part of its credit share to a new holder
+  kNsInvalidate = 12, // NS pushed a lease-cache invalidation for one key
 };
 
 // -- packet header (wire format v2) -----------------------------------
@@ -143,6 +145,18 @@ struct CreditMoved {
   std::uint64_t amount = 0;
 };
 CreditMoved read_credit_moved(Reader& r);
+
+/// Build an NS-INVALIDATE frame: the shard owning directory key
+/// (site, name) rebound, dropped or evicted the binding; every node
+/// holding a lease on it must drop its cached entry. Node-addressed
+/// (dst_site is the broadcast sentinel): the receiving daemon feeds its
+/// lease cache, no site ever sees the frame.
+std::vector<std::uint8_t> make_ns_invalidate(const std::string& site,
+                                             const std::string& name);
+struct NsInvalidate {
+  std::string site, name;
+};
+NsInvalidate read_ns_invalidate(Reader& r);
 
 void write_netref(Writer& w, const vm::NetRef& r);
 vm::NetRef read_netref(Reader& r);

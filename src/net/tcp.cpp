@@ -260,6 +260,11 @@ std::vector<std::uint32_t> TcpTransport::dead_peers() const {
   return out;
 }
 
+std::vector<std::uint32_t> TcpTransport::advisory_dead() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return {advisory_dead_.begin(), advisory_dead_.end()};
+}
+
 std::vector<TcpTransport::PeerInfo> TcpTransport::peer_info() const {
   std::lock_guard<std::mutex> lk(mu_);
   const double now = now_ms();
@@ -578,6 +583,14 @@ void TcpTransport::mark_dead(std::uint32_t node, Peer& p) {
     }
   }
   stats_.peers_dead.fetch_add(1, std::memory_order_relaxed);
+  // Our confirmed verdict joins the advisory gossip: the next kPeers
+  // broadcast carries it, so survivors that have not yet confirmed can
+  // move shard ownership early (they still write off only on their own
+  // detector's verdict).
+  if (advisory_dead_.insert(node).second) {
+    advisory_gen_.fetch_add(1, std::memory_order_release);
+    broadcast_peers_locked();
+  }
   if (ring_.enabled() || peer_event_hook_) {
     const std::uint64_t id = obs::next_trace_id();
     if (ring_.enabled())
@@ -746,6 +759,22 @@ bool TcpTransport::handle_payload(int fd, std::uint32_t tagged_node,
         }
         if (mport != 0) p.monitor_port = mport;
       }
+      // Additive trailing block: advisory deaths. Merge (grow-only; a
+      // rumour that we ourselves died is ignored — we are demonstrably
+      // here) and re-gossip on change so the set floods the fleet.
+      bool deaths_changed = false;
+      if (r.remaining() >= 4) {
+        const std::uint32_t dead_n = r.u32();
+        for (std::uint32_t i = 0; i < dead_n && r.remaining() >= 4; ++i) {
+          const std::uint32_t node = r.u32();
+          if (node == cfg_.self) continue;
+          deaths_changed |= advisory_dead_.insert(node).second;
+        }
+      }
+      if (deaths_changed) {
+        advisory_gen_.fetch_add(1, std::memory_order_release);
+        broadcast_peers_locked();
+      }
       if (tagged_node != kUnknownNode) feed_liveness(tagged_node, now);
       (void)changed;
       return true;
@@ -788,6 +817,10 @@ void TcpTransport::broadcast_peers_locked() {
       w.str(p.hostport);
       w.u16(p.monitor_port);
     }
+  // Advisory death gossip rides the same frame as a trailing block (old
+  // receivers stop at the entry list and ignore it).
+  w.u32(static_cast<std::uint32_t>(advisory_dead_.size()));
+  for (std::uint32_t d : advisory_dead_) w.u32(d);
   const auto body = w.take();
   for (auto& [node, p] : peers_)
     if (p.fd >= 0 && !p.connecting && !p.dead)

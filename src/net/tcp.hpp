@@ -43,6 +43,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -66,7 +67,10 @@ enum class FrameKind : std::uint8_t {
   kHeartbeat = 3,  // [node u32][seq u64][send_us u64]
   kHeartbeatAck = 4,  // echo of a heartbeat body
   kPeers = 5,      // [n u32] x ([node u32][host:port str][monitor u16]) —
-                   // address + monitor-port gossip
+                   // address + monitor-port gossip — then an additive
+                   // trailing block [dead_n u32][node u32 ...]: node ids
+                   // some member has confirmed dead (advisory death
+                   // gossip; old receivers ignore the tail)
 };
 
 /// Frames larger than this are a protocol error (guards the length
@@ -359,6 +363,18 @@ class TcpTransport : public Transport {
   std::size_t queued_bytes() const;
   bool peer_dead(std::uint32_t node) const;
   std::vector<std::uint32_t> dead_peers() const;
+  /// Advisory death gossip: node ids *some* fleet member has confirmed
+  /// dead, learned from kPeers frames (plus our own confirmations).
+  /// Consumers (the sharded name service's shard map) treat these as
+  /// membership advisories — they move shard ownership but never drive
+  /// GC credit write-off, which waits for the local detector's own
+  /// verdict. Generation bumps on every change so pollers can skip
+  /// rework; read it before the set (acquire pairs with the set's
+  /// release under mu_).
+  std::uint64_t advisory_dead_generation() const {
+    return advisory_gen_.load(std::memory_order_acquire);
+  }
+  std::vector<std::uint32_t> advisory_dead() const;
   /// Every known peer's transport state (see PeerInfo). Thread-safe;
   /// phi/ages are evaluated against the call's clock.
   std::vector<PeerInfo> peer_info() const;
@@ -506,6 +522,9 @@ class TcpTransport : public Transport {
   mutable std::mutex mu_;
   std::condition_variable backpressure_cv_;
   std::map<std::uint32_t, Peer> peers_;
+  /// Fleet-wide confirmed deaths (ours + gossiped); grow-only, under mu_.
+  std::set<std::uint32_t> advisory_dead_;
+  std::atomic<std::uint64_t> advisory_gen_{0};
   std::map<int, Inbound> inbound_;
   std::deque<Packet> inbox_;
   std::function<std::vector<std::uint8_t>(std::uint32_t)> death_frame_;

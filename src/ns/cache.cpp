@@ -1,0 +1,84 @@
+#include "ns/cache.hpp"
+
+namespace dityco::ns {
+
+bool LeaseCache::lookup(const std::string& site, const std::string& name,
+                        vm::NetRef::Kind kind, std::uint64_t now_ns,
+                        vm::NetRef& ref_out, std::string& sig_out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(Key{site, name});
+  // Expired entries stay in the table (misses) until the next
+  // authoritative fill settles their retroactive stale accounting.
+  if (it == entries_.end() || now_ns >= it->second.expires_ns ||
+      it->second.ref.kind != kind) {
+    ++stats_.misses;
+    return false;
+  }
+  ++it->second.hits_this_lease;
+  ++stats_.hits;
+  ref_out = it->second.ref;
+  sig_out = it->second.sig;
+  return true;
+}
+
+void LeaseCache::store(const std::string& site, const std::string& name,
+                       const vm::NetRef& ref, const std::string& sig,
+                       std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = entries_[Key{site, name}];
+  // The authority says the binding differs from what we served: every
+  // hit of the displaced lease was (potentially) stale — the signature
+  // of a lost invalidation.
+  if (e.expires_ns != 0 && e.ref != ref)
+    stats_.stale_served += e.hits_this_lease;
+  e.ref = ref;
+  e.sig = sig;
+  e.expires_ns = now_ns + lease_ns_;
+  e.hits_this_lease = 0;
+}
+
+std::size_t LeaseCache::invalidate(const std::string& site,
+                                   const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::size_t n = entries_.erase(Key{site, name});
+  if (n > 0) {
+    ++stats_.invalidations;
+    stats_.evictions += n;
+  }
+  return n;
+}
+
+std::size_t LeaseCache::invalidate_node(std::uint32_t node) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.ref.node == node) {
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  stats_.evictions += dropped;
+  return dropped;
+}
+
+std::size_t LeaseCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+void LeaseCache::register_metrics(obs::Registry& registry,
+                                  const std::string& label) {
+  metrics_reg_ = registry.add_collector([this, label](obs::Collector& c) {
+    const std::string l = "{node=\"" + label + "\"}";
+    c.counter("ns_cache_hits" + l, stats_.hits);
+    c.counter("ns_cache_misses" + l, stats_.misses);
+    c.counter("ns_cache_invalidations" + l, stats_.invalidations);
+    c.counter("ns_cache_stale_served" + l, stats_.stale_served);
+    c.counter("ns_cache_evictions" + l, stats_.evictions);
+    c.gauge("ns_cache_entries" + l, static_cast<std::int64_t>(size()));
+  });
+}
+
+}  // namespace dityco::ns

@@ -1,0 +1,91 @@
+// Lease-based client-side cache for name-service lookups.
+//
+// One instance per node, consulted by every site on the node before a
+// lookup crosses the wire. Entries are positive only (a miss is never
+// cached) and live for a fixed lease; the owning shard pushes
+// kNsInvalidate frames on rebind / unregister / eviction, so under
+// normal operation a cached binding is dropped the moment it changes.
+// The lease is the backstop for the abnormal case: a *lost*
+// invalidation leaves a stale entry serving hits until the lease
+// expires, never longer.
+//
+// Staleness is accounted retroactively: when an authoritative reply
+// replaces an entry with a *different* referent, every hit the old
+// entry served during its last lease is counted into `stale_served`
+// (an over-approximation — hits that predated the rebind are counted
+// too — but it bounds the damage window a lost invalidation can cause,
+// which is what the metric is for).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "vm/value.hpp"
+
+namespace dityco::ns {
+
+class LeaseCache {
+ public:
+  /// `lease_ns` is the positive-entry TTL; 0 disables (every lookup
+  /// misses), which callers should avoid by not constructing a cache.
+  explicit LeaseCache(std::uint64_t lease_ns) : lease_ns_(lease_ns) {}
+
+  /// Consult the cache. A hit requires a live lease and a matching
+  /// reference kind (a kind mismatch is the name service's error to
+  /// report, not ours to satisfy).
+  bool lookup(const std::string& site, const std::string& name,
+              vm::NetRef::Kind kind, std::uint64_t now_ns, vm::NetRef& ref_out,
+              std::string& sig_out);
+
+  /// Authoritative fill from a real name-service reply: starts a fresh
+  /// lease and settles the retroactive stale accounting for whatever
+  /// entry it replaces.
+  void store(const std::string& site, const std::string& name,
+             const vm::NetRef& ref, const std::string& sig,
+             std::uint64_t now_ns);
+
+  /// Pushed invalidation from the owning shard; returns entries dropped.
+  std::size_t invalidate(const std::string& site, const std::string& name);
+  /// Drop every entry whose referent lives on a dead node.
+  std::size_t invalidate_node(std::uint32_t node);
+
+  std::size_t size() const;
+  std::uint64_t lease_ns() const { return lease_ns_; }
+
+  std::uint64_t hits() const { return stats_.hits.value(); }
+  std::uint64_t misses() const { return stats_.misses.value(); }
+  std::uint64_t invalidations() const { return stats_.invalidations.value(); }
+  std::uint64_t stale_served() const { return stats_.stale_served.value(); }
+  std::uint64_t evictions() const { return stats_.evictions.value(); }
+
+  /// ns_cache_* counters, labelled {node="<label>"}.
+  void register_metrics(obs::Registry& registry, const std::string& label);
+
+ private:
+  struct Entry {
+    vm::NetRef ref;
+    std::string sig;
+    std::uint64_t expires_ns = 0;
+    std::uint64_t hits_this_lease = 0;
+  };
+  struct Stats {
+    obs::SoloCounter hits;
+    obs::SoloCounter misses;
+    obs::SoloCounter invalidations;
+    obs::SoloCounter stale_served;
+    obs::SoloCounter evictions;
+  };
+  using Key = std::pair<std::string, std::string>;
+
+  const std::uint64_t lease_ns_;
+  mutable std::mutex mu_;
+  std::map<Key, Entry> entries_;
+  Stats stats_;
+  obs::Registry::Registration metrics_reg_;
+};
+
+}  // namespace dityco::ns

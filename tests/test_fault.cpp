@@ -6,11 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <thread>
 
 #include "core/network.hpp"
 #include "core/wire.hpp"
 #include "net/transport.hpp"
+#include "ns/shard.hpp"
 #include "vm/machine.hpp"
 
 namespace dityco::core {
@@ -355,6 +358,161 @@ TEST(Fault, DroppedRelLeaksWithoutResend) {
   EXPECT_GE(dropped, 1u) << "the fault fired";
   EXPECT_GE(rep.exports_live, 1u)
       << "without resend the dropped REL's credit is gone for good";
+}
+
+// ---------------------------------------------------------------------
+// Sharded name service under faults (docs/NAMESERVICE.md)
+// ---------------------------------------------------------------------
+
+TEST(Fault, KillPrimaryShardFailsOverToReplica) {
+  // The binding's owning shard primary dies after the export. The
+  // follower copy (made on registration) is promoted when the failure
+  // detector's kPeerDown lands: survivors keep resolving, the binding
+  // is registered at exactly one primary (no double-registration), and
+  // the credit ledgers still join to zero across the handoff.
+  Network::Config cfg;
+  cfg.ns_shards = 4;
+  cfg.ns_replicas = 1;
+  Network net(cfg);
+  for (int i = 0; i < 4; ++i) net.add_node();
+  net.add_site(0, "server");
+  net.add_site(1, "client");
+  net.add_site(1, "client2");
+
+  // Pick a service name whose shard primary is a pure-NS node (2 or 3)
+  // and whose follower is not the exporter's node, so the injected
+  // kPeerDown reaches no app-hosting site and nothing writes credit
+  // off — in-process the "dead" slice is still scraped by the audit,
+  // which must therefore balance without a write-off.
+  ns::ShardRouter probe(4, 1);
+  std::string name;
+  for (int i = 0;; ++i) {
+    name = "svc" + std::to_string(i);
+    const auto o = probe.owners_of("server", name);
+    if (o.primary >= 2 && o.replica != 0) break;
+    ASSERT_LT(i, 4096) << "no suitable name found";
+  }
+
+  net.submit_source("server",
+                    "def S(self) = self?{ val(x, r) = (r![x] | S[self]) } in "
+                    "export new " + name + " in S[" + name + "]");
+  net.submit_source("client", "import " + name + " from server in new a (" +
+                                  name + "![7, a] | a?(v) = 0)");
+  auto r1 = net.run();
+  ASSERT_TRUE(r1.quiescent);
+  ASSERT_TRUE(net.all_errors().empty());
+
+  ns::ShardRouter* router = net.ns_router();
+  ASSERT_NE(router, nullptr);
+  const auto before = router->owners_of("server", name);
+  const std::uint32_t dead = before.primary;
+  const std::uint32_t follower = before.replica;
+  // Registration replicated the binding to exactly {primary, follower}.
+  for (const auto& n : net.nodes()) {
+    const bool should = n->id() == dead || n->id() == follower;
+    EXPECT_EQ(n->name_service().lookup_id("server", name).has_value(), should)
+        << "node " << n->id();
+  }
+
+  // Confirmed death, delivered to the follower: it promotes itself and
+  // re-replicates its slice to the post-death follower.
+  auto& tr = dynamic_cast<net::InProcTransport&>(net.transport());
+  net::Packet down;
+  down.src_node = follower;
+  down.dst_node = follower;
+  down.bytes = make_peer_down(dead);
+  tr.send(std::move(down), 0);
+  auto rf = net.run();  // pump the failover before new traffic
+  EXPECT_FALSE(rf.budget_exhausted);
+  EXPECT_TRUE(router->is_dead(dead));
+  const auto after = router->owners_of("server", name);
+  EXPECT_EQ(after.primary, follower) << "the follower was promoted";
+
+  // A fresh import resolves from the promoted primary.
+  net.submit_source("client2", "import " + name + " from server in new a (" +
+                                   name + "![9, a] | a?(v) = print[v])");
+  auto r2 = net.run();
+  EXPECT_TRUE(r2.quiescent);
+  EXPECT_TRUE(net.all_errors().empty());
+  EXPECT_EQ(net.output("client2"), std::vector<std::string>{"9"});
+
+  // No double-registration: among survivors the binding lives at
+  // exactly the promoted primary and its new follower.
+  for (const auto& n : net.nodes()) {
+    if (n->id() == dead) continue;
+    const bool should = n->id() == after.primary || n->id() == after.replica;
+    EXPECT_EQ(n->name_service().lookup_id("server", name).has_value(), should)
+        << "node " << n->id();
+  }
+  // Credit conservation across the handoff: promoted and re-replicated
+  // copies are weak (credit 0), the registration credit still sits in
+  // the original slice, so the fleet audit joins to zero.
+  auto audit = net.self_audit();
+  EXPECT_TRUE(audit.balanced) << audit.to_text();
+}
+
+TEST(Fault, DroppedInvalidationServesStaleUntilLeaseExpiry) {
+  // A rebind's kNsInvalidate frame is lost in flight. The lease cache
+  // keeps serving the stale binding — but only until the lease runs
+  // out, and the staleness is accounted retroactively when the next
+  // authoritative lookup replaces the entry (ns_cache_stale_served).
+  Network::Config cfg;
+  cfg.ns_shards = 4;
+  cfg.ns_replicas = 1;
+  cfg.ns_lease_ms = 500;
+  Network net(cfg);
+  for (int i = 0; i < 4; ++i) net.add_node();
+  net.add_site(0, "server");
+  net.add_site(1, "client");
+  net.add_site(1, "client2");
+  net.add_site(1, "client3");
+
+  // The invalidation must cross the transport to be droppable: pick a
+  // name whose shard primary is not the lease holders' node.
+  ns::ShardRouter probe(4, 1);
+  std::string name;
+  for (int i = 0;; ++i) {
+    name = "svc" + std::to_string(i);
+    if (probe.owners_of("server", name).primary != 1) break;
+    ASSERT_LT(i, 4096) << "no suitable name found";
+  }
+  auto& tr = dynamic_cast<net::InProcTransport&>(net.transport());
+  tr.set_drop_filter([](const net::Packet& p) {
+    return packet_type(p.bytes) == MsgType::kNsInvalidate;
+  });
+
+  net.submit_source("server", "export new " + name + " in " + name +
+                                  "?{ val(x, r) = r![1] }");
+  net.submit_source("client", "import " + name + " from server in 0");
+  ASSERT_TRUE(net.run().quiescent);
+  ASSERT_TRUE(net.all_errors().empty());
+  const ns::LeaseCache* cache = net.lease_cache(1);
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->size(), 1u) << "the first import filled the cache";
+
+  // Rebind: the shard pushes an invalidation to the lease holder, which
+  // the network silently drops.
+  net.submit_source("server", "export new " + name + " in " + name +
+                                  "?{ val(x, r) = r![2] }");
+  ASSERT_TRUE(net.run().quiescent);
+  EXPECT_GE(tr.dropped(), 1u) << "the fault fired";
+  EXPECT_EQ(cache->invalidations(), 0u) << "the invalidation never arrived";
+  EXPECT_EQ(cache->size(), 1u) << "the stale entry survived";
+
+  // Within the lease the stale binding is served from the cache...
+  net.submit_source("client2", "import " + name + " from server in 0");
+  ASSERT_TRUE(net.run().quiescent);
+  EXPECT_GE(cache->hits(), 1u);
+  EXPECT_EQ(cache->stale_served(), 0u) << "not yet known to be stale";
+
+  // ...but not past it: the next import misses, asks the shard, and the
+  // authoritative (different) ref convicts the expired entry's hits.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  net.submit_source("client3", "import " + name + " from server in 0");
+  ASSERT_TRUE(net.run().quiescent);
+  EXPECT_GE(cache->misses(), 2u) << "the expired entry was not served";
+  EXPECT_GE(cache->stale_served(), 1u)
+      << "the dropped invalidation's stale hits are accounted";
 }
 
 }  // namespace

@@ -4,7 +4,7 @@
 # observability off, then with the sampled profiler and tail-based flight
 # retention on (--profile --flight) — and assemble each binary's
 # per-section results (--bench-json) into one versioned document. The
-# committed BENCH_pr8.json is this script's output on the CI container
+# committed BENCH_pr10.json is this script's output on the CI container
 # (BENCH_pr6.json is the pre-coalescing PR 6 baseline, kept for the
 # bench_compare.py delta); regenerate with
 #   tools/bench_baseline.sh [build-dir] [out.json] [extra.json ...]
@@ -36,7 +36,7 @@
 set -eu
 
 BUILD="${1:-build}"
-OUT="${2:-BENCH_pr9.json}"
+OUT="${2:-BENCH_pr10.json}"
 shift $(( $# > 2 ? 2 : $# ))
 EXTRA="$*"
 

@@ -1,0 +1,246 @@
+#!/usr/bin/env bash
+# Sharded name-service smoke test (docs/NAMESERVICE.md): launch FOUR
+# tycod daemons on loopback with the directory sharded across all of
+# them (--ns-shards 4 --ns-replicas 1), each exporting a persistent
+# echo service so real bindings land on several shard slices, then
+# drive a register/lookup/unregister storm with
+# `tycoload --scenario fetch-churn` — SIGKILLing node 2 (a shard
+# primary) mid-run — and assert the failover path end to end:
+#
+#   * tycoload survives the kill (exit 0, completions on both sides
+#     of it): the generator's own rendezvous router re-aims churn
+#     names at the promoted owners, so lookups KEEP RESOLVING;
+#   * every survivor's /names reports the sharded directory with
+#     node 2 in the confirmed-dead set (the shard map converged);
+#   * `tycotop --names` federates the per-shard slices from one seed
+#     monitor and exits 0 (the PR 10 shard-aware fleet view);
+#   * the fleet audits BALANCED after the handoff (`tycotop --audit`
+#     exit 0) and no survivor ever counted a credit imbalance
+#     (gc_audit_imbalance == 0 on every live node): the dead
+#     primary's held credit was written off and its bindings
+#     re-replicated without losing or double-counting a unit.
+#
+# Used by CI; run locally as
+#   tools/ns_smoke.sh [tycod] [tycoload] [tycotop]
+set -u
+
+TYCOD="${1:-build/tools/tycod}"
+TYCOLOAD="${2:-build/tools/tycoload}"
+TYCOTOP="${3:-build/tools/tycotop}"
+for bin in "$TYCOD" "$TYCOLOAD" "$TYCOTOP"; do
+  if [ ! -x "$bin" ]; then
+    echo "ns_smoke: no binary at $bin" >&2
+    exit 2
+  fi
+done
+
+OUT0="$(mktemp)"
+OUT1="$(mktemp)"
+OUT2="$(mktemp)"
+OUT3="$(mktemp)"
+LOAD="$(mktemp)"
+NAMES="$(mktemp)"
+AUDIT="$(mktemp)"
+trap 'kill -9 "$PID0" "$PID1" "$PID2" "$PID3" 2>/dev/null;
+      rm -f "$OUT0" "$OUT1" "$OUT2" "$OUT3" "$LOAD" "$NAMES" "$AUDIT"' EXIT
+
+fail=0
+
+scrape() {
+  # First match of sed pattern $2 in log $1 while pid $3 stays alive.
+  local log="$1" pat="$2" pid="$3" got=""
+  for _ in $(seq 1 100); do
+    got="$(sed -n "$pat" "$log" | head -n 1)"
+    [ -n "$got" ] && { echo "$got"; return 0; }
+    kill -0 "$pid" 2>/dev/null || return 1
+    sleep 0.1
+  done
+  return 1
+}
+
+wait_port() {
+  scrape "$1" 's#^tycod node[0-9]* listening on 127\.0\.0\.1:\([0-9]*\)$#\1#p' "$2"
+}
+
+wait_mon() {
+  scrape "$1" 's#^tycomon listening on http://127\.0\.0\.1:\([0-9]*\)$#\1#p' "$2"
+}
+
+# ---------------------------------------------------------------------
+# Four daemons, one shard slice each, one follower per slice
+# ---------------------------------------------------------------------
+
+SRV='export new svc in def Serve(self) = self?{ val(x, r) = (r![x + 1] | Serve[self]) } in Serve[svc]'
+COMMON="--monitor 0 --ns-shards 4 --ns-replicas 1 \
+  --gc-resend-ms 1200 --audit-ms 250 \
+  --idle-exit-ms 8000 --serve-ms 60000"
+
+# shellcheck disable=SC2086
+"$TYCOD" --node 0 $COMMON -e "site server0 { $SRV }" >"$OUT0" 2>&1 &
+PID0=$!
+PORT0="$(wait_port "$OUT0" "$PID0")" || {
+  echo "ns_smoke: node 0 never announced a port:" >&2
+  cat "$OUT0" >&2
+  exit 1
+}
+MON0="$(wait_mon "$OUT0" "$PID0")" || {
+  echo "ns_smoke: node 0 never announced a monitor:" >&2
+  cat "$OUT0" >&2
+  exit 1
+}
+
+# shellcheck disable=SC2086
+"$TYCOD" --node 1 --join "127.0.0.1:$PORT0" $COMMON \
+  -e "site server1 { $SRV }" >"$OUT1" 2>&1 &
+PID1=$!
+# shellcheck disable=SC2086
+"$TYCOD" --node 2 --join "127.0.0.1:$PORT0" $COMMON \
+  -e "site server2 { $SRV }" >"$OUT2" 2>&1 &
+PID2=$!
+# shellcheck disable=SC2086
+"$TYCOD" --node 3 --join "127.0.0.1:$PORT0" $COMMON \
+  -e "site server3 { $SRV }" >"$OUT3" 2>&1 &
+PID3=$!
+MON1="$(wait_mon "$OUT1" "$PID1")" || {
+  echo "ns_smoke: node 1 never announced a monitor:" >&2
+  cat "$OUT1" >&2; exit 1
+}
+wait_mon "$OUT2" "$PID2" >/dev/null || {
+  echo "ns_smoke: node 2 never announced a monitor:" >&2
+  cat "$OUT2" >&2; exit 1
+}
+MON3="$(wait_mon "$OUT3" "$PID3")" || {
+  echo "ns_smoke: node 3 never announced a monitor:" >&2
+  cat "$OUT3" >&2; exit 1
+}
+echo "ns_smoke: fleet up (transport :$PORT0, 4 shard slices, 1 replica)"
+# Let the gossip mesh close before the storm: churn frames go straight
+# to whichever node owns each name's slice, not through the seed.
+sleep 1
+
+# ---------------------------------------------------------------------
+# Register/lookup/unregister storm; SIGKILL shard primary node 2 mid-run
+# ---------------------------------------------------------------------
+
+"$TYCOLOAD" --join "127.0.0.1:$PORT0" \
+  --scenario fetch-churn --ns-shards 4 --ns-replicas 1 \
+  --rate 1500 --duration-ms 4000 --timeout-ms 1500 \
+  --kill-node 2 --kill-pid "$PID2" --at 2000 --json >"$LOAD" 2>&1
+LOADRC=$?
+if [ "$LOADRC" -ne 0 ]; then
+  echo "ns_smoke: tycoload exited $LOADRC:" >&2
+  cat "$LOAD" >&2
+  exit 1
+fi
+
+python3 - "$LOAD" <<'EOF' || fail=1
+import json, sys
+rep = json.loads(open(sys.argv[1]).read().strip().splitlines()[-1])
+assert rep["schema"] == "tycoload-report-v1", rep
+assert rep["completed"] > 0, "no churn cycle ever completed"
+assert "failover" in rep, "kill drill produced no failover histogram"
+assert rep["failover"]["count"] > 0, \
+    "no name resolved after the shard primary died"
+print(f"ns_smoke: tycoload ok ({rep['completed']} churn cycles, "
+      f"{rep['failed']} failed, "
+      f"{rep['failover']['count']} resolved through failover)")
+EOF
+
+# ---------------------------------------------------------------------
+# Survivors' shard maps converged on the death
+# ---------------------------------------------------------------------
+
+http_get() {
+  python3 - "$1" <<'EOF'
+import sys, urllib.request
+print(urllib.request.urlopen(sys.argv[1], timeout=5).read().decode())
+EOF
+}
+
+for mon in "$MON0" "$MON1" "$MON3"; do
+  converged=0
+  for _ in $(seq 1 100); do
+    if http_get "http://127.0.0.1:$mon/names" >"$NAMES" 2>/dev/null &&
+       python3 - "$NAMES" <<'EOF' 2>/dev/null
+import json, sys
+doc = json.load(open(sys.argv[1]))
+sh = doc["sharding"]
+assert sh["shards"] == 4 and sh["replicas"] == 1, sh
+assert 2 in sh["dead"], f"node 2 not yet confirmed dead: {sh}"
+EOF
+    then converged=1; break; fi
+    sleep 0.1
+  done
+  if [ "$converged" -ne 1 ]; then
+    echo "ns_smoke: :$mon shard map never marked node 2 dead:" >&2
+    cat "$NAMES" >&2
+    exit 1
+  fi
+done
+echo "ns_smoke: all survivors confirmed node 2 dead in the shard map"
+
+# ---------------------------------------------------------------------
+# tycotop --names: shard-aware fleet directory from one seed
+# ---------------------------------------------------------------------
+
+"$TYCOTOP" --names --json "http://127.0.0.1:$MON0" >"$NAMES" || {
+  echo "ns_smoke: tycotop --names failed:" >&2
+  cat "$NAMES" >&2
+  exit 1
+}
+python3 - "$NAMES" <<'EOF' || fail=1
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "tycotop-names-v1", doc.get("schema")
+nodes = sorted(n["node"] for n in doc["nodes"])
+assert set(nodes) >= {0, 1, 3}, f"federation missing a survivor: {nodes}"
+sharded = [n["node"] for n in doc["nodes"]
+           if n["names"].get("sharding", {}).get("shards") == 4]
+assert set(sharded) >= {0, 1, 3}, f"slices not shard-aware: {sharded}"
+slices = {n["node"]: sorted(s for s in n["names"]
+                            if s.startswith("shard"))
+          for n in doc["nodes"]}
+owners = [n for n, s in slices.items() if s]
+assert len(owners) >= 2, f"directory not spread across nodes: {slices}"
+print(f"ns_smoke: tycotop --names ok (nodes {nodes}, "
+      f"slices on {sorted(owners)})")
+EOF
+
+# ---------------------------------------------------------------------
+# Credit conservation across the handoff
+# ---------------------------------------------------------------------
+
+# The write-off of the dead slice's held credit and the re-replication
+# of its bindings are asynchronous; poll until the fleet audit joins
+# balanced from one seed monitor.
+balanced=0
+for _ in $(seq 1 150); do
+  if "$TYCOTOP" --audit "http://127.0.0.1:$MON0" >"$AUDIT" 2>/dev/null; then
+    balanced=1
+    break
+  fi
+  sleep 0.1
+done
+if [ "$balanced" -ne 1 ]; then
+  echo "ns_smoke: fleet never audited balanced after the handoff:" >&2
+  cat "$AUDIT" >&2
+  exit 1
+fi
+echo "ns_smoke: fleet audit balanced after shard handoff"
+
+# And no survivor's own audit tick ever saw an imbalance: the handoff
+# conserved credit at every observation point, not just at the end.
+"$TYCOTOP" --metrics - "http://127.0.0.1:$MON0" 2>/dev/null |
+  grep 'gc_audit_imbalance' >"$AUDIT" || true
+if grep -v ' 0$' "$AUDIT" | grep -q .; then
+  echo "ns_smoke: a survivor counted a credit imbalance:" >&2
+  cat "$AUDIT" >&2
+  fail=1
+else
+  echo "ns_smoke: gc_audit_imbalance 0 on every survivor"
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "ns_smoke: OK (sharded failover drill, lookups resolved, credit conserved)"
+fi
+exit "$fail"

@@ -5,8 +5,11 @@
 // One tycod process hosts exactly one node (its sites come from the
 // program file's `site name { P }` blocks) and speaks the v2 daemon
 // wire format to other tycod processes over TCP (docs/NETWORKING.md).
-// Node 0 hosts the network name service; every other node needs
-// --join (or --peer 0=...) to reach it.
+// By default node 0 hosts the network name service; every other node
+// needs --join (or --peer 0=...) to reach it. With --ns-shards the
+// directory is sharded across the fleet instead (docs/NAMESERVICE.md):
+// every node hosts a slice, each slice is replicated to a follower, and
+// a confirmed-dead primary fails over without losing bindings.
 //
 // Usage:
 //   tycod --node 0 --listen 127.0.0.1:7100 a.dtc
@@ -57,6 +60,13 @@
 //                        local program is quiescent (default 2000)
 //   --serve-ms N         hard cap on total serve time (default 60000)
 //   --timeout-ms N       per-run wall-clock cap (default 10000)
+//   --ns-shards N        shard the name service N ways by name hash
+//                        (default 0 = centralized on node 0; pass the
+//                        same value to every daemon in the fleet)
+//   --ns-replicas N      followers per shard slice (default 1)
+//   --ns-lease-ms N      lease-based client-side lookup caching with
+//                        this TTL (default 0 = off); rebinds and
+//                        evictions push kNsInvalidate to lease holders
 //   --gc-resend-ms N     periodic cumulative-REL retransmission
 //   --audit-ms N         continuous self-audit: every N ms of idle time
 //                        run the GC credit audit (fleet-wide when
@@ -96,6 +106,7 @@ int usage() {
       "         --heartbeat-ms N  --phi T  --confirm-ms N\n"
       "         --flush-bytes N  --flush-frames N  --busy-poll-us N\n"
       "         --no-detect  --idle-exit-ms N  --serve-ms N\n"
+      "         --ns-shards N  --ns-replicas N  --ns-lease-ms N\n"
       "         --timeout-ms N  --gc-resend-ms N  --audit-ms N\n"
       "         --drop-rel N\n";
   return 2;
@@ -192,6 +203,12 @@ int main(int argc, char** argv) {
       serve_ms = std::atol(argv[++i]);
     } else if (arg == "--timeout-ms" && i + 1 < argc) {
       cfg.timeout_ms = static_cast<std::uint64_t>(std::atol(argv[++i]));
+    } else if (arg == "--ns-shards" && i + 1 < argc) {
+      cfg.ns_shards = static_cast<std::uint32_t>(std::atol(argv[++i]));
+    } else if (arg == "--ns-replicas" && i + 1 < argc) {
+      cfg.ns_replicas = static_cast<std::uint32_t>(std::atol(argv[++i]));
+    } else if (arg == "--ns-lease-ms" && i + 1 < argc) {
+      cfg.ns_lease_ms = static_cast<std::uint64_t>(std::atol(argv[++i]));
     } else if (arg == "--gc-resend-ms" && i + 1 < argc) {
       cfg.gc_resend_ms = static_cast<std::uint64_t>(std::atol(argv[++i]));
     } else if (arg == "--audit-ms" && i + 1 < argc) {

@@ -12,6 +12,16 @@
 //           the publisher on the shipped reply channel).
 //   fetch   FETCH against imported classes (the C5 applet-marketplace
 //           shape: every request pulls a code closure).
+//   fetch-churn  name-service churn: every request registers a
+//           short-lived name, measures the lookup that resolves it,
+//           and unregisters it on completion — the directory
+//           mutation-heavy shape the sharded NS is built for. Needs
+//           no --import.
+//
+// With --ns-shards N the generator routes every name-service frame to
+// the owning shard primary (same rendezvous map as the daemons,
+// docs/NAMESERVICE.md) instead of node 0; confirmed peer deaths
+// advance the local shard map exactly like a daemon's.
 //
 // The generator is open-loop and coordinated-omission safe: requests
 // fire on an intended-start schedule derived from --rate alone, and
@@ -45,6 +55,7 @@
 #include "core/nameservice.hpp"
 #include "core/wire.hpp"
 #include "net/tcp.hpp"
+#include "ns/shard.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
@@ -72,7 +83,11 @@ void usage() {
       "usage: tycoload --join HOST:PORT --import SITE:NAME [options]\n"
       "  --join HOST:PORT     node 0 of the fleet (name-service home)\n"
       "  --import SITE:NAME   imported target (repeatable; round-robin)\n"
-      "  --scenario S         rpc | pubsub | fetch      (default rpc)\n"
+      "  --scenario S         rpc | pubsub | fetch | fetch-churn\n"
+      "                       (default rpc; fetch-churn needs no --import)\n"
+      "  --ns-shards N        route NS frames by the N-way shard map\n"
+      "                       (default 0 = centralized on node 0)\n"
+      "  --ns-replicas N      followers per shard (map geometry; default 1)\n"
       "  --rate R             intended requests/second  (default 1000)\n"
       "  --duration-ms D      load duration             (default 5000)\n"
       "  --clients N          outstanding-request cap   (default 256)\n"
@@ -99,6 +114,8 @@ struct Options {
   std::uint64_t clients = 256;
   std::uint64_t timeout_ms = 2000;
   std::uint32_t self = 900;
+  std::uint32_t ns_shards = 0;
+  std::uint32_t ns_replicas = 1;
   std::uint32_t kill_node = 0;
   long kill_pid = 0;
   std::uint64_t kill_at_ms = 0;
@@ -134,6 +151,10 @@ bool parse_args(int argc, char** argv, Options& o) {
       o.timeout_ms = std::strtoull(v, nullptr, 10);
     } else if (a == "--self" && (v = need(i))) {
       o.self = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--ns-shards" && (v = need(i))) {
+      o.ns_shards = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--ns-replicas" && (v = need(i))) {
+      o.ns_replicas = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (a == "--kill-node" && (v = need(i))) {
       o.kill_node = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
       o.have_kill = true;
@@ -164,11 +185,13 @@ bool parse_args(int argc, char** argv, Options& o) {
       return false;
     }
   }
-  if (o.join.empty() || o.imports.empty() || o.rate <= 0) {
+  if (o.join.empty() || o.rate <= 0 ||
+      (o.imports.empty() && o.scenario != "fetch-churn")) {
     usage();
     return false;
   }
-  if (o.scenario != "rpc" && o.scenario != "pubsub" && o.scenario != "fetch") {
+  if (o.scenario != "rpc" && o.scenario != "pubsub" && o.scenario != "fetch" &&
+      o.scenario != "fetch-churn") {
     std::fprintf(stderr, "tycoload: unknown scenario '%s'\n",
                  o.scenario.c_str());
     return false;
@@ -219,9 +242,14 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, opt)) return 2;
 
   const bool fetch = opt.scenario == "fetch";
+  const bool churn = opt.scenario == "fetch-churn";
   const auto kind = fetch ? dityco::vm::NetRef::Kind::kClass
                           : dityco::vm::NetRef::Kind::kChan;
-  const SloPlane::Op op = fetch ? SloPlane::Op::kFetch : SloPlane::Op::kMsg;
+  const SloPlane::Op op =
+      fetch || churn ? SloPlane::Op::kFetch : SloPlane::Op::kMsg;
+  // Churned bindings are keyed under a synthetic per-generator site so
+  // concurrent generators never collide in the directory.
+  const std::string churn_site = "loadgen" + std::to_string(opt.self);
 
   TcpConfig cfg;
   cfg.self = opt.self;
@@ -241,6 +269,19 @@ int main(int argc, char** argv) {
   tcp->set_death_frame(
       [](std::uint32_t dead) { return dityco::core::make_peer_down(dead); });
 
+  // With --ns-shards the generator computes the same rendezvous map as
+  // the daemons and sends every NS frame to the owning shard primary;
+  // without it, everything goes to the centralized service on node 0.
+  std::unique_ptr<dityco::ns::ShardRouter> router;
+  if (opt.ns_shards > 0)
+    router = std::make_unique<dityco::ns::ShardRouter>(opt.ns_shards,
+                                                       opt.ns_replicas);
+  const auto ns_dst = [&](const std::string& site,
+                          const std::string& name) -> std::uint32_t {
+    if (!router) return 0;
+    return router->primary_of(site, name);
+  };
+
   // -- import phase: resolve every SITE:NAME through the NS ----------
   std::vector<Import> imports;
   for (std::size_t i = 0; i < opt.imports.size(); ++i) {
@@ -255,7 +296,8 @@ int main(int argc, char** argv) {
     imp.site = spec.substr(0, colon);
     imp.name = spec.substr(colon + 1);
     imports.push_back(std::move(imp));
-    tcp->send(Packet{opt.self, 0,
+    tcp->send(Packet{opt.self,
+                     ns_dst(imports.back().site, imports.back().name),
                      NameService::make_lookup(
                          imports.back().site, imports.back().name, kind,
                          opt.self, 0, /*token=*/i,
@@ -319,6 +361,9 @@ int main(int argc, char** argv) {
   const auto mark_dead = [&](std::uint32_t n) {
     if (n >= node_dead_seen.size()) node_dead_seen.resize(n + 1, false);
     node_dead_seen[n] = true;
+    // Advance the shard map: the dead primary's keys fail over to its
+    // follower, so churn traffic keeps resolving through the kill.
+    if (router) router->note_dead(n);
   };
 
   std::uint64_t next_send = start;
@@ -339,6 +384,39 @@ int main(int argc, char** argv) {
   };
 
   const auto send_one = [&](std::uint64_t intended, std::uint64_t now) {
+    if (churn) {
+      // Register a short-lived weak binding (credit 0: the directory
+      // never holds credit against the generator), then measure the
+      // lookup that resolves it; the reply triggers the unregister.
+      const std::uint64_t tid = dityco::obs::next_trace_id();
+      const std::uint64_t req = next_req++;
+      const std::string name = "churn" + std::to_string(req);
+      const std::uint32_t dst = ns_dst(churn_site, name);
+      if (node_dead(dst)) {
+        ++no_target;
+        fail(tid, intended, now);
+        return;
+      }
+      if (pending.size() >= opt.clients) {
+        ++shed;
+        fail(tid, intended, now);
+        return;
+      }
+      const dityco::vm::NetRef ref{dityco::vm::NetRef::Kind::kChan, opt.self,
+                                   0, req};
+      tcp->send(Packet{opt.self, dst,
+                       NameService::make_export(0, churn_site, name, ref, "",
+                                                tid, true, /*credit=*/0)},
+                0.0);
+      tcp->send(Packet{opt.self, dst,
+                       NameService::make_lookup(
+                           churn_site, name, dityco::vm::NetRef::Kind::kChan,
+                           opt.self, 0, /*token=*/req, tid, true)},
+                0.0);
+      pending.emplace(req, Pending{intended, tid, dst});
+      ++sent;
+      return;
+    }
     // Round-robin over live targets; a fleet with every target dead
     // still charges the request to the ledger.
     std::size_t probe = 0;
@@ -407,7 +485,13 @@ int main(int argc, char** argv) {
       return;
     }
     std::uint64_t req = 0;
-    if (type == MsgType::kShipMsg || type == MsgType::kFetchRep) {
+    if (churn && type == MsgType::kNsReply) {
+      // The lookup reply closes a churned name's round trip; retire the
+      // binding so the directory stays bounded under sustained load.
+      Reader r(pkt.bytes);
+      (void)dityco::core::read_header(r);
+      req = r.u64();  // token == req
+    } else if (type == MsgType::kShipMsg || type == MsgType::kFetchRep) {
       // Both reply shapes lead with the request key: SHIPM replies
       // target reply-channel heap_id == req, FETCH replies echo req_id.
       Reader r(pkt.bytes);
@@ -418,6 +502,12 @@ int main(int argc, char** argv) {
     }
     const auto it = pending.find(req);
     if (it == pending.end()) return;  // late reply, already timed out
+    if (churn && type == MsgType::kNsReply) {
+      const std::string name = "churn" + std::to_string(req);
+      tcp->send(Packet{opt.self, ns_dst(churn_site, name),
+                       NameService::make_unregister(churn_site, name)},
+                0.0);
+    }
     const std::uint64_t lat = now - it->second.intended_ns;
     plane.record_value(op, lat, now, it->second.tid);
     if (kill_ns != 0 && it->second.intended_ns >= kill_ns)
@@ -458,6 +548,16 @@ int main(int argc, char** argv) {
       for (auto it = pending.begin(); it != pending.end();) {
         if (now - it->second.intended_ns > timeout_ns) {
           ++timeouts;
+          if (churn) {
+            // Best-effort retirement: a lost reply must not leave the
+            // orphan binding in the directory forever.
+            const std::string name = "churn" + std::to_string(it->first);
+            const std::uint32_t dst = ns_dst(churn_site, name);
+            if (!node_dead(dst))
+              tcp->send(Packet{opt.self, dst,
+                               NameService::make_unregister(churn_site, name)},
+                        0.0);
+          }
           fail(it->second.tid, it->second.intended_ns, now);
           it = pending.erase(it);
         } else {

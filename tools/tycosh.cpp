@@ -24,6 +24,12 @@
 //   --join HOST:PORT address of node 0 (with --tcp; shorthand for
 //                    --peer 0=HOST:PORT)
 //   --peer N=H:P     static peer address (with --tcp; repeatable)
+//   --ns-shards N    shard the name service N ways by name hash
+//                    (default 0 = centralized on node 0; see
+//                    docs/NAMESERVICE.md)
+//   --ns-replicas N  followers per shard slice (default 1)
+//   --ns-lease-ms N  lease-based client-side lookup caching (TTL in ms;
+//                    default 0 = off)
 //   --typecheck      infer types; reject ill-typed programs; enable the
 //                    dynamic signature check on imports
 //   --check          static whole-network type check only (no execution)
@@ -93,6 +99,7 @@ int usage() {
       "         --tcp HOST:PORT        one node of a multi-process network\n"
       "         --advertise HOST       reach-back host gossiped to peers\n"
       "         --node N  --join HOST:PORT  --peer N=HOST:PORT\n"
+      "         --ns-shards N  --ns-replicas N  --ns-lease-ms N\n"
       "         --flush-bytes N  --flush-frames N  writev coalescing caps\n"
       "         --busy-poll-us N       spin the I/O thread before blocking\n"
       "         --stats | :stats       print the metrics registry\n"
@@ -144,6 +151,7 @@ int main(int argc, char** argv) {
   bool show_slo = false;
   std::string fleet_url;
   long flush_bytes = -1, flush_frames = -1, busy_poll_us = -1;
+  long ns_shards = 0, ns_replicas = 1, ns_lease_ms = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -177,6 +185,12 @@ int main(int argc, char** argv) {
       flush_frames = std::atol(argv[++i]);
     } else if (arg == "--busy-poll-us" && i + 1 < argc) {
       busy_poll_us = std::atol(argv[++i]);
+    } else if (arg == "--ns-shards" && i + 1 < argc) {
+      ns_shards = std::atol(argv[++i]);
+    } else if (arg == "--ns-replicas" && i + 1 < argc) {
+      ns_replicas = std::atol(argv[++i]);
+    } else if (arg == "--ns-lease-ms" && i + 1 < argc) {
+      ns_lease_ms = std::atol(argv[++i]);
     } else if (arg == "--typecheck") {
       typecheck = true;
     } else if (arg == "--check") {
@@ -317,6 +331,13 @@ int main(int argc, char** argv) {
       cfg.tcp.flush_frames = static_cast<std::size_t>(flush_frames);
     if (busy_poll_us >= 0)
       cfg.tcp.busy_poll_us = static_cast<std::uint64_t>(busy_poll_us);
+    if (ns_shards > 0) {
+      cfg.ns_shards = static_cast<std::uint32_t>(ns_shards);
+      cfg.ns_replicas = static_cast<std::uint32_t>(ns_replicas < 0
+                                                       ? 0 : ns_replicas);
+      cfg.ns_lease_ms = static_cast<std::uint64_t>(ns_lease_ms < 0
+                                                       ? 0 : ns_lease_ms);
+    }
 
     dityco::core::Network net(cfg);
     const int nnodes = cfg.tcp.multiprocess

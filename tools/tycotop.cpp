@@ -27,6 +27,12 @@
 //     NS mismatch) is found; --watch MS repeats forever. A fleet that
 //     cannot be fully scraped (a node without --monitor, a stale
 //     snapshot) is reported as unverifiable, not as imbalanced.
+//   * --names: federates the fleet directory. The name service is NOT
+//     assumed to live on node 0: every node's /names document is one
+//     slice of the picture (the whole table when centralized, one
+//     shard slice per node when --ns-shards is on; docs/NAMESERVICE.md)
+//     and the view stitches them all — per-slice binding counts, the
+//     shard map's epoch and dead set, and lease-cache hit rates.
 //
 // Usage:
 //   tycotop http://127.0.0.1:7001
@@ -58,7 +64,7 @@ namespace {
 int usage() {
   std::cerr << "usage: tycotop [--trace FILE] [--metrics FILE]\n"
                "               [--metrics-json FILE] [--json]\n"
-               "               [--audit] [--slo] [--watch MS]\n"
+               "               [--audit] [--slo] [--names] [--watch MS]\n"
                "               MONITOR_URL [MONITOR_URL...]\n"
                "FILE may be '-' for stdout.\n";
   return 2;
@@ -165,6 +171,7 @@ int main(int argc, char** argv) {
   bool as_json = false;
   bool do_audit = false;
   bool do_slo = false;
+  bool do_names = false;
   long watch_ms = 0;
   std::vector<std::string> seeds;
   for (int i = 1; i < argc; ++i) {
@@ -181,6 +188,8 @@ int main(int argc, char** argv) {
       do_audit = true;
     } else if (arg == "--slo") {
       do_slo = true;
+    } else if (arg == "--names") {
+      do_names = true;
     } else if (arg == "--watch" && i + 1 < argc) {
       do_audit = true;
       watch_ms = std::atol(argv[++i]);
@@ -208,6 +217,108 @@ int main(int argc, char** argv) {
     std::cerr << "tycotop: no reachable monitors (seed down, or started "
                  "without --monitor?)\n";
     return 1;
+  }
+
+  if (do_names) {
+    // Fleet directory view. Every node's /names is scraped — the
+    // directory is not assumed to live on node 0: a centralized fleet
+    // yields one "central" slice from the hosting node, a sharded
+    // fleet one "shard<N>" slice per node, and the federation is the
+    // union. The same per-slice join the credit audit uses.
+    struct Slice {
+      std::uint32_t node = 0;
+      std::string scope;
+      std::uint64_t home = 0, ids = 0, credit_rows = 0, waiters = 0,
+                    parked = 0;
+      bool stale = false;
+    };
+    std::vector<Slice> slices;
+    std::string shard_line, cache_lines, names_nodes_json;
+    for (const auto& [node, ep] : nodes) {
+      const std::string body = fleet::http_get(ep.host, ep.monitor, "/names");
+      fleet::Json doc;
+      if (body.empty() || !fleet::parse_json(body, doc)) continue;
+      if (as_json) {
+        if (!names_nodes_json.empty()) names_nodes_json += ",";
+        names_nodes_json +=
+            "{\"node\":" + std::to_string(node) + ",\"names\":" + body + "}";
+      }
+      if (const fleet::Json* svcs = doc.find("services")) {
+        for (const fleet::Json& svc : svcs->items) {
+          Slice s;
+          s.node = node;
+          s.scope = svc.str_or("scope", "?");
+          s.home = svc.u64_or("home_node", 0);
+          s.parked = svc.u64_or("parked", 0);
+          if (const fleet::Json* st = svc.find("stale");
+              st && st->kind == fleet::Json::Kind::kBool && st->boolean)
+            s.stale = true;
+          if (const fleet::Json* ids = svc.find("ids")) {
+            s.ids = ids->items.size();
+            for (const fleet::Json& row : ids->items) {
+              if (const fleet::Json* gc = row.find("gc");
+                  gc && gc->kind == fleet::Json::Kind::kBool && gc->boolean)
+                ++s.credit_rows;
+              s.waiters += row.u64_or("waiters", 0);
+            }
+          }
+          slices.push_back(std::move(s));
+        }
+      }
+      if (const fleet::Json* sh = doc.find("sharding");
+          sh && shard_line.empty()) {
+        shard_line = "sharding: shards=" + std::to_string(sh->u64_or(
+                         "shards", 0)) +
+                     " replicas=" + std::to_string(sh->u64_or("replicas", 0)) +
+                     " epoch=" + std::to_string(sh->u64_or("epoch", 0)) +
+                     " dead=[";
+        if (const fleet::Json* dead = sh->find("dead")) {
+          bool first = true;
+          for (const fleet::Json& d : dead->items) {
+            if (!first) shard_line += ",";
+            first = false;
+            shard_line += std::to_string(d.u64());
+          }
+        }
+        shard_line += "]";
+      }
+      if (const fleet::Json* caches = doc.find("caches")) {
+        for (const fleet::Json& c : caches->items) {
+          char buf[192];
+          std::snprintf(buf, sizeof buf,
+                        "  cache node%llu: entries=%llu hits=%llu "
+                        "misses=%llu invalidations=%llu stale_served=%llu\n",
+                        static_cast<unsigned long long>(c.u64_or("node", 0)),
+                        static_cast<unsigned long long>(c.u64_or("entries", 0)),
+                        static_cast<unsigned long long>(c.u64_or("hits", 0)),
+                        static_cast<unsigned long long>(c.u64_or("misses", 0)),
+                        static_cast<unsigned long long>(
+                            c.u64_or("invalidations", 0)),
+                        static_cast<unsigned long long>(
+                            c.u64_or("stale_served", 0)));
+          cache_lines += buf;
+        }
+      }
+    }
+    if (as_json) {
+      std::cout << "{\"schema\":\"tycotop-names-v1\",\"nodes\":["
+                << names_nodes_json << "]}\n";
+      return slices.empty() ? 1 : 0;
+    }
+    std::printf("fleet directory: %zu slice(s) from %zu node(s)\n",
+                slices.size(), nodes.size());
+    std::printf("%-10s %-6s %6s %8s %8s %7s\n", "scope", "node", "ids",
+                "credit", "waiters", "parked");
+    for (const Slice& s : slices)
+      std::printf("%-10s %-6u %6llu %8llu %8llu %7llu%s\n", s.scope.c_str(),
+                  s.node, static_cast<unsigned long long>(s.ids),
+                  static_cast<unsigned long long>(s.credit_rows),
+                  static_cast<unsigned long long>(s.waiters),
+                  static_cast<unsigned long long>(s.parked),
+                  s.stale ? "  (stale)" : "");
+    if (!shard_line.empty()) std::printf("%s\n", shard_line.c_str());
+    if (!cache_lines.empty()) std::printf("%s", cache_lines.c_str());
+    return slices.empty() ? 1 : 0;
   }
 
   if (do_slo) {
